@@ -1,0 +1,78 @@
+//! The two latency claims of §6.1: classifier inference below 0.2 s per
+//! claim and query generation below 0.5 s (0.35 s average), measured on the
+//! paper-scale corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scrutinizer_core::{generate_queries, SystemConfig, SystemModels, Verifier};
+use scrutinizer_corpus::{ClaimRecord, Corpus, CorpusConfig};
+use scrutinizer_formula::parse_formula;
+use scrutinizer_query::FunctionRegistry;
+use std::hint::black_box;
+
+fn paper_corpus() -> Corpus {
+    Corpus::generate(CorpusConfig::paper_scale())
+}
+
+fn bench_predict_latency(c: &mut Criterion) {
+    let corpus = paper_corpus();
+    let config = SystemConfig::default();
+    let mut models = SystemModels::bootstrap(&corpus, &config);
+    let train: Vec<&ClaimRecord> = corpus.claims.iter().take(800).collect();
+    models.retrain(&train);
+    let claim = &corpus.claims[900];
+    let features = models.features(claim);
+    // paper: "testing a classifier took less than 0.2 seconds" — this runs
+    // all four classifiers
+    c.bench_function("predict_latency/all_four_classifiers", |b| {
+        b.iter(|| black_box(models.translate(black_box(&features), 10)))
+    });
+    c.bench_function("predict_latency/featurize_claim", |b| {
+        b.iter(|| black_box(models.features(black_box(claim))))
+    });
+}
+
+fn bench_query_generation(c: &mut Criterion) {
+    let corpus = paper_corpus();
+    let config = SystemConfig::default();
+    let registry = FunctionRegistry::standard();
+    // a validated context as Algorithm 2 receives it: one relation, one key,
+    // a handful of attributes, ten ranked formulas
+    let claim = corpus
+        .claims
+        .iter()
+        .find(|c| c.formula_text.contains("POWER"))
+        .expect("growth claim exists");
+    let relations = vec![claim.relation.clone()];
+    let keys = vec![claim.key.clone()];
+    let mut attributes = claim.attributes.clone();
+    attributes.extend(["2015".to_string(), "2030".to_string(), "2040".to_string()]);
+    let formulas: Vec<_> = corpus
+        .formulas
+        .iter()
+        .take(10)
+        .map(|s| (s.text.clone(), parse_formula(&s.text).expect("pool parses")))
+        .collect();
+    let parameter = Verifier::extract_parameter(&claim.claim_text);
+    // paper: "query generation took less than half a second (0.35 s avg)"
+    c.bench_function("query_generation/validated_context", |b| {
+        b.iter(|| {
+            black_box(generate_queries(
+                &corpus.catalog,
+                &registry,
+                black_box(&relations),
+                black_box(&keys),
+                black_box(&attributes),
+                black_box(&formulas),
+                parameter,
+                &config,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_predict_latency, bench_query_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Question-planning and claim-ordering benches (§6.2's "15 minutes of
+//! planning" budget) plus the solver ablation: the Definition 9 ILP vs the
+//! greedy fallback vs the DP knapsack on knapsack-shaped instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scrutinizer_core::ordering::ClaimChoice;
+use scrutinizer_core::pruning::{greedy_select, PropertyCandidates};
+use scrutinizer_core::{select_batch, OrderingStrategy, PropertyKind, SystemConfig};
+use scrutinizer_corpus::{Corpus, CorpusConfig};
+use scrutinizer_crowd::CostModel;
+use scrutinizer_ilp::knapsack_01;
+use std::hint::black_box;
+
+fn choices(corpus: &Corpus) -> Vec<ClaimChoice> {
+    corpus
+        .claims
+        .iter()
+        .map(|c| ClaimChoice {
+            id: c.id,
+            section: c.section,
+            cost: 30.0 + (c.id % 13) as f64 * 9.0,
+            utility: 1.0 + ((c.id * 7) % 11) as f64,
+        })
+        .collect()
+}
+
+fn bench_batch_selection(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig::paper_scale());
+    let all = choices(&corpus);
+    let config = SystemConfig::default();
+    let budget = 100.0 * 60.0;
+    let mut group = c.benchmark_group("batch_selection");
+    group.sample_size(10);
+    for strategy in [OrderingStrategy::Ilp, OrderingStrategy::Greedy, OrderingStrategy::Sequential]
+    {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    black_box(select_batch(
+                        black_box(&all),
+                        &corpus.document,
+                        strategy,
+                        budget,
+                        &config,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pruning_greedy(c: &mut Criterion) {
+    // the per-claim greedy property selection, re-run for every claim on
+    // every retrain — must be microseconds
+    let candidates: Vec<PropertyCandidates> = [
+        (10usize, 0.9f64),
+        (10, 0.75),
+        (10, 0.6),
+    ]
+    .iter()
+    .zip([PropertyKind::Relation, PropertyKind::Key, PropertyKind::Attribute])
+    .map(|(&(count, mass), kind)| PropertyCandidates { kind, count, mass })
+    .collect();
+    c.bench_function("pruning/greedy_select_3_properties", |b| {
+        b.iter(|| black_box(greedy_select(black_box(&candidates), 3)))
+    });
+}
+
+fn bench_screen_cost_ordering(c: &mut Criterion) {
+    // Corollary 2 ablation: probability-descending vs reversed option order.
+    // Criterion measures the (identical) compute; the printed expected costs
+    // demonstrate the modeled gap.
+    let descending: Vec<f32> = vec![0.4, 0.2, 0.1, 0.08, 0.05, 0.04, 0.03, 0.02, 0.02, 0.01];
+    let mut ascending = descending.clone();
+    ascending.reverse();
+    let model = CostModel::default();
+    let down = CostModel::expected_list_cost(model.vp, &descending);
+    let up = CostModel::expected_list_cost(model.vp, &ascending);
+    println!("expected screen cost: descending {down:.2}s vs ascending {up:.2}s");
+    assert!(down < up);
+    c.bench_function("screen_cost/expected_cost_10_options", |b| {
+        b.iter(|| black_box(CostModel::expected_list_cost(model.vp, black_box(&descending))))
+    });
+}
+
+fn bench_ilp_vs_knapsack(c: &mut Criterion) {
+    // when every claim lives in its own section, batch selection IS a
+    // knapsack (Theorem 7's reduction) — compare the general solver to DP
+    let n = 60usize;
+    let weights: Vec<u64> = (0..n).map(|i| 20 + (i as u64 * 13) % 50).collect();
+    let values: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 7) % 11) as f64).collect();
+    let capacity: u64 = 600;
+    let mut group = c.benchmark_group("ilp_vs_knapsack");
+    group.sample_size(10);
+    group.bench_function("dp_knapsack", |b| {
+        b.iter(|| black_box(knapsack_01(black_box(&weights), black_box(&values), capacity)))
+    });
+    group.bench_function("branch_and_bound", |b| {
+        use scrutinizer_ilp::{solve_ilp, BranchConfig, Model, Sense};
+        b.iter(|| {
+            let mut m = Model::maximize();
+            let vars: Vec<_> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| m.add_binary(format!("x{i}"), v))
+                .collect();
+            let terms: Vec<_> =
+                vars.iter().zip(&weights).map(|(&v, &w)| (v, w as f64)).collect();
+            m.add_constraint(terms, Sense::Le, capacity as f64).unwrap();
+            black_box(solve_ilp(&m, BranchConfig::default()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_batch_selection, bench_pruning_greedy, bench_screen_cost_ordering,
+              bench_ilp_vs_knapsack
+}
+criterion_main!(benches);

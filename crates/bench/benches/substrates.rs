@@ -1,0 +1,78 @@
+//! Substrate micro-benches: the building blocks whose speed the system
+//! budget rests on — SQL parse/execute, formula evaluation, featurization,
+//! classifier retraining, corpus generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scrutinizer_core::{SystemConfig, SystemModels};
+use scrutinizer_corpus::{ClaimRecord, Corpus, CorpusConfig};
+use scrutinizer_formula::{eval_formula, parse_formula, Lookup};
+use scrutinizer_query::{execute, parse, FunctionRegistry};
+use std::hint::black_box;
+
+fn bench_sql_pipeline(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig::small());
+    let table = corpus.catalog.tables().next().expect("table");
+    let key = table.keys().next().expect("key").to_string();
+    let sql = format!(
+        "SELECT POWER(a.2017 / b.2016, 1 / (2017 - 2016)) - 1 \
+         FROM {t} a, {t} b WHERE a.Index = '{key}' AND b.Index = '{key}'",
+        t = table.name()
+    );
+    c.bench_function("sql/parse", |b| b.iter(|| black_box(parse(black_box(&sql)))));
+    let stmt = parse(&sql).expect("parses");
+    c.bench_function("sql/execute_point_lookup_join", |b| {
+        b.iter(|| black_box(execute(&corpus.catalog, black_box(&stmt))))
+    });
+    c.bench_function("sql/print", |b| b.iter(|| black_box(stmt.to_string())));
+}
+
+fn bench_formula_eval(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig::small());
+    let registry = FunctionRegistry::standard();
+    let table = corpus.catalog.tables().next().expect("table");
+    let key = table.keys().next().expect("key").to_string();
+    let formula = parse_formula("POWER(a / b, 1 / (A1 - A2)) - 1").expect("formula");
+    let lookups = vec![
+        Lookup::new(table.name(), key.clone(), "2017"),
+        Lookup::new(table.name(), key, "2016"),
+    ];
+    // Algorithm 2's inner loop — must be well under a microsecond to allow
+    // tens of thousands of assignments inside the 0.5 s budget
+    c.bench_function("formula/eval_growth", |b| {
+        b.iter(|| black_box(eval_formula(&corpus.catalog, &registry, &formula, &lookups)))
+    });
+}
+
+fn bench_featurize_and_retrain(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig::small());
+    let config = SystemConfig::default();
+    let mut models = SystemModels::bootstrap(&corpus, &config);
+    let refs: Vec<&ClaimRecord> = corpus.claims.iter().collect();
+    let mut group = c.benchmark_group("learning");
+    group.sample_size(10);
+    // §6.2 attributes ~13 of 28 minutes to retraining across 15 batches
+    group.bench_function("retrain_four_classifiers_80_claims", |b| {
+        b.iter(|| models.retrain(black_box(&refs)))
+    });
+    group.finish();
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(10);
+    group.bench_function("generate_small", |b| {
+        b.iter(|| black_box(Corpus::generate(CorpusConfig::small())))
+    });
+    group.bench_function("generate_paper_scale", |b| {
+        b.iter(|| black_box(Corpus::generate(CorpusConfig::paper_scale())))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_sql_pipeline, bench_formula_eval, bench_featurize_and_retrain,
+              bench_corpus_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Shared helpers for the Scrutinizer bench harness (see `benches/` and `src/bin/repro.rs`).

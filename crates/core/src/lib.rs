@@ -1,0 +1,50 @@
+//! # scrutinizer-core
+//!
+//! The Scrutinizer system (Algorithm 1): mixed-initiative verification of
+//! statistical claims against relational data.
+//!
+//! ```text
+//!            ┌────────────── claims C in document T ──────────────┐
+//!            ▼                                                    │
+//!   OptBatch (ordering, §5.2: ILP over utility/cost)              │
+//!            ▼                                                    │
+//!   OptQuestions (planner, §5.1: greedy sub-modular pruning)      │
+//!            ▼                                                    │
+//!   GetAnswers (crowd screens, Cor. 2 option ordering)            │
+//!            ▼                                                    │
+//!   Validate (query generation, Alg. 2 + execution)               │
+//!            ▼                                                    │
+//!   Retrain (classifiers on newly verified claims) ───────────────┘
+//! ```
+//!
+//! * [`models`] — the four property classifiers over shared claim features,
+//! * [`qgen`] — Algorithm 2's query generation,
+//! * [`screens`] / [`planner`] / [`pruning`] — single-claim question
+//!   planning (Theorems 1–6),
+//! * [`ordering`] — claim-batch selection (Definitions 7–9, ILP),
+//! * [`verify`] — the main loop, producing a [`report::VerificationReport`],
+//! * [`sim`] — the paper's experiments: user study (Figures 5–6), report
+//!   simulation (Table 2, Figures 7–9), top-k accuracy (Figure 10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod models;
+pub mod ordering;
+pub mod planner;
+pub mod pruning;
+pub mod qgen;
+pub mod report;
+pub mod screens;
+pub mod sim;
+pub mod stats;
+pub mod verify;
+
+pub use config::SystemConfig;
+pub use models::{PropertyKind, SystemModels, Translation};
+pub use ordering::{select_batch, OrderingStrategy};
+pub use planner::ClaimPlan;
+pub use qgen::{generate_queries, QueryCandidate};
+pub use report::{ClaimOutcome, VerificationReport, Verdict};
+pub use verify::Verifier;

@@ -1,0 +1,253 @@
+//! The four property classifiers behind claim-to-query translation (§3.1).
+
+use crate::config::SystemConfig;
+use scrutinizer_corpus::{ClaimRecord, Corpus};
+use scrutinizer_learn::{training_utility, LabelDict, PropertyClassifier};
+use scrutinizer_text::{ClaimFeaturizer, SparseVector};
+
+/// The four query properties the classifiers predict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropertyKind {
+    /// Which relation(s) hold the data.
+    Relation,
+    /// Which primary-key value (row).
+    Key,
+    /// Which attribute labels (columns).
+    Attribute,
+    /// Which check formula.
+    Formula,
+}
+
+impl PropertyKind {
+    /// All four, in the paper's order.
+    pub const ALL: [PropertyKind; 4] =
+        [PropertyKind::Relation, PropertyKind::Key, PropertyKind::Attribute, PropertyKind::Formula];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PropertyKind::Relation => "relation",
+            PropertyKind::Key => "row",
+            PropertyKind::Attribute => "attribute",
+            PropertyKind::Formula => "formula",
+        }
+    }
+}
+
+/// Ranked candidates for every property of one claim.
+#[derive(Debug, Clone)]
+pub struct Translation {
+    /// `(label, probability)` per property, probability-descending.
+    pub candidates: [Vec<(String, f32)>; 4],
+}
+
+impl Translation {
+    /// Candidates of one property.
+    pub fn of(&self, kind: PropertyKind) -> &[(String, f32)] {
+        &self.candidates[kind as usize]
+    }
+}
+
+/// The trained models: shared featurizer + four classifiers.
+#[derive(Debug, Clone)]
+pub struct SystemModels {
+    featurizer: ClaimFeaturizer,
+    classifiers: [PropertyClassifier; 4],
+}
+
+impl SystemModels {
+    /// Builds models for a corpus: fits the featurizer (unsupervised — works
+    /// from the raw text, so cold start is fine) and initializes untrained
+    /// classifiers over the corpus label spaces.
+    pub fn bootstrap(corpus: &Corpus, config: &SystemConfig) -> Self {
+        let pairs: Vec<(String, String)> = corpus
+            .claims
+            .iter()
+            .map(|c| (c.claim_text.clone(), c.sentence_text.clone()))
+            .collect();
+        let featurizer = ClaimFeaturizer::fit(&pairs, config.featurizer);
+        let dim = featurizer.dimension();
+
+        let relation_labels =
+            LabelDict::from_labels(corpus.catalog.table_names().map(str::to_string));
+        let key_labels = LabelDict::from_labels(corpus.catalog.all_keys());
+        let attribute_labels = LabelDict::from_labels(corpus.catalog.all_attributes());
+        let formula_labels =
+            LabelDict::from_labels(corpus.formulas.iter().map(|f| f.text.clone()));
+
+        let classifiers = [
+            PropertyClassifier::new("relation", relation_labels, dim, config.training),
+            PropertyClassifier::new("row", key_labels, dim, config.training),
+            PropertyClassifier::new("attribute", attribute_labels, dim, config.training),
+            PropertyClassifier::new("formula", formula_labels, dim, config.training),
+        ];
+        SystemModels { featurizer, classifiers }
+    }
+
+    /// Features of a claim.
+    pub fn features(&self, claim: &ClaimRecord) -> SparseVector {
+        self.featurizer.features(&claim.claim_text, &claim.sentence_text)
+    }
+
+    /// Classifier of a property.
+    pub fn classifier(&self, kind: PropertyKind) -> &PropertyClassifier {
+        &self.classifiers[kind as usize]
+    }
+
+    /// Translates a claim: top-k candidates per property (§3.1).
+    pub fn translate(&self, features: &SparseVector, k: usize) -> Translation {
+        Translation {
+            candidates: [
+                self.classifiers[0].top_k(features, k),
+                self.classifiers[1].top_k(features, k),
+                self.classifiers[2].top_k(features, k),
+                self.classifiers[3].top_k(features, k),
+            ],
+        }
+    }
+
+    /// Training utility `u(c)` of Definition 7 (summed prediction entropy).
+    pub fn training_utility(&self, features: &SparseVector) -> f64 {
+        let refs: Vec<&PropertyClassifier> = self.classifiers.iter().collect();
+        training_utility(&refs, features)
+    }
+
+    /// Retrains all four classifiers from verified claims — `Retrain(N, A)`
+    /// of Algorithm 1. Each claim contributes one example per property value
+    /// (a claim with two attributes yields two attribute examples).
+    pub fn retrain(&mut self, verified: &[&ClaimRecord]) {
+        if verified.is_empty() {
+            return;
+        }
+        let features: Vec<SparseVector> =
+            verified.iter().map(|c| self.features(c)).collect();
+
+        let relation_examples: Vec<(SparseVector, String)> = verified
+            .iter()
+            .zip(&features)
+            .map(|(c, f)| (f.clone(), c.relation.clone()))
+            .collect();
+        self.classifiers[0].retrain(&relation_examples);
+
+        let key_examples: Vec<(SparseVector, String)> = verified
+            .iter()
+            .zip(&features)
+            .map(|(c, f)| (f.clone(), c.key.clone()))
+            .collect();
+        self.classifiers[1].retrain(&key_examples);
+
+        let mut attribute_examples: Vec<(SparseVector, String)> = Vec::new();
+        for (c, f) in verified.iter().zip(&features) {
+            for attr in &c.attributes {
+                attribute_examples.push((f.clone(), attr.clone()));
+            }
+        }
+        self.classifiers[2].retrain(&attribute_examples);
+
+        let formula_examples: Vec<(SparseVector, String)> = verified
+            .iter()
+            .zip(&features)
+            .map(|(c, f)| (f.clone(), c.formula_text.clone()))
+            .collect();
+        self.classifiers[3].retrain(&formula_examples);
+    }
+
+    /// Top-1 accuracy of each classifier on a claim set (used for the
+    /// accuracy traces of Figures 8–9). A prediction counts as correct when
+    /// it matches the ground-truth value (any ground-truth attribute, for
+    /// the attribute classifier).
+    pub fn accuracy_on(&self, claims: &[&ClaimRecord]) -> [f64; 4] {
+        if claims.is_empty() {
+            return [0.0; 4];
+        }
+        let mut hits = [0usize; 4];
+        for claim in claims {
+            let features = self.features(claim);
+            let t = self.translate(&features, 1);
+            if t.of(PropertyKind::Relation).first().is_some_and(|(l, _)| *l == claim.relation) {
+                hits[0] += 1;
+            }
+            if t.of(PropertyKind::Key).first().is_some_and(|(l, _)| *l == claim.key) {
+                hits[1] += 1;
+            }
+            if t.of(PropertyKind::Attribute)
+                .first()
+                .is_some_and(|(l, _)| claim.attributes.iter().any(|a| a == l))
+            {
+                hits[2] += 1;
+            }
+            if t.of(PropertyKind::Formula).first().is_some_and(|(l, _)| *l == claim.formula_text)
+            {
+                hits[3] += 1;
+            }
+        }
+        let n = claims.len() as f64;
+        [hits[0] as f64 / n, hits[1] as f64 / n, hits[2] as f64 / n, hits[3] as f64 / n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrutinizer_corpus::CorpusConfig;
+
+    fn setup() -> (Corpus, SystemModels, SystemConfig) {
+        let corpus = Corpus::generate(CorpusConfig::small());
+        let config = SystemConfig::test();
+        let models = SystemModels::bootstrap(&corpus, &config);
+        (corpus, models, config)
+    }
+
+    #[test]
+    fn bootstrap_is_untrained_max_entropy() {
+        let (corpus, models, _) = setup();
+        let features = models.features(&corpus.claims[0]);
+        let utility = models.training_utility(&features);
+        // sum of ln(label-space sizes)
+        let expected: f64 = [
+            corpus.catalog.len() as f64,
+            corpus.catalog.all_keys().len() as f64,
+            corpus.catalog.all_attributes().len() as f64,
+            corpus.formulas.len() as f64,
+        ]
+        .iter()
+        .map(|n| n.ln())
+        .sum();
+        assert!((utility - expected).abs() < 1e-6, "{utility} vs {expected}");
+    }
+
+    #[test]
+    fn retraining_improves_accuracy_and_reduces_entropy() {
+        let (corpus, mut models, _) = setup();
+        let refs: Vec<&ClaimRecord> = corpus.claims.iter().collect();
+        let before = models.accuracy_on(&refs);
+        let u_before =
+            models.training_utility(&models.features(&corpus.claims[0]));
+        models.retrain(&refs);
+        let after = models.accuracy_on(&refs);
+        let u_after = models.training_utility(&models.features(&corpus.claims[0]));
+        // training accuracy must beat the untrained baseline for every model
+        for (kind, (b, a)) in PropertyKind::ALL.iter().zip(before.iter().zip(after.iter())) {
+            assert!(a >= b, "{}: {b} → {a}", kind.name());
+        }
+        assert!(after.iter().sum::<f64>() > before.iter().sum::<f64>() + 0.5);
+        assert!(u_after < u_before, "entropy must drop after training");
+    }
+
+    #[test]
+    fn translate_returns_ranked_candidates() {
+        let (corpus, mut models, _) = setup();
+        let refs: Vec<&ClaimRecord> = corpus.claims.iter().collect();
+        models.retrain(&refs);
+        let features = models.features(&corpus.claims[0]);
+        let t = models.translate(&features, 5);
+        for kind in PropertyKind::ALL {
+            let c = t.of(kind);
+            assert!(!c.is_empty());
+            assert!(c.len() <= 5);
+            for w in c.windows(2) {
+                assert!(w[0].1 >= w[1].1, "{} not sorted", kind.name());
+            }
+        }
+    }
+}

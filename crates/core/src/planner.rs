@@ -1,0 +1,158 @@
+//! Single-claim question planning (§5.1).
+//!
+//! Chooses how many screens to show (Corollary 1 caps them; the crowd only
+//! validates the context properties — relation, row, attribute — per §4.3),
+//! which properties to ask about (greedy pruning-power, Theorems 3–5), and
+//! prices the plan with the expected-cost model (Theorem 2).
+
+use crate::config::SystemConfig;
+use crate::models::{PropertyKind, Translation};
+use crate::pruning::{greedy_select, PropertyCandidates};
+use crate::screens::Screen;
+
+/// The plan for verifying one claim.
+#[derive(Debug, Clone)]
+pub struct ClaimPlan {
+    /// Property screens in the order they will be shown.
+    pub screens: Vec<Screen>,
+    /// Expected crowd cost of the property screens plus the final screen
+    /// (seconds), per Theorem 2 and the suggestion-mass model.
+    pub expected_cost: f64,
+}
+
+/// The context properties the crowd validates (formulas are filtered by
+/// instantiation instead — §4.3).
+pub const CROWD_PROPERTIES: [PropertyKind; 3] =
+    [PropertyKind::Relation, PropertyKind::Key, PropertyKind::Attribute];
+
+/// Builds the optimal plan for one claim from its translation.
+pub fn plan_claim(translation: &Translation, config: &SystemConfig) -> ClaimPlan {
+    // §5.1's ideal case: a property whose top prediction is near-certain
+    // needs no screen — the worker only confirms the final query
+    let asked: Vec<PropertyKind> = CROWD_PROPERTIES
+        .iter()
+        .copied()
+        .filter(|&kind| {
+            translation
+                .of(kind)
+                .first()
+                .is_none_or(|(_, p)| *p < config.screen_skip_confidence)
+        })
+        .collect();
+
+    // candidate summaries for the crowd-validated properties still in play
+    let summaries: Vec<PropertyCandidates> = asked
+        .iter()
+        .map(|&kind| {
+            let options = translation.of(kind);
+            let shown = options.len().min(config.options_per_screen);
+            PropertyCandidates {
+                kind,
+                count: shown.max(1),
+                mass: options.iter().take(shown).map(|(_, p)| f64::from(*p)).sum(),
+            }
+        })
+        .collect();
+
+    // Corollary 1 bounds the number of screens; greedy picks which
+    let budget = config.cost.max_screens().min(asked.len());
+    let chosen = greedy_select(&summaries, budget);
+
+    let screens: Vec<Screen> = chosen
+        .iter()
+        .map(|&i| {
+            let kind = asked[i];
+            Screen::new(kind, translation.of(kind).to_vec(), config.options_per_screen)
+        })
+        .collect();
+
+    // expected cost: property screens (Theorem 2 + suggestion mass) plus the
+    // final query screen, whose option quality tracks the formula classifier
+    let mut expected_cost = 0.0;
+    for screen in &screens {
+        expected_cost += config.cost.expected_screen_cost(&screen.probabilities());
+    }
+    let formula_probs: Vec<f32> = translation
+        .of(PropertyKind::Formula)
+        .iter()
+        .take(config.final_options)
+        .map(|(_, p)| *p)
+        .collect();
+    expected_cost += config.cost.expected_final_cost(&formula_probs);
+
+    ClaimPlan { screens, expected_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Translation;
+
+    fn translation(confidence: f32) -> Translation {
+        let options = |base: f32| -> Vec<(String, f32)> {
+            vec![
+                ("first".to_string(), base),
+                ("second".to_string(), base / 3.0),
+                ("third".to_string(), base / 9.0),
+            ]
+        };
+        Translation {
+            candidates: [
+                options(confidence),
+                options(confidence * 0.8),
+                options(confidence * 0.9),
+                options(confidence * 0.7),
+            ],
+        }
+    }
+
+    #[test]
+    fn plan_has_screens_and_positive_cost() {
+        let config = SystemConfig::test();
+        let plan = plan_claim(&translation(0.6), &config);
+        assert!(!plan.screens.is_empty());
+        assert!(plan.screens.len() <= 3);
+        assert!(plan.expected_cost > 0.0);
+    }
+
+    #[test]
+    fn confident_translations_cost_less() {
+        let config = SystemConfig::test();
+        let confident = plan_claim(&translation(0.7), &config);
+        let uncertain = plan_claim(&translation(0.05), &config);
+        assert!(
+            confident.expected_cost < uncertain.expected_cost,
+            "{} vs {}",
+            confident.expected_cost,
+            uncertain.expected_cost
+        );
+    }
+
+    #[test]
+    fn screens_ordered_descending_probability() {
+        let config = SystemConfig::test();
+        let plan = plan_claim(&translation(0.5), &config);
+        for screen in &plan.screens {
+            let probs = screen.probabilities();
+            for w in probs.windows(2) {
+                assert!(w[0] >= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn expected_cost_below_manual_baseline() {
+        // a reasonable plan must cost less than suggesting the query cold
+        // (s_f), otherwise the system adds no value at all
+        let config = SystemConfig::test();
+        let plan = plan_claim(&translation(0.8), &config);
+        assert!(plan.expected_cost < 3.0 * config.cost.sf, "Theorem 1 bound");
+    }
+
+    #[test]
+    fn screen_budget_respects_corollary1() {
+        let config = SystemConfig::test();
+        let plan = plan_claim(&translation(0.5), &config);
+        assert!(plan.screens.len() <= config.cost.max_screens());
+    }
+}

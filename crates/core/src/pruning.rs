@@ -1,0 +1,199 @@
+//! Pruning power and greedy question selection (Theorems 3–5).
+//!
+//! The candidate queries `Q` are represented as the Cartesian product of the
+//! per-property candidate lists (the remark under Theorem 6), which makes
+//! the pruning-power formula of Theorem 3 collapse into closed form:
+//!
+//! `P(S, Q, M) = Π_s n_s − (Π_{s∈S} m_s) · (Π_{s∉S} n_s)`
+//!
+//! where `n_s` is the number of candidates for property `s` and `m_s` their
+//! total probability mass. The greedy selector of Theorem 5 operates on this
+//! closed form; a naive enumerating evaluator is kept for cross-checking.
+
+use crate::models::PropertyKind;
+
+/// Candidate summary of one property: how many options would be shown, and
+/// their total probability mass under the model.
+#[derive(Debug, Clone, Copy)]
+pub struct PropertyCandidates {
+    /// Which property.
+    pub kind: PropertyKind,
+    /// Number of candidate values (`n_s`).
+    pub count: usize,
+    /// Σ probability of the candidates (`m_s ≤ 1`).
+    pub mass: f64,
+}
+
+/// Pruning power of asking the properties in `selected` (closed form).
+pub fn pruning_power(all: &[PropertyCandidates], selected: &[usize]) -> f64 {
+    let mut total_queries = 1.0;
+    let mut unpruned = 1.0;
+    for (i, p) in all.iter().enumerate() {
+        let n = p.count.max(1) as f64;
+        total_queries *= n;
+        if selected.contains(&i) {
+            unpruned *= p.mass.min(1.0);
+        } else {
+            unpruned *= n;
+        }
+    }
+    total_queries - unpruned
+}
+
+/// Naive evaluator enumerating the product space — O(Π n_s); used in tests
+/// to validate the closed form on small instances.
+pub fn pruning_power_naive(
+    probabilities: &[Vec<f64>], // per property, per candidate
+    selected: &[usize],
+) -> f64 {
+    let counts: Vec<usize> = probabilities.iter().map(Vec::len).collect();
+    let mut index = vec![0usize; counts.len()];
+    let mut power = 0.0;
+    loop {
+        // Pr(q not pruned) = Π_{s∈S} p_s(q_s)
+        let mut not_pruned = 1.0;
+        for &s in selected {
+            not_pruned *= probabilities[s][index[s]];
+        }
+        power += 1.0 - not_pruned;
+        let mut d = counts.len();
+        loop {
+            if d == 0 {
+                return power;
+            }
+            d -= 1;
+            index[d] += 1;
+            if index[d] < counts[d] {
+                break;
+            }
+            index[d] = 0;
+        }
+    }
+}
+
+/// Greedy property selection (Theorem 5): repeatedly add the property whose
+/// addition maximizes pruning power, up to `budget` properties. Returns the
+/// chosen indices in selection order. Guaranteed within `1 − 1/e` of the
+/// optimum by sub-modularity (Theorem 4).
+pub fn greedy_select(all: &[PropertyCandidates], budget: usize) -> Vec<usize> {
+    let mut selected: Vec<usize> = Vec::with_capacity(budget.min(all.len()));
+    while selected.len() < budget.min(all.len()) {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..all.len() {
+            if selected.contains(&i) {
+                continue;
+            }
+            let mut trial = selected.clone();
+            trial.push(i);
+            let gain = pruning_power(all, &trial);
+            if best.is_none() || gain > best.expect("set").1 + 1e-15 {
+                best = Some((i, gain));
+            }
+        }
+        match best {
+            Some((i, _)) => selected.push(i),
+            None => break,
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates(specs: &[(usize, f64)]) -> Vec<PropertyCandidates> {
+        specs
+            .iter()
+            .zip([
+                PropertyKind::Relation,
+                PropertyKind::Key,
+                PropertyKind::Attribute,
+                PropertyKind::Formula,
+            ])
+            .map(|(&(count, mass), kind)| PropertyCandidates { kind, count, mass })
+            .collect()
+    }
+
+    #[test]
+    fn closed_form_matches_naive() {
+        // three properties with concrete per-candidate probabilities
+        let probabilities = vec![
+            vec![0.6, 0.3],        // mass 0.9
+            vec![0.5, 0.2, 0.1],   // mass 0.8
+            vec![0.7],             // mass 0.7
+        ];
+        let all = candidates(&[(2, 0.9), (3, 0.8), (1, 0.7)]);
+        for selected in [vec![], vec![0], vec![1], vec![0, 1], vec![0, 1, 2]] {
+            let closed = pruning_power(&all, &selected);
+            let naive = pruning_power_naive(&probabilities, &selected);
+            assert!(
+                (closed - naive).abs() < 1e-9,
+                "selected {selected:?}: closed {closed} vs naive {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_selection_prunes_nothing() {
+        let all = candidates(&[(5, 0.9), (4, 0.8)]);
+        assert_eq!(pruning_power(&all, &[]), 0.0);
+    }
+
+    #[test]
+    fn more_properties_prune_more() {
+        // monotone non-decreasing (needed by Theorem 5's conditions)
+        let all = candidates(&[(5, 0.9), (4, 0.8), (10, 0.5)]);
+        let p0 = pruning_power(&all, &[]);
+        let p1 = pruning_power(&all, &[0]);
+        let p2 = pruning_power(&all, &[0, 1]);
+        let p3 = pruning_power(&all, &[0, 1, 2]);
+        assert!(p0 <= p1 && p1 <= p2 && p2 <= p3);
+    }
+
+    #[test]
+    fn submodularity_diminishing_returns() {
+        let all = candidates(&[(5, 0.9), (4, 0.8), (10, 0.5)]);
+        // gain of adding property 2 to {} vs to {0}
+        let gain_small = pruning_power(&all, &[2]) - pruning_power(&all, &[]);
+        let gain_large = pruning_power(&all, &[0, 2]) - pruning_power(&all, &[0]);
+        assert!(gain_small >= gain_large - 1e-12);
+    }
+
+    #[test]
+    fn greedy_picks_highest_pruning_first() {
+        // property 2 has huge candidate count and low mass → most pruning
+        let all = candidates(&[(5, 0.95), (4, 0.9), (10, 0.4)]);
+        let order = greedy_select(&all, 3);
+        assert_eq!(order[0], 2);
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_instances() {
+        let all = candidates(&[(3, 0.7), (6, 0.9), (2, 0.5), (8, 0.85)]);
+        let budget = 2;
+        let greedy = greedy_select(&all, budget);
+        let greedy_power = pruning_power(&all, &greedy);
+        // exhaustive best pair
+        let mut best = 0.0f64;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                best = best.max(pruning_power(&all, &[i, j]));
+            }
+        }
+        // greedy guarantee is 1-1/e ≈ 0.63, but on these instances it is optimal
+        assert!(
+            greedy_power >= (1.0 - 1.0 / std::f64::consts::E) * best - 1e-9,
+            "greedy {greedy_power} vs best {best}"
+        );
+    }
+
+    #[test]
+    fn budget_respected() {
+        let all = candidates(&[(3, 0.7), (6, 0.9), (2, 0.5)]);
+        assert_eq!(greedy_select(&all, 0).len(), 0);
+        assert_eq!(greedy_select(&all, 1).len(), 1);
+        assert_eq!(greedy_select(&all, 99).len(), 3);
+    }
+}

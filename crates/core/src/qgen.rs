@@ -1,0 +1,343 @@
+//! Query generation — Algorithm 2.
+//!
+//! Input: validated/predicted relations `R`, keys `K`, attributes `A`,
+//! ranked formulas `F`, and the explicit parameter `p` when present. The
+//! algorithm collects all data values for `R × K × A` (line 7), tries every
+//! assignment of those values to each formula's variables (lines 9–20),
+//! keeps assignments matching `p` for explicit claims (or all evaluating
+//! assignments otherwise), and rewrites the survivors into SQL (lines
+//! 23–29). The brute force stays sub-second thanks to the pruning power of
+//! the validated context — exactly the paper's observation.
+
+use crate::config::SystemConfig;
+use scrutinizer_data::value::approx_eq_f64;
+use scrutinizer_data::Catalog;
+use scrutinizer_formula::{eval_formula, instantiate, Formula, Lookup};
+use scrutinizer_query::{FunctionRegistry, SelectStmt};
+
+/// One generated candidate query.
+#[derive(Debug, Clone)]
+pub struct QueryCandidate {
+    /// The executable, human-readable statement.
+    pub stmt: SelectStmt,
+    /// The formula it instantiates (class label).
+    pub formula_text: String,
+    /// The variable bindings.
+    pub lookups: Vec<Lookup>,
+    /// The value the query evaluates to.
+    pub value: f64,
+    /// Whether the value matches the explicit parameter (within tolerance).
+    pub matches_parameter: bool,
+}
+
+/// Runs Algorithm 2.
+///
+/// `formulas` are `(text, formula)` in rank order; `parameter` is the
+/// explicit claim parameter in *formula scale* (e.g. `0.03` for a growth of
+/// 3 %). Returns matching candidates if any exist, otherwise all evaluating
+/// candidates (line 27's `QA`) ranked by formula order — these are the
+/// alternatives shown to checkers, and the closest one backs the suggested
+/// correction of Example 4.
+pub fn generate_queries(
+    catalog: &Catalog,
+    registry: &FunctionRegistry,
+    relations: &[String],
+    keys: &[String],
+    attributes: &[String],
+    formulas: &[(String, Formula)],
+    parameter: Option<f64>,
+    config: &SystemConfig,
+) -> Vec<QueryCandidate> {
+    // line 5-8: collect the available data values V = R × K × A
+    let mut values: Vec<Lookup> = Vec::new();
+    for relation in relations {
+        let Ok(table) = catalog.get(relation) else { continue };
+        for key in keys {
+            if !table.contains_key(key) {
+                continue;
+            }
+            for attribute in attributes {
+                if let Ok(v) = table.get(key, attribute) {
+                    if v.is_numeric() {
+                        values.push(Lookup::new(relation.clone(), key.clone(), attribute.clone()));
+                    }
+                }
+            }
+        }
+    }
+    if values.is_empty() {
+        return Vec::new();
+    }
+
+    let mut matched: Vec<QueryCandidate> = Vec::new();
+    let mut alternatives: Vec<QueryCandidate> = Vec::new();
+    let mut budget = config.max_assignments;
+
+    for (text, formula) in formulas {
+        let n = formula.value_var_count(); // line 11: GetVars(f)
+        if n == 0 || values.len().pow(n as u32) == 0 {
+            continue;
+        }
+        // line 12-13: iterate assignments (permutations with repetition)
+        let mut index = vec![0usize; n];
+        'assignments: loop {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            let lookups: Vec<Lookup> =
+                index.iter().map(|&i| values[i].clone()).collect();
+            if let Ok(value) = eval_formula(catalog, registry, formula, &lookups) {
+                if value.is_finite() {
+                    let matches = parameter
+                        .map(|p| approx_eq_f64(value, p, config.tolerance))
+                        .unwrap_or(false);
+                    if matches {
+                        // line 15-16
+                        if let Ok(stmt) = instantiate(formula, &lookups) {
+                            matched.push(QueryCandidate {
+                                stmt,
+                                formula_text: text.clone(),
+                                lookups,
+                                value,
+                                matches_parameter: true,
+                            });
+                        }
+                    } else if matched.is_empty()
+                        && alternatives.len() < config.final_options * 4
+                    {
+                        // line 17-18 (bounded: we only ever show a handful)
+                        if let Ok(stmt) = instantiate(formula, &lookups) {
+                            alternatives.push(QueryCandidate {
+                                stmt,
+                                formula_text: text.clone(),
+                                lookups,
+                                value,
+                                matches_parameter: false,
+                            });
+                        }
+                    }
+                }
+            }
+            // odometer over value indices
+            let mut d = n;
+            loop {
+                if d == 0 {
+                    break 'assignments;
+                }
+                d -= 1;
+                index[d] += 1;
+                if index[d] < values.len() {
+                    break;
+                }
+                index[d] = 0;
+            }
+        }
+        if budget == 0 {
+            break;
+        }
+    }
+
+    // lines 23-29: matching queries win; otherwise return the alternatives
+    if !matched.is_empty() {
+        matched
+    } else {
+        // rank alternatives by closeness to the parameter when explicit
+        if let Some(p) = parameter {
+            alternatives.sort_by(|a, b| {
+                let da = relative_distance(a.value, p);
+                let db = relative_distance(b.value, p);
+                da.total_cmp(&db)
+            });
+        }
+        alternatives
+    }
+}
+
+fn relative_distance(value: f64, parameter: f64) -> f64 {
+    (value - parameter).abs() / parameter.abs().max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrutinizer_data::TableBuilder;
+    use scrutinizer_formula::parse_formula;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add(
+            TableBuilder::new("GED", "Index", &["2000", "2016", "2017"])
+                .row("PGElecDemand", &[15_000.0, 21_566.0, 22_209.0])
+                .unwrap()
+                .row("CapAddTotal_Wind", &[5.8, 30.0, 52.2])
+                .unwrap()
+                .build(),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn formulas(texts: &[&str]) -> Vec<(String, Formula)> {
+        texts.iter().map(|t| (t.to_string(), parse_formula(t).unwrap())).collect()
+    }
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn example_10_finds_the_growth_query() {
+        // context: GED / PGElecDemand / {2016, 2017}; formulas ranked with
+        // the growth formula first; parameter 3% → one matching binding
+        let cat = catalog();
+        let registry = FunctionRegistry::standard();
+        let out = generate_queries(
+            &cat,
+            &registry,
+            &strs(&["GED"]),
+            &strs(&["PGElecDemand"]),
+            &strs(&["2016", "2017"]),
+            &formulas(&["POWER(a / b, 1 / (A1 - A2)) - 1", "a + b > 0"]),
+            Some(0.03),
+            &SystemConfig::test(),
+        );
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|c| c.matches_parameter));
+        let best = &out[0];
+        assert!((best.value - 0.0298).abs() < 1e-3);
+        assert!(best.stmt.to_string().contains("POWER"));
+        // both (2017, 2016) and its algebraic mirror (2016, 2017) verify the
+        // claim; the binding must use exactly those two attributes
+        let mut attrs: Vec<&str> =
+            best.lookups.iter().map(|l| l.attribute.as_str()).collect();
+        attrs.sort_unstable();
+        assert_eq!(attrs, vec!["2016", "2017"]);
+    }
+
+    #[test]
+    fn false_claim_yields_alternatives_with_closest_first() {
+        // Example 4: claim says 2.5% but the data says 3% — no match, and
+        // the closest alternative carries the correct value
+        let cat = catalog();
+        let registry = FunctionRegistry::standard();
+        let out = generate_queries(
+            &cat,
+            &registry,
+            &strs(&["GED"]),
+            &strs(&["PGElecDemand"]),
+            &strs(&["2016", "2017"]),
+            &formulas(&["POWER(a / b, 1 / (A1 - A2)) - 1"]),
+            Some(0.025),
+            &SystemConfig::test(),
+        );
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|c| !c.matches_parameter));
+        assert!(
+            (out[0].value - 0.0298).abs() < 1e-3,
+            "closest alternative suggests the 3% correction, got {}",
+            out[0].value
+        );
+    }
+
+    #[test]
+    fn ninefold_ratio_query() {
+        let cat = catalog();
+        let registry = FunctionRegistry::standard();
+        let out = generate_queries(
+            &cat,
+            &registry,
+            &strs(&["GED"]),
+            &strs(&["CapAddTotal_Wind"]),
+            &strs(&["2000", "2017"]),
+            &formulas(&["a / b"]),
+            Some(9.0),
+            &SystemConfig::test(),
+        );
+        assert!(!out.is_empty());
+        assert!((out[0].value - 9.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn general_claims_return_all_evaluating_bindings() {
+        let cat = catalog();
+        let registry = FunctionRegistry::standard();
+        let out = generate_queries(
+            &cat,
+            &registry,
+            &strs(&["GED"]),
+            &strs(&["CapAddTotal_Wind"]),
+            &strs(&["2000", "2017"]),
+            &formulas(&["a / b > 1"]),
+            None,
+            &SystemConfig::test(),
+        );
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|c| !c.matches_parameter));
+    }
+
+    #[test]
+    fn empty_context_produces_nothing() {
+        let cat = catalog();
+        let registry = FunctionRegistry::standard();
+        let out = generate_queries(
+            &cat,
+            &registry,
+            &strs(&["Missing"]),
+            &strs(&["PGElecDemand"]),
+            &strs(&["2017"]),
+            &formulas(&["a"]),
+            Some(1.0),
+            &SystemConfig::test(),
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn assignment_budget_is_respected() {
+        let cat = catalog();
+        let registry = FunctionRegistry::standard();
+        let mut config = SystemConfig::test();
+        config.max_assignments = 3; // absurdly small
+        let out = generate_queries(
+            &cat,
+            &registry,
+            &strs(&["GED"]),
+            &strs(&["PGElecDemand", "CapAddTotal_Wind"]),
+            &strs(&["2000", "2016", "2017"]),
+            &formulas(&["a / b"]),
+            Some(1.0),
+            &config,
+        );
+        // must terminate quickly; result may be incomplete but bounded
+        assert!(out.len() <= 12);
+    }
+
+    #[test]
+    fn cross_relation_bindings_work() {
+        let mut cat = catalog();
+        cat.add(
+            TableBuilder::new("GED_EU", "Index", &["2017"])
+                .row("PGElecDemand", &[3_350.0])
+                .unwrap()
+                .build(),
+        )
+        .unwrap();
+        let registry = FunctionRegistry::standard();
+        let out = generate_queries(
+            &cat,
+            &registry,
+            &strs(&["GED", "GED_EU"]),
+            &strs(&["PGElecDemand"]),
+            &strs(&["2017"]),
+            &formulas(&["a / b"]),
+            Some(22_209.0 / 3_350.0),
+            &SystemConfig::test(),
+        );
+        assert!(out.iter().any(|c| {
+            c.matches_parameter
+                && c.lookups[0].relation == "GED"
+                && c.lookups[1].relation == "GED_EU"
+        }));
+    }
+}

@@ -1,0 +1,5 @@
+//! The paper's experiments as runnable simulations.
+
+pub mod report;
+pub mod topk;
+pub mod user_study;

@@ -1,0 +1,57 @@
+//! Small statistics helpers shared by the simulators.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (0 for fewer than two values).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Groups `(key, value)` pairs and returns `(key, mean, std, count)` sorted
+/// by key — the aggregation behind Figure 6's per-complexity bars.
+pub fn grouped_mean(pairs: &[(usize, f64)]) -> Vec<(usize, f64, f64, usize)> {
+    let mut keys: Vec<usize> = pairs.iter().map(|(k, _)| *k).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.into_iter()
+        .map(|k| {
+            let group: Vec<f64> =
+                pairs.iter().filter(|(key, _)| *key == k).map(|(_, v)| *v).collect();
+            (k, mean(&group), std_dev(&group), group.len())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouping() {
+        let pairs = vec![(4, 10.0), (6, 30.0), (4, 20.0)];
+        let groups = grouped_mean(&pairs);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], (4, 15.0, std_dev(&[10.0, 20.0]), 2));
+        assert_eq!(groups[1].0, 6);
+        assert_eq!(groups[1].3, 1);
+    }
+}

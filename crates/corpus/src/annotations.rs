@@ -1,0 +1,188 @@
+//! Past-check annotations in the three styles of §4.2.
+//!
+//! The IEA checkers annotated with spreadsheets and free-form notes, which
+//! creates three reconstruction problems the paper names: **reconstruction**
+//! (values computed from other values), **ambiguity** (the same claim checked
+//! with different operations — Example 9's Boolean vs lookup styles) and
+//! **incomplete information** (general claims whose parameter lives only in
+//! the checker's head). This module renders a claim's ground truth the way a
+//! checker of each style would have recorded it, so the formula-extraction
+//! pipeline can be exercised against realistic mess.
+
+use crate::claims::{ClaimKind, ClaimRecord};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scrutinizer_formula::{instantiate, parse_formula};
+
+/// How a past checker recorded a verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnotationStyle {
+    /// Full SQL query (the clean case).
+    CleanSql,
+    /// Boolean query returning 0/1 (Example 9's first checker).
+    BooleanQuery,
+    /// Plain lookup, comparison done "visually" — the annotation lacks the
+    /// parameter entirely (Example 9's second checker; incomplete).
+    IncompleteLookup,
+}
+
+/// A past-check annotation.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// The annotated claim.
+    pub claim_id: usize,
+    /// Style the checker used.
+    pub style: AnnotationStyle,
+    /// The recorded SQL (reconstructable for `CleanSql` and `BooleanQuery`;
+    /// missing the check parameter for `IncompleteLookup`).
+    pub sql: String,
+    /// The checker's verdict.
+    pub verdict_correct: bool,
+}
+
+/// Renders annotations for a claim as `checkers` past experts would have
+/// (IEA uses three). Style mix: mostly clean, with the messy styles
+/// appearing at realistic rates.
+pub fn annotate(claim: &ClaimRecord, checkers: usize, seed: u64) -> Vec<Annotation> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ claim.id as u64);
+    (0..checkers)
+        .map(|_| {
+            let style = match rng.gen_range(0..10) {
+                0..=6 => AnnotationStyle::CleanSql,
+                7..=8 => AnnotationStyle::BooleanQuery,
+                _ => AnnotationStyle::IncompleteLookup,
+            };
+            let sql = render_sql(claim, style);
+            Annotation { claim_id: claim.id, style, sql, verdict_correct: claim.is_correct }
+        })
+        .collect()
+}
+
+fn render_sql(claim: &ClaimRecord, style: AnnotationStyle) -> String {
+    let formula = parse_formula(&claim.formula_text).expect("corpus formulas parse");
+    match style {
+        AnnotationStyle::CleanSql => instantiate(&formula, &claim.lookups)
+            .map(|stmt| stmt.to_string())
+            .unwrap_or_default(),
+        AnnotationStyle::BooleanQuery => {
+            // wrap the check into a comparison against the stated parameter
+            let stmt = instantiate(&formula, &claim.lookups)
+                .map(|stmt| stmt.to_string())
+                .unwrap_or_default();
+            match (claim.kind, claim.stated_value) {
+                (ClaimKind::Explicit, Some(p)) => {
+                    // SELECT <expr> = p FROM ... — splice the comparison in
+                    stmt.replacen("SELECT ", &format!("SELECT {p} = ", p = p), 1)
+                        .replacen(&format!("{p} = "), "", 0) // no-op; keeps style explicit
+                }
+                _ => stmt,
+            }
+        }
+        AnnotationStyle::IncompleteLookup => {
+            // only the first lookup is recorded; the comparison lived in the
+            // checker's head (the incomplete-information problem)
+            let lookup = &claim.lookups[0];
+            format!(
+                "SELECT a.{attr} FROM {rel} a WHERE a.Index = '{key}'",
+                attr = lookup.attribute,
+                rel = lookup.relation,
+                key = lookup.key
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::claims::generate_claims;
+    use crate::formulas::generate_pool;
+    use crate::tables::generate_catalog;
+    use crate::CorpusConfig;
+    use scrutinizer_formula::generalize;
+    use scrutinizer_query::parse;
+
+    fn claims() -> Vec<ClaimRecord> {
+        let config = CorpusConfig::small();
+        let catalog = generate_catalog(&config);
+        let pool = generate_pool(&config);
+        generate_claims(&config, &catalog, &pool)
+    }
+
+    #[test]
+    fn three_annotations_per_claim() {
+        let claims = claims();
+        for claim in claims.iter().take(20) {
+            let anns = annotate(claim, 3, 99);
+            assert_eq!(anns.len(), 3);
+            for a in &anns {
+                assert_eq!(a.claim_id, claim.id);
+                assert!(!a.sql.is_empty(), "claim {} produced empty SQL", claim.id);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_annotations_parse_and_generalize_back() {
+        let claims = claims();
+        let mut tested = 0;
+        for claim in &claims {
+            for ann in annotate(claim, 3, 5) {
+                if ann.style == AnnotationStyle::CleanSql {
+                    let stmt = parse(&ann.sql)
+                        .unwrap_or_else(|e| panic!("clean SQL must parse: {e}\n{}", ann.sql));
+                    // generalizing the clean annotation recovers a formula
+                    let g = generalize(&stmt).expect("clean SQL generalizes");
+                    assert!(g.formula.element_count() >= 1);
+                    tested += 1;
+                }
+            }
+        }
+        assert!(tested > 20, "expected many clean annotations, got {tested}");
+    }
+
+    #[test]
+    fn incomplete_annotations_lose_the_parameter() {
+        let claims = claims();
+        for claim in &claims {
+            for ann in annotate(claim, 3, 5) {
+                if ann.style == AnnotationStyle::IncompleteLookup {
+                    // the recorded query is a bare lookup regardless of the
+                    // real formula's complexity
+                    let stmt = parse(&ann.sql).expect("incomplete SQL still parses");
+                    assert_eq!(stmt.from.len(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn annotation_styles_are_mixed() {
+        let claims = claims();
+        let mut clean = 0;
+        let mut boolean = 0;
+        let mut incomplete = 0;
+        for claim in &claims {
+            for ann in annotate(claim, 3, 11) {
+                match ann.style {
+                    AnnotationStyle::CleanSql => clean += 1,
+                    AnnotationStyle::BooleanQuery => boolean += 1,
+                    AnnotationStyle::IncompleteLookup => incomplete += 1,
+                }
+            }
+        }
+        assert!(clean > boolean, "clean should dominate");
+        assert!(boolean > 0 && incomplete > 0, "messy styles must occur");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let claims = claims();
+        let a = annotate(&claims[0], 3, 42);
+        let b = annotate(&claims[0], 3, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.style, y.style);
+            assert_eq!(x.sql, y.sql);
+        }
+    }
+}

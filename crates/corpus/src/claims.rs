@@ -1,0 +1,715 @@
+//! Claim generation: ground-truth checks rendered as report prose.
+
+use crate::distributions::Zipf;
+use crate::formulas::{Family, FormulaSpec};
+use crate::tables;
+use crate::CorpusConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scrutinizer_data::Catalog;
+use scrutinizer_formula::{claim_complexity, eval_formula, Lookup};
+use scrutinizer_query::FunctionRegistry;
+
+/// Explicit vs general (Definitions 1–2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimKind {
+    /// The parameter is stated in the claim.
+    Explicit,
+    /// The comparison is qualitative ("expanded aggressively").
+    General,
+}
+
+/// A generated claim with full ground truth.
+#[derive(Debug, Clone)]
+pub struct ClaimRecord {
+    /// Claim id (position in the corpus).
+    pub id: usize,
+    /// The claim span itself.
+    pub claim_text: String,
+    /// The full sentence containing the claim (classifier context).
+    pub sentence_text: String,
+    /// Document section the claim lives in.
+    pub section: usize,
+    /// Ground-truth relation (first lookup's; claims may span two).
+    pub relation: String,
+    /// Ground-truth primary key.
+    pub key: String,
+    /// Ground-truth attribute labels, in lookup order (deduplicated).
+    pub attributes: Vec<String>,
+    /// Ground-truth formula (canonical text = class label).
+    pub formula_text: String,
+    /// Ground-truth variable bindings.
+    pub lookups: Vec<Lookup>,
+    /// Explicit or general.
+    pub kind: ClaimKind,
+    /// The number as stated in the text (display-scaled); `None` for
+    /// general claims.
+    pub stated_value: Option<f64>,
+    /// The value the formula actually evaluates to on the data.
+    pub true_value: f64,
+    /// Whether the claim is consistent with the data.
+    pub is_correct: bool,
+    /// For incorrect explicit claims: the display-scaled correct value the
+    /// system should suggest (Example 4).
+    pub suggested_correction: Option<f64>,
+    /// Claim complexity (Figure 6's x-axis).
+    pub complexity: usize,
+}
+
+/// Year mention weights: history anchors (2016/2017) dominate, projection
+/// milestones follow — the WEO's actual focus years.
+fn sample_year(rng: &mut SmallRng) -> i32 {
+    const WEIGHTED: &[(i32, u32)] = &[
+        (2017, 30),
+        (2016, 15),
+        (2018, 8),
+        (2000, 6),
+        (2010, 6),
+        (2025, 10),
+        (2030, 12),
+        (2035, 6),
+        (2040, 12),
+    ];
+    let light: u32 = 1;
+    let heavy_total: u32 = WEIGHTED.iter().map(|(_, w)| w).sum();
+    let light_years = (tables::LAST_YEAR - tables::FIRST_YEAR + 1) as u32 - WEIGHTED.len() as u32;
+    let total = heavy_total + light_years * light;
+    let mut draw = rng.gen_range(0..total);
+    for &(year, weight) in WEIGHTED {
+        if draw < weight {
+            return year;
+        }
+        draw -= weight;
+    }
+    // uniform over the remaining years
+    let mut year = tables::FIRST_YEAR + (draw / light) as i32;
+    while WEIGHTED.iter().any(|(y, _)| *y == year) {
+        year += 1;
+        if year > tables::LAST_YEAR {
+            year = tables::FIRST_YEAR;
+        }
+    }
+    year
+}
+
+/// Generates all claims.
+pub fn generate_claims(
+    config: &CorpusConfig,
+    catalog: &Catalog,
+    pool: &[FormulaSpec],
+) -> Vec<ClaimRecord> {
+    let registry = FunctionRegistry::standard();
+    let table_names: Vec<String> = catalog.table_names().map(str::to_string).collect();
+    let table_keys: Vec<Vec<String>> = catalog
+        .tables()
+        .map(|t| t.keys().map(str::to_string).collect())
+        .collect();
+
+    let explicit_ranks: Vec<usize> =
+        (0..pool.len()).filter(|&i| pool[i].family.is_explicit()).collect();
+    let general_ranks: Vec<usize> =
+        (0..pool.len()).filter(|&i| !pool[i].family.is_explicit()).collect();
+    let explicit_zipf = Zipf::new(explicit_ranks.len().max(1), config.zipf_exponent);
+    let general_zipf = Zipf::new(general_ranks.len().max(1), config.zipf_exponent);
+    let relation_zipf = Zipf::new(table_names.len(), config.zipf_exponent);
+
+    let mut claims = Vec::with_capacity(config.n_claims);
+    for id in 0..config.n_claims {
+        let mut rng =
+            SmallRng::seed_from_u64(config.seed ^ 0xC1A1_0000 ^ (id as u64).wrapping_mul(0x5851_F42D));
+        let claim = generate_one(
+            config,
+            catalog,
+            pool,
+            &registry,
+            &table_names,
+            &table_keys,
+            &relation_zipf,
+            (&explicit_ranks, &explicit_zipf),
+            (&general_ranks, &general_zipf),
+            id,
+            &mut rng,
+        );
+        claims.push(claim);
+    }
+    claims
+}
+
+#[allow(clippy::too_many_arguments)]
+fn generate_one(
+    config: &CorpusConfig,
+    catalog: &Catalog,
+    pool: &[FormulaSpec],
+    registry: &FunctionRegistry,
+    table_names: &[String],
+    table_keys: &[Vec<String>],
+    relation_zipf: &Zipf,
+    explicit: (&[usize], &Zipf),
+    general: (&[usize], &Zipf),
+    id: usize,
+    rng: &mut SmallRng,
+) -> ClaimRecord {
+    for _attempt in 0..40 {
+        // explicit vs general, then a formula of that kind
+        let want_explicit = rng.gen_bool(config.explicit_fraction);
+        let (ranks, zipf) = if want_explicit { explicit } else { general };
+        if ranks.is_empty() {
+            continue;
+        }
+        let spec = &pool[ranks[zipf.sample(rng)]];
+
+        // relation and key
+        let t = relation_zipf.sample(rng);
+        let relation = &table_names[t];
+        let keys = &table_keys[t];
+        if keys.is_empty() {
+            continue;
+        }
+        let key_zipf = Zipf::new(keys.len(), config.zipf_exponent);
+        let key = &keys[key_zipf.sample(rng)];
+
+        // attribute pattern per family
+        let n_vars = spec.formula.value_var_count();
+        let max_year =
+            tables::FIRST_YEAR + (config.n_attributes.min(41) as i32) - 1;
+        let Some(lookups) = choose_lookups(
+            spec,
+            relation,
+            key,
+            n_vars,
+            catalog,
+            table_names,
+            max_year,
+            rng,
+        ) else {
+            continue;
+        };
+
+        // evaluate ground truth
+        let Ok(true_value) = eval_formula(catalog, registry, &spec.formula, &lookups) else {
+            continue;
+        };
+        if !true_value.is_finite() {
+            continue;
+        }
+        // keep displayed magnitudes sane
+        if spec.family.is_explicit() {
+            let display = true_value * spec.family.display_scale();
+            if display.abs() > 1e9 || (display != 0.0 && display.abs() < 1e-4) {
+                continue;
+            }
+        }
+
+        let has_error = rng.gen_bool(config.error_rate);
+        return render_claim(config, spec, relation, key, lookups, true_value, has_error, id, rng);
+    }
+    // deterministic fallback: simple lookup on the first table
+    let relation = &table_names[0];
+    let key = &table_keys[0][0];
+    let lookup = Lookup::new(relation.clone(), key.clone(), "2017");
+    let spec = &pool[0];
+    let true_value = eval_formula(catalog, registry, &spec.formula, std::slice::from_ref(&lookup))
+        .expect("fallback lookup must evaluate");
+    render_claim(config, spec, relation, key, vec![lookup], true_value, false, id, rng)
+}
+
+/// Chooses ground-truth lookups for a formula according to its family's
+/// attribute pattern. Occasionally spans a second relation that shares the
+/// key (cross-table claims).
+fn choose_lookups(
+    spec: &FormulaSpec,
+    relation: &str,
+    key: &str,
+    n_vars: usize,
+    catalog: &Catalog,
+    table_names: &[String],
+    max_year: i32,
+    rng: &mut SmallRng,
+) -> Option<Vec<Lookup>> {
+    let year2 = sample_year(rng).min(max_year);
+    let (y_late, y_early) = match spec.family {
+        Family::Growth => (year2.max(tables::FIRST_YEAR + 1), year2.max(tables::FIRST_YEAR + 1) - 1),
+        Family::Cagr | Family::Ratio => {
+            let gap = rng.gen_range(5..=17).min((max_year - tables::FIRST_YEAR) as i64 as i32);
+            let late = year2.clamp(tables::FIRST_YEAR + gap, max_year);
+            (late, late - gap)
+        }
+        _ => {
+            let gap = rng.gen_range(1..=10).min((max_year - tables::FIRST_YEAR) as i64 as i32);
+            let late = year2.clamp(tables::FIRST_YEAR + gap, max_year);
+            (late, late - gap)
+        }
+    };
+
+    // second relation for variable b in ~15% of multi-var claims
+    let rel_b = if n_vars >= 2 && rng.gen_bool(0.15) {
+        let start = rng.gen_range(0..table_names.len());
+        table_names
+            .iter()
+            .cycle()
+            .skip(start)
+            .take(table_names.len())
+            .find(|r| {
+                r.as_str() != relation
+                    && catalog.get(r).map(|t| t.contains_key(key)).unwrap_or(false)
+            })
+            .cloned()
+            .unwrap_or_else(|| relation.to_string())
+    } else {
+        relation.to_string()
+    };
+
+    let mut lookups = Vec::with_capacity(n_vars);
+    match spec.family {
+        Family::Share => {
+            // a = key at year, b = Total of the same row when available
+            lookups.push(Lookup::new(relation, key, y_late.to_string()));
+            let table = catalog.get(relation).ok()?;
+            if table.has_attribute("Total") {
+                lookups.push(Lookup::new(relation, key, "Total"));
+            } else {
+                lookups.push(Lookup::new(rel_b.clone(), key, y_early.to_string()));
+            }
+        }
+        _ => {
+            let years = [y_late, y_early, y_late - 1];
+            for (v, year) in years.iter().take(n_vars).enumerate() {
+                let rel = if v == 1 { rel_b.as_str() } else { relation };
+                lookups.push(Lookup::new(rel, key, year.to_string()));
+            }
+        }
+    }
+    // formulas with attribute variables need numeric year labels
+    for (i, lookup) in lookups.iter().enumerate() {
+        if spec.formula.uses_attr_var(i) && lookup.attribute.parse::<f64>().is_err() {
+            return None;
+        }
+    }
+    Some(lookups)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_claim(
+    config: &CorpusConfig,
+    spec: &FormulaSpec,
+    relation: &str,
+    key: &str,
+    lookups: Vec<Lookup>,
+    true_value: f64,
+    has_error: bool,
+    id: usize,
+    rng: &mut SmallRng,
+) -> ClaimRecord {
+    let (topic, region) = {
+        let mut parts = relation.splitn(2, '_');
+        (parts.next().unwrap_or("").to_string(), parts.next().unwrap_or("World").to_string())
+    };
+    let unit = tables::topic_unit(&topic);
+    let region_text = tables::region_phrase(&region);
+    let subject = tables::key_phrase(key);
+
+    let kind =
+        if spec.family.is_explicit() { ClaimKind::Explicit } else { ClaimKind::General };
+
+    // displayed number (possibly perturbed)
+    let display_true = round_display(true_value * spec.family.display_scale());
+    let (stated_value, is_correct, suggested) = match kind {
+        ClaimKind::Explicit => {
+            if has_error {
+                let mut delta: f64 = rng.gen_range(0.10..0.50);
+                if rng.gen_bool(0.5) {
+                    delta = -delta;
+                }
+                let wrong = round_display(display_true * (1.0 + delta));
+                // guard against rounding collapsing the error away
+                let wrong = if (wrong - display_true).abs()
+                    <= 0.05 * display_true.abs().max(1e-9)
+                {
+                    round_display(display_true * 1.25 + 1.0)
+                } else {
+                    wrong
+                };
+                (Some(wrong), false, Some(display_true))
+            } else {
+                (Some(display_true), true, None)
+            }
+        }
+        ClaimKind::General => (None, !has_error, None),
+    };
+
+    let claim_text = render_text(
+        spec.family,
+        &subject,
+        &region_text,
+        unit,
+        &lookups,
+        stated_value,
+        true_value,
+        has_error,
+        rng,
+    );
+    let sentence_text = embellish_sentence(&claim_text, rng);
+    let complexity = claim_complexity(&spec.formula, &lookups);
+
+    let mut attributes: Vec<String> = lookups.iter().map(|l| l.attribute.clone()).collect();
+    attributes.dedup();
+
+    // claims cluster by topic: same-topic claims land in the same section
+    let topic_index = tables::TOPICS.iter().position(|(t, _)| *t == topic).unwrap_or(0);
+    let section = topic_index % config.n_sections.max(1);
+
+    ClaimRecord {
+        id,
+        claim_text,
+        sentence_text,
+        section,
+        relation: relation.to_string(),
+        key: key.to_string(),
+        attributes,
+        formula_text: spec.text.clone(),
+        lookups,
+        kind,
+        stated_value,
+        true_value,
+        is_correct,
+        suggested_correction: suggested,
+        complexity,
+    }
+}
+
+/// Rounds a display value to ~3 significant digits (what reports quote).
+fn round_display(x: f64) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return 0.0;
+    }
+    let magnitude = x.abs().log10().floor();
+    let scale = 10f64.powf(magnitude - 2.0);
+    (x / scale).round() * scale
+}
+
+/// Formats a quantity in report style (space-grouped thousands).
+pub fn format_quantity(x: f64) -> String {
+    if x.abs() >= 1000.0 {
+        let rounded = x.round() as i64;
+        let mut digits = rounded.abs().to_string();
+        let mut grouped = String::new();
+        while digits.len() > 3 {
+            let tail = digits.split_off(digits.len() - 3);
+            grouped = if grouped.is_empty() { tail } else { format!("{tail} {grouped}") };
+        }
+        grouped = if grouped.is_empty() { digits } else { format!("{digits} {grouped}") };
+        if rounded < 0 {
+            format!("-{grouped}")
+        } else {
+            grouped
+        }
+    } else if x.abs() >= 10.0 {
+        trim_zeros(format!("{x:.1}"))
+    } else {
+        trim_zeros(format!("{x:.2}"))
+    }
+}
+
+fn trim_zeros(s: String) -> String {
+    if s.contains('.') {
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        s
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_text(
+    family: Family,
+    subject: &str,
+    region: &str,
+    unit: &str,
+    lookups: &[Lookup],
+    stated: Option<f64>,
+    true_value: f64,
+    flipped: bool,
+    rng: &mut SmallRng,
+) -> String {
+    let year = lookups.first().map(|l| l.attribute.clone()).unwrap_or_default();
+    let year_b = lookups.get(1).map(|l| l.attribute.clone()).unwrap_or_default();
+    let pick = |rng: &mut SmallRng, options: &[String]| -> String {
+        options[rng.gen_range(0..options.len())].clone()
+    };
+    match family {
+        Family::Level => {
+            let value = format_quantity(stated.unwrap_or(true_value));
+            pick(
+                rng,
+                &[
+                    format!("in {year}, {subject} in {region} reached {value} {unit}"),
+                    format!("{subject} in {region} stood at {value} {unit} in {year}"),
+                    format!("{region} {subject} amounted to {value} {unit} in {year}"),
+                ],
+            )
+        }
+        Family::Growth | Family::Cagr => {
+            let p = stated.unwrap_or(true_value * 100.0);
+            let verb = if p >= 0.0 { "grew" } else { "fell" };
+            let pct = trim_zeros(format!("{:.1}", p.abs()));
+            let annual = if matches!(family, Family::Cagr) {
+                " per year on average"
+            } else {
+                ""
+            };
+            let span = if matches!(family, Family::Cagr) {
+                format!("between {year_b} and {year}")
+            } else {
+                format!("in {year}")
+            };
+            pick(
+                rng,
+                &[
+                    format!("{subject} in {region} {verb} by {pct}%{annual} {span}"),
+                    format!("{span}, {region} {subject} {verb} {pct}%{annual}"),
+                    format!("{subject} across {region} {verb} by {pct}%{annual} {span}"),
+                ],
+            )
+        }
+        Family::Ratio => {
+            let fold = stated.unwrap_or(true_value);
+            let fold_text = if (fold - 2.0).abs() < 0.05 {
+                "doubled".to_string()
+            } else if (fold - 3.0).abs() < 0.05 {
+                "tripled".to_string()
+            } else {
+                format!("increased {}-fold", trim_zeros(format!("{fold:.1}")))
+            };
+            pick(
+                rng,
+                &[
+                    format!("{subject} in {region} {fold_text} from {year_b} to {year}"),
+                    format!("between {year_b} and {year}, {region} {subject} {fold_text}"),
+                ],
+            )
+        }
+        Family::Diff => {
+            let value = format_quantity(stated.unwrap_or(true_value).abs());
+            let verb = if stated.unwrap_or(true_value) >= 0.0 { "added" } else { "shed" };
+            pick(
+                rng,
+                &[
+                    format!("{region} {verb} {value} {unit} of {subject} between {year_b} and {year}"),
+                    format!("{subject} in {region} {verb} {value} {unit} from {year_b} to {year}"),
+                ],
+            )
+        }
+        Family::Share => {
+            let pct = trim_zeros(format!("{:.1}", stated.unwrap_or(true_value * 100.0)));
+            pick(
+                rng,
+                &[
+                    format!("{subject} accounted for {pct}% of the {region} total in {year}"),
+                    format!("in {year}, {pct}% of the {region} total came from {subject}"),
+                ],
+            )
+        }
+        Family::Aggregate => {
+            let value = format_quantity(stated.unwrap_or(true_value));
+            pick(
+                rng,
+                &[
+                    format!("combined {subject} in {region} amounted to {value} {unit} over {year_b}-{year}"),
+                    format!("{region} {subject} averaged {value} {unit} across {year_b} and {year}"),
+                ],
+            )
+        }
+        Family::Threshold => {
+            // direction as implied by the data, flipped when erroneous
+            let positive = (true_value >= 0.5) != flipped;
+            if positive {
+                pick(
+                    rng,
+                    &[
+                        format!("{subject} in {region} expanded aggressively after {year_b}"),
+                        format!("the market for {subject} in {region} surged markedly through {year}"),
+                        format!("{region} {subject} climbed strongly into {year}"),
+                    ],
+                )
+            } else {
+                pick(
+                    rng,
+                    &[
+                        format!("{subject} in {region} stayed broadly flat through {year}"),
+                        format!("the market for {subject} in {region} barely moved by {year}"),
+                        format!("{region} {subject} stagnated into {year}"),
+                    ],
+                )
+            }
+        }
+    }
+}
+
+/// Wraps a claim span into a full sentence with optional context clauses.
+fn embellish_sentence(claim: &str, rng: &mut SmallRng) -> String {
+    const TAILS: &[&str] = &[
+        "",
+        ", driven by strong industrial demand",
+        ", reflecting sustained policy support",
+        ", despite weaker prices",
+        ", according to preliminary estimates",
+        ", outpacing most forecasts",
+    ];
+    let tail = TAILS[rng.gen_range(0..TAILS.len())];
+    let mut sentence = String::with_capacity(claim.len() + tail.len() + 2);
+    let mut chars = claim.chars();
+    if let Some(first) = chars.next() {
+        sentence.extend(first.to_uppercase());
+        sentence.push_str(chars.as_str());
+    }
+    sentence.push_str(tail);
+    sentence.push('.');
+    sentence
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulas::generate_pool;
+    use crate::tables::generate_catalog;
+
+    fn small_corpus() -> (CorpusConfig, Catalog, Vec<FormulaSpec>, Vec<ClaimRecord>) {
+        let config = CorpusConfig::small();
+        let catalog = generate_catalog(&config);
+        let pool = generate_pool(&config);
+        let claims = generate_claims(&config, &catalog, &pool);
+        (config, catalog, pool, claims)
+    }
+
+    #[test]
+    fn generates_requested_count_deterministically() {
+        let (config, _, _, claims) = small_corpus();
+        assert_eq!(claims.len(), config.n_claims);
+        let (_, _, _, again) = small_corpus();
+        for (a, b) in claims.iter().zip(&again) {
+            assert_eq!(a.claim_text, b.claim_text);
+            assert_eq!(a.is_correct, b.is_correct);
+        }
+    }
+
+    #[test]
+    fn ground_truth_evaluates_to_true_value() {
+        let (_, catalog, pool, claims) = small_corpus();
+        let registry = FunctionRegistry::standard();
+        for claim in &claims {
+            let spec = pool.iter().find(|s| s.text == claim.formula_text).unwrap();
+            let v = eval_formula(&catalog, &registry, &spec.formula, &claim.lookups)
+                .unwrap_or_else(|e| panic!("claim {} lookups must evaluate: {e}", claim.id));
+            assert!(
+                (v - claim.true_value).abs() <= 1e-9 * claim.true_value.abs().max(1.0),
+                "claim {}: {} vs {}",
+                claim.id,
+                v,
+                claim.true_value
+            );
+        }
+    }
+
+    #[test]
+    fn correct_explicit_claims_are_within_tolerance() {
+        let (_, _, pool, claims) = small_corpus();
+        for claim in claims.iter().filter(|c| c.kind == ClaimKind::Explicit) {
+            let spec = pool.iter().find(|s| s.text == claim.formula_text).unwrap();
+            let display_true = claim.true_value * spec.family.display_scale();
+            let stated = claim.stated_value.unwrap();
+            let rel_err = (stated - display_true).abs() / display_true.abs().max(1e-9);
+            if claim.is_correct {
+                assert!(rel_err <= 0.05, "claim {} err {rel_err}", claim.id);
+            } else {
+                assert!(rel_err > 0.05, "claim {} err {rel_err} too small", claim.id);
+            }
+        }
+    }
+
+    #[test]
+    fn error_rate_roughly_matches_config() {
+        let (config, _, _, claims) = small_corpus();
+        let incorrect = claims.iter().filter(|c| !c.is_correct).count();
+        let rate = incorrect as f64 / claims.len() as f64;
+        assert!(
+            (rate - config.error_rate).abs() < 0.15,
+            "error rate {rate} vs configured {}",
+            config.error_rate
+        );
+    }
+
+    #[test]
+    fn explicit_fraction_roughly_matches_config() {
+        let (config, _, _, claims) = small_corpus();
+        let explicit = claims.iter().filter(|c| c.kind == ClaimKind::Explicit).count();
+        let fraction = explicit as f64 / claims.len() as f64;
+        assert!(
+            (fraction - config.explicit_fraction).abs() < 0.20,
+            "explicit fraction {fraction}"
+        );
+    }
+
+    #[test]
+    fn claim_text_mentions_ground_truth_years() {
+        // every claim's text mentions at least one of its year attributes —
+        // that is what makes the attribute classifier learnable
+        let (_, _, _, claims) = small_corpus();
+        for claim in &claims {
+            let years: Vec<&String> = claim
+                .attributes
+                .iter()
+                .filter(|a| a.parse::<i32>().is_ok())
+                .collect();
+            if years.is_empty() {
+                continue;
+            }
+            assert!(
+                years.iter().any(|y| claim.sentence_text.contains(y.as_str())),
+                "claim {} text `{}` mentions none of {years:?}",
+                claim.id,
+                claim.sentence_text
+            );
+        }
+    }
+
+    #[test]
+    fn incorrect_explicit_claims_carry_corrections() {
+        let (_, _, _, claims) = small_corpus();
+        for claim in &claims {
+            match (claim.kind, claim.is_correct) {
+                (ClaimKind::Explicit, false) => {
+                    assert!(claim.suggested_correction.is_some(), "claim {}", claim.id)
+                }
+                (ClaimKind::Explicit, true) => {
+                    assert!(claim.suggested_correction.is_none())
+                }
+                (ClaimKind::General, _) => assert!(claim.stated_value.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn complexity_spans_figure6_range() {
+        let (_, _, _, claims) = small_corpus();
+        let min = claims.iter().map(|c| c.complexity).min().unwrap();
+        let max = claims.iter().map(|c| c.complexity).max().unwrap();
+        assert!(min <= 5, "min complexity {min}");
+        assert!(max >= 8, "max complexity {max}");
+    }
+
+    #[test]
+    fn format_quantity_report_style() {
+        assert_eq!(format_quantity(22_209.0), "22 209");
+        assert_eq!(format_quantity(1_234_567.0), "1 234 567");
+        assert_eq!(format_quantity(52.2), "52.2");
+        assert_eq!(format_quantity(3.0), "3");
+        assert_eq!(format_quantity(0.25), "0.25");
+        assert_eq!(format_quantity(-1500.0), "-1 500");
+    }
+
+    #[test]
+    fn round_display_three_sig_figs() {
+        assert_eq!(round_display(22_209.0), 22_200.0);
+        assert_eq!(round_display(0.029_83), 0.0298);
+        assert_eq!(round_display(0.0), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Seeded Zipf sampling and frequency-percentile reporting (Table 1).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A Zipf distribution over `0..n` with exponent `s`: rank `r` has
+/// probability proportional to `1/(r+1)^s`. Sampling is by precomputed CDF
+/// and binary search — O(log n) per draw, deterministic given the RNG.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty support");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Percentiles of a frequency multiset — the rows of Table 1.
+///
+/// `frequencies` are the per-value occurrence counts; returns the values at
+/// the requested percentiles (nearest-rank on the ascending sort).
+pub fn percentiles(frequencies: &[usize], points: &[f64]) -> Vec<usize> {
+    if frequencies.is_empty() {
+        return vec![0; points.len()];
+    }
+    let mut sorted = frequencies.to_vec();
+    sorted.sort_unstable();
+    points
+        .iter()
+        .map(|&p| {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+            sorted[rank.min(sorted.len()) - 1]
+        })
+        .collect()
+}
+
+/// The percentile points Table 1 reports.
+pub const TABLE1_POINTS: [f64; 5] = [10.0, 25.0, 50.0, 95.0, 99.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[60], "{} vs {}", counts[10], counts[60]);
+        // all mass within support
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn zipf_deterministic() {
+        let z = Zipf::new(50, 1.0);
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        let xs: Vec<usize> = (0..100).map(|_| z.sample(&mut a)).collect();
+        let ys: Vec<usize> = (0..100).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let freqs = vec![1, 1, 2, 2, 4, 10, 39, 107, 200];
+        // nearest-rank: p50 over 9 values → ceil(4.5) = 5th smallest = 4
+        let p = percentiles(&freqs, &[10.0, 50.0, 99.0]);
+        assert_eq!(p, vec![1, 4, 200]);
+    }
+
+    #[test]
+    fn percentile_single_value() {
+        assert_eq!(percentiles(&[7], &TABLE1_POINTS), vec![7; 5]);
+        assert_eq!(percentiles(&[], &TABLE1_POINTS), vec![0; 5]);
+    }
+
+    #[test]
+    fn percentiles_monotone() {
+        let freqs: Vec<usize> = (1..500).collect();
+        let p = percentiles(&freqs, &TABLE1_POINTS);
+        for w in p.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

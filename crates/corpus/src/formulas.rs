@@ -1,0 +1,186 @@
+//! The formula pool.
+//!
+//! The paper extracts 413 distinct formulas from the annotations, with a
+//! heavy Zipf tail (Table 1: half of them appear once, the top 5 % at least
+//! eight times). We generate a pool of the same character: a head of the
+//! domain's workhorse checks (lookups, year-over-year growth, CAGR, ratios,
+//! shares, differences) followed by a parametric tail of threshold and
+//! rounding variants — distinct constants make distinct formulas, exactly
+//! how the real tail arises.
+
+use crate::CorpusConfig;
+use scrutinizer_data::hash::FxHashSet;
+use scrutinizer_formula::{parse_formula, Formula};
+
+/// Semantic family of a formula — decides how claims over it are phrased
+/// and which parameter style they quote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Plain lookup: "reached 22 200 TWh".
+    Level,
+    /// Year-over-year growth: "grew by 3%".
+    Growth,
+    /// Compound annual growth: "grew by 3% per year on average".
+    Cagr,
+    /// Multiple between two years: "increased nine-fold".
+    Ratio,
+    /// Absolute difference: "added 52 GW".
+    Diff,
+    /// Share of an aggregate: "accounted for 23% of the total".
+    Share,
+    /// Boolean threshold — the general-claim family: "expanded aggressively".
+    Threshold,
+    /// Sum/average across years: "averaged 1 200 TWh".
+    Aggregate,
+}
+
+impl Family {
+    /// Factor turning the formula's value into the number quoted in text
+    /// (growth fractions are quoted as percentages).
+    pub fn display_scale(self) -> f64 {
+        match self {
+            Family::Growth | Family::Cagr | Family::Share => 100.0,
+            _ => 1.0,
+        }
+    }
+
+    /// Whether claims of this family are explicit (quote a parameter) —
+    /// thresholds are the general claims of Definition 1.
+    pub fn is_explicit(self) -> bool {
+        !matches!(self, Family::Threshold)
+    }
+}
+
+/// One formula in the pool.
+#[derive(Debug, Clone)]
+pub struct FormulaSpec {
+    /// Canonical formula text (also the classifier class label).
+    pub text: String,
+    /// Parsed formula.
+    pub formula: Formula,
+    /// Semantic family.
+    pub family: Family,
+}
+
+impl FormulaSpec {
+    fn new(text: &str, family: Family) -> Self {
+        let formula = parse_formula(text)
+            .unwrap_or_else(|e| panic!("pool formula `{text}` must parse: {e}"));
+        FormulaSpec { text: text.to_string(), formula, family }
+    }
+}
+
+/// The head of the pool: the workhorse checks, in Zipf-rank order (most
+/// frequent first, matching how often each family shows up in energy
+/// reports).
+fn head() -> Vec<FormulaSpec> {
+    vec![
+        FormulaSpec::new("a", Family::Level),
+        FormulaSpec::new("a / b - 1", Family::Growth),
+        FormulaSpec::new("POWER(a / b, 1 / (A1 - A2)) - 1", Family::Cagr),
+        FormulaSpec::new("a / b", Family::Ratio),
+        FormulaSpec::new("(a - b) / b", Family::Growth),
+        FormulaSpec::new("a - b", Family::Diff),
+        FormulaSpec::new("a / b > 1", Family::Threshold),
+        FormulaSpec::new("SHARE(a, b)", Family::Share),
+        FormulaSpec::new("SUM(a, b)", Family::Aggregate),
+        FormulaSpec::new("AVG(a, b)", Family::Aggregate),
+        FormulaSpec::new("ABS(a - b)", Family::Diff),
+        FormulaSpec::new("CAGR(a, b, A1 - A2)", Family::Cagr),
+        FormulaSpec::new("PCT_CHANGE(a, b)", Family::Growth),
+        FormulaSpec::new("RATIO(a, b)", Family::Ratio),
+        FormulaSpec::new("ROUND(a, 0)", Family::Level),
+        FormulaSpec::new("SUM(a, b, c)", Family::Aggregate),
+        FormulaSpec::new("AVG(a, b, c)", Family::Aggregate),
+        FormulaSpec::new("a - b > 0", Family::Threshold),
+        FormulaSpec::new("MAX(a, b)", Family::Aggregate),
+        FormulaSpec::new("MIN(a, b)", Family::Aggregate),
+    ]
+}
+
+/// Generates the full pool of `config.n_formulas` distinct formulas.
+pub fn generate_pool(config: &CorpusConfig) -> Vec<FormulaSpec> {
+    let mut pool = head();
+    pool.truncate(config.n_formulas);
+    let mut seen: FxHashSet<String> = pool.iter().map(|s| s.text.clone()).collect();
+
+    // parametric tail: threshold/rounding/scaling variants with distinct
+    // constants, interleaved across families
+    let mut k = 0usize;
+    while pool.len() < config.n_formulas {
+        let candidates = [
+            (format!("a > {}", 10 * (k + 1)), Family::Threshold),
+            (format!("a / b > {}", 1.0 + 0.05 * (k + 1) as f64), Family::Threshold),
+            (format!("a - b > {}", 5 * (k + 1)), Family::Threshold),
+            (format!("ROUND((a / b - 1) * 100, {})", k % 4), Family::Growth),
+            (format!("ROUND(a / b, {})", k % 6), Family::Ratio),
+            (format!("a / {}", k + 2), Family::Level),
+            (format!("(a - b) / {}", k + 2), Family::Diff),
+            (format!("SHARE(a, b) > {}", 0.05 * (k + 1) as f64), Family::Threshold),
+            (format!("ROUND(POWER(a / b, 1 / (A1 - A2)) - 1, {})", 2 + k % 4), Family::Cagr),
+            (format!("ABS(a - b) > {}", 3 * (k + 1)), Family::Threshold),
+        ];
+        for (text, family) in candidates {
+            if pool.len() >= config.n_formulas {
+                break;
+            }
+            if seen.insert(text.clone()) {
+                pool.push(FormulaSpec::new(&text, family));
+            }
+        }
+        k += 1;
+        assert!(k < 10_000, "formula pool generation did not converge");
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_has_requested_size_and_distinct_texts() {
+        let mut config = CorpusConfig::small();
+        config.n_formulas = 413;
+        let pool = generate_pool(&config);
+        assert_eq!(pool.len(), 413);
+        let mut texts: Vec<&str> = pool.iter().map(|s| s.text.as_str()).collect();
+        texts.sort_unstable();
+        texts.dedup();
+        assert_eq!(texts.len(), 413, "all formulas distinct");
+    }
+
+    #[test]
+    fn all_formulas_parse_and_have_sane_var_counts() {
+        let mut config = CorpusConfig::small();
+        config.n_formulas = 413;
+        for spec in generate_pool(&config) {
+            let n = spec.formula.value_var_count();
+            assert!(n >= 1 && n <= 3, "{} has {} vars", spec.text, n);
+        }
+    }
+
+    #[test]
+    fn head_order_is_stable() {
+        let config = CorpusConfig::small();
+        let pool = generate_pool(&config);
+        assert_eq!(pool[0].text, "a");
+        assert_eq!(pool[1].text, "a / b - 1");
+        assert_eq!(pool[2].text, "POWER(a / b, 1 / (A1 - A2)) - 1");
+    }
+
+    #[test]
+    fn display_scale_and_explicitness() {
+        assert_eq!(Family::Growth.display_scale(), 100.0);
+        assert_eq!(Family::Ratio.display_scale(), 1.0);
+        assert!(!Family::Threshold.is_explicit());
+        assert!(Family::Level.is_explicit());
+    }
+
+    #[test]
+    fn small_pool_truncates_head() {
+        let mut config = CorpusConfig::small();
+        config.n_formulas = 5;
+        assert_eq!(generate_pool(&config).len(), 5);
+    }
+}

@@ -1,0 +1,135 @@
+//! # scrutinizer-corpus
+//!
+//! Synthetic IEA-style corpus generator (the data substitution of DESIGN.md §3).
+//!
+//! The paper evaluates on the IEA 2018 World Energy Outlook: a 661-page
+//! document with 7901 sentences and 1539 manually checked statistical claims
+//! over a corpus of energy statistics tables; the annotations identify 1791
+//! relations, 830 key values, 87 attribute labels and 413 formulas with the
+//! long-tailed frequency profile of Table 1. That data is proprietary, so
+//! this crate synthesizes a corpus with the same published marginals:
+//!
+//! * [`tables`] — a catalog of region × topic statistics tables with smooth
+//!   time series (years 2000–2040 plus aggregate columns),
+//! * [`formulas`] — a pool of distinct check formulas built from the families
+//!   the paper names (lookups, growth rates, CAGR, ratios, shares,
+//!   comparisons), Zipf-weighted,
+//! * [`claims`] — claims generated from real table values, rendered as text
+//!   with paraphrase variation (multiple authors, §1.1), roughly half
+//!   explicit, with configurable injected-error rate (40 % in first drafts),
+//! * [`document`] — a sectioned report embedding the claims among filler
+//!   sentences, with per-section read costs (Definition 8's `r(s)`),
+//! * [`annotations`] — past-check records in the three styles of §4.2
+//!   (clean SQL, Boolean-query, incomplete),
+//! * [`distributions`] — seeded Zipf sampling and the percentile profile of
+//!   Table 1.
+//!
+//! Everything is deterministic given [`CorpusConfig::seed`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotations;
+pub mod claims;
+pub mod distributions;
+pub mod document;
+pub mod formulas;
+pub mod tables;
+
+pub use claims::{ClaimKind, ClaimRecord};
+pub use document::Document;
+pub use formulas::FormulaSpec;
+
+use scrutinizer_data::Catalog;
+
+/// Scale and behaviour of the generated corpus.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// Number of statistical claims to generate.
+    pub n_claims: usize,
+    /// Number of sentences in the document (claims + filler).
+    pub n_sentences: usize,
+    /// Number of relations (tables) in the catalog.
+    pub n_relations: usize,
+    /// Size of the primary-key pool.
+    pub n_keys: usize,
+    /// Size of the attribute pool.
+    pub n_attributes: usize,
+    /// Number of distinct formulas in the pool.
+    pub n_formulas: usize,
+    /// Number of document sections.
+    pub n_sections: usize,
+    /// Fraction of claims with an injected error (the paper: up to 40 % of a
+    /// first draft changes).
+    pub error_rate: f64,
+    /// Fraction of explicit claims (the paper: about half).
+    pub explicit_fraction: f64,
+    /// Zipf exponent shaping all frequency long tails (Table 1).
+    pub zipf_exponent: f64,
+}
+
+impl CorpusConfig {
+    /// Full paper scale: the 2018 WEO marginals.
+    pub fn paper_scale() -> Self {
+        CorpusConfig {
+            seed: 2018,
+            n_claims: 1539,
+            n_sentences: 7901,
+            n_relations: 1791,
+            n_keys: 830,
+            n_attributes: 87,
+            n_formulas: 413,
+            n_sections: 26,
+            error_rate: 0.40,
+            explicit_fraction: 0.5,
+            zipf_exponent: 1.05,
+        }
+    }
+
+    /// A small corpus for unit tests and examples (fast to generate and
+    /// train on).
+    pub fn small() -> Self {
+        CorpusConfig {
+            seed: 7,
+            n_claims: 80,
+            n_sentences: 400,
+            n_relations: 24,
+            n_keys: 40,
+            n_attributes: 45, // all 41 years + Total + a few aggregates
+            n_formulas: 16,
+            n_sections: 6,
+            error_rate: 0.25,
+            explicit_fraction: 0.5,
+            zipf_exponent: 1.05,
+        }
+    }
+}
+
+/// A fully generated corpus: the verification task's complete input plus
+/// ground truth for simulation and evaluation.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Generation parameters.
+    pub config: CorpusConfig,
+    /// The relational corpus `D`.
+    pub catalog: Catalog,
+    /// The formula pool with Zipf weights.
+    pub formulas: Vec<FormulaSpec>,
+    /// All claims with ground truth.
+    pub claims: Vec<ClaimRecord>,
+    /// The sectioned document embedding the claims.
+    pub document: Document,
+}
+
+impl Corpus {
+    /// Generates a corpus from a configuration.
+    pub fn generate(config: CorpusConfig) -> Self {
+        let catalog = tables::generate_catalog(&config);
+        let formulas = formulas::generate_pool(&config);
+        let claims = claims::generate_claims(&config, &catalog, &formulas);
+        let document = document::build_document(&config, &claims);
+        Corpus { config, catalog, formulas, claims, document }
+    }
+}

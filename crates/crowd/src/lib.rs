@@ -1,0 +1,35 @@
+//! # scrutinizer-crowd
+//!
+//! The crowd of domain experts and the verification cost model (§5.1, §6).
+//!
+//! The paper's planner reasons about four per-action costs:
+//!
+//! * `v_p` — verifying one answer option about a query *property*,
+//! * `v_f` — verifying one *full query* on the final screen,
+//! * `s_p` — suggesting a property answer when no option fits,
+//! * `s_f` — suggesting a full query from scratch (= manual verification),
+//!
+//! with `v_p ≪ v_f` and `s_p ≪ s_f`. [`cost::CostModel`] encodes these and
+//! the derived quantities: Theorem 1's overhead bound, Corollary 1's screen
+//! and option budgets, Theorem 2's expected verification cost of an ordered
+//! option list.
+//!
+//! [`worker::Worker`] is a simulated domain expert calibrated against the
+//! user study (§6.1): it reads options top to bottom, errs with configurable
+//! probability, skips claims occasionally, and takes manual-verification time
+//! that grows with claim complexity (Figure 6). [`panel::Panel`] aggregates
+//! a team of three checkers with majority voting — the configuration the IEA
+//! actually uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod cost;
+pub mod panel;
+pub mod worker;
+
+pub use calendar::WorkCalendar;
+pub use cost::CostModel;
+pub use panel::Panel;
+pub use worker::{Worker, WorkerConfig};

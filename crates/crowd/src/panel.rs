@@ -1,0 +1,108 @@
+//! Teams of checkers with majority voting.
+
+use crate::worker::{Worker, WorkerConfig};
+
+/// A team of fact checkers (IEA uses three per claim; every claim in the
+/// corpus was checked by three experts).
+#[derive(Debug, Clone)]
+pub struct Panel {
+    workers: Vec<Worker>,
+}
+
+impl Panel {
+    /// Creates a panel of `n` workers with per-worker seeds derived from
+    /// `base_seed` (so panels are deterministic but workers independent).
+    pub fn new(n: usize, base: WorkerConfig, base_seed: u64) -> Self {
+        let workers = (0..n)
+            .map(|i| {
+                let config = WorkerConfig {
+                    seed: base_seed.wrapping_mul(31).wrapping_add(i as u64 * 1009 + 1),
+                    ..base
+                };
+                Worker::new(format!("S{}", i + 1), config)
+            })
+            .collect();
+        Panel { workers }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when the panel has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Mutable access to the workers.
+    pub fn workers_mut(&mut self) -> &mut [Worker] {
+        &mut self.workers
+    }
+
+    /// Immutable access to the workers.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Majority vote over boolean verdicts; ties resolve to `true` only if
+    /// strictly more than half voted `true`.
+    pub fn majority(votes: &[bool]) -> bool {
+        let yes = votes.iter().filter(|&&v| v).count();
+        yes * 2 > votes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_has_distinct_deterministic_workers() {
+        let p1 = Panel::new(3, WorkerConfig::default(), 99);
+        let p2 = Panel::new(3, WorkerConfig::default(), 99);
+        assert_eq!(p1.len(), 3);
+        assert_eq!(p1.workers()[0].name, "S1");
+        // same seeds → same behaviour
+        let mut a = p1.clone();
+        let mut b = p2.clone();
+        let oa = a.workers_mut()[1].manual_verify(5);
+        let ob = b.workers_mut()[1].manual_verify(5);
+        assert_eq!(oa, ob);
+        // different workers behave differently (independent streams)
+        let mut c = p1.clone();
+        let t1 = c.workers_mut()[0].manual_verify(5).1;
+        let t2 = c.workers_mut()[2].manual_verify(5).1;
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn majority_voting() {
+        assert!(Panel::majority(&[true, true, false]));
+        assert!(!Panel::majority(&[true, false, false]));
+        assert!(!Panel::majority(&[true, false]), "tie is not a majority");
+        assert!(!Panel::majority(&[]));
+        assert!(Panel::majority(&[true]));
+    }
+
+    #[test]
+    fn majority_of_accurate_workers_fixes_individual_errors() {
+        // the user study: single checkers mislabel a few claims, but majority
+        // voting over three restores 100% accuracy with high probability
+        let mut panel = Panel::new(3, WorkerConfig { accuracy: 0.9, ..Default::default() }, 7);
+        let mut correct = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let votes: Vec<bool> = panel
+                .workers_mut()
+                .iter_mut()
+                .map(|w| w.judge_result(true, &crate::cost::CostModel::default()).0)
+                .collect();
+            if Panel::majority(&votes) {
+                correct += 1;
+            }
+        }
+        // P(majority wrong) ≈ 3·0.1²·0.9 + 0.1³ ≈ 2.8% → expect ≥ 90% here
+        assert!(correct as f64 / trials as f64 > 0.9, "majority accuracy {correct}/{trials}");
+    }
+}

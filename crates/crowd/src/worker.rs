@@ -1,0 +1,233 @@
+//! Simulated domain experts.
+
+use crate::cost::CostModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Behavioral parameters of a simulated checker.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerConfig {
+    /// Probability that a judgment (option verification or suggestion) is
+    /// correct. The user study saw only occasional errors — default 0.95.
+    pub accuracy: f64,
+    /// Probability of skipping a claim outright (both user-study groups
+    /// skipped one or two claims in 20 minutes).
+    pub skip_probability: f64,
+    /// Multiplies all times: individual checkers differ in speed (the study
+    /// registered per-checker times).
+    pub speed_factor: f64,
+    /// Seconds of manual verification time per unit of claim complexity;
+    /// Figure 6's Manual curve is roughly linear in complexity.
+    pub manual_seconds_per_element: f64,
+    /// RNG seed; workers are deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            accuracy: 0.95,
+            skip_probability: 0.04,
+            speed_factor: 1.0,
+            manual_seconds_per_element: 18.0,
+            seed: 1,
+        }
+    }
+}
+
+/// The outcome of presenting a list of answer options to a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreenOutcome {
+    /// Index of the chosen option, or `None` when the worker suggested an
+    /// answer instead.
+    pub chosen: Option<usize>,
+    /// The answer the worker settled on (may be a suggestion, may be wrong).
+    pub answer: String,
+    /// Seconds spent on the screen.
+    pub seconds: f64,
+}
+
+/// A simulated fact checker.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    /// Display identifier (`S1`, `M2`, …).
+    pub name: String,
+    config: WorkerConfig,
+    rng: SmallRng,
+}
+
+impl Worker {
+    /// Creates a worker.
+    pub fn new(name: impl Into<String>, config: WorkerConfig) -> Self {
+        Worker { name: name.into(), config, rng: SmallRng::seed_from_u64(config.seed) }
+    }
+
+    /// Mild multiplicative time jitter in [0.8, 1.2] × speed factor.
+    fn jitter(&mut self) -> f64 {
+        self.config.speed_factor * self.rng.gen_range(0.8..1.2)
+    }
+
+    /// Whether the worker skips the claim entirely.
+    pub fn skips(&mut self) -> bool {
+        self.rng.gen_bool(self.config.skip_probability)
+    }
+
+    /// Whether this judgment comes out correct.
+    fn judges_correctly(&mut self) -> bool {
+        self.rng.gen_bool(self.config.accuracy)
+    }
+
+    /// Works through an option screen: reads options top to bottom at
+    /// `per_option` seconds each, accepts the true answer when reached (with
+    /// accuracy-dependent mistakes), otherwise suggests at `suggest` cost.
+    ///
+    /// `truth` is the ground-truth answer; `options` are what the screen
+    /// shows. This is shared by property screens (`v_p`/`s_p`) and the final
+    /// query screen (`v_f`/`s_f`).
+    pub fn answer_screen(
+        &mut self,
+        options: &[String],
+        truth: &str,
+        per_option: f64,
+        suggest: f64,
+    ) -> ScreenOutcome {
+        let mut seconds = 0.0;
+        for (i, option) in options.iter().enumerate() {
+            seconds += per_option * self.jitter();
+            if option == truth {
+                if self.judges_correctly() {
+                    return ScreenOutcome { chosen: Some(i), answer: option.clone(), seconds };
+                }
+                // missed the correct option; keeps reading
+            } else if !self.judges_correctly() && self.rng.gen_bool(0.25) {
+                // rarely accepts a wrong option outright
+                return ScreenOutcome { chosen: Some(i), answer: option.clone(), seconds };
+            }
+        }
+        // nothing accepted: suggest an answer
+        seconds += suggest * self.jitter();
+        let answer = if self.judges_correctly() {
+            truth.to_string()
+        } else {
+            format!("{truth}__typo")
+        };
+        ScreenOutcome { chosen: None, answer, seconds }
+    }
+
+    /// Fully manual verification time of a claim with the given complexity
+    /// (the Manual baseline of §6.1 / Figure 6). `correct` is whether the
+    /// worker's verdict matches ground truth.
+    pub fn manual_verify(&mut self, complexity: usize) -> (bool, f64) {
+        let seconds =
+            self.config.manual_seconds_per_element * complexity as f64 * self.jitter();
+        (self.judges_correctly(), seconds)
+    }
+
+    /// Judges whether a displayed query result verifies the claim (the last
+    /// step of Figure 3 — e.g. deciding that 0.012 matches "scarcely").
+    /// `plausible` is the ground truth of that judgment.
+    pub fn judge_result(&mut self, plausible: bool, cost_model: &CostModel) -> (bool, f64) {
+        let seconds = cost_model.vf * self.jitter();
+        let verdict = if self.judges_correctly() { plausible } else { !plausible };
+        (verdict, seconds)
+    }
+
+    /// Worker accuracy (exposed for panel-level analytics).
+    pub fn accuracy(&self) -> f64 {
+        self.config.accuracy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn options(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn reliable(seed: u64) -> Worker {
+        Worker::new(
+            "W",
+            WorkerConfig { accuracy: 1.0, skip_probability: 0.0, seed, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn perfect_worker_picks_truth() {
+        let mut w = reliable(3);
+        let out = w.answer_screen(&options(&["GED", "TFC", "CO2"]), "TFC", 4.0, 12.0);
+        assert_eq!(out.chosen, Some(1));
+        assert_eq!(out.answer, "TFC");
+        // read exactly 2 options with jitter ∈ [0.8, 1.2]
+        assert!(out.seconds >= 2.0 * 4.0 * 0.8 && out.seconds <= 2.0 * 4.0 * 1.2);
+    }
+
+    #[test]
+    fn missing_truth_forces_suggestion() {
+        let mut w = reliable(3);
+        let out = w.answer_screen(&options(&["GED", "CO2"]), "TFC", 4.0, 12.0);
+        assert_eq!(out.chosen, None);
+        assert_eq!(out.answer, "TFC");
+        assert!(out.seconds > 12.0 * 0.8, "suggestion cost incurred");
+    }
+
+    #[test]
+    fn earlier_options_cost_less() {
+        let mut w1 = reliable(5);
+        let first = w1.answer_screen(&options(&["X", "Y", "Z"]), "X", 4.0, 12.0);
+        let mut w2 = reliable(5);
+        let last = w2.answer_screen(&options(&["X", "Y", "Z"]), "Z", 4.0, 12.0);
+        assert!(first.seconds < last.seconds);
+    }
+
+    #[test]
+    fn manual_time_grows_with_complexity() {
+        let mut w = reliable(7);
+        let (_, t_small) = w.manual_verify(4);
+        let mut w = reliable(7);
+        let (_, t_large) = w.manual_verify(11);
+        assert!(t_large > t_small);
+        // calibration sanity: complexity 8 ≈ 144s ± jitter → 115-173s
+        let mut w = reliable(9);
+        let (ok, t) = w.manual_verify(8);
+        assert!(ok);
+        assert!((115.0..=175.0).contains(&t), "manual time {t}");
+    }
+
+    #[test]
+    fn unreliable_worker_errs_sometimes() {
+        let mut w = Worker::new(
+            "U",
+            WorkerConfig { accuracy: 0.5, skip_probability: 0.0, seed: 11, ..Default::default() },
+        );
+        let mut wrong = 0;
+        for _ in 0..200 {
+            let (verdict, _) = w.judge_result(true, &CostModel::default());
+            if !verdict {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 50 && wrong < 150, "≈50% error expected, saw {wrong}/200");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = Worker::new("A", WorkerConfig { seed: 42, ..Default::default() });
+        let mut b = Worker::new("B", WorkerConfig { seed: 42, ..Default::default() });
+        let oa = a.answer_screen(&options(&["X", "Y"]), "Y", 4.0, 12.0);
+        let ob = b.answer_screen(&options(&["X", "Y"]), "Y", 4.0, 12.0);
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn skipping_respects_probability() {
+        let mut w = Worker::new(
+            "S",
+            WorkerConfig { skip_probability: 1.0, seed: 1, ..Default::default() },
+        );
+        assert!(w.skips());
+        let mut never = reliable(1);
+        assert!(!never.skips());
+    }
+}

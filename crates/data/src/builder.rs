@@ -1,0 +1,76 @@
+//! Fluent construction of tables, used by tests, examples and the corpus.
+
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+
+/// Builds a [`Table`] row by row with the IEA shape (string key + float
+/// attributes), validating as it goes.
+#[derive(Debug)]
+pub struct TableBuilder {
+    table: Table,
+}
+
+impl TableBuilder {
+    /// Starts a table named `name` with key column `key_name` and the given
+    /// attribute columns.
+    pub fn new(name: &str, key_name: &str, attributes: &[&str]) -> Self {
+        TableBuilder { table: Table::new(name, Schema::keyed(key_name, attributes)) }
+    }
+
+    /// Appends a row: key plus numeric attribute values in column order.
+    pub fn row(mut self, key: &str, values: &[f64]) -> Result<Self> {
+        let mut cells: Vec<Value> = Vec::with_capacity(values.len() + 1);
+        cells.push(Value::Str(key.to_string()));
+        cells.extend(values.iter().map(|v| Value::Float(*v)));
+        self.table.push_row(cells)?;
+        Ok(self)
+    }
+
+    /// Appends a row with possibly missing values.
+    pub fn row_opt(mut self, key: &str, values: &[Option<f64>]) -> Result<Self> {
+        let mut cells: Vec<Value> = Vec::with_capacity(values.len() + 1);
+        cells.push(Value::Str(key.to_string()));
+        cells.extend(values.iter().map(|v| v.map_or(Value::Null, Value::Float)));
+        self.table.push_row(cells)?;
+        Ok(self)
+    }
+
+    /// Finishes and returns the table.
+    pub fn build(self) -> Table {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_table() {
+        let table = TableBuilder::new("GED", "Index", &["2016", "2017"])
+            .row("PGElecDemand", &[21_566.0, 22_209.0])
+            .unwrap()
+            .row("TFCelec", &[21_465.0, 22_040.0])
+            .unwrap()
+            .build();
+        assert_eq!(table.row_count(), 2);
+        assert_eq!(table.get("TFCelec", "2017").unwrap().as_f64(), Some(22_040.0));
+    }
+
+    #[test]
+    fn optional_values_become_null() {
+        let table = TableBuilder::new("T", "Index", &["a", "b"])
+            .row_opt("k", &[Some(1.0), None])
+            .unwrap()
+            .build();
+        assert!(table.get("k", "b").unwrap().is_null());
+    }
+
+    #[test]
+    fn wrong_arity_propagates() {
+        let result = TableBuilder::new("T", "Index", &["a"]).row("k", &[1.0, 2.0]);
+        assert!(result.is_err());
+    }
+}

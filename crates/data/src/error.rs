@@ -1,0 +1,100 @@
+//! Error types for the storage layer.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A table with this name already exists in the catalog.
+    DuplicateTable(String),
+    /// No table with this name exists in the catalog.
+    UnknownTable(String),
+    /// No column with this name exists in the schema.
+    UnknownColumn {
+        /// Table the lookup was attempted on.
+        table: String,
+        /// The missing column name.
+        column: String,
+    },
+    /// A row had a different arity than the schema.
+    ArityMismatch {
+        /// Number of columns declared by the schema.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// A value did not match the declared column type.
+    TypeMismatch {
+        /// Column the value was destined for.
+        column: String,
+        /// Human-readable description of the expected type.
+        expected: &'static str,
+        /// Human-readable rendering of the offending value.
+        actual: String,
+    },
+    /// Two rows shared the same primary key.
+    DuplicateKey(String),
+    /// No row with this primary-key value exists.
+    UnknownKey(String),
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure (message only, to keep the error `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
+            DataError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            DataError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            DataError::ArityMismatch { expected, actual } => {
+                write!(f, "row has {actual} values but schema has {expected} columns")
+            }
+            DataError::TypeMismatch { column, expected, actual } => {
+                write!(f, "column `{column}` expects {expected}, got {actual}")
+            }
+            DataError::DuplicateKey(key) => write!(f, "duplicate primary key `{key}`"),
+            DataError::UnknownKey(key) => write!(f, "no row with primary key `{key}`"),
+            DataError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            DataError::Io(message) => write!(f, "I/O error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(err: std::io::Error) -> Self {
+        DataError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = DataError::UnknownColumn { table: "GED".into(), column: "2099".into() };
+        assert_eq!(err.to_string(), "unknown column `2099` in table `GED`");
+        let err = DataError::ArityMismatch { expected: 3, actual: 2 };
+        assert!(err.to_string().contains("2 values"));
+        assert!(err.to_string().contains("3 columns"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing.csv");
+        let err: DataError = io.into();
+        assert!(matches!(err, DataError::Io(_)));
+        assert!(err.to_string().contains("missing.csv"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Table schemas: typed, named columns with a designated primary key.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Integer column.
+    Int,
+    /// Floating-point column (integers are accepted and widened).
+    Float,
+    /// String column (primary keys, labels).
+    Str,
+}
+
+impl DataType {
+    /// Whether `value` is admissible in a column of this type.
+    /// `Null` is admissible everywhere except it can never be a key.
+    pub fn admits(self, value: &Value) -> bool {
+        match (self, value) {
+            (_, Value::Null) => true,
+            (DataType::Int, Value::Int(_)) => true,
+            (DataType::Float, Value::Int(_) | Value::Float(_)) => true,
+            (DataType::Str, Value::Str(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name; for the IEA tables these are key names (`Index`) or
+    /// year/aggregate labels (`2017`, `Total`).
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column { name: name.into(), dtype }
+    }
+}
+
+/// An ordered list of columns plus the index of the primary-key column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+    key: usize,
+}
+
+impl Schema {
+    /// Builds a schema. `key` is the position of the primary-key column.
+    ///
+    /// # Panics
+    /// Panics if `key` is out of range or column names are not unique —
+    /// schemas are constructed by the library author, so this is a
+    /// programming error rather than a runtime condition.
+    pub fn new(columns: Vec<Column>, key: usize) -> Self {
+        assert!(key < columns.len(), "key column index out of range");
+        let mut names: Vec<&str> = columns.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), columns.len(), "duplicate column names");
+        Schema { columns, key }
+    }
+
+    /// Convenience constructor for the common IEA shape: one string key
+    /// column followed by float attribute columns.
+    pub fn keyed(key_name: &str, attributes: &[&str]) -> Self {
+        let mut columns = Vec::with_capacity(attributes.len() + 1);
+        columns.push(Column::new(key_name, DataType::Str));
+        columns.extend(attributes.iter().map(|a| Column::new(*a, DataType::Float)));
+        Schema::new(columns, 0)
+    }
+
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the primary-key column.
+    pub fn key_index(&self) -> usize {
+        self.key
+    }
+
+    /// Name of the primary-key column.
+    pub fn key_name(&self) -> &str {
+        &self.columns[self.key].name
+    }
+
+    /// Position of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Names of all non-key (attribute) columns.
+    pub fn attribute_names(&self) -> impl Iterator<Item = &str> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| *i != self.key)
+            .map(|(_, c)| c.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyed_builds_iea_shape() {
+        let schema = Schema::keyed("Index", &["2016", "2017", "2030"]);
+        assert_eq!(schema.arity(), 4);
+        assert_eq!(schema.key_name(), "Index");
+        assert_eq!(schema.column_index("2017"), Some(2));
+        assert_eq!(schema.column_index("2099"), None);
+        let attrs: Vec<&str> = schema.attribute_names().collect();
+        assert_eq!(attrs, vec!["2016", "2017", "2030"]);
+    }
+
+    #[test]
+    fn type_admission() {
+        assert!(DataType::Float.admits(&Value::Int(3)));
+        assert!(DataType::Float.admits(&Value::Float(3.5)));
+        assert!(!DataType::Int.admits(&Value::Float(3.5)));
+        assert!(!DataType::Str.admits(&Value::Int(3)));
+        assert!(DataType::Str.admits(&Value::Null));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column names")]
+    fn duplicate_columns_rejected() {
+        Schema::new(
+            vec![Column::new("a", DataType::Str), Column::new("a", DataType::Int)],
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "key column index out of range")]
+    fn key_out_of_range_rejected() {
+        Schema::new(vec![Column::new("a", DataType::Str)], 5);
+    }
+}

@@ -1,0 +1,237 @@
+//! Columnar table storage.
+
+use crate::error::DataError;
+use crate::index::KeyIndex;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Result;
+
+/// An in-memory table stored column-major with a primary-key index.
+///
+/// Column-major layout matches the access pattern of statistical checks:
+/// a check touches one or two rows but reads specific attributes, and the
+/// corpus crate scans whole attribute columns when synthesizing claims.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Vec<Value>>,
+    index: KeyIndex,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = vec![Vec::new(); schema.arity()];
+        Table { name: name.into(), schema, columns, index: KeyIndex::default() }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Appends a row given in schema order.
+    ///
+    /// Validates arity, column types, and primary-key uniqueness/non-nullness.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(DataError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: row.len(),
+            });
+        }
+        for (value, column) in row.iter().zip(self.schema.columns()) {
+            if !column.dtype.admits(value) {
+                return Err(DataError::TypeMismatch {
+                    column: column.name.clone(),
+                    expected: match column.dtype {
+                        crate::schema::DataType::Int => "int",
+                        crate::schema::DataType::Float => "float",
+                        crate::schema::DataType::Str => "string",
+                    },
+                    actual: format!("{} `{}`", value.type_name(), value),
+                });
+            }
+        }
+        let key_value = &row[self.schema.key_index()];
+        let key = key_value.as_str().ok_or_else(|| DataError::TypeMismatch {
+            column: self.schema.key_name().to_string(),
+            expected: "non-null string key",
+            actual: key_value.type_name().to_string(),
+        })?;
+        let position = self.row_count() as u32;
+        if !self.index.insert(key, position) {
+            return Err(DataError::DuplicateKey(key.to_string()));
+        }
+        for (column, value) in self.columns.iter_mut().zip(row) {
+            column.push(value);
+        }
+        Ok(())
+    }
+
+    /// Point lookup: value at (`key`, `attribute`).
+    ///
+    /// This is the `GetValue(r, k, a)` primitive of Algorithm 2.
+    pub fn get(&self, key: &str, attribute: &str) -> Result<&Value> {
+        let row = self
+            .index
+            .get(key)
+            .ok_or_else(|| DataError::UnknownKey(key.to_string()))? as usize;
+        let col = self.schema.column_index(attribute).ok_or_else(|| DataError::UnknownColumn {
+            table: self.name.clone(),
+            column: attribute.to_string(),
+        })?;
+        Ok(&self.columns[col][row])
+    }
+
+    /// Whether the table has a row with this primary key.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.index.contains(key)
+    }
+
+    /// Whether the table has an attribute column with this name.
+    pub fn has_attribute(&self, attribute: &str) -> bool {
+        self.schema.column_index(attribute).is_some_and(|i| i != self.schema.key_index())
+    }
+
+    /// All primary-key values in row order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.columns[self.schema.key_index()].iter().filter_map(Value::as_str)
+    }
+
+    /// Full column by name.
+    pub fn column(&self, name: &str) -> Result<&[Value]> {
+        let col = self.schema.column_index(name).ok_or_else(|| DataError::UnknownColumn {
+            table: self.name.clone(),
+            column: name.to_string(),
+        })?;
+        Ok(&self.columns[col])
+    }
+
+    /// Materializes row `position` in schema order (clones cells).
+    pub fn row(&self, position: usize) -> Option<Vec<Value>> {
+        if position >= self.row_count() {
+            return None;
+        }
+        Some(self.columns.iter().map(|c| c[position].clone()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn ged() -> Table {
+        // The Figure 1 fragment.
+        let mut t = Table::new("GED", Schema::keyed("Index", &["2016", "2017", "2030", "2040"]));
+        t.push_row(vec![
+            "PGElecDemand".into(),
+            Value::Int(21_566),
+            Value::Int(22_209),
+            Value::Int(29_349),
+            Value::Int(35_526),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            "PGINCoal".into(),
+            Value::Int(2_380),
+            Value::Int(2_390),
+            Value::Int(2_341),
+            Value::Int(2_353),
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn point_lookup() {
+        let t = ged();
+        assert_eq!(t.get("PGElecDemand", "2017").unwrap(), &Value::Int(22_209));
+        assert_eq!(t.get("PGINCoal", "2040").unwrap(), &Value::Int(2_353));
+    }
+
+    #[test]
+    fn unknown_key_and_column_error() {
+        let t = ged();
+        assert!(matches!(t.get("Nope", "2017"), Err(DataError::UnknownKey(_))));
+        assert!(matches!(t.get("PGINCoal", "1999"), Err(DataError::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn duplicate_key_rejected_atomically() {
+        let mut t = ged();
+        let before = t.row_count();
+        let err = t
+            .push_row(vec![
+                "PGElecDemand".into(),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, DataError::DuplicateKey(_)));
+        assert_eq!(t.row_count(), before, "failed insert must not grow columns");
+        // all columns stay aligned
+        assert_eq!(t.get("PGElecDemand", "2016").unwrap(), &Value::Int(21_566));
+    }
+
+    #[test]
+    fn arity_and_type_checked() {
+        let mut t = ged();
+        assert!(matches!(
+            t.push_row(vec!["X".into(), Value::Int(1)]),
+            Err(DataError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            t.push_row(vec![
+                Value::Int(7),
+                Value::Int(1),
+                Value::Int(1),
+                Value::Int(1),
+                Value::Int(1)
+            ]),
+            Err(DataError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn null_key_rejected() {
+        let mut t = ged();
+        let err = t
+            .push_row(vec![Value::Null, Value::Int(1), Value::Int(1), Value::Int(1), Value::Int(1)])
+            .unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn keys_and_columns() {
+        let t = ged();
+        let keys: Vec<&str> = t.keys().collect();
+        assert_eq!(keys, vec!["PGElecDemand", "PGINCoal"]);
+        assert_eq!(t.column("2017").unwrap().len(), 2);
+        assert!(t.has_attribute("2030"));
+        assert!(!t.has_attribute("Index"), "key column is not an attribute");
+    }
+
+    #[test]
+    fn row_materialization() {
+        let t = ged();
+        let row = t.row(1).unwrap();
+        assert_eq!(row[0], Value::Str("PGINCoal".into()));
+        assert_eq!(row.len(), 5);
+        assert!(t.row(2).is_none());
+    }
+}

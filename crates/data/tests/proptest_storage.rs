@@ -1,0 +1,61 @@
+//! Property tests for the storage layer: CSV round trips and index
+//! consistency on arbitrary tables.
+
+use proptest::prelude::*;
+use scrutinizer_data::{csv, Table, TableBuilder};
+
+fn table_strategy() -> impl Strategy<Value = Table> {
+    // distinct simple keys, 1-6 attribute columns, small float values
+    (
+        prop::collection::hash_set("[A-Za-z][A-Za-z0-9_]{0,10}", 1..12),
+        1usize..6,
+    )
+        .prop_flat_map(|(keys, n_attrs)| {
+            let keys: Vec<String> = keys.into_iter().collect();
+            let n_rows = keys.len();
+            prop::collection::vec(
+                prop::collection::vec(-1.0e6f64..1.0e6, n_attrs..=n_attrs),
+                n_rows..=n_rows,
+            )
+            .prop_map(move |rows| {
+                let attrs: Vec<String> =
+                    (0..n_attrs).map(|i| format!("{}", 2000 + i)).collect();
+                let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                let mut builder = TableBuilder::new("T", "Index", &attr_refs);
+                for (key, row) in keys.iter().zip(&rows) {
+                    // round to 2 decimals: CSV text is the storage format
+                    let rounded: Vec<f64> =
+                        row.iter().map(|v| (v * 100.0).round() / 100.0).collect();
+                    builder = builder.row(key, &rounded).expect("unique keys");
+                }
+                builder.build()
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_round_trip_preserves_cells(table in table_strategy()) {
+        let mut buffer = Vec::new();
+        csv::write_table(&table, &mut buffer).unwrap();
+        let back = csv::read_table("T", buffer.as_slice()).unwrap();
+        prop_assert_eq!(back.row_count(), table.row_count());
+        for key in table.keys() {
+            for attr in table.schema().attribute_names() {
+                let a = table.get(key, attr).unwrap().as_f64().unwrap();
+                let b = back.get(key, attr).unwrap().as_f64().unwrap();
+                prop_assert!((a - b).abs() < 1e-9, "{}.{}: {} vs {}", key, attr, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn index_finds_every_key_and_nothing_else(table in table_strategy()) {
+        for key in table.keys() {
+            prop_assert!(table.contains_key(key));
+        }
+        prop_assert!(!table.contains_key("definitely-not-a-key-!!"));
+    }
+}

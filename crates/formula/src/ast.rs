@@ -1,0 +1,251 @@
+//! Formula AST.
+
+use crate::error::var_name;
+use scrutinizer_query::{BinOp, UnaryOp};
+use std::fmt;
+
+/// A lookup triple: the concrete data a value variable binds to.
+///
+/// This is `GetValue(r, k, a)` of Algorithm 2 — relation, primary-key value,
+/// attribute label.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lookup {
+    /// Relation (table) name.
+    pub relation: String,
+    /// Primary-key value identifying the row.
+    pub key: String,
+    /// Attribute (column) label identifying the cell.
+    pub attribute: String,
+}
+
+impl Lookup {
+    /// Creates a lookup.
+    pub fn new(
+        relation: impl Into<String>,
+        key: impl Into<String>,
+        attribute: impl Into<String>,
+    ) -> Self {
+        Lookup { relation: relation.into(), key: key.into(), attribute: attribute.into() }
+    }
+}
+
+impl fmt::Display for Lookup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}].{}", self.relation, self.key, self.attribute)
+    }
+}
+
+/// A generic check expression with variables (Example 8).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    /// Numeric constant preserved from the original check.
+    Const(f64),
+    /// Value variable `a, b, c, …` (index 0 = `a`): a data lookup.
+    Var(usize),
+    /// Attribute variable `A1, A2, …`: the numeric attribute label (year)
+    /// bound to value variable `index` (0-based, printed 1-based).
+    AttrVar(usize),
+    /// Unary operator.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Formula>,
+    },
+    /// Binary operator.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Formula>,
+        /// Right operand.
+        right: Box<Formula>,
+    },
+    /// Function call; names upper-cased, resolved in the query registry.
+    Func {
+        /// Upper-cased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Formula>,
+    },
+}
+
+impl Formula {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: BinOp, left: Formula, right: Formula) -> Formula {
+        Formula::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Convenience constructor for function calls.
+    pub fn func(name: impl Into<String>, args: Vec<Formula>) -> Formula {
+        Formula::Func { name: name.into().to_ascii_uppercase(), args }
+    }
+
+    /// Pre-order traversal.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Formula)) {
+        f(self);
+        match self {
+            Formula::Unary { expr, .. } => expr.visit(f),
+            Formula::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Formula::Func { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Formula::Const(_) | Formula::Var(_) | Formula::AttrVar(_) => {}
+        }
+    }
+
+    /// Number of distinct value variables — `GetVars(f)` of Algorithm 2.
+    ///
+    /// Attribute variables do not count: they are determined by the lookups
+    /// bound to the value variables.
+    pub fn value_var_count(&self) -> usize {
+        let mut max: Option<usize> = None;
+        self.visit(&mut |node| {
+            if let Formula::Var(i) | Formula::AttrVar(i) = node {
+                max = Some(max.map_or(*i, |m: usize| m.max(*i)));
+            }
+        });
+        max.map_or(0, |m| m + 1)
+    }
+
+    /// Whether the formula references attribute variable `A(i+1)`.
+    pub fn uses_attr_var(&self, i: usize) -> bool {
+        let mut found = false;
+        self.visit(&mut |node| {
+            if matches!(node, Formula::AttrVar(j) if *j == i) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Number of AST elements (operations + constants + variables), the
+    /// formula's contribution to claim complexity.
+    pub fn element_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Whether the root is a comparison — such formulas embed the claim's
+    /// comparison operator (general claims, Definition 1).
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, Formula::Binary { op, .. } if op.is_comparison())
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_formula(f, self, 0)
+    }
+}
+
+fn write_formula(f: &mut fmt::Formatter<'_>, formula: &Formula, parent_prec: u8) -> fmt::Result {
+    match formula {
+        Formula::Const(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                write!(f, "{}", *n as i64)
+            } else {
+                write!(f, "{n}")
+            }
+        }
+        Formula::Var(i) => write!(f, "{}", var_name(*i)),
+        Formula::AttrVar(i) => write!(f, "A{}", i + 1),
+        Formula::Unary { op: UnaryOp::Neg, expr } => {
+            write!(f, "-")?;
+            write_formula(f, expr, u8::MAX)
+        }
+        Formula::Binary { op, left, right } => {
+            let prec = op.precedence();
+            let needs_parens = prec < parent_prec;
+            if needs_parens {
+                write!(f, "(")?;
+            }
+            write_formula(f, left, prec)?;
+            write!(f, " {} ", op.symbol())?;
+            write_formula(f, right, prec + 1)?;
+            if needs_parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Formula::Func { name, args } => {
+            write!(f, "{name}(")?;
+            for (i, arg) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_formula(f, arg, 0)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// POWER(a/b, 1/(A1-A2)) - 1
+    pub(crate) fn growth() -> Formula {
+        Formula::binary(
+            BinOp::Sub,
+            Formula::func(
+                "POWER",
+                vec![
+                    Formula::binary(BinOp::Div, Formula::Var(0), Formula::Var(1)),
+                    Formula::binary(
+                        BinOp::Div,
+                        Formula::Const(1.0),
+                        Formula::binary(BinOp::Sub, Formula::AttrVar(0), Formula::AttrVar(1)),
+                    ),
+                ],
+            ),
+            Formula::Const(1.0),
+        )
+    }
+
+    #[test]
+    fn var_count_includes_attr_vars() {
+        assert_eq!(growth().value_var_count(), 2);
+        assert_eq!(Formula::Const(5.0).value_var_count(), 0);
+        // AttrVar alone still forces the variable to exist
+        assert_eq!(Formula::AttrVar(2).value_var_count(), 3);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(growth().to_string(), "POWER(a / b, 1 / (A1 - A2)) - 1");
+    }
+
+    #[test]
+    fn uses_attr_var() {
+        assert!(growth().uses_attr_var(0));
+        assert!(growth().uses_attr_var(1));
+        assert!(!growth().uses_attr_var(2));
+    }
+
+    #[test]
+    fn comparison_detection() {
+        let f = Formula::binary(BinOp::Gt, Formula::Var(0), Formula::Const(100.0));
+        assert!(f.is_comparison());
+        assert!(!growth().is_comparison());
+    }
+
+    #[test]
+    fn element_count() {
+        // -, POWER, /, a, b, /, 1, -, A1, A2, 1 → 11 nodes
+        assert_eq!(growth().element_count(), 11);
+    }
+
+    #[test]
+    fn lookup_display() {
+        let l = Lookup::new("GED", "PGElecDemand", "2017");
+        assert_eq!(l.to_string(), "GED[PGElecDemand].2017");
+    }
+}

@@ -1,0 +1,71 @@
+//! Claim complexity (Figure 6 x-axis).
+//!
+//! "The claim complexity is the sum of the elements in the query to verify
+//! it: number of key values, attributes, operations, constants and
+//! variables." We compute it from the generalized form — formula plus
+//! lookups — which is how claims are represented throughout the system.
+
+use crate::ast::{Formula, Lookup};
+
+/// Complexity of a check: formula elements + distinct key values +
+/// distinct attribute labels among the lookups.
+pub fn claim_complexity(formula: &Formula, lookups: &[Lookup]) -> usize {
+    let n = formula.value_var_count().min(lookups.len());
+    let used = &lookups[..n];
+    let mut keys: Vec<&str> = used.iter().map(|l| l.key.as_str()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut attrs: Vec<&str> = used.iter().map(|l| l.attribute.as_str()).collect();
+    attrs.sort_unstable();
+    attrs.dedup();
+    formula_elements(formula) + keys.len() + attrs.len()
+}
+
+/// Operations + constants + variables in the formula (each AST node counts
+/// once, same convention as `SelectStmt::element_count`).
+pub fn formula_elements(formula: &Formula) -> usize {
+    formula.element_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    #[test]
+    fn growth_claim_complexity() {
+        let f = parse_formula("POWER(a/b, 1/(A1-A2)) - 1").unwrap();
+        let lookups = vec![
+            Lookup::new("GED", "PGElecDemand", "2017"),
+            Lookup::new("GED", "PGElecDemand", "2016"),
+        ];
+        // 11 formula elements + 1 distinct key + 2 distinct attributes = 14
+        assert_eq!(claim_complexity(&f, &lookups), 14);
+    }
+
+    #[test]
+    fn simple_lookup_is_cheap() {
+        let f = parse_formula("a").unwrap();
+        let lookups = vec![Lookup::new("GED", "X", "2017")];
+        // 1 element + 1 key + 1 attribute
+        assert_eq!(claim_complexity(&f, &lookups), 3);
+    }
+
+    #[test]
+    fn duplicate_keys_and_attrs_counted_once() {
+        let f = parse_formula("a + b").unwrap();
+        let lookups =
+            vec![Lookup::new("T", "X", "2017"), Lookup::new("U", "X", "2017")];
+        // 3 elements + 1 key + 1 attribute = 5
+        assert_eq!(claim_complexity(&f, &lookups), 5);
+    }
+
+    #[test]
+    fn complexity_monotone_in_formula_size() {
+        let small = parse_formula("a / b").unwrap();
+        let large = parse_formula("ABS(a / b - 1) * 100").unwrap();
+        let lookups =
+            vec![Lookup::new("T", "X", "2017"), Lookup::new("T", "X", "2016")];
+        assert!(claim_complexity(&large, &lookups) > claim_complexity(&small, &lookups));
+    }
+}

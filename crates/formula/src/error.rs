@@ -1,0 +1,100 @@
+//! Error types for the formula subsystem.
+
+use std::fmt;
+
+/// Errors produced while parsing, generalizing, instantiating or evaluating
+/// formulas.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormulaError {
+    /// Malformed formula text.
+    Parse(String),
+    /// Value variables must be contiguous `a, b, c, …` — e.g. a formula using
+    /// `a` and `c` but not `b` is rejected.
+    NonContiguousVars {
+        /// Number of distinct variables found.
+        found: usize,
+        /// Highest variable index referenced (0-based).
+        max_index: usize,
+    },
+    /// An instantiation supplied fewer lookups than the formula has variables.
+    MissingBinding {
+        /// The unbound variable index (0 = `a`).
+        var: usize,
+    },
+    /// An attribute variable's label is not numeric (`A1` bound to `Total`).
+    NonNumericAttribute {
+        /// Variable index whose attribute was required numerically.
+        var: usize,
+        /// The offending label.
+        attribute: String,
+    },
+    /// Error from the query layer during instantiation or evaluation.
+    Query(scrutinizer_query::QueryError),
+}
+
+impl fmt::Display for FormulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormulaError::Parse(msg) => write!(f, "formula parse error: {msg}"),
+            FormulaError::NonContiguousVars { found, max_index } => write!(
+                f,
+                "formula variables must be contiguous: found {found} distinct vars but max index {max_index}"
+            ),
+            FormulaError::MissingBinding { var } => {
+                write!(f, "no lookup bound to variable `{}`", var_name(*var))
+            }
+            FormulaError::NonNumericAttribute { var, attribute } => write!(
+                f,
+                "attribute variable A{} requires a numeric label, got `{attribute}`",
+                var + 1
+            ),
+            FormulaError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormulaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormulaError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scrutinizer_query::QueryError> for FormulaError {
+    fn from(e: scrutinizer_query::QueryError) -> Self {
+        FormulaError::Query(e)
+    }
+}
+
+/// Name of value variable `index`: `a`, `b`, …, `z`, `v26`, `v27`, …
+pub fn var_name(index: usize) -> String {
+    if index < 26 {
+        char::from(b'a' + index as u8).to_string()
+    } else {
+        format!("v{index}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_names() {
+        assert_eq!(var_name(0), "a");
+        assert_eq!(var_name(1), "b");
+        assert_eq!(var_name(25), "z");
+        assert_eq!(var_name(26), "v26");
+    }
+
+    #[test]
+    fn display() {
+        let e = FormulaError::MissingBinding { var: 1 };
+        assert!(e.to_string().contains("`b`"));
+        let e = FormulaError::NonNumericAttribute { var: 0, attribute: "Total".into() };
+        assert!(e.to_string().contains("A1"));
+        assert!(e.to_string().contains("Total"));
+    }
+}

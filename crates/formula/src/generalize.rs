@@ -1,0 +1,183 @@
+//! Generalization: concrete query → formula with variables (§4.2).
+//!
+//! Given a past check as a [`SelectStmt`], replace each column reference by a
+//! value variable (first-appearance order) and each numeric literal equal to
+//! a bound attribute label by the corresponding attribute variable. The
+//! reverse mapping (variables → lookups) is returned alongside, so the pair
+//! `(formula, lookups)` loses no information.
+
+use crate::ast::{Formula, Lookup};
+use crate::error::FormulaError;
+use crate::Result;
+use scrutinizer_query::{Expr, SelectStmt};
+
+/// Result of generalizing a concrete query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Generalized {
+    /// The formula with variables.
+    pub formula: Formula,
+    /// Lookup bound to each value variable, in variable order.
+    pub lookups: Vec<Lookup>,
+}
+
+/// Generalizes a concrete statistical-check query into a formula.
+///
+/// Requirements on the input (all satisfied by queries the system itself
+/// generates, and checked here because past annotations are messy — §4.2
+/// "Ambiguity"): every alias referenced in the projection must have exactly
+/// one key predicate; aliases may repeat across the FROM clause.
+pub fn generalize(stmt: &SelectStmt) -> Result<Generalized> {
+    // map each (alias, column) occurrence to a variable
+    let mut lookups: Vec<Lookup> = Vec::new();
+    let mut var_of: Vec<((String, String), usize)> = Vec::new();
+
+    let mut resolve = |alias: &str, column: &str| -> Result<usize> {
+        let key = (alias.to_string(), column.to_string());
+        if let Some((_, var)) = var_of.iter().find(|(k, _)| *k == key) {
+            return Ok(*var);
+        }
+        let table = stmt
+            .table_of(alias)
+            .ok_or_else(|| FormulaError::Parse(format!("alias `{alias}` not in FROM")))?;
+        let keys = stmt.key_candidates(alias);
+        if keys.len() != 1 {
+            return Err(FormulaError::Parse(format!(
+                "alias `{alias}` must have exactly one key predicate to generalize, found {}",
+                keys.len()
+            )));
+        }
+        let var = lookups.len();
+        lookups.push(Lookup::new(table, keys[0], column));
+        var_of.push((key, var));
+        Ok(var)
+    };
+
+    let formula = walk(&stmt.projection, &mut resolve)?;
+    // second pass: replace numeric constants matching a bound attribute label
+    let formula = substitute_attr_constants(formula, &lookups);
+    Ok(Generalized { formula, lookups })
+}
+
+fn walk(expr: &Expr, resolve: &mut impl FnMut(&str, &str) -> Result<usize>) -> Result<Formula> {
+    Ok(match expr {
+        Expr::Number(n) => Formula::Const(*n),
+        Expr::Column { alias, column } => Formula::Var(resolve(alias, column)?),
+        Expr::Unary { op, expr } => {
+            Formula::Unary { op: *op, expr: Box::new(walk(expr, resolve)?) }
+        }
+        Expr::Binary { op, left, right } => Formula::Binary {
+            op: *op,
+            left: Box::new(walk(left, resolve)?),
+            right: Box::new(walk(right, resolve)?),
+        },
+        Expr::Func { name, args } => {
+            let mut out = Vec::with_capacity(args.len());
+            for a in args {
+                out.push(walk(a, resolve)?);
+            }
+            Formula::Func { name: name.clone(), args: out }
+        }
+    })
+}
+
+/// Replaces `Const(2017)` by `AttrVar(i)` when variable `i` is bound to
+/// attribute `"2017"`. First matching variable wins, which keeps the
+/// substitution deterministic.
+fn substitute_attr_constants(formula: Formula, lookups: &[Lookup]) -> Formula {
+    match formula {
+        Formula::Const(n) => {
+            let printed = if n.fract() == 0.0 { format!("{}", n as i64) } else { n.to_string() };
+            if let Some(i) = lookups.iter().position(|l| l.attribute == printed) {
+                Formula::AttrVar(i)
+            } else {
+                Formula::Const(n)
+            }
+        }
+        Formula::Unary { op, expr } => {
+            Formula::Unary { op, expr: Box::new(substitute_attr_constants(*expr, lookups)) }
+        }
+        Formula::Binary { op, left, right } => Formula::Binary {
+            op,
+            left: Box::new(substitute_attr_constants(*left, lookups)),
+            right: Box::new(substitute_attr_constants(*right, lookups)),
+        },
+        Formula::Func { name, args } => Formula::Func {
+            name,
+            args: args.into_iter().map(|a| substitute_attr_constants(a, lookups)).collect(),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrutinizer_query::parse;
+
+    #[test]
+    fn example8_generalization() {
+        // SELECT POWER(a.2017/b.2016,1/(2017-2016))-1 → POWER(a/b,1/(A1-A2))-1
+        let stmt = parse(
+            "SELECT POWER(a.2017/b.2016, 1/(2017-2016)) - 1 \
+             FROM GED a, GED b \
+             WHERE a.Index = 'PGElecDemand' AND b.Index = 'PGElecDemand'",
+        )
+        .unwrap();
+        let g = generalize(&stmt).unwrap();
+        assert_eq!(g.formula.to_string(), "POWER(a / b, 1 / (A1 - A2)) - 1");
+        assert_eq!(
+            g.lookups,
+            vec![
+                Lookup::new("GED", "PGElecDemand", "2017"),
+                Lookup::new("GED", "PGElecDemand", "2016"),
+            ]
+        );
+    }
+
+    #[test]
+    fn repeated_column_reuses_variable() {
+        let stmt = parse(
+            "SELECT (a.2017 - a.2016) / a.2016 FROM GED a WHERE a.Index = 'X'",
+        )
+        .unwrap();
+        let g = generalize(&stmt).unwrap();
+        // a.2017 → a, a.2016 → b (reused)
+        assert_eq!(g.formula.to_string(), "(a - b) / b");
+        assert_eq!(g.lookups.len(), 2);
+    }
+
+    #[test]
+    fn constants_unrelated_to_attributes_survive() {
+        let stmt =
+            parse("SELECT a.2017 * 100 FROM GED a WHERE a.Index = 'X'").unwrap();
+        let g = generalize(&stmt).unwrap();
+        assert_eq!(g.formula.to_string(), "a * 100");
+    }
+
+    #[test]
+    fn boolean_query_generalizes() {
+        // Example 9 checker style
+        let stmt = parse("SELECT d.2010 > 100 FROM rel d WHERE d.Index = 'r'").unwrap();
+        let g = generalize(&stmt).unwrap();
+        assert_eq!(g.formula.to_string(), "a > 100");
+        assert!(g.formula.is_comparison());
+    }
+
+    #[test]
+    fn ambiguous_alias_rejected() {
+        // two key candidates for `a` — the messy-annotation case
+        let stmt = parse(
+            "SELECT a.2017 FROM GED a WHERE (a.Index = 'X' OR a.Index = 'Y')",
+        )
+        .unwrap();
+        assert!(generalize(&stmt).is_err());
+    }
+
+    #[test]
+    fn textual_attributes_do_not_become_attr_vars() {
+        let stmt = parse("SELECT a.Total / 2 FROM GED a WHERE a.Index = 'X'").unwrap();
+        let g = generalize(&stmt).unwrap();
+        assert_eq!(g.formula.to_string(), "a / 2");
+        assert_eq!(g.lookups[0].attribute, "Total");
+    }
+}

@@ -1,0 +1,150 @@
+//! Instantiation: formula + lookups → executable query.
+
+use crate::ast::{Formula, Lookup};
+use crate::error::{var_name, FormulaError};
+use crate::Result;
+use scrutinizer_query::{Expr, KeyPredicate, SelectStmt};
+
+/// Instantiates `formula` with one lookup per value variable, producing the
+/// concrete [`SelectStmt`] a fact checker sees (Figure 3's rewriting step in
+/// Algorithm 2 line 24).
+///
+/// Variable `i` becomes alias `a`, `b`, …; each alias gets a FROM entry on
+/// the lookup's relation and one key predicate against the `Index` column —
+/// the corpus-wide primary-key naming convention (tables built through this
+/// workspace use `Index` as their key column). `A(i+1)` becomes the numeric
+/// value of lookup `i`'s attribute label and fails if the label is not a
+/// number.
+pub fn instantiate(formula: &Formula, lookups: &[Lookup]) -> Result<SelectStmt> {
+    let n = formula.value_var_count();
+    if lookups.len() < n {
+        return Err(FormulaError::MissingBinding { var: lookups.len() });
+    }
+    let projection = build_expr(formula, lookups)?;
+    let mut from = Vec::with_capacity(n);
+    let mut where_groups = Vec::with_capacity(n);
+    for (i, lookup) in lookups.iter().take(n).enumerate() {
+        let alias = var_name(i);
+        from.push((lookup.relation.clone(), alias.clone()));
+        where_groups.push(vec![KeyPredicate {
+            alias,
+            column: "Index".to_string(),
+            value: lookup.key.clone(),
+        }]);
+    }
+    Ok(SelectStmt { projection, from, where_groups })
+}
+
+fn build_expr(formula: &Formula, lookups: &[Lookup]) -> Result<Expr> {
+    Ok(match formula {
+        Formula::Const(n) => Expr::Number(*n),
+        Formula::Var(i) => {
+            let lookup =
+                lookups.get(*i).ok_or(FormulaError::MissingBinding { var: *i })?;
+            Expr::column(var_name(*i), lookup.attribute.clone())
+        }
+        Formula::AttrVar(i) => {
+            let lookup =
+                lookups.get(*i).ok_or(FormulaError::MissingBinding { var: *i })?;
+            let value: f64 = lookup.attribute.parse().map_err(|_| {
+                FormulaError::NonNumericAttribute { var: *i, attribute: lookup.attribute.clone() }
+            })?;
+            Expr::Number(value)
+        }
+        Formula::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(build_expr(expr, lookups)?) }
+        }
+        Formula::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(build_expr(left, lookups)?),
+            right: Box::new(build_expr(right, lookups)?),
+        },
+        Formula::Func { name, args } => {
+            let mut out = Vec::with_capacity(args.len());
+            for a in args {
+                out.push(build_expr(a, lookups)?);
+            }
+            Expr::Func { name: name.clone(), args: out }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generalize::generalize;
+    use crate::parser::parse_formula;
+    use scrutinizer_query::parse;
+
+    #[test]
+    fn example10_instantiation() {
+        let formula = parse_formula("POWER(a/b, 1/(A1-A2)) - 1").unwrap();
+        let lookups = vec![
+            Lookup::new("GED", "PGElecDemand", "2017"),
+            Lookup::new("GED", "PGElecDemand", "2016"),
+        ];
+        let stmt = instantiate(&formula, &lookups).unwrap();
+        assert_eq!(
+            stmt.to_string(),
+            "SELECT POWER(a.2017 / b.2016, 1 / (2017 - 2016)) - 1 \
+             FROM GED a, GED b \
+             WHERE a.Index = 'PGElecDemand' AND b.Index = 'PGElecDemand'"
+        );
+    }
+
+    #[test]
+    fn instantiate_then_generalize_is_identity() {
+        for (src, lookups) in [
+            (
+                "POWER(a/b, 1/(A1-A2)) - 1",
+                vec![Lookup::new("GED", "K1", "2017"), Lookup::new("GED", "K1", "2016")],
+            ),
+            ("(a - b) / b", vec![Lookup::new("T", "X", "2030"), Lookup::new("T", "X", "2017")]),
+            ("a > 100", vec![Lookup::new("rel", "r", "2010")]),
+            ("RATIO(a, b)", vec![Lookup::new("W", "wind", "2017"), Lookup::new("W", "wind", "2000")]),
+        ] {
+            let formula = parse_formula(src).unwrap();
+            let stmt = instantiate(&formula, &lookups).unwrap();
+            let g = generalize(&stmt).unwrap();
+            assert_eq!(g.formula, formula, "{src}");
+            assert_eq!(g.lookups, lookups, "{src}");
+        }
+    }
+
+    #[test]
+    fn missing_binding_rejected() {
+        let formula = parse_formula("a + b").unwrap();
+        let err = instantiate(&formula, &[Lookup::new("T", "k", "2017")]).unwrap_err();
+        assert!(matches!(err, FormulaError::MissingBinding { var: 1 }));
+    }
+
+    #[test]
+    fn non_numeric_attr_var_rejected() {
+        let formula = parse_formula("a / A1").unwrap();
+        let err = instantiate(&formula, &[Lookup::new("T", "k", "Total")]).unwrap_err();
+        assert!(matches!(err, FormulaError::NonNumericAttribute { .. }));
+    }
+
+    #[test]
+    fn extra_lookups_ignored() {
+        let formula = parse_formula("a * 2").unwrap();
+        let stmt = instantiate(
+            &formula,
+            &[Lookup::new("T", "k", "2017"), Lookup::new("T", "k", "2016")],
+        )
+        .unwrap();
+        assert_eq!(stmt.from.len(), 1, "only bound variables get FROM entries");
+    }
+
+    #[test]
+    fn instantiated_query_parses_back() {
+        let formula = parse_formula("SUM(a, b) / 2").unwrap();
+        let stmt = instantiate(
+            &formula,
+            &[Lookup::new("T1", "k1", "2017"), Lookup::new("T2", "k2", "2017")],
+        )
+        .unwrap();
+        let reparsed = parse(&stmt.to_string()).unwrap();
+        assert_eq!(stmt, reparsed);
+    }
+}

@@ -1,0 +1,242 @@
+//! Parser for formula text like `POWER(a/b, 1/(A1-A2)) - 1`.
+//!
+//! Reuses the query lexer; identifier interpretation differs:
+//! single lowercase letters are value variables, `A1…An` are attribute
+//! variables, and anything followed by `(` is a function name.
+
+use crate::ast::Formula;
+use crate::error::FormulaError;
+use crate::Result;
+use scrutinizer_query::lexer::{tokenize, Token, TokenKind};
+use scrutinizer_query::{BinOp, UnaryOp};
+
+/// Parses formula text.
+pub fn parse_formula(input: &str) -> Result<Formula> {
+    let tokens =
+        tokenize(input).map_err(|e| FormulaError::Parse(e.to_string()))?;
+    let mut p = Parser { tokens, pos: 0 };
+    let formula = p.expr(0)?;
+    if !matches!(p.peek(), TokenKind::Eof) {
+        return Err(FormulaError::Parse(format!(
+            "unexpected trailing {}",
+            p.peek().describe()
+        )));
+    }
+    validate_contiguous(&formula)?;
+    Ok(formula)
+}
+
+/// Rejects formulas whose variables are not a contiguous prefix `a, b, …`.
+fn validate_contiguous(formula: &Formula) -> Result<()> {
+    let mut seen = Vec::new();
+    formula.visit(&mut |node| {
+        if let Formula::Var(i) | Formula::AttrVar(i) = node {
+            if !seen.contains(i) {
+                seen.push(*i);
+            }
+        }
+    });
+    if let Some(&max_index) = seen.iter().max() {
+        if max_index + 1 != seen.len() {
+            return Err(FormulaError::NonContiguousVars { found: seen.len(), max_index });
+        }
+    }
+    Ok(())
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error(&self, expected: &str) -> FormulaError {
+        FormulaError::Parse(format!("expected {expected}, found {}", self.peek().describe()))
+    }
+
+    fn expr(&mut self, min_prec: u8) -> Result<Formula> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Eq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                _ => break,
+            };
+            if op.precedence() < min_prec {
+                break;
+            }
+            self.advance();
+            let right = self.expr(op.precedence() + 1)?;
+            left = Formula::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Formula> {
+        if matches!(self.peek(), TokenKind::Minus) {
+            self.advance();
+            let inner = self.unary()?;
+            return Ok(Formula::Unary { op: UnaryOp::Neg, expr: Box::new(inner) });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Formula> {
+        match self.peek().clone() {
+            TokenKind::Number(raw) => {
+                self.advance();
+                let value: f64 =
+                    raw.parse().map_err(|_| FormulaError::Parse(format!("bad number `{raw}`")))?;
+                Ok(Formula::Const(value))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.expr(0)?;
+                if !matches!(self.peek(), TokenKind::RParen) {
+                    return Err(self.error("`)`"));
+                }
+                self.advance();
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if matches!(self.peek(), TokenKind::LParen) {
+                    // function call
+                    self.advance();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr(0)?);
+                            if matches!(self.peek(), TokenKind::Comma) {
+                                self.advance();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    if !matches!(self.peek(), TokenKind::RParen) {
+                        return Err(self.error("`)`"));
+                    }
+                    self.advance();
+                    return Ok(Formula::func(name, args));
+                }
+                classify_ident(&name)
+            }
+            _ => Err(self.error("formula term")),
+        }
+    }
+}
+
+/// Interprets a bare identifier as a variable.
+fn classify_ident(name: &str) -> Result<Formula> {
+    let bytes = name.as_bytes();
+    // single lowercase letter → value variable
+    if bytes.len() == 1 && bytes[0].is_ascii_lowercase() {
+        return Ok(Formula::Var((bytes[0] - b'a') as usize));
+    }
+    // A<number> → attribute variable (1-based in surface syntax)
+    if bytes[0] == b'A' && bytes.len() > 1 && bytes[1..].iter().all(u8::is_ascii_digit) {
+        let index: usize = name[1..]
+            .parse()
+            .map_err(|_| FormulaError::Parse(format!("bad attribute variable `{name}`")))?;
+        if index == 0 {
+            return Err(FormulaError::Parse("attribute variables start at A1".into()));
+        }
+        return Ok(Formula::AttrVar(index - 1));
+    }
+    Err(FormulaError::Parse(format!(
+        "`{name}` is neither a variable (a-z, A1..) nor a function call"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_growth_formula() {
+        let f = parse_formula("POWER(a/b, 1/(A1-A2)) - 1").unwrap();
+        assert_eq!(f.to_string(), "POWER(a / b, 1 / (A1 - A2)) - 1");
+        assert_eq!(f.value_var_count(), 2);
+    }
+
+    #[test]
+    fn parses_comparison_formula() {
+        // Example 2's general claim: (a / b) > 1
+        let f = parse_formula("(a / b) > 1").unwrap();
+        assert!(f.is_comparison());
+    }
+
+    #[test]
+    fn round_trips_display() {
+        for src in [
+            "POWER(a / b, 1 / (A1 - A2)) - 1",
+            "a + b > 0",
+            "RATIO(a, b)",
+            "ABS(a - b) / b",
+            "-a + 2.5",
+            "SUM(a, b, c) / 3",
+        ] {
+            let f = parse_formula(src).unwrap();
+            let printed = f.to_string();
+            let again = parse_formula(&printed).unwrap();
+            assert_eq!(f, again, "{src} → {printed}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_contiguous_vars() {
+        let err = parse_formula("a + c").unwrap_err();
+        assert!(matches!(err, FormulaError::NonContiguousVars { found: 2, max_index: 2 }));
+        // A2 implies a second variable exists (its lookup supplies the
+        // attribute), so `a + A2` is contiguous — but A3 skips variable 2:
+        assert!(parse_formula("a + A2").is_ok());
+        let err = parse_formula("a + A3").unwrap_err();
+        assert!(matches!(err, FormulaError::NonContiguousVars { .. }));
+    }
+
+    #[test]
+    fn attr_var_indexing() {
+        let f = parse_formula("A1 - A2 + a + b").unwrap();
+        assert!(f.uses_attr_var(0));
+        assert!(f.uses_attr_var(1));
+        assert!(matches!(parse_formula("A0"), Err(FormulaError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_identifiers() {
+        assert!(matches!(parse_formula("ab + 1"), Err(FormulaError::Parse(_))));
+        assert!(matches!(parse_formula("B1"), Err(FormulaError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(matches!(parse_formula("a + b)"), Err(FormulaError::Parse(_))));
+    }
+
+    #[test]
+    fn constants_only_formula() {
+        let f = parse_formula("100").unwrap();
+        assert_eq!(f.value_var_count(), 0);
+    }
+}

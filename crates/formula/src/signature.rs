@@ -1,0 +1,78 @@
+//! Canonical formula signatures.
+//!
+//! The corpus contains 413 *distinct* formulas extracted from thousands of
+//! annotations; distinctness is decided by the canonical signature, which is
+//! also the class label of the formula classifier. Two formulas share a
+//! signature iff they are the same check up to variable renaming induced by
+//! argument order of commutative operators — we deliberately keep this weak
+//! (syntactic) because the paper treats formulas as opaque class labels.
+
+use crate::ast::Formula;
+use crate::parser::parse_formula;
+use crate::Result;
+
+/// A canonical, parseable rendering of a formula used as its identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signature(String);
+
+impl Signature {
+    /// Computes the signature of a formula.
+    pub fn of(formula: &Formula) -> Signature {
+        Signature(formula.to_string())
+    }
+
+    /// The canonical text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Parses the signature back into a formula (signatures are always
+    /// valid formula text).
+    pub fn to_formula(&self) -> Result<Formula> {
+        parse_formula(&self.0)
+    }
+}
+
+impl std::fmt::Display for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_formulas_share_signature() {
+        let a = parse_formula("POWER(a/b, 1/(A1-A2)) - 1").unwrap();
+        let b = parse_formula("POWER(a / b, 1 / (A1 - A2)) - 1").unwrap();
+        assert_eq!(Signature::of(&a), Signature::of(&b));
+    }
+
+    #[test]
+    fn different_formulas_differ() {
+        let a = parse_formula("a / b").unwrap();
+        let b = parse_formula("a - b").unwrap();
+        assert_ne!(Signature::of(&a), Signature::of(&b));
+    }
+
+    #[test]
+    fn signature_parses_back() {
+        let f = parse_formula("ABS(a - b) / MAX(a, b)").unwrap();
+        let sig = Signature::of(&f);
+        assert_eq!(sig.to_formula().unwrap(), f);
+    }
+
+    #[test]
+    fn signatures_order_deterministically() {
+        let mut sigs = vec![
+            Signature::of(&parse_formula("a / b").unwrap()),
+            Signature::of(&parse_formula("a - b").unwrap()),
+            Signature::of(&parse_formula("a + b").unwrap()),
+        ];
+        sigs.sort();
+        let strs: Vec<&str> = sigs.iter().map(Signature::as_str).collect();
+        assert_eq!(strs, vec!["a + b", "a - b", "a / b"]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the formula subsystem: random formulas must survive
+//! print → parse and instantiate → generalize round trips.
+
+use proptest::prelude::*;
+use scrutinizer_formula::{generalize, instantiate, parse_formula, Formula, Lookup};
+use scrutinizer_query::BinOp;
+
+/// Strategy producing random formulas over `vars` value variables.
+fn formula_strategy(vars: usize) -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        (0..vars).prop_map(Formula::Var),
+        (0..vars).prop_map(Formula::AttrVar),
+        (1..1000i64).prop_map(|n| Formula::Const(n as f64)),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arith_op())
+                .prop_map(|(l, r, op)| Formula::binary(op, l, r)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Formula::func("MAX", vec![l, r])),
+            (inner.clone(), inner).prop_map(|(l, r)| Formula::func("SUM", vec![l, r])),
+        ]
+    })
+}
+
+fn arith_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Gt),
+    ]
+}
+
+/// Ensures all variables 0..vars appear so the formula is contiguous.
+fn with_all_vars(formula: Formula, vars: usize) -> Formula {
+    let mut out = formula;
+    for i in 0..vars {
+        out = Formula::binary(BinOp::Add, out, Formula::Var(i));
+    }
+    out
+}
+
+fn lookups(n: usize) -> Vec<Lookup> {
+    (0..n)
+        .map(|i| Lookup::new(format!("T{i}"), format!("K{i}"), format!("{}", 2000 + i)))
+        .collect()
+}
+
+/// Catalog where `Ti[Ki].{2000+j}` holds a distinct prime-ish value, so
+/// semantic differences between queries are very unlikely to cancel out.
+fn test_catalog(n: usize) -> scrutinizer_data::Catalog {
+    use scrutinizer_data::TableBuilder;
+    let mut catalog = scrutinizer_data::Catalog::new();
+    let attrs: Vec<String> = (0..n.max(1)).map(|j| format!("{}", 2000 + j)).collect();
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    for i in 0..n.max(1) {
+        let values: Vec<f64> =
+            (0..n.max(1)).map(|j| 3.0 + 7.0 * i as f64 + 13.0 * j as f64).collect();
+        let table = TableBuilder::new(&format!("T{i}"), "Index", &attr_refs)
+            .row(&format!("K{i}"), &values)
+            .unwrap()
+            .build();
+        catalog.add(table).unwrap();
+    }
+    catalog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(f in formula_strategy(3).prop_map(|f| with_all_vars(f, 3))) {
+        let printed = f.to_string();
+        let parsed = parse_formula(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed for `{printed}`: {e}"));
+        prop_assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn instantiate_generalize_roundtrip(
+        f in formula_strategy(2).prop_map(|f| with_all_vars(f, 2))
+    ) {
+        // Generalization renumbers variables by first appearance and may turn
+        // constants equal to bound years into attribute variables, so the
+        // invariant is *semantic*: the round-tripped query evaluates to the
+        // same value on a concrete catalog.
+        let ls = lookups(f.value_var_count());
+        let stmt = instantiate(&f, &ls).unwrap();
+        let g = generalize(&stmt).unwrap();
+        let stmt2 = instantiate(&g.formula, &g.lookups).unwrap();
+
+        let catalog = test_catalog(f.value_var_count());
+        let v1 = scrutinizer_query::execute(&catalog, &stmt);
+        let v2 = scrutinizer_query::execute(&catalog, &stmt2);
+        match (v1, v2) {
+            (Ok(a), Ok(b)) => {
+                let (a, b) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+            }
+            (Err(_), Err(_)) => {} // both reject (e.g. division by zero) — fine
+            (a, b) => prop_assert!(false, "divergent results: {a:?} vs {b:?}"),
+        }
+
+        // The multiset of lookups is preserved (order may change).
+        let mut sorted_in = ls.clone();
+        sorted_in.sort_by(|x, y| format!("{x}").cmp(&format!("{y}")));
+        let mut sorted_out = g.lookups.clone();
+        sorted_out.sort_by(|x, y| format!("{x}").cmp(&format!("{y}")));
+        prop_assert_eq!(sorted_in, sorted_out);
+    }
+
+    #[test]
+    fn element_count_positive_and_stable(f in formula_strategy(2).prop_map(|f| with_all_vars(f, 2))) {
+        prop_assert!(f.element_count() >= 1);
+        let reparsed = parse_formula(&f.to_string()).unwrap();
+        prop_assert_eq!(reparsed.element_count(), f.element_count());
+    }
+}

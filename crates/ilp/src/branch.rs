@@ -1,0 +1,233 @@
+//! Best-first branch & bound for 0/1 integer programs.
+
+use crate::error::IlpError;
+use crate::model::{Direction, Model, Solution, SolveStatus};
+use crate::simplex::solve_lp;
+use crate::Result;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Branch & bound configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchConfig {
+    /// Maximum number of explored nodes before giving up with the incumbent.
+    pub node_limit: usize,
+    /// Relative optimality gap at which search stops early.
+    pub gap: f64,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+}
+
+impl Default for BranchConfig {
+    fn default() -> Self {
+        BranchConfig { node_limit: 20_000, gap: 1e-6, int_tol: 1e-6 }
+    }
+}
+
+struct Node {
+    /// LP bound of this node (in maximize convention).
+    bound: f64,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // best-first: larger bound explored first
+        self.bound.total_cmp(&other.bound)
+    }
+}
+
+/// Solves a model whose integer variables are all binary.
+///
+/// Returns the optimal solution, or — when the node budget runs out — the
+/// best incumbent wrapped in [`IlpError::NodeLimit`].
+pub fn solve_ilp(model: &Model, config: BranchConfig) -> Result<Solution> {
+    let binaries: Vec<usize> = model.binary_vars().iter().map(|v| v.index()).collect();
+    let sign = match model.direction() {
+        Direction::Maximize => 1.0,
+        Direction::Minimize => -1.0,
+    };
+
+    let root_lower: Vec<f64> = model.variables.iter().map(|v| v.lower).collect();
+    let root_upper: Vec<f64> = model.variables.iter().map(|v| v.upper).collect();
+
+    let root = match solve_lp(model, &root_lower, &root_upper) {
+        Ok(sol) => sol,
+        Err(e) => return Err(e),
+    };
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Node { bound: sign * root.objective, lower: root_lower, upper: root_upper });
+
+    let mut incumbent: Option<Solution> = None;
+    let mut incumbent_value = f64::NEG_INFINITY; // maximize convention
+    let mut explored = 0usize;
+
+    while let Some(node) = heap.pop() {
+        // bound-based pruning (also achieves early gap termination)
+        if node.bound <= incumbent_value + config.gap * incumbent_value.abs().max(1.0) - 1e-12
+            && incumbent.is_some()
+        {
+            break; // best-first: all remaining nodes are no better
+        }
+        explored += 1;
+        if explored > config.node_limit {
+            return Err(IlpError::NodeLimit(incumbent));
+        }
+        let relaxed = match solve_lp(model, &node.lower, &node.upper) {
+            Ok(sol) => sol,
+            Err(IlpError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        let bound = sign * relaxed.objective;
+        if incumbent.is_some() && bound <= incumbent_value + 1e-12 {
+            continue;
+        }
+        // most fractional binary
+        let fractional = binaries
+            .iter()
+            .copied()
+            .map(|i| (i, (relaxed.values[i] - relaxed.values[i].round()).abs()))
+            .filter(|(_, f)| *f > config.int_tol)
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        match fractional {
+            None => {
+                // integral: candidate incumbent (round binaries exactly)
+                let mut values = relaxed.values.clone();
+                for &i in &binaries {
+                    values[i] = values[i].round();
+                }
+                let objective = model.objective_value(&values);
+                let value = sign * objective;
+                if value > incumbent_value && model.is_feasible(&values, 1e-6) {
+                    incumbent_value = value;
+                    incumbent =
+                        Some(Solution { values, objective, status: SolveStatus::Optimal });
+                }
+            }
+            Some((var, _)) => {
+                let mut down_upper = node.upper.clone();
+                down_upper[var] = 0.0;
+                heap.push(Node { bound, lower: node.lower.clone(), upper: down_upper });
+                let mut up_lower = node.lower.clone();
+                up_lower[var] = 1.0;
+                heap.push(Node { bound, lower: up_lower, upper: node.upper });
+            }
+        }
+    }
+
+    incumbent.ok_or(IlpError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    #[test]
+    fn knapsack_style() {
+        // max 10a + 13b + 7c s.t. 3a + 4b + 2c ≤ 6 → b + c = 20? check:
+        // a+c: w 5 v 17; b+c: w 6 v 20; a+b: w 7 infeasible → optimum 20
+        let mut m = Model::maximize();
+        let a = m.add_binary("a", 10.0);
+        let b = m.add_binary("b", 13.0);
+        let c = m.add_binary("c", 7.0);
+        m.add_constraint(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Sense::Le, 6.0).unwrap();
+        let sol = solve_ilp(&m, BranchConfig::default()).unwrap();
+        assert!((sol.objective - 20.0).abs() < 1e-6);
+        assert!(sol.is_set(b) && sol.is_set(c) && !sol.is_set(a));
+        assert_eq!(sol.status, SolveStatus::Optimal);
+    }
+
+    #[test]
+    fn integrality_matters() {
+        // LP relaxation gives 1.5; ILP must give 1
+        let mut m = Model::maximize();
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 1.5).unwrap();
+        let sol = solve_ilp(&m, BranchConfig::default()).unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_and_linking_constraints() {
+        // choose exactly 2 of 3 items; y must cover chosen sections
+        let mut m = Model::maximize();
+        let items: Vec<_> = (0..3).map(|i| m.add_binary(format!("c{i}"), (i + 1) as f64)).collect();
+        let section = m.add_binary("s0", -0.5); // section cost
+        // all items live in section 0: s0 ≥ ci
+        for &c in &items {
+            m.add_constraint(vec![(section, 1.0), (c, -1.0)], Sense::Ge, 0.0).unwrap();
+        }
+        let terms: Vec<_> = items.iter().map(|&c| (c, 1.0)).collect();
+        m.add_constraint(terms, Sense::Eq, 2.0).unwrap();
+        let sol = solve_ilp(&m, BranchConfig::default()).unwrap();
+        // best two items: values 2 + 3 = 5, minus section 0.5 → 4.5
+        assert!((sol.objective - 4.5).abs() < 1e-6);
+        assert!(sol.is_set(section));
+        assert!(sol.is_set(items[1]) && sol.is_set(items[2]));
+    }
+
+    #[test]
+    fn minimization_direction() {
+        // min x + 2y s.t. x + y ≥ 1 → x=1, y=0, obj 1
+        let mut m = Model::minimize();
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 1.0).unwrap();
+        let sol = solve_ilp(&m, BranchConfig::default()).unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+        assert!(sol.is_set(x) && !sol.is_set(y));
+    }
+
+    #[test]
+    fn infeasible_ilp() {
+        let mut m = Model::maximize();
+        let x = m.add_binary("x", 1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 2.0).unwrap();
+        assert!(matches!(solve_ilp(&m, BranchConfig::default()), Err(IlpError::Infeasible)));
+    }
+
+    #[test]
+    fn node_limit_returns_incumbent() {
+        // a model with many symmetric optima; tiny node limit
+        let mut m = Model::maximize();
+        let vars: Vec<_> = (0..12).map(|i| m.add_binary(format!("x{i}"), 1.0)).collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        m.add_constraint(terms, Sense::Le, 6.0).unwrap();
+        match solve_ilp(&m, BranchConfig { node_limit: 1, ..Default::default() }) {
+            Err(IlpError::NodeLimit(Some(sol))) => {
+                assert!(sol.objective <= 6.0 + 1e-9);
+            }
+            Ok(sol) => assert!((sol.objective - 6.0).abs() < 1e-6), // solved at root
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_continuous_and_binary() {
+        // max 2x + y with binary x, continuous y ≤ 3.5, x + y ≤ 4
+        let mut m = Model::maximize();
+        let x = m.add_binary("x", 2.0);
+        let y = m.add_continuous("y", 0.0, 3.5, 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 4.0).unwrap();
+        let sol = solve_ilp(&m, BranchConfig::default()).unwrap();
+        // x=1, y=3 → 5
+        assert!((sol.objective - 5.0).abs() < 1e-6);
+        assert!(sol.is_set(x));
+        assert!((sol.value(y) - 3.0).abs() < 1e-6);
+    }
+}

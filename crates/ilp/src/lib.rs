@@ -1,0 +1,34 @@
+//! # scrutinizer-ilp
+//!
+//! A small exact optimization stack replacing the Gurobi dependency of the
+//! paper's claim-ordering component (§5.2):
+//!
+//! * [`model`] — a Gurobi-like model builder: variables (continuous or
+//!   binary), linear constraints, minimize/maximize objective;
+//! * [`simplex`] — dense two-phase primal simplex for the LP relaxation;
+//! * [`branch`] — best-first branch & bound over the binary variables, with
+//!   node and gap limits;
+//! * [`knapsack`] — dynamic-programming 0/1 knapsack, used both as a fast
+//!   path for batch-selection instances that degenerate to knapsack
+//!   (Theorem 7's reduction) and as an independent cross-check in tests.
+//!
+//! The batch-selection ILPs are small — `O(claims + sections)` variables and
+//! constraints (Theorem 8) — so a textbook implementation solves them in
+//! milliseconds, which is all the paper's experiments require.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod error;
+pub mod knapsack;
+pub mod model;
+pub mod simplex;
+
+pub use branch::{solve_ilp, BranchConfig};
+pub use error::IlpError;
+pub use knapsack::knapsack_01;
+pub use model::{Constraint, Model, Sense, Solution, SolveStatus, VarId, VarKind};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, IlpError>;

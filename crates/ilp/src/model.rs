@@ -1,0 +1,281 @@
+//! Model builder: variables, linear constraints, objective.
+
+use crate::error::IlpError;
+use crate::Result;
+
+/// Handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of the variable in the model (also in solution vectors).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Variable domain kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Continuous within its bounds.
+    Continuous,
+    /// Binary {0, 1} (bounds are implicitly [0, 1]).
+    Binary,
+}
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `≤ rhs`
+    Le,
+    /// `≥ rhs`
+    Ge,
+    /// `= rhs`
+    Eq,
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub(crate) name: String,
+    pub(crate) kind: VarKind,
+    pub(crate) lower: f64,
+    pub(crate) upper: f64,
+    pub(crate) objective: f64,
+}
+
+/// A linear constraint `Σ coeff·var  sense  rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// `(variable, coefficient)` terms; duplicates are summed by the solver.
+    pub terms: Vec<(VarId, f64)>,
+    /// Relation to the right-hand side.
+    pub sense: Sense,
+    /// Right-hand side constant.
+    pub rhs: f64,
+}
+
+/// Solver status of a returned solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Proven optimal (within tolerances).
+    Optimal,
+    /// Feasible incumbent, optimality not proven (node limit hit).
+    Feasible,
+}
+
+/// A solution: one value per variable (indexed by [`VarId::index`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Variable values.
+    pub values: Vec<f64>,
+    /// Objective value under the model's direction.
+    pub objective: f64,
+    /// Optimality status.
+    pub status: SolveStatus,
+}
+
+impl Solution {
+    /// Value of a variable.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.0]
+    }
+
+    /// Whether a binary variable is set (value > 0.5).
+    pub fn is_set(&self, var: VarId) -> bool {
+        self.values[var.0] > 0.5
+    }
+}
+
+/// A linear optimization model.
+#[derive(Debug, Clone)]
+pub struct Model {
+    pub(crate) variables: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) direction: Direction,
+}
+
+impl Model {
+    /// Creates a minimization model.
+    pub fn minimize() -> Self {
+        Model { variables: Vec::new(), constraints: Vec::new(), direction: Direction::Minimize }
+    }
+
+    /// Creates a maximization model.
+    pub fn maximize() -> Self {
+        Model { variables: Vec::new(), constraints: Vec::new(), direction: Direction::Maximize }
+    }
+
+    /// Adds a continuous variable with bounds `[lower, upper]` and objective
+    /// coefficient `objective`.
+    pub fn add_continuous(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> Result<VarId> {
+        if lower > upper {
+            return Err(IlpError::BadBounds { var: self.variables.len(), lower, upper });
+        }
+        let id = VarId(self.variables.len());
+        self.variables.push(Variable {
+            name: name.into(),
+            kind: VarKind::Continuous,
+            lower,
+            upper,
+            objective,
+        });
+        Ok(id)
+    }
+
+    /// Adds a binary variable with objective coefficient `objective`.
+    pub fn add_binary(&mut self, name: impl Into<String>, objective: f64) -> VarId {
+        let id = VarId(self.variables.len());
+        self.variables.push(Variable {
+            name: name.into(),
+            kind: VarKind::Binary,
+            lower: 0.0,
+            upper: 1.0,
+            objective,
+        });
+        id
+    }
+
+    /// Adds a linear constraint.
+    pub fn add_constraint(
+        &mut self,
+        terms: Vec<(VarId, f64)>,
+        sense: Sense,
+        rhs: f64,
+    ) -> Result<()> {
+        for (var, _) in &terms {
+            if var.0 >= self.variables.len() {
+                return Err(IlpError::UnknownVariable(var.0));
+            }
+        }
+        self.constraints.push(Constraint { terms, sense, rhs });
+        Ok(())
+    }
+
+    /// Number of variables.
+    pub fn num_variables(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Optimization direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Name of a variable (for diagnostics).
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.variables[var.0].name
+    }
+
+    /// Indices of the binary variables.
+    pub fn binary_vars(&self) -> Vec<VarId> {
+        self.variables
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Binary)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Objective value of an assignment under the model direction.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.variables.iter().zip(values).map(|(v, x)| v.objective * x).sum()
+    }
+
+    /// Checks whether `values` satisfies every constraint and bound within
+    /// tolerance `tol`.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.variables.len() {
+            return false;
+        }
+        for (variable, &x) in self.variables.iter().zip(values) {
+            if x < variable.lower - tol || x > variable.upper + tol {
+                return false;
+            }
+            if variable.kind == VarKind::Binary && (x - x.round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|(v, coeff)| coeff * values[v.0]).sum();
+            let ok = match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_basics() {
+        let mut m = Model::maximize();
+        let x = m.add_continuous("x", 0.0, 10.0, 1.0).unwrap();
+        let y = m.add_binary("y", 5.0);
+        m.add_constraint(vec![(x, 1.0), (y, 2.0)], Sense::Le, 8.0).unwrap();
+        assert_eq!(m.num_variables(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.binary_vars(), vec![y]);
+        assert_eq!(m.var_name(x), "x");
+    }
+
+    #[test]
+    fn bad_bounds_rejected() {
+        let mut m = Model::minimize();
+        assert!(matches!(
+            m.add_continuous("x", 2.0, 1.0, 0.0),
+            Err(IlpError::BadBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let mut m = Model::minimize();
+        let _x = m.add_binary("x", 1.0);
+        let ghost = VarId(7);
+        assert!(matches!(
+            m.add_constraint(vec![(ghost, 1.0)], Sense::Le, 1.0),
+            Err(IlpError::UnknownVariable(7))
+        ));
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut m = Model::maximize();
+        let x = m.add_continuous("x", 0.0, 4.0, 1.0).unwrap();
+        let y = m.add_binary("y", 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 4.0).unwrap();
+        assert!(m.is_feasible(&[3.0, 1.0], 1e-9));
+        assert!(!m.is_feasible(&[4.0, 1.0], 1e-9), "constraint violated");
+        assert!(!m.is_feasible(&[3.0, 0.5], 1e-9), "binary fractional");
+        assert!(!m.is_feasible(&[5.0, 0.0], 1e-9), "bound violated");
+        assert!(!m.is_feasible(&[1.0], 1e-9), "wrong arity");
+    }
+}

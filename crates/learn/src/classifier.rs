@@ -1,0 +1,193 @@
+//! Property classifiers: a softmax model plus its string label space.
+
+use crate::labels::LabelDict;
+use crate::metrics::entropy;
+use crate::softmax::{SoftmaxClassifier, TrainConfig};
+use scrutinizer_text::SparseVector;
+
+/// A classifier for one query property (relation / key / attribute /
+/// formula), operating on string labels.
+///
+/// Supports the cold-start protocol of §3: before any training data exists,
+/// predictions fall back to the uniform distribution over the known label
+/// space, which makes early entropy maximal — exactly what drives the active
+/// learner to gather labels first.
+#[derive(Debug, Clone)]
+pub struct PropertyClassifier {
+    /// Human-readable property name ("relation", "row", …).
+    pub property: String,
+    labels: LabelDict,
+    model: Option<SoftmaxClassifier>,
+    dim: usize,
+    config: TrainConfig,
+}
+
+impl PropertyClassifier {
+    /// Creates an untrained classifier over a fixed label space.
+    pub fn new(
+        property: impl Into<String>,
+        labels: LabelDict,
+        dim: usize,
+        config: TrainConfig,
+    ) -> Self {
+        PropertyClassifier { property: property.into(), labels, model: None, dim, config }
+    }
+
+    /// The label space.
+    pub fn labels(&self) -> &LabelDict {
+        &self.labels
+    }
+
+    /// Whether a model has been trained.
+    pub fn is_trained(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Retrains from scratch on `(features, label)` pairs — the
+    /// `Retrain(N, A)` step of Algorithm 1. Labels outside the label space
+    /// are interned (checkers may suggest new answers).
+    pub fn retrain(&mut self, examples: &[(SparseVector, String)]) {
+        if examples.is_empty() {
+            self.model = None;
+            return;
+        }
+        let encoded: Vec<(SparseVector, u32)> = examples
+            .iter()
+            .map(|(x, label)| (x.clone(), self.labels.intern(label)))
+            .collect();
+        self.model = Some(SoftmaxClassifier::train(
+            &encoded,
+            self.labels.len(),
+            self.dim,
+            self.config,
+        ));
+    }
+
+    /// Ranked `(label, probability)` predictions, descending, length ≤ `k`.
+    ///
+    /// Untrained: uniform probabilities in label-id order (deterministic).
+    pub fn top_k(&self, features: &SparseVector, k: usize) -> Vec<(String, f32)> {
+        match &self.model {
+            Some(model) => model
+                .top_k(features, k)
+                .into_iter()
+                .map(|(id, p)| {
+                    (self.labels.name(id).unwrap_or("<unknown>").to_string(), p)
+                })
+                .collect(),
+            None => {
+                let n = self.labels.len();
+                if n == 0 {
+                    return Vec::new();
+                }
+                let p = 1.0 / n as f32;
+                self.labels.names().iter().take(k).map(|l| (l.clone(), p)).collect()
+            }
+        }
+    }
+
+    /// Most probable label.
+    pub fn predict(&self, features: &SparseVector) -> Option<String> {
+        self.top_k(features, 1).into_iter().next().map(|(l, _)| l)
+    }
+
+    /// Entropy of the predictive distribution — the per-model term `e(m, c)`
+    /// of Definition 7. Untrained classifiers have maximal entropy
+    /// `ln(#labels)`.
+    pub fn prediction_entropy(&self, features: &SparseVector) -> f64 {
+        match &self.model {
+            Some(model) => entropy(&model.predict_proba(features)),
+            None => {
+                let n = self.labels.len();
+                if n == 0 {
+                    0.0
+                } else {
+                    (n as f64).ln()
+                }
+            }
+        }
+    }
+
+    /// Probability assigned to a specific label (0 when unknown label).
+    pub fn probability_of(&self, features: &SparseVector, label: &str) -> f32 {
+        let Some(id) = self.labels.get(label) else { return 0.0 };
+        match &self.model {
+            Some(model) => model.predict_proba(features)[id as usize],
+            None => {
+                if self.labels.is_empty() {
+                    0.0
+                } else {
+                    1.0 / self.labels.len() as f32
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(idx: u32) -> SparseVector {
+        SparseVector::from_pairs(vec![(idx, 1.0)])
+    }
+
+    fn trained() -> PropertyClassifier {
+        let labels = LabelDict::from_labels(["GED", "TFC", "CO2"]);
+        let mut c = PropertyClassifier::new("relation", labels, 8, TrainConfig::default());
+        let examples: Vec<(SparseVector, String)> = (0..30)
+            .map(|i| {
+                let class = i % 3;
+                (features(class), ["GED", "TFC", "CO2"][class as usize].to_string())
+            })
+            .collect();
+        c.retrain(&examples);
+        c
+    }
+
+    #[test]
+    fn untrained_is_uniform_max_entropy() {
+        let labels = LabelDict::from_labels(["a", "b", "c", "d"]);
+        let c = PropertyClassifier::new("row", labels, 4, TrainConfig::default());
+        assert!(!c.is_trained());
+        let x = features(0);
+        let top = c.top_k(&x, 2);
+        assert_eq!(top.len(), 2);
+        assert!((top[0].1 - 0.25).abs() < 1e-6);
+        assert!((c.prediction_entropy(&x) - (4.0f64).ln()).abs() < 1e-9);
+        assert!((c.probability_of(&x, "c") - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trained_predicts_and_reduces_entropy() {
+        let c = trained();
+        assert!(c.is_trained());
+        assert_eq!(c.predict(&features(0)).unwrap(), "GED");
+        assert_eq!(c.predict(&features(1)).unwrap(), "TFC");
+        assert!(c.prediction_entropy(&features(0)) < (3.0f64).ln());
+        assert!(c.probability_of(&features(2), "CO2") > 0.5);
+    }
+
+    #[test]
+    fn new_labels_interned_on_retrain() {
+        let mut c = trained();
+        let examples =
+            vec![(features(3), "NEW_REL".to_string()); 10];
+        c.retrain(&examples);
+        assert!(c.labels().get("NEW_REL").is_some());
+        assert_eq!(c.predict(&features(3)).unwrap(), "NEW_REL");
+    }
+
+    #[test]
+    fn empty_retrain_resets() {
+        let mut c = trained();
+        c.retrain(&[]);
+        assert!(!c.is_trained());
+    }
+
+    #[test]
+    fn unknown_label_probability_zero() {
+        let c = trained();
+        assert_eq!(c.probability_of(&features(0), "NOPE"), 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! String label dictionaries.
+
+use scrutinizer_data::hash::FxHashMap;
+
+/// Bidirectional mapping between string labels and dense class ids.
+///
+/// Label spaces come from the corpus (1791 relations, 830 keys, 87
+/// attributes, 413 formulas in the paper's dataset) and grow as checkers
+/// suggest new answers, so insertion must be cheap and ids stable.
+#[derive(Debug, Clone, Default)]
+pub struct LabelDict {
+    by_name: FxHashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl LabelDict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        LabelDict::default()
+    }
+
+    /// Creates a dictionary from an iterator of labels (first occurrence
+    /// fixes the id).
+    pub fn from_labels<I: IntoIterator<Item = S>, S: Into<String>>(labels: I) -> Self {
+        let mut dict = LabelDict::new();
+        for label in labels {
+            dict.intern(&label.into());
+        }
+        dict
+    }
+
+    /// Id of `label`, inserting it if new.
+    pub fn intern(&mut self, label: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(label) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.by_name.insert(label.to_string(), id);
+        self.names.push(label.to_string());
+        id
+    }
+
+    /// Id of `label` if present.
+    pub fn get(&self, label: &str) -> Option<u32> {
+        self.by_name.get(label).copied()
+    }
+
+    /// Label of `id` if valid.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All labels in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = LabelDict::new();
+        let a = d.intern("GED");
+        let b = d.intern("TFC");
+        assert_eq!(d.intern("GED"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn bidirectional() {
+        let d = LabelDict::from_labels(["x", "y", "z"]);
+        assert_eq!(d.get("y"), Some(1));
+        assert_eq!(d.name(2), Some("z"));
+        assert_eq!(d.get("w"), None);
+        assert_eq!(d.name(9), None);
+    }
+
+    #[test]
+    fn first_occurrence_wins() {
+        let d = LabelDict::from_labels(["a", "b", "a"]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.get("a"), Some(0));
+    }
+}

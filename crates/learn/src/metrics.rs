@@ -1,0 +1,79 @@
+//! Evaluation metrics: accuracy, top-k accuracy, prediction entropy.
+
+/// Fraction of examples whose true class is the argmax prediction.
+pub fn accuracy(predictions: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(predictions.len(), truth.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / predictions.len() as f64
+}
+
+/// Fraction of examples whose true class appears among the top-k ranked
+/// predictions (Figure 10's measure).
+pub fn top_k_accuracy(ranked: &[Vec<u32>], truth: &[u32], k: usize) -> f64 {
+    assert_eq!(ranked.len(), truth.len(), "length mismatch");
+    if ranked.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .zip(truth)
+        .filter(|(r, t)| r.iter().take(k).any(|c| c == *t))
+        .count();
+    hits as f64 / ranked.len() as f64
+}
+
+/// Shannon entropy (nats) of a probability distribution; the training
+/// utility building block of Definition 7. Zero entries contribute zero.
+pub fn entropy(probabilities: &[f32]) -> f64 {
+    probabilities
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| {
+            let p = f64::from(p);
+            -p * p.ln()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    fn top_k_monotone_in_k() {
+        let ranked = vec![vec![2, 0, 1], vec![1, 2, 0], vec![0, 1, 2]];
+        let truth = vec![0, 0, 0];
+        let a1 = top_k_accuracy(&ranked, &truth, 1);
+        let a2 = top_k_accuracy(&ranked, &truth, 2);
+        let a3 = top_k_accuracy(&ranked, &truth, 3);
+        assert!(a1 <= a2 && a2 <= a3);
+        assert_eq!(a1, 1.0 / 3.0);
+        assert_eq!(a3, 1.0);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        // uniform maximizes; point mass is zero
+        let uniform = entropy(&[0.25; 4]);
+        assert!((uniform - (4.0f64).ln()).abs() < 1e-6);
+        assert_eq!(entropy(&[1.0, 0.0, 0.0]), 0.0);
+        let skewed = entropy(&[0.9, 0.05, 0.05]);
+        assert!(skewed < uniform && skewed > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        accuracy(&[0], &[0, 1]);
+    }
+}

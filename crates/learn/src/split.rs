@@ -1,0 +1,60 @@
+//! Seeded shuffling and train/test splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Returns a seeded random permutation of `0..n`.
+pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order
+}
+
+/// Splits indices `0..n` into (train, test) with `test_fraction` of the data
+/// held out, after a seeded shuffle.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&test_fraction), "fraction must be in [0,1]");
+    let order = permutation(n, seed);
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    let (test, train) = order.split_at(n_test.min(n));
+    (train.to_vec(), test.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_deterministic_and_complete() {
+        let p1 = permutation(100, 9);
+        let p2 = permutation(100, 9);
+        assert_eq!(p1, p2);
+        let mut sorted = p1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(p1, permutation(100, 10), "different seeds differ");
+    }
+
+    #[test]
+    fn split_sizes() {
+        let (train, test) = train_test_split(100, 0.25, 1);
+        assert_eq!(test.len(), 25);
+        assert_eq!(train.len(), 75);
+        // disjoint and complete
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degenerate_fractions() {
+        let (train, test) = train_test_split(10, 0.0, 1);
+        assert_eq!((train.len(), test.len()), (10, 0));
+        let (train, test) = train_test_split(10, 1.0, 1);
+        assert_eq!((train.len(), test.len()), (0, 10));
+        let (train, test) = train_test_split(0, 0.5, 1);
+        assert!(train.is_empty() && test.is_empty());
+    }
+}

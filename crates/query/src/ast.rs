@@ -1,0 +1,291 @@
+//! Abstract syntax tree of the statistical-check fragment.
+
+/// Binary operators permitted in SELECT expressions.
+///
+/// Arithmetic composes lookups into checks; comparisons make the Boolean
+/// query style of Example 9 (`SELECT d.y > 100 …`) expressible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=` (in expression position)
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+}
+
+impl BinOp {
+    /// Surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+        }
+    }
+
+    /// Binding strength for the pretty-printer / parser (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Gt | BinOp::Ge | BinOp::Lt | BinOp::Le | BinOp::Eq | BinOp::Ne => 1,
+            BinOp::Add | BinOp::Sub => 2,
+            BinOp::Mul | BinOp::Div => 3,
+        }
+    }
+
+    /// Whether the operator is a comparison (produces 0/1).
+    pub fn is_comparison(self) -> bool {
+        self.precedence() == 1
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Numeric negation `-`.
+    Neg,
+}
+
+/// A SELECT-clause expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal (`9`, `0.025`, `100`).
+    Number(f64),
+    /// Qualified column reference `alias.column` (`a.2017`).
+    Column {
+        /// FROM-clause alias.
+        alias: String,
+        /// Attribute name; years are plain digits in the IEA schema.
+        column: String,
+    },
+    /// Unary operator application.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operator application.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Function call `POWER(x, y)`; names are stored upper-cased.
+    Func {
+        /// Upper-cased function name.
+        name: String,
+        /// Arguments in order.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Convenience constructor for column references.
+    pub fn column(alias: impl Into<String>, column: impl Into<String>) -> Expr {
+        Expr::Column { alias: alias.into(), column: column.into() }
+    }
+
+    /// Convenience constructor for function calls.
+    pub fn func(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Func { name: name.into().to_ascii_uppercase(), args }
+    }
+
+    /// All column references in evaluation order.
+    pub fn columns(&self) -> Vec<(&str, &str)> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Column { alias, column } = e {
+                out.push((alias.as_str(), column.as_str()));
+            }
+        });
+        out
+    }
+
+    /// Pre-order traversal. The callback receives references that live as
+    /// long as `self`, so collected column names can borrow from the tree.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Unary { expr, .. } => expr.visit(f),
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::Number(_) | Expr::Column { .. } => {}
+        }
+    }
+
+    /// Number of operator/function/constant/lookup elements — the claim
+    /// complexity contribution of this expression (Figure 6 counts the
+    /// elements of the verifying query).
+    pub fn element_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |e| {
+            n += match e {
+                Expr::Number(_) | Expr::Column { .. } => 1,
+                Expr::Unary { .. } | Expr::Binary { .. } | Expr::Func { .. } => 1,
+            }
+        });
+        n
+    }
+}
+
+/// One unary equality predicate `alias.column = 'value'`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyPredicate {
+    /// FROM-clause alias the predicate restricts.
+    pub alias: String,
+    /// Column name (must be the key attribute of the aliased table).
+    pub column: String,
+    /// String value the key must equal.
+    pub value: String,
+}
+
+/// A statistical-check SELECT statement (Definition 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// The single projected expression.
+    pub projection: Expr,
+    /// `(table, alias)` pairs in FROM order.
+    pub from: Vec<(String, String)>,
+    /// Conjunction of disjunction groups: every inner `Vec` is an OR-group
+    /// of [`KeyPredicate`]s, and the outer `Vec` is AND-ed together.
+    pub where_groups: Vec<Vec<KeyPredicate>>,
+}
+
+impl SelectStmt {
+    /// The table bound to `alias`, if declared.
+    pub fn table_of(&self, alias: &str) -> Option<&str> {
+        self.from.iter().find(|(_, a)| a == alias).map(|(t, _)| t.as_str())
+    }
+
+    /// Candidate key values for `alias` drawn from the WHERE clause:
+    /// the intersection semantics are enforced by the executor; this helper
+    /// returns the values of every OR-group that mentions the alias.
+    pub fn key_candidates(&self, alias: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        for group in &self.where_groups {
+            for p in group {
+                if p.alias == alias {
+                    out.push(p.value.as_str());
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Total number of query elements: key values + attributes + operations
+    /// + constants + relations. Used as the claim-complexity measure of
+    /// Figure 6.
+    pub fn element_count(&self) -> usize {
+        let predicates: usize = self.where_groups.iter().map(Vec::len).sum();
+        self.projection.element_count() + predicates + self.from.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn growth_expr() -> Expr {
+        // POWER(a.2017 / b.2016, 1 / (2017 - 2016)) - 1
+        Expr::binary(
+            BinOp::Sub,
+            Expr::func(
+                "POWER",
+                vec![
+                    Expr::binary(BinOp::Div, Expr::column("a", "2017"), Expr::column("b", "2016")),
+                    Expr::binary(
+                        BinOp::Div,
+                        Expr::Number(1.0),
+                        Expr::binary(BinOp::Sub, Expr::Number(2017.0), Expr::Number(2016.0)),
+                    ),
+                ],
+            ),
+            Expr::Number(1.0),
+        )
+    }
+
+    #[test]
+    fn columns_are_collected_in_order() {
+        let expr = growth_expr();
+        let cols = expr.columns();
+        assert_eq!(cols, vec![("a", "2017"), ("b", "2016")]);
+    }
+
+    #[test]
+    fn element_count_counts_everything() {
+        // nodes: -, POWER, /, a.2017, b.2016, /, 1, -, 2017, 2016, 1 = 11
+        assert_eq!(growth_expr().element_count(), 11);
+    }
+
+    #[test]
+    fn key_candidates_deduplicate() {
+        let stmt = SelectStmt {
+            projection: Expr::Number(1.0),
+            from: vec![("GED".into(), "a".into()), ("GED".into(), "b".into())],
+            where_groups: vec![
+                vec![KeyPredicate {
+                    alias: "a".into(),
+                    column: "Index".into(),
+                    value: "X".into(),
+                }],
+                vec![
+                    KeyPredicate { alias: "b".into(), column: "Index".into(), value: "Y".into() },
+                    KeyPredicate { alias: "b".into(), column: "Index".into(), value: "X".into() },
+                ],
+            ],
+        };
+        assert_eq!(stmt.key_candidates("a"), vec!["X"]);
+        assert_eq!(stmt.key_candidates("b"), vec!["X", "Y"]);
+        assert_eq!(stmt.table_of("b"), Some("GED"));
+        assert_eq!(stmt.table_of("z"), None);
+        // 1 projection node + 3 predicates + 2 relations
+        assert_eq!(stmt.element_count(), 6);
+    }
+
+    #[test]
+    fn precedence_ordering() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Gt.precedence());
+        assert!(BinOp::Ge.is_comparison());
+        assert!(!BinOp::Div.is_comparison());
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for parsing and executing statistical-check queries.
+
+use std::fmt;
+
+/// Errors produced while lexing, parsing, or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Unexpected character during lexing.
+    Lex {
+        /// Byte offset in the input.
+        offset: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// Unexpected token during parsing.
+    Parse {
+        /// Byte offset of the token.
+        offset: usize,
+        /// What the parser expected.
+        expected: String,
+        /// What it found instead.
+        found: String,
+    },
+    /// The FROM clause does not define this alias.
+    UnknownAlias(String),
+    /// The same alias was declared twice in FROM.
+    DuplicateAlias(String),
+    /// A WHERE predicate references a non-key column (Definition 3 restricts
+    /// predicates to key attributes).
+    NonKeyPredicate {
+        /// Alias the predicate applies to.
+        alias: String,
+        /// The non-key column referenced.
+        column: String,
+    },
+    /// Call to a function not present in the registry.
+    UnknownFunction(String),
+    /// A function was called with an unsupported number of arguments.
+    Arity {
+        /// Function name.
+        function: String,
+        /// Arguments supplied.
+        got: usize,
+        /// Human-readable description of what the function accepts.
+        expected: String,
+    },
+    /// Arithmetic failure during evaluation (division by zero, NaN, a null
+    /// cell, non-numeric operand).
+    Arithmetic(String),
+    /// The query produced no binding that satisfies the WHERE clause.
+    NoBinding,
+    /// Error raised by the storage layer.
+    Data(scrutinizer_data::DataError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { offset, found } => {
+                write!(f, "unexpected character `{found}` at byte {offset}")
+            }
+            QueryError::Parse { offset, expected, found } => {
+                write!(f, "parse error at byte {offset}: expected {expected}, found {found}")
+            }
+            QueryError::UnknownAlias(a) => write!(f, "alias `{a}` is not declared in FROM"),
+            QueryError::DuplicateAlias(a) => write!(f, "alias `{a}` declared twice in FROM"),
+            QueryError::NonKeyPredicate { alias, column } => {
+                write!(f, "predicate on `{alias}.{column}` is not over a key attribute")
+            }
+            QueryError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            QueryError::Arity { function, got, expected } => {
+                write!(f, "`{function}` called with {got} argument(s), expects {expected}")
+            }
+            QueryError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            QueryError::NoBinding => write!(f, "no row binding satisfies the WHERE clause"),
+            QueryError::Data(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scrutinizer_data::DataError> for QueryError {
+    fn from(e: scrutinizer_data::DataError) -> Self {
+        QueryError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(QueryError::UnknownAlias("c".into()).to_string().contains("`c`"));
+        assert!(QueryError::NoBinding.to_string().contains("WHERE"));
+        let e = QueryError::Arity {
+            function: "POWER".into(),
+            got: 3,
+            expected: "exactly 2".into(),
+        };
+        assert!(e.to_string().contains("POWER"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Expression evaluation.
+
+use crate::ast::{BinOp, Expr, UnaryOp};
+use crate::error::QueryError;
+use crate::functions::FunctionRegistry;
+use crate::Result;
+
+/// Evaluates `expr`, resolving column references through `lookup`.
+///
+/// `lookup(alias, column)` returns the numeric cell bound to the alias; the
+/// executor implements it via the key index, the formula crate via variable
+/// bindings. Comparisons evaluate to `1.0` / `0.0`.
+pub fn eval_expr(
+    expr: &Expr,
+    registry: &FunctionRegistry,
+    lookup: &mut dyn FnMut(&str, &str) -> Result<f64>,
+) -> Result<f64> {
+    match expr {
+        Expr::Number(n) => Ok(*n),
+        Expr::Column { alias, column } => lookup(alias, column),
+        Expr::Unary { op: UnaryOp::Neg, expr } => Ok(-eval_expr(expr, registry, lookup)?),
+        Expr::Binary { op, left, right } => {
+            let l = eval_expr(left, registry, lookup)?;
+            let r = eval_expr(right, registry, lookup)?;
+            apply_binop(*op, l, r)
+        }
+        Expr::Func { name, args } => {
+            let mut values = Vec::with_capacity(args.len());
+            for arg in args {
+                values.push(eval_expr(arg, registry, lookup)?);
+            }
+            registry.call(name, &values)
+        }
+    }
+}
+
+/// Applies a binary operator with arithmetic checking.
+pub fn apply_binop(op: BinOp, l: f64, r: f64) -> Result<f64> {
+    let value = match op {
+        BinOp::Add => l + r,
+        BinOp::Sub => l - r,
+        BinOp::Mul => l * r,
+        BinOp::Div => {
+            if r == 0.0 {
+                return Err(QueryError::Arithmetic("division by zero".into()));
+            }
+            l / r
+        }
+        BinOp::Gt => f64::from(l > r),
+        BinOp::Ge => f64::from(l >= r),
+        BinOp::Lt => f64::from(l < r),
+        BinOp::Le => f64::from(l <= r),
+        BinOp::Eq => f64::from(l == r),
+        BinOp::Ne => f64::from(l != r),
+    };
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(QueryError::Arithmetic(format!("{} {} {} is not finite", l, op.symbol(), r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn eval_str(src: &str) -> Result<f64> {
+        let expr = parse_expr(src).unwrap();
+        let registry = FunctionRegistry::standard();
+        eval_expr(&expr, &registry, &mut |alias, column| {
+            // toy resolver: a.2016 = 100, a.2017 = 103, b.* mirrors a.*
+            match (alias, column) {
+                (_, "2016") => Ok(100.0),
+                (_, "2017") => Ok(103.0),
+                _ => Err(QueryError::Arithmetic(format!("no binding for {alias}.{column}"))),
+            }
+        })
+    }
+
+    #[test]
+    fn arithmetic_and_functions() {
+        assert_eq!(eval_str("1 + 2 * 3").unwrap(), 7.0);
+        assert_eq!(eval_str("(1 + 2) * 3").unwrap(), 9.0);
+        assert_eq!(eval_str("-(2 + 3)").unwrap(), -5.0);
+        assert!((eval_str("POWER(a.2017 / b.2016, 1 / (2017 - 2016)) - 1").unwrap() - 0.03).abs()
+            < 1e-12);
+    }
+
+    #[test]
+    fn comparisons_are_numeric() {
+        assert_eq!(eval_str("a.2017 > 100").unwrap(), 1.0);
+        assert_eq!(eval_str("a.2017 < 100").unwrap(), 0.0);
+        assert_eq!(eval_str("a.2016 = 100").unwrap(), 1.0);
+        assert_eq!(eval_str("a.2016 <> 100").unwrap(), 0.0);
+        assert_eq!(eval_str("a.2016 >= 100").unwrap(), 1.0);
+        assert_eq!(eval_str("a.2016 <= 99").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        assert!(matches!(eval_str("1 / 0"), Err(QueryError::Arithmetic(_))));
+        assert!(matches!(eval_str("1 / (2017 - 2017)"), Err(QueryError::Arithmetic(_))));
+    }
+
+    #[test]
+    fn overflow_is_error() {
+        assert!(matches!(eval_str("EXP(10000) * EXP(10000)"), Err(QueryError::Arithmetic(_))));
+    }
+
+    #[test]
+    fn lookup_errors_propagate() {
+        assert!(eval_str("a.1999").is_err());
+    }
+}

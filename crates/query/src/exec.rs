@@ -1,0 +1,287 @@
+//! Query execution: bind aliases to rows, evaluate the projection.
+
+use crate::ast::SelectStmt;
+use crate::error::QueryError;
+use crate::eval::eval_expr;
+use crate::functions::FunctionRegistry;
+use crate::Result;
+use scrutinizer_data::{Catalog, Value};
+
+/// One assignment of aliases to primary-key values.
+///
+/// `keys[i]` is the key bound to `stmt.from[i]`'s alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// Key value per FROM entry, in FROM order.
+    pub keys: Vec<String>,
+}
+
+/// Executes the statement, returning the value of the first satisfying
+/// binding (bindings are enumerated deterministically in FROM order ×
+/// WHERE-clause order).
+pub fn execute(catalog: &Catalog, stmt: &SelectStmt) -> Result<Value> {
+    let registry = FunctionRegistry::standard();
+    execute_with(catalog, stmt, &registry)?
+        .into_iter()
+        .next()
+        .map(|(_, v)| v)
+        .ok_or(QueryError::NoBinding)
+}
+
+/// Executes the statement, returning every satisfying binding with its value.
+pub fn execute_all(catalog: &Catalog, stmt: &SelectStmt) -> Result<Vec<(Binding, Value)>> {
+    let registry = FunctionRegistry::standard();
+    execute_with(catalog, stmt, &registry)
+}
+
+/// Executes with an explicit function registry.
+///
+/// Bindings whose evaluation fails arithmetically (missing cell, division by
+/// zero) are skipped rather than failing the query: Algorithm 2 probes many
+/// speculative bindings and only cares about the ones that evaluate.
+pub fn execute_with(
+    catalog: &Catalog,
+    stmt: &SelectStmt,
+    registry: &FunctionRegistry,
+) -> Result<Vec<(Binding, Value)>> {
+    // Per alias: the set of admissible keys (intersection of its OR-groups).
+    let mut candidates: Vec<Vec<String>> = Vec::with_capacity(stmt.from.len());
+    for (table_name, alias) in &stmt.from {
+        let table = catalog.get(table_name)?;
+        // validate predicates reference the key column
+        for group in &stmt.where_groups {
+            for p in group {
+                if p.alias == *alias && p.column != table.schema().key_name() {
+                    return Err(QueryError::NonKeyPredicate {
+                        alias: alias.clone(),
+                        column: p.column.clone(),
+                    });
+                }
+            }
+        }
+        let groups: Vec<&Vec<_>> = stmt
+            .where_groups
+            .iter()
+            .filter(|g| g.iter().any(|p| p.alias == *alias))
+            .collect();
+        let keys: Vec<String> = if groups.is_empty() {
+            // unconstrained alias: every key of the table
+            table.keys().map(str::to_string).collect()
+        } else {
+            // keys allowed by every OR-group that mentions the alias
+            let mut keys: Vec<String> = groups[0]
+                .iter()
+                .filter(|p| p.alias == *alias)
+                .map(|p| p.value.clone())
+                .collect();
+            for group in &groups[1..] {
+                keys.retain(|k| {
+                    group.iter().any(|p| p.alias == *alias && p.value == *k)
+                });
+            }
+            keys.sort_unstable();
+            keys.dedup();
+            keys.retain(|k| table.contains_key(k));
+            keys
+        };
+        candidates.push(keys);
+    }
+
+    // Enumerate the cross product of per-alias candidates.
+    let mut results = Vec::new();
+    let mut current = vec![0usize; candidates.len()];
+    if candidates.iter().any(Vec::is_empty) {
+        return Ok(results);
+    }
+    loop {
+        let keys: Vec<String> = current
+            .iter()
+            .zip(&candidates)
+            .map(|(&i, keys)| keys[i].clone())
+            .collect();
+        let mut lookup = |alias: &str, column: &str| -> Result<f64> {
+            let position = stmt
+                .from
+                .iter()
+                .position(|(_, a)| a == alias)
+                .ok_or_else(|| QueryError::UnknownAlias(alias.to_string()))?;
+            let table = catalog.get(&stmt.from[position].0)?;
+            let value = table.get(&keys[position], column)?;
+            value.as_f64().ok_or_else(|| {
+                QueryError::Arithmetic(format!(
+                    "{alias}.{column} is {} `{value}`, not numeric",
+                    value.type_name()
+                ))
+            })
+        };
+        match eval_expr(&stmt.projection, registry, &mut lookup) {
+            Ok(v) => results.push((Binding { keys }, Value::Float(v))),
+            Err(QueryError::Arithmetic(_)) | Err(QueryError::Data(_)) => {}
+            Err(other) => return Err(other),
+        }
+        // odometer increment
+        let mut dim = candidates.len();
+        loop {
+            if dim == 0 {
+                return Ok(results);
+            }
+            dim -= 1;
+            current[dim] += 1;
+            if current[dim] < candidates[dim].len() {
+                break;
+            }
+            current[dim] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use scrutinizer_data::TableBuilder;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add(
+            TableBuilder::new("GED", "Index", &["2000", "2016", "2017"])
+                .row("PGElecDemand", &[15_000.0, 21_566.0, 22_209.0])
+                .unwrap()
+                .row("CapAddTotal_Wind", &[5.8, 48.0, 52.2])
+                .unwrap()
+                .row("Sparse", &[1.0, 0.0, 3.0])
+                .unwrap()
+                .build(),
+        )
+        .unwrap();
+        cat.add(
+            TableBuilder::new("GED_EU", "Index", &["2016", "2017"])
+                .row("PGElecDemand", &[3_300.0, 3_350.0])
+                .unwrap()
+                .build(),
+        )
+        .unwrap();
+        cat
+    }
+
+    #[test]
+    fn example1_growth_query() {
+        let cat = catalog();
+        let stmt = parse(
+            "SELECT POWER(a.2017/b.2016, 1/(2017-2016)) - 1 \
+             FROM GED a, GED b \
+             WHERE a.Index = 'PGElecDemand' AND b.Index = 'PGElecDemand'",
+        )
+        .unwrap();
+        let value = execute(&cat, &stmt).unwrap();
+        assert!((value.as_f64().unwrap() - 0.0298).abs() < 1e-3, "~3% growth");
+    }
+
+    #[test]
+    fn example3_ninefold_query() {
+        let cat = catalog();
+        let stmt = parse(
+            "SELECT a.2017 / b.2000 FROM GED a, GED b \
+             WHERE a.Index = 'CapAddTotal_Wind' AND b.Index = 'CapAddTotal_Wind'",
+        )
+        .unwrap();
+        let value = execute(&cat, &stmt).unwrap();
+        assert!((value.as_f64().unwrap() - 9.0).abs() < 0.01, "nine-fold");
+    }
+
+    #[test]
+    fn disjunction_produces_multiple_bindings() {
+        let cat = catalog();
+        let stmt = parse(
+            "SELECT a.2017 FROM GED a \
+             WHERE (a.Index = 'PGElecDemand' OR a.Index = 'CapAddTotal_Wind')",
+        )
+        .unwrap();
+        let all = execute_all(&cat, &stmt).unwrap();
+        assert_eq!(all.len(), 2);
+        // deterministic order: candidates are sorted
+        assert_eq!(all[0].0.keys, vec!["CapAddTotal_Wind".to_string()]);
+        assert_eq!(all[1].0.keys, vec!["PGElecDemand".to_string()]);
+    }
+
+    #[test]
+    fn cross_table_join() {
+        let cat = catalog();
+        let stmt = parse(
+            "SELECT a.2017 / b.2017 FROM GED a, GED_EU b \
+             WHERE a.Index = 'PGElecDemand' AND b.Index = 'PGElecDemand'",
+        )
+        .unwrap();
+        let value = execute(&cat, &stmt).unwrap();
+        assert!((value.as_f64().unwrap() - 22_209.0 / 3_350.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_key_yields_no_binding() {
+        let cat = catalog();
+        let stmt = parse("SELECT a.2017 FROM GED a WHERE a.Index = 'Nope'").unwrap();
+        assert!(matches!(execute(&cat, &stmt), Err(QueryError::NoBinding)));
+        assert!(execute_all(&cat, &stmt).unwrap().is_empty());
+    }
+
+    #[test]
+    fn arithmetic_failures_skip_binding() {
+        let cat = catalog();
+        // division by the zero cell of `Sparse`.2016 is skipped, not an error
+        let stmt = parse(
+            "SELECT a.2017 / a.2016 FROM GED a \
+             WHERE (a.Index = 'Sparse' OR a.Index = 'PGElecDemand')",
+        )
+        .unwrap();
+        let all = execute_all(&cat, &stmt).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0.keys, vec!["PGElecDemand".to_string()]);
+    }
+
+    #[test]
+    fn non_key_predicate_rejected() {
+        let cat = catalog();
+        let stmt = parse("SELECT a.2017 FROM GED a WHERE a.2016 = 'x'").unwrap();
+        assert!(matches!(
+            execute(&cat, &stmt),
+            Err(QueryError::NonKeyPredicate { .. })
+        ));
+    }
+
+    #[test]
+    fn conflicting_conjuncts_empty() {
+        let cat = catalog();
+        // a.Index must equal both values — impossible
+        let stmt = parse(
+            "SELECT a.2017 FROM GED a \
+             WHERE a.Index = 'PGElecDemand' AND a.Index = 'CapAddTotal_Wind'",
+        )
+        .unwrap();
+        assert!(execute_all(&cat, &stmt).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unconstrained_alias_scans_all_keys() {
+        let cat = catalog();
+        let stmt = parse("SELECT a.2017 FROM GED_EU a").unwrap();
+        let all = execute_all(&cat, &stmt).unwrap();
+        assert_eq!(all.len(), 1);
+    }
+
+    #[test]
+    fn boolean_query_style() {
+        let cat = catalog();
+        let stmt = parse(
+            "SELECT a.2017 > 20000 FROM GED a WHERE a.Index = 'PGElecDemand'",
+        )
+        .unwrap();
+        assert_eq!(execute(&cat, &stmt).unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn unknown_table_is_error() {
+        let cat = catalog();
+        let stmt = parse("SELECT a.2017 FROM Missing a").unwrap();
+        assert!(matches!(execute(&cat, &stmt), Err(QueryError::Data(_))));
+    }
+}

@@ -1,0 +1,387 @@
+//! The function library `F` of Definition 3.
+//!
+//! The paper observes "more than 100 different combinations of operations" in
+//! the IEA corpus and deliberately does **not** fix `F`: combinations are
+//! learned as formulas. What must be fixed is the set of *primitive*
+//! scalar/aggregate functions those formulas compose. This registry holds
+//! the primitives and is extensible per domain (`register`).
+
+use crate::error::QueryError;
+use crate::Result;
+use scrutinizer_data::hash::FxHashMap;
+
+/// Acceptable argument counts for a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arity {
+    /// Exactly `n` arguments.
+    Exact(usize),
+    /// At least `n` arguments (variadic aggregates).
+    AtLeast(usize),
+}
+
+impl Arity {
+    fn accepts(self, n: usize) -> bool {
+        match self {
+            Arity::Exact(k) => n == k,
+            Arity::AtLeast(k) => n >= k,
+        }
+    }
+
+    fn describe(self) -> String {
+        match self {
+            Arity::Exact(k) => format!("exactly {k}"),
+            Arity::AtLeast(k) => format!("at least {k}"),
+        }
+    }
+}
+
+/// A scalar/aggregate function implementation over f64 arguments.
+pub type FnImpl = fn(&[f64]) -> std::result::Result<f64, String>;
+
+/// A registered function.
+#[derive(Clone)]
+pub struct Function {
+    /// Upper-case name used in SQL and formulas.
+    pub name: &'static str,
+    /// Accepted argument counts.
+    pub arity: Arity,
+    /// One-line description shown on verification screens.
+    pub description: &'static str,
+    /// Implementation.
+    pub imp: FnImpl,
+}
+
+impl std::fmt::Debug for Function {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Function")
+            .field("name", &self.name)
+            .field("arity", &self.arity)
+            .finish()
+    }
+}
+
+/// Registry of the primitive functions available to checks.
+#[derive(Debug, Clone)]
+pub struct FunctionRegistry {
+    by_name: FxHashMap<String, Function>,
+}
+
+impl FunctionRegistry {
+    /// Creates a registry with the standard statistical-check primitives.
+    pub fn standard() -> Self {
+        let mut reg = FunctionRegistry { by_name: FxHashMap::default() };
+        for f in STANDARD {
+            reg.by_name.insert(f.name.to_string(), f.clone());
+        }
+        reg
+    }
+
+    /// Creates an empty registry (domains can start from scratch).
+    pub fn empty() -> Self {
+        FunctionRegistry { by_name: FxHashMap::default() }
+    }
+
+    /// Registers (or replaces) a function.
+    pub fn register(&mut self, function: Function) {
+        self.by_name.insert(function.name.to_string(), function);
+    }
+
+    /// Looks up a function by (case-insensitive) name.
+    pub fn get(&self, name: &str) -> Option<&Function> {
+        self.by_name.get(&name.to_ascii_uppercase())
+    }
+
+    /// Calls `name` with `args`, checking arity.
+    pub fn call(&self, name: &str, args: &[f64]) -> Result<f64> {
+        let function = self
+            .get(name)
+            .ok_or_else(|| QueryError::UnknownFunction(name.to_string()))?;
+        if !function.arity.accepts(args.len()) {
+            return Err(QueryError::Arity {
+                function: function.name.to_string(),
+                got: args.len(),
+                expected: function.arity.describe(),
+            });
+        }
+        let value = (function.imp)(args).map_err(QueryError::Arithmetic)?;
+        if value.is_nan() {
+            return Err(QueryError::Arithmetic(format!("{name} produced NaN")));
+        }
+        Ok(value)
+    }
+
+    /// Names of all registered functions, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.by_name.values().map(|f| f.name).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// True when no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+impl Default for FunctionRegistry {
+    fn default() -> Self {
+        FunctionRegistry::standard()
+    }
+}
+
+fn checked(v: f64, what: &str) -> std::result::Result<f64, String> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(format!("{what} is not finite"))
+    }
+}
+
+/// The standard primitives. CAGR/SHARE/PCT_CHANGE are the domain idioms the
+/// IEA checkers use constantly (compound annual growth rate is called out in
+/// §4.2); the rest are ordinary SQL math functions.
+static STANDARD: &[Function] = &[
+    Function {
+        name: "POWER",
+        arity: Arity::Exact(2),
+        description: "x raised to the power y",
+        imp: |a| checked(a[0].powf(a[1]), "power"),
+    },
+    Function {
+        name: "SQRT",
+        arity: Arity::Exact(1),
+        description: "square root",
+        imp: |a| {
+            if a[0] < 0.0 {
+                Err("sqrt of negative".into())
+            } else {
+                Ok(a[0].sqrt())
+            }
+        },
+    },
+    Function {
+        name: "ABS",
+        arity: Arity::Exact(1),
+        description: "absolute value",
+        imp: |a| Ok(a[0].abs()),
+    },
+    Function {
+        name: "LN",
+        arity: Arity::Exact(1),
+        description: "natural logarithm",
+        imp: |a| {
+            if a[0] <= 0.0 {
+                Err("ln of non-positive".into())
+            } else {
+                Ok(a[0].ln())
+            }
+        },
+    },
+    Function {
+        name: "LOG10",
+        arity: Arity::Exact(1),
+        description: "base-10 logarithm",
+        imp: |a| {
+            if a[0] <= 0.0 {
+                Err("log of non-positive".into())
+            } else {
+                Ok(a[0].log10())
+            }
+        },
+    },
+    Function {
+        name: "EXP",
+        arity: Arity::Exact(1),
+        description: "e raised to x",
+        imp: |a| checked(a[0].exp(), "exp"),
+    },
+    Function {
+        name: "ROUND",
+        arity: Arity::AtLeast(1),
+        description: "round to n decimal places (default 0)",
+        imp: |a| {
+            let digits = a.get(1).copied().unwrap_or(0.0) as i32;
+            let scale = 10f64.powi(digits);
+            checked((a[0] * scale).round() / scale, "round")
+        },
+    },
+    Function {
+        name: "FLOOR",
+        arity: Arity::Exact(1),
+        description: "round down",
+        imp: |a| Ok(a[0].floor()),
+    },
+    Function {
+        name: "CEIL",
+        arity: Arity::Exact(1),
+        description: "round up",
+        imp: |a| Ok(a[0].ceil()),
+    },
+    Function {
+        name: "MIN",
+        arity: Arity::AtLeast(1),
+        description: "minimum of the arguments",
+        imp: |a| Ok(a.iter().copied().fold(f64::INFINITY, f64::min)),
+    },
+    Function {
+        name: "MAX",
+        arity: Arity::AtLeast(1),
+        description: "maximum of the arguments",
+        imp: |a| Ok(a.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+    },
+    Function {
+        name: "SUM",
+        arity: Arity::AtLeast(1),
+        description: "sum of the arguments",
+        imp: |a| Ok(a.iter().sum()),
+    },
+    Function {
+        name: "AVG",
+        arity: Arity::AtLeast(1),
+        description: "arithmetic mean of the arguments",
+        imp: |a| Ok(a.iter().sum::<f64>() / a.len() as f64),
+    },
+    Function {
+        name: "COUNT",
+        arity: Arity::AtLeast(0),
+        description: "number of arguments",
+        imp: |a| Ok(a.len() as f64),
+    },
+    Function {
+        name: "CAGR",
+        arity: Arity::Exact(3),
+        description: "compound annual growth rate: (end/start)^(1/years) - 1",
+        imp: |a| {
+            if a[1] == 0.0 {
+                return Err("CAGR with zero start value".into());
+            }
+            if a[2] == 0.0 {
+                return Err("CAGR over zero years".into());
+            }
+            checked((a[0] / a[1]).powf(1.0 / a[2]) - 1.0, "CAGR")
+        },
+    },
+    Function {
+        name: "SHARE",
+        arity: Arity::Exact(2),
+        description: "part divided by whole",
+        imp: |a| {
+            if a[1] == 0.0 {
+                Err("share of zero whole".into())
+            } else {
+                Ok(a[0] / a[1])
+            }
+        },
+    },
+    Function {
+        name: "PCT_CHANGE",
+        arity: Arity::Exact(2),
+        description: "relative change: (new - old) / old",
+        imp: |a| {
+            if a[1] == 0.0 {
+                Err("percent change from zero".into())
+            } else {
+                Ok((a[0] - a[1]) / a[1])
+            }
+        },
+    },
+    Function {
+        name: "RATIO",
+        arity: Arity::Exact(2),
+        description: "x divided by y ('nine-fold' style multiples)",
+        imp: |a| {
+            if a[1] == 0.0 {
+                Err("ratio with zero denominator".into())
+            } else {
+                Ok(a[0] / a[1])
+            }
+        },
+    },
+    Function {
+        name: "DIFF",
+        arity: Arity::Exact(2),
+        description: "x minus y",
+        imp: |a| Ok(a[0] - a[1]),
+    },
+    Function {
+        name: "PI",
+        arity: Arity::Exact(0),
+        description: "the constant pi",
+        imp: |_| Ok(std::f64::consts::PI),
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_functions_compute() {
+        let reg = FunctionRegistry::standard();
+        assert_eq!(reg.call("POWER", &[2.0, 10.0]).unwrap(), 1024.0);
+        assert!((reg.call("CAGR", &[22_209.0, 21_566.0, 1.0]).unwrap() - 0.0298).abs() < 1e-3);
+        assert_eq!(reg.call("RATIO", &[90.0, 10.0]).unwrap(), 9.0);
+        assert_eq!(reg.call("SHARE", &[25.0, 100.0]).unwrap(), 0.25);
+        assert_eq!(reg.call("DIFF", &[5.0, 3.0]).unwrap(), 2.0);
+        assert!((reg.call("PCT_CHANGE", &[103.0, 100.0]).unwrap() - 0.03).abs() < 1e-12);
+        assert_eq!(reg.call("SUM", &[1.0, 2.0, 3.0]).unwrap(), 6.0);
+        assert_eq!(reg.call("AVG", &[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert_eq!(reg.call("MIN", &[3.0, 1.0, 2.0]).unwrap(), 1.0);
+        assert_eq!(reg.call("MAX", &[3.0, 1.0, 2.0]).unwrap(), 3.0);
+        assert_eq!(reg.call("COUNT", &[3.0, 1.0]).unwrap(), 2.0);
+        assert_eq!(reg.call("ROUND", &[3.14159, 2.0]).unwrap(), 3.14);
+        assert_eq!(reg.call("ROUND", &[3.6]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let reg = FunctionRegistry::standard();
+        assert!(reg.get("power").is_some());
+        assert!(reg.get("Power").is_some());
+        assert_eq!(reg.call("power", &[3.0, 2.0]).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn arity_violations() {
+        let reg = FunctionRegistry::standard();
+        assert!(matches!(reg.call("POWER", &[1.0]), Err(QueryError::Arity { .. })));
+        assert!(matches!(reg.call("MIN", &[]), Err(QueryError::Arity { .. })));
+    }
+
+    #[test]
+    fn unknown_function() {
+        let reg = FunctionRegistry::standard();
+        assert!(matches!(reg.call("FOO", &[]), Err(QueryError::UnknownFunction(_))));
+    }
+
+    #[test]
+    fn domain_errors_surface() {
+        let reg = FunctionRegistry::standard();
+        assert!(matches!(reg.call("SQRT", &[-1.0]), Err(QueryError::Arithmetic(_))));
+        assert!(matches!(reg.call("LN", &[0.0]), Err(QueryError::Arithmetic(_))));
+        assert!(matches!(reg.call("CAGR", &[1.0, 0.0, 1.0]), Err(QueryError::Arithmetic(_))));
+        assert!(matches!(reg.call("SHARE", &[1.0, 0.0]), Err(QueryError::Arithmetic(_))));
+        // POWER producing NaN (negative base, fractional exponent)
+        assert!(matches!(reg.call("POWER", &[-8.0, 0.5]), Err(QueryError::Arithmetic(_))));
+    }
+
+    #[test]
+    fn registry_is_extensible() {
+        let mut reg = FunctionRegistry::standard();
+        let before = reg.len();
+        reg.register(Function {
+            name: "DOUBLE",
+            arity: Arity::Exact(1),
+            description: "2x",
+            imp: |a| Ok(2.0 * a[0]),
+        });
+        assert_eq!(reg.len(), before + 1);
+        assert_eq!(reg.call("DOUBLE", &[21.0]).unwrap(), 42.0);
+        assert!(reg.names().contains(&"DOUBLE"));
+    }
+}

@@ -1,0 +1,374 @@
+//! Tokenizer for the statistical-check fragment.
+
+use crate::error::QueryError;
+use crate::Result;
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source string (for error messages).
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword: SELECT, FROM, WHERE, AND, OR (case-insensitive in source).
+    Keyword(Keyword),
+    /// Identifier (table/alias/function/column names).
+    Ident(String),
+    /// Numeric literal. Kept as raw text so `a.2017` can use it as a column.
+    Number(String),
+    /// Single-quoted string literal with `''` escaping.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input sentinel.
+    Eof,
+}
+
+/// Reserved words of the fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `SELECT`
+    Select,
+    /// `FROM`
+    From,
+    /// `WHERE`
+    Where,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl TokenKind {
+    /// Human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Keyword(k) => format!("keyword {k:?}").to_ascii_uppercase(),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Number(n) => format!("number `{n}`"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::Comma => ",",
+            TokenKind::Dot => ".",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Eq => "=",
+            TokenKind::Ne => "<>",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            _ => "?",
+        }
+    }
+}
+
+/// Tokenizes `input`, appending a trailing [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::with_capacity(input.len() / 4 + 4);
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            '.' if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() && !prev_is_value(&tokens) =>
+            {
+                // `.5` style literal only when a dot cannot be a qualifier
+                let end = scan_number(bytes, i);
+                tokens.push(Token {
+                    kind: TokenKind::Number(input[start..end].to_string()),
+                    offset: start,
+                });
+                i = end;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                i += 2;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'>') => {
+                tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                i += 2;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::Le, offset: start });
+                i += 2;
+            }
+            '<' => {
+                tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                i += 1;
+            }
+            '>' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                i += 2;
+            }
+            '>' => {
+                tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                i += 1;
+            }
+            '\'' => {
+                let mut value = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => return Err(QueryError::Lex { offset: start, found: '\'' }),
+                        Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => {
+                            value.push('\'');
+                            j += 2;
+                        }
+                        Some(b'\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // advance over a full UTF-8 code point
+                            let ch = input[j..].chars().next().expect("in bounds");
+                            value.push(ch);
+                            j += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(value), offset: start });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let end = scan_number(bytes, i);
+                tokens.push(Token {
+                    kind: TokenKind::Number(input[start..end].to_string()),
+                    offset: start,
+                });
+                i = end;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[start..j];
+                let kind = match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => TokenKind::Keyword(Keyword::Select),
+                    "FROM" => TokenKind::Keyword(Keyword::From),
+                    "WHERE" => TokenKind::Keyword(Keyword::Where),
+                    "AND" => TokenKind::Keyword(Keyword::And),
+                    "OR" => TokenKind::Keyword(Keyword::Or),
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, offset: start });
+                i = j;
+            }
+            other => return Err(QueryError::Lex { offset: start, found: other }),
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(tokens)
+}
+
+/// Scans digits, one optional decimal point, more digits, optional exponent.
+fn scan_number(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// True when the previous token can end a value expression — then a following
+/// `.` must be a qualifier dot, not the start of a `.5` literal.
+fn prev_is_value(tokens: &[Token]) -> bool {
+    matches!(
+        tokens.last().map(|t| &t.kind),
+        Some(TokenKind::Ident(_)) | Some(TokenKind::Number(_)) | Some(TokenKind::RParen)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_paper_query() {
+        let toks = kinds("SELECT POWER(a.2017/b.2016,1/(2017-2016)) -1");
+        assert_eq!(toks[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(toks[1], TokenKind::Ident("POWER".into()));
+        // a . 2017 — the year is a Number token after a qualifier Dot
+        assert_eq!(toks[3], TokenKind::Ident("a".into()));
+        assert_eq!(toks[4], TokenKind::Dot);
+        assert_eq!(toks[5], TokenKind::Number("2017".into()));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn qualifier_dot_vs_decimal_literal() {
+        // a.2017 → Ident Dot Number; 0.5 and bare .5 → single Number
+        assert_eq!(
+            kinds("a.2017"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Number("2017".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(kinds("0.5"), vec![TokenKind::Number("0.5".into()), TokenKind::Eof]);
+        assert_eq!(kinds("( .5 )")[1], TokenKind::Number(".5".into()));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'PG''s Demand'"),
+            vec![TokenKind::Str("PG's Demand".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(tokenize("'abc"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= = <> !="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(kinds("select From WHERE and OR")[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(kinds("select From WHERE and OR")[3], TokenKind::Keyword(Keyword::And));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(matches!(tokenize("SELECT #"), Err(QueryError::Lex { found: '#', .. })));
+    }
+
+    #[test]
+    fn exponent_numbers() {
+        assert_eq!(kinds("1e-3"), vec![TokenKind::Number("1e-3".into()), TokenKind::Eof]);
+        assert_eq!(kinds("2.5E4"), vec![TokenKind::Number("2.5E4".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn underscored_identifiers() {
+        assert_eq!(
+            kinds("CapAddTotal_Wind")[0],
+            TokenKind::Ident("CapAddTotal_Wind".into())
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # scrutinizer-query
+//!
+//! The *statistical check* SQL fragment of Definition 3:
+//!
+//! ```sql
+//! SELECT f(a.A1, b.A2, ...)
+//! FROM T1 a, T2 b, ...
+//! WHERE a.key = 'v1' AND (b.key = 'v2' OR b.key = 'v3') AND ...
+//! ```
+//!
+//! * the `WHERE` clause is a conjunction of disjunctions of unary equality
+//!   predicates over primary-key attributes,
+//! * the `SELECT` clause is a possibly nested combination of functions from
+//!   the library [`functions::FunctionRegistry`] over attribute values and
+//!   constants (`POWER(a.2017/b.2016, 1/(2017-2016)) - 1`, …).
+//!
+//! The crate provides a lexer, a recursive-descent parser, an expression
+//! evaluator, an executor that enumerates key bindings, and a pretty-printer
+//! that renders queries back to the human-readable SQL fact checkers see on
+//! their screens (Figure 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod functions;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{BinOp, Expr, KeyPredicate, SelectStmt, UnaryOp};
+pub use error::QueryError;
+pub use exec::{execute, execute_all, Binding};
+pub use functions::FunctionRegistry;
+pub use parser::parse;
+
+use scrutinizer_data::{Catalog, Value};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, QueryError>;
+
+/// Parses and executes a statistical-check query, returning its single value.
+///
+/// Fails if the query produces zero bindings; when several bindings satisfy
+/// the `WHERE` clause the first (deterministic) one is returned — use
+/// [`execute_all`] to inspect every binding of an ambiguous query.
+pub fn run_sql(catalog: &Catalog, sql: &str) -> Result<Value> {
+    let stmt = parse(sql)?;
+    execute(catalog, &stmt)
+}

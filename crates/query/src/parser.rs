@@ -1,0 +1,410 @@
+//! Recursive-descent parser for the statistical-check fragment.
+
+use crate::ast::{BinOp, Expr, KeyPredicate, SelectStmt, UnaryOp};
+use crate::error::QueryError;
+use crate::lexer::{tokenize, Keyword, Token, TokenKind};
+use crate::Result;
+
+/// Parses a complete statistical-check SELECT statement.
+pub fn parse(input: &str) -> Result<SelectStmt> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let stmt = parser.select_stmt()?;
+    parser.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parses a standalone expression (used by the formula crate's tests and the
+/// screen renderer).
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.expr(0)?;
+    parser.expect_eof()?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error(&self, expected: &str) -> QueryError {
+        QueryError::Parse {
+            offset: self.offset(),
+            expected: expected.to_string(),
+            found: self.peek().describe(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, expected: &str) -> Result<()> {
+        if self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(expected))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<()> {
+        self.expect(&TokenKind::Keyword(kw), &format!("{kw:?}").to_ascii_uppercase())
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error("end of input"))
+        }
+    }
+
+    fn ident(&mut self, expected: &str) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            _ => Err(self.error(expected)),
+        }
+    }
+
+    /// Identifier or bare number — column names in the IEA schema are years.
+    fn column_name(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            TokenKind::Number(raw) => {
+                self.advance();
+                Ok(raw)
+            }
+            _ => Err(self.error("column name")),
+        }
+    }
+
+    fn select_stmt(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword(Keyword::Select)?;
+        let projection = self.expr(0)?;
+        self.expect_keyword(Keyword::From)?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.ident("table name")?;
+            let alias = self.ident("alias")?;
+            if from.iter().any(|(_, a): &(String, String)| *a == alias) {
+                return Err(QueryError::DuplicateAlias(alias));
+            }
+            from.push((table, alias));
+            if matches!(self.peek(), TokenKind::Comma) {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        let mut where_groups = Vec::new();
+        if matches!(self.peek(), TokenKind::Keyword(Keyword::Where)) {
+            self.advance();
+            loop {
+                where_groups.push(self.or_group()?);
+                match self.peek() {
+                    TokenKind::Keyword(Keyword::And) => {
+                        self.advance();
+                    }
+                    // the paper separates conjuncts with commas in examples
+                    TokenKind::Comma => {
+                        self.advance();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        let stmt = SelectStmt { projection, from, where_groups };
+        self.check_aliases(&stmt)?;
+        Ok(stmt)
+    }
+
+    /// One conjunct: either a single predicate or `( p OR p OR ... )`.
+    fn or_group(&mut self) -> Result<Vec<KeyPredicate>> {
+        if matches!(self.peek(), TokenKind::LParen) {
+            self.advance();
+            let mut group = vec![self.predicate()?];
+            while matches!(self.peek(), TokenKind::Keyword(Keyword::Or)) {
+                self.advance();
+                group.push(self.predicate()?);
+            }
+            self.expect(&TokenKind::RParen, ")")?;
+            Ok(group)
+        } else {
+            Ok(vec![self.predicate()?])
+        }
+    }
+
+    fn predicate(&mut self) -> Result<KeyPredicate> {
+        let alias = self.ident("alias")?;
+        self.expect(&TokenKind::Dot, ".")?;
+        let column = self.column_name()?;
+        self.expect(&TokenKind::Eq, "=")?;
+        match self.peek().clone() {
+            TokenKind::Str(value) => {
+                self.advance();
+                Ok(KeyPredicate { alias, column, value })
+            }
+            _ => Err(self.error("string literal")),
+        }
+    }
+
+    fn check_aliases(&self, stmt: &SelectStmt) -> Result<()> {
+        let declared: Vec<&str> = stmt.from.iter().map(|(_, a)| a.as_str()).collect();
+        for (alias, _) in stmt.projection.columns() {
+            if !declared.contains(&alias) {
+                return Err(QueryError::UnknownAlias(alias.to_string()));
+            }
+        }
+        for group in &stmt.where_groups {
+            for p in group {
+                if !declared.contains(&p.alias.as_str()) {
+                    return Err(QueryError::UnknownAlias(p.alias.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pratt-style expression parser; `min_prec` is the minimum operator
+    /// precedence this call will consume.
+    fn expr(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Eq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                _ => break,
+            };
+            if op.precedence() < min_prec {
+                break;
+            }
+            self.advance();
+            let right = self.expr(op.precedence() + 1)?; // left-associative
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), TokenKind::Minus) {
+            self.advance();
+            let expr = self.unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(expr) });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Number(raw) => {
+                self.advance();
+                let value: f64 = raw
+                    .parse()
+                    .map_err(|_| self.error("numeric literal"))?;
+                Ok(Expr::Number(value))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.expr(0)?;
+                self.expect(&TokenKind::RParen, ")")?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                match self.peek() {
+                    // function call
+                    TokenKind::LParen => {
+                        self.advance();
+                        let mut args = Vec::new();
+                        if !matches!(self.peek(), TokenKind::RParen) {
+                            loop {
+                                args.push(self.expr(0)?);
+                                if matches!(self.peek(), TokenKind::Comma) {
+                                    self.advance();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&TokenKind::RParen, ")")?;
+                        Ok(Expr::func(name, args))
+                    }
+                    // qualified column
+                    TokenKind::Dot => {
+                        self.advance();
+                        let column = self.column_name()?;
+                        Ok(Expr::Column { alias: name, column })
+                    }
+                    _ => Err(self.error("`(` or `.` after identifier")),
+                }
+            }
+            _ => Err(self.error("expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example1_query() {
+        let stmt = parse(
+            "SELECT POWER(a.2017/b.2016,1/(2017-2016)) -1 \
+             FROM GED a, GED b \
+             WHERE a.Index = 'PGElecDemand' AND b.Index = 'PGElecDemand'",
+        )
+        .unwrap();
+        assert_eq!(stmt.from, vec![("GED".to_string(), "a".into()), ("GED".into(), "b".into())]);
+        assert_eq!(stmt.where_groups.len(), 2);
+        assert_eq!(stmt.key_candidates("a"), vec!["PGElecDemand"]);
+        let cols = stmt.projection.columns();
+        assert_eq!(cols, vec![("a", "2017"), ("b", "2016")]);
+    }
+
+    #[test]
+    fn parses_comma_separated_conjuncts() {
+        // the paper's Example 1 separates WHERE conjuncts with a comma
+        let stmt = parse(
+            "SELECT a.2017 FROM GED a, GED b \
+             WHERE a.Index = 'X', b.Index = 'Y'",
+        )
+        .unwrap();
+        assert_eq!(stmt.where_groups.len(), 2);
+    }
+
+    #[test]
+    fn parses_disjunction_groups() {
+        let stmt = parse(
+            "SELECT a.Total FROM T a WHERE (a.Index = 'v2' OR a.Index = 'v3')",
+        )
+        .unwrap();
+        assert_eq!(stmt.where_groups.len(), 1);
+        assert_eq!(stmt.where_groups[0].len(), 2);
+        assert_eq!(stmt.key_candidates("a"), vec!["v2", "v3"]);
+    }
+
+    #[test]
+    fn parses_boolean_style_query() {
+        // Example 9: SELECT d.y > 100 FROM rel d WHERE d.key = 'r'
+        let stmt = parse("SELECT d.2010 > 100 FROM rel d WHERE d.Index = 'r'").unwrap();
+        match &stmt.projection {
+            Expr::Binary { op, .. } => assert_eq!(*op, BinOp::Gt),
+            other => panic!("expected comparison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Add, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("wrong tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associativity() {
+        // 8 - 4 - 2 must parse as (8-4)-2 = 2, not 8-(4-2) = 6
+        let e = parse_expr("8 - 4 - 2").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Sub, left, right } => {
+                assert!(matches!(*left, Expr::Binary { op: BinOp::Sub, .. }));
+                assert!(matches!(*right, Expr::Number(n) if n == 2.0));
+            }
+            other => panic!("wrong tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = parse_expr("-a.2017 + 1").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Add, .. }));
+        let e = parse_expr("--5").unwrap();
+        assert!(matches!(e, Expr::Unary { .. }));
+    }
+
+    #[test]
+    fn undeclared_alias_rejected() {
+        let err =
+            parse("SELECT c.2017 FROM GED a WHERE a.Index = 'X'").unwrap_err();
+        assert!(matches!(err, QueryError::UnknownAlias(a) if a == "c"));
+        let err = parse("SELECT a.2017 FROM GED a WHERE b.Index = 'X'").unwrap_err();
+        assert!(matches!(err, QueryError::UnknownAlias(a) if a == "b"));
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let err = parse("SELECT a.1 FROM T a, U a").unwrap_err();
+        assert!(matches!(err, QueryError::DuplicateAlias(_)));
+    }
+
+    #[test]
+    fn predicate_needs_string_literal() {
+        let err = parse("SELECT a.2017 FROM GED a WHERE a.Index = 5").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse("SELECT a.2017 FROM GED a WHERE a.Index = 'X' banana").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn numeric_column_names() {
+        let stmt = parse("SELECT a.2040 - a.2017 FROM GED a WHERE a.Index = 'X'").unwrap();
+        assert_eq!(stmt.projection.columns(), vec![("a", "2040"), ("a", "2017")]);
+    }
+
+    #[test]
+    fn nested_function_calls() {
+        let e = parse_expr("ROUND(ABS(a.2017 - a.2016), 2)").unwrap();
+        match e {
+            Expr::Func { name, args } => {
+                assert_eq!(name, "ROUND");
+                assert_eq!(args.len(), 2);
+                assert!(matches!(&args[0], Expr::Func { name, .. } if name == "ABS"));
+            }
+            other => panic!("expected function, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_argument_list() {
+        let e = parse_expr("PI()").unwrap();
+        assert!(matches!(e, Expr::Func { ref args, .. } if args.is_empty()));
+    }
+}

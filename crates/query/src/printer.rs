@@ -1,0 +1,148 @@
+//! Pretty-printing queries back to SQL.
+//!
+//! Verification screens show generated queries to fact checkers (Figure 3),
+//! and the paper stresses that declarative queries are "easy to parse for
+//! users" — so the printer produces exactly the style of the paper's
+//! examples, with minimal parentheses.
+
+use crate::ast::{Expr, SelectStmt, UnaryOp};
+use std::fmt;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self, 0)
+    }
+}
+
+fn write_expr(f: &mut fmt::Formatter<'_>, expr: &Expr, parent_prec: u8) -> fmt::Result {
+    match expr {
+        Expr::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                write!(f, "{}", *n as i64)
+            } else {
+                write!(f, "{n}")
+            }
+        }
+        Expr::Column { alias, column } => write!(f, "{alias}.{column}"),
+        Expr::Unary { op: UnaryOp::Neg, expr } => {
+            write!(f, "-")?;
+            write_expr(f, expr, u8::MAX)
+        }
+        Expr::Binary { op, left, right } => {
+            let prec = op.precedence();
+            let needs_parens = prec < parent_prec;
+            if needs_parens {
+                write!(f, "(")?;
+            }
+            write_expr(f, left, prec)?;
+            write!(f, " {} ", op.symbol())?;
+            // right side gets prec+1: operators are left-associative
+            write_expr(f, right, prec + 1)?;
+            if needs_parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Func { name, args } => {
+            write!(f, "{name}(")?;
+            for (i, arg) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(f, arg, 0)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT {}", self.projection)?;
+        write!(f, " FROM ")?;
+        for (i, (table, alias)) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{table} {alias}")?;
+        }
+        if !self.where_groups.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, group) in self.where_groups.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                if group.len() > 1 {
+                    write!(f, "(")?;
+                }
+                for (j, p) in group.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{}.{} = '{}'", p.alias, p.column, p.value.replace('\'', "''"))?;
+                }
+                if group.len() > 1 {
+                    write!(f, ")")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse, parse_expr};
+
+    /// print → parse → print must be a fixpoint.
+    fn assert_stable(sql: &str) {
+        let stmt = parse(sql).unwrap();
+        let printed = stmt.to_string();
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(stmt, reparsed, "printed form must reparse identically: {printed}");
+        assert_eq!(printed, reparsed.to_string());
+    }
+
+    #[test]
+    fn round_trips_paper_queries() {
+        assert_stable(
+            "SELECT POWER(a.2017/b.2016,1/(2017-2016)) -1 \
+             FROM GED a, GED b \
+             WHERE a.Index = 'PGElecDemand' AND b.Index = 'PGElecDemand'",
+        );
+        assert_stable(
+            "SELECT (a.2017 / b.2000) FROM GED a, GED b \
+             WHERE a.Index = 'CapAddTotal_Wind' AND b.Index = 'CapAddTotal_Wind'",
+        );
+        assert_stable("SELECT d.2010 > 100 FROM rel d WHERE d.Index = 'r'");
+        assert_stable(
+            "SELECT a.Total FROM T a WHERE (a.Index = 'v2' OR a.Index = 'v3')",
+        );
+    }
+
+    #[test]
+    fn minimal_parentheses() {
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+        let e = parse_expr("1 + (2 * 3)").unwrap();
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+        let e = parse_expr("8 - (4 - 2)").unwrap();
+        assert_eq!(e.to_string(), "8 - (4 - 2)", "right-nested sub keeps parens");
+        let e = parse_expr("(8 - 4) - 2").unwrap();
+        assert_eq!(e.to_string(), "8 - 4 - 2", "left-nested sub drops parens");
+    }
+
+    #[test]
+    fn quotes_escaped_in_predicates() {
+        let stmt = parse("SELECT a.2017 FROM T a WHERE a.Index = 'PG''s'").unwrap();
+        let printed = stmt.to_string();
+        assert!(printed.contains("'PG''s'"));
+        assert_stable("SELECT a.2017 FROM T a WHERE a.Index = 'PG''s'");
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let e = parse_expr("-a.2017 + -2.5").unwrap();
+        assert_eq!(e.to_string(), "-a.2017 + -2.5");
+    }
+}

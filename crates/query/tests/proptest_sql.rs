@@ -1,0 +1,80 @@
+//! Property tests for the SQL fragment: random statements must survive
+//! print → parse round trips, and execution must be deterministic.
+
+use proptest::prelude::*;
+use scrutinizer_query::{parse, BinOp, Expr, KeyPredicate, SelectStmt};
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (1..5000i64).prop_map(|n| Expr::Number(n as f64)),
+        (0..2usize, 2000..2020u32)
+            .prop_map(|(a, y)| Expr::column(["a", "b"][a], y.to_string())),
+    ];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), op_strategy())
+                .prop_map(|(l, r, op)| Expr::binary(op, l, r)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::func("POWER", vec![l, r])),
+            inner.clone().prop_map(|e| Expr::func("ABS", vec![e])),
+        ]
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Gt),
+        Just(BinOp::Le),
+    ]
+}
+
+fn stmt_strategy() -> impl Strategy<Value = SelectStmt> {
+    let table_name = "[A-Za-z][A-Za-z0-9_]{0,8}".prop_filter(
+        "table names must not collide with (case-insensitive) keywords",
+        |name| {
+            !matches!(
+                name.to_ascii_uppercase().as_str(),
+                "SELECT" | "FROM" | "WHERE" | "AND" | "OR"
+            )
+        },
+    );
+    (expr_strategy(), table_name, "[A-Za-z0-9 _.-]{1,12}").prop_map(
+        |(projection, table, key)| {
+            // aliases referenced by the projection must be declared
+            let from = vec![(table.clone(), "a".to_string()), (table, "b".to_string())];
+            let where_groups = vec![
+                vec![KeyPredicate {
+                    alias: "a".into(),
+                    column: "Index".into(),
+                    value: key.clone(),
+                }],
+                vec![KeyPredicate { alias: "b".into(), column: "Index".into(), value: key }],
+            ];
+            SelectStmt { projection, from, where_groups }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(stmt in stmt_strategy()) {
+        let printed = stmt.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nSQL: {printed}"));
+        prop_assert_eq!(&reparsed, &stmt, "SQL: {}", printed);
+        // printing is a fixpoint
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    #[test]
+    fn element_count_stable_under_roundtrip(stmt in stmt_strategy()) {
+        let reparsed = parse(&stmt.to_string()).unwrap();
+        prop_assert_eq!(reparsed.element_count(), stmt.element_count());
+    }
+}

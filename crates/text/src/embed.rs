@@ -1,0 +1,357 @@
+//! Word embeddings trained on the corpus.
+//!
+//! The paper uses pre-trained GloVe vectors [25]. Offline, we train our own
+//! on the document being verified plus any related text: a PPMI-weighted
+//! co-occurrence matrix factorized by orthogonal power iteration — the
+//! classic count-based construction that GloVe approximates. The interface
+//! is the same (word → dense vector, sentence vector = mean over words), and
+//! a deterministic hash-projection fallback covers out-of-vocabulary tokens
+//! so no claim ever gets an all-zero sentence block.
+
+use crate::sparse::SparseVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scrutinizer_data::hash::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
+
+/// Trained word-embedding model.
+#[derive(Debug, Clone)]
+pub struct EmbeddingModel {
+    vocab: FxHashMap<String, u32>,
+    /// Row-major `vocab_len × dim`, each row L2-normalized.
+    vectors: Vec<f32>,
+    dim: usize,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EmbedConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Symmetric co-occurrence window size.
+    pub window: usize,
+    /// Minimum word count for vocabulary membership.
+    pub min_count: usize,
+    /// Number of power iterations.
+    pub iterations: usize,
+    /// RNG seed (embeddings are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for EmbedConfig {
+    fn default() -> Self {
+        EmbedConfig { dim: 32, window: 4, min_count: 2, iterations: 3, seed: 42 }
+    }
+}
+
+impl EmbeddingModel {
+    /// Trains embeddings on tokenized sentences.
+    pub fn train(sentences: &[Vec<String>], config: EmbedConfig) -> Self {
+        // 1. vocabulary
+        let mut counts: FxHashMap<&str, usize> = FxHashMap::default();
+        for sentence in sentences {
+            for token in sentence {
+                *counts.entry(token.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut words: Vec<&str> = counts
+            .iter()
+            .filter(|(_, &c)| c >= config.min_count)
+            .map(|(&w, _)| w)
+            .collect();
+        words.sort_unstable(); // deterministic ids
+        let mut vocab = FxHashMap::default();
+        for (i, w) in words.iter().enumerate() {
+            vocab.insert((*w).to_string(), i as u32);
+        }
+        let v = words.len();
+        if v == 0 {
+            return EmbeddingModel { vocab, vectors: Vec::new(), dim: config.dim };
+        }
+
+        // 2. windowed co-occurrence, weighted 1/distance
+        let mut cooc: FxHashMap<(u32, u32), f32> = FxHashMap::default();
+        for sentence in sentences {
+            let ids: Vec<Option<u32>> =
+                sentence.iter().map(|t| vocab.get(t.as_str()).copied()).collect();
+            for (i, a) in ids.iter().enumerate() {
+                let Some(a) = *a else { continue };
+                let hi = (i + config.window).min(ids.len().saturating_sub(1));
+                for (offset, b) in ids[i + 1..=hi].iter().enumerate() {
+                    let Some(b) = *b else { continue };
+                    let w = 1.0 / (offset + 1) as f32;
+                    *cooc.entry((a, b)).or_insert(0.0) += w;
+                    *cooc.entry((b, a)).or_insert(0.0) += w;
+                }
+            }
+        }
+
+        // 3. PPMI rows
+        let mut row_sum = vec![0.0f32; v];
+        let mut total = 0.0f32;
+        for (&(a, _), &w) in &cooc {
+            row_sum[a as usize] += w;
+            total += w;
+        }
+        let mut rows: Vec<Vec<(u32, f32)>> = vec![Vec::new(); v];
+        for (&(a, b), &w) in &cooc {
+            let denominator = row_sum[a as usize] * row_sum[b as usize];
+            if denominator <= 0.0 {
+                continue;
+            }
+            let pmi = (w * total / denominator).ln();
+            if pmi > 0.0 {
+                rows[a as usize].push((b, pmi));
+            }
+        }
+        for row in &mut rows {
+            row.sort_unstable_by_key(|(j, _)| *j);
+        }
+
+        // 4. orthogonal power iteration: Q ← orth(M·Q)
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let dim = config.dim;
+        let mut q: Vec<f32> = (0..v * dim).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        orthonormalize(&mut q, v, dim);
+        let mut mq = vec![0.0f32; v * dim];
+        for _ in 0..config.iterations {
+            mat_mul(&rows, &q, &mut mq, dim);
+            std::mem::swap(&mut q, &mut mq);
+            orthonormalize(&mut q, v, dim);
+        }
+        // final projection keeps singular-value scaling, then row-normalize
+        mat_mul(&rows, &q, &mut mq, dim);
+        let mut vectors = mq;
+        for r in 0..v {
+            normalize_row(&mut vectors[r * dim..(r + 1) * dim]);
+        }
+        EmbeddingModel { vocab, vectors, dim }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The vector of a word: trained when in vocabulary, otherwise a
+    /// deterministic hash-projection fallback (unit norm either way).
+    pub fn word_vector(&self, word: &str) -> Vec<f32> {
+        if let Some(&id) = self.vocab.get(word) {
+            let start = id as usize * self.dim;
+            return self.vectors[start..start + self.dim].to_vec();
+        }
+        let mut out = vec![0.0f32; self.dim];
+        // 4 pseudo-random projections from the token hash
+        let mut state = {
+            let mut h = FxHasher::default();
+            word.hash(&mut h);
+            h.finish()
+        };
+        for slot in out.iter_mut() {
+            // xorshift* step
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            *slot = ((r >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+        }
+        normalize_row(&mut out);
+        out
+    }
+
+    /// Mean of the word vectors of `tokens` — the sentence embedding of
+    /// Figure 4. Empty input yields the zero vector.
+    pub fn sentence_vector(&self, tokens: &[String]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        if tokens.is_empty() {
+            return out;
+        }
+        for token in tokens {
+            let v = self.word_vector(token);
+            for (o, x) in out.iter_mut().zip(&v) {
+                *o += x;
+            }
+        }
+        let n = tokens.len() as f32;
+        for o in &mut out {
+            *o /= n;
+        }
+        out
+    }
+
+    /// Sentence embedding as a sparse block (for feature concatenation).
+    pub fn sentence_sparse(&self, tokens: &[String]) -> SparseVector {
+        self.sentence_vector(tokens)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, v)| *v != 0.0)
+            .map(|(i, v)| (i as u32, v))
+            .collect()
+    }
+
+    /// Cosine similarity between two words.
+    pub fn similarity(&self, a: &str, b: &str) -> f32 {
+        let va = self.word_vector(a);
+        let vb = self.word_vector(b);
+        va.iter().zip(&vb).map(|(x, y)| x * y).sum()
+    }
+}
+
+/// `out = M · q` where `M` is given as sparse rows.
+fn mat_mul(rows: &[Vec<(u32, f32)>], q: &[f32], out: &mut [f32], dim: usize) {
+    out.fill(0.0);
+    for (i, row) in rows.iter().enumerate() {
+        let target = &mut out[i * dim..(i + 1) * dim];
+        for &(j, w) in row {
+            let source = &q[j as usize * dim..(j as usize + 1) * dim];
+            for (t, s) in target.iter_mut().zip(source) {
+                *t += w * s;
+            }
+        }
+    }
+}
+
+/// Modified Gram–Schmidt over the columns of the `v × dim` matrix `q`.
+fn orthonormalize(q: &mut [f32], v: usize, dim: usize) {
+    for k in 0..dim {
+        // subtract projections on previous columns
+        for prev in 0..k {
+            let mut dot = 0.0f32;
+            for r in 0..v {
+                dot += q[r * dim + k] * q[r * dim + prev];
+            }
+            for r in 0..v {
+                q[r * dim + k] -= dot * q[r * dim + prev];
+            }
+        }
+        let mut norm = 0.0f32;
+        for r in 0..v {
+            norm += q[r * dim + k] * q[r * dim + k];
+        }
+        let norm = norm.sqrt();
+        if norm > 1e-12 {
+            for r in 0..v {
+                q[r * dim + k] /= norm;
+            }
+        }
+    }
+}
+
+fn normalize_row(row: &mut [f32]) {
+    let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for x in row {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn training_sentences() -> Vec<Vec<String>> {
+        // "demand" and "consumption" share contexts; "wind" and "solar" share
+        // contexts; the two groups are disjoint.
+        let raw = [
+            "electricity demand grew strongly this year",
+            "electricity consumption grew strongly this year",
+            "global demand grew by three percent",
+            "global consumption grew by three percent",
+            "electricity demand fell slightly last year",
+            "electricity consumption fell slightly last year",
+            "wind capacity was installed in europe",
+            "solar capacity was installed in europe",
+            "new wind capacity expanded rapidly",
+            "new solar capacity expanded rapidly",
+            "wind capacity doubled in asia",
+            "solar capacity doubled in asia",
+        ];
+        raw.iter().map(|s| tokenize(s)).collect()
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let config = EmbedConfig::default();
+        let m1 = EmbeddingModel::train(&training_sentences(), config);
+        let m2 = EmbeddingModel::train(&training_sentences(), config);
+        assert_eq!(m1.word_vector("demand"), m2.word_vector("demand"));
+        assert!(m1.vocab_len() > 0);
+    }
+
+    #[test]
+    fn distributional_similarity() {
+        let model = EmbeddingModel::train(
+            &training_sentences(),
+            EmbedConfig { dim: 16, iterations: 5, ..Default::default() },
+        );
+        let same_group = model.similarity("demand", "consumption");
+        let cross_group = model.similarity("demand", "wind");
+        assert!(
+            same_group > cross_group,
+            "demand~consumption ({same_group}) should beat demand~wind ({cross_group})"
+        );
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let model = EmbeddingModel::train(&training_sentences(), EmbedConfig::default());
+        let v = model.word_vector("demand");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn oov_fallback_is_deterministic_and_unit() {
+        let model = EmbeddingModel::train(&training_sentences(), EmbedConfig::default());
+        let a = model.word_vector("zzz_unseen");
+        let b = model.word_vector("zzz_unseen");
+        assert_eq!(a, b);
+        let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+        assert_ne!(a, model.word_vector("other_unseen"));
+    }
+
+    #[test]
+    fn sentence_vector_is_mean() {
+        let model = EmbeddingModel::train(&training_sentences(), EmbedConfig::default());
+        let tokens = tokenize("demand grew");
+        let s = model.sentence_vector(&tokens);
+        let expected: Vec<f32> = model
+            .word_vector("demand")
+            .iter()
+            .zip(model.word_vector("grew").iter())
+            .map(|(a, b)| (a + b) / 2.0)
+            .collect();
+        for (x, y) in s.iter().zip(&expected) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(model.sentence_vector(&[]).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn empty_corpus_degenerates() {
+        let model = EmbeddingModel::train(&[], EmbedConfig::default());
+        assert_eq!(model.vocab_len(), 0);
+        // OOV fallback still works
+        let v = model.word_vector("anything");
+        assert_eq!(v.len(), model.dim());
+    }
+
+    #[test]
+    fn sentence_sparse_matches_dense() {
+        let model = EmbeddingModel::train(&training_sentences(), EmbedConfig::default());
+        let tokens = tokenize("electricity demand grew");
+        let dense = model.sentence_vector(&tokens);
+        let sparse = model.sentence_sparse(&tokens);
+        for (i, v) in sparse.iter() {
+            assert!((dense[i as usize] - v).abs() < 1e-6);
+        }
+    }
+}

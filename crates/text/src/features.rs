@@ -1,0 +1,155 @@
+//! The claim featurizer of Figure 4.
+//!
+//! `features(claim, sentence) = [ sentence embedding | claim word-ngram
+//! TF-IDF | claim char-trigram TF-IDF ]`, as three concatenated blocks of a
+//! single sparse vector. The featurizer is fitted once on the corpus and
+//! shared by all four property classifiers.
+
+use crate::embed::{EmbedConfig, EmbeddingModel};
+use crate::ngram::{char_trigrams, word_ngrams};
+use crate::sparse::SparseVector;
+use crate::tfidf::TfIdfVectorizer;
+use crate::tokenize::tokenize;
+
+/// Configuration of the featurizer.
+#[derive(Debug, Clone, Copy)]
+pub struct FeaturizerConfig {
+    /// Embedding training parameters.
+    pub embed: EmbedConfig,
+    /// Minimum document frequency for word n-grams.
+    pub word_min_df: usize,
+    /// Minimum document frequency for char trigrams.
+    pub char_min_df: usize,
+}
+
+impl Default for FeaturizerConfig {
+    fn default() -> Self {
+        FeaturizerConfig { embed: EmbedConfig::default(), word_min_df: 1, char_min_df: 2 }
+    }
+}
+
+/// Fitted featurizer mapping `(claim, sentence)` to a sparse feature vector.
+#[derive(Debug, Clone)]
+pub struct ClaimFeaturizer {
+    embeddings: EmbeddingModel,
+    word_tfidf: TfIdfVectorizer,
+    char_tfidf: TfIdfVectorizer,
+    embed_scale: f32,
+}
+
+impl ClaimFeaturizer {
+    /// Fits the featurizer on `(claim_text, sentence_text)` pairs.
+    pub fn fit(corpus: &[(String, String)], config: FeaturizerConfig) -> Self {
+        let sentences: Vec<Vec<String>> =
+            corpus.iter().map(|(_, sentence)| tokenize(sentence)).collect();
+        let embeddings = EmbeddingModel::train(&sentences, config.embed);
+        let word_docs: Vec<Vec<String>> =
+            corpus.iter().map(|(claim, _)| word_ngrams(&tokenize(claim))).collect();
+        let word_tfidf =
+            TfIdfVectorizer::fit(word_docs.iter().map(|d| d.iter()), config.word_min_df);
+        let char_docs: Vec<Vec<String>> =
+            corpus.iter().map(|(claim, _)| char_trigrams(claim)).collect();
+        let char_tfidf =
+            TfIdfVectorizer::fit(char_docs.iter().map(|d| d.iter()), config.char_min_df);
+        ClaimFeaturizer {
+            embeddings,
+            word_tfidf,
+            char_tfidf,
+            // the embedding block competes with two unit-norm TF-IDF blocks
+            embed_scale: 1.0,
+        }
+    }
+
+    /// Total feature dimensionality (all three blocks).
+    pub fn dimension(&self) -> usize {
+        self.embeddings.dim() + self.word_tfidf.dimension() + self.char_tfidf.dimension()
+    }
+
+    /// Featurizes a claim in its sentence context.
+    pub fn features(&self, claim: &str, sentence: &str) -> SparseVector {
+        let sentence_tokens = tokenize(sentence);
+        let mut out = self.embeddings.sentence_sparse(&sentence_tokens);
+        out.scale(self.embed_scale);
+
+        let claim_tokens = tokenize(claim);
+        let word_block = self.word_tfidf.transform(word_ngrams(&claim_tokens).iter());
+        out.concat_shifted(&word_block, self.embeddings.dim() as u32);
+
+        let char_block = self.char_tfidf.transform(char_trigrams(claim).iter());
+        out.concat_shifted(
+            &char_block,
+            (self.embeddings.dim() + self.word_tfidf.dimension()) as u32,
+        );
+        out
+    }
+
+    /// Access to the embedding model (used by similarity diagnostics).
+    pub fn embeddings(&self) -> &EmbeddingModel {
+        &self.embeddings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<(String, String)> {
+        [
+            ("electricity demand grew by 3%", "In 2017, electricity demand grew by 3%."),
+            ("wind market increased nine-fold", "The wind market increased nine-fold."),
+            ("solar market expanded", "The solar market expanded aggressively."),
+            ("coal demand fell", "Meanwhile coal demand fell by 1%."),
+            ("electricity demand reached 22 200", "Electricity demand reached 22 200 TWh."),
+        ]
+        .iter()
+        .map(|(c, s)| (c.to_string(), s.to_string()))
+        .collect()
+    }
+
+    #[test]
+    fn blocks_do_not_collide() {
+        let f = ClaimFeaturizer::fit(&corpus(), FeaturizerConfig::default());
+        let x = f.features("electricity demand grew by 3%", "In 2017, electricity demand grew by 3%.");
+        assert!(x.nnz() > 0);
+        assert!(x.width() as usize <= f.dimension());
+        // indices strictly increasing (no block overlap)
+        let idx: Vec<u32> = x.iter().map(|(i, _)| i).collect();
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(idx, sorted);
+    }
+
+    #[test]
+    fn similar_claims_are_closer_than_dissimilar() {
+        let f = ClaimFeaturizer::fit(&corpus(), FeaturizerConfig::default());
+        let a = f.features("electricity demand grew by 3%", "In 2017, electricity demand grew by 3%.");
+        let b = f.features("electricity demand grew by 4%", "In 2018, electricity demand grew by 4%.");
+        let c = f.features("wind market increased nine-fold", "The wind market increased nine-fold.");
+        let dot = |x: &SparseVector, y: &SparseVector| -> f32 {
+            let mut m = std::collections::HashMap::new();
+            for (i, v) in x.iter() {
+                m.insert(i, v);
+            }
+            y.iter().map(|(i, v)| v * m.get(&i).copied().unwrap_or(0.0)).sum()
+        };
+        assert!(dot(&a, &b) > dot(&a, &c));
+    }
+
+    #[test]
+    fn deterministic() {
+        let f1 = ClaimFeaturizer::fit(&corpus(), FeaturizerConfig::default());
+        let f2 = ClaimFeaturizer::fit(&corpus(), FeaturizerConfig::default());
+        let x1 = f1.features("coal demand fell", "Meanwhile coal demand fell by 1%.");
+        let x2 = f2.features("coal demand fell", "Meanwhile coal demand fell by 1%.");
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn unseen_claim_still_has_embedding_block() {
+        let f = ClaimFeaturizer::fit(&corpus(), FeaturizerConfig::default());
+        let x = f.features("entirely novel words here", "Entirely novel words here.");
+        // embedding fallback guarantees a non-empty vector
+        assert!(x.nnz() > 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! N-gram extraction: word unigrams/bigrams and character trigrams (Figure 4).
+
+/// Word unigrams followed by bigrams (joined with `_`).
+pub fn word_ngrams(tokens: &[String]) -> Vec<String> {
+    let mut grams = Vec::with_capacity(tokens.len() * 2);
+    grams.extend(tokens.iter().cloned());
+    grams.extend(tokens.windows(2).map(|w| format!("{}_{}", w[0], w[1])));
+    grams
+}
+
+/// Character trigrams of the claim text ("TF-IDF scores of every 3
+/// characters"), computed over the lower-cased text with whitespace
+/// collapsed to `_` so cross-word shapes are captured.
+pub fn char_trigrams(text: &str) -> Vec<String> {
+    let normalized: Vec<char> = text
+        .to_lowercase()
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect();
+    if normalized.len() < 3 {
+        return if normalized.is_empty() {
+            Vec::new()
+        } else {
+            vec![normalized.into_iter().collect()]
+        };
+    }
+    normalized.windows(3).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unigrams_and_bigrams() {
+        let grams = word_ngrams(&toks(&["demand", "grew", "by"]));
+        assert_eq!(grams, vec!["demand", "grew", "by", "demand_grew", "grew_by"]);
+    }
+
+    #[test]
+    fn single_token_has_no_bigrams() {
+        assert_eq!(word_ngrams(&toks(&["demand"])), vec!["demand"]);
+        assert!(word_ngrams(&[]).is_empty());
+    }
+
+    #[test]
+    fn trigrams_cover_text() {
+        let grams = char_trigrams("wind");
+        assert_eq!(grams, vec!["win", "ind"]);
+    }
+
+    #[test]
+    fn trigrams_cross_word_boundaries() {
+        let grams = char_trigrams("a b");
+        assert_eq!(grams, vec!["a_b"]);
+    }
+
+    #[test]
+    fn short_text_degenerates_gracefully() {
+        assert_eq!(char_trigrams("ab"), vec!["ab"]);
+        assert!(char_trigrams("").is_empty());
+    }
+
+    #[test]
+    fn case_folded() {
+        assert_eq!(char_trigrams("WiN"), vec!["win"]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Explicit-parameter extraction (§4.1).
+//!
+//! "If the claim is explicit, we identify the parameter p directly from the
+//! sentence with a syntactical parsing." Parameters come in the styles of the
+//! paper's examples: percentages (`3%`, `2.5 per cent`), multiples
+//! (`nine-fold`, `doubled`), and absolute quantities with magnitude words and
+//! IEA-style digit grouping (`22 200 TWh`, `1.5 million tonnes`).
+
+/// What kind of parameter a number expresses — this decides which formulas
+/// can match it (a growth-rate formula for percentages, a ratio formula for
+/// folds, a plain lookup for absolutes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParameterKind {
+    /// `3%` → 0.03 — growth rates, shares.
+    Percent,
+    /// `nine-fold`, `doubled` → 9.0, 2.0 — ratios.
+    Fold,
+    /// `22 200` (TWh) → 22200 — plain quantities.
+    Absolute,
+}
+
+/// A parameter extracted from claim text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractedParameter {
+    /// Numeric value, already scaled (percent divided by 100, magnitude
+    /// words multiplied in).
+    pub value: f64,
+    /// Style of the mention.
+    pub kind: ParameterKind,
+    /// Byte offset of the first character of the mention in the input.
+    pub offset: usize,
+}
+
+/// Number-word lexicon for multiples ("nine-fold", "two-fold").
+fn number_word(word: &str) -> Option<f64> {
+    Some(match word {
+        "one" => 1.0,
+        "two" => 2.0,
+        "three" => 3.0,
+        "four" => 4.0,
+        "five" => 5.0,
+        "six" => 6.0,
+        "seven" => 7.0,
+        "eight" => 8.0,
+        "nine" => 9.0,
+        "ten" => 10.0,
+        "eleven" => 11.0,
+        "twelve" => 12.0,
+        "twenty" => 20.0,
+        "thirty" => 30.0,
+        "fifty" => 50.0,
+        "hundred" => 100.0,
+        _ => return None,
+    })
+}
+
+/// Verb lexicon for multiples.
+fn multiplier_verb(word: &str) -> Option<f64> {
+    Some(match word {
+        "doubled" | "doubles" | "double" => 2.0,
+        "tripled" | "triples" | "triple" => 3.0,
+        "quadrupled" | "quadruples" | "quadruple" => 4.0,
+        "halved" | "halves" => 0.5,
+        _ => return None,
+    })
+}
+
+fn magnitude(word: &str) -> Option<f64> {
+    Some(match word {
+        "thousand" => 1e3,
+        "million" => 1e6,
+        "billion" => 1e9,
+        "trillion" => 1e12,
+        _ => return None,
+    })
+}
+
+/// Extracts all parameter mentions from `text`, left to right.
+pub fn extract_parameters(text: &str) -> Vec<ExtractedParameter> {
+    let lower = text.to_lowercase();
+    let words = split_with_offsets(&lower);
+    let mut out = Vec::new();
+    let mut skip_until = 0usize;
+
+    for (w, (word, offset)) in words.iter().enumerate() {
+        if *offset < skip_until {
+            continue;
+        }
+        // numeric literal, possibly grouped: "22 200" / "22,200" / "3.5"
+        if word.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            let (mut value, end, fractional) = parse_grouped_number(&lower, *offset);
+            skip_until = end;
+            // look at what follows
+            let mut kind = ParameterKind::Absolute;
+            let rest = lower[end..].trim_start();
+            if rest.starts_with('%') || rest.starts_with("percent") || rest.starts_with("per cent")
+            {
+                value /= 100.0;
+                kind = ParameterKind::Percent;
+            } else if rest.starts_with("fold") || rest.starts_with("-fold") {
+                kind = ParameterKind::Fold;
+            } else if rest.starts_with("times") {
+                kind = ParameterKind::Fold;
+            } else if let Some((next, _)) = words.get(w + 1).map(|(s, o)| (s, o)) {
+                if let Some(m) = magnitude(next) {
+                    value *= m;
+                }
+            }
+            let _ = fractional;
+            out.push(ExtractedParameter { value, kind, offset: *offset });
+            continue;
+        }
+        // number word followed by "fold": "nine-fold" tokenizes to nine, fold
+        if let Some(v) = number_word(word) {
+            if words.get(w + 1).is_some_and(|(next, _)| next == "fold") {
+                out.push(ExtractedParameter { value: v, kind: ParameterKind::Fold, offset: *offset });
+            }
+            continue;
+        }
+        if let Some(v) = multiplier_verb(word) {
+            out.push(ExtractedParameter { value: v, kind: ParameterKind::Fold, offset: *offset });
+        }
+    }
+    out
+}
+
+/// Splits lower-cased text into `(word, byte_offset)` pairs on
+/// non-alphanumeric boundaries (keeping `.` inside numbers).
+fn split_with_offsets(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut start = 0usize;
+    for (i, c) in text.char_indices() {
+        let keep = c.is_alphanumeric()
+            || (c == '.'
+                && current.chars().last().is_some_and(|p| p.is_ascii_digit())
+                && text[i + c.len_utf8()..].chars().next().is_some_and(|n| n.is_ascii_digit()));
+        if keep {
+            if current.is_empty() {
+                start = i;
+            }
+            current.push(c);
+        } else if !current.is_empty() {
+            out.push((std::mem::take(&mut current), start));
+        }
+    }
+    if !current.is_empty() {
+        out.push((current, start));
+    }
+    out
+}
+
+/// Parses a number starting at `offset`, absorbing IEA-style group
+/// separators: `22 200`, `22,200`, `1 234 567.8`. Returns (value, end offset,
+/// had fractional part). A space/comma only continues the number when
+/// followed by exactly three digits (avoids merging "in 2017 22" etc.).
+fn parse_grouped_number(text: &str, offset: usize) -> (f64, usize, bool) {
+    let bytes = text.as_bytes();
+    let mut i = offset;
+    let mut digits = String::new();
+    let mut fractional = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_digit() {
+            digits.push(c);
+            i += 1;
+        } else if c == '.'
+            && !fractional
+            && i + 1 < bytes.len()
+            && bytes[i + 1].is_ascii_digit()
+        {
+            digits.push('.');
+            fractional = true;
+            i += 1;
+        } else if (c == ' ' || c == ',') && !fractional {
+            // group separator iff exactly 3 digits follow, then a non-digit
+            let next3 = bytes.get(i + 1..i + 4);
+            let three_digits =
+                next3.is_some_and(|w| w.iter().all(u8::is_ascii_digit));
+            let fourth_not_digit =
+                bytes.get(i + 4).is_none_or(|b| !b.is_ascii_digit());
+            if three_digits && fourth_not_digit {
+                i += 1; // consume separator; loop will consume digits
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    (digits.parse().unwrap_or(0.0), i, fractional)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extract(text: &str) -> Vec<(f64, ParameterKind)> {
+        extract_parameters(text).into_iter().map(|p| (p.value, p.kind)).collect()
+    }
+
+    #[test]
+    fn example1_claim() {
+        // "In 2017, global electricity demand grew by 3%, ... reaching 22 200 TWh"
+        let params =
+            extract("In 2017, global electricity demand grew by 3%, reaching 22 200 TWh.");
+        assert_eq!(
+            params,
+            vec![
+                (2017.0, ParameterKind::Absolute),
+                (0.03, ParameterKind::Percent),
+                (22_200.0, ParameterKind::Absolute),
+            ]
+        );
+    }
+
+    #[test]
+    fn example2_ninefold() {
+        let params = extract("The market increased nine-fold from 2000 to 2017.");
+        assert_eq!(params[0], (9.0, ParameterKind::Fold));
+        assert_eq!(params[1], (2000.0, ParameterKind::Absolute));
+        assert_eq!(params[2], (2017.0, ParameterKind::Absolute));
+    }
+
+    #[test]
+    fn percent_variants() {
+        assert_eq!(extract("grew by 2.5%")[0], (0.025, ParameterKind::Percent));
+        assert_eq!(extract("grew by 2.5 percent")[0], (0.025, ParameterKind::Percent));
+        assert_eq!(extract("grew by 2.5 per cent")[0], (0.025, ParameterKind::Percent));
+    }
+
+    #[test]
+    fn multiplier_verbs() {
+        assert_eq!(extract("capacity doubled in a decade")[0], (2.0, ParameterKind::Fold));
+        assert_eq!(extract("output tripled")[0], (3.0, ParameterKind::Fold));
+        assert_eq!(extract("use halved")[0], (0.5, ParameterKind::Fold));
+    }
+
+    #[test]
+    fn digit_fold() {
+        assert_eq!(extract("a 10-fold rise")[0], (10.0, ParameterKind::Fold));
+        assert_eq!(extract("rose 3 times")[0], (3.0, ParameterKind::Fold));
+    }
+
+    #[test]
+    fn magnitude_words() {
+        assert_eq!(extract("1.5 million tonnes")[0], (1_500_000.0, ParameterKind::Absolute));
+        assert_eq!(extract("2 billion dollars")[0], (2e9, ParameterKind::Absolute));
+    }
+
+    #[test]
+    fn grouped_numbers() {
+        assert_eq!(extract("reaching 22 200 TWh")[0].0, 22_200.0);
+        assert_eq!(extract("reaching 22,200 TWh")[0].0, 22_200.0);
+        assert_eq!(extract("total of 1 234 567 units")[0].0, 1_234_567.0);
+    }
+
+    #[test]
+    fn years_not_merged_with_following_numbers() {
+        // "2017 22" must not merge into one number (22 is not 3 digits)
+        let params = extract("in 2017 22 reactors closed");
+        assert_eq!(params[0].0, 2017.0);
+        assert_eq!(params[1].0, 22.0);
+        // "2017 220" WOULD look like grouping; guard: year+3-digit happens,
+        // accepted cost — claims quote grouped thousands far more often.
+    }
+
+    #[test]
+    fn no_numbers_no_parameters() {
+        assert!(extract("the market expanded aggressively").is_empty());
+        assert!(extract("").is_empty());
+    }
+
+    #[test]
+    fn number_words_without_fold_ignored() {
+        assert!(extract("two markets expanded").is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Check-worthy claim spotting.
+//!
+//! The paper assumes claims are already identified by external tools
+//! (ClaimBuster [12], ClaimRank [17]). For a complete public API we ship a
+//! light heuristic spotter: a sentence is check-worthy when it mentions a
+//! quantity — a number, a percentage, a multiplier verb, or a trend verb with
+//! a magnitude adverb. The corpus generator bypasses this (it knows its claim
+//! spans); the spotter serves raw-text ingestion in the examples.
+
+use crate::numbers::extract_parameters;
+use crate::tokenize::{sentences, tokenize};
+
+/// A sentence flagged as containing at least one check-worthy claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpottedClaim {
+    /// The sentence text.
+    pub sentence: String,
+    /// Index of the sentence in the document.
+    pub sentence_index: usize,
+    /// Crude confidence in [0,1]: more quantity signals ⇒ higher.
+    pub score: f64,
+}
+
+/// Trend verbs that signal statistical statements even without numbers
+/// (general claims like "expanded aggressively").
+const TREND_VERBS: &[&str] = &[
+    "grew", "grow", "grows", "rose", "rise", "rises", "fell", "fall", "falls", "increased",
+    "increase", "increases", "decreased", "decrease", "decreases", "expanded", "expands",
+    "declined", "declines", "reached", "reaches", "doubled", "tripled", "halved", "surged",
+    "dropped", "peaked",
+];
+
+/// Scans a document and returns check-worthy sentences in order.
+pub fn spot_claims(document: &str) -> Vec<SpottedClaim> {
+    let mut out = Vec::new();
+    for (index, sentence) in sentences(document).iter().enumerate() {
+        let parameters = extract_parameters(sentence);
+        let tokens = tokenize(sentence);
+        let trend_hits =
+            tokens.iter().filter(|t| TREND_VERBS.contains(&t.as_str())).count();
+        // numbers that are not bare years count double
+        let strong_numbers = parameters
+            .iter()
+            .filter(|p| !(p.value >= 1900.0 && p.value <= 2100.0 && p.value.fract() == 0.0))
+            .count();
+        let signals = strong_numbers * 2 + trend_hits;
+        if signals > 0 {
+            out.push(SpottedClaim {
+                sentence: (*sentence).to_string(),
+                sentence_index: index,
+                score: 1.0 - 1.0 / (1.0 + signals as f64),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spots_numeric_claims() {
+        let doc = "In 2017, global electricity demand grew by 3%. \
+                   The committee met in Paris. \
+                   The market for new wind power projects increased nine-fold from 2000 to 2017.";
+        let spotted = spot_claims(doc);
+        assert_eq!(spotted.len(), 2);
+        assert_eq!(spotted[0].sentence_index, 0);
+        assert_eq!(spotted[1].sentence_index, 2);
+    }
+
+    #[test]
+    fn trend_verbs_alone_count() {
+        let doc = "Solar capacity expanded aggressively. The weather was mild.";
+        let spotted = spot_claims(doc);
+        assert_eq!(spotted.len(), 1);
+        assert!(spotted[0].sentence.contains("Solar"));
+    }
+
+    #[test]
+    fn bare_years_are_weak_signals() {
+        // a year alone (no trend verb, no quantity) is not check-worthy
+        let doc = "The report was published in 2018.";
+        assert!(spot_claims(doc).is_empty());
+    }
+
+    #[test]
+    fn score_increases_with_signals() {
+        let weak = spot_claims("Capacity expanded.");
+        let strong = spot_claims("Capacity expanded nine-fold, reaching 22 200 TWh, up 3%.");
+        assert!(strong[0].score > weak[0].score);
+    }
+
+    #[test]
+    fn empty_document() {
+        assert!(spot_claims("").is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! TF-IDF vectorization with a fitted vocabulary.
+
+use crate::sparse::SparseVector;
+use scrutinizer_data::hash::FxHashMap;
+
+/// A TF-IDF vectorizer: fit on a corpus of token lists, then transform token
+/// lists into L2-normalized sparse vectors.
+///
+/// IDF uses the smoothed convention `ln((1 + n) / (1 + df)) + 1`, which keeps
+/// weights finite for terms present in every document and gives unseen terms
+/// (dropped at transform time) no influence.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfVectorizer {
+    vocab: FxHashMap<String, u32>,
+    idf: Vec<f32>,
+}
+
+impl TfIdfVectorizer {
+    /// Fits vocabulary and document frequencies on a corpus. Terms appearing
+    /// in fewer than `min_df` documents are dropped (noise control for the
+    /// huge char-trigram space).
+    pub fn fit<'a, I, D>(documents: I, min_df: usize) -> Self
+    where
+        I: IntoIterator<Item = D>,
+        D: IntoIterator<Item = &'a String>,
+    {
+        let mut df: FxHashMap<String, u32> = FxHashMap::default();
+        let mut n_docs = 0usize;
+        for doc in documents {
+            n_docs += 1;
+            let mut seen: Vec<&String> = doc.into_iter().collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for term in seen {
+                *df.entry(term.clone()).or_insert(0) += 1;
+            }
+        }
+        // deterministic vocabulary order: sort terms
+        let mut terms: Vec<(String, u32)> =
+            df.into_iter().filter(|(_, c)| *c as usize >= min_df).collect();
+        terms.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut vocab = FxHashMap::with_capacity_and_hasher(terms.len(), Default::default());
+        let mut idf = Vec::with_capacity(terms.len());
+        for (i, (term, count)) in terms.into_iter().enumerate() {
+            vocab.insert(term, i as u32);
+            idf.push((((1 + n_docs) as f32) / ((1 + count) as f32)).ln() + 1.0);
+        }
+        TfIdfVectorizer { vocab, idf }
+    }
+
+    /// Transforms a token list into an L2-normalized TF-IDF vector.
+    /// Unknown terms are ignored.
+    pub fn transform<'a>(&self, tokens: impl IntoIterator<Item = &'a String>) -> SparseVector {
+        let mut counts: FxHashMap<u32, f32> = FxHashMap::default();
+        for token in tokens {
+            if let Some(&id) = self.vocab.get(token) {
+                *counts.entry(id).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut vec = SparseVector::from_pairs(
+            counts.into_iter().map(|(id, tf)| (id, tf * self.idf[id as usize])).collect(),
+        );
+        vec.l2_normalize();
+        vec
+    }
+
+    /// Vocabulary size (= output dimensionality).
+    pub fn dimension(&self) -> usize {
+        self.idf.len()
+    }
+
+    /// Id of a term, if in vocabulary.
+    pub fn term_id(&self, term: &str) -> Option<u32> {
+        self.vocab.get(term).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Vec<String>> {
+        let raw = [
+            vec!["electricity", "demand", "grew"],
+            vec!["wind", "market", "grew"],
+            vec!["solar", "market", "expanded"],
+            vec!["coal", "demand", "fell"],
+        ];
+        raw.iter().map(|d| d.iter().map(|s| s.to_string()).collect()).collect()
+    }
+
+    #[test]
+    fn fit_builds_deterministic_vocab() {
+        let v1 = TfIdfVectorizer::fit(docs().iter().map(|d| d.iter()), 1);
+        let v2 = TfIdfVectorizer::fit(docs().iter().map(|d| d.iter()), 1);
+        assert_eq!(v1.dimension(), v2.dimension());
+        assert_eq!(v1.term_id("demand"), v2.term_id("demand"));
+        assert_eq!(v1.dimension(), 9);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more() {
+        let v = TfIdfVectorizer::fit(docs().iter().map(|d| d.iter()), 1);
+        let d = docs();
+        let x = v.transform(d[0].iter());
+        // "electricity" (df=1) must outweigh "demand" (df=2) and "grew" (df=2)
+        let electricity = v.term_id("electricity").unwrap();
+        let demand = v.term_id("demand").unwrap();
+        let weight = |vec: &SparseVector, id: u32| {
+            vec.iter().find(|(i, _)| *i == id).map(|(_, w)| w).unwrap_or(0.0)
+        };
+        assert!(weight(&x, electricity) > weight(&x, demand));
+    }
+
+    #[test]
+    fn min_df_prunes() {
+        let v = TfIdfVectorizer::fit(docs().iter().map(|d| d.iter()), 2);
+        // only "demand", "grew", "market" appear in ≥ 2 documents
+        assert_eq!(v.dimension(), 3);
+        assert!(v.term_id("electricity").is_none());
+        assert!(v.term_id("market").is_some());
+    }
+
+    #[test]
+    fn transform_is_normalized_and_ignores_oov() {
+        let v = TfIdfVectorizer::fit(docs().iter().map(|d| d.iter()), 1);
+        let tokens: Vec<String> =
+            ["demand", "skyrocketed"].iter().map(|s| s.to_string()).collect();
+        let x = v.transform(tokens.iter());
+        assert_eq!(x.nnz(), 1, "OOV token ignored");
+        assert!((x.norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_transform_is_zero_vector() {
+        let v = TfIdfVectorizer::fit(docs().iter().map(|d| d.iter()), 1);
+        let x = v.transform(std::iter::empty());
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn repeated_terms_increase_tf() {
+        let v = TfIdfVectorizer::fit(docs().iter().map(|d| d.iter()), 1);
+        let once: Vec<String> = vec!["demand".into(), "grew".into()];
+        let twice: Vec<String> = vec!["demand".into(), "demand".into(), "grew".into()];
+        let a = v.transform(once.iter());
+        let b = v.transform(twice.iter());
+        let id = v.term_id("demand").unwrap();
+        let weight = |vec: &SparseVector| {
+            vec.iter().find(|(i, _)| *i == id).map(|(_, w)| w).unwrap()
+        };
+        assert!(weight(&b) > weight(&a), "higher tf ⇒ higher normalized weight");
+    }
+}

@@ -1,0 +1,146 @@
+//! Word tokenization and sentence splitting.
+
+/// Lower-cases and splits text into word tokens.
+///
+/// Numbers are kept whole (including decimal points and the IEA style of
+/// spaces inside numbers is handled upstream by [`crate::numbers`]); `%`
+/// becomes its own token because it signals explicit percentage parameters;
+/// hyphenated words split ("nine-fold" → "nine", "fold") which lets the
+/// multiplier lexicon see both parts. Everything else non-alphanumeric is a
+/// separator.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c.is_alphanumeric() {
+            current.push(c.to_ascii_lowercase());
+        } else if c == '.' || c == ',' {
+            // keep digit.digit / digit,digit together: "3.5" "22,200"
+            let prev_digit = current.chars().last().is_some_and(|p| p.is_ascii_digit());
+            let next_digit = chars.peek().is_some_and(|n| n.is_ascii_digit());
+            if prev_digit && next_digit {
+                current.push(if c == ',' { '.' } else { c });
+                // a comma inside digits is treated as a decimal separator only
+                // when exactly 1-2 digits follow... simpler: treat as grouping,
+                // handled by numbers.rs; here we keep the token intact.
+            } else {
+                flush(&mut tokens, &mut current);
+            }
+        } else if c == '%' {
+            flush(&mut tokens, &mut current);
+            tokens.push("%".to_string());
+        } else {
+            flush(&mut tokens, &mut current);
+        }
+    }
+    flush(&mut tokens, &mut current);
+    tokens
+}
+
+fn flush(tokens: &mut Vec<String>, current: &mut String) {
+    if !current.is_empty() {
+        tokens.push(std::mem::take(current));
+    }
+}
+
+/// Splits text into sentences at `.`, `!`, `?` followed by whitespace and an
+/// upper-case letter or digit — robust enough for report prose, and numbers
+/// like "22 200" or "3.5%" never split a sentence.
+pub fn sentences(text: &str) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if matches!(c, '.' | '!' | '?') {
+            // look ahead: whitespace then uppercase/digit?
+            let mut j = i + 1;
+            while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                j += 1;
+            }
+            let prev_is_digit = i > 0 && bytes[i - 1].is_ascii_digit();
+            let next_is_digit = j < bytes.len() && bytes[j].is_ascii_digit();
+            let boundary = j > i + 1
+                && j < bytes.len()
+                && ((bytes[j] as char).is_uppercase() || bytes[j].is_ascii_digit())
+                && !(c == '.' && prev_is_digit && next_is_digit);
+            if boundary || j >= bytes.len() {
+                let sentence = text[start..=i].trim();
+                if !sentence.is_empty() {
+                    out.push(sentence);
+                }
+                start = j;
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(
+            tokenize("In 2017, global electricity demand grew by 3%"),
+            vec!["in", "2017", "global", "electricity", "demand", "grew", "by", "3", "%"]
+        );
+    }
+
+    #[test]
+    fn decimals_stay_whole() {
+        assert_eq!(tokenize("grew by 2.5%"), vec!["grew", "by", "2.5", "%"]);
+        assert_eq!(tokenize("3.5 and 4."), vec!["3.5", "and", "4"]);
+    }
+
+    #[test]
+    fn hyphenated_words_split() {
+        assert_eq!(tokenize("nine-fold increase"), vec!["nine", "fold", "increase"]);
+    }
+
+    #[test]
+    fn punctuation_separates() {
+        assert_eq!(tokenize("wind, solar; coal"), vec!["wind", "solar", "coal"]);
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("  ,,  "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn comma_grouped_numbers() {
+        assert_eq!(tokenize("reaching 22,200 TWh")[1], "22.200");
+    }
+
+    #[test]
+    fn sentence_splitting() {
+        let text = "Demand grew by 3%. Supply fell. The market expanded aggressively.";
+        let s = sentences(text);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], "Demand grew by 3%.");
+        assert_eq!(s[2], "The market expanded aggressively.");
+    }
+
+    #[test]
+    fn decimals_do_not_split_sentences() {
+        let text = "Demand grew by 3.5 percent in 2017. It fell in 2018.";
+        let s = sentences(text);
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("3.5"));
+    }
+
+    #[test]
+    fn no_trailing_empty_sentence() {
+        assert_eq!(sentences("One sentence only"), vec!["One sentence only"]);
+        assert_eq!(sentences(""), Vec::<&str>::new());
+        assert_eq!(sentences("Ends with period."), vec!["Ends with period."]);
+    }
+}

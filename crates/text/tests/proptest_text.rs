@@ -1,0 +1,63 @@
+//! Property tests for the text substrate: tokenization totality, parameter
+//! extraction sanity, TF-IDF normalization on arbitrary inputs.
+
+use proptest::prelude::*;
+use scrutinizer_text::{extract_parameters, tokenize, ParameterKind, TfIdfVectorizer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tokenize_never_panics_and_lowercases(text in "\\PC{0,200}") {
+        let tokens = tokenize(&text);
+        for t in &tokens {
+            prop_assert!(!t.is_empty());
+            prop_assert!(
+                t.chars().all(|c| !c.is_ascii_uppercase()),
+                "token `{}` not lowercased", t
+            );
+        }
+    }
+
+    #[test]
+    fn percent_extraction_scales(pct in 0.1f64..99.9) {
+        let rounded = (pct * 10.0).round() / 10.0;
+        let text = format!("demand grew by {rounded}% this year");
+        let params = extract_parameters(&text);
+        let hit = params
+            .iter()
+            .find(|p| p.kind == ParameterKind::Percent)
+            .expect("percent found");
+        prop_assert!((hit.value - rounded / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absolute_extraction_handles_grouping(value in 1_000i64..999_999) {
+        // report style: space-grouped thousands
+        let grouped = {
+            let s = value.to_string();
+            let (head, tail) = s.split_at(s.len() - 3);
+            format!("{head} {tail}")
+        };
+        let text = format!("reaching {grouped} TWh in total");
+        let params = extract_parameters(&text);
+        prop_assert!(
+            params.iter().any(|p| (p.value - value as f64).abs() < 1e-9),
+            "missed {} in `{}`: {:?}", value, text, params
+        );
+    }
+
+    #[test]
+    fn tfidf_transform_unit_norm_or_empty(
+        docs in prop::collection::vec(
+            prop::collection::vec("[a-z]{1,8}", 1..10), 2..8),
+    ) {
+        let vectorizer = TfIdfVectorizer::fit(docs.iter().map(|d| d.iter()), 1);
+        for doc in &docs {
+            let v = vectorizer.transform(doc.iter());
+            if !v.is_empty() {
+                prop_assert!((v.norm() - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+}
