@@ -1,0 +1,112 @@
+//! Engine benchmarks: what the query-result cache and the executor buy.
+//!
+//! `suggestion_pipeline/*` isolates Algorithm 2 — the same claim context
+//! generated cold (cache cleared every iteration) vs. warm (cache kept) —
+//! and `verify_throughput/*` measures end-to-end batch verification,
+//! sequential vs. pooled and cold vs. warm.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scrutinizer_core::{OrderingStrategy, SystemConfig};
+use scrutinizer_corpus::{Corpus, CorpusConfig};
+use scrutinizer_crowd::{Worker, WorkerConfig};
+use scrutinizer_engine::engine::{Engine, EngineOptions};
+
+fn engine() -> Arc<Engine> {
+    let corpus = Corpus::generate(CorpusConfig::small());
+    let engine = Engine::with_options(
+        corpus,
+        SystemConfig::test(),
+        EngineOptions {
+            retrain_interval: None,
+            ordering: OrderingStrategy::Sequential,
+            ..EngineOptions::default()
+        },
+    );
+    engine.pretrain(None);
+    engine
+}
+
+/// Drives `suggest` for a fixed slice of claims through fresh sessions.
+fn suggest_all(engine: &Arc<Engine>, claims: &[usize]) -> usize {
+    let session = engine.open_session("bench");
+    let mut produced = 0;
+    for &claim_id in claims {
+        engine.submit_report(session, &[claim_id]).expect("submit");
+        produced += engine.suggest(session, claim_id).expect("suggest").len();
+    }
+    engine.close_session(session).expect("close");
+    produced
+}
+
+fn bench_suggestion_pipeline(c: &mut Criterion) {
+    let engine = engine();
+    let claims: Vec<usize> = (0..12).collect();
+    let mut group = c.benchmark_group("suggestion_pipeline");
+    group.sample_size(10);
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            engine.clear_cache();
+            suggest_all(&engine, &claims)
+        })
+    });
+    // warm the cache once, then measure steady-state
+    suggest_all(&engine, &claims);
+    group.bench_function("warm_cache", |b| b.iter(|| suggest_all(&engine, &claims)));
+    group.finish();
+}
+
+fn bench_verify_throughput(c: &mut Criterion) {
+    let engine = engine();
+    let claims: Vec<usize> = (0..24).collect();
+    let base = WorkerConfig {
+        accuracy: 1.0,
+        skip_probability: 0.0,
+        seed: 3,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("verify_throughput");
+    group.sample_size(10);
+    group.bench_function("sequential_cold", |b| {
+        b.iter(|| {
+            engine.clear_cache();
+            claims
+                .iter()
+                .map(|&id| {
+                    let mut worker = Worker::new(
+                        "seq",
+                        WorkerConfig {
+                            seed: base.seed ^ id as u64,
+                            ..base
+                        },
+                    );
+                    engine.verify_claim_with(id, &mut worker).crowd_seconds
+                })
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("pooled_cold", |b| {
+        b.iter(|| {
+            engine.clear_cache();
+            engine.verify_batch(&claims, base).len()
+        })
+    });
+    engine.verify_batch(&claims, base); // warm
+    group.bench_function("pooled_warm", |b| {
+        b.iter(|| engine.verify_batch(&claims, base).len())
+    });
+    group.finish();
+    let stats = engine.stats();
+    println!(
+        "engine cache: {} hits / {} misses (rate {:.3}), {} entries",
+        stats.cache_hits, stats.cache_misses, stats.cache_hit_rate, stats.cache_entries
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_suggestion_pipeline, bench_verify_throughput
+}
+criterion_main!(benches);

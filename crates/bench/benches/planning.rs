@@ -31,8 +31,11 @@ fn bench_batch_selection(c: &mut Criterion) {
     let budget = 100.0 * 60.0;
     let mut group = c.benchmark_group("batch_selection");
     group.sample_size(10);
-    for strategy in [OrderingStrategy::Ilp, OrderingStrategy::Greedy, OrderingStrategy::Sequential]
-    {
+    for strategy in [
+        OrderingStrategy::Ilp,
+        OrderingStrategy::Greedy,
+        OrderingStrategy::Sequential,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{strategy:?}")),
             &strategy,
@@ -55,15 +58,15 @@ fn bench_batch_selection(c: &mut Criterion) {
 fn bench_pruning_greedy(c: &mut Criterion) {
     // the per-claim greedy property selection, re-run for every claim on
     // every retrain — must be microseconds
-    let candidates: Vec<PropertyCandidates> = [
-        (10usize, 0.9f64),
-        (10, 0.75),
-        (10, 0.6),
-    ]
-    .iter()
-    .zip([PropertyKind::Relation, PropertyKind::Key, PropertyKind::Attribute])
-    .map(|(&(count, mass), kind)| PropertyCandidates { kind, count, mass })
-    .collect();
+    let candidates: Vec<PropertyCandidates> = [(10usize, 0.9f64), (10, 0.75), (10, 0.6)]
+        .iter()
+        .zip([
+            PropertyKind::Relation,
+            PropertyKind::Key,
+            PropertyKind::Attribute,
+        ])
+        .map(|(&(count, mass), kind)| PropertyCandidates { kind, count, mass })
+        .collect();
     c.bench_function("pruning/greedy_select_3_properties", |b| {
         b.iter(|| black_box(greedy_select(black_box(&candidates), 3)))
     });
@@ -82,7 +85,12 @@ fn bench_screen_cost_ordering(c: &mut Criterion) {
     println!("expected screen cost: descending {down:.2}s vs ascending {up:.2}s");
     assert!(down < up);
     c.bench_function("screen_cost/expected_cost_10_options", |b| {
-        b.iter(|| black_box(CostModel::expected_list_cost(model.vp, black_box(&descending))))
+        b.iter(|| {
+            black_box(CostModel::expected_list_cost(
+                model.vp,
+                black_box(&descending),
+            ))
+        })
     });
 }
 
@@ -96,7 +104,13 @@ fn bench_ilp_vs_knapsack(c: &mut Criterion) {
     let mut group = c.benchmark_group("ilp_vs_knapsack");
     group.sample_size(10);
     group.bench_function("dp_knapsack", |b| {
-        b.iter(|| black_box(knapsack_01(black_box(&weights), black_box(&values), capacity)))
+        b.iter(|| {
+            black_box(knapsack_01(
+                black_box(&weights),
+                black_box(&values),
+                capacity,
+            ))
+        })
     });
     group.bench_function("branch_and_bound", |b| {
         use scrutinizer_ilp::{solve_ilp, BranchConfig, Model, Sense};
@@ -107,8 +121,11 @@ fn bench_ilp_vs_knapsack(c: &mut Criterion) {
                 .enumerate()
                 .map(|(i, &v)| m.add_binary(format!("x{i}"), v))
                 .collect();
-            let terms: Vec<_> =
-                vars.iter().zip(&weights).map(|(&v, &w)| (v, w as f64)).collect();
+            let terms: Vec<_> = vars
+                .iter()
+                .zip(&weights)
+                .map(|(&v, &w)| (v, w as f64))
+                .collect();
             m.add_constraint(terms, Sense::Le, capacity as f64).unwrap();
             black_box(solve_ilp(&m, BranchConfig::default()))
         })

@@ -18,7 +18,9 @@ fn bench_sql_pipeline(c: &mut Criterion) {
          FROM {t} a, {t} b WHERE a.Index = '{key}' AND b.Index = '{key}'",
         t = table.name()
     );
-    c.bench_function("sql/parse", |b| b.iter(|| black_box(parse(black_box(&sql)))));
+    c.bench_function("sql/parse", |b| {
+        b.iter(|| black_box(parse(black_box(&sql))))
+    });
     let stmt = parse(&sql).expect("parses");
     c.bench_function("sql/execute_point_lookup_join", |b| {
         b.iter(|| black_box(execute(&corpus.catalog, black_box(&stmt))))

@@ -36,13 +36,22 @@ fn run(corpus: &Corpus, config: SystemConfig, strategy: OrderingStrategy) -> (f6
 
 fn main() {
     let corpus = corpus();
-    println!("corpus: {} claims, {} sections\n", corpus.claims.len(), corpus.document.sections.len());
+    println!(
+        "corpus: {} claims, {} sections\n",
+        corpus.claims.len(),
+        corpus.document.sections.len()
+    );
 
     println!("── ablation 1: ordering strategy ──────────────────────────────");
-    println!("{:<12}{:>12}{:>14}{:>16}", "strategy", "crowd (h)", "max cls acc", "verdict acc");
-    for strategy in
-        [OrderingStrategy::Ilp, OrderingStrategy::Greedy, OrderingStrategy::Sequential]
-    {
+    println!(
+        "{:<12}{:>12}{:>14}{:>16}",
+        "strategy", "crowd (h)", "max cls acc", "verdict acc"
+    );
+    for strategy in [
+        OrderingStrategy::Ilp,
+        OrderingStrategy::Greedy,
+        OrderingStrategy::Sequential,
+    ] {
         let (hours, max_acc, verdict) = run(&corpus, SystemConfig::default(), strategy);
         println!(
             "{:<12}{:>12.2}{:>13.0}%{:>15.1}%",
@@ -56,7 +65,10 @@ fn main() {
     println!("\n── ablation 2: screen skipping at high confidence ─────────────");
     println!("{:<12}{:>12}{:>16}", "skip", "crowd (h)", "verdict acc");
     for (label, threshold) in [("on (0.85)", 0.85f32), ("off (>1)", 2.0)] {
-        let config = SystemConfig { screen_skip_confidence: threshold, ..Default::default() };
+        let config = SystemConfig {
+            screen_skip_confidence: threshold,
+            ..Default::default()
+        };
         let (hours, _, verdict) = run(&corpus, config, OrderingStrategy::Ilp);
         println!("{:<12}{:>12.2}{:>15.1}%", label, hours, 100.0 * verdict);
     }
@@ -64,7 +76,10 @@ fn main() {
     println!("\n── ablation 3: answer options per screen (Corollary 1) ────────");
     println!("{:<12}{:>12}{:>16}", "options", "crowd (h)", "verdict acc");
     for nop in [5usize, 10, 20] {
-        let config = SystemConfig { options_per_screen: nop, ..Default::default() };
+        let config = SystemConfig {
+            options_per_screen: nop,
+            ..Default::default()
+        };
         let (hours, _, verdict) = run(&corpus, config, OrderingStrategy::Ilp);
         println!("{:<12}{:>12.2}{:>15.1}%", nop, hours, 100.0 * verdict);
     }

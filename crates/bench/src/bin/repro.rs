@@ -100,7 +100,9 @@ fn header(title: &str) {
 
 /// Table 1: percentiles of property value frequencies.
 fn table1(scale: &str) {
-    header(&format!("Table 1 — Percentiles of property value frequencies ({scale} scale)"));
+    header(&format!(
+        "Table 1 — Percentiles of property value frequencies ({scale} scale)"
+    ));
     let corpus = Corpus::generate(corpus_config(scale));
     let mut rel: FxHashMap<&str, usize> = FxHashMap::default();
     let mut key: FxHashMap<&str, usize> = FxHashMap::default();
@@ -117,13 +119,20 @@ fn table1(scale: &str) {
     println!(
         "corpus: {} claims ({} explicit), {} relations, {} keys, {} attributes, {} formulas",
         corpus.claims.len(),
-        corpus.claims.iter().filter(|c| c.kind == ClaimKind::Explicit).count(),
+        corpus
+            .claims
+            .iter()
+            .filter(|c| c.kind == ClaimKind::Explicit)
+            .count(),
         corpus.catalog.len(),
         corpus.catalog.all_keys().len(),
         corpus.catalog.all_attributes().len(),
         corpus.formulas.len()
     );
-    println!("\n{:<14}{:>6}{:>6}{:>6}{:>8}{:>8}", "Percentiles", "10%", "25%", "50%", "95%", "99%");
+    println!(
+        "\n{:<14}{:>6}{:>6}{:>6}{:>8}{:>8}",
+        "Percentiles", "10%", "25%", "50%", "95%", "99%"
+    );
     let paper: [(&str, [usize; 5]); 4] = [
         ("Relation", [2, 4, 10, 199, 532]),
         ("Primary Key", [2, 2, 4, 39, 107]),
@@ -136,7 +145,13 @@ fn table1(scale: &str) {
         let p = percentiles(&freqs, &TABLE1_POINTS);
         println!(
             "{:<14}{:>6}{:>6}{:>6}{:>8}{:>8}   (measured, {} distinct values)",
-            name, p[0], p[1], p[2], p[3], p[4], map.len()
+            name,
+            p[0],
+            p[1],
+            p[2],
+            p[3],
+            p[4],
+            map.len()
         );
         println!(
             "{:<14}{:>6}{:>6}{:>6}{:>8}{:>8}   (paper)",
@@ -162,12 +177,18 @@ fn fig5(scale: &str) {
     header("Figure 5 — Claims verified in 20 minutes per checker");
     let corpus = study_corpus(scale);
     let study = run_user_study(&corpus, SystemConfig::default(), StudyConfig::default());
-    println!("{:<6}{:>9}{:>11}{:>9}{:>8}", "", "Correct", "Incorrect", "Skipped", "Total");
+    println!(
+        "{:<6}{:>9}{:>11}{:>9}{:>8}",
+        "", "Correct", "Incorrect", "Skipped", "Total"
+    );
     let mut manual_total = 0.0;
     let mut system_total = 0.0;
     for c in &study.checkers {
         let total = c.correct + c.incorrect;
-        println!("{:<6}{:>9}{:>11}{:>9}{:>8}", c.name, c.correct, c.incorrect, c.skipped, total);
+        println!(
+            "{:<6}{:>9}{:>11}{:>9}{:>8}",
+            c.name, c.correct, c.incorrect, c.skipped, total
+        );
         if c.name.starts_with('M') {
             manual_total += total as f64 / 3.0;
         } else {
@@ -175,8 +196,10 @@ fn fig5(scale: &str) {
         }
     }
     println!("\nmean claims / 20 min — Manual: {manual_total:.1}   System: {system_total:.1}");
-    println!("paper:                 Manual: 7      System: 23  (speedup ≈ 3.3×; ours {:.1}×)",
-        system_total / manual_total.max(1e-9));
+    println!(
+        "paper:                 Manual: 7      System: 23  (speedup ≈ 3.3×; ours {:.1}×)",
+        system_total / manual_total.max(1e-9)
+    );
 }
 
 /// Figure 6: verification time vs claim complexity.
@@ -184,7 +207,10 @@ fn fig6(scale: &str) {
     header("Figure 6 — Mean verification time (s) by claim complexity");
     let corpus = study_corpus(scale);
     let study = run_user_study(&corpus, SystemConfig::default(), StudyConfig::default());
-    println!("{:>11} | {:>16} | {:>16}", "complexity", "Manual mean±std", "System mean±std");
+    println!(
+        "{:>11} | {:>16} | {:>16}",
+        "complexity", "Manual mean±std", "System mean±std"
+    );
     println!("{}", "-".repeat(52));
     let mut all: Vec<usize> = study
         .manual_by_complexity
@@ -240,7 +266,10 @@ fn table2(sim: &ReportSimulation) {
 /// Figure 7: accumulated verification time.
 fn fig7(sim: &ReportSimulation) {
     header("Figure 7 — Accumulated verification time (weeks) over verified claims");
-    println!("{:>9} | {:>9} | {:>11} | {:>12}", "#claims", "Manual", "Sequential", "Scrutinizer");
+    println!(
+        "{:>9} | {:>9} | {:>11} | {:>12}",
+        "#claims", "Manual", "Sequential", "Scrutinizer"
+    );
     println!("{}", "-".repeat(50));
     let n = sim.runs[0].time_trace.len();
     let steps = 10usize.max(n / 10);
@@ -249,9 +278,18 @@ fn fig7(sim: &ReportSimulation) {
         let row: Vec<f64> = sim
             .runs
             .iter()
-            .map(|r| sim.calendar.weeks(*r.time_trace.get(i).unwrap_or(&f64::NAN)))
+            .map(|r| {
+                sim.calendar
+                    .weeks(*r.time_trace.get(i).unwrap_or(&f64::NAN))
+            })
             .collect();
-        println!("{:>9} | {:>9.2} | {:>11.2} | {:>12.2}", i + 1, row[0], row[1], row[2]);
+        println!(
+            "{:>9} | {:>9.2} | {:>11.2} | {:>12.2}",
+            i + 1,
+            row[0],
+            row[1],
+            row[2]
+        );
         i += steps;
     }
     println!("\npaper shape: all three grow ~linearly; Scrutinizer flattest, Manual steepest,");
@@ -261,7 +299,10 @@ fn fig7(sim: &ReportSimulation) {
 /// Figure 8: average classifier accuracy evolution.
 fn fig8(sim: &ReportSimulation) {
     header("Figure 8 — Average classifier accuracy over verified claims");
-    println!("{:>9} | {:>11} | {:>11}", "#claims", "Scrutinizer", "Sequential");
+    println!(
+        "{:>9} | {:>11} | {:>11}",
+        "#claims", "Scrutinizer", "Sequential"
+    );
     println!("{}", "-".repeat(38));
     let scrut = &sim.runs[2].accuracy_trace;
     let seq = &sim.runs[1].accuracy_trace;
@@ -271,7 +312,11 @@ fn fig8(sim: &ReportSimulation) {
             .get(i)
             .map(|(_, a)| a.iter().sum::<f64>() / 4.0)
             .unwrap_or(f64::NAN);
-        println!("{n:>9} | {:>10.1}% | {:>10.1}%", 100.0 * avg, 100.0 * seq_avg);
+        println!(
+            "{n:>9} | {:>10.1}% | {:>10.1}%",
+            100.0 * avg,
+            100.0 * seq_avg
+        );
     }
     println!("\npaper shape: Scrutinizer dominates over most of the period (upfront");
     println!("uncertainty sampling), may dip at the very start and the very end.");
@@ -300,7 +345,9 @@ fn fig9(sim: &ReportSimulation) {
 
 /// Figure 10: top-k accuracy per classifier.
 fn fig10(scale: &str) {
-    header(&format!("Figure 10 — Top-k accuracy per classifier ({scale} scale)"));
+    header(&format!(
+        "Figure 10 — Top-k accuracy per classifier ({scale} scale)"
+    ));
     let corpus = Corpus::generate(corpus_config(scale));
     let ks = [1usize, 5, 10, 15];
     let result = run_topk(&corpus, SystemConfig::default(), &ks, 99);
@@ -331,7 +378,13 @@ fn table3() {
         ("Task", "check", "check", "check", "search"),
         ("", "n claims", "1 claim", "1 claim", "1 claim"),
         ("Claims", "general", "explicit", "explicit", "explicit"),
-        ("Query", "SPA + 100s ops", "SPA + 9 ops", "SPA + 6 ops", "SP"),
+        (
+            "Query",
+            "SPA + 100s ops",
+            "SPA + 9 ops",
+            "SPA + 6 ops",
+            "SP",
+        ),
         ("User", "crowd", "single", "single", "single"),
         ("Dataset", "corpus", "single", "single", "corpus"),
     ];

@@ -45,6 +45,6 @@ pub use config::SystemConfig;
 pub use models::{PropertyKind, SystemModels, Translation};
 pub use ordering::{select_batch, OrderingStrategy};
 pub use planner::ClaimPlan;
-pub use qgen::{generate_queries, QueryCandidate};
-pub use report::{ClaimOutcome, VerificationReport, Verdict};
+pub use qgen::{generate_queries, generate_queries_with, padded_context, QueryCandidate};
+pub use report::{ClaimOutcome, Verdict, VerificationReport};
 pub use verify::Verifier;

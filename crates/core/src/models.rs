@@ -20,8 +20,12 @@ pub enum PropertyKind {
 
 impl PropertyKind {
     /// All four, in the paper's order.
-    pub const ALL: [PropertyKind; 4] =
-        [PropertyKind::Relation, PropertyKind::Key, PropertyKind::Attribute, PropertyKind::Formula];
+    pub const ALL: [PropertyKind; 4] = [
+        PropertyKind::Relation,
+        PropertyKind::Key,
+        PropertyKind::Attribute,
+        PropertyKind::Formula,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -72,8 +76,7 @@ impl SystemModels {
             LabelDict::from_labels(corpus.catalog.table_names().map(str::to_string));
         let key_labels = LabelDict::from_labels(corpus.catalog.all_keys());
         let attribute_labels = LabelDict::from_labels(corpus.catalog.all_attributes());
-        let formula_labels =
-            LabelDict::from_labels(corpus.formulas.iter().map(|f| f.text.clone()));
+        let formula_labels = LabelDict::from_labels(corpus.formulas.iter().map(|f| f.text.clone()));
 
         let classifiers = [
             PropertyClassifier::new("relation", relation_labels, dim, config.training),
@@ -81,12 +84,16 @@ impl SystemModels {
             PropertyClassifier::new("attribute", attribute_labels, dim, config.training),
             PropertyClassifier::new("formula", formula_labels, dim, config.training),
         ];
-        SystemModels { featurizer, classifiers }
+        SystemModels {
+            featurizer,
+            classifiers,
+        }
     }
 
     /// Features of a claim.
     pub fn features(&self, claim: &ClaimRecord) -> SparseVector {
-        self.featurizer.features(&claim.claim_text, &claim.sentence_text)
+        self.featurizer
+            .features(&claim.claim_text, &claim.sentence_text)
     }
 
     /// Classifier of a property.
@@ -119,8 +126,7 @@ impl SystemModels {
         if verified.is_empty() {
             return;
         }
-        let features: Vec<SparseVector> =
-            verified.iter().map(|c| self.features(c)).collect();
+        let features: Vec<SparseVector> = verified.iter().map(|c| self.features(c)).collect();
 
         let relation_examples: Vec<(SparseVector, String)> = verified
             .iter()
@@ -164,10 +170,16 @@ impl SystemModels {
         for claim in claims {
             let features = self.features(claim);
             let t = self.translate(&features, 1);
-            if t.of(PropertyKind::Relation).first().is_some_and(|(l, _)| *l == claim.relation) {
+            if t.of(PropertyKind::Relation)
+                .first()
+                .is_some_and(|(l, _)| *l == claim.relation)
+            {
                 hits[0] += 1;
             }
-            if t.of(PropertyKind::Key).first().is_some_and(|(l, _)| *l == claim.key) {
+            if t.of(PropertyKind::Key)
+                .first()
+                .is_some_and(|(l, _)| *l == claim.key)
+            {
                 hits[1] += 1;
             }
             if t.of(PropertyKind::Attribute)
@@ -176,13 +188,20 @@ impl SystemModels {
             {
                 hits[2] += 1;
             }
-            if t.of(PropertyKind::Formula).first().is_some_and(|(l, _)| *l == claim.formula_text)
+            if t.of(PropertyKind::Formula)
+                .first()
+                .is_some_and(|(l, _)| *l == claim.formula_text)
             {
                 hits[3] += 1;
             }
         }
         let n = claims.len() as f64;
-        [hits[0] as f64 / n, hits[1] as f64 / n, hits[2] as f64 / n, hits[3] as f64 / n]
+        [
+            hits[0] as f64 / n,
+            hits[1] as f64 / n,
+            hits[2] as f64 / n,
+            hits[3] as f64 / n,
+        ]
     }
 }
 
@@ -221,13 +240,15 @@ mod tests {
         let (corpus, mut models, _) = setup();
         let refs: Vec<&ClaimRecord> = corpus.claims.iter().collect();
         let before = models.accuracy_on(&refs);
-        let u_before =
-            models.training_utility(&models.features(&corpus.claims[0]));
+        let u_before = models.training_utility(&models.features(&corpus.claims[0]));
         models.retrain(&refs);
         let after = models.accuracy_on(&refs);
         let u_after = models.training_utility(&models.features(&corpus.claims[0]));
         // training accuracy must beat the untrained baseline for every model
-        for (kind, (b, a)) in PropertyKind::ALL.iter().zip(before.iter().zip(after.iter())) {
+        for (kind, (b, a)) in PropertyKind::ALL
+            .iter()
+            .zip(before.iter().zip(after.iter()))
+        {
             assert!(a >= b, "{}: {b} → {a}", kind.name());
         }
         assert!(after.iter().sum::<f64>() > before.iter().sum::<f64>() + 0.5);

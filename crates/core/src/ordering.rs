@@ -53,7 +53,11 @@ pub fn select_batch(
         OrderingStrategy::Sequential => {
             let mut ordered: Vec<&ClaimChoice> = choices.iter().collect();
             ordered.sort_by_key(|c| c.id);
-            ordered.iter().take(config.batch_size).map(|c| c.id).collect()
+            ordered
+                .iter()
+                .take(config.batch_size)
+                .map(|c| c.id)
+                .collect()
         }
         OrderingStrategy::Greedy => greedy_batch(choices, document, budget_seconds, config),
         OrderingStrategy::Ilp => ilp_batch(choices, document, budget_seconds, config)
@@ -134,8 +138,10 @@ fn ilp_batch(
     let mut sections: Vec<usize> = window.iter().map(|c| c.section).collect();
     sections.sort_unstable();
     sections.dedup();
-    let section_vars: Vec<_> =
-        sections.iter().map(|s| model.add_binary(format!("sr{s}"), 0.0)).collect();
+    let section_vars: Vec<_> = sections
+        .iter()
+        .map(|s| model.add_binary(format!("sr{s}"), 0.0))
+        .collect();
 
     // coverage: sr_j − cs_i ≥ 0 for claim i in section j
     for (c, &cv) in window.iter().zip(&claim_vars) {
@@ -145,23 +151,35 @@ fn ilp_batch(
             .ok()?;
     }
     // budget
-    let mut budget_terms: Vec<_> =
-        window.iter().zip(&claim_vars).map(|(c, &v)| (v, c.cost)).collect();
+    let mut budget_terms: Vec<_> = window
+        .iter()
+        .zip(&claim_vars)
+        .map(|(c, &v)| (v, c.cost))
+        .collect();
     for (&s, &sv) in sections.iter().zip(&section_vars) {
         budget_terms.push((sv, section_read_cost(document, s, config)));
     }
-    model.add_constraint(budget_terms, Sense::Le, budget_seconds).ok()?;
+    model
+        .add_constraint(budget_terms, Sense::Le, budget_seconds)
+        .ok()?;
     // cardinality
     let cardinality: Vec<_> = claim_vars.iter().map(|&v| (v, 1.0)).collect();
-    model.add_constraint(cardinality.clone(), Sense::Le, config.batch_size as f64).ok()?;
+    model
+        .add_constraint(cardinality.clone(), Sense::Le, config.batch_size as f64)
+        .ok()?;
     model.add_constraint(cardinality, Sense::Ge, 1.0).ok()?;
 
     // Definition 9 instances are knapsack-like: their LP relaxations are
     // near-integral and the incumbent after a few dozen nodes is optimal or
     // indistinguishable from it, so a small node budget keeps planning well
     // inside the paper's 15-minute total
-    let solution = match solve_ilp(&model, BranchConfig { node_limit: 40, ..Default::default() })
-    {
+    let solution = match solve_ilp(
+        &model,
+        BranchConfig {
+            node_limit: 40,
+            ..Default::default()
+        },
+    ) {
         Ok(s) => s,
         Err(IlpError::NodeLimit(Some(s))) => s,
         Err(_) => return None,
@@ -210,8 +228,13 @@ mod tests {
     #[test]
     fn sequential_takes_document_order() {
         let (document, choices, config) = setup();
-        let batch =
-            select_batch(&choices, &document, OrderingStrategy::Sequential, 1e9, &config);
+        let batch = select_batch(
+            &choices,
+            &document,
+            OrderingStrategy::Sequential,
+            1e9,
+            &config,
+        );
         assert_eq!(batch.len(), config.batch_size);
         assert_eq!(batch[0], 0);
         assert!(batch.windows(2).all(|w| w[0] < w[1]));
@@ -232,11 +255,13 @@ mod tests {
             total += c.cost;
             if !sections.contains(&c.section) {
                 sections.push(c.section);
-                total += document.sections[c.section]
-                    .read_cost(config.read_seconds_per_sentence);
+                total += document.sections[c.section].read_cost(config.read_seconds_per_sentence);
             }
         }
-        assert!(total <= budget + 1e-6, "budget violated: {total} > {budget}");
+        assert!(
+            total <= budget + 1e-6,
+            "budget violated: {total} > {budget}"
+        );
     }
 
     #[test]
@@ -250,8 +275,13 @@ mod tests {
                 .sum()
         };
         let ilp = select_batch(&choices, &document, OrderingStrategy::Ilp, budget, &config);
-        let greedy =
-            select_batch(&choices, &document, OrderingStrategy::Greedy, budget, &config);
+        let greedy = select_batch(
+            &choices,
+            &document,
+            OrderingStrategy::Greedy,
+            budget,
+            &config,
+        );
         assert!(
             utility_of(&ilp) >= utility_of(&greedy) - 1e-6,
             "ILP {} vs greedy {}",
@@ -264,8 +294,13 @@ mod tests {
     fn greedy_clusters_sections() {
         // with tight budgets greedy should reuse sections it already paid for
         let (document, choices, config) = setup();
-        let batch =
-            select_batch(&choices, &document, OrderingStrategy::Greedy, 500.0, &config);
+        let batch = select_batch(
+            &choices,
+            &document,
+            OrderingStrategy::Greedy,
+            500.0,
+            &config,
+        );
         assert!(!batch.is_empty());
         let mut sections: Vec<usize> = batch
             .iter()

@@ -22,8 +22,11 @@ pub struct ClaimPlan {
 
 /// The context properties the crowd validates (formulas are filtered by
 /// instantiation instead — §4.3).
-pub const CROWD_PROPERTIES: [PropertyKind; 3] =
-    [PropertyKind::Relation, PropertyKind::Key, PropertyKind::Attribute];
+pub const CROWD_PROPERTIES: [PropertyKind; 3] = [
+    PropertyKind::Relation,
+    PropertyKind::Key,
+    PropertyKind::Attribute,
+];
 
 /// Builds the optimal plan for one claim from its translation.
 pub fn plan_claim(translation: &Translation, config: &SystemConfig) -> ClaimPlan {
@@ -62,7 +65,11 @@ pub fn plan_claim(translation: &Translation, config: &SystemConfig) -> ClaimPlan
         .iter()
         .map(|&i| {
             let kind = asked[i];
-            Screen::new(kind, translation.of(kind).to_vec(), config.options_per_screen)
+            Screen::new(
+                kind,
+                translation.of(kind).to_vec(),
+                config.options_per_screen,
+            )
         })
         .collect();
 
@@ -80,7 +87,10 @@ pub fn plan_claim(translation: &Translation, config: &SystemConfig) -> ClaimPlan
         .collect();
     expected_cost += config.cost.expected_final_cost(&formula_probs);
 
-    ClaimPlan { screens, expected_cost }
+    ClaimPlan {
+        screens,
+        expected_cost,
+    }
 }
 
 #[cfg(test)]

@@ -119,9 +119,9 @@ mod tests {
     fn closed_form_matches_naive() {
         // three properties with concrete per-candidate probabilities
         let probabilities = vec![
-            vec![0.6, 0.3],        // mass 0.9
-            vec![0.5, 0.2, 0.1],   // mass 0.8
-            vec![0.7],             // mass 0.7
+            vec![0.6, 0.3],      // mass 0.9
+            vec![0.5, 0.2, 0.1], // mass 0.8
+            vec![0.7],           // mass 0.7
         ];
         let all = candidates(&[(2, 0.9), (3, 0.8), (1, 0.7)]);
         for selected in [vec![], vec![0], vec![1], vec![0, 1], vec![0, 1, 2]] {

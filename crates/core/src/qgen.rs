@@ -38,6 +38,7 @@ pub struct QueryCandidate {
 /// candidates (line 27's `QA`) ranked by formula order — these are the
 /// alternatives shown to checkers, and the closest one backs the suggested
 /// correction of Example 4.
+#[allow(clippy::too_many_arguments)] // Algorithm 2's inputs, verbatim
 pub fn generate_queries(
     catalog: &Catalog,
     registry: &FunctionRegistry,
@@ -48,10 +49,50 @@ pub fn generate_queries(
     parameter: Option<f64>,
     config: &SystemConfig,
 ) -> Vec<QueryCandidate> {
+    generate_queries_with(
+        catalog,
+        relations,
+        keys,
+        attributes,
+        formulas,
+        parameter,
+        config,
+        |_, formula, lookups| {
+            eval_formula(catalog, registry, formula, lookups)
+                .ok()
+                .filter(|v| v.is_finite())
+        },
+    )
+}
+
+/// Algorithm 2 with a pluggable assignment evaluator.
+///
+/// `evaluate` receives `(formula_text, formula, lookups)` and returns the
+/// assignment's finite value, or `None` when it does not evaluate. This is
+/// the seam the serving engine uses to route every evaluation through its
+/// query-result cache; [`generate_queries`] plugs in plain
+/// [`eval_formula`]. Enumeration, budgeting and ranking are identical for
+/// both callers by construction.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_queries_with<E>(
+    catalog: &Catalog,
+    relations: &[String],
+    keys: &[String],
+    attributes: &[String],
+    formulas: &[(String, Formula)],
+    parameter: Option<f64>,
+    config: &SystemConfig,
+    mut evaluate: E,
+) -> Vec<QueryCandidate>
+where
+    E: FnMut(&str, &Formula, &[Lookup]) -> Option<f64>,
+{
     // line 5-8: collect the available data values V = R × K × A
     let mut values: Vec<Lookup> = Vec::new();
     for relation in relations {
-        let Ok(table) = catalog.get(relation) else { continue };
+        let Ok(table) = catalog.get(relation) else {
+            continue;
+        };
         for key in keys {
             if !table.contains_key(key) {
                 continue;
@@ -59,7 +100,11 @@ pub fn generate_queries(
             for attribute in attributes {
                 if let Ok(v) = table.get(key, attribute) {
                     if v.is_numeric() {
-                        values.push(Lookup::new(relation.clone(), key.clone(), attribute.clone()));
+                        values.push(Lookup::new(
+                            relation.clone(),
+                            key.clone(),
+                            attribute.clone(),
+                        ));
                     }
                 }
             }
@@ -85,37 +130,32 @@ pub fn generate_queries(
                 break;
             }
             budget -= 1;
-            let lookups: Vec<Lookup> =
-                index.iter().map(|&i| values[i].clone()).collect();
-            if let Ok(value) = eval_formula(catalog, registry, formula, &lookups) {
-                if value.is_finite() {
-                    let matches = parameter
-                        .map(|p| approx_eq_f64(value, p, config.tolerance))
-                        .unwrap_or(false);
-                    if matches {
-                        // line 15-16
-                        if let Ok(stmt) = instantiate(formula, &lookups) {
-                            matched.push(QueryCandidate {
-                                stmt,
-                                formula_text: text.clone(),
-                                lookups,
-                                value,
-                                matches_parameter: true,
-                            });
-                        }
-                    } else if matched.is_empty()
-                        && alternatives.len() < config.final_options * 4
-                    {
-                        // line 17-18 (bounded: we only ever show a handful)
-                        if let Ok(stmt) = instantiate(formula, &lookups) {
-                            alternatives.push(QueryCandidate {
-                                stmt,
-                                formula_text: text.clone(),
-                                lookups,
-                                value,
-                                matches_parameter: false,
-                            });
-                        }
+            let lookups: Vec<Lookup> = index.iter().map(|&i| values[i].clone()).collect();
+            if let Some(value) = evaluate(text, formula, &lookups) {
+                let matches = parameter
+                    .map(|p| approx_eq_f64(value, p, config.tolerance))
+                    .unwrap_or(false);
+                if matches {
+                    // line 15-16
+                    if let Ok(stmt) = instantiate(formula, &lookups) {
+                        matched.push(QueryCandidate {
+                            stmt,
+                            formula_text: text.clone(),
+                            lookups,
+                            value,
+                            matches_parameter: true,
+                        });
+                    }
+                } else if matched.is_empty() && alternatives.len() < config.final_options * 4 {
+                    // line 17-18 (bounded: we only ever show a handful)
+                    if let Ok(stmt) = instantiate(formula, &lookups) {
+                        alternatives.push(QueryCandidate {
+                            stmt,
+                            formula_text: text.clone(),
+                            lookups,
+                            value,
+                            matches_parameter: false,
+                        });
                     }
                 }
             }
@@ -154,6 +194,27 @@ pub fn generate_queries(
     }
 }
 
+/// Builds one property's query-generation context: the crowd-validated
+/// answer first (when present), padded with up to `extra` classifier
+/// candidates, deduplicated. Shared by the one-shot verifier and the
+/// serving engine so both build identical contexts.
+pub fn padded_context(
+    validated: Option<&str>,
+    candidates: &[(String, f32)],
+    extra: usize,
+) -> Vec<String> {
+    let mut values: Vec<String> = Vec::new();
+    if let Some(v) = validated {
+        values.push(v.to_string());
+    }
+    for (label, _) in candidates.iter().take(extra) {
+        if !values.contains(label) {
+            values.push(label.clone());
+        }
+    }
+    values
+}
+
 fn relative_distance(value: f64, parameter: f64) -> f64 {
     (value - parameter).abs() / parameter.abs().max(1e-9)
 }
@@ -179,7 +240,10 @@ mod tests {
     }
 
     fn formulas(texts: &[&str]) -> Vec<(String, Formula)> {
-        texts.iter().map(|t| (t.to_string(), parse_formula(t).unwrap())).collect()
+        texts
+            .iter()
+            .map(|t| (t.to_string(), parse_formula(t).unwrap()))
+            .collect()
     }
 
     fn strs(items: &[&str]) -> Vec<String> {
@@ -209,8 +273,7 @@ mod tests {
         assert!(best.stmt.to_string().contains("POWER"));
         // both (2017, 2016) and its algebraic mirror (2016, 2017) verify the
         // claim; the binding must use exactly those two attributes
-        let mut attrs: Vec<&str> =
-            best.lookups.iter().map(|l| l.attribute.as_str()).collect();
+        let mut attrs: Vec<&str> = best.lookups.iter().map(|l| l.attribute.as_str()).collect();
         attrs.sort_unstable();
         assert_eq!(attrs, vec!["2016", "2017"]);
     }

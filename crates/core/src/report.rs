@@ -53,7 +53,10 @@ pub struct VerificationReport {
 impl VerificationReport {
     /// Number of claims the system judged erroneous.
     pub fn incorrect_count(&self) -> usize {
-        self.outcomes.iter().filter(|o| matches!(o.verdict, Verdict::Incorrect { .. })).count()
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.verdict, Verdict::Incorrect { .. }))
+            .count()
     }
 
     /// Fraction of verdicts agreeing with ground truth.
@@ -111,21 +114,41 @@ mod tests {
     use super::*;
 
     fn outcome(id: usize, verdict: Verdict, matches: bool) -> ClaimOutcome {
-        ClaimOutcome { claim_id: id, verdict, crowd_seconds: 30.0, verdict_matches_truth: matches }
+        ClaimOutcome {
+            claim_id: id,
+            verdict,
+            crowd_seconds: 30.0,
+            verdict_matches_truth: matches,
+        }
     }
 
     #[test]
     fn counters() {
         let report = VerificationReport {
             outcomes: vec![
-                outcome(0, Verdict::Correct { query: "SELECT ...".into() }, true),
+                outcome(
+                    0,
+                    Verdict::Correct {
+                        query: "SELECT ...".into(),
+                    },
+                    true,
+                ),
                 outcome(
                     1,
-                    Verdict::Incorrect { closest_query: None, suggested_value: Some(3.0) },
+                    Verdict::Incorrect {
+                        closest_query: None,
+                        suggested_value: Some(3.0),
+                    },
                     true,
                 ),
                 outcome(2, Verdict::Skipped, false),
-                outcome(3, Verdict::Correct { query: "SELECT ...".into() }, false),
+                outcome(
+                    3,
+                    Verdict::Correct {
+                        query: "SELECT ...".into(),
+                    },
+                    false,
+                ),
             ],
             ..Default::default()
         };

@@ -79,9 +79,18 @@ impl FinalScreen {
         let total: f32 = scored.iter().map(|(_, p)| *p).sum();
         let probabilities = scored
             .iter()
-            .map(|(_, p)| if total > 0.0 { p / total } else { 1.0 / scored.len().max(1) as f32 })
+            .map(|(_, p)| {
+                if total > 0.0 {
+                    p / total
+                } else {
+                    1.0 / scored.len().max(1) as f32
+                }
+            })
             .collect();
-        FinalScreen { candidates: scored.into_iter().map(|(c, _)| c).collect(), probabilities }
+        FinalScreen {
+            candidates: scored.into_iter().map(|(c, _)| c).collect(),
+            probabilities,
+        }
     }
 
     /// Rendered rows "SQL → value" exactly as checkers see them (Figure 3).
@@ -126,11 +135,17 @@ mod tests {
     #[test]
     fn final_screen_prefers_matching_queries() {
         let screen = FinalScreen::new(
-            vec![candidate("a + b", 5.0, false), candidate("a / b", 3.0, true)],
+            vec![
+                candidate("a + b", 5.0, false),
+                candidate("a / b", 3.0, true),
+            ],
             &[("a + b".into(), 0.9), ("a / b".into(), 0.1)],
             5,
         );
-        assert!(screen.candidates[0].matches_parameter, "match outranks probability");
+        assert!(
+            screen.candidates[0].matches_parameter,
+            "match outranks probability"
+        );
     }
 
     #[test]
@@ -157,8 +172,7 @@ mod tests {
 
     #[test]
     fn rendered_rows_contain_sql_and_value() {
-        let screen =
-            FinalScreen::new(vec![candidate("a / b", 0.0298, true)], &[], 5);
+        let screen = FinalScreen::new(vec![candidate("a / b", 0.0298, true)], &[], 5);
         let rows = screen.rendered();
         assert_eq!(rows.len(), 1);
         assert!(rows[0].contains("SELECT"));

@@ -69,7 +69,10 @@ fn run_manual(corpus: &Corpus, config: &SystemConfig, calendar: &WorkCalendar) -
         .map(|i| {
             Worker::new(
                 format!("M{}", i + 1),
-                WorkerConfig { seed: config.seed + 900 + i as u64, ..Default::default() },
+                WorkerConfig {
+                    seed: config.seed + 900 + i as u64,
+                    ..Default::default()
+                },
             )
         })
         .collect();
@@ -121,8 +124,20 @@ pub fn run_report_simulation(corpus: &Corpus, config: SystemConfig) -> ReportSim
     let calendar = WorkCalendar::default();
     let runs = vec![
         run_manual(corpus, &config, &calendar),
-        run_system("Sequential", corpus, &config, &calendar, OrderingStrategy::Sequential),
-        run_system("Scrutinizer", corpus, &config, &calendar, OrderingStrategy::Ilp),
+        run_system(
+            "Sequential",
+            corpus,
+            &config,
+            &calendar,
+            OrderingStrategy::Sequential,
+        ),
+        run_system(
+            "Scrutinizer",
+            corpus,
+            &config,
+            &calendar,
+            OrderingStrategy::Ilp,
+        ),
     ];
     ReportSimulation { runs, calendar }
 }

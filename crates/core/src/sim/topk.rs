@@ -27,7 +27,11 @@ pub fn run_topk(corpus: &Corpus, config: SystemConfig, ks: &[usize], seed: u64) 
     let mut per_classifier = vec![[0.0f64; 4]; ks.len()];
     let test: Vec<&ClaimRecord> = test_idx.iter().map(|&i| &corpus.claims[i]).collect();
     if test.is_empty() {
-        return TopKAccuracy { ks: ks.to_vec(), per_classifier, average: vec![0.0; ks.len()] };
+        return TopKAccuracy {
+            ks: ks.to_vec(),
+            per_classifier,
+            average: vec![0.0; ks.len()],
+        };
     }
     for claim in &test {
         let features = models.features(claim);
@@ -53,8 +57,15 @@ pub fn run_topk(corpus: &Corpus, config: SystemConfig, ks: &[usize], seed: u64) 
             *v /= n;
         }
     }
-    let average = per_classifier.iter().map(|row| row.iter().sum::<f64>() / 4.0).collect();
-    TopKAccuracy { ks: ks.to_vec(), per_classifier, average }
+    let average = per_classifier
+        .iter()
+        .map(|row| row.iter().sum::<f64>() / 4.0)
+        .collect();
+    TopKAccuracy {
+        ks: ks.to_vec(),
+        per_classifier,
+        average,
+    }
 }
 
 #[cfg(test)]
@@ -87,6 +98,10 @@ mod tests {
         let result = run_topk(&corpus, SystemConfig::test(), &[1, 5], 3);
         // k=5 average accuracy should be clearly above a random guess over
         // dozens-to-hundreds of labels
-        assert!(result.average[1] > 0.2, "top-5 average {:?}", result.average);
+        assert!(
+            result.average[1] > 0.2,
+            "top-5 average {:?}",
+            result.average
+        );
     }
 }

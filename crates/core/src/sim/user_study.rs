@@ -79,7 +79,9 @@ pub fn select_study_claims<'a>(corpus: &'a Corpus, study: &StudyConfig) -> Vec<&
     let mut relation_counts: FxHashMap<&str, usize> = FxHashMap::default();
     let mut key_counts: FxHashMap<&str, usize> = FxHashMap::default();
     for claim in &corpus.claims {
-        *formula_counts.entry(claim.formula_text.as_str()).or_insert(0) += 1;
+        *formula_counts
+            .entry(claim.formula_text.as_str())
+            .or_insert(0) += 1;
         *relation_counts.entry(claim.relation.as_str()).or_insert(0) += 1;
         *key_counts.entry(claim.key.as_str()).or_insert(0) += 1;
     }
@@ -110,8 +112,11 @@ pub fn run_user_study(corpus: &Corpus, config: SystemConfig, study: StudyConfig)
     // pre-train on everything that is not in the study set
     let mut verifier = Verifier::new(corpus, config);
     let study_ids: Vec<usize> = claims.iter().map(|c| c.id).collect();
-    let training: Vec<&ClaimRecord> =
-        corpus.claims.iter().filter(|c| !study_ids.contains(&c.id)).collect();
+    let training: Vec<&ClaimRecord> = corpus
+        .claims
+        .iter()
+        .filter(|c| !study_ids.contains(&c.id))
+        .collect();
     verifier.models_mut().retrain(&training);
 
     let mut checkers = Vec::new();
@@ -119,7 +124,10 @@ pub fn run_user_study(corpus: &Corpus, config: SystemConfig, study: StudyConfig)
     for m in 0..study.manual_checkers {
         let mut worker = Worker::new(
             format!("M{}", m + 1),
-            WorkerConfig { seed: study.seed + m as u64, ..Default::default() },
+            WorkerConfig {
+                seed: study.seed + m as u64,
+                ..Default::default()
+            },
         );
         let mut result = CheckerResult {
             name: format!("M{}", m + 1),
@@ -155,7 +163,10 @@ pub fn run_user_study(corpus: &Corpus, config: SystemConfig, study: StudyConfig)
     for s in 0..study.system_checkers {
         let mut worker = Worker::new(
             format!("S{}", s + 1),
-            WorkerConfig { seed: study.seed + 100 + s as u64, ..Default::default() },
+            WorkerConfig {
+                seed: study.seed + 100 + s as u64,
+                ..Default::default()
+            },
         );
         let mut result = CheckerResult {
             name: format!("S{}", s + 1),
@@ -226,9 +237,12 @@ mod tests {
     fn study_selects_frequent_formula_claims() {
         let corpus = study_corpus();
         let claims = select_study_claims(&corpus, &StudyConfig::default());
-        assert!(claims.len() >= 40, "need enough study claims, got {}", claims.len());
-        let mut formulas: Vec<&str> =
-            claims.iter().map(|c| c.formula_text.as_str()).collect();
+        assert!(
+            claims.len() >= 40,
+            "need enough study claims, got {}",
+            claims.len()
+        );
+        let mut formulas: Vec<&str> = claims.iter().map(|c| c.formula_text.as_str()).collect();
         formulas.sort_unstable();
         formulas.dedup();
         assert!(formulas.len() <= 10);

@@ -26,8 +26,11 @@ pub fn grouped_mean(pairs: &[(usize, f64)]) -> Vec<(usize, f64, f64, usize)> {
     keys.dedup();
     keys.into_iter()
         .map(|k| {
-            let group: Vec<f64> =
-                pairs.iter().filter(|(key, _)| *key == k).map(|(_, v)| *v).collect();
+            let group: Vec<f64> = pairs
+                .iter()
+                .filter(|(key, _)| *key == k)
+                .map(|(_, v)| *v)
+                .collect();
             (k, mean(&group), std_dev(&group), group.len())
         })
         .collect()

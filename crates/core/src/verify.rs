@@ -6,7 +6,7 @@ use crate::models::{PropertyKind, SystemModels};
 use crate::ordering::{select_batch, ClaimChoice, OrderingStrategy};
 use crate::planner::plan_claim;
 use crate::qgen::generate_queries;
-use crate::report::{ClaimOutcome, VerificationReport, Verdict};
+use crate::report::{ClaimOutcome, Verdict, VerificationReport};
 use crate::screens::FinalScreen;
 use crate::stats::mean;
 use scrutinizer_corpus::{ClaimKind, ClaimRecord, Corpus};
@@ -88,7 +88,9 @@ impl Verifier {
             };
         }
         let cost = self.config.cost;
-        let translation = self.models.translate(features, self.config.options_per_screen);
+        let translation = self
+            .models
+            .translate(features, self.config.options_per_screen);
         let plan = plan_claim(&translation, &self.config);
 
         let mut seconds = 0.0;
@@ -115,19 +117,18 @@ impl Verifier {
         // context for query generation: validated answers, padded with
         // classifier candidates for properties that were not asked
         let context = |slot: usize, kind: PropertyKind, extra: usize| -> Vec<String> {
-            let mut values: Vec<String> = Vec::new();
-            if let Some(v) = &validated[slot] {
-                values.push(v.clone());
-            }
-            for (label, _) in translation.of(kind).iter().take(extra) {
-                if !values.contains(label) {
-                    values.push(label.clone());
-                }
-            }
-            values
+            crate::qgen::padded_context(validated[slot].as_deref(), translation.of(kind), extra)
         };
-        let relations = context(0, PropertyKind::Relation, if validated[0].is_some() { 0 } else { 3 });
-        let keys = context(1, PropertyKind::Key, if validated[1].is_some() { 0 } else { 3 });
+        let relations = context(
+            0,
+            PropertyKind::Relation,
+            if validated[0].is_some() { 0 } else { 3 },
+        );
+        let keys = context(
+            1,
+            PropertyKind::Key,
+            if validated[1].is_some() { 0 } else { 3 },
+        );
         // attributes: claims use up to three; keep a handful of candidates
         let attributes = context(2, PropertyKind::Attribute, 4);
 
@@ -172,19 +173,18 @@ impl Verifier {
                 // worker reads down to the right query and confirms it
                 let labels: Vec<String> =
                     screen.rendered().into_iter().take(position + 1).collect();
-                let outcome = worker.answer_screen(
-                    &labels,
-                    &labels[position],
-                    cost.vf,
-                    cost.sf,
-                );
+                let outcome = worker.answer_screen(&labels, &labels[position], cost.vf, cost.sf);
                 seconds += outcome.seconds;
                 let accepted = outcome.chosen.is_some();
                 let verdict = if accepted {
-                    Verdict::Correct { query: screen.candidates[position].stmt.to_string() }
+                    Verdict::Correct {
+                        query: screen.candidates[position].stmt.to_string(),
+                    }
                 } else {
                     // worker balked and re-derived the query manually
-                    Verdict::Correct { query: claim.formula_text.clone() }
+                    Verdict::Correct {
+                        query: claim.formula_text.clone(),
+                    }
                 };
                 ClaimOutcome {
                     claim_id: claim.id,
@@ -206,8 +206,7 @@ impl Verifier {
                     screen.candidates.len().saturating_sub(1).min(1)
                 };
                 seconds += cost.vf * extra_scans as f64;
-                let (judged_correct, judge_seconds) =
-                    worker.judge_result(claim.is_correct, &cost);
+                let (judged_correct, judge_seconds) = worker.judge_result(claim.is_correct, &cost);
                 seconds += judge_seconds;
                 if judged_correct {
                     // believes the claim. With evidence on screen (Figure 3:
@@ -260,8 +259,7 @@ impl Verifier {
     ) -> VerificationReport {
         let mut report = VerificationReport::default();
         let claims = &corpus.claims;
-        let features: Vec<SparseVector> =
-            claims.iter().map(|c| self.models.features(c)).collect();
+        let features: Vec<SparseVector> = claims.iter().map(|c| self.models.features(c)).collect();
         let mut remaining: Vec<usize> = (0..claims.len()).collect();
         let mut verified: Vec<usize> = Vec::new();
 
@@ -271,8 +269,9 @@ impl Verifier {
             let choices: Vec<ClaimChoice> = remaining
                 .iter()
                 .map(|&id| {
-                    let translation =
-                        self.models.translate(&features[id], self.config.options_per_screen);
+                    let translation = self
+                        .models
+                        .translate(&features[id], self.config.options_per_screen);
                     let plan = plan_claim(&translation, &self.config);
                     ClaimChoice {
                         id,
@@ -286,21 +285,26 @@ impl Verifier {
             let budget = self.config.batch_size as f64 * mean_cost * 1.3
                 + 3.0 * self.config.read_seconds_per_sentence * 400.0;
             let batch = select_batch(&choices, &corpus.document, strategy, budget, &self.config);
-            let batch =
-                if batch.is_empty() { vec![remaining[0]] } else { batch };
+            let batch = if batch.is_empty() {
+                vec![remaining[0]]
+            } else {
+                batch
+            };
             report.computation_seconds += planning_start.elapsed().as_secs_f64();
 
             // ---- accuracy trace (measured on the upcoming batch) ----
             let batch_claims: Vec<&ClaimRecord> = batch.iter().map(|&id| &claims[id]).collect();
-            report.accuracy_trace.push((verified.len(), self.models.accuracy_on(&batch_claims)));
+            report
+                .accuracy_trace
+                .push((verified.len(), self.models.accuracy_on(&batch_claims)));
 
             // ---- section reading (each checker skims each touched section) ----
             let mut sections: Vec<usize> = batch.iter().map(|&id| claims[id].section).collect();
             sections.sort_unstable();
             sections.dedup();
             for &s in &sections {
-                let read = corpus.document.sections[s]
-                    .read_cost(self.config.read_seconds_per_sentence);
+                let read =
+                    corpus.document.sections[s].read_cost(self.config.read_seconds_per_sentence);
                 report.total_crowd_seconds += read * panel.len() as f64;
             }
 
@@ -345,8 +349,7 @@ impl Verifier {
             remaining.retain(|id| !batch.contains(id));
             verified.extend(batch.iter().copied());
             let retrain_start = std::time::Instant::now();
-            let training: Vec<&ClaimRecord> =
-                verified.iter().map(|&id| &claims[id]).collect();
+            let training: Vec<&ClaimRecord> = verified.iter().map(|&id| &claims[id]).collect();
             self.models.retrain(&training);
             report.computation_seconds += retrain_start.elapsed().as_secs_f64();
         }
@@ -357,8 +360,8 @@ impl Verifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scrutinizer_crowd::WorkerConfig;
     use scrutinizer_corpus::CorpusConfig;
+    use scrutinizer_crowd::WorkerConfig;
 
     fn setup() -> (Corpus, Verifier) {
         let corpus = Corpus::generate(CorpusConfig::small());
@@ -390,7 +393,12 @@ mod tests {
         verifier.models_mut().retrain(&refs);
         let mut worker = Worker::new(
             "S1",
-            WorkerConfig { accuracy: 1.0, skip_probability: 0.0, seed: 3, ..Default::default() },
+            WorkerConfig {
+                accuracy: 1.0,
+                skip_probability: 0.0,
+                seed: 3,
+                ..Default::default()
+            },
         );
         let mut matched = 0;
         let mut total_seconds = 0.0;
@@ -420,7 +428,11 @@ mod tests {
         assert!(!report.accuracy_trace.is_empty());
         assert_eq!(report.time_trace.len(), corpus.claims.len());
         // majority verdicts over three decent checkers beat coin flips widely
-        assert!(report.verdict_accuracy() > 0.7, "accuracy {}", report.verdict_accuracy());
+        assert!(
+            report.verdict_accuracy() > 0.7,
+            "accuracy {}",
+            report.verdict_accuracy()
+        );
     }
 
     #[test]
@@ -428,8 +440,7 @@ mod tests {
         let (corpus, mut verifier) = setup();
         let mut panel = Panel::new(3, WorkerConfig::default(), 5);
         let report = verifier.run(&corpus, &mut panel, OrderingStrategy::Sequential);
-        let first_batch: Vec<usize> =
-            report.outcomes.iter().take(5).map(|o| o.claim_id).collect();
+        let first_batch: Vec<usize> = report.outcomes.iter().take(5).map(|o| o.claim_id).collect();
         assert_eq!(first_batch, vec![0, 1, 2, 3, 4]);
     }
 
@@ -440,18 +451,29 @@ mod tests {
         verifier.models_mut().retrain(&refs);
         let mut worker = Worker::new(
             "S1",
-            WorkerConfig { accuracy: 1.0, skip_probability: 0.0, seed: 9, ..Default::default() },
+            WorkerConfig {
+                accuracy: 1.0,
+                skip_probability: 0.0,
+                seed: 9,
+                ..Default::default()
+            },
         );
         let mut suggestions = 0;
         for claim in corpus.claims.iter().filter(|c| !c.is_correct).take(10) {
             let features = verifier.models().features(claim);
             let outcome = verifier.verify_claim(&corpus, claim, &features, &mut worker);
-            if let Verdict::Incorrect { suggested_value, .. } = outcome.verdict {
+            if let Verdict::Incorrect {
+                suggested_value, ..
+            } = outcome.verdict
+            {
                 if suggested_value.is_some() {
                     suggestions += 1;
                 }
             }
         }
-        assert!(suggestions >= 5, "only {suggestions}/10 incorrect claims got suggestions");
+        assert!(
+            suggestions >= 5,
+            "only {suggestions}/10 incorrect claims got suggestions"
+        );
     }
 }

@@ -53,7 +53,12 @@ pub fn annotate(claim: &ClaimRecord, checkers: usize, seed: u64) -> Vec<Annotati
                 _ => AnnotationStyle::IncompleteLookup,
             };
             let sql = render_sql(claim, style);
-            Annotation { claim_id: claim.id, style, sql, verdict_correct: claim.is_correct }
+            Annotation {
+                claim_id: claim.id,
+                style,
+                sql,
+                verdict_correct: claim.is_correct,
+            }
         })
         .collect()
 }

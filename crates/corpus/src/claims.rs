@@ -105,18 +105,21 @@ pub fn generate_claims(
         .map(|t| t.keys().map(str::to_string).collect())
         .collect();
 
-    let explicit_ranks: Vec<usize> =
-        (0..pool.len()).filter(|&i| pool[i].family.is_explicit()).collect();
-    let general_ranks: Vec<usize> =
-        (0..pool.len()).filter(|&i| !pool[i].family.is_explicit()).collect();
+    let explicit_ranks: Vec<usize> = (0..pool.len())
+        .filter(|&i| pool[i].family.is_explicit())
+        .collect();
+    let general_ranks: Vec<usize> = (0..pool.len())
+        .filter(|&i| !pool[i].family.is_explicit())
+        .collect();
     let explicit_zipf = Zipf::new(explicit_ranks.len().max(1), config.zipf_exponent);
     let general_zipf = Zipf::new(general_ranks.len().max(1), config.zipf_exponent);
     let relation_zipf = Zipf::new(table_names.len(), config.zipf_exponent);
 
     let mut claims = Vec::with_capacity(config.n_claims);
     for id in 0..config.n_claims {
-        let mut rng =
-            SmallRng::seed_from_u64(config.seed ^ 0xC1A1_0000 ^ (id as u64).wrapping_mul(0x5851_F42D));
+        let mut rng = SmallRng::seed_from_u64(
+            config.seed ^ 0xC1A1_0000 ^ (id as u64).wrapping_mul(0x5851_F42D),
+        );
         let claim = generate_one(
             config,
             catalog,
@@ -170,8 +173,7 @@ fn generate_one(
 
         // attribute pattern per family
         let n_vars = spec.formula.value_var_count();
-        let max_year =
-            tables::FIRST_YEAR + (config.n_attributes.min(41) as i32) - 1;
+        let max_year = tables::FIRST_YEAR + (config.n_attributes.min(41) as i32) - 1;
         let Some(lookups) = choose_lookups(
             spec,
             relation,
@@ -201,21 +203,39 @@ fn generate_one(
         }
 
         let has_error = rng.gen_bool(config.error_rate);
-        return render_claim(config, spec, relation, key, lookups, true_value, has_error, id, rng);
+        return render_claim(
+            config, spec, relation, key, lookups, true_value, has_error, id, rng,
+        );
     }
     // deterministic fallback: simple lookup on the first table
     let relation = &table_names[0];
     let key = &table_keys[0][0];
     let lookup = Lookup::new(relation.clone(), key.clone(), "2017");
     let spec = &pool[0];
-    let true_value = eval_formula(catalog, registry, &spec.formula, std::slice::from_ref(&lookup))
-        .expect("fallback lookup must evaluate");
-    render_claim(config, spec, relation, key, vec![lookup], true_value, false, id, rng)
+    let true_value = eval_formula(
+        catalog,
+        registry,
+        &spec.formula,
+        std::slice::from_ref(&lookup),
+    )
+    .expect("fallback lookup must evaluate");
+    render_claim(
+        config,
+        spec,
+        relation,
+        key,
+        vec![lookup],
+        true_value,
+        false,
+        id,
+        rng,
+    )
 }
 
 /// Chooses ground-truth lookups for a formula according to its family's
 /// attribute pattern. Occasionally spans a second relation that shares the
 /// key (cross-table claims).
+#[allow(clippy::too_many_arguments)]
 fn choose_lookups(
     spec: &FormulaSpec,
     relation: &str,
@@ -228,14 +248,21 @@ fn choose_lookups(
 ) -> Option<Vec<Lookup>> {
     let year2 = sample_year(rng).min(max_year);
     let (y_late, y_early) = match spec.family {
-        Family::Growth => (year2.max(tables::FIRST_YEAR + 1), year2.max(tables::FIRST_YEAR + 1) - 1),
+        Family::Growth => (
+            year2.max(tables::FIRST_YEAR + 1),
+            year2.max(tables::FIRST_YEAR + 1) - 1,
+        ),
         Family::Cagr | Family::Ratio => {
-            let gap = rng.gen_range(5..=17).min((max_year - tables::FIRST_YEAR) as i64 as i32);
+            let gap = rng
+                .gen_range(5..=17)
+                .min((max_year - tables::FIRST_YEAR) as i64 as i32);
             let late = year2.clamp(tables::FIRST_YEAR + gap, max_year);
             (late, late - gap)
         }
         _ => {
-            let gap = rng.gen_range(1..=10).min((max_year - tables::FIRST_YEAR) as i64 as i32);
+            let gap = rng
+                .gen_range(1..=10)
+                .min((max_year - tables::FIRST_YEAR) as i64 as i32);
             let late = year2.clamp(tables::FIRST_YEAR + gap, max_year);
             (late, late - gap)
         }
@@ -302,14 +329,20 @@ fn render_claim(
 ) -> ClaimRecord {
     let (topic, region) = {
         let mut parts = relation.splitn(2, '_');
-        (parts.next().unwrap_or("").to_string(), parts.next().unwrap_or("World").to_string())
+        (
+            parts.next().unwrap_or("").to_string(),
+            parts.next().unwrap_or("World").to_string(),
+        )
     };
     let unit = tables::topic_unit(&topic);
     let region_text = tables::region_phrase(&region);
     let subject = tables::key_phrase(key);
 
-    let kind =
-        if spec.family.is_explicit() { ClaimKind::Explicit } else { ClaimKind::General };
+    let kind = if spec.family.is_explicit() {
+        ClaimKind::Explicit
+    } else {
+        ClaimKind::General
+    };
 
     // displayed number (possibly perturbed)
     let display_true = round_display(true_value * spec.family.display_scale());
@@ -322,9 +355,7 @@ fn render_claim(
                 }
                 let wrong = round_display(display_true * (1.0 + delta));
                 // guard against rounding collapsing the error away
-                let wrong = if (wrong - display_true).abs()
-                    <= 0.05 * display_true.abs().max(1e-9)
-                {
+                let wrong = if (wrong - display_true).abs() <= 0.05 * display_true.abs().max(1e-9) {
                     round_display(display_true * 1.25 + 1.0)
                 } else {
                     wrong
@@ -355,7 +386,10 @@ fn render_claim(
     attributes.dedup();
 
     // claims cluster by topic: same-topic claims land in the same section
-    let topic_index = tables::TOPICS.iter().position(|(t, _)| *t == topic).unwrap_or(0);
+    let topic_index = tables::TOPICS
+        .iter()
+        .position(|(t, _)| *t == topic)
+        .unwrap_or(0);
     let section = topic_index % config.n_sections.max(1);
 
     ClaimRecord {
@@ -395,9 +429,17 @@ pub fn format_quantity(x: f64) -> String {
         let mut grouped = String::new();
         while digits.len() > 3 {
             let tail = digits.split_off(digits.len() - 3);
-            grouped = if grouped.is_empty() { tail } else { format!("{tail} {grouped}") };
+            grouped = if grouped.is_empty() {
+                tail
+            } else {
+                format!("{tail} {grouped}")
+            };
         }
-        grouped = if grouped.is_empty() { digits } else { format!("{digits} {grouped}") };
+        grouped = if grouped.is_empty() {
+            digits
+        } else {
+            format!("{digits} {grouped}")
+        };
         if rounded < 0 {
             format!("-{grouped}")
         } else {
@@ -430,8 +472,14 @@ fn render_text(
     flipped: bool,
     rng: &mut SmallRng,
 ) -> String {
-    let year = lookups.first().map(|l| l.attribute.clone()).unwrap_or_default();
-    let year_b = lookups.get(1).map(|l| l.attribute.clone()).unwrap_or_default();
+    let year = lookups
+        .first()
+        .map(|l| l.attribute.clone())
+        .unwrap_or_default();
+    let year_b = lookups
+        .get(1)
+        .map(|l| l.attribute.clone())
+        .unwrap_or_default();
     let pick = |rng: &mut SmallRng, options: &[String]| -> String {
         options[rng.gen_range(0..options.len())].clone()
     };
@@ -489,11 +537,17 @@ fn render_text(
         }
         Family::Diff => {
             let value = format_quantity(stated.unwrap_or(true_value).abs());
-            let verb = if stated.unwrap_or(true_value) >= 0.0 { "added" } else { "shed" };
+            let verb = if stated.unwrap_or(true_value) >= 0.0 {
+                "added"
+            } else {
+                "shed"
+            };
             pick(
                 rng,
                 &[
-                    format!("{region} {verb} {value} {unit} of {subject} between {year_b} and {year}"),
+                    format!(
+                        "{region} {verb} {value} {unit} of {subject} between {year_b} and {year}"
+                    ),
                     format!("{subject} in {region} {verb} {value} {unit} from {year_b} to {year}"),
                 ],
             )
@@ -526,7 +580,9 @@ fn render_text(
                     rng,
                     &[
                         format!("{subject} in {region} expanded aggressively after {year_b}"),
-                        format!("the market for {subject} in {region} surged markedly through {year}"),
+                        format!(
+                            "the market for {subject} in {region} surged markedly through {year}"
+                        ),
                         format!("{region} {subject} climbed strongly into {year}"),
                     ],
                 )
@@ -640,7 +696,10 @@ mod tests {
     #[test]
     fn explicit_fraction_roughly_matches_config() {
         let (config, _, _, claims) = small_corpus();
-        let explicit = claims.iter().filter(|c| c.kind == ClaimKind::Explicit).count();
+        let explicit = claims
+            .iter()
+            .filter(|c| c.kind == ClaimKind::Explicit)
+            .count();
         let fraction = explicit as f64 / claims.len() as f64;
         assert!(
             (fraction - config.explicit_fraction).abs() < 0.20,
@@ -663,7 +722,9 @@ mod tests {
                 continue;
             }
             assert!(
-                years.iter().any(|y| claim.sentence_text.contains(y.as_str())),
+                years
+                    .iter()
+                    .any(|y| claim.sentence_text.contains(y.as_str())),
                 "claim {} text `{}` mentions none of {years:?}",
                 claim.id,
                 claim.sentence_text

@@ -38,7 +38,9 @@ pub struct Document {
 impl Document {
     /// Section containing a claim.
     pub fn section_of(&self, claim_id: usize) -> Option<usize> {
-        self.sections.iter().position(|s| s.claim_ids.contains(&claim_id))
+        self.sections
+            .iter()
+            .position(|s| s.claim_ids.contains(&claim_id))
     }
 }
 
@@ -87,7 +89,11 @@ pub fn build_document(config: &CorpusConfig, claims: &[ClaimRecord]) -> Document
     let mut sections = Vec::with_capacity(n_sections);
     let mut used = 0usize;
     for id in 0..n_sections {
-        let jitter = if base > 4 { rng.gen_range(0..base / 2) } else { 0 };
+        let jitter = if base > 4 {
+            rng.gen_range(0..base / 2)
+        } else {
+            0
+        };
         let filler = if id + 1 == n_sections {
             filler_total - used
         } else {
@@ -102,7 +108,10 @@ pub fn build_document(config: &CorpusConfig, claims: &[ClaimRecord]) -> Document
         });
     }
     let total_sentences = sections.iter().map(|s| s.sentence_count).sum();
-    Document { sections, total_sentences }
+    Document {
+        sections,
+        total_sentences,
+    }
 }
 
 #[cfg(test)]
@@ -124,8 +133,11 @@ mod tests {
     #[test]
     fn all_claims_are_placed_exactly_once() {
         let (config, document, claims) = build();
-        let mut placed: Vec<usize> =
-            document.sections.iter().flat_map(|s| s.claim_ids.iter().copied()).collect();
+        let mut placed: Vec<usize> = document
+            .sections
+            .iter()
+            .flat_map(|s| s.claim_ids.iter().copied())
+            .collect();
         placed.sort_unstable();
         assert_eq!(placed, (0..claims.len()).collect::<Vec<_>>());
         assert_eq!(document.sections.len(), config.n_sections);
@@ -167,7 +179,12 @@ mod tests {
             topics.sort_unstable();
             topics.dedup();
             // small corpora: each section hosts only a handful of topics
-            assert!(topics.len() <= 8, "section {} hosts {} topics", section.id, topics.len());
+            assert!(
+                topics.len() <= 8,
+                "section {} hosts {} topics",
+                section.id,
+                topics.len()
+            );
         }
     }
 }

@@ -64,9 +64,13 @@ pub struct FormulaSpec {
 
 impl FormulaSpec {
     fn new(text: &str, family: Family) -> Self {
-        let formula = parse_formula(text)
-            .unwrap_or_else(|e| panic!("pool formula `{text}` must parse: {e}"));
-        FormulaSpec { text: text.to_string(), formula, family }
+        let formula =
+            parse_formula(text).unwrap_or_else(|e| panic!("pool formula `{text}` must parse: {e}"));
+        FormulaSpec {
+            text: text.to_string(),
+            formula,
+            family,
+        }
     }
 }
 
@@ -110,14 +114,26 @@ pub fn generate_pool(config: &CorpusConfig) -> Vec<FormulaSpec> {
     while pool.len() < config.n_formulas {
         let candidates = [
             (format!("a > {}", 10 * (k + 1)), Family::Threshold),
-            (format!("a / b > {}", 1.0 + 0.05 * (k + 1) as f64), Family::Threshold),
+            (
+                format!("a / b > {}", 1.0 + 0.05 * (k + 1) as f64),
+                Family::Threshold,
+            ),
             (format!("a - b > {}", 5 * (k + 1)), Family::Threshold),
-            (format!("ROUND((a / b - 1) * 100, {})", k % 4), Family::Growth),
+            (
+                format!("ROUND((a / b - 1) * 100, {})", k % 4),
+                Family::Growth,
+            ),
             (format!("ROUND(a / b, {})", k % 6), Family::Ratio),
             (format!("a / {}", k + 2), Family::Level),
             (format!("(a - b) / {}", k + 2), Family::Diff),
-            (format!("SHARE(a, b) > {}", 0.05 * (k + 1) as f64), Family::Threshold),
-            (format!("ROUND(POWER(a / b, 1 / (A1 - A2)) - 1, {})", 2 + k % 4), Family::Cagr),
+            (
+                format!("SHARE(a, b) > {}", 0.05 * (k + 1) as f64),
+                Family::Threshold,
+            ),
+            (
+                format!("ROUND(POWER(a / b, 1 / (A1 - A2)) - 1, {})", 2 + k % 4),
+                Family::Cagr,
+            ),
             (format!("ABS(a - b) > {}", 3 * (k + 1)), Family::Threshold),
         ];
         for (text, family) in candidates {
@@ -156,7 +172,7 @@ mod tests {
         config.n_formulas = 413;
         for spec in generate_pool(&config) {
             let n = spec.formula.value_var_count();
-            assert!(n >= 1 && n <= 3, "{} has {} vars", spec.text, n);
+            assert!((1..=3).contains(&n), "{} has {} vars", spec.text, n);
         }
     }
 

@@ -130,6 +130,12 @@ impl Corpus {
         let formulas = formulas::generate_pool(&config);
         let claims = claims::generate_claims(&config, &catalog, &formulas);
         let document = document::build_document(&config, &claims);
-        Corpus { config, catalog, formulas, claims, document }
+        Corpus {
+            config,
+            catalog,
+            formulas,
+            claims,
+            document,
+        }
     }
 }

@@ -12,13 +12,54 @@ use scrutinizer_data::{Catalog, Schema, Table, Value};
 
 /// Region name pool (48 entries).
 pub const REGIONS: &[&str] = &[
-    "World", "OECD", "NonOECD", "China", "India", "UnitedStates", "Europe", "Africa",
-    "MiddleEast", "Japan", "Brazil", "Russia", "SoutheastAsia", "LatinAmerica", "Eurasia",
-    "Korea", "Canada", "Mexico", "Australia", "Germany", "France", "Italy", "Spain", "Poland",
-    "Turkey", "Indonesia", "Thailand", "Vietnam", "Pakistan", "Bangladesh", "Nigeria", "Egypt",
-    "SouthAfrica", "SaudiArabia", "Iran", "Iraq", "Argentina", "Chile", "Colombia",
-    "Netherlands", "Belgium", "Sweden", "Norway", "Finland", "Denmark", "Switzerland",
-    "Austria", "Greece",
+    "World",
+    "OECD",
+    "NonOECD",
+    "China",
+    "India",
+    "UnitedStates",
+    "Europe",
+    "Africa",
+    "MiddleEast",
+    "Japan",
+    "Brazil",
+    "Russia",
+    "SoutheastAsia",
+    "LatinAmerica",
+    "Eurasia",
+    "Korea",
+    "Canada",
+    "Mexico",
+    "Australia",
+    "Germany",
+    "France",
+    "Italy",
+    "Spain",
+    "Poland",
+    "Turkey",
+    "Indonesia",
+    "Thailand",
+    "Vietnam",
+    "Pakistan",
+    "Bangladesh",
+    "Nigeria",
+    "Egypt",
+    "SouthAfrica",
+    "SaudiArabia",
+    "Iran",
+    "Iraq",
+    "Argentina",
+    "Chile",
+    "Colombia",
+    "Netherlands",
+    "Belgium",
+    "Sweden",
+    "Norway",
+    "Finland",
+    "Denmark",
+    "Switzerland",
+    "Austria",
+    "Greece",
 ];
 
 /// Topic name pool (38 entries) with display units.
@@ -149,10 +190,39 @@ pub fn attribute_pool(n_attributes: usize) -> Vec<String> {
         }
     }
     for extra in [
-        "Delta2025", "Delta2030", "Delta2035", "Delta2040", "Low2030", "High2030", "Low2040",
-        "High2040", "Min", "Max", "Avg", "Median", "Q1", "Q2", "Q3", "Q4", "Target2030",
-        "Target2040", "Base2000", "Base2010", "Peak", "Trough", "Hist", "Proj", "Rev1", "Rev2",
-        "Rev3", "Rev4", "Est2018", "Est2019", "Prelim2018", "Prelim2019", "Final2017",
+        "Delta2025",
+        "Delta2030",
+        "Delta2035",
+        "Delta2040",
+        "Low2030",
+        "High2030",
+        "Low2040",
+        "High2040",
+        "Min",
+        "Max",
+        "Avg",
+        "Median",
+        "Q1",
+        "Q2",
+        "Q3",
+        "Q4",
+        "Target2030",
+        "Target2040",
+        "Base2000",
+        "Base2010",
+        "Peak",
+        "Trough",
+        "Hist",
+        "Proj",
+        "Rev1",
+        "Rev2",
+        "Rev3",
+        "Rev4",
+        "Est2018",
+        "Est2019",
+        "Prelim2018",
+        "Prelim2019",
+        "Final2017",
     ] {
         attrs.push(extra.to_string());
     }
@@ -177,9 +247,7 @@ pub fn key_pool(n_keys: usize) -> Vec<String> {
 pub fn key_phrase(key: &str) -> String {
     for (prefix, prefix_phrase) in KEY_PREFIXES {
         if let Some(rest) = key.strip_prefix(prefix) {
-            if let Some((_, measure_phrase)) =
-                KEY_MEASURES.iter().find(|(m, _)| *m == rest)
-            {
+            if let Some((_, measure_phrase)) = KEY_MEASURES.iter().find(|(m, _)| *m == rest) {
                 return format!("{prefix_phrase} {measure_phrase}");
             }
         }
@@ -213,7 +281,10 @@ pub fn relation_parts(i: usize) -> (&'static str, &'static str) {
 
 /// Unit of a topic.
 pub fn topic_unit(topic: &str) -> &'static str {
-    TOPICS.iter().find(|(t, _)| *t == topic).map_or("units", |(_, u)| u)
+    TOPICS
+        .iter()
+        .find(|(t, _)| *t == topic)
+        .map_or("units", |(_, u)| u)
 }
 
 /// Relation name of relation number `i`: `"{topic}_{region}"`.
@@ -226,10 +297,8 @@ pub fn relation_name(i: usize) -> String {
 pub fn generate_catalog(config: &CorpusConfig) -> Catalog {
     let keys = key_pool(config.n_keys);
     let attrs = attribute_pool(config.n_attributes);
-    let years: Vec<&String> =
-        attrs.iter().filter(|a| a.parse::<i32>().is_ok()).collect();
-    let extras: Vec<&String> =
-        attrs.iter().filter(|a| a.parse::<i32>().is_err()).collect();
+    let years: Vec<&String> = attrs.iter().filter(|a| a.parse::<i32>().is_ok()).collect();
+    let extras: Vec<&String> = attrs.iter().filter(|a| a.parse::<i32>().is_err()).collect();
 
     let mut catalog = Catalog::new();
     for i in 0..config.n_relations {
@@ -253,7 +322,9 @@ pub fn generate_catalog(config: &CorpusConfig) -> Catalog {
             let mut cells: Vec<Value> = Vec::with_capacity(columns.len() + 1);
             cells.push(Value::Str(key.clone()));
             cells.extend(row.into_iter().map(Value::Float));
-            table.push_row(cells).expect("generated row is schema-valid");
+            table
+                .push_row(cells)
+                .expect("generated row is schema-valid");
         }
         catalog.add(table).expect("relation names are unique");
     }
@@ -298,11 +369,18 @@ mod tests {
 
     #[test]
     fn phrases_are_readable() {
-        assert_eq!(key_phrase("PGElecDemand"), "power generation electricity demand");
+        assert_eq!(
+            key_phrase("PGElecDemand"),
+            "power generation electricity demand"
+        );
         assert_eq!(key_phrase("CAPWind"), "installed capacity of wind power");
         assert_eq!(region_phrase("UnitedStates"), "United States");
         assert_eq!(topic_phrase("WindCapacity"), "wind capacity");
-        assert_eq!(key_phrase("Unknown123"), "Unknown123", "unknown keys pass through");
+        assert_eq!(
+            key_phrase("Unknown123"),
+            "Unknown123",
+            "unknown keys pass through"
+        );
     }
 
     #[test]
@@ -313,7 +391,12 @@ mod tests {
         // every table has year columns and at least 8 keys
         for table in catalog.tables() {
             assert!(table.has_attribute("2017"));
-            assert!(table.row_count() >= 8, "{} has {} rows", table.name(), table.row_count());
+            assert!(
+                table.row_count() >= 8,
+                "{} has {} rows",
+                table.name(),
+                table.row_count()
+            );
         }
     }
 
@@ -341,7 +424,11 @@ mod tests {
         let key = table.keys().next().unwrap().to_string();
         let mut prev: Option<f64> = None;
         for year in 2000..=2040 {
-            let v = table.get(&key, &year.to_string()).unwrap().as_f64().unwrap();
+            let v = table
+                .get(&key, &year.to_string())
+                .unwrap()
+                .as_f64()
+                .unwrap();
             assert!(v > 0.0);
             if let Some(p) = prev {
                 let ratio = v / p;

@@ -17,7 +17,11 @@ pub struct WorkCalendar {
 
 impl Default for WorkCalendar {
     fn default() -> Self {
-        WorkCalendar { checkers: 3, hours_per_day: 8.0, days_per_week: 5.0 }
+        WorkCalendar {
+            checkers: 3,
+            hours_per_day: 8.0,
+            days_per_week: 5.0,
+        }
     }
 }
 

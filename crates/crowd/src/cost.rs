@@ -21,7 +21,12 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { vp: 4.0, vf: 15.0, sp: 12.0, sf: 120.0 }
+        CostModel {
+            vp: 4.0,
+            vf: 15.0,
+            sp: 12.0,
+            sf: 120.0,
+        }
     }
 }
 
@@ -33,7 +38,10 @@ impl CostModel {
     /// Panics when the orderings are violated — the planner's guarantees
     /// (Theorem 1) assume them.
     pub fn new(vp: f64, vf: f64, sp: f64, sf: f64) -> Self {
-        assert!(vp > 0.0 && vf > 0.0 && sp > 0.0 && sf > 0.0, "costs must be positive");
+        assert!(
+            vp > 0.0 && vf > 0.0 && sp > 0.0 && sf > 0.0,
+            "costs must be positive"
+        );
         assert!(vp < vf, "v_p must be below v_f");
         assert!(sp < sf, "s_p must be below s_f");
         CostModel { vp, vf, sp, sf }

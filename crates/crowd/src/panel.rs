@@ -89,7 +89,14 @@ mod tests {
     fn majority_of_accurate_workers_fixes_individual_errors() {
         // the user study: single checkers mislabel a few claims, but majority
         // voting over three restores 100% accuracy with high probability
-        let mut panel = Panel::new(3, WorkerConfig { accuracy: 0.9, ..Default::default() }, 7);
+        let mut panel = Panel::new(
+            3,
+            WorkerConfig {
+                accuracy: 0.9,
+                ..Default::default()
+            },
+            7,
+        );
         let mut correct = 0;
         let trials = 200;
         for _ in 0..trials {
@@ -103,6 +110,9 @@ mod tests {
             }
         }
         // P(majority wrong) ≈ 3·0.1²·0.9 + 0.1³ ≈ 2.8% → expect ≥ 90% here
-        assert!(correct as f64 / trials as f64 > 0.9, "majority accuracy {correct}/{trials}");
+        assert!(
+            correct as f64 / trials as f64 > 0.9,
+            "majority accuracy {correct}/{trials}"
+        );
     }
 }

@@ -59,7 +59,11 @@ pub struct Worker {
 impl Worker {
     /// Creates a worker.
     pub fn new(name: impl Into<String>, config: WorkerConfig) -> Self {
-        Worker { name: name.into(), config, rng: SmallRng::seed_from_u64(config.seed) }
+        Worker {
+            name: name.into(),
+            config,
+            rng: SmallRng::seed_from_u64(config.seed),
+        }
     }
 
     /// Mild multiplicative time jitter in [0.8, 1.2] × speed factor.
@@ -96,12 +100,20 @@ impl Worker {
             seconds += per_option * self.jitter();
             if option == truth {
                 if self.judges_correctly() {
-                    return ScreenOutcome { chosen: Some(i), answer: option.clone(), seconds };
+                    return ScreenOutcome {
+                        chosen: Some(i),
+                        answer: option.clone(),
+                        seconds,
+                    };
                 }
                 // missed the correct option; keeps reading
             } else if !self.judges_correctly() && self.rng.gen_bool(0.25) {
                 // rarely accepts a wrong option outright
-                return ScreenOutcome { chosen: Some(i), answer: option.clone(), seconds };
+                return ScreenOutcome {
+                    chosen: Some(i),
+                    answer: option.clone(),
+                    seconds,
+                };
             }
         }
         // nothing accepted: suggest an answer
@@ -111,15 +123,18 @@ impl Worker {
         } else {
             format!("{truth}__typo")
         };
-        ScreenOutcome { chosen: None, answer, seconds }
+        ScreenOutcome {
+            chosen: None,
+            answer,
+            seconds,
+        }
     }
 
     /// Fully manual verification time of a claim with the given complexity
     /// (the Manual baseline of §6.1 / Figure 6). `correct` is whether the
     /// worker's verdict matches ground truth.
     pub fn manual_verify(&mut self, complexity: usize) -> (bool, f64) {
-        let seconds =
-            self.config.manual_seconds_per_element * complexity as f64 * self.jitter();
+        let seconds = self.config.manual_seconds_per_element * complexity as f64 * self.jitter();
         (self.judges_correctly(), seconds)
     }
 
@@ -128,7 +143,11 @@ impl Worker {
     /// `plausible` is the ground truth of that judgment.
     pub fn judge_result(&mut self, plausible: bool, cost_model: &CostModel) -> (bool, f64) {
         let seconds = cost_model.vf * self.jitter();
-        let verdict = if self.judges_correctly() { plausible } else { !plausible };
+        let verdict = if self.judges_correctly() {
+            plausible
+        } else {
+            !plausible
+        };
         (verdict, seconds)
     }
 
@@ -149,7 +168,12 @@ mod tests {
     fn reliable(seed: u64) -> Worker {
         Worker::new(
             "W",
-            WorkerConfig { accuracy: 1.0, skip_probability: 0.0, seed, ..Default::default() },
+            WorkerConfig {
+                accuracy: 1.0,
+                skip_probability: 0.0,
+                seed,
+                ..Default::default()
+            },
         )
     }
 
@@ -199,7 +223,12 @@ mod tests {
     fn unreliable_worker_errs_sometimes() {
         let mut w = Worker::new(
             "U",
-            WorkerConfig { accuracy: 0.5, skip_probability: 0.0, seed: 11, ..Default::default() },
+            WorkerConfig {
+                accuracy: 0.5,
+                skip_probability: 0.0,
+                seed: 11,
+                ..Default::default()
+            },
         );
         let mut wrong = 0;
         for _ in 0..200 {
@@ -208,13 +237,28 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(wrong > 50 && wrong < 150, "≈50% error expected, saw {wrong}/200");
+        assert!(
+            wrong > 50 && wrong < 150,
+            "≈50% error expected, saw {wrong}/200"
+        );
     }
 
     #[test]
     fn determinism_per_seed() {
-        let mut a = Worker::new("A", WorkerConfig { seed: 42, ..Default::default() });
-        let mut b = Worker::new("B", WorkerConfig { seed: 42, ..Default::default() });
+        let mut a = Worker::new(
+            "A",
+            WorkerConfig {
+                seed: 42,
+                ..Default::default()
+            },
+        );
+        let mut b = Worker::new(
+            "B",
+            WorkerConfig {
+                seed: 42,
+                ..Default::default()
+            },
+        );
         let oa = a.answer_screen(&options(&["X", "Y"]), "Y", 4.0, 12.0);
         let ob = b.answer_screen(&options(&["X", "Y"]), "Y", 4.0, 12.0);
         assert_eq!(oa, ob);
@@ -224,7 +268,11 @@ mod tests {
     fn skipping_respects_probability() {
         let mut w = Worker::new(
             "S",
-            WorkerConfig { skip_probability: 1.0, seed: 1, ..Default::default() },
+            WorkerConfig {
+                skip_probability: 1.0,
+                seed: 1,
+                ..Default::default()
+            },
         );
         assert!(w.skips());
         let mut never = reliable(1);

@@ -16,7 +16,9 @@ impl TableBuilder {
     /// Starts a table named `name` with key column `key_name` and the given
     /// attribute columns.
     pub fn new(name: &str, key_name: &str, attributes: &[&str]) -> Self {
-        TableBuilder { table: Table::new(name, Schema::keyed(key_name, attributes)) }
+        TableBuilder {
+            table: Table::new(name, Schema::keyed(key_name, attributes)),
+        }
     }
 
     /// Appends a row: key plus numeric attribute values in column order.
@@ -56,7 +58,10 @@ mod tests {
             .unwrap()
             .build();
         assert_eq!(table.row_count(), 2);
-        assert_eq!(table.get("TFCelec", "2017").unwrap().as_f64(), Some(22_040.0));
+        assert_eq!(
+            table.get("TFCelec", "2017").unwrap().as_f64(),
+            Some(22_040.0)
+        );
     }
 
     #[test]

@@ -28,7 +28,8 @@ impl Catalog {
         if self.by_name.contains_key(table.name()) {
             return Err(DataError::DuplicateTable(table.name().to_string()));
         }
-        self.by_name.insert(table.name().to_string(), self.tables.len());
+        self.by_name
+            .insert(table.name().to_string(), self.tables.len());
         self.tables.push(table);
         Ok(())
     }
@@ -69,8 +70,11 @@ impl Catalog {
     /// Sorted, deduplicated list of every primary-key value across the corpus.
     /// This is the label space of the row/key classifier.
     pub fn all_keys(&self) -> Vec<String> {
-        let mut keys: Vec<String> =
-            self.tables.iter().flat_map(|t| t.keys().map(str::to_string)).collect();
+        let mut keys: Vec<String> = self
+            .tables
+            .iter()
+            .flat_map(|t| t.keys().map(str::to_string))
+            .collect();
         keys.sort_unstable();
         keys.dedup();
         keys
@@ -145,7 +149,10 @@ mod tests {
     #[test]
     fn label_spaces_are_sorted_and_deduped() {
         let cat = sample();
-        assert_eq!(cat.all_keys(), vec!["CapAddTotal_Wind".to_string(), "PGElecDemand".into()]);
+        assert_eq!(
+            cat.all_keys(),
+            vec!["CapAddTotal_Wind".to_string(), "PGElecDemand".into()]
+        );
         assert_eq!(
             cat.all_attributes(),
             vec!["2016".to_string(), "2017".into(), "2030".into()]

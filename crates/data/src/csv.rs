@@ -39,7 +39,10 @@ fn split_line(line: &str, line_no: usize) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(DataError::Csv { line: line_no, message: "unterminated quoted field".into() });
+        return Err(DataError::Csv {
+            line: line_no,
+            message: "unterminated quoted field".into(),
+        });
     }
     fields.push(field);
     Ok(fields)
@@ -58,12 +61,16 @@ fn quote(field: &str) -> String {
 /// taken as the string primary key and all other columns as float attributes.
 pub fn read_table(name: &str, reader: impl Read) -> Result<Table> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or(DataError::Csv { line: 1, message: "empty input".into() })??;
+    let header = lines.next().ok_or(DataError::Csv {
+        line: 1,
+        message: "empty input".into(),
+    })??;
     let header_fields = split_line(&header, 1)?;
     if header_fields.is_empty() {
-        return Err(DataError::Csv { line: 1, message: "empty header".into() });
+        return Err(DataError::Csv {
+            line: 1,
+            message: "empty header".into(),
+        });
     }
     let attrs: Vec<&str> = header_fields[1..].iter().map(String::as_str).collect();
     let schema = Schema::keyed(&header_fields[0], &attrs);
@@ -102,8 +109,12 @@ pub fn read_table(name: &str, reader: impl Read) -> Result<Table> {
 /// Writes a table as CSV (header + rows, buffered).
 pub fn write_table(table: &Table, writer: impl Write) -> Result<()> {
     let mut out = std::io::BufWriter::new(writer);
-    let header: Vec<String> =
-        table.schema().columns().iter().map(|c| quote(&c.name)).collect();
+    let header: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| quote(&c.name))
+        .collect();
     writeln!(out, "{}", header.join(","))?;
     for i in 0..table.row_count() {
         let row = table.row(i).expect("row in range");
@@ -124,7 +135,10 @@ mod tests {
     fn reads_simple_csv() {
         let table = read_table("GED", SAMPLE.as_bytes()).unwrap();
         assert_eq!(table.row_count(), 2);
-        assert_eq!(table.get("PGElecDemand", "2017").unwrap().as_f64(), Some(22_209.0));
+        assert_eq!(
+            table.get("PGElecDemand", "2017").unwrap().as_f64(),
+            Some(22_209.0)
+        );
     }
 
     #[test]
@@ -153,7 +167,10 @@ mod tests {
     fn quoted_key_ok() {
         let csv = "Index,2017\n\"Key, with comma\",5\n";
         let table = read_table("T", csv.as_bytes()).unwrap();
-        assert_eq!(table.get("Key, with comma", "2017").unwrap().as_f64(), Some(5.0));
+        assert_eq!(
+            table.get("Key, with comma", "2017").unwrap().as_f64(),
+            Some(5.0)
+        );
     }
 
     #[test]
@@ -175,7 +192,10 @@ mod tests {
     #[test]
     fn unterminated_quote_is_error() {
         let csv = "Index,2016\n\"X,1\n";
-        assert!(matches!(read_table("T", csv.as_bytes()), Err(DataError::Csv { .. })));
+        assert!(matches!(
+            read_table("T", csv.as_bytes()),
+            Err(DataError::Csv { .. })
+        ));
     }
 
     #[test]

@@ -56,9 +56,16 @@ impl fmt::Display for DataError {
                 write!(f, "unknown column `{column}` in table `{table}`")
             }
             DataError::ArityMismatch { expected, actual } => {
-                write!(f, "row has {actual} values but schema has {expected} columns")
+                write!(
+                    f,
+                    "row has {actual} values but schema has {expected} columns"
+                )
             }
-            DataError::TypeMismatch { column, expected, actual } => {
+            DataError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => {
                 write!(f, "column `{column}` expects {expected}, got {actual}")
             }
             DataError::DuplicateKey(key) => write!(f, "duplicate primary key `{key}`"),
@@ -83,9 +90,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = DataError::UnknownColumn { table: "GED".into(), column: "2099".into() };
+        let err = DataError::UnknownColumn {
+            table: "GED".into(),
+            column: "2099".into(),
+        };
         assert_eq!(err.to_string(), "unknown column `2099` in table `GED`");
-        let err = DataError::ArityMismatch { expected: 3, actual: 2 };
+        let err = DataError::ArityMismatch {
+            expected: 3,
+            actual: 2,
+        };
         assert!(err.to_string().contains("2 values"));
         assert!(err.to_string().contains("3 columns"));
     }

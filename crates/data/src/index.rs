@@ -15,7 +15,9 @@ pub struct KeyIndex {
 impl KeyIndex {
     /// Creates an empty index with room for `capacity` keys.
     pub fn with_capacity(capacity: usize) -> Self {
-        KeyIndex { slots: FxHashMap::with_capacity_and_hasher(capacity, Default::default()) }
+        KeyIndex {
+            slots: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+        }
     }
 
     /// Registers `key` at `row`. Returns `false` when the key already existed

@@ -18,13 +18,13 @@ impl DataType {
     /// Whether `value` is admissible in a column of this type.
     /// `Null` is admissible everywhere except it can never be a key.
     pub fn admits(self, value: &Value) -> bool {
-        match (self, value) {
-            (_, Value::Null) => true,
-            (DataType::Int, Value::Int(_)) => true,
-            (DataType::Float, Value::Int(_) | Value::Float(_)) => true,
-            (DataType::Str, Value::Str(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Int(_) | Value::Float(_))
+                | (DataType::Str, Value::Str(_))
+        )
     }
 }
 
@@ -51,7 +51,10 @@ pub struct Column {
 impl Column {
     /// Creates a column.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Column { name: name.into(), dtype }
+        Column {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -150,7 +153,10 @@ mod tests {
     #[should_panic(expected = "duplicate column names")]
     fn duplicate_columns_rejected() {
         Schema::new(
-            vec![Column::new("a", DataType::Str), Column::new("a", DataType::Int)],
+            vec![
+                Column::new("a", DataType::Str),
+                Column::new("a", DataType::Int),
+            ],
             0,
         );
     }

@@ -23,7 +23,12 @@ impl Table {
     /// Creates an empty table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
         let columns = vec![Vec::new(); schema.arity()];
-        Table { name: name.into(), schema, columns, index: KeyIndex::default() }
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            index: KeyIndex::default(),
+        }
     }
 
     /// Table name.
@@ -88,10 +93,13 @@ impl Table {
             .index
             .get(key)
             .ok_or_else(|| DataError::UnknownKey(key.to_string()))? as usize;
-        let col = self.schema.column_index(attribute).ok_or_else(|| DataError::UnknownColumn {
-            table: self.name.clone(),
-            column: attribute.to_string(),
-        })?;
+        let col = self
+            .schema
+            .column_index(attribute)
+            .ok_or_else(|| DataError::UnknownColumn {
+                table: self.name.clone(),
+                column: attribute.to_string(),
+            })?;
         Ok(&self.columns[col][row])
     }
 
@@ -102,20 +110,27 @@ impl Table {
 
     /// Whether the table has an attribute column with this name.
     pub fn has_attribute(&self, attribute: &str) -> bool {
-        self.schema.column_index(attribute).is_some_and(|i| i != self.schema.key_index())
+        self.schema
+            .column_index(attribute)
+            .is_some_and(|i| i != self.schema.key_index())
     }
 
     /// All primary-key values in row order.
     pub fn keys(&self) -> impl Iterator<Item = &str> {
-        self.columns[self.schema.key_index()].iter().filter_map(Value::as_str)
+        self.columns[self.schema.key_index()]
+            .iter()
+            .filter_map(Value::as_str)
     }
 
     /// Full column by name.
     pub fn column(&self, name: &str) -> Result<&[Value]> {
-        let col = self.schema.column_index(name).ok_or_else(|| DataError::UnknownColumn {
-            table: self.name.clone(),
-            column: name.to_string(),
-        })?;
+        let col = self
+            .schema
+            .column_index(name)
+            .ok_or_else(|| DataError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })?;
         Ok(&self.columns[col])
     }
 
@@ -135,7 +150,10 @@ mod tests {
 
     fn ged() -> Table {
         // The Figure 1 fragment.
-        let mut t = Table::new("GED", Schema::keyed("Index", &["2016", "2017", "2030", "2040"]));
+        let mut t = Table::new(
+            "GED",
+            Schema::keyed("Index", &["2016", "2017", "2030", "2040"]),
+        );
         t.push_row(vec![
             "PGElecDemand".into(),
             Value::Int(21_566),
@@ -165,8 +183,14 @@ mod tests {
     #[test]
     fn unknown_key_and_column_error() {
         let t = ged();
-        assert!(matches!(t.get("Nope", "2017"), Err(DataError::UnknownKey(_))));
-        assert!(matches!(t.get("PGINCoal", "1999"), Err(DataError::UnknownColumn { .. })));
+        assert!(matches!(
+            t.get("Nope", "2017"),
+            Err(DataError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            t.get("PGINCoal", "1999"),
+            Err(DataError::UnknownColumn { .. })
+        ));
     }
 
     #[test]
@@ -211,7 +235,13 @@ mod tests {
     fn null_key_rejected() {
         let mut t = ged();
         let err = t
-            .push_row(vec![Value::Null, Value::Int(1), Value::Int(1), Value::Int(1), Value::Int(1)])
+            .push_row(vec![
+                Value::Null,
+                Value::Int(1),
+                Value::Int(1),
+                Value::Int(1),
+                Value::Int(1),
+            ])
             .unwrap_err();
         assert!(matches!(err, DataError::TypeMismatch { .. }));
     }

@@ -99,8 +99,10 @@ impl Value {
         if trimmed.is_empty() {
             return Value::Null;
         }
-        let compact: String =
-            trimmed.chars().filter(|c| !matches!(c, ' ' | ',' | '\u{a0}')).collect();
+        let compact: String = trimmed
+            .chars()
+            .filter(|c| !matches!(c, ' ' | ',' | '\u{a0}'))
+            .collect();
         if let Ok(i) = compact.parse::<i64>() {
             return Value::Int(i);
         }
@@ -190,7 +192,10 @@ mod tests {
         assert_eq!(Value::parse_cell("3.5"), Value::Float(3.5));
         assert_eq!(Value::parse_cell(""), Value::Null);
         assert_eq!(Value::parse_cell("  "), Value::Null);
-        assert_eq!(Value::parse_cell("PGElecDemand"), Value::Str("PGElecDemand".into()));
+        assert_eq!(
+            Value::parse_cell("PGElecDemand"),
+            Value::Str("PGElecDemand".into())
+        );
     }
 
     #[test]
@@ -247,7 +252,11 @@ mod tests {
 
     #[test]
     fn display_round_trips_through_parse() {
-        for v in [Value::Int(42), Value::Float(3.25), Value::Str("CapAddTotal_Wind".into())] {
+        for v in [
+            Value::Int(42),
+            Value::Float(3.25),
+            Value::Str("CapAddTotal_Wind".into()),
+        ] {
             let shown = v.to_string();
             let parsed = Value::parse_cell(&shown);
             match (&v, &parsed) {

@@ -18,8 +18,7 @@ fn table_strategy() -> impl Strategy<Value = Table> {
                 n_rows..=n_rows,
             )
             .prop_map(move |rows| {
-                let attrs: Vec<String> =
-                    (0..n_attrs).map(|i| format!("{}", 2000 + i)).collect();
+                let attrs: Vec<String> = (0..n_attrs).map(|i| format!("{}", 2000 + i)).collect();
                 let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
                 let mut builder = TableBuilder::new("T", "Index", &attr_refs);
                 for (key, row) in keys.iter().zip(&rows) {

@@ -1,0 +1,186 @@
+//! `scrutinizer-serve` — the engine as a server.
+//!
+//! JSON lines over TCP, `std::net` only: one request object per line in,
+//! one response object per line out (see `scrutinizer_engine::protocol`
+//! for the op table). Each connection gets its own thread; all
+//! connections share one engine, so sessions, models, cache and metrics
+//! are global.
+//!
+//! ```text
+//! scrutinizer-serve [ADDR] [--scale small|paper] [--seed N]
+//!                   [--threads N] [--cache-capacity N] [--no-pretrain]
+//!
+//! ADDR defaults to 127.0.0.1:7878.
+//! ```
+//!
+//! Quick tour (with `nc` as the client):
+//!
+//! ```text
+//! $ scrutinizer-serve &
+//! $ printf '%s\n' '{"op":"open","checker":"S1"}' | nc -q1 127.0.0.1 7878
+//! {"ok":true,"session":1}
+//! $ printf '%s\n' '{"op":"submit","session":1,"claims":[0,1,2]}' | nc -q1 127.0.0.1 7878
+//! {"ok":true,"batch":[{"claim":0,"expected_cost":...,"screens":[...]}]}
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::exit;
+use std::sync::Arc;
+
+use scrutinizer_core::SystemConfig;
+use scrutinizer_corpus::{Corpus, CorpusConfig};
+use scrutinizer_engine::engine::{Engine, EngineOptions};
+use scrutinizer_engine::protocol::handle_request;
+
+struct Args {
+    addr: String,
+    scale: &'static str,
+    seed: u64,
+    threads: Option<usize>,
+    cache_capacity: Option<usize>,
+    pretrain: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        scale: "small",
+        seed: 17,
+        threads: None,
+        cache_capacity: None,
+        pretrain: true,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value_of = |flag: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--scale" => {
+                args.scale = match value_of("--scale").as_str() {
+                    "small" => "small",
+                    "paper" => "paper",
+                    other => {
+                        eprintln!("unknown scale `{other}` (small|paper)");
+                        exit(2);
+                    }
+                }
+            }
+            "--seed" => {
+                args.seed = value_of("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed needs an integer");
+                    exit(2);
+                })
+            }
+            "--threads" => {
+                args.threads = Some(value_of("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs an integer");
+                    exit(2);
+                }))
+            }
+            "--cache-capacity" => {
+                args.cache_capacity =
+                    Some(value_of("--cache-capacity").parse().unwrap_or_else(|_| {
+                        eprintln!("--cache-capacity needs an integer");
+                        exit(2);
+                    }))
+            }
+            "--no-pretrain" => args.pretrain = false,
+            "--help" | "-h" => {
+                eprintln!(
+                    "scrutinizer-serve [ADDR] [--scale small|paper] [--seed N] \
+                     [--threads N] [--cache-capacity N] [--no-pretrain]"
+                );
+                exit(0);
+            }
+            other if !other.starts_with('-') => args.addr = other.to_string(),
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let corpus_config = match args.scale {
+        "paper" => CorpusConfig {
+            seed: args.seed,
+            ..CorpusConfig::paper_scale()
+        },
+        _ => CorpusConfig {
+            seed: args.seed,
+            ..CorpusConfig::small()
+        },
+    };
+    eprintln!(
+        "generating {} corpus (seed {}): {} claims ...",
+        args.scale, args.seed, corpus_config.n_claims
+    );
+    let corpus = Corpus::generate(corpus_config);
+    let mut options = EngineOptions::default();
+    if let Some(threads) = args.threads {
+        options.threads = threads;
+    }
+    if let Some(capacity) = args.cache_capacity {
+        options.cache_capacity = capacity;
+    }
+    let engine = Engine::with_options(corpus, SystemConfig::default(), options);
+    if args.pretrain {
+        eprintln!("pre-training classifiers on the full corpus ...");
+        engine.pretrain(None);
+    }
+
+    let listener = TcpListener::bind(&args.addr).unwrap_or_else(|error| {
+        eprintln!("cannot bind {}: {error}", args.addr);
+        exit(1);
+    });
+    eprintln!("scrutinizer-serve listening on {}", args.addr);
+
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || serve_connection(&engine, stream));
+            }
+            Err(error) => eprintln!("accept failed: {error}"),
+        }
+    }
+}
+
+fn serve_connection(engine: &Arc<Engine>, stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".to_string());
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(error) => {
+            eprintln!("[{peer}] cannot clone stream: {error}");
+            return;
+        }
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(error) => {
+                eprintln!("[{peer}] read failed: {error}");
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_request(engine, &line);
+        if writeln!(writer, "{response}").is_err() {
+            return; // client went away
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! The sharded LRU query-result cache.
+//!
+//! Algorithm 2 instantiates thousands of near-duplicate queries per claim,
+//! and concurrent checker sessions re-derive the same instantiations over
+//! and over (contexts are Zipf-distributed, so the same relation/key/
+//! attribute combinations dominate). Caching the evaluated result of each
+//! instantiated query turns the brute-force enumeration's hot path into
+//! hash lookups.
+//!
+//! ## Keying
+//!
+//! Entries are keyed by **normalized SQL**: the canonical text a query
+//! instantiation prints to, normalized by [`normalize_sql`] (whitespace
+//! collapse, keyword case, trailing-semicolon removal). Two key producers
+//! feed the same cache:
+//!
+//! * the serving layer's raw-SQL endpoint normalizes client text with
+//!   [`normalize_sql`], and
+//! * the query-generation hot path uses [`assignment_key`], a cheap
+//!   pre-image of the normalized SQL — the same formula instantiated with
+//!   the same lookups always prints to the same SQL, so
+//!   `(formula, lookups)` keys exactly as finely without paying for
+//!   instantiation + printing on every probe.
+//!
+//! ## Structure
+//!
+//! The map is split into power-of-two shards, each an independent
+//! `Mutex<LruShard>`; a key touches exactly one shard, so concurrent
+//! sessions rarely contend. Each shard is a classic intrusive-list LRU
+//! over a slab of nodes — no allocation churn on hits, O(1) touch and
+//! eviction. Hit/miss counters are global atomics (see
+//! [`stats`](crate::stats)).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use scrutinizer_data::hash::FxBuildHasher;
+use scrutinizer_formula::Lookup;
+
+/// The cached outcome of evaluating one query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CachedResult {
+    /// The query evaluated to this finite value.
+    Value(f64),
+    /// Evaluation failed (missing cell, non-numeric operand, non-finite
+    /// result). Negative results are worth caching too: Algorithm 2
+    /// re-tries failing assignments just as often as succeeding ones.
+    Failed,
+}
+
+impl CachedResult {
+    /// The value, if the query evaluated.
+    pub fn value(self) -> Option<f64> {
+        match self {
+            CachedResult::Value(v) => Some(v),
+            CachedResult::Failed => None,
+        }
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+struct Node {
+    key: Box<str>,
+    result: CachedResult,
+    prev: u32,
+    next: u32,
+}
+
+/// One LRU shard: slab-backed intrusive doubly-linked list, most recent at
+/// `head`.
+struct LruShard {
+    map: HashMap<Box<str>, u32, FxBuildHasher>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    capacity: usize,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::with_hasher(FxBuildHasher::default()),
+            nodes: Vec::with_capacity(capacity.min(1024)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn unlink(&mut self, index: u32) {
+        let (prev, next) = {
+            let node = &self.nodes[index as usize];
+            (node.prev, node.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, index: u32) {
+        let old_head = self.head;
+        {
+            let node = &mut self.nodes[index as usize];
+            node.prev = NIL;
+            node.next = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = index;
+        } else {
+            self.tail = index;
+        }
+        self.head = index;
+    }
+
+    fn get(&mut self, key: &str) -> Option<CachedResult> {
+        let index = *self.map.get(key)?;
+        if index != self.head {
+            self.unlink(index);
+            self.push_front(index);
+        }
+        Some(self.nodes[index as usize].result)
+    }
+
+    fn insert(&mut self, key: &str, result: CachedResult) {
+        match self.map.entry(key.into()) {
+            Entry::Occupied(slot) => {
+                let index = *slot.get();
+                self.nodes[index as usize].result = result;
+                if index != self.head {
+                    self.unlink(index);
+                    self.push_front(index);
+                }
+            }
+            Entry::Vacant(slot) => {
+                let index = if let Some(reused) = self.free.pop() {
+                    let node = &mut self.nodes[reused as usize];
+                    node.key = key.into();
+                    node.result = result;
+                    reused
+                } else {
+                    let index = self.nodes.len() as u32;
+                    self.nodes.push(Node {
+                        key: key.into(),
+                        result,
+                        prev: NIL,
+                        next: NIL,
+                    });
+                    index
+                };
+                slot.insert(index);
+                self.push_front(index);
+                if self.map.len() > self.capacity {
+                    let victim = self.tail;
+                    debug_assert_ne!(victim, NIL);
+                    self.unlink(victim);
+                    let old_key = std::mem::take(&mut self.nodes[victim as usize].key);
+                    self.map.remove(&old_key);
+                    self.free.push(victim);
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+/// The concurrent, sharded query-result cache.
+pub struct QueryCache {
+    shards: Vec<Mutex<LruShard>>,
+    shard_bits: u32,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    /// A cache holding up to `capacity` entries across `shards` shards
+    /// (rounded up to a power of two).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shard_count = shards.clamp(1, 1024).next_power_of_two();
+        let per_shard = capacity.div_ceil(shard_count).max(1);
+        QueryCache {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            shard_bits: shard_count.trailing_zeros(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &str) -> &Mutex<LruShard> {
+        if self.shard_bits == 0 {
+            return &self.shards[0];
+        }
+        let mut hasher = FxBuildHasher::default().build_hasher();
+        hasher.write(key.as_bytes());
+        // FxHash's low bits are nearly constant for short keys; Fibonacci-mix
+        // and take the top bits for the shard index instead.
+        let mixed = hasher.finish().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed >> (64 - self.shard_bits)) as usize]
+    }
+
+    /// Looks up `key`, counting the hit or miss.
+    pub fn get(&self, key: &str) -> Option<CachedResult> {
+        let found = self
+            .shard_for(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key);
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts (or refreshes) `key`.
+    pub fn insert(&self, key: &str, result: CachedResult) {
+        self.shard_for(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, result);
+    }
+
+    /// Looks up `key`, computing and caching on a miss. The closure runs
+    /// outside every shard lock, so concurrent misses on one shard don't
+    /// serialize their evaluations.
+    pub fn get_or_insert_with(
+        &self,
+        key: &str,
+        evaluate: impl FnOnce() -> CachedResult,
+    ) -> CachedResult {
+        if let Some(found) = self.get(key) {
+            return found;
+        }
+        let computed = evaluate();
+        self.insert(key, computed);
+        computed
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are kept; they describe traffic, not
+    /// contents).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+
+    /// Lifetime hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime hit rate in `[0, 1]` (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+}
+
+/// Canonicalizes SQL text for cache keying: collapses whitespace runs,
+/// uppercases bare keywords, trims, and strips a trailing semicolon.
+/// Quoted strings pass through untouched.
+pub fn normalize_sql(sql: &str) -> String {
+    const KEYWORDS: [&str; 5] = ["SELECT", "FROM", "WHERE", "AND", "OR"];
+    let mut out = String::with_capacity(sql.len());
+    let mut chars = sql.trim().trim_end_matches(';').trim().chars().peekable();
+    let mut word = String::new();
+    let mut pending_space = false;
+    let flush_word = |out: &mut String, word: &mut String| {
+        if word.is_empty() {
+            return;
+        }
+        let upper = word.to_ascii_uppercase();
+        if KEYWORDS.contains(&upper.as_str()) {
+            out.push_str(&upper);
+        } else {
+            out.push_str(word);
+        }
+        word.clear();
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                flush_word(&mut out, &mut word);
+                if pending_space {
+                    out.push(' ');
+                    pending_space = false;
+                }
+                out.push('\'');
+                for inner in chars.by_ref() {
+                    out.push(inner);
+                    if inner == '\'' {
+                        break;
+                    }
+                }
+            }
+            c if c.is_whitespace() => {
+                flush_word(&mut out, &mut word);
+                pending_space = !out.is_empty();
+            }
+            c => {
+                if word.is_empty() && pending_space {
+                    out.push(' ');
+                    pending_space = false;
+                }
+                word.push(c);
+            }
+        }
+    }
+    flush_word(&mut out, &mut word);
+    out
+}
+
+/// The query-generation hot path's cache key: a canonical rendering of
+/// `(formula, lookups)`. This is a pre-image of the normalized SQL the
+/// instantiated statement would print to — same formula, same lookups,
+/// same SQL — but costs one string build instead of AST instantiation
+/// plus printing.
+pub fn assignment_key(formula_text: &str, lookups: &[Lookup]) -> String {
+    let mut key = String::with_capacity(formula_text.len() + lookups.len() * 24 + 8);
+    key.push_str("q:");
+    key.push_str(formula_text);
+    for lookup in lookups {
+        let _ = write!(
+            key,
+            "|{}\u{1}{}\u{1}{}",
+            lookup.relation, lookup.key, lookup.attribute
+        );
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = QueryCache::new(64, 4);
+        assert_eq!(cache.get("q:a"), None);
+        cache.insert("q:a", CachedResult::Value(1.5));
+        assert_eq!(cache.get("q:a"), Some(CachedResult::Value(1.5)));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_evaluations_are_cached_too() {
+        let cache = QueryCache::new(8, 1);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let result = cache.get_or_insert_with("q:bad", || {
+                calls += 1;
+                CachedResult::Failed
+            });
+            assert_eq!(result, CachedResult::Failed);
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = QueryCache::new(2, 1);
+        cache.insert("a", CachedResult::Value(1.0));
+        cache.insert("b", CachedResult::Value(2.0));
+        assert!(cache.get("a").is_some()); // refresh a; b is now oldest
+        cache.insert("c", CachedResult::Value(3.0));
+        assert_eq!(cache.get("b"), None, "b should have been evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let cache = QueryCache::new(4, 1);
+        cache.insert("a", CachedResult::Value(1.0));
+        cache.insert("a", CachedResult::Value(9.0));
+        assert_eq!(cache.get("a"), Some(CachedResult::Value(9.0)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let cache = QueryCache::new(100, 8);
+        for i in 0..100 {
+            cache.insert(&format!("k{i}"), CachedResult::Value(i as f64));
+        }
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn heavy_insertion_respects_capacity() {
+        let cache = QueryCache::new(128, 8);
+        for i in 0..10_000 {
+            cache.insert(&format!("key-{i}"), CachedResult::Value(i as f64));
+        }
+        assert!(
+            cache.len() <= 128 + 8,
+            "len {} exceeds capacity slack",
+            cache.len()
+        );
+    }
+
+    #[test]
+    fn normalize_sql_canonicalizes() {
+        assert_eq!(
+            normalize_sql("  select a.2017   from GED a\n where a.Index = 'PG  x' ; "),
+            "SELECT a.2017 FROM GED a WHERE a.Index = 'PG  x'"
+        );
+        assert_eq!(
+            normalize_sql("SELECT 1 FROM T a WHERE x AND y"),
+            normalize_sql("select  1\tfrom T a where x and y;")
+        );
+    }
+
+    #[test]
+    fn assignment_keys_distinguish_lookups() {
+        let a = assignment_key("a / b", &[Lookup::new("T", "K", "2016")]);
+        let b = assignment_key("a / b", &[Lookup::new("T", "K", "2017")]);
+        let c = assignment_key("a / b", &[Lookup::new("T", "K", "2016")]);
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        use std::sync::Arc;
+        let cache = Arc::new(QueryCache::new(1024, 16));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let key = format!("k{}", (t * 7 + i) % 500);
+                        let got = cache.get_or_insert_with(&key, || {
+                            CachedResult::Value(((t * 7 + i) % 500) as f64)
+                        });
+                        assert_eq!(got, CachedResult::Value(((t * 7 + i) % 500) as f64));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert!(cache.hits() > 0);
+    }
+}

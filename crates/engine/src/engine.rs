@@ -1,0 +1,818 @@
+//! The engine proper: shared corpus + models behind a concurrency-safe
+//! facade, serving many interactive verification sessions at once.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use scrutinizer_core::ordering::ClaimChoice;
+use scrutinizer_core::planner::plan_claim;
+use scrutinizer_core::qgen::QueryCandidate;
+use scrutinizer_core::report::{ClaimOutcome, Verdict};
+use scrutinizer_core::screens::FinalScreen;
+use scrutinizer_core::stats::mean;
+use scrutinizer_core::{
+    generate_queries_with, padded_context, select_batch, OrderingStrategy, PropertyKind,
+    SystemConfig, SystemModels, Verifier,
+};
+use scrutinizer_corpus::{ClaimKind, ClaimRecord, Corpus};
+use scrutinizer_crowd::{Worker, WorkerConfig};
+use scrutinizer_data::hash::{FxHashMap, FxHashSet};
+use scrutinizer_formula::{eval_formula, parse_formula, Formula};
+use scrutinizer_query::FunctionRegistry;
+
+use crate::cache::{assignment_key, normalize_sql, CachedResult, QueryCache};
+use crate::executor::ThreadPool;
+use crate::session::{ClaimPhase, ClaimQuestions, ClaimTask, SessionId, SessionState, Suggestion};
+use crate::stats::{EngineStats, StatsSnapshot};
+
+/// Engine sizing and behavior knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Executor threads (default: available parallelism, min 2).
+    pub threads: usize,
+    /// Bounded executor queue length; submissions beyond it block
+    /// (backpressure).
+    pub queue_capacity: usize,
+    /// Query-result cache capacity, in entries.
+    pub cache_capacity: usize,
+    /// Cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Retrain the classifiers after this many newly verified claims;
+    /// `None` freezes the models (deterministic serving).
+    pub retrain_interval: Option<usize>,
+    /// Claim-batch ordering strategy for session re-planning.
+    pub ordering: OrderingStrategy,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            threads: std::thread::available_parallelism()
+                .map_or(2, |n| n.get())
+                .max(2),
+            queue_capacity: 256,
+            cache_capacity: 1 << 16,
+            cache_shards: 16,
+            retrain_interval: Some(50),
+            ordering: OrderingStrategy::Ilp,
+        }
+    }
+}
+
+/// Errors surfaced by the session API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// No such session (never opened, or closed).
+    UnknownSession(u64),
+    /// The claim id is not part of the corpus.
+    UnknownClaim(usize),
+    /// The claim was not submitted to this session.
+    ClaimNotSubmitted(usize),
+    /// The operation does not fit the claim's phase (e.g. posting a
+    /// verdict while screens are outstanding).
+    WrongPhase {
+        /// The claim.
+        claim_id: usize,
+        /// What the engine expected to happen instead.
+        expected: &'static str,
+    },
+    /// The posted answer's property has no screen outstanding.
+    UnexpectedAnswer(PropertyKind),
+    /// Raw SQL execution failed.
+    Sql(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownSession(id) => write!(f, "unknown session s{id}"),
+            EngineError::UnknownClaim(id) => write!(f, "unknown claim {id}"),
+            EngineError::ClaimNotSubmitted(id) => {
+                write!(f, "claim {id} was not submitted to this session")
+            }
+            EngineError::WrongPhase { claim_id, expected } => {
+                write!(f, "claim {claim_id}: expected {expected}")
+            }
+            EngineError::UnexpectedAnswer(kind) => {
+                write!(f, "no outstanding screen for property {}", kind.name())
+            }
+            EngineError::Sql(message) => write!(f, "sql: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Outcome of recording a verdict.
+#[derive(Debug, Clone)]
+pub struct VerdictRecord {
+    /// The recorded outcome.
+    pub outcome: ClaimOutcome,
+    /// Whether this verdict pushed the engine over its retrain threshold.
+    pub retrained: bool,
+}
+
+type SessionHandle = Arc<Mutex<SessionState>>;
+
+struct VerifiedSet {
+    order: Vec<usize>,
+    seen: FxHashSet<usize>,
+}
+
+/// The long-lived, concurrent verification engine.
+///
+/// One engine owns the corpus (catalog + claims + document), the four
+/// property classifiers, the query-result cache and the executor; any
+/// number of threads may drive sessions against it concurrently. See the
+/// [crate docs](crate) for the full tour.
+pub struct Engine {
+    corpus: Arc<Corpus>,
+    config: SystemConfig,
+    options: EngineOptions,
+    registry: FunctionRegistry,
+    models: RwLock<SystemModels>,
+    cache: QueryCache,
+    pool: ThreadPool,
+    stats: EngineStats,
+    sessions: Mutex<FxHashMap<u64, SessionHandle>>,
+    next_session: AtomicU64,
+    verified: Mutex<VerifiedSet>,
+    since_retrain: AtomicUsize,
+}
+
+impl Engine {
+    /// Engine with default [`EngineOptions`].
+    pub fn new(corpus: Corpus, config: SystemConfig) -> Arc<Self> {
+        Self::with_options(corpus, config, EngineOptions::default())
+    }
+
+    /// Engine with explicit sizing.
+    pub fn with_options(corpus: Corpus, config: SystemConfig, options: EngineOptions) -> Arc<Self> {
+        let models = SystemModels::bootstrap(&corpus, &config);
+        Arc::new(Engine {
+            corpus: Arc::new(corpus),
+            config,
+            options,
+            registry: FunctionRegistry::standard(),
+            models: RwLock::new(models),
+            cache: QueryCache::new(options.cache_capacity, options.cache_shards),
+            pool: ThreadPool::new(options.threads, options.queue_capacity),
+            stats: EngineStats::default(),
+            sessions: Mutex::new(FxHashMap::default()),
+            next_session: AtomicU64::new(1),
+            verified: Mutex::new(VerifiedSet {
+                order: Vec::new(),
+                seen: FxHashSet::default(),
+            }),
+            since_retrain: AtomicUsize::new(0),
+        })
+    }
+
+    /// The corpus the engine serves.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Trains the classifiers on the given claims (all claims when
+    /// `claim_ids` is `None`) — the warm-start used by the benches, the
+    /// serving binary and every simulation, mirroring the paper's
+    /// pre-trained user-study condition.
+    pub fn pretrain(&self, claim_ids: Option<&[usize]>) {
+        let refs: Vec<&ClaimRecord> = match claim_ids {
+            Some(ids) => ids
+                .iter()
+                .filter_map(|&id| self.corpus.claims.get(id))
+                .collect(),
+            None => self.corpus.claims.iter().collect(),
+        };
+        let mut models = self.models.write().expect("models lock poisoned");
+        self.stats.retrain_latency.time(|| models.retrain(&refs));
+        self.stats.bump(&self.stats.retrains);
+    }
+
+    // ---- session lifecycle -------------------------------------------------
+
+    /// Opens a session for a named checker.
+    pub fn open_session(&self, checker: &str) -> SessionId {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .lock()
+            .expect("session registry poisoned")
+            .insert(id, Arc::new(Mutex::new(SessionState::new(checker))));
+        self.stats.bump(&self.stats.sessions_opened);
+        SessionId(id)
+    }
+
+    /// Closes a session, returning the ids of claims it verified.
+    pub fn close_session(&self, session: SessionId) -> Result<Vec<usize>, EngineError> {
+        let handle = self
+            .sessions
+            .lock()
+            .expect("session registry poisoned")
+            .remove(&session.0)
+            .ok_or(EngineError::UnknownSession(session.0))?;
+        self.stats.bump(&self.stats.sessions_closed);
+        let state = handle.lock().expect("session poisoned");
+        Ok(state.verified.clone())
+    }
+
+    /// The checker a session was opened for.
+    pub fn session_checker(&self, session: SessionId) -> Result<String, EngineError> {
+        let handle = self.session(session)?;
+        let state = handle.lock().expect("session poisoned");
+        Ok(state.checker.clone())
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions
+            .lock()
+            .expect("session registry poisoned")
+            .len()
+    }
+
+    fn session(&self, session: SessionId) -> Result<SessionHandle, EngineError> {
+        self.sessions
+            .lock()
+            .expect("session registry poisoned")
+            .get(&session.0)
+            .cloned()
+            .ok_or(EngineError::UnknownSession(session.0))
+    }
+
+    // ---- the mixed-initiative loop ----------------------------------------
+
+    /// Submits a report (a set of corpus claims) to a session: every claim
+    /// is translated and planned with the current models, and the first
+    /// question batch is returned, ordered by the engine's batch-selection
+    /// strategy.
+    pub fn submit_report(
+        &self,
+        session: SessionId,
+        claim_ids: &[usize],
+    ) -> Result<Vec<ClaimQuestions>, EngineError> {
+        let handle = self.session(session)?;
+        // validate the whole report before touching session state, so a bad
+        // id cannot leave the session partially mutated
+        if let Some(&bad) = claim_ids.iter().find(|&&id| id >= self.corpus.claims.len()) {
+            return Err(EngineError::UnknownClaim(bad));
+        }
+        {
+            let models = self.models.read().expect("models lock poisoned");
+            let mut state = handle.lock().expect("session poisoned");
+            for &claim_id in claim_ids {
+                // resubmission (e.g. a client retry) is idempotent: a claim
+                // already in the session keeps its answers and verdict
+                if state.tasks.contains_key(&claim_id) {
+                    continue;
+                }
+                let claim = &self.corpus.claims[claim_id];
+                let task = self.stats.plan_latency.time(|| {
+                    let features = models.features(claim);
+                    let translation = models.translate(&features, self.config.options_per_screen);
+                    let plan = plan_claim(&translation, &self.config);
+                    ClaimTask {
+                        features,
+                        translation,
+                        plan,
+                        validated: [None, None, None],
+                        next_screen: 0,
+                        candidates: Vec::new(),
+                        phase: ClaimPhase::Screening,
+                    }
+                });
+                state.tasks.insert(claim_id, task);
+                state.pending.push(claim_id);
+            }
+        }
+        self.next_batch(session)
+    }
+
+    /// Re-plans the session's unfinished claims with the *current* models
+    /// and returns the next question batch — the loop's feedback edge:
+    /// verdicts elsewhere retrain the models, and re-planning folds that
+    /// back into cheaper screens for everything still open.
+    pub fn next_batch(&self, session: SessionId) -> Result<Vec<ClaimQuestions>, EngineError> {
+        let handle = self.session(session)?;
+        let models = self.models.read().expect("models lock poisoned");
+        let mut state = handle.lock().expect("session poisoned");
+        let state = &mut *state;
+        let open: Vec<usize> = state
+            .pending
+            .iter()
+            .copied()
+            .filter(|id| {
+                state
+                    .tasks
+                    .get(id)
+                    .is_some_and(|t| t.phase != ClaimPhase::Done)
+            })
+            .collect();
+        if open.is_empty() {
+            return Ok(Vec::new());
+        }
+        // re-plan claims whose screens have not started yet
+        for &claim_id in &open {
+            let task = state
+                .tasks
+                .get_mut(&claim_id)
+                .expect("open claim has a task");
+            if task.next_screen == 0 && task.phase == ClaimPhase::Screening {
+                task.translation = models.translate(&task.features, self.config.options_per_screen);
+                task.plan = plan_claim(&task.translation, &self.config);
+            }
+        }
+        let choices: Vec<ClaimChoice> = open
+            .iter()
+            .map(|&id| ClaimChoice {
+                id,
+                section: self.corpus.claims[id].section,
+                cost: state.tasks[&id].plan.expected_cost,
+                utility: models.training_utility(&state.tasks[&id].features),
+            })
+            .collect();
+        let mean_cost = mean(&choices.iter().map(|c| c.cost).collect::<Vec<_>>());
+        let budget = self.config.batch_size as f64 * mean_cost * 1.3
+            + 3.0 * self.config.read_seconds_per_sentence * 400.0;
+        let mut batch = select_batch(
+            &choices,
+            &self.corpus.document,
+            self.options.ordering,
+            budget,
+            &self.config,
+        );
+        if batch.is_empty() {
+            batch = vec![open[0]];
+        }
+        Ok(batch
+            .iter()
+            .map(|&id| state.tasks[&id].questions(id))
+            .collect())
+    }
+
+    /// The outstanding screens of one claim.
+    pub fn screens(
+        &self,
+        session: SessionId,
+        claim_id: usize,
+    ) -> Result<ClaimQuestions, EngineError> {
+        let handle = self.session(session)?;
+        let state = handle.lock().expect("session poisoned");
+        let task = state
+            .tasks
+            .get(&claim_id)
+            .ok_or(EngineError::ClaimNotSubmitted(claim_id))?;
+        Ok(task.questions(claim_id))
+    }
+
+    /// Posts a checker's answer to the claim's next outstanding screen.
+    /// Returns the number of screens still outstanding; at zero the claim
+    /// moves to the suggestion phase.
+    pub fn post_answer(
+        &self,
+        session: SessionId,
+        claim_id: usize,
+        kind: PropertyKind,
+        answer: &str,
+    ) -> Result<usize, EngineError> {
+        let handle = self.session(session)?;
+        let mut state = handle.lock().expect("session poisoned");
+        let task = state
+            .tasks
+            .get_mut(&claim_id)
+            .ok_or(EngineError::ClaimNotSubmitted(claim_id))?;
+        if task.phase != ClaimPhase::Screening {
+            return Err(EngineError::WrongPhase {
+                claim_id,
+                expected: "screening",
+            });
+        }
+        let screen = task
+            .plan
+            .screens
+            .get(task.next_screen)
+            .ok_or(EngineError::UnexpectedAnswer(kind))?;
+        if screen.kind != kind {
+            return Err(EngineError::UnexpectedAnswer(kind));
+        }
+        let slot = ClaimTask::slot(kind).ok_or(EngineError::UnexpectedAnswer(kind))?;
+        task.validated[slot] = Some(answer.to_string());
+        task.next_screen += 1;
+        self.stats.bump(&self.stats.answers_posted);
+        let remaining = task.plan.screens.len() - task.next_screen;
+        if remaining == 0 {
+            task.phase = ClaimPhase::Suggesting;
+        }
+        Ok(remaining)
+    }
+
+    /// Generates the claim's top-k candidate queries (Algorithm 2 over the
+    /// validated context, answered screens first, classifier candidates as
+    /// fallback), ranked the way the final screen shows them. Callable
+    /// once screening finished (remaining screens are auto-padded by
+    /// classifier predictions, matching the one-shot verifier).
+    pub fn suggest(
+        &self,
+        session: SessionId,
+        claim_id: usize,
+    ) -> Result<Vec<Suggestion>, EngineError> {
+        let handle = self.session(session)?;
+        let mut state = handle.lock().expect("session poisoned");
+        let task = state
+            .tasks
+            .get_mut(&claim_id)
+            .ok_or(EngineError::ClaimNotSubmitted(claim_id))?;
+        if task.phase == ClaimPhase::Done {
+            return Err(EngineError::WrongPhase {
+                claim_id,
+                expected: "an open claim",
+            });
+        }
+        task.phase = ClaimPhase::Suggesting;
+        let claim = &self.corpus.claims[claim_id];
+        let screen = self.stats.suggest_latency.time(|| {
+            let candidates = self.generate_candidates(claim, task);
+            FinalScreen::new(
+                candidates,
+                task.translation.of(PropertyKind::Formula),
+                self.config.final_options,
+            )
+        });
+        task.candidates = screen.candidates;
+        self.stats.bump(&self.stats.suggestions_served);
+        Ok(task
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(rank, c)| Suggestion {
+                rank,
+                sql: c.stmt.to_string(),
+                formula: c.formula_text.clone(),
+                value: c.value,
+                matches_parameter: c.matches_parameter,
+            })
+            .collect())
+    }
+
+    /// Records the checker's verdict for a claim: `correct` is their
+    /// judgment, `chosen` the rank of the confirming suggestion if one was
+    /// accepted. Feeds the verified set and (at the configured interval)
+    /// retrains the models.
+    pub fn post_verdict(
+        &self,
+        session: SessionId,
+        claim_id: usize,
+        correct: bool,
+        chosen: Option<usize>,
+    ) -> Result<VerdictRecord, EngineError> {
+        let handle = self.session(session)?;
+        let mut state = handle.lock().expect("session poisoned");
+        let task = state
+            .tasks
+            .get_mut(&claim_id)
+            .ok_or(EngineError::ClaimNotSubmitted(claim_id))?;
+        if task.phase == ClaimPhase::Done {
+            return Err(EngineError::WrongPhase {
+                claim_id,
+                expected: "an open claim",
+            });
+        }
+        let claim = &self.corpus.claims[claim_id];
+        let verdict = if correct {
+            let query = chosen
+                .and_then(|rank| task.candidates.get(rank))
+                .or_else(|| task.candidates.first())
+                .map(|c| c.stmt.to_string())
+                .unwrap_or_else(|| claim.formula_text.clone());
+            Verdict::Correct { query }
+        } else {
+            let closest = task.candidates.first();
+            Verdict::Incorrect {
+                closest_query: closest.map(|c| c.stmt.to_string()),
+                suggested_value: closest.map(|c| c.value),
+            }
+        };
+        task.phase = ClaimPhase::Done;
+        state.verified.push(claim_id);
+        let outcome = ClaimOutcome {
+            claim_id,
+            verdict,
+            crowd_seconds: 0.0,
+            verdict_matches_truth: correct == claim.is_correct,
+        };
+        drop(state);
+        self.stats.bump(&self.stats.claims_verified);
+        let retrained = self.note_verified(claim_id);
+        Ok(VerdictRecord { outcome, retrained })
+    }
+
+    /// Adds a claim to the global verified set and retrains when the
+    /// interval is crossed.
+    fn note_verified(&self, claim_id: usize) -> bool {
+        {
+            let mut verified = self.verified.lock().expect("verified set poisoned");
+            if !verified.seen.insert(claim_id) {
+                return false;
+            }
+            verified.order.push(claim_id);
+        }
+        let Some(interval) = self.options.retrain_interval else {
+            return false;
+        };
+        // one CAS both counts and resets, so exactly one thread crosses
+        // each threshold and no concurrent count is lost
+        let crossed = self
+            .since_retrain
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |count| {
+                Some(if count + 1 >= interval { 0 } else { count + 1 })
+            })
+            .map(|previous| previous + 1 >= interval)
+            .unwrap_or(false);
+        if !crossed {
+            return false;
+        }
+        let ids: Vec<usize> = self
+            .verified
+            .lock()
+            .expect("verified set poisoned")
+            .order
+            .clone();
+        let refs: Vec<&ClaimRecord> = ids.iter().map(|&id| &self.corpus.claims[id]).collect();
+        let mut models = self.models.write().expect("models lock poisoned");
+        self.stats.retrain_latency.time(|| models.retrain(&refs));
+        self.stats.bump(&self.stats.retrains);
+        true
+    }
+
+    // ---- cache-assisted query generation ----------------------------------
+
+    /// Algorithm 2 with the query-result cache on the hot path: the same
+    /// enumeration, budgeting and ranking as
+    /// [`scrutinizer_core::generate_queries`] — it delegates to
+    /// [`generate_queries_with`] — but each assignment's evaluation goes
+    /// through the sharded LRU, so near-duplicate instantiations across
+    /// claims and sessions cost a hash probe instead of a formula
+    /// evaluation.
+    pub fn cached_generate(
+        &self,
+        relations: &[String],
+        keys: &[String],
+        attributes: &[String],
+        formulas: &[(String, Formula)],
+        parameter: Option<f64>,
+    ) -> Vec<QueryCandidate> {
+        let catalog = &self.corpus.catalog;
+        generate_queries_with(
+            catalog,
+            relations,
+            keys,
+            attributes,
+            formulas,
+            parameter,
+            &self.config,
+            |text, formula, lookups| {
+                let key = assignment_key(text, lookups);
+                self.cache
+                    .get_or_insert_with(&key, || {
+                        match eval_formula(catalog, &self.registry, formula, lookups) {
+                            Ok(value) if value.is_finite() => CachedResult::Value(value),
+                            _ => CachedResult::Failed,
+                        }
+                    })
+                    .value()
+            },
+        )
+    }
+
+    /// Builds the query-generation context exactly the way the one-shot
+    /// verifier does — validated answers first, classifier candidates as
+    /// padding — and runs cache-assisted generation.
+    fn generate_candidates(&self, claim: &ClaimRecord, task: &ClaimTask) -> Vec<QueryCandidate> {
+        let context = |slot: usize, kind: PropertyKind, extra: usize| -> Vec<String> {
+            padded_context(
+                task.validated[slot].as_deref(),
+                task.translation.of(kind),
+                extra,
+            )
+        };
+        let relations = context(
+            0,
+            PropertyKind::Relation,
+            if task.validated[0].is_some() { 0 } else { 3 },
+        );
+        let keys = context(
+            1,
+            PropertyKind::Key,
+            if task.validated[1].is_some() { 0 } else { 3 },
+        );
+        let attributes = context(2, PropertyKind::Attribute, 4);
+        let formulas: Vec<(String, Formula)> = task
+            .translation
+            .of(PropertyKind::Formula)
+            .iter()
+            .take(self.config.final_options * 3)
+            .filter_map(|(text, _)| parse_formula(text).ok().map(|f| (text.clone(), f)))
+            .collect();
+        let parameter = match claim.kind {
+            ClaimKind::Explicit => Verifier::extract_parameter(&claim.claim_text),
+            ClaimKind::General => None,
+        };
+        self.cached_generate(&relations, &keys, &attributes, &formulas, parameter)
+    }
+
+    // ---- simulated driving (batch mode, benches, tests) --------------------
+
+    /// Drives one claim end to end with a simulated checker, through the
+    /// same session machinery an interactive client uses: plan → answer
+    /// every screen → suggest → final-screen judgment → verdict. The
+    /// final-screen behavior mirrors the one-shot verifier's cost model.
+    pub fn verify_claim_with(&self, claim_id: usize, worker: &mut Worker) -> ClaimOutcome {
+        self.stats
+            .verify_latency
+            .time(|| self.verify_claim_inner(claim_id, worker))
+    }
+
+    fn verify_claim_inner(&self, claim_id: usize, worker: &mut Worker) -> ClaimOutcome {
+        let claim = &self.corpus.claims[claim_id];
+        if worker.skips() {
+            return ClaimOutcome {
+                claim_id,
+                verdict: Verdict::Skipped,
+                crowd_seconds: 0.0,
+                verdict_matches_truth: false,
+            };
+        }
+        let cost = self.config.cost;
+        let session = self.open_session(&format!("sim-{}", worker.name));
+        let mut seconds = 0.0;
+        let outcome = (|| {
+            let batch = self.submit_report(session, &[claim_id])?;
+            let screens = batch
+                .into_iter()
+                .find(|q| q.claim_id == claim_id)
+                .map(|q| q.screens);
+            for screen in screens.unwrap_or_default() {
+                let truth = match screen.kind {
+                    PropertyKind::Relation => claim.relation.as_str(),
+                    PropertyKind::Key => claim.key.as_str(),
+                    PropertyKind::Attribute => claim.attributes[0].as_str(),
+                    PropertyKind::Formula => unreachable!("formulas are not crowd-validated"),
+                };
+                let answered = worker.answer_screen(&screen.options, truth, cost.vp, cost.sp);
+                seconds += answered.seconds;
+                self.post_answer(session, claim_id, screen.kind, &answered.answer)?;
+            }
+            let suggestions = self.suggest(session, claim_id)?;
+            let parameter = match claim.kind {
+                ClaimKind::Explicit => Verifier::extract_parameter(&claim.claim_text),
+                ClaimKind::General => None,
+            };
+
+            // final screen: a suggestion is truth-equivalent when it
+            // reproduces the ground-truth check or confirms the stated value
+            let handle = self.session(session)?;
+            let rendered: Vec<String> = {
+                let state = handle.lock().expect("session poisoned");
+                let task = &state.tasks[&claim_id];
+                FinalScreen {
+                    candidates: task.candidates.clone(),
+                    probabilities: vec![0.0; task.candidates.len()],
+                }
+                .rendered()
+            };
+            let truth_shown = {
+                let state = handle.lock().expect("session poisoned");
+                let task = &state.tasks[&claim_id];
+                task.candidates.iter().position(|c| {
+                    (c.formula_text == claim.formula_text && c.lookups == claim.lookups)
+                        || (claim.is_correct && c.matches_parameter)
+                })
+            };
+            let record = match truth_shown {
+                Some(position) if claim.is_correct => {
+                    let labels: Vec<String> = rendered.into_iter().take(position + 1).collect();
+                    let shown = worker.answer_screen(&labels, &labels[position], cost.vf, cost.sf);
+                    seconds += shown.seconds;
+                    self.post_verdict(session, claim_id, true, shown.chosen)?
+                }
+                _ => {
+                    let extra_scans = if parameter.is_some() {
+                        0
+                    } else {
+                        suggestions.len().saturating_sub(1).min(1)
+                    };
+                    seconds += cost.vf * extra_scans as f64;
+                    let (judged_correct, judge_seconds) =
+                        worker.judge_result(claim.is_correct, &cost);
+                    seconds += judge_seconds;
+                    if judged_correct && suggestions.is_empty() {
+                        seconds += cost.sf;
+                    }
+                    if !judged_correct && suggestions.is_empty() {
+                        seconds += cost.sf * 0.5;
+                    }
+                    self.post_verdict(session, claim_id, judged_correct, None)?
+                }
+            };
+            Ok::<VerdictRecord, EngineError>(record)
+        })();
+        let _ = self.close_session(session);
+        match outcome {
+            Ok(record) => ClaimOutcome {
+                crowd_seconds: seconds,
+                ..record.outcome
+            },
+            Err(error) => unreachable!("simulated drive hit a session error: {error}"),
+        }
+    }
+
+    /// Verifies a batch of claims concurrently on the engine's executor,
+    /// one simulated checker per claim (seeded by `base.seed ^ claim id`,
+    /// so results are independent of scheduling). Results come back in
+    /// input order.
+    pub fn verify_batch(
+        self: &Arc<Self>,
+        claim_ids: &[usize],
+        base: WorkerConfig,
+    ) -> Vec<ClaimOutcome> {
+        let tasks: Vec<_> = claim_ids
+            .iter()
+            .map(|&claim_id| {
+                let engine = Arc::clone(self);
+                move || {
+                    let config = WorkerConfig {
+                        seed: base.seed ^ (claim_id as u64).wrapping_mul(0x9E37_79B9),
+                        ..base
+                    };
+                    let mut worker = Worker::new(format!("batch-{claim_id}"), config);
+                    engine.verify_claim_with(claim_id, &mut worker)
+                }
+            })
+            .collect();
+        self.pool.run_all(tasks)
+    }
+
+    // ---- raw SQL ----------------------------------------------------------
+
+    /// Executes one SQL statement against the shared catalog through the
+    /// query-result cache (keyed by [`normalize_sql`]).
+    pub fn run_sql(&self, sql: &str) -> Result<f64, EngineError> {
+        self.stats.bump(&self.stats.sql_executed);
+        let key = normalize_sql(sql);
+        let result = self.cache.get_or_insert_with(&key, || {
+            match scrutinizer_query::run_sql(&self.corpus.catalog, sql) {
+                Ok(value) => match value.as_f64() {
+                    Some(v) if v.is_finite() => CachedResult::Value(v),
+                    _ => CachedResult::Failed,
+                },
+                Err(_) => CachedResult::Failed,
+            }
+        });
+        result
+            .value()
+            .ok_or_else(|| EngineError::Sql(format!("evaluation failed for `{key}`")))
+    }
+
+    // ---- observability -----------------------------------------------------
+
+    /// Point-in-time metrics.
+    pub fn stats(&self) -> StatsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            sessions_opened: load(&self.stats.sessions_opened),
+            sessions_closed: load(&self.stats.sessions_closed),
+            sessions_live: self.session_count() as u64,
+            claims_verified: load(&self.stats.claims_verified),
+            answers_posted: load(&self.stats.answers_posted),
+            suggestions_served: load(&self.stats.suggestions_served),
+            retrains: load(&self.stats.retrains),
+            sql_executed: load(&self.stats.sql_executed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_hit_rate: self.cache.hit_rate(),
+            cache_entries: self.cache.len(),
+            queue_depth: self.pool.queue_depth(),
+            in_flight: self.pool.in_flight(),
+            plan_latency: self.stats.plan_latency.snapshot(),
+            suggest_latency: self.stats.suggest_latency.snapshot(),
+            verify_latency: self.stats.verify_latency.snapshot(),
+            retrain_latency: self.stats.retrain_latency.snapshot(),
+        }
+    }
+
+    /// Drops every cached query result (used by the benches to compare
+    /// cold and warm paths).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// The cache's lifetime hit rate.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+}

@@ -1,0 +1,281 @@
+//! A std-only thread-pool executor with a bounded work queue.
+//!
+//! Batch claim verification fans hundreds of independent claim sessions
+//! out over a fixed set of worker threads. The queue is **bounded**:
+//! producers submitting faster than the pool drains either block
+//! ([`ThreadPool::execute`]) or get the job handed back
+//! ([`ThreadPool::try_execute`]) — backpressure instead of unbounded
+//! memory growth when a serving frontend floods the engine.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signaled when a job is enqueued or shutdown begins.
+    job_ready: Condvar,
+    /// Signaled when a job is dequeued (space for blocked producers).
+    space_ready: Condvar,
+    capacity: usize,
+    /// Jobs enqueued but not yet started (the metrics' queue depth).
+    depth: AtomicUsize,
+    /// Jobs currently executing.
+    in_flight: AtomicUsize,
+}
+
+/// A fixed-size worker pool over a bounded queue.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Returned by [`ThreadPool::try_execute`] when the queue is full; carries
+/// the rejected job back to the caller.
+pub struct QueueFull(pub Job);
+
+impl std::fmt::Debug for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("QueueFull(..)")
+    }
+}
+
+impl ThreadPool {
+    /// A pool of `threads` workers over a queue of at most `queue_capacity`
+    /// waiting jobs (both floored at 1).
+    pub fn new(threads: usize, queue_capacity: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            capacity: queue_capacity.max(1),
+            depth: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+        });
+        let workers = (0..threads.max(1))
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("engine-worker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.depth.load(Ordering::Relaxed)
+    }
+
+    /// Jobs currently executing.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues a job, blocking while the queue is at capacity. If the
+    /// pool shuts down while (or before) the producer waits, the job runs
+    /// on the calling thread instead — degraded but never lost, and no
+    /// panic while holding the queue lock.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        while state.queue.len() >= self.shared.capacity && !state.shutdown {
+            state = self
+                .shared
+                .space_ready
+                .wait(state)
+                .expect("pool state poisoned");
+        }
+        if state.shutdown {
+            drop(state);
+            job();
+            return;
+        }
+        state.queue.push_back(Box::new(job));
+        self.shared
+            .depth
+            .store(state.queue.len(), Ordering::Relaxed);
+        drop(state);
+        self.shared.job_ready.notify_one();
+    }
+
+    /// Enqueues a job unless the queue is at capacity (or the pool has
+    /// shut down); either way the rejected job is handed back.
+    pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), QueueFull> {
+        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        if state.shutdown || state.queue.len() >= self.shared.capacity {
+            return Err(QueueFull(Box::new(job)));
+        }
+        state.queue.push_back(Box::new(job));
+        self.shared
+            .depth
+            .store(state.queue.len(), Ordering::Relaxed);
+        drop(state);
+        self.shared.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Runs every task on the pool and returns their results in input
+    /// order, blocking until all complete. The calling thread participates
+    /// in backpressure: submission stalls while the queue is full.
+    pub fn run_all<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (sender, receiver) = mpsc::channel::<(usize, T)>();
+        let count = tasks.len();
+        for (index, task) in tasks.into_iter().enumerate() {
+            let sender = sender.clone();
+            self.execute(move || {
+                let result = task();
+                // receiver alive until all results are in
+                let _ = sender.send((index, result));
+            });
+        }
+        drop(sender);
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        for (index, result) in receiver {
+            slots[index] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("worker died before sending"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            state.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    shared.depth.store(state.queue.len(), Ordering::Relaxed);
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.job_ready.wait(state).expect("pool state poisoned");
+            }
+        };
+        shared.space_ready.notify_one();
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        job();
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_job() {
+        let pool = ThreadPool::new(4, 16);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // join workers
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn run_all_preserves_input_order() {
+        let pool = ThreadPool::new(8, 8);
+        let tasks: Vec<_> = (0..50usize)
+            .map(|i| {
+                move || {
+                    if i % 7 == 0 {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    i * i
+                }
+            })
+            .collect();
+        let results = pool.run_all(tasks);
+        assert_eq!(results, (0..50).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_execute_reports_backpressure() {
+        let pool = ThreadPool::new(1, 1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        // occupy the single worker
+        let worker_gate = Arc::clone(&gate);
+        pool.execute(move || {
+            let (lock, signal) = &*worker_gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = signal.wait(open).unwrap();
+            }
+        });
+        // give the worker time to pick the blocking job up, then fill the queue
+        while pool.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        pool.execute(|| {});
+        let rejected = pool.try_execute(|| {});
+        assert!(
+            rejected.is_err(),
+            "queue of 1 with a busy worker must reject"
+        );
+        assert_eq!(pool.queue_depth(), 1);
+        let (lock, signal) = &*gate;
+        *lock.lock().unwrap() = true;
+        signal.notify_all();
+    }
+
+    #[test]
+    fn blocking_execute_waits_for_space() {
+        let pool = ThreadPool::new(1, 1);
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..20 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                std::thread::sleep(Duration::from_micros(200));
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 20);
+    }
+}

@@ -1,0 +1,89 @@
+//! # scrutinizer-engine
+//!
+//! The long-lived, concurrent verification engine: one shared corpus
+//! (catalog + claims + document) and one set of trained classifiers,
+//! serving many interactive checker sessions at once.
+//!
+//! The paper's system is explicitly *mixed-initiative*: fact checkers
+//! open sessions, the system proposes top-k query translations, checker
+//! answers feed back into the planner, and the loop repeats. The rest of
+//! the workspace exposes that loop as one-shot library calls; this crate
+//! turns it into a serving system.
+//!
+//! ```text
+//!        checkers (threads / TCP clients)
+//!   ─────┬──────────────┬──────────────┬─────
+//!        ▼              ▼              ▼
+//!    Session s1     Session s2     Session sN          session registry
+//!        │  submit / answer / suggest / verdict
+//!        ▼
+//!   ┌─────────────────────────────────────────────┐
+//!   │ Engine                                      │
+//!   │   models: RwLock<SystemModels>  (4 clfs)    │──▶ plan_claim / translate
+//!   │   corpus: Arc<Corpus>           (catalog)   │──▶ Algorithm 2 (qgen)
+//!   │   cache:  sharded LRU  (normalized SQL)     │──▶ hit ⇒ skip evaluation
+//!   │   pool:   bounded-queue thread pool         │──▶ verify_batch fan-out
+//!   │   stats:  counters + latency histograms     │──▶ `stats` endpoint
+//!   └─────────────────────────────────────────────┘
+//!        │ verdicts accumulate
+//!        ▼
+//!    retrain (interval-gated) ──▶ next_batch re-plans open claims
+//! ```
+//!
+//! ## The session loop
+//!
+//! 1. [`Engine::open_session`] — a checker joins.
+//! 2. [`Engine::submit_report`] — a set of corpus claims enters the
+//!    session; each is translated and planned with the current models,
+//!    and the batch selector orders the first question batch.
+//! 3. [`Engine::post_answer`] — the checker validates property screens
+//!    (relation, row key, attribute).
+//! 4. [`Engine::suggest`] — Algorithm 2 instantiates candidate queries
+//!    over the validated context, through the query-result cache, and
+//!    returns the top-k as a ranked final screen.
+//! 5. [`Engine::post_verdict`] — the checker's judgment lands; at the
+//!    configured interval the four classifiers retrain on everything
+//!    verified so far, and [`Engine::next_batch`] re-plans the remaining
+//!    claims with the improved models — the mixed-initiative feedback
+//!    edge.
+//!
+//! [`Engine::verify_batch`] drives the same machinery with simulated
+//! checkers ([`scrutinizer_crowd::Worker`]) concurrently over the thread
+//! pool — the high-throughput batch path used by the benches and tests.
+//!
+//! ## The query-result cache
+//!
+//! Algorithm 2 brute-forces thousands of near-duplicate query
+//! instantiations per claim, and concurrent sessions repeat one another's
+//! work (contexts are Zipf-distributed). [`cache::QueryCache`] is a
+//! sharded LRU keyed by normalized SQL (see [`cache::normalize_sql`] and
+//! [`cache::assignment_key`]) storing each instantiation's evaluated
+//! result — including failures, which recur just as often. The
+//! `engine` bench measures the cold/warm gap.
+//!
+//! ## Serving
+//!
+//! `src/bin/serve.rs` (binary `scrutinizer-serve`) exposes the whole
+//! session API as JSON lines over TCP using nothing but `std::net` — see
+//! [`protocol`] for the wire format:
+//!
+//! ```text
+//! $ scrutinizer-serve 127.0.0.1:7878 --scale small
+//! $ echo '{"op":"stats"}' | nc 127.0.0.1 7878
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod executor;
+pub mod protocol;
+pub mod session;
+pub mod stats;
+
+pub use cache::{normalize_sql, CachedResult, QueryCache};
+pub use engine::{Engine, EngineError, EngineOptions, VerdictRecord};
+pub use executor::ThreadPool;
+pub use session::{ClaimQuestions, ScreenView, SessionId, Suggestion};
+pub use stats::{EngineStats, HistogramSnapshot, LatencyHistogram, StatsSnapshot};

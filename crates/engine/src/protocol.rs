@@ -1,0 +1,697 @@
+//! The serving protocol: JSON values, a hand-rolled parser/serializer
+//! (std only — the environment has no serde), and the request dispatcher
+//! shared by the TCP binary and the in-process tests.
+//!
+//! The wire format is JSON lines: one request object per line in, one
+//! response object per line out. Every response carries `"ok"`; failures
+//! carry `"error"`.
+//!
+//! | op             | request fields                          | response |
+//! |----------------|-----------------------------------------|----------|
+//! | `open`         | `checker`                               | `session` |
+//! | `submit`       | `session`, `claims: [id]`               | `batch: [claim questions]` |
+//! | `next_batch`   | `session`                               | `batch` |
+//! | `screens`      | `session`, `claim`                      | one claim's questions |
+//! | `answer`       | `session`, `claim`, `kind`, `answer`    | `remaining` |
+//! | `suggest`      | `session`, `claim`                      | `suggestions: [{rank, sql, value, …}]` |
+//! | `verdict`      | `session`, `claim`, `correct`, `chosen?`| `verdict`, `matches_truth`, `retrained` |
+//! | `sql`          | `query`                                 | `value` |
+//! | `verify_batch` | `claims: [id]`, `seed?`                 | `outcomes: [{claim, verdict, matches_truth}]` |
+//! | `stats`        | —                                       | full [`StatsSnapshot`] |
+//! | `close`        | `session`                               | `verified: [id]` |
+
+use std::sync::Arc;
+
+use scrutinizer_core::report::Verdict;
+use scrutinizer_core::PropertyKind;
+use scrutinizer_crowd::WorkerConfig;
+
+use crate::engine::Engine;
+use crate::session::{ClaimQuestions, SessionId, Suggestion};
+use crate::stats::{HistogramSnapshot, StatsSnapshot};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (always carried as f64, like JavaScript).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as an index.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_f64()
+            .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+            .map(|n| n as usize)
+    }
+
+    /// Bool payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Serializes to compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out);
+        out
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&token) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", token as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Json::Num),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    let mut chunk_start = *pos;
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                out.push_str(
+                    std::str::from_utf8(&bytes[chunk_start..*pos])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?,
+                );
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                out.push_str(
+                    std::str::from_utf8(&bytes[chunk_start..*pos])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?,
+                );
+                *pos += 1;
+                let escape = bytes.get(*pos).ok_or("dangling escape")?;
+                *pos += 1;
+                match escape {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "invalid \\u escape".to_string())?;
+                        *pos += 4;
+                        // surrogate pairs are not needed by this protocol;
+                        // unpaired surrogates map to the replacement char
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("unknown escape `\\{}`", *other as char)),
+                }
+                chunk_start = *pos;
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn write_value(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds an object from pairs.
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn ok(mut fields: Vec<(&str, Json)>) -> Json {
+    fields.insert(0, ("ok", Json::Bool(true)));
+    obj(fields)
+}
+
+fn err(message: impl std::fmt::Display) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
+
+fn property_kind(name: &str) -> Option<PropertyKind> {
+    match name {
+        "relation" => Some(PropertyKind::Relation),
+        "key" => Some(PropertyKind::Key),
+        "attribute" => Some(PropertyKind::Attribute),
+        "formula" => Some(PropertyKind::Formula),
+        _ => None,
+    }
+}
+
+fn questions_json(questions: &ClaimQuestions) -> Json {
+    obj(vec![
+        ("claim", Json::Num(questions.claim_id as f64)),
+        ("expected_cost", Json::Num(questions.expected_cost)),
+        (
+            "screens",
+            Json::Arr(
+                questions
+                    .screens
+                    .iter()
+                    .map(|s| {
+                        obj(vec![
+                            ("kind", Json::Str(s.kind.name().to_ascii_lowercase())),
+                            (
+                                "options",
+                                Json::Arr(s.options.iter().map(|o| Json::Str(o.clone())).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn suggestion_json(suggestion: &Suggestion) -> Json {
+    obj(vec![
+        ("rank", Json::Num(suggestion.rank as f64)),
+        ("sql", Json::Str(suggestion.sql.clone())),
+        ("formula", Json::Str(suggestion.formula.clone())),
+        ("value", Json::Num(suggestion.value)),
+        (
+            "matches_parameter",
+            Json::Bool(suggestion.matches_parameter),
+        ),
+    ])
+}
+
+fn histogram_json(snapshot: &HistogramSnapshot) -> Json {
+    obj(vec![
+        ("count", Json::Num(snapshot.count as f64)),
+        ("mean_micros", Json::Num(snapshot.mean_micros())),
+        (
+            "p50_micros",
+            Json::Num(snapshot.quantile_micros(0.5) as f64),
+        ),
+        (
+            "p99_micros",
+            Json::Num(snapshot.quantile_micros(0.99) as f64),
+        ),
+    ])
+}
+
+fn stats_json(snapshot: &StatsSnapshot) -> Json {
+    obj(vec![
+        (
+            "sessions_opened",
+            Json::Num(snapshot.sessions_opened as f64),
+        ),
+        (
+            "sessions_closed",
+            Json::Num(snapshot.sessions_closed as f64),
+        ),
+        ("sessions_live", Json::Num(snapshot.sessions_live as f64)),
+        (
+            "claims_verified",
+            Json::Num(snapshot.claims_verified as f64),
+        ),
+        ("answers_posted", Json::Num(snapshot.answers_posted as f64)),
+        (
+            "suggestions_served",
+            Json::Num(snapshot.suggestions_served as f64),
+        ),
+        ("retrains", Json::Num(snapshot.retrains as f64)),
+        ("sql_executed", Json::Num(snapshot.sql_executed as f64)),
+        ("cache_hits", Json::Num(snapshot.cache_hits as f64)),
+        ("cache_misses", Json::Num(snapshot.cache_misses as f64)),
+        ("cache_hit_rate", Json::Num(snapshot.cache_hit_rate)),
+        ("cache_entries", Json::Num(snapshot.cache_entries as f64)),
+        ("queue_depth", Json::Num(snapshot.queue_depth as f64)),
+        ("in_flight", Json::Num(snapshot.in_flight as f64)),
+        ("plan_latency", histogram_json(&snapshot.plan_latency)),
+        ("suggest_latency", histogram_json(&snapshot.suggest_latency)),
+        ("verify_latency", histogram_json(&snapshot.verify_latency)),
+        ("retrain_latency", histogram_json(&snapshot.retrain_latency)),
+    ])
+}
+
+fn require_session(request: &Json) -> Result<SessionId, Json> {
+    request
+        .get("session")
+        .and_then(Json::as_usize)
+        .map(|id| SessionId(id as u64))
+        .ok_or_else(|| err("missing `session`"))
+}
+
+fn require_claim(request: &Json) -> Result<usize, Json> {
+    request
+        .get("claim")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| err("missing `claim`"))
+}
+
+fn claim_list(request: &Json) -> Result<Vec<usize>, Json> {
+    let items = request
+        .get("claims")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("missing `claims`"))?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_usize()
+                .ok_or_else(|| err(format!("invalid claim id {}", item.render())))
+        })
+        .collect()
+}
+
+/// Handles one request line against the engine, returning the response
+/// line (without trailing newline). Never panics on malformed input.
+pub fn handle_request(engine: &Arc<Engine>, line: &str) -> String {
+    let response = match Json::parse(line.trim()) {
+        Err(error) => err(format!("bad json: {error}")),
+        Ok(request) => dispatch(engine, &request),
+    };
+    response.render()
+}
+
+fn dispatch(engine: &Arc<Engine>, request: &Json) -> Json {
+    let Some(op) = request.get("op").and_then(Json::as_str) else {
+        return err("missing `op`");
+    };
+    match op {
+        "open" => {
+            let checker = request
+                .get("checker")
+                .and_then(Json::as_str)
+                .unwrap_or("anonymous");
+            let session = engine.open_session(checker);
+            ok(vec![("session", Json::Num(session.0 as f64))])
+        }
+        "submit" | "next_batch" => {
+            let session = match require_session(request) {
+                Ok(s) => s,
+                Err(e) => return e,
+            };
+            let result = if op == "submit" {
+                let claims = match claim_list(request) {
+                    Ok(c) => c,
+                    Err(e) => return e,
+                };
+                engine.submit_report(session, &claims)
+            } else {
+                engine.next_batch(session)
+            };
+            match result {
+                Ok(batch) => ok(vec![(
+                    "batch",
+                    Json::Arr(batch.iter().map(questions_json).collect()),
+                )]),
+                Err(error) => err(error),
+            }
+        }
+        "screens" => {
+            let (session, claim) = match (require_session(request), require_claim(request)) {
+                (Ok(s), Ok(c)) => (s, c),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            match engine.screens(session, claim) {
+                Ok(questions) => ok(vec![("questions", questions_json(&questions))]),
+                Err(error) => err(error),
+            }
+        }
+        "answer" => {
+            let (session, claim) = match (require_session(request), require_claim(request)) {
+                (Ok(s), Ok(c)) => (s, c),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            let Some(kind) = request
+                .get("kind")
+                .and_then(Json::as_str)
+                .and_then(property_kind)
+            else {
+                return err("missing or invalid `kind`");
+            };
+            let Some(answer) = request.get("answer").and_then(Json::as_str) else {
+                return err("missing `answer`");
+            };
+            match engine.post_answer(session, claim, kind, answer) {
+                Ok(remaining) => ok(vec![("remaining", Json::Num(remaining as f64))]),
+                Err(error) => err(error),
+            }
+        }
+        "suggest" => {
+            let (session, claim) = match (require_session(request), require_claim(request)) {
+                (Ok(s), Ok(c)) => (s, c),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            match engine.suggest(session, claim) {
+                Ok(suggestions) => ok(vec![(
+                    "suggestions",
+                    Json::Arr(suggestions.iter().map(suggestion_json).collect()),
+                )]),
+                Err(error) => err(error),
+            }
+        }
+        "verdict" => {
+            let (session, claim) = match (require_session(request), require_claim(request)) {
+                (Ok(s), Ok(c)) => (s, c),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            let Some(correct) = request.get("correct").and_then(Json::as_bool) else {
+                return err("missing `correct`");
+            };
+            let chosen = request.get("chosen").and_then(Json::as_usize);
+            match engine.post_verdict(session, claim, correct, chosen) {
+                Ok(record) => {
+                    let verdict = match &record.outcome.verdict {
+                        Verdict::Correct { .. } => "correct",
+                        Verdict::Incorrect { .. } => "incorrect",
+                        Verdict::Skipped => "skipped",
+                    };
+                    ok(vec![
+                        ("verdict", Json::Str(verdict.to_string())),
+                        (
+                            "matches_truth",
+                            Json::Bool(record.outcome.verdict_matches_truth),
+                        ),
+                        ("retrained", Json::Bool(record.retrained)),
+                    ])
+                }
+                Err(error) => err(error),
+            }
+        }
+        "sql" => {
+            let Some(query) = request.get("query").and_then(Json::as_str) else {
+                return err("missing `query`");
+            };
+            match engine.run_sql(query) {
+                Ok(value) => ok(vec![("value", Json::Num(value))]),
+                Err(error) => err(error),
+            }
+        }
+        "verify_batch" => {
+            let claims = match claim_list(request) {
+                Ok(c) => c,
+                Err(e) => return e,
+            };
+            if let Some(bad) = claims
+                .iter()
+                .find(|&&id| id >= engine.corpus().claims.len())
+            {
+                return err(format!("unknown claim {bad}"));
+            }
+            let seed = request
+                .get("seed")
+                .and_then(Json::as_f64)
+                .map(|s| s as u64)
+                .unwrap_or(1);
+            let config = WorkerConfig {
+                seed,
+                ..WorkerConfig::default()
+            };
+            let outcomes = engine.verify_batch(&claims, config);
+            ok(vec![(
+                "outcomes",
+                Json::Arr(
+                    outcomes
+                        .iter()
+                        .map(|o| {
+                            let verdict = match &o.verdict {
+                                Verdict::Correct { .. } => "correct",
+                                Verdict::Incorrect { .. } => "incorrect",
+                                Verdict::Skipped => "skipped",
+                            };
+                            obj(vec![
+                                ("claim", Json::Num(o.claim_id as f64)),
+                                ("verdict", Json::Str(verdict.to_string())),
+                                ("matches_truth", Json::Bool(o.verdict_matches_truth)),
+                                ("crowd_seconds", Json::Num(o.crowd_seconds)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )])
+        }
+        "stats" => ok(vec![("stats", stats_json(&engine.stats()))]),
+        "close" => {
+            let session = match require_session(request) {
+                Ok(s) => s,
+                Err(e) => return e,
+            };
+            match engine.close_session(session) {
+                Ok(verified) => ok(vec![(
+                    "verified",
+                    Json::Arr(verified.iter().map(|&id| Json::Num(id as f64)).collect()),
+                )]),
+                Err(error) => err(error),
+            }
+        }
+        other => err(format!("unknown op `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let text = r#"{"op":"answer","session":3,"claim":14,"kind":"relation","answer":"GED \"x\"","nested":[1,2.5,null,true,{"k":"v"}]}"#;
+        let parsed = Json::parse(text).unwrap();
+        assert_eq!(parsed.get("op").and_then(Json::as_str), Some("answer"));
+        assert_eq!(parsed.get("session").and_then(Json::as_usize), Some(3));
+        assert_eq!(
+            parsed.get("answer").and_then(Json::as_str),
+            Some("GED \"x\"")
+        );
+        let reparsed = Json::parse(&parsed.render()).unwrap();
+        assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":1} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn escapes_render_safely() {
+        let value = Json::Str("line\nbreak\t\"quote\" \\ \u{1}".to_string());
+        let rendered = value.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), value);
+    }
+
+    #[test]
+    fn integers_render_without_exponent() {
+        assert_eq!(Json::Num(5.0).render(), "5");
+        assert_eq!(Json::Num(2.5).render(), "2.5");
+    }
+}

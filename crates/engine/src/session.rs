@@ -1,0 +1,134 @@
+//! Per-session state: the claims a checker is working through, each with
+//! its screen progress, validated context, and suggestion state.
+//!
+//! A session is the unit of interaction of the paper's mixed-initiative
+//! loop: the checker submits a report (a set of claims), the engine
+//! proposes property screens and top-k query translations, the checker's
+//! answers flow back, and the engine re-plans the remaining claims with
+//! whatever the models have learned in the meantime.
+
+use scrutinizer_core::planner::ClaimPlan;
+use scrutinizer_core::qgen::QueryCandidate;
+use scrutinizer_core::{PropertyKind, Translation};
+use scrutinizer_data::hash::FxHashMap;
+use scrutinizer_text::SparseVector;
+
+/// Opaque session handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One property screen as shown to a checker.
+#[derive(Debug, Clone)]
+pub struct ScreenView {
+    /// The property being validated.
+    pub kind: PropertyKind,
+    /// Answer options, best first.
+    pub options: Vec<String>,
+}
+
+/// The questions planned for one claim.
+#[derive(Debug, Clone)]
+pub struct ClaimQuestions {
+    /// The claim.
+    pub claim_id: usize,
+    /// Remaining property screens, in presentation order.
+    pub screens: Vec<ScreenView>,
+    /// Expected crowd cost of the claim's plan (seconds).
+    pub expected_cost: f64,
+}
+
+/// One ranked candidate query proposed to the checker.
+#[derive(Debug, Clone)]
+pub struct Suggestion {
+    /// Position in the final screen (0 = best).
+    pub rank: usize,
+    /// Executable SQL.
+    pub sql: String,
+    /// The formula class it instantiates.
+    pub formula: String,
+    /// The value the query evaluates to.
+    pub value: f64,
+    /// Whether that value confirms the claim's stated parameter.
+    pub matches_parameter: bool,
+}
+
+/// Where a claim stands inside its session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimPhase {
+    /// Property screens outstanding.
+    Screening,
+    /// Context settled; suggestions can be generated / were generated.
+    Suggesting,
+    /// Verdict recorded.
+    Done,
+}
+
+/// Per-claim working state.
+pub(crate) struct ClaimTask {
+    pub features: SparseVector,
+    pub translation: Translation,
+    pub plan: ClaimPlan,
+    /// Validated context answers: relation, key, attribute.
+    pub validated: [Option<String>; 3],
+    /// Index of the next unanswered screen in `plan.screens`.
+    pub next_screen: usize,
+    /// Generated candidates, kept for the verdict phase.
+    pub candidates: Vec<QueryCandidate>,
+    pub phase: ClaimPhase,
+}
+
+impl ClaimTask {
+    pub(crate) fn questions(&self, claim_id: usize) -> ClaimQuestions {
+        ClaimQuestions {
+            claim_id,
+            screens: self
+                .plan
+                .screens
+                .iter()
+                .skip(self.next_screen)
+                .map(|screen| ScreenView {
+                    kind: screen.kind,
+                    options: screen.labels(),
+                })
+                .collect(),
+            expected_cost: self.plan.expected_cost,
+        }
+    }
+
+    /// Slot index in `validated` for a crowd-validated property.
+    pub(crate) fn slot(kind: PropertyKind) -> Option<usize> {
+        match kind {
+            PropertyKind::Relation => Some(0),
+            PropertyKind::Key => Some(1),
+            PropertyKind::Attribute => Some(2),
+            PropertyKind::Formula => None,
+        }
+    }
+}
+
+/// One checker's live session.
+pub(crate) struct SessionState {
+    pub checker: String,
+    pub tasks: FxHashMap<usize, ClaimTask>,
+    /// Claims submitted and not yet done, in submission order.
+    pub pending: Vec<usize>,
+    /// Claims with recorded verdicts, in verdict order.
+    pub verified: Vec<usize>,
+}
+
+impl SessionState {
+    pub(crate) fn new(checker: impl Into<String>) -> Self {
+        SessionState {
+            checker: checker.into(),
+            tasks: FxHashMap::default(),
+            pending: Vec::new(),
+            verified: Vec::new(),
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The engine's metrics surface: lock-free counters and per-stage latency
+//! histograms, snapshotted on demand for the `stats` endpoint and the
+//! benches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two latency buckets; bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` microseconds, with the last bucket open-ended. 26
+/// buckets span 1 µs to over a minute.
+const BUCKETS: usize = 26;
+
+/// A log₂-bucketed latency histogram over microseconds. Recording is a
+/// single relaxed atomic increment; snapshots derive mean and
+/// percentile estimates from the buckets.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one duration.
+    pub fn record(&self, elapsed: Duration) {
+        let micros = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Times `routine`, records the elapsed time, and passes its result
+    /// through.
+    pub fn time<T>(&self, routine: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let result = routine();
+        self.record(start.elapsed());
+        result
+    }
+
+    /// A consistent-enough copy for reporting (relaxed reads; counters may
+    /// lag each other by in-flight recordings).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let total_micros = self.total_micros.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            total_micros,
+        }
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Sample count per power-of-two bucket (microseconds).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples, microseconds.
+    pub total_micros: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate (bucket ceiling) of the `q`-quantile in
+    /// microseconds, `q` in `[0, 1]`.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << (i + 1); // bucket ceiling
+            }
+        }
+        1u64 << self.buckets.len()
+    }
+}
+
+/// Everything the engine counts, one atomic per series.
+#[derive(Default)]
+pub struct EngineStats {
+    /// Sessions ever opened.
+    pub sessions_opened: AtomicU64,
+    /// Sessions closed.
+    pub sessions_closed: AtomicU64,
+    /// Claims whose verdict has been recorded.
+    pub claims_verified: AtomicU64,
+    /// Property-screen answers posted by checkers.
+    pub answers_posted: AtomicU64,
+    /// Candidate-query suggestion batches produced (Algorithm 2 runs).
+    pub suggestions_served: AtomicU64,
+    /// Model retrains triggered by verified-claim accumulation.
+    pub retrains: AtomicU64,
+    /// Raw SQL statements executed through the serving layer.
+    pub sql_executed: AtomicU64,
+    /// Latency of claim planning (translation + screen selection).
+    pub plan_latency: LatencyHistogram,
+    /// Latency of query generation (Algorithm 2, cache-assisted).
+    pub suggest_latency: LatencyHistogram,
+    /// Latency of full single-claim verification drives.
+    pub verify_latency: LatencyHistogram,
+    /// Latency of model retraining.
+    pub retrain_latency: LatencyHistogram,
+}
+
+impl EngineStats {
+    /// Bumps a counter by one.
+    pub fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of the whole engine, as returned by
+/// [`Engine::stats`](crate::Engine::stats).
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Sessions ever opened.
+    pub sessions_opened: u64,
+    /// Sessions closed.
+    pub sessions_closed: u64,
+    /// Sessions currently live.
+    pub sessions_live: u64,
+    /// Claims whose verdict has been recorded.
+    pub claims_verified: u64,
+    /// Property-screen answers posted.
+    pub answers_posted: u64,
+    /// Suggestion batches produced.
+    pub suggestions_served: u64,
+    /// Model retrains.
+    pub retrains: u64,
+    /// Raw SQL statements executed.
+    pub sql_executed: u64,
+    /// Query-result cache hits.
+    pub cache_hits: u64,
+    /// Query-result cache misses.
+    pub cache_misses: u64,
+    /// Cache hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Entries resident in the cache.
+    pub cache_entries: usize,
+    /// Jobs waiting in the executor queue.
+    pub queue_depth: usize,
+    /// Jobs currently executing.
+    pub in_flight: usize,
+    /// Planning latency.
+    pub plan_latency: HistogramSnapshot,
+    /// Suggestion (Algorithm 2) latency.
+    pub suggest_latency: HistogramSnapshot,
+    /// Single-claim verification latency.
+    pub verify_latency: HistogramSnapshot,
+    /// Retrain latency.
+    pub retrain_latency: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(1000));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.buckets[0], 1); // [1, 2)
+        assert_eq!(snap.buckets[1], 1); // [2, 4)
+        assert_eq!(snap.buckets[9], 1); // [512, 1024)
+        assert!((snap.mean_micros() - (1.0 + 3.0 + 1000.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_bucket_ceilings() {
+        let h = LatencyHistogram::default();
+        for i in 0..100u64 {
+            h.record(Duration::from_micros(i + 1));
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile_micros(0.5);
+        let p99 = snap.quantile_micros(0.99);
+        assert!(p50 <= p99);
+        assert!((32..=64).contains(&p50), "p50 ceiling {p50}");
+        assert!((64..=128).contains(&p99), "p99 ceiling {p99}");
+    }
+
+    #[test]
+    fn sub_microsecond_goes_to_first_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(10));
+        assert_eq!(h.snapshot().buckets[0], 1);
+    }
+
+    #[test]
+    fn time_passes_result_through() {
+        let h = LatencyHistogram::default();
+        let out = h.time(|| 21 * 2);
+        assert_eq!(out, 42);
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

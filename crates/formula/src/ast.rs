@@ -25,7 +25,11 @@ impl Lookup {
         key: impl Into<String>,
         attribute: impl Into<String>,
     ) -> Self {
-        Lookup { relation: relation.into(), key: key.into(), attribute: attribute.into() }
+        Lookup {
+            relation: relation.into(),
+            key: key.into(),
+            attribute: attribute.into(),
+        }
     }
 }
 
@@ -73,12 +77,19 @@ pub enum Formula {
 impl Formula {
     /// Convenience constructor for binary nodes.
     pub fn binary(op: BinOp, left: Formula, right: Formula) -> Formula {
-        Formula::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Formula::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Convenience constructor for function calls.
     pub fn func(name: impl Into<String>, args: Vec<Formula>) -> Formula {
-        Formula::Func { name: name.into().to_ascii_uppercase(), args }
+        Formula::Func {
+            name: name.into().to_ascii_uppercase(),
+            args,
+        }
     }
 
     /// Pre-order traversal.
@@ -156,7 +167,10 @@ fn write_formula(f: &mut fmt::Formatter<'_>, formula: &Formula, parent_prec: u8)
         }
         Formula::Var(i) => write!(f, "{}", var_name(*i)),
         Formula::AttrVar(i) => write!(f, "A{}", i + 1),
-        Formula::Unary { op: UnaryOp::Neg, expr } => {
+        Formula::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => {
             write!(f, "-")?;
             write_formula(f, expr, u8::MAX)
         }

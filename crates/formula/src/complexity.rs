@@ -54,8 +54,7 @@ mod tests {
     #[test]
     fn duplicate_keys_and_attrs_counted_once() {
         let f = parse_formula("a + b").unwrap();
-        let lookups =
-            vec![Lookup::new("T", "X", "2017"), Lookup::new("U", "X", "2017")];
+        let lookups = vec![Lookup::new("T", "X", "2017"), Lookup::new("U", "X", "2017")];
         // 3 elements + 1 key + 1 attribute = 5
         assert_eq!(claim_complexity(&f, &lookups), 5);
     }
@@ -64,8 +63,7 @@ mod tests {
     fn complexity_monotone_in_formula_size() {
         let small = parse_formula("a / b").unwrap();
         let large = parse_formula("ABS(a / b - 1) * 100").unwrap();
-        let lookups =
-            vec![Lookup::new("T", "X", "2017"), Lookup::new("T", "X", "2016")];
+        let lookups = vec![Lookup::new("T", "X", "2017"), Lookup::new("T", "X", "2016")];
         assert!(claim_complexity(&large, &lookups) > claim_complexity(&small, &lookups));
     }
 }

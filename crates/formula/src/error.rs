@@ -93,7 +93,10 @@ mod tests {
     fn display() {
         let e = FormulaError::MissingBinding { var: 1 };
         assert!(e.to_string().contains("`b`"));
-        let e = FormulaError::NonNumericAttribute { var: 0, attribute: "Total".into() };
+        let e = FormulaError::NonNumericAttribute {
+            var: 0,
+            attribute: "Total".into(),
+        };
         assert!(e.to_string().contains("A1"));
         assert!(e.to_string().contains("Total"));
     }

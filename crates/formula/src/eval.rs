@@ -22,19 +22,27 @@ pub fn eval_formula(
     match formula {
         Formula::Const(n) => Ok(*n),
         Formula::Var(i) => {
-            let lookup = lookups.get(*i).ok_or(FormulaError::MissingBinding { var: *i })?;
+            let lookup = lookups
+                .get(*i)
+                .ok_or(FormulaError::MissingBinding { var: *i })?;
             fetch(catalog, lookup)
         }
         Formula::AttrVar(i) => {
-            let lookup = lookups.get(*i).ok_or(FormulaError::MissingBinding { var: *i })?;
-            lookup.attribute.parse().map_err(|_| FormulaError::NonNumericAttribute {
-                var: *i,
-                attribute: lookup.attribute.clone(),
-            })
+            let lookup = lookups
+                .get(*i)
+                .ok_or(FormulaError::MissingBinding { var: *i })?;
+            lookup
+                .attribute
+                .parse()
+                .map_err(|_| FormulaError::NonNumericAttribute {
+                    var: *i,
+                    attribute: lookup.attribute.clone(),
+                })
         }
-        Formula::Unary { op: UnaryOp::Neg, expr } => {
-            Ok(-eval_formula(catalog, registry, expr, lookups)?)
-        }
+        Formula::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => Ok(-eval_formula(catalog, registry, expr, lookups)?),
         Formula::Binary { op, left, right } => {
             let l = eval_formula(catalog, registry, left, lookups)?;
             let r = eval_formula(catalog, registry, right, lookups)?;
@@ -53,7 +61,9 @@ pub fn eval_formula(
 /// Fetches the numeric cell a lookup denotes.
 pub fn fetch(catalog: &Catalog, lookup: &Lookup) -> Result<f64> {
     let table = catalog.get(&lookup.relation).map_err(QueryError::Data)?;
-    let value = table.get(&lookup.key, &lookup.attribute).map_err(QueryError::Data)?;
+    let value = table
+        .get(&lookup.key, &lookup.attribute)
+        .map_err(QueryError::Data)?;
     value.as_f64().ok_or_else(|| {
         FormulaError::Query(QueryError::Arithmetic(format!(
             "{lookup} is {} `{value}`, not numeric",
@@ -134,13 +144,7 @@ mod tests {
         let cat = catalog();
         let registry = FunctionRegistry::standard();
         let f = parse_formula("a").unwrap();
-        assert!(eval_formula(
-            &cat,
-            &registry,
-            &f,
-            &[Lookup::new("GED", "Nope", "2017")]
-        )
-        .is_err());
+        assert!(eval_formula(&cat, &registry, &f, &[Lookup::new("GED", "Nope", "2017")]).is_err());
         assert!(eval_formula(
             &cat,
             &registry,

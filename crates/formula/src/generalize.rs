@@ -62,9 +62,10 @@ fn walk(expr: &Expr, resolve: &mut impl FnMut(&str, &str) -> Result<usize>) -> R
     Ok(match expr {
         Expr::Number(n) => Formula::Const(*n),
         Expr::Column { alias, column } => Formula::Var(resolve(alias, column)?),
-        Expr::Unary { op, expr } => {
-            Formula::Unary { op: *op, expr: Box::new(walk(expr, resolve)?) }
-        }
+        Expr::Unary { op, expr } => Formula::Unary {
+            op: *op,
+            expr: Box::new(walk(expr, resolve)?),
+        },
         Expr::Binary { op, left, right } => Formula::Binary {
             op: *op,
             left: Box::new(walk(left, resolve)?),
@@ -75,7 +76,10 @@ fn walk(expr: &Expr, resolve: &mut impl FnMut(&str, &str) -> Result<usize>) -> R
             for a in args {
                 out.push(walk(a, resolve)?);
             }
-            Formula::Func { name: name.clone(), args: out }
+            Formula::Func {
+                name: name.clone(),
+                args: out,
+            }
         }
     })
 }
@@ -86,16 +90,21 @@ fn walk(expr: &Expr, resolve: &mut impl FnMut(&str, &str) -> Result<usize>) -> R
 fn substitute_attr_constants(formula: Formula, lookups: &[Lookup]) -> Formula {
     match formula {
         Formula::Const(n) => {
-            let printed = if n.fract() == 0.0 { format!("{}", n as i64) } else { n.to_string() };
+            let printed = if n.fract() == 0.0 {
+                format!("{}", n as i64)
+            } else {
+                n.to_string()
+            };
             if let Some(i) = lookups.iter().position(|l| l.attribute == printed) {
                 Formula::AttrVar(i)
             } else {
                 Formula::Const(n)
             }
         }
-        Formula::Unary { op, expr } => {
-            Formula::Unary { op, expr: Box::new(substitute_attr_constants(*expr, lookups)) }
-        }
+        Formula::Unary { op, expr } => Formula::Unary {
+            op,
+            expr: Box::new(substitute_attr_constants(*expr, lookups)),
+        },
         Formula::Binary { op, left, right } => Formula::Binary {
             op,
             left: Box::new(substitute_attr_constants(*left, lookups)),
@@ -103,7 +112,10 @@ fn substitute_attr_constants(formula: Formula, lookups: &[Lookup]) -> Formula {
         },
         Formula::Func { name, args } => Formula::Func {
             name,
-            args: args.into_iter().map(|a| substitute_attr_constants(a, lookups)).collect(),
+            args: args
+                .into_iter()
+                .map(|a| substitute_attr_constants(a, lookups))
+                .collect(),
         },
         other => other,
     }
@@ -136,10 +148,8 @@ mod tests {
 
     #[test]
     fn repeated_column_reuses_variable() {
-        let stmt = parse(
-            "SELECT (a.2017 - a.2016) / a.2016 FROM GED a WHERE a.Index = 'X'",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT (a.2017 - a.2016) / a.2016 FROM GED a WHERE a.Index = 'X'").unwrap();
         let g = generalize(&stmt).unwrap();
         // a.2017 → a, a.2016 → b (reused)
         assert_eq!(g.formula.to_string(), "(a - b) / b");
@@ -148,8 +158,7 @@ mod tests {
 
     #[test]
     fn constants_unrelated_to_attributes_survive() {
-        let stmt =
-            parse("SELECT a.2017 * 100 FROM GED a WHERE a.Index = 'X'").unwrap();
+        let stmt = parse("SELECT a.2017 * 100 FROM GED a WHERE a.Index = 'X'").unwrap();
         let g = generalize(&stmt).unwrap();
         assert_eq!(g.formula.to_string(), "a * 100");
     }
@@ -166,10 +175,8 @@ mod tests {
     #[test]
     fn ambiguous_alias_rejected() {
         // two key candidates for `a` — the messy-annotation case
-        let stmt = parse(
-            "SELECT a.2017 FROM GED a WHERE (a.Index = 'X' OR a.Index = 'Y')",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT a.2017 FROM GED a WHERE (a.Index = 'X' OR a.Index = 'Y')").unwrap();
         assert!(generalize(&stmt).is_err());
     }
 

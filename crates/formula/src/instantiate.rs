@@ -32,28 +32,40 @@ pub fn instantiate(formula: &Formula, lookups: &[Lookup]) -> Result<SelectStmt> 
             value: lookup.key.clone(),
         }]);
     }
-    Ok(SelectStmt { projection, from, where_groups })
+    Ok(SelectStmt {
+        projection,
+        from,
+        where_groups,
+    })
 }
 
 fn build_expr(formula: &Formula, lookups: &[Lookup]) -> Result<Expr> {
     Ok(match formula {
         Formula::Const(n) => Expr::Number(*n),
         Formula::Var(i) => {
-            let lookup =
-                lookups.get(*i).ok_or(FormulaError::MissingBinding { var: *i })?;
+            let lookup = lookups
+                .get(*i)
+                .ok_or(FormulaError::MissingBinding { var: *i })?;
             Expr::column(var_name(*i), lookup.attribute.clone())
         }
         Formula::AttrVar(i) => {
-            let lookup =
-                lookups.get(*i).ok_or(FormulaError::MissingBinding { var: *i })?;
-            let value: f64 = lookup.attribute.parse().map_err(|_| {
-                FormulaError::NonNumericAttribute { var: *i, attribute: lookup.attribute.clone() }
-            })?;
+            let lookup = lookups
+                .get(*i)
+                .ok_or(FormulaError::MissingBinding { var: *i })?;
+            let value: f64 =
+                lookup
+                    .attribute
+                    .parse()
+                    .map_err(|_| FormulaError::NonNumericAttribute {
+                        var: *i,
+                        attribute: lookup.attribute.clone(),
+                    })?;
             Expr::Number(value)
         }
-        Formula::Unary { op, expr } => {
-            Expr::Unary { op: *op, expr: Box::new(build_expr(expr, lookups)?) }
-        }
+        Formula::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(build_expr(expr, lookups)?),
+        },
         Formula::Binary { op, left, right } => Expr::Binary {
             op: *op,
             left: Box::new(build_expr(left, lookups)?),
@@ -64,7 +76,10 @@ fn build_expr(formula: &Formula, lookups: &[Lookup]) -> Result<Expr> {
             for a in args {
                 out.push(build_expr(a, lookups)?);
             }
-            Expr::Func { name: name.clone(), args: out }
+            Expr::Func {
+                name: name.clone(),
+                args: out,
+            }
         }
     })
 }
@@ -97,11 +112,23 @@ mod tests {
         for (src, lookups) in [
             (
                 "POWER(a/b, 1/(A1-A2)) - 1",
-                vec![Lookup::new("GED", "K1", "2017"), Lookup::new("GED", "K1", "2016")],
+                vec![
+                    Lookup::new("GED", "K1", "2017"),
+                    Lookup::new("GED", "K1", "2016"),
+                ],
             ),
-            ("(a - b) / b", vec![Lookup::new("T", "X", "2030"), Lookup::new("T", "X", "2017")]),
+            (
+                "(a - b) / b",
+                vec![Lookup::new("T", "X", "2030"), Lookup::new("T", "X", "2017")],
+            ),
             ("a > 100", vec![Lookup::new("rel", "r", "2010")]),
-            ("RATIO(a, b)", vec![Lookup::new("W", "wind", "2017"), Lookup::new("W", "wind", "2000")]),
+            (
+                "RATIO(a, b)",
+                vec![
+                    Lookup::new("W", "wind", "2017"),
+                    Lookup::new("W", "wind", "2000"),
+                ],
+            ),
         ] {
             let formula = parse_formula(src).unwrap();
             let stmt = instantiate(&formula, &lookups).unwrap();
@@ -141,7 +168,10 @@ mod tests {
         let formula = parse_formula("SUM(a, b) / 2").unwrap();
         let stmt = instantiate(
             &formula,
-            &[Lookup::new("T1", "k1", "2017"), Lookup::new("T2", "k2", "2017")],
+            &[
+                Lookup::new("T1", "k1", "2017"),
+                Lookup::new("T2", "k2", "2017"),
+            ],
         )
         .unwrap();
         let reparsed = parse(&stmt.to_string()).unwrap();

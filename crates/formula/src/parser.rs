@@ -12,8 +12,7 @@ use scrutinizer_query::{BinOp, UnaryOp};
 
 /// Parses formula text.
 pub fn parse_formula(input: &str) -> Result<Formula> {
-    let tokens =
-        tokenize(input).map_err(|e| FormulaError::Parse(e.to_string()))?;
+    let tokens = tokenize(input).map_err(|e| FormulaError::Parse(e.to_string()))?;
     let mut p = Parser { tokens, pos: 0 };
     let formula = p.expr(0)?;
     if !matches!(p.peek(), TokenKind::Eof) {
@@ -38,7 +37,10 @@ fn validate_contiguous(formula: &Formula) -> Result<()> {
     });
     if let Some(&max_index) = seen.iter().max() {
         if max_index + 1 != seen.len() {
-            return Err(FormulaError::NonContiguousVars { found: seen.len(), max_index });
+            return Err(FormulaError::NonContiguousVars {
+                found: seen.len(),
+                max_index,
+            });
         }
     }
     Ok(())
@@ -63,7 +65,10 @@ impl Parser {
     }
 
     fn error(&self, expected: &str) -> FormulaError {
-        FormulaError::Parse(format!("expected {expected}, found {}", self.peek().describe()))
+        FormulaError::Parse(format!(
+            "expected {expected}, found {}",
+            self.peek().describe()
+        ))
     }
 
     fn expr(&mut self, min_prec: u8) -> Result<Formula> {
@@ -96,7 +101,10 @@ impl Parser {
         if matches!(self.peek(), TokenKind::Minus) {
             self.advance();
             let inner = self.unary()?;
-            return Ok(Formula::Unary { op: UnaryOp::Neg, expr: Box::new(inner) });
+            return Ok(Formula::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
         }
         self.primary()
     }
@@ -105,8 +113,9 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Number(raw) => {
                 self.advance();
-                let value: f64 =
-                    raw.parse().map_err(|_| FormulaError::Parse(format!("bad number `{raw}`")))?;
+                let value: f64 = raw
+                    .parse()
+                    .map_err(|_| FormulaError::Parse(format!("bad number `{raw}`")))?;
                 Ok(Formula::Const(value))
             }
             TokenKind::LParen => {
@@ -160,7 +169,9 @@ fn classify_ident(name: &str) -> Result<Formula> {
             .parse()
             .map_err(|_| FormulaError::Parse(format!("bad attribute variable `{name}`")))?;
         if index == 0 {
-            return Err(FormulaError::Parse("attribute variables start at A1".into()));
+            return Err(FormulaError::Parse(
+                "attribute variables start at A1".into(),
+            ));
         }
         return Ok(Formula::AttrVar(index - 1));
     }
@@ -207,7 +218,13 @@ mod tests {
     #[test]
     fn rejects_non_contiguous_vars() {
         let err = parse_formula("a + c").unwrap_err();
-        assert!(matches!(err, FormulaError::NonContiguousVars { found: 2, max_index: 2 }));
+        assert!(matches!(
+            err,
+            FormulaError::NonContiguousVars {
+                found: 2,
+                max_index: 2
+            }
+        ));
         // A2 implies a second variable exists (its lookup supplies the
         // attribute), so `a + A2` is contiguous — but A3 skips variable 2:
         assert!(parse_formula("a + A2").is_ok());
@@ -225,13 +242,19 @@ mod tests {
 
     #[test]
     fn rejects_unknown_identifiers() {
-        assert!(matches!(parse_formula("ab + 1"), Err(FormulaError::Parse(_))));
+        assert!(matches!(
+            parse_formula("ab + 1"),
+            Err(FormulaError::Parse(_))
+        ));
         assert!(matches!(parse_formula("B1"), Err(FormulaError::Parse(_))));
     }
 
     #[test]
     fn rejects_trailing_tokens() {
-        assert!(matches!(parse_formula("a + b)"), Err(FormulaError::Parse(_))));
+        assert!(matches!(
+            parse_formula("a + b)"),
+            Err(FormulaError::Parse(_))
+        ));
     }
 
     #[test]

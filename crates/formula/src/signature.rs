@@ -66,7 +66,7 @@ mod tests {
 
     #[test]
     fn signatures_order_deterministically() {
-        let mut sigs = vec![
+        let mut sigs = [
             Signature::of(&parse_formula("a / b").unwrap()),
             Signature::of(&parse_formula("a - b").unwrap()),
             Signature::of(&parse_formula("a + b").unwrap()),

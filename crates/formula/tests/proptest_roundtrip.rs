@@ -16,8 +16,7 @@ fn formula_strategy(vars: usize) -> impl Strategy<Value = Formula> {
         prop_oneof![
             (inner.clone(), inner.clone(), arith_op())
                 .prop_map(|(l, r, op)| Formula::binary(op, l, r)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Formula::func("MAX", vec![l, r])),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Formula::func("MAX", vec![l, r])),
             (inner.clone(), inner).prop_map(|(l, r)| Formula::func("SUM", vec![l, r])),
         ]
     })
@@ -56,8 +55,9 @@ fn test_catalog(n: usize) -> scrutinizer_data::Catalog {
     let attrs: Vec<String> = (0..n.max(1)).map(|j| format!("{}", 2000 + j)).collect();
     let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
     for i in 0..n.max(1) {
-        let values: Vec<f64> =
-            (0..n.max(1)).map(|j| 3.0 + 7.0 * i as f64 + 13.0 * j as f64).collect();
+        let values: Vec<f64> = (0..n.max(1))
+            .map(|j| 3.0 + 7.0 * i as f64 + 13.0 * j as f64)
+            .collect();
         let table = TableBuilder::new(&format!("T{i}"), "Index", &attr_refs)
             .row(&format!("K{i}"), &values)
             .unwrap()

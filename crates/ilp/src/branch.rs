@@ -20,7 +20,11 @@ pub struct BranchConfig {
 
 impl Default for BranchConfig {
     fn default() -> Self {
-        BranchConfig { node_limit: 20_000, gap: 1e-6, int_tol: 1e-6 }
+        BranchConfig {
+            node_limit: 20_000,
+            gap: 1e-6,
+            int_tol: 1e-6,
+        }
     }
 }
 
@@ -63,13 +67,14 @@ pub fn solve_ilp(model: &Model, config: BranchConfig) -> Result<Solution> {
     let root_lower: Vec<f64> = model.variables.iter().map(|v| v.lower).collect();
     let root_upper: Vec<f64> = model.variables.iter().map(|v| v.upper).collect();
 
-    let root = match solve_lp(model, &root_lower, &root_upper) {
-        Ok(sol) => sol,
-        Err(e) => return Err(e),
-    };
+    let root = solve_lp(model, &root_lower, &root_upper)?;
 
     let mut heap = BinaryHeap::new();
-    heap.push(Node { bound: sign * root.objective, lower: root_lower, upper: root_upper });
+    heap.push(Node {
+        bound: sign * root.objective,
+        lower: root_lower,
+        upper: root_upper,
+    });
 
     let mut incumbent: Option<Solution> = None;
     let mut incumbent_value = f64::NEG_INFINITY; // maximize convention
@@ -113,17 +118,28 @@ pub fn solve_ilp(model: &Model, config: BranchConfig) -> Result<Solution> {
                 let value = sign * objective;
                 if value > incumbent_value && model.is_feasible(&values, 1e-6) {
                     incumbent_value = value;
-                    incumbent =
-                        Some(Solution { values, objective, status: SolveStatus::Optimal });
+                    incumbent = Some(Solution {
+                        values,
+                        objective,
+                        status: SolveStatus::Optimal,
+                    });
                 }
             }
             Some((var, _)) => {
                 let mut down_upper = node.upper.clone();
                 down_upper[var] = 0.0;
-                heap.push(Node { bound, lower: node.lower.clone(), upper: down_upper });
+                heap.push(Node {
+                    bound,
+                    lower: node.lower.clone(),
+                    upper: down_upper,
+                });
                 let mut up_lower = node.lower.clone();
                 up_lower[var] = 1.0;
-                heap.push(Node { bound, lower: up_lower, upper: node.upper });
+                heap.push(Node {
+                    bound,
+                    lower: up_lower,
+                    upper: node.upper,
+                });
             }
         }
     }
@@ -144,7 +160,8 @@ mod tests {
         let a = m.add_binary("a", 10.0);
         let b = m.add_binary("b", 13.0);
         let c = m.add_binary("c", 7.0);
-        m.add_constraint(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Sense::Le, 6.0).unwrap();
+        m.add_constraint(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Sense::Le, 6.0)
+            .unwrap();
         let sol = solve_ilp(&m, BranchConfig::default()).unwrap();
         assert!((sol.objective - 20.0).abs() < 1e-6);
         assert!(sol.is_set(b) && sol.is_set(c) && !sol.is_set(a));
@@ -157,7 +174,8 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_binary("x", 1.0);
         let y = m.add_binary("y", 1.0);
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 1.5).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 1.5)
+            .unwrap();
         let sol = solve_ilp(&m, BranchConfig::default()).unwrap();
         assert!((sol.objective - 1.0).abs() < 1e-6);
     }
@@ -166,11 +184,14 @@ mod tests {
     fn equality_and_linking_constraints() {
         // choose exactly 2 of 3 items; y must cover chosen sections
         let mut m = Model::maximize();
-        let items: Vec<_> = (0..3).map(|i| m.add_binary(format!("c{i}"), (i + 1) as f64)).collect();
+        let items: Vec<_> = (0..3)
+            .map(|i| m.add_binary(format!("c{i}"), (i + 1) as f64))
+            .collect();
         let section = m.add_binary("s0", -0.5); // section cost
-        // all items live in section 0: s0 ≥ ci
+                                                // all items live in section 0: s0 ≥ ci
         for &c in &items {
-            m.add_constraint(vec![(section, 1.0), (c, -1.0)], Sense::Ge, 0.0).unwrap();
+            m.add_constraint(vec![(section, 1.0), (c, -1.0)], Sense::Ge, 0.0)
+                .unwrap();
         }
         let terms: Vec<_> = items.iter().map(|&c| (c, 1.0)).collect();
         m.add_constraint(terms, Sense::Eq, 2.0).unwrap();
@@ -187,7 +208,8 @@ mod tests {
         let mut m = Model::minimize();
         let x = m.add_binary("x", 1.0);
         let y = m.add_binary("y", 2.0);
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 1.0)
+            .unwrap();
         let sol = solve_ilp(&m, BranchConfig::default()).unwrap();
         assert!((sol.objective - 1.0).abs() < 1e-6);
         assert!(sol.is_set(x) && !sol.is_set(y));
@@ -198,17 +220,28 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_binary("x", 1.0);
         m.add_constraint(vec![(x, 1.0)], Sense::Ge, 2.0).unwrap();
-        assert!(matches!(solve_ilp(&m, BranchConfig::default()), Err(IlpError::Infeasible)));
+        assert!(matches!(
+            solve_ilp(&m, BranchConfig::default()),
+            Err(IlpError::Infeasible)
+        ));
     }
 
     #[test]
     fn node_limit_returns_incumbent() {
         // a model with many symmetric optima; tiny node limit
         let mut m = Model::maximize();
-        let vars: Vec<_> = (0..12).map(|i| m.add_binary(format!("x{i}"), 1.0)).collect();
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.add_binary(format!("x{i}"), 1.0))
+            .collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
         m.add_constraint(terms, Sense::Le, 6.0).unwrap();
-        match solve_ilp(&m, BranchConfig { node_limit: 1, ..Default::default() }) {
+        match solve_ilp(
+            &m,
+            BranchConfig {
+                node_limit: 1,
+                ..Default::default()
+            },
+        ) {
             Err(IlpError::NodeLimit(Some(sol))) => {
                 assert!(sol.objective <= 6.0 + 1e-9);
             }
@@ -223,7 +256,8 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_binary("x", 2.0);
         let y = m.add_continuous("y", 0.0, 3.5, 1.0).unwrap();
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 4.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 4.0)
+            .unwrap();
         let sol = solve_ilp(&m, BranchConfig::default()).unwrap();
         // x=1, y=3 → 5
         assert!((sol.objective - 5.0).abs() < 1e-6);

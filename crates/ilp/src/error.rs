@@ -37,10 +37,17 @@ impl fmt::Display for IlpError {
             IlpError::NodeLimit(best) => write!(
                 f,
                 "branch & bound node limit reached ({})",
-                if best.is_some() { "incumbent available" } else { "no incumbent" }
+                if best.is_some() {
+                    "incumbent available"
+                } else {
+                    "no incumbent"
+                }
             ),
             IlpError::BadBounds { var, lower, upper } => {
-                write!(f, "variable {var} has inconsistent bounds [{lower}, {upper}]")
+                write!(
+                    f,
+                    "variable {var} has inconsistent bounds [{lower}, {upper}]"
+                )
             }
         }
     }

@@ -9,7 +9,11 @@
 /// subsets with Σ weight ≤ capacity. Returns `(best_value, chosen_indices)`;
 /// indices are ascending.
 pub fn knapsack_01(weights: &[u64], values: &[f64], capacity: u64) -> (f64, Vec<usize>) {
-    assert_eq!(weights.len(), values.len(), "weights/values length mismatch");
+    assert_eq!(
+        weights.len(),
+        values.len(),
+        "weights/values length mismatch"
+    );
     let n = weights.len();
     let cap = capacity as usize;
     // dp[w] = best value with capacity w; keep[i][w] = item i taken at w

@@ -106,12 +106,20 @@ pub struct Model {
 impl Model {
     /// Creates a minimization model.
     pub fn minimize() -> Self {
-        Model { variables: Vec::new(), constraints: Vec::new(), direction: Direction::Minimize }
+        Model {
+            variables: Vec::new(),
+            constraints: Vec::new(),
+            direction: Direction::Minimize,
+        }
     }
 
     /// Creates a maximization model.
     pub fn maximize() -> Self {
-        Model { variables: Vec::new(), constraints: Vec::new(), direction: Direction::Maximize }
+        Model {
+            variables: Vec::new(),
+            constraints: Vec::new(),
+            direction: Direction::Maximize,
+        }
     }
 
     /// Adds a continuous variable with bounds `[lower, upper]` and objective
@@ -124,7 +132,11 @@ impl Model {
         objective: f64,
     ) -> Result<VarId> {
         if lower > upper {
-            return Err(IlpError::BadBounds { var: self.variables.len(), lower, upper });
+            return Err(IlpError::BadBounds {
+                var: self.variables.len(),
+                lower,
+                upper,
+            });
         }
         let id = VarId(self.variables.len());
         self.variables.push(Variable {
@@ -198,7 +210,11 @@ impl Model {
 
     /// Objective value of an assignment under the model direction.
     pub fn objective_value(&self, values: &[f64]) -> f64 {
-        self.variables.iter().zip(values).map(|(v, x)| v.objective * x).sum()
+        self.variables
+            .iter()
+            .zip(values)
+            .map(|(v, x)| v.objective * x)
+            .sum()
     }
 
     /// Checks whether `values` satisfies every constraint and bound within
@@ -239,7 +255,8 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_continuous("x", 0.0, 10.0, 1.0).unwrap();
         let y = m.add_binary("y", 5.0);
-        m.add_constraint(vec![(x, 1.0), (y, 2.0)], Sense::Le, 8.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 2.0)], Sense::Le, 8.0)
+            .unwrap();
         assert_eq!(m.num_variables(), 2);
         assert_eq!(m.num_constraints(), 1);
         assert_eq!(m.binary_vars(), vec![y]);
@@ -271,7 +288,8 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_continuous("x", 0.0, 4.0, 1.0).unwrap();
         let y = m.add_binary("y", 1.0);
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 4.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 4.0)
+            .unwrap();
         assert!(m.is_feasible(&[3.0, 1.0], 1e-9));
         assert!(!m.is_feasible(&[4.0, 1.0], 1e-9), "constraint violated");
         assert!(!m.is_feasible(&[3.0, 0.5], 1e-9), "binary fractional");

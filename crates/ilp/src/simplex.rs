@@ -48,7 +48,13 @@ pub fn solve_lp(model: &Model, lower: &[f64], upper: &[f64]) -> Result<LpSolutio
         .variables
         .iter()
         .enumerate()
-        .map(|(i, v)| if width[i] <= TOL { 0.0 } else { sign * v.objective })
+        .map(|(i, v)| {
+            if width[i] <= TOL {
+                0.0
+            } else {
+                sign * v.objective
+            }
+        })
         .collect();
 
     // rows: model constraints with rhs adjusted by lower bounds,
@@ -71,13 +77,21 @@ pub fn solve_lp(model: &Model, lower: &[f64], upper: &[f64]) -> Result<LpSolutio
                 coeffs[i] = 0.0; // fixed variable contributes via rhs only
             }
         }
-        rows.push(Row { coeffs, sense: c.sense, rhs });
+        rows.push(Row {
+            coeffs,
+            sense: c.sense,
+            rhs,
+        });
     }
     for i in 0..n {
         if width[i] > TOL && width[i].is_finite() {
             let mut coeffs = vec![0.0; n];
             coeffs[i] = 1.0;
-            rows.push(Row { coeffs, sense: Sense::Le, rhs: width[i] });
+            rows.push(Row {
+                coeffs,
+                sense: Sense::Le,
+                rhs: width[i],
+            });
         }
     }
 
@@ -143,8 +157,7 @@ pub fn solve_lp(model: &Model, lower: &[f64], upper: &[f64]) -> Result<LpSolutio
         for &c in &artificial_cols {
             phase1[c] = 1.0;
         }
-        let value =
-            run_simplex(&mut tableau, &mut basis, &phase1, total, max_iterations)?;
+        let value = run_simplex(&mut tableau, &mut basis, &phase1, total, max_iterations)?;
         if value > 1e-6 {
             return Err(IlpError::Infeasible);
         }
@@ -177,8 +190,9 @@ pub fn solve_lp(model: &Model, lower: &[f64], upper: &[f64]) -> Result<LpSolutio
             shifted[b] = tableau[r][total];
         }
     }
-    let values: Vec<f64> =
-        (0..n).map(|i| lower[i] + if width[i] <= TOL { 0.0 } else { shifted[i] }).collect();
+    let values: Vec<f64> = (0..n)
+        .map(|i| lower[i] + if width[i] <= TOL { 0.0 } else { shifted[i] })
+        .collect();
     let objective = model.objective_value(&values);
     Ok(LpSolution { values, objective })
 }
@@ -218,8 +232,7 @@ fn run_simplex(
                 let better = match leaving {
                     None => true,
                     Some((lr, lratio)) => {
-                        ratio < lratio - TOL
-                            || (ratio < lratio + TOL && basis[r] < basis[lr])
+                        ratio < lratio - TOL || (ratio < lratio + TOL && basis[r] < basis[lr])
                     }
                 };
                 if better {
@@ -265,8 +278,8 @@ fn normalize_and_eliminate(
 ) {
     let pivot_value = tableau[row][col];
     debug_assert!(pivot_value.abs() > 1e-12, "zero pivot");
-    for c in 0..=total {
-        tableau[row][c] /= pivot_value;
+    for cell in tableau[row].iter_mut().take(total + 1) {
+        *cell /= pivot_value;
     }
     let pivot_row = tableau[row].clone();
     for (r, line) in tableau.iter_mut().enumerate() {
@@ -303,7 +316,8 @@ mod tests {
         let y = m.add_continuous("y", 0.0, f64::INFINITY, 5.0).unwrap();
         m.add_constraint(vec![(x, 1.0)], Sense::Le, 4.0).unwrap();
         m.add_constraint(vec![(y, 2.0)], Sense::Le, 12.0).unwrap();
-        m.add_constraint(vec![(x, 3.0), (y, 2.0)], Sense::Le, 18.0).unwrap();
+        m.add_constraint(vec![(x, 3.0), (y, 2.0)], Sense::Le, 18.0)
+            .unwrap();
         let (l, u) = bounds(&m);
         let sol = solve_lp(&m, &l, &u).unwrap();
         assert!((sol.objective - 36.0).abs() < 1e-6);
@@ -318,7 +332,8 @@ mod tests {
         let mut m = Model::minimize();
         let x = m.add_continuous("x", 0.0, f64::INFINITY, 2.0).unwrap();
         let y = m.add_continuous("y", 0.0, f64::INFINITY, 3.0).unwrap();
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 10.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 10.0)
+            .unwrap();
         m.add_constraint(vec![(x, 1.0)], Sense::Ge, 2.0).unwrap();
         let (l, u) = bounds(&m);
         let sol = solve_lp(&m, &l, &u).unwrap();
@@ -332,8 +347,10 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_continuous("x", 0.0, f64::INFINITY, 1.0).unwrap();
         let y = m.add_continuous("y", 0.0, f64::INFINITY, 1.0).unwrap();
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Eq, 5.0).unwrap();
-        m.add_constraint(vec![(x, 1.0), (y, -1.0)], Sense::Eq, 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Eq, 5.0)
+            .unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], Sense::Eq, 1.0)
+            .unwrap();
         let (l, u) = bounds(&m);
         let sol = solve_lp(&m, &l, &u).unwrap();
         assert!((sol.objective - 5.0).abs() < 1e-6);
@@ -365,7 +382,8 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_continuous("x", 1.0, 3.0, 1.0).unwrap();
         let y = m.add_continuous("y", 0.0, 2.0, 1.0).unwrap();
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 4.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 4.0)
+            .unwrap();
         let (l, u) = bounds(&m);
         let sol = solve_lp(&m, &l, &u).unwrap();
         assert!((sol.objective - 4.0).abs() < 1e-6);
@@ -379,7 +397,8 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_continuous("x", 0.0, f64::INFINITY, 1.0).unwrap();
         let y = m.add_continuous("y", 2.0, 2.0, 0.0).unwrap();
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 5.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 5.0)
+            .unwrap();
         let (l, u) = bounds(&m);
         let sol = solve_lp(&m, &l, &u).unwrap();
         assert!((sol.values[x.index()] - 3.0).abs() < 1e-6);
@@ -403,7 +422,8 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_binary("x", 1.0);
         let y = m.add_binary("y", 1.0);
-        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 1.5).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 1.5)
+            .unwrap();
         let (l, u) = bounds(&m);
         let sol = solve_lp(&m, &l, &u).unwrap();
         assert!((sol.objective - 1.5).abs() < 1e-6);
@@ -416,7 +436,8 @@ mod tests {
         let x = m.add_continuous("x", 0.0, f64::INFINITY, 1.0).unwrap();
         let y = m.add_continuous("y", 0.0, f64::INFINITY, 1.0).unwrap();
         for rhs in [2.0, 2.0, 2.0] {
-            m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, rhs).unwrap();
+            m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, rhs)
+                .unwrap();
         }
         m.add_constraint(vec![(x, 1.0)], Sense::Le, 2.0).unwrap();
         m.add_constraint(vec![(y, 1.0)], Sense::Le, 2.0).unwrap();

@@ -27,9 +27,16 @@ fn brute_force(weights: &[u64], values: &[f64], capacity: u64) -> f64 {
 
 fn knapsack_as_ilp(weights: &[u64], values: &[f64], capacity: u64) -> f64 {
     let mut m = Model::maximize();
-    let vars: Vec<_> =
-        values.iter().enumerate().map(|(i, &v)| m.add_binary(format!("x{i}"), v)).collect();
-    let terms: Vec<_> = vars.iter().zip(weights).map(|(&v, &w)| (v, w as f64)).collect();
+    let vars: Vec<_> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| m.add_binary(format!("x{i}"), v))
+        .collect();
+    let terms: Vec<_> = vars
+        .iter()
+        .zip(weights)
+        .map(|(&v, &w)| (v, w as f64))
+        .collect();
     m.add_constraint(terms, Sense::Le, capacity as f64).unwrap();
     solve_ilp(&m, BranchConfig::default()).unwrap().objective
 }

@@ -49,7 +49,12 @@ mod tests {
             TrainConfig::default(),
         );
         let examples: Vec<(SparseVector, String)> = (0..20)
-            .map(|i| (features(i % 2), if i % 2 == 0 { "x".into() } else { "y".into() }))
+            .map(|i| {
+                (
+                    features(i % 2),
+                    if i % 2 == 0 { "x".into() } else { "y".into() },
+                )
+            })
             .collect();
         trained.retrain(&examples);
         let untrained = PropertyClassifier::new(

@@ -30,7 +30,13 @@ impl PropertyClassifier {
         dim: usize,
         config: TrainConfig,
     ) -> Self {
-        PropertyClassifier { property: property.into(), labels, model: None, dim, config }
+        PropertyClassifier {
+            property: property.into(),
+            labels,
+            model: None,
+            dim,
+            config,
+        }
     }
 
     /// The label space.
@@ -71,9 +77,7 @@ impl PropertyClassifier {
             Some(model) => model
                 .top_k(features, k)
                 .into_iter()
-                .map(|(id, p)| {
-                    (self.labels.name(id).unwrap_or("<unknown>").to_string(), p)
-                })
+                .map(|(id, p)| (self.labels.name(id).unwrap_or("<unknown>").to_string(), p))
                 .collect(),
             None => {
                 let n = self.labels.len();
@@ -81,7 +85,12 @@ impl PropertyClassifier {
                     return Vec::new();
                 }
                 let p = 1.0 / n as f32;
-                self.labels.names().iter().take(k).map(|l| (l.clone(), p)).collect()
+                self.labels
+                    .names()
+                    .iter()
+                    .take(k)
+                    .map(|l| (l.clone(), p))
+                    .collect()
             }
         }
     }
@@ -110,7 +119,9 @@ impl PropertyClassifier {
 
     /// Probability assigned to a specific label (0 when unknown label).
     pub fn probability_of(&self, features: &SparseVector, label: &str) -> f32 {
-        let Some(id) = self.labels.get(label) else { return 0.0 };
+        let Some(id) = self.labels.get(label) else {
+            return 0.0;
+        };
         match &self.model {
             Some(model) => model.predict_proba(features)[id as usize],
             None => {
@@ -138,7 +149,10 @@ mod tests {
         let examples: Vec<(SparseVector, String)> = (0..30)
             .map(|i| {
                 let class = i % 3;
-                (features(class), ["GED", "TFC", "CO2"][class as usize].to_string())
+                (
+                    features(class),
+                    ["GED", "TFC", "CO2"][class as usize].to_string(),
+                )
             })
             .collect();
         c.retrain(&examples);
@@ -171,8 +185,7 @@ mod tests {
     #[test]
     fn new_labels_interned_on_retrain() {
         let mut c = trained();
-        let examples =
-            vec![(features(3), "NEW_REL".to_string()); 10];
+        let examples = vec![(features(3), "NEW_REL".to_string()); 10];
         c.retrain(&examples);
         assert!(c.labels().get("NEW_REL").is_some());
         assert_eq!(c.predict(&features(3)).unwrap(), "NEW_REL");

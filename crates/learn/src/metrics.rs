@@ -6,7 +6,11 @@ pub fn accuracy(predictions: &[u32], truth: &[u32]) -> f64 {
     if predictions.is_empty() {
         return 0.0;
     }
-    let hits = predictions.iter().zip(truth).filter(|(p, t)| p == t).count();
+    let hits = predictions
+        .iter()
+        .zip(truth)
+        .filter(|(p, t)| p == t)
+        .count();
     hits as f64 / predictions.len() as f64
 }
 

@@ -34,7 +34,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 8, learning_rate: 0.5, l2: 1e-5, seed: 7, max_update_classes: 24 }
+        TrainConfig {
+            epochs: 8,
+            learning_rate: 0.5,
+            l2: 1e-5,
+            seed: 7,
+            max_update_classes: 24,
+        }
     }
 }
 
@@ -105,8 +111,7 @@ impl SoftmaxClassifier {
                     // bias
                     let gb = g;
                     grad_sq_b[c] += gb * gb;
-                    model.biases[c] -=
-                        config.learning_rate * gb / grad_sq_b[c].sqrt();
+                    model.biases[c] -= config.learning_rate * gb / grad_sq_b[c].sqrt();
                     // touched weights only
                     let row = c * dim;
                     for (i, v) in x.iter() {
@@ -117,8 +122,7 @@ impl SoftmaxClassifier {
                         let slot = row + i;
                         let gw = g * v + config.l2 * model.weights[slot];
                         grad_sq_w[slot] += gw * gw;
-                        model.weights[slot] -=
-                            config.learning_rate * gw / grad_sq_w[slot].sqrt();
+                        model.weights[slot] -= config.learning_rate * gw / grad_sq_w[slot].sqrt();
                     }
                 }
             }
@@ -154,8 +158,11 @@ impl SoftmaxClassifier {
     /// The `k` most probable classes with probabilities, descending.
     pub fn top_k(&self, x: &SparseVector, k: usize) -> Vec<(u32, f32)> {
         let probs = self.predict_proba(x);
-        let mut ranked: Vec<(u32, f32)> =
-            probs.into_iter().enumerate().map(|(i, p)| (i as u32, p)).collect();
+        let mut ranked: Vec<(u32, f32)> = probs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, p))
+            .collect();
         ranked.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(k);
         ranked
@@ -246,7 +253,10 @@ mod tests {
         let (examples, dim) = separable();
         let m1 = SoftmaxClassifier::train(&examples, 3, dim, TrainConfig::default());
         let m2 = SoftmaxClassifier::train(&examples, 3, dim, TrainConfig::default());
-        assert_eq!(m1.predict_proba(&examples[5].0), m2.predict_proba(&examples[5].0));
+        assert_eq!(
+            m1.predict_proba(&examples[5].0),
+            m2.predict_proba(&examples[5].0)
+        );
     }
 
     #[test]
@@ -260,8 +270,7 @@ mod tests {
 
     #[test]
     fn single_class_degenerates_gracefully() {
-        let examples =
-            vec![(SparseVector::from_pairs(vec![(0, 1.0)]), 0u32); 4];
+        let examples = vec![(SparseVector::from_pairs(vec![(0, 1.0)]), 0u32); 4];
         let model = SoftmaxClassifier::train(&examples, 1, 2, TrainConfig::default());
         let p = model.predict_proba(&examples[0].0);
         assert_eq!(p, vec![1.0]);

@@ -15,7 +15,10 @@ pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
 /// Splits indices `0..n` into (train, test) with `test_fraction` of the data
 /// held out, after a seeded shuffle.
 pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
-    assert!((0.0..=1.0).contains(&test_fraction), "fraction must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&test_fraction),
+        "fraction must be in [0,1]"
+    );
     let order = permutation(n, seed);
     let n_test = ((n as f64) * test_fraction).round() as usize;
     let (test, train) = order.split_at(n_test.min(n));

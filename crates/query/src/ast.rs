@@ -107,17 +107,27 @@ pub enum Expr {
 impl Expr {
     /// Convenience constructor for binary nodes.
     pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Convenience constructor for column references.
     pub fn column(alias: impl Into<String>, column: impl Into<String>) -> Expr {
-        Expr::Column { alias: alias.into(), column: column.into() }
+        Expr::Column {
+            alias: alias.into(),
+            column: column.into(),
+        }
     }
 
     /// Convenience constructor for function calls.
     pub fn func(name: impl Into<String>, args: Vec<Expr>) -> Expr {
-        Expr::Func { name: name.into().to_ascii_uppercase(), args }
+        Expr::Func {
+            name: name.into().to_ascii_uppercase(),
+            args,
+        }
     }
 
     /// All column references in evaluation order.
@@ -191,7 +201,10 @@ pub struct SelectStmt {
 impl SelectStmt {
     /// The table bound to `alias`, if declared.
     pub fn table_of(&self, alias: &str) -> Option<&str> {
-        self.from.iter().find(|(_, a)| a == alias).map(|(t, _)| t.as_str())
+        self.from
+            .iter()
+            .find(|(_, a)| a == alias)
+            .map(|(t, _)| t.as_str())
     }
 
     /// Candidate key values for `alias` drawn from the WHERE clause:
@@ -211,8 +224,8 @@ impl SelectStmt {
         out
     }
 
-    /// Total number of query elements: key values + attributes + operations
-    /// + constants + relations. Used as the claim-complexity measure of
+    /// Total number of query elements: key values, attributes, operations,
+    /// constants and relations. Used as the claim-complexity measure of
     /// Figure 6.
     pub fn element_count(&self) -> usize {
         let predicates: usize = self.where_groups.iter().map(Vec::len).sum();
@@ -231,7 +244,11 @@ mod tests {
             Expr::func(
                 "POWER",
                 vec![
-                    Expr::binary(BinOp::Div, Expr::column("a", "2017"), Expr::column("b", "2016")),
+                    Expr::binary(
+                        BinOp::Div,
+                        Expr::column("a", "2017"),
+                        Expr::column("b", "2016"),
+                    ),
                     Expr::binary(
                         BinOp::Div,
                         Expr::Number(1.0),
@@ -268,8 +285,16 @@ mod tests {
                     value: "X".into(),
                 }],
                 vec![
-                    KeyPredicate { alias: "b".into(), column: "Index".into(), value: "Y".into() },
-                    KeyPredicate { alias: "b".into(), column: "Index".into(), value: "X".into() },
+                    KeyPredicate {
+                        alias: "b".into(),
+                        column: "Index".into(),
+                        value: "Y".into(),
+                    },
+                    KeyPredicate {
+                        alias: "b".into(),
+                        column: "Index".into(),
+                        value: "X".into(),
+                    },
                 ],
             ],
         };

@@ -59,17 +59,34 @@ impl fmt::Display for QueryError {
             QueryError::Lex { offset, found } => {
                 write!(f, "unexpected character `{found}` at byte {offset}")
             }
-            QueryError::Parse { offset, expected, found } => {
-                write!(f, "parse error at byte {offset}: expected {expected}, found {found}")
+            QueryError::Parse {
+                offset,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "parse error at byte {offset}: expected {expected}, found {found}"
+                )
             }
             QueryError::UnknownAlias(a) => write!(f, "alias `{a}` is not declared in FROM"),
             QueryError::DuplicateAlias(a) => write!(f, "alias `{a}` declared twice in FROM"),
             QueryError::NonKeyPredicate { alias, column } => {
-                write!(f, "predicate on `{alias}.{column}` is not over a key attribute")
+                write!(
+                    f,
+                    "predicate on `{alias}.{column}` is not over a key attribute"
+                )
             }
             QueryError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
-            QueryError::Arity { function, got, expected } => {
-                write!(f, "`{function}` called with {got} argument(s), expects {expected}")
+            QueryError::Arity {
+                function,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "`{function}` called with {got} argument(s), expects {expected}"
+                )
             }
             QueryError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
             QueryError::NoBinding => write!(f, "no row binding satisfies the WHERE clause"),
@@ -99,7 +116,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(QueryError::UnknownAlias("c".into()).to_string().contains("`c`"));
+        assert!(QueryError::UnknownAlias("c".into())
+            .to_string()
+            .contains("`c`"));
         assert!(QueryError::NoBinding.to_string().contains("WHERE"));
         let e = QueryError::Arity {
             function: "POWER".into(),

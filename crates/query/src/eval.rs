@@ -18,7 +18,10 @@ pub fn eval_expr(
     match expr {
         Expr::Number(n) => Ok(*n),
         Expr::Column { alias, column } => lookup(alias, column),
-        Expr::Unary { op: UnaryOp::Neg, expr } => Ok(-eval_expr(expr, registry, lookup)?),
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => Ok(-eval_expr(expr, registry, lookup)?),
         Expr::Binary { op, left, right } => {
             let l = eval_expr(left, registry, lookup)?;
             let r = eval_expr(right, registry, lookup)?;
@@ -56,7 +59,12 @@ pub fn apply_binop(op: BinOp, l: f64, r: f64) -> Result<f64> {
     if value.is_finite() {
         Ok(value)
     } else {
-        Err(QueryError::Arithmetic(format!("{} {} {} is not finite", l, op.symbol(), r)))
+        Err(QueryError::Arithmetic(format!(
+            "{} {} {} is not finite",
+            l,
+            op.symbol(),
+            r
+        )))
     }
 }
 
@@ -73,7 +81,9 @@ mod tests {
             match (alias, column) {
                 (_, "2016") => Ok(100.0),
                 (_, "2017") => Ok(103.0),
-                _ => Err(QueryError::Arithmetic(format!("no binding for {alias}.{column}"))),
+                _ => Err(QueryError::Arithmetic(format!(
+                    "no binding for {alias}.{column}"
+                ))),
             }
         })
     }
@@ -83,8 +93,10 @@ mod tests {
         assert_eq!(eval_str("1 + 2 * 3").unwrap(), 7.0);
         assert_eq!(eval_str("(1 + 2) * 3").unwrap(), 9.0);
         assert_eq!(eval_str("-(2 + 3)").unwrap(), -5.0);
-        assert!((eval_str("POWER(a.2017 / b.2016, 1 / (2017 - 2016)) - 1").unwrap() - 0.03).abs()
-            < 1e-12);
+        assert!(
+            (eval_str("POWER(a.2017 / b.2016, 1 / (2017 - 2016)) - 1").unwrap() - 0.03).abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -100,12 +112,18 @@ mod tests {
     #[test]
     fn division_by_zero_is_error() {
         assert!(matches!(eval_str("1 / 0"), Err(QueryError::Arithmetic(_))));
-        assert!(matches!(eval_str("1 / (2017 - 2017)"), Err(QueryError::Arithmetic(_))));
+        assert!(matches!(
+            eval_str("1 / (2017 - 2017)"),
+            Err(QueryError::Arithmetic(_))
+        ));
     }
 
     #[test]
     fn overflow_is_error() {
-        assert!(matches!(eval_str("EXP(10000) * EXP(10000)"), Err(QueryError::Arithmetic(_))));
+        assert!(matches!(
+            eval_str("EXP(10000) * EXP(10000)"),
+            Err(QueryError::Arithmetic(_))
+        ));
     }
 
     #[test]

@@ -75,9 +75,7 @@ pub fn execute_with(
                 .map(|p| p.value.clone())
                 .collect();
             for group in &groups[1..] {
-                keys.retain(|k| {
-                    group.iter().any(|p| p.alias == *alias && p.value == *k)
-                });
+                keys.retain(|k| group.iter().any(|p| p.alias == *alias && p.value == *k));
             }
             keys.sort_unstable();
             keys.dedup();
@@ -174,7 +172,10 @@ mod tests {
         )
         .unwrap();
         let value = execute(&cat, &stmt).unwrap();
-        assert!((value.as_f64().unwrap() - 0.0298).abs() < 1e-3, "~3% growth");
+        assert!(
+            (value.as_f64().unwrap() - 0.0298).abs() < 1e-3,
+            "~3% growth"
+        );
     }
 
     #[test]
@@ -271,10 +272,8 @@ mod tests {
     #[test]
     fn boolean_query_style() {
         let cat = catalog();
-        let stmt = parse(
-            "SELECT a.2017 > 20000 FROM GED a WHERE a.Index = 'PGElecDemand'",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT a.2017 > 20000 FROM GED a WHERE a.Index = 'PGElecDemand'").unwrap();
         assert_eq!(execute(&cat, &stmt).unwrap().as_f64(), Some(1.0));
     }
 

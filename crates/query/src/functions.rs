@@ -69,7 +69,9 @@ pub struct FunctionRegistry {
 impl FunctionRegistry {
     /// Creates a registry with the standard statistical-check primitives.
     pub fn standard() -> Self {
-        let mut reg = FunctionRegistry { by_name: FxHashMap::default() };
+        let mut reg = FunctionRegistry {
+            by_name: FxHashMap::default(),
+        };
         for f in STANDARD {
             reg.by_name.insert(f.name.to_string(), f.clone());
         }
@@ -78,7 +80,9 @@ impl FunctionRegistry {
 
     /// Creates an empty registry (domains can start from scratch).
     pub fn empty() -> Self {
-        FunctionRegistry { by_name: FxHashMap::default() }
+        FunctionRegistry {
+            by_name: FxHashMap::default(),
+        }
     }
 
     /// Registers (or replaces) a function.
@@ -334,7 +338,7 @@ mod tests {
         assert_eq!(reg.call("MIN", &[3.0, 1.0, 2.0]).unwrap(), 1.0);
         assert_eq!(reg.call("MAX", &[3.0, 1.0, 2.0]).unwrap(), 3.0);
         assert_eq!(reg.call("COUNT", &[3.0, 1.0]).unwrap(), 2.0);
-        assert_eq!(reg.call("ROUND", &[3.14159, 2.0]).unwrap(), 3.14);
+        assert_eq!(reg.call("ROUND", &[1.23456, 2.0]).unwrap(), 1.23);
         assert_eq!(reg.call("ROUND", &[3.6]).unwrap(), 4.0);
     }
 
@@ -349,25 +353,49 @@ mod tests {
     #[test]
     fn arity_violations() {
         let reg = FunctionRegistry::standard();
-        assert!(matches!(reg.call("POWER", &[1.0]), Err(QueryError::Arity { .. })));
-        assert!(matches!(reg.call("MIN", &[]), Err(QueryError::Arity { .. })));
+        assert!(matches!(
+            reg.call("POWER", &[1.0]),
+            Err(QueryError::Arity { .. })
+        ));
+        assert!(matches!(
+            reg.call("MIN", &[]),
+            Err(QueryError::Arity { .. })
+        ));
     }
 
     #[test]
     fn unknown_function() {
         let reg = FunctionRegistry::standard();
-        assert!(matches!(reg.call("FOO", &[]), Err(QueryError::UnknownFunction(_))));
+        assert!(matches!(
+            reg.call("FOO", &[]),
+            Err(QueryError::UnknownFunction(_))
+        ));
     }
 
     #[test]
     fn domain_errors_surface() {
         let reg = FunctionRegistry::standard();
-        assert!(matches!(reg.call("SQRT", &[-1.0]), Err(QueryError::Arithmetic(_))));
-        assert!(matches!(reg.call("LN", &[0.0]), Err(QueryError::Arithmetic(_))));
-        assert!(matches!(reg.call("CAGR", &[1.0, 0.0, 1.0]), Err(QueryError::Arithmetic(_))));
-        assert!(matches!(reg.call("SHARE", &[1.0, 0.0]), Err(QueryError::Arithmetic(_))));
+        assert!(matches!(
+            reg.call("SQRT", &[-1.0]),
+            Err(QueryError::Arithmetic(_))
+        ));
+        assert!(matches!(
+            reg.call("LN", &[0.0]),
+            Err(QueryError::Arithmetic(_))
+        ));
+        assert!(matches!(
+            reg.call("CAGR", &[1.0, 0.0, 1.0]),
+            Err(QueryError::Arithmetic(_))
+        ));
+        assert!(matches!(
+            reg.call("SHARE", &[1.0, 0.0]),
+            Err(QueryError::Arithmetic(_))
+        ));
         // POWER producing NaN (negative base, fractional exponent)
-        assert!(matches!(reg.call("POWER", &[-8.0, 0.5]), Err(QueryError::Arithmetic(_))));
+        assert!(matches!(
+            reg.call("POWER", &[-8.0, 0.5]),
+            Err(QueryError::Arithmetic(_))
+        ));
     }
 
     #[test]

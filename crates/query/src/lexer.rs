@@ -117,18 +117,29 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
-            '.' if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() && !prev_is_value(&tokens) =>
+            '.' if i + 1 < bytes.len()
+                && bytes[i + 1].is_ascii_digit()
+                && !prev_is_value(&tokens) =>
             {
                 // `.5` style literal only when a dot cannot be a qualifier
                 let end = scan_number(bytes, i);
@@ -139,51 +150,87 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 i = end;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ne,
+                    offset: start,
+                });
                 i += 2;
             }
             '<' if bytes.get(i + 1) == Some(&b'>') => {
-                tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ne,
+                    offset: start,
+                });
                 i += 2;
             }
             '<' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token { kind: TokenKind::Le, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Le,
+                    offset: start,
+                });
                 i += 2;
             }
             '<' => {
-                tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Lt,
+                    offset: start,
+                });
                 i += 1;
             }
             '>' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ge,
+                    offset: start,
+                });
                 i += 2;
             }
             '>' => {
-                tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Gt,
+                    offset: start,
+                });
                 i += 1;
             }
             '\'' => {
@@ -191,7 +238,12 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 let mut j = i + 1;
                 loop {
                     match bytes.get(j) {
-                        None => return Err(QueryError::Lex { offset: start, found: '\'' }),
+                        None => {
+                            return Err(QueryError::Lex {
+                                offset: start,
+                                found: '\'',
+                            })
+                        }
                         Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => {
                             value.push('\'');
                             j += 2;
@@ -208,7 +260,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(value), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(value),
+                    offset: start,
+                });
                 i = j;
             }
             _ if c.is_ascii_digit() => {
@@ -235,13 +290,24 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     "OR" => TokenKind::Keyword(Keyword::Or),
                     _ => TokenKind::Ident(word.to_string()),
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = j;
             }
-            other => return Err(QueryError::Lex { offset: start, found: other }),
+            other => {
+                return Err(QueryError::Lex {
+                    offset: start,
+                    found: other,
+                })
+            }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
     Ok(tokens)
 }
 
@@ -286,7 +352,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -313,7 +383,10 @@ mod tests {
                 TokenKind::Eof
             ]
         );
-        assert_eq!(kinds("0.5"), vec![TokenKind::Number("0.5".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("0.5"),
+            vec![TokenKind::Number("0.5".into()), TokenKind::Eof]
+        );
         assert_eq!(kinds("( .5 )")[1], TokenKind::Number(".5".into()));
     }
 
@@ -349,19 +422,34 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        assert_eq!(kinds("select From WHERE and OR")[0], TokenKind::Keyword(Keyword::Select));
-        assert_eq!(kinds("select From WHERE and OR")[3], TokenKind::Keyword(Keyword::And));
+        assert_eq!(
+            kinds("select From WHERE and OR")[0],
+            TokenKind::Keyword(Keyword::Select)
+        );
+        assert_eq!(
+            kinds("select From WHERE and OR")[3],
+            TokenKind::Keyword(Keyword::And)
+        );
     }
 
     #[test]
     fn rejects_unknown_characters() {
-        assert!(matches!(tokenize("SELECT #"), Err(QueryError::Lex { found: '#', .. })));
+        assert!(matches!(
+            tokenize("SELECT #"),
+            Err(QueryError::Lex { found: '#', .. })
+        ));
     }
 
     #[test]
     fn exponent_numbers() {
-        assert_eq!(kinds("1e-3"), vec![TokenKind::Number("1e-3".into()), TokenKind::Eof]);
-        assert_eq!(kinds("2.5E4"), vec![TokenKind::Number("2.5E4".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("1e-3"),
+            vec![TokenKind::Number("1e-3".into()), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("2.5E4"),
+            vec![TokenKind::Number("2.5E4".into()), TokenKind::Eof]
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl Parser {
     }
 
     fn expect_keyword(&mut self, kw: Keyword) -> Result<()> {
-        self.expect(&TokenKind::Keyword(kw), &format!("{kw:?}").to_ascii_uppercase())
+        self.expect(
+            &TokenKind::Keyword(kw),
+            &format!("{kw:?}").to_ascii_uppercase(),
+        )
     }
 
     fn expect_eof(&self) -> Result<()> {
@@ -135,7 +138,11 @@ impl Parser {
                 }
             }
         }
-        let stmt = SelectStmt { projection, from, where_groups };
+        let stmt = SelectStmt {
+            projection,
+            from,
+            where_groups,
+        };
         self.check_aliases(&stmt)?;
         Ok(stmt)
     }
@@ -164,7 +171,11 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Str(value) => {
                 self.advance();
-                Ok(KeyPredicate { alias, column, value })
+                Ok(KeyPredicate {
+                    alias,
+                    column,
+                    value,
+                })
             }
             _ => Err(self.error("string literal")),
         }
@@ -219,7 +230,10 @@ impl Parser {
         if matches!(self.peek(), TokenKind::Minus) {
             self.advance();
             let expr = self.unary()?;
-            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(expr) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(expr),
+            });
         }
         self.primary()
     }
@@ -228,9 +242,7 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Number(raw) => {
                 self.advance();
-                let value: f64 = raw
-                    .parse()
-                    .map_err(|_| self.error("numeric literal"))?;
+                let value: f64 = raw.parse().map_err(|_| self.error("numeric literal"))?;
                 Ok(Expr::Number(value))
             }
             TokenKind::LParen => {
@@ -263,7 +275,10 @@ impl Parser {
                     TokenKind::Dot => {
                         self.advance();
                         let column = self.column_name()?;
-                        Ok(Expr::Column { alias: name, column })
+                        Ok(Expr::Column {
+                            alias: name,
+                            column,
+                        })
                     }
                     _ => Err(self.error("`(` or `.` after identifier")),
                 }
@@ -285,7 +300,10 @@ mod tests {
              WHERE a.Index = 'PGElecDemand' AND b.Index = 'PGElecDemand'",
         )
         .unwrap();
-        assert_eq!(stmt.from, vec![("GED".to_string(), "a".into()), ("GED".into(), "b".into())]);
+        assert_eq!(
+            stmt.from,
+            vec![("GED".to_string(), "a".into()), ("GED".into(), "b".into())]
+        );
         assert_eq!(stmt.where_groups.len(), 2);
         assert_eq!(stmt.key_candidates("a"), vec!["PGElecDemand"]);
         let cols = stmt.projection.columns();
@@ -305,10 +323,8 @@ mod tests {
 
     #[test]
     fn parses_disjunction_groups() {
-        let stmt = parse(
-            "SELECT a.Total FROM T a WHERE (a.Index = 'v2' OR a.Index = 'v3')",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT a.Total FROM T a WHERE (a.Index = 'v2' OR a.Index = 'v3')").unwrap();
         assert_eq!(stmt.where_groups.len(), 1);
         assert_eq!(stmt.where_groups[0].len(), 2);
         assert_eq!(stmt.key_candidates("a"), vec!["v2", "v3"]);
@@ -328,7 +344,11 @@ mod tests {
     fn arithmetic_precedence() {
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Add, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("wrong tree: {other:?}"),
@@ -340,7 +360,11 @@ mod tests {
         // 8 - 4 - 2 must parse as (8-4)-2 = 2, not 8-(4-2) = 6
         let e = parse_expr("8 - 4 - 2").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Sub, left, right } => {
+            Expr::Binary {
+                op: BinOp::Sub,
+                left,
+                right,
+            } => {
                 assert!(matches!(*left, Expr::Binary { op: BinOp::Sub, .. }));
                 assert!(matches!(*right, Expr::Number(n) if n == 2.0));
             }
@@ -358,8 +382,7 @@ mod tests {
 
     #[test]
     fn undeclared_alias_rejected() {
-        let err =
-            parse("SELECT c.2017 FROM GED a WHERE a.Index = 'X'").unwrap_err();
+        let err = parse("SELECT c.2017 FROM GED a WHERE a.Index = 'X'").unwrap_err();
         assert!(matches!(err, QueryError::UnknownAlias(a) if a == "c"));
         let err = parse("SELECT a.2017 FROM GED a WHERE b.Index = 'X'").unwrap_err();
         assert!(matches!(err, QueryError::UnknownAlias(a) if a == "b"));
@@ -386,7 +409,10 @@ mod tests {
     #[test]
     fn numeric_column_names() {
         let stmt = parse("SELECT a.2040 - a.2017 FROM GED a WHERE a.Index = 'X'").unwrap();
-        assert_eq!(stmt.projection.columns(), vec![("a", "2040"), ("a", "2017")]);
+        assert_eq!(
+            stmt.projection.columns(),
+            vec![("a", "2040"), ("a", "2017")]
+        );
     }
 
     #[test]

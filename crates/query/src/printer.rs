@@ -24,7 +24,10 @@ fn write_expr(f: &mut fmt::Formatter<'_>, expr: &Expr, parent_prec: u8) -> fmt::
             }
         }
         Expr::Column { alias, column } => write!(f, "{alias}.{column}"),
-        Expr::Unary { op: UnaryOp::Neg, expr } => {
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => {
             write!(f, "-")?;
             write_expr(f, expr, u8::MAX)
         }
@@ -79,7 +82,13 @@ impl fmt::Display for SelectStmt {
                     if j > 0 {
                         write!(f, " OR ")?;
                     }
-                    write!(f, "{}.{} = '{}'", p.alias, p.column, p.value.replace('\'', "''"))?;
+                    write!(
+                        f,
+                        "{}.{} = '{}'",
+                        p.alias,
+                        p.column,
+                        p.value.replace('\'', "''")
+                    )?;
                 }
                 if group.len() > 1 {
                     write!(f, ")")?;
@@ -99,7 +108,10 @@ mod tests {
         let stmt = parse(sql).unwrap();
         let printed = stmt.to_string();
         let reparsed = parse(&printed).unwrap();
-        assert_eq!(stmt, reparsed, "printed form must reparse identically: {printed}");
+        assert_eq!(
+            stmt, reparsed,
+            "printed form must reparse identically: {printed}"
+        );
         assert_eq!(printed, reparsed.to_string());
     }
 
@@ -115,9 +127,7 @@ mod tests {
              WHERE a.Index = 'CapAddTotal_Wind' AND b.Index = 'CapAddTotal_Wind'",
         );
         assert_stable("SELECT d.2010 > 100 FROM rel d WHERE d.Index = 'r'");
-        assert_stable(
-            "SELECT a.Total FROM T a WHERE (a.Index = 'v2' OR a.Index = 'v3')",
-        );
+        assert_stable("SELECT a.Total FROM T a WHERE (a.Index = 'v2' OR a.Index = 'v3')");
     }
 
     #[test]
@@ -127,7 +137,11 @@ mod tests {
         let e = parse_expr("1 + (2 * 3)").unwrap();
         assert_eq!(e.to_string(), "1 + 2 * 3");
         let e = parse_expr("8 - (4 - 2)").unwrap();
-        assert_eq!(e.to_string(), "8 - (4 - 2)", "right-nested sub keeps parens");
+        assert_eq!(
+            e.to_string(),
+            "8 - (4 - 2)",
+            "right-nested sub keeps parens"
+        );
         let e = parse_expr("(8 - 4) - 2").unwrap();
         assert_eq!(e.to_string(), "8 - 4 - 2", "left-nested sub drops parens");
     }

@@ -7,15 +7,13 @@ use scrutinizer_query::{parse, BinOp, Expr, KeyPredicate, SelectStmt};
 fn expr_strategy() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         (1..5000i64).prop_map(|n| Expr::Number(n as f64)),
-        (0..2usize, 2000..2020u32)
-            .prop_map(|(a, y)| Expr::column(["a", "b"][a], y.to_string())),
+        (0..2usize, 2000..2020u32).prop_map(|(a, y)| Expr::column(["a", "b"][a], y.to_string())),
     ];
     leaf.prop_recursive(3, 20, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone(), op_strategy())
                 .prop_map(|(l, r, op)| Expr::binary(op, l, r)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::func("POWER", vec![l, r])),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::func("POWER", vec![l, r])),
             inner.clone().prop_map(|e| Expr::func("ABS", vec![e])),
         ]
     })
@@ -42,21 +40,27 @@ fn stmt_strategy() -> impl Strategy<Value = SelectStmt> {
             )
         },
     );
-    (expr_strategy(), table_name, "[A-Za-z0-9 _.-]{1,12}").prop_map(
-        |(projection, table, key)| {
-            // aliases referenced by the projection must be declared
-            let from = vec![(table.clone(), "a".to_string()), (table, "b".to_string())];
-            let where_groups = vec![
-                vec![KeyPredicate {
-                    alias: "a".into(),
-                    column: "Index".into(),
-                    value: key.clone(),
-                }],
-                vec![KeyPredicate { alias: "b".into(), column: "Index".into(), value: key }],
-            ];
-            SelectStmt { projection, from, where_groups }
-        },
-    )
+    (expr_strategy(), table_name, "[A-Za-z0-9 _.-]{1,12}").prop_map(|(projection, table, key)| {
+        // aliases referenced by the projection must be declared
+        let from = vec![(table.clone(), "a".to_string()), (table, "b".to_string())];
+        let where_groups = vec![
+            vec![KeyPredicate {
+                alias: "a".into(),
+                column: "Index".into(),
+                value: key.clone(),
+            }],
+            vec![KeyPredicate {
+                alias: "b".into(),
+                column: "Index".into(),
+                value: key,
+            }],
+        ];
+        SelectStmt {
+            projection,
+            from,
+            where_groups,
+        }
+    })
 }
 
 proptest! {

@@ -40,7 +40,13 @@ pub struct EmbedConfig {
 
 impl Default for EmbedConfig {
     fn default() -> Self {
-        EmbedConfig { dim: 32, window: 4, min_count: 2, iterations: 3, seed: 42 }
+        EmbedConfig {
+            dim: 32,
+            window: 4,
+            min_count: 2,
+            iterations: 3,
+            seed: 42,
+        }
     }
 }
 
@@ -66,14 +72,20 @@ impl EmbeddingModel {
         }
         let v = words.len();
         if v == 0 {
-            return EmbeddingModel { vocab, vectors: Vec::new(), dim: config.dim };
+            return EmbeddingModel {
+                vocab,
+                vectors: Vec::new(),
+                dim: config.dim,
+            };
         }
 
         // 2. windowed co-occurrence, weighted 1/distance
         let mut cooc: FxHashMap<(u32, u32), f32> = FxHashMap::default();
         for sentence in sentences {
-            let ids: Vec<Option<u32>> =
-                sentence.iter().map(|t| vocab.get(t.as_str()).copied()).collect();
+            let ids: Vec<Option<u32>> = sentence
+                .iter()
+                .map(|t| vocab.get(t.as_str()).copied())
+                .collect();
             for (i, a) in ids.iter().enumerate() {
                 let Some(a) = *a else { continue };
                 let hi = (i + config.window).min(ids.len().saturating_sub(1));
@@ -125,7 +137,11 @@ impl EmbeddingModel {
         for r in 0..v {
             normalize_row(&mut vectors[r * dim..(r + 1) * dim]);
         }
-        EmbeddingModel { vocab, vectors, dim }
+        EmbeddingModel {
+            vocab,
+            vectors,
+            dim,
+        }
     }
 
     /// Embedding dimensionality.
@@ -289,7 +305,11 @@ mod tests {
     fn distributional_similarity() {
         let model = EmbeddingModel::train(
             &training_sentences(),
-            EmbedConfig { dim: 16, iterations: 5, ..Default::default() },
+            EmbedConfig {
+                dim: 16,
+                iterations: 5,
+                ..Default::default()
+            },
         );
         let same_group = model.similarity("demand", "consumption");
         let cross_group = model.similarity("demand", "wind");

@@ -24,7 +24,11 @@ pub struct FeaturizerConfig {
 
 impl Default for FeaturizerConfig {
     fn default() -> Self {
-        FeaturizerConfig { embed: EmbedConfig::default(), word_min_df: 1, char_min_df: 2 }
+        FeaturizerConfig {
+            embed: EmbedConfig::default(),
+            word_min_df: 1,
+            char_min_df: 2,
+        }
     }
 }
 
@@ -40,15 +44,21 @@ pub struct ClaimFeaturizer {
 impl ClaimFeaturizer {
     /// Fits the featurizer on `(claim_text, sentence_text)` pairs.
     pub fn fit(corpus: &[(String, String)], config: FeaturizerConfig) -> Self {
-        let sentences: Vec<Vec<String>> =
-            corpus.iter().map(|(_, sentence)| tokenize(sentence)).collect();
+        let sentences: Vec<Vec<String>> = corpus
+            .iter()
+            .map(|(_, sentence)| tokenize(sentence))
+            .collect();
         let embeddings = EmbeddingModel::train(&sentences, config.embed);
-        let word_docs: Vec<Vec<String>> =
-            corpus.iter().map(|(claim, _)| word_ngrams(&tokenize(claim))).collect();
+        let word_docs: Vec<Vec<String>> = corpus
+            .iter()
+            .map(|(claim, _)| word_ngrams(&tokenize(claim)))
+            .collect();
         let word_tfidf =
             TfIdfVectorizer::fit(word_docs.iter().map(|d| d.iter()), config.word_min_df);
-        let char_docs: Vec<Vec<String>> =
-            corpus.iter().map(|(claim, _)| char_trigrams(claim)).collect();
+        let char_docs: Vec<Vec<String>> = corpus
+            .iter()
+            .map(|(claim, _)| char_trigrams(claim))
+            .collect();
         let char_tfidf =
             TfIdfVectorizer::fit(char_docs.iter().map(|d| d.iter()), config.char_min_df);
         ClaimFeaturizer {
@@ -95,11 +105,23 @@ mod tests {
 
     fn corpus() -> Vec<(String, String)> {
         [
-            ("electricity demand grew by 3%", "In 2017, electricity demand grew by 3%."),
-            ("wind market increased nine-fold", "The wind market increased nine-fold."),
-            ("solar market expanded", "The solar market expanded aggressively."),
+            (
+                "electricity demand grew by 3%",
+                "In 2017, electricity demand grew by 3%.",
+            ),
+            (
+                "wind market increased nine-fold",
+                "The wind market increased nine-fold.",
+            ),
+            (
+                "solar market expanded",
+                "The solar market expanded aggressively.",
+            ),
             ("coal demand fell", "Meanwhile coal demand fell by 1%."),
-            ("electricity demand reached 22 200", "Electricity demand reached 22 200 TWh."),
+            (
+                "electricity demand reached 22 200",
+                "Electricity demand reached 22 200 TWh.",
+            ),
         ]
         .iter()
         .map(|(c, s)| (c.to_string(), s.to_string()))
@@ -109,7 +131,10 @@ mod tests {
     #[test]
     fn blocks_do_not_collide() {
         let f = ClaimFeaturizer::fit(&corpus(), FeaturizerConfig::default());
-        let x = f.features("electricity demand grew by 3%", "In 2017, electricity demand grew by 3%.");
+        let x = f.features(
+            "electricity demand grew by 3%",
+            "In 2017, electricity demand grew by 3%.",
+        );
         assert!(x.nnz() > 0);
         assert!(x.width() as usize <= f.dimension());
         // indices strictly increasing (no block overlap)
@@ -123,15 +148,26 @@ mod tests {
     #[test]
     fn similar_claims_are_closer_than_dissimilar() {
         let f = ClaimFeaturizer::fit(&corpus(), FeaturizerConfig::default());
-        let a = f.features("electricity demand grew by 3%", "In 2017, electricity demand grew by 3%.");
-        let b = f.features("electricity demand grew by 4%", "In 2018, electricity demand grew by 4%.");
-        let c = f.features("wind market increased nine-fold", "The wind market increased nine-fold.");
+        let a = f.features(
+            "electricity demand grew by 3%",
+            "In 2017, electricity demand grew by 3%.",
+        );
+        let b = f.features(
+            "electricity demand grew by 4%",
+            "In 2018, electricity demand grew by 4%.",
+        );
+        let c = f.features(
+            "wind market increased nine-fold",
+            "The wind market increased nine-fold.",
+        );
         let dot = |x: &SparseVector, y: &SparseVector| -> f32 {
             let mut m = std::collections::HashMap::new();
             for (i, v) in x.iter() {
                 m.insert(i, v);
             }
-            y.iter().map(|(i, v)| v * m.get(&i).copied().unwrap_or(0.0)).sum()
+            y.iter()
+                .map(|(i, v)| v * m.get(&i).copied().unwrap_or(0.0))
+                .sum()
         };
         assert!(dot(&a, &b) > dot(&a, &c));
     }

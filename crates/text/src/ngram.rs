@@ -38,7 +38,10 @@ mod tests {
     #[test]
     fn unigrams_and_bigrams() {
         let grams = word_ngrams(&toks(&["demand", "grew", "by"]));
-        assert_eq!(grams, vec!["demand", "grew", "by", "demand_grew", "grew_by"]);
+        assert_eq!(
+            grams,
+            vec!["demand", "grew", "by", "demand_grew", "grew_by"]
+        );
     }
 
     #[test]

@@ -97,9 +97,10 @@ pub fn extract_parameters(text: &str) -> Vec<ExtractedParameter> {
             {
                 value /= 100.0;
                 kind = ParameterKind::Percent;
-            } else if rest.starts_with("fold") || rest.starts_with("-fold") {
-                kind = ParameterKind::Fold;
-            } else if rest.starts_with("times") {
+            } else if rest.starts_with("fold")
+                || rest.starts_with("-fold")
+                || rest.starts_with("times")
+            {
                 kind = ParameterKind::Fold;
             } else if let Some((next, _)) = words.get(w + 1).map(|(s, o)| (s, o)) {
                 if let Some(m) = magnitude(next) {
@@ -107,18 +108,30 @@ pub fn extract_parameters(text: &str) -> Vec<ExtractedParameter> {
                 }
             }
             let _ = fractional;
-            out.push(ExtractedParameter { value, kind, offset: *offset });
+            out.push(ExtractedParameter {
+                value,
+                kind,
+                offset: *offset,
+            });
             continue;
         }
         // number word followed by "fold": "nine-fold" tokenizes to nine, fold
         if let Some(v) = number_word(word) {
             if words.get(w + 1).is_some_and(|(next, _)| next == "fold") {
-                out.push(ExtractedParameter { value: v, kind: ParameterKind::Fold, offset: *offset });
+                out.push(ExtractedParameter {
+                    value: v,
+                    kind: ParameterKind::Fold,
+                    offset: *offset,
+                });
             }
             continue;
         }
         if let Some(v) = multiplier_verb(word) {
-            out.push(ExtractedParameter { value: v, kind: ParameterKind::Fold, offset: *offset });
+            out.push(ExtractedParameter {
+                value: v,
+                kind: ParameterKind::Fold,
+                offset: *offset,
+            });
         }
     }
     out
@@ -134,7 +147,10 @@ fn split_with_offsets(text: &str) -> Vec<(String, usize)> {
         let keep = c.is_alphanumeric()
             || (c == '.'
                 && current.chars().last().is_some_and(|p| p.is_ascii_digit())
-                && text[i + c.len_utf8()..].chars().next().is_some_and(|n| n.is_ascii_digit()));
+                && text[i + c.len_utf8()..]
+                    .chars()
+                    .next()
+                    .is_some_and(|n| n.is_ascii_digit()));
         if keep {
             if current.is_empty() {
                 start = i;
@@ -164,21 +180,15 @@ fn parse_grouped_number(text: &str, offset: usize) -> (f64, usize, bool) {
         if c.is_ascii_digit() {
             digits.push(c);
             i += 1;
-        } else if c == '.'
-            && !fractional
-            && i + 1 < bytes.len()
-            && bytes[i + 1].is_ascii_digit()
-        {
+        } else if c == '.' && !fractional && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
             digits.push('.');
             fractional = true;
             i += 1;
         } else if (c == ' ' || c == ',') && !fractional {
             // group separator iff exactly 3 digits follow, then a non-digit
             let next3 = bytes.get(i + 1..i + 4);
-            let three_digits =
-                next3.is_some_and(|w| w.iter().all(u8::is_ascii_digit));
-            let fourth_not_digit =
-                bytes.get(i + 4).is_none_or(|b| !b.is_ascii_digit());
+            let three_digits = next3.is_some_and(|w| w.iter().all(u8::is_ascii_digit));
+            let fourth_not_digit = bytes.get(i + 4).is_none_or(|b| !b.is_ascii_digit());
             if three_digits && fourth_not_digit {
                 i += 1; // consume separator; loop will consume digits
             } else {
@@ -196,14 +206,16 @@ mod tests {
     use super::*;
 
     fn extract(text: &str) -> Vec<(f64, ParameterKind)> {
-        extract_parameters(text).into_iter().map(|p| (p.value, p.kind)).collect()
+        extract_parameters(text)
+            .into_iter()
+            .map(|p| (p.value, p.kind))
+            .collect()
     }
 
     #[test]
     fn example1_claim() {
         // "In 2017, global electricity demand grew by 3%, ... reaching 22 200 TWh"
-        let params =
-            extract("In 2017, global electricity demand grew by 3%, reaching 22 200 TWh.");
+        let params = extract("In 2017, global electricity demand grew by 3%, reaching 22 200 TWh.");
         assert_eq!(
             params,
             vec![
@@ -225,13 +237,22 @@ mod tests {
     #[test]
     fn percent_variants() {
         assert_eq!(extract("grew by 2.5%")[0], (0.025, ParameterKind::Percent));
-        assert_eq!(extract("grew by 2.5 percent")[0], (0.025, ParameterKind::Percent));
-        assert_eq!(extract("grew by 2.5 per cent")[0], (0.025, ParameterKind::Percent));
+        assert_eq!(
+            extract("grew by 2.5 percent")[0],
+            (0.025, ParameterKind::Percent)
+        );
+        assert_eq!(
+            extract("grew by 2.5 per cent")[0],
+            (0.025, ParameterKind::Percent)
+        );
     }
 
     #[test]
     fn multiplier_verbs() {
-        assert_eq!(extract("capacity doubled in a decade")[0], (2.0, ParameterKind::Fold));
+        assert_eq!(
+            extract("capacity doubled in a decade")[0],
+            (2.0, ParameterKind::Fold)
+        );
         assert_eq!(extract("output tripled")[0], (3.0, ParameterKind::Fold));
         assert_eq!(extract("use halved")[0], (0.5, ParameterKind::Fold));
     }
@@ -244,8 +265,14 @@ mod tests {
 
     #[test]
     fn magnitude_words() {
-        assert_eq!(extract("1.5 million tonnes")[0], (1_500_000.0, ParameterKind::Absolute));
-        assert_eq!(extract("2 billion dollars")[0], (2e9, ParameterKind::Absolute));
+        assert_eq!(
+            extract("1.5 million tonnes")[0],
+            (1_500_000.0, ParameterKind::Absolute)
+        );
+        assert_eq!(
+            extract("2 billion dollars")[0],
+            (2e9, ParameterKind::Absolute)
+        );
     }
 
     #[test]

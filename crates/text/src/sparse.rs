@@ -46,7 +46,10 @@ impl SparseVector {
 
     /// Iterates over `(index, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Dot product with a dense slice (`weights[index]`); indices beyond the
@@ -90,7 +93,8 @@ impl SparseVector {
             self.indices.last().is_none_or(|&last| last < offset),
             "offset must start a fresh block"
         );
-        self.indices.extend(other.indices.iter().map(|i| i + offset));
+        self.indices
+            .extend(other.indices.iter().map(|i| i + offset));
         self.values.extend_from_slice(&other.values);
     }
 

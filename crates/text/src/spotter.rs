@@ -24,10 +24,33 @@ pub struct SpottedClaim {
 /// Trend verbs that signal statistical statements even without numbers
 /// (general claims like "expanded aggressively").
 const TREND_VERBS: &[&str] = &[
-    "grew", "grow", "grows", "rose", "rise", "rises", "fell", "fall", "falls", "increased",
-    "increase", "increases", "decreased", "decrease", "decreases", "expanded", "expands",
-    "declined", "declines", "reached", "reaches", "doubled", "tripled", "halved", "surged",
-    "dropped", "peaked",
+    "grew",
+    "grow",
+    "grows",
+    "rose",
+    "rise",
+    "rises",
+    "fell",
+    "fall",
+    "falls",
+    "increased",
+    "increase",
+    "increases",
+    "decreased",
+    "decrease",
+    "decreases",
+    "expanded",
+    "expands",
+    "declined",
+    "declines",
+    "reached",
+    "reaches",
+    "doubled",
+    "tripled",
+    "halved",
+    "surged",
+    "dropped",
+    "peaked",
 ];
 
 /// Scans a document and returns check-worthy sentences in order.
@@ -36,8 +59,10 @@ pub fn spot_claims(document: &str) -> Vec<SpottedClaim> {
     for (index, sentence) in sentences(document).iter().enumerate() {
         let parameters = extract_parameters(sentence);
         let tokens = tokenize(sentence);
-        let trend_hits =
-            tokens.iter().filter(|t| TREND_VERBS.contains(&t.as_str())).count();
+        let trend_hits = tokens
+            .iter()
+            .filter(|t| TREND_VERBS.contains(&t.as_str()))
+            .count();
         // numbers that are not bare years count double
         let strong_numbers = parameters
             .iter()

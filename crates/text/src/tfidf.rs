@@ -36,8 +36,10 @@ impl TfIdfVectorizer {
             }
         }
         // deterministic vocabulary order: sort terms
-        let mut terms: Vec<(String, u32)> =
-            df.into_iter().filter(|(_, c)| *c as usize >= min_df).collect();
+        let mut terms: Vec<(String, u32)> = df
+            .into_iter()
+            .filter(|(_, c)| *c as usize >= min_df)
+            .collect();
         terms.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         let mut vocab = FxHashMap::with_capacity_and_hasher(terms.len(), Default::default());
         let mut idf = Vec::with_capacity(terms.len());
@@ -58,7 +60,10 @@ impl TfIdfVectorizer {
             }
         }
         let mut vec = SparseVector::from_pairs(
-            counts.into_iter().map(|(id, tf)| (id, tf * self.idf[id as usize])).collect(),
+            counts
+                .into_iter()
+                .map(|(id, tf)| (id, tf * self.idf[id as usize]))
+                .collect(),
         );
         vec.l2_normalize();
         vec
@@ -86,7 +91,9 @@ mod tests {
             vec!["solar", "market", "expanded"],
             vec!["coal", "demand", "fell"],
         ];
-        raw.iter().map(|d| d.iter().map(|s| s.to_string()).collect()).collect()
+        raw.iter()
+            .map(|d| d.iter().map(|s| s.to_string()).collect())
+            .collect()
     }
 
     #[test]
@@ -107,7 +114,10 @@ mod tests {
         let electricity = v.term_id("electricity").unwrap();
         let demand = v.term_id("demand").unwrap();
         let weight = |vec: &SparseVector, id: u32| {
-            vec.iter().find(|(i, _)| *i == id).map(|(_, w)| w).unwrap_or(0.0)
+            vec.iter()
+                .find(|(i, _)| *i == id)
+                .map(|(_, w)| w)
+                .unwrap_or(0.0)
         };
         assert!(weight(&x, electricity) > weight(&x, demand));
     }
@@ -124,8 +134,10 @@ mod tests {
     #[test]
     fn transform_is_normalized_and_ignores_oov() {
         let v = TfIdfVectorizer::fit(docs().iter().map(|d| d.iter()), 1);
-        let tokens: Vec<String> =
-            ["demand", "skyrocketed"].iter().map(|s| s.to_string()).collect();
+        let tokens: Vec<String> = ["demand", "skyrocketed"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let x = v.transform(tokens.iter());
         assert_eq!(x.nnz(), 1, "OOV token ignored");
         assert!((x.norm() - 1.0).abs() < 1e-6);
@@ -146,9 +158,11 @@ mod tests {
         let a = v.transform(once.iter());
         let b = v.transform(twice.iter());
         let id = v.term_id("demand").unwrap();
-        let weight = |vec: &SparseVector| {
-            vec.iter().find(|(i, _)| *i == id).map(|(_, w)| w).unwrap()
-        };
-        assert!(weight(&b) > weight(&a), "higher tf ⇒ higher normalized weight");
+        let weight =
+            |vec: &SparseVector| vec.iter().find(|(i, _)| *i == id).map(|(_, w)| w).unwrap();
+        assert!(
+            weight(&b) > weight(&a),
+            "higher tf ⇒ higher normalized weight"
+        );
     }
 }

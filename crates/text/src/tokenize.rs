@@ -93,7 +93,17 @@ mod tests {
     fn basic_tokenization() {
         assert_eq!(
             tokenize("In 2017, global electricity demand grew by 3%"),
-            vec!["in", "2017", "global", "electricity", "demand", "grew", "by", "3", "%"]
+            vec![
+                "in",
+                "2017",
+                "global",
+                "electricity",
+                "demand",
+                "grew",
+                "by",
+                "3",
+                "%"
+            ]
         );
     }
 
@@ -105,7 +115,10 @@ mod tests {
 
     #[test]
     fn hyphenated_words_split() {
-        assert_eq!(tokenize("nine-fold increase"), vec!["nine", "fold", "increase"]);
+        assert_eq!(
+            tokenize("nine-fold increase"),
+            vec!["nine", "fold", "increase"]
+        );
     }
 
     #[test]

@@ -27,16 +27,26 @@ fn main() {
     let mut config = CorpusConfig::small();
     config.n_claims = 150;
     let corpus = Corpus::generate(config);
-    println!("cold start on {} claims — no initial training data\n", corpus.claims.len());
+    println!(
+        "cold start on {} claims — no initial training data\n",
+        corpus.claims.len()
+    );
 
     let ordered = learning_curve(&corpus, OrderingStrategy::Ilp);
     let sequential = learning_curve(&corpus, OrderingStrategy::Sequential);
 
-    println!("{:>10} | {:>12} | {:>12}", "#verified", "Scrutinizer", "Sequential");
+    println!(
+        "{:>10} | {:>12} | {:>12}",
+        "#verified", "Scrutinizer", "Sequential"
+    );
     println!("{}", "-".repeat(42));
     for (i, (n, acc)) in ordered.iter().enumerate() {
         let seq = sequential.get(i).map(|(_, a)| *a).unwrap_or(f64::NAN);
-        println!("{n:>10} | {acc:>11.1}% | {seq:>11.1}%", acc = 100.0 * acc, seq = 100.0 * seq);
+        println!(
+            "{n:>10} | {acc:>11.1}% | {seq:>11.1}%",
+            acc = 100.0 * acc,
+            seq = 100.0 * seq
+        );
     }
 
     let best_ordered = ordered.iter().map(|(_, a)| *a).fold(0.0, f64::max);

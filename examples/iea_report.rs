@@ -41,7 +41,11 @@ fn main() {
     println!("sample of flagged claims with suggested corrections:");
     let mut shown = 0;
     for outcome in &report.outcomes {
-        if let Verdict::Incorrect { suggested_value, closest_query } = &outcome.verdict {
+        if let Verdict::Incorrect {
+            suggested_value,
+            closest_query,
+        } = &outcome.verdict
+        {
             let claim = &corpus.claims[outcome.claim_id];
             println!("  ✗ \"{}\"", claim.sentence_text);
             if let Some(v) = suggested_value {
@@ -60,5 +64,8 @@ fn main() {
     let flagged = report.incorrect_count();
     let truly_wrong = corpus.claims.iter().filter(|c| !c.is_correct).count();
     println!("\nflagged {flagged} claims as erroneous ({truly_wrong} truly are)");
-    println!("verdict accuracy: {:.1}%", 100.0 * report.verdict_accuracy());
+    println!(
+        "verdict accuracy: {:.1}%",
+        100.0 * report.verdict_accuracy()
+    );
 }

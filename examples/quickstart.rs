@@ -41,9 +41,14 @@ fn main() {
     let registry = FunctionRegistry::standard();
     let config = SystemConfig::default();
     let formulas = vec![
-        ("POWER(a / b, 1 / (A1 - A2)) - 1".to_string(),
-         parse_formula("POWER(a / b, 1 / (A1 - A2)) - 1").expect("formula")),
-        ("a / b".to_string(), parse_formula("a / b").expect("formula")),
+        (
+            "POWER(a / b, 1 / (A1 - A2)) - 1".to_string(),
+            parse_formula("POWER(a / b, 1 / (A1 - A2)) - 1").expect("formula"),
+        ),
+        (
+            "a / b".to_string(),
+            parse_formula("a / b").expect("formula"),
+        ),
     ];
     let candidates = generate_queries(
         &catalog,
@@ -61,12 +66,19 @@ fn main() {
     for candidate in &candidates {
         println!(
             "  [{}] {}  →  {:.4}",
-            if candidate.matches_parameter { "MATCH" } else { "  -  " },
+            if candidate.matches_parameter {
+                "MATCH"
+            } else {
+                "  -  "
+            },
             candidate.stmt,
             candidate.value
         );
     }
-    let best = candidates.iter().find(|c| c.matches_parameter).expect("claim verifies");
+    let best = candidates
+        .iter()
+        .find(|c| c.matches_parameter)
+        .expect("claim verifies");
     println!(
         "\nclaim VERIFIED: demand grew by {:.2}% (claimed 3%, tolerance {}%)",
         best.value * 100.0,

@@ -41,22 +41,26 @@
 
 #![forbid(unsafe_code)]
 
-/// Relational storage: values, tables, catalog, CSV.
-pub use scrutinizer_data as data;
-/// The statistical-check SQL fragment: parser, functions, executor.
-pub use scrutinizer_query as query;
-/// Formula language: generalization and instantiation of checks.
-pub use scrutinizer_formula as formula;
-/// Claim preprocessing: tokenization, TF-IDF, embeddings, parameter extraction.
-pub use scrutinizer_text as text;
-/// Classifiers and active learning.
-pub use scrutinizer_learn as learn;
-/// ILP solver (simplex + branch & bound) used for claim-batch selection.
-pub use scrutinizer_ilp as ilp;
-/// Simulated crowd of domain experts and the verification cost model.
-pub use scrutinizer_crowd as crowd;
-/// Synthetic IEA-style corpus generator.
-pub use scrutinizer_corpus as corpus;
 /// The Scrutinizer system itself: translation, query generation, question
 /// planning, claim ordering, the main verification loop, and simulators.
 pub use scrutinizer_core as core;
+/// Synthetic IEA-style corpus generator.
+pub use scrutinizer_corpus as corpus;
+/// Simulated crowd of domain experts and the verification cost model.
+pub use scrutinizer_crowd as crowd;
+/// Relational storage: values, tables, catalog, CSV.
+pub use scrutinizer_data as data;
+/// The serving layer: a long-lived concurrent engine hosting many checker
+/// sessions over shared models, with a query-result cache, a thread-pool
+/// executor, metrics, and the `scrutinizer-serve` TCP binary.
+pub use scrutinizer_engine as engine;
+/// Formula language: generalization and instantiation of checks.
+pub use scrutinizer_formula as formula;
+/// ILP solver (simplex + branch & bound) used for claim-batch selection.
+pub use scrutinizer_ilp as ilp;
+/// Classifiers and active learning.
+pub use scrutinizer_learn as learn;
+/// The statistical-check SQL fragment: parser, functions, executor.
+pub use scrutinizer_query as query;
+/// Claim preprocessing: tokenization, TF-IDF, embeddings, parameter extraction.
+pub use scrutinizer_text as text;

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the full pipeline from raw text and tables
 //! to verified claims, exercising every subsystem together.
 
-use scrutinizer::core::{
-    generate_queries, OrderingStrategy, SystemConfig, Verdict, Verifier,
-};
+use scrutinizer::core::{generate_queries, OrderingStrategy, SystemConfig, Verdict, Verifier};
 use scrutinizer::corpus::{ClaimKind, Corpus, CorpusConfig};
 use scrutinizer::crowd::{Panel, WorkerConfig};
 use scrutinizer::data::{Catalog, TableBuilder};
@@ -78,26 +76,38 @@ fn full_document_verification() {
     let report = verifier.run(&corpus, &mut panel, OrderingStrategy::Ilp);
 
     assert_eq!(report.outcomes.len(), corpus.claims.len());
-    assert!(report.verdict_accuracy() > 0.7, "accuracy {}", report.verdict_accuracy());
+    assert!(
+        report.verdict_accuracy() > 0.7,
+        "accuracy {}",
+        report.verdict_accuracy()
+    );
 
     // flagged claims come with evidence
     let mut with_suggestion = 0;
     for outcome in &report.outcomes {
-        if let Verdict::Incorrect { suggested_value, .. } = &outcome.verdict {
+        if let Verdict::Incorrect {
+            suggested_value, ..
+        } = &outcome.verdict
+        {
             if suggested_value.is_some() {
                 with_suggestion += 1;
             }
         }
     }
-    assert!(with_suggestion > 0, "incorrect claims should carry suggestions");
+    assert!(
+        with_suggestion > 0,
+        "incorrect claims should carry suggestions"
+    );
 
     // classifiers learned something during the run
     let final_acc = report.accuracy_trace.last().unwrap().1;
     let first_acc = report.accuracy_trace.first().unwrap().1;
     let improved = final_acc.iter().sum::<f64>() >= first_acc.iter().sum::<f64>();
-    let peaked = report.max_classifier_accuracy()
-        > first_acc.iter().sum::<f64>() / 4.0;
-    assert!(improved || peaked, "no learning: {first_acc:?} → {final_acc:?}");
+    let peaked = report.max_classifier_accuracy() > first_acc.iter().sum::<f64>() / 4.0;
+    assert!(
+        improved || peaked,
+        "no learning: {first_acc:?} → {final_acc:?}"
+    );
 }
 
 /// Determinism: identical seeds give identical reports.
@@ -108,7 +118,11 @@ fn runs_are_reproducible() {
         let mut verifier = Verifier::new(&corpus, SystemConfig::test());
         let mut panel = Panel::new(3, WorkerConfig::default(), 23);
         let report = verifier.run(&corpus, &mut panel, OrderingStrategy::Greedy);
-        (report.total_crowd_seconds, report.outcomes.len(), report.verdict_accuracy())
+        (
+            report.total_crowd_seconds,
+            report.outcomes.len(),
+            report.verdict_accuracy(),
+        )
     };
     let a = run();
     let b = run();
@@ -121,7 +135,12 @@ fn runs_are_reproducible() {
 fn corpus_ground_truth_verifies_via_sql() {
     let corpus = Corpus::generate(CorpusConfig::small());
     let mut checked = 0;
-    for claim in corpus.claims.iter().filter(|c| c.kind == ClaimKind::Explicit).take(40) {
+    for claim in corpus
+        .claims
+        .iter()
+        .filter(|c| c.kind == ClaimKind::Explicit)
+        .take(40)
+    {
         let formula = parse_formula(&claim.formula_text).unwrap();
         let stmt = instantiate(&formula, &claim.lookups).unwrap();
         let value = execute(&corpus.catalog, &stmt).unwrap().as_f64().unwrap();

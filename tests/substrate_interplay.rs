@@ -96,8 +96,7 @@ fn corollary2_option_order_after_retraining() {
         let features = models.features(claim);
         let translation: Translation = models.translate(&features, 10);
         for kind in PropertyKind::ALL {
-            let probs: Vec<f32> =
-                translation.of(kind).iter().map(|(_, p)| *p).collect();
+            let probs: Vec<f32> = translation.of(kind).iter().map(|(_, p)| *p).collect();
             for w in probs.windows(2) {
                 assert!(w[0] >= w[1], "{:?} options out of order", kind);
             }

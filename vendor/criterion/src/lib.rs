@@ -1,0 +1,244 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace builds offline, so the real `criterion` cannot be
+//! fetched. This crate keeps the bench-definition API the workspace uses —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`],
+//! [`criterion_group!`]/[`criterion_main!`] and [`black_box`] — and
+//! replaces the statistical machinery with a straightforward wall-clock
+//! loop: a warm-up iteration, then `sample_size` timed samples, reporting
+//! min / mean / max nanoseconds per iteration.
+//!
+//! When a bench binary is invoked by `cargo test` (cargo passes
+//! `--test`), every benchmark runs exactly one iteration as a smoke test,
+//! matching real criterion's behavior.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().0, self.sample_size, self.test_mode, &mut routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _parent: self,
+        }
+    }
+
+    /// Internal: used by `criterion_main!` to honor `--test`.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.sample_size, self.test_mode, &mut routine);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.sample_size, self.test_mode, &mut |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId(name)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, test_mode: bool, routine: &mut F) {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    if test_mode {
+        routine(&mut bencher);
+        println!("test-mode: {label} ran once in {:?}", bencher.elapsed);
+        return;
+    }
+    // warm-up
+    routine(&mut bencher);
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        routine(&mut bencher);
+        times.push(bencher.elapsed);
+    }
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    let mean = times.iter().sum::<Duration>() / samples.max(1) as u32;
+    println!(
+        "bench: {label:<55} min {:>12} ns  mean {:>12} ns  max {:>12} ns  ({samples} samples)",
+        min.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos()
+    );
+}
+
+/// Declares a group of benchmark functions; both the plain and the
+/// `name/config/targets` forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut runs = 0;
+        c.bench_function("counting", |b| {
+            runs += 1;
+            b.iter(|| black_box(2 + 2))
+        });
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.bench_function("plain", |b| b.iter(|| black_box(1)));
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,146 @@
+//! Collection strategies: `prop::collection::vec` and
+//! `prop::collection::hash_set`.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive size window for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            min: range.start,
+            max: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        let (min, max) = range.into_inner();
+        assert!(min <= max, "empty collection size range");
+        SizeRange { min, max }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact,
+        }
+    }
+}
+
+/// `Vec` of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// `HashSet` of values from `element`, with a size drawn from `size`.
+/// Duplicates are retried; if the element domain is too small to reach the
+/// drawn size, the set is returned at the largest size reached (never
+/// below one element when `size` allows none — the minimum is respected
+/// as long as the domain permits).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 20 + 100 {
+            out.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_window() {
+        let mut rng = TestRng::new(1);
+        let strategy = vec(0..100u32, 2..6);
+        for _ in 0..300 {
+            let v = strategy.new_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn hash_set_is_duplicate_free_and_sized() {
+        let mut rng = TestRng::new(2);
+        let strategy = hash_set("[A-Za-z][A-Za-z0-9_]{0,10}", 1..12);
+        for _ in 0..100 {
+            let s = strategy.new_value(&mut rng);
+            assert!((1..12).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn exact_size_via_inclusive_range() {
+        let mut rng = TestRng::new(3);
+        let strategy = vec(0..10u32, 4..=4);
+        for _ in 0..50 {
+            assert_eq!(strategy.new_value(&mut rng).len(), 4);
+        }
+    }
+}

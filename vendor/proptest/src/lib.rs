@@ -1,0 +1,105 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace builds offline, so the real `proptest` cannot be fetched.
+//! This reimplementation covers exactly the surface the workspace's
+//! property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map`,
+//!   `prop_filter`, `prop_recursive` and `boxed`,
+//! * range strategies (`0..10`, `0.1f64..2.0`, `a..=b`) and tuples of
+//!   strategies,
+//! * string strategies from a small regex-like pattern language
+//!   (`"[A-Za-z][A-Za-z0-9_]{0,10}"`, `"\\PC{0,200}"`),
+//! * [`collection::vec`] and [`collection::hash_set`],
+//! * [`strategy::Just`], [`prop_oneof!`], the [`proptest!`] test macro,
+//!   [`prop_assert!`]/[`prop_assert_eq!`] and
+//!   [`test_runner::ProptestConfig`].
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case panics
+//! with the normal assertion message plus the case number and seed, which
+//! is reproducible because generation is fully deterministic per test.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod string;
+
+pub mod test_runner;
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(..)` works.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Property-test assertion; equivalent to `assert!` here (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Property-test equality assertion; equivalent to `assert_eq!` here.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0..10usize, s in "[a-z]{1,4}") { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::new(
+                        seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);
+                    )+
+                    let guard = $crate::test_runner::CaseGuard::new(case, seed);
+                    $body
+                    guard.disarm();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}

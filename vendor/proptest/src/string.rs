@@ -1,0 +1,204 @@
+//! String generation from the small regex-like pattern language the
+//! workspace's tests use: literal characters, character classes
+//! (`[A-Za-z0-9 _.-]`), the "printable" escape `\PC`, and `{m}` / `{m,n}`
+//! repetition. A pattern is a sequence of atoms, each optionally repeated.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// A set of inclusive ranges, e.g. `[A-Za-z_]`.
+    Class(Vec<(char, char)>),
+    /// `\PC` — any printable character (mostly ASCII, occasionally a
+    /// multi-byte scalar to exercise Unicode handling).
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize
+        };
+        for _ in 0..count {
+            out.push(sample(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+/// A few multi-byte scalars mixed into `\PC` draws.
+const EXOTIC: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '—', '°', '€'];
+
+fn sample(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(lo, hi)| span(*lo, *hi)).sum();
+            let mut draw = rng.below(total);
+            for (lo, hi) in ranges {
+                let width = span(*lo, *hi);
+                if draw < width {
+                    return char::from_u32(*lo as u32 + draw as u32)
+                        .expect("class ranges avoid surrogates");
+                }
+                draw -= width;
+            }
+            unreachable!("class ranges exhausted")
+        }
+        Atom::Printable => {
+            if rng.below(10) == 0 {
+                EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+            } else {
+                // printable ASCII: 0x20 ..= 0x7E
+                char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+            }
+        }
+    }
+}
+
+fn span(lo: char, hi: char) -> u64 {
+    assert!(lo <= hi, "inverted class range {lo}-{hi}");
+    (hi as u32 - lo as u32 + 1) as u64
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') => {
+                        // \PC or \P{C}: "not a control character"
+                        i += 1;
+                        if chars.get(i) == Some(&'{') {
+                            while i < chars.len() && chars[i] != '}' {
+                                i += 1;
+                            }
+                        }
+                        i += 1;
+                        Atom::Printable
+                    }
+                    Some(&escaped) => {
+                        i += 1;
+                        Atom::Literal(escaped)
+                    }
+                    None => panic!("dangling escape in pattern `{pattern}`"),
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in `{pattern}`");
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // optional {m} / {m,n} repetition
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in `{pattern}`"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(5)
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let s = generate("[A-Za-z][A-Za-z0-9_]{0,10}", &mut rng);
+            assert!((1..=11).contains(&s.chars().count()), "`{s}`");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic(), "`{s}`");
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn class_with_literals_and_trailing_dash() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let s = generate("[A-Za-z0-9 _.-]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.chars().count()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_pattern_never_yields_controls() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate("\\PC{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()), "`{s:?}`");
+        }
+    }
+
+    #[test]
+    fn fixed_repetition_and_literals() {
+        let mut rng = rng();
+        let s = generate("ab[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}
