@@ -1,0 +1,232 @@
+//! Prepared-plan benchmarks: what the prepare-once/execute-many refactor
+//! buys over the string path.
+//!
+//! * `suggestion_sweep/*` runs Algorithm 2 over the contexts of the same
+//!   12 corpus claims — `string_path` is the pre-refactor implementation
+//!   (per-assignment `Vec<Lookup>` clones + name-resolving evaluation,
+//!   kept as [`generate_queries_unprepared`]), `prepared_path` the
+//!   compiled-skeleton loop. Neither uses a result cache, so the ratio is
+//!   the pure plan-layer speedup; the acceptance target is ≥ 2×.
+//! * `execute_repeat/*` isolates the query executor: one statement run
+//!   512 times, re-resolved from scratch each run vs. prepared once.
+//!
+//! The `--quick` smoke mode (also triggered by `cargo test`'s `--test`
+//! flag, and used by CI) runs every routine once just to prove the bench
+//! still drives the APIs.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scrutinizer_core::{generate_queries, generate_queries_unprepared, SystemConfig};
+use scrutinizer_corpus::{ClaimRecord, Corpus, CorpusConfig};
+use scrutinizer_formula::{parse_formula, Formula};
+use scrutinizer_query::{parse, FunctionRegistry, PreparedQuery};
+
+/// One claim's Algorithm 2 input, resolved from the corpus ground truth
+/// the way the engine's suggestion path resolves validated contexts.
+struct SweepContext {
+    relations: Vec<String>,
+    keys: Vec<String>,
+    attributes: Vec<String>,
+    formulas: Vec<(String, Formula)>,
+    parameter: Option<f64>,
+}
+
+fn contexts(corpus: &Corpus, count: usize) -> Vec<SweepContext> {
+    // a shared rank list of common formula shapes, claim's own first
+    let shared = [
+        "POWER(a / b, 1 / (A1 - A2)) - 1",
+        "a / b",
+        "(a - b) / b",
+        "a - b",
+    ];
+    // classifier-style padding pools: the engine pads unvalidated
+    // properties with top candidates, so Algorithm 2 sees several
+    // relations/keys/attributes per claim — the hundreds-of-assignments
+    // regime the paper describes
+    let relation_pool: Vec<String> = corpus.catalog.table_names().map(str::to_string).collect();
+    let key_pool = corpus.catalog.all_keys();
+    let attribute_pool = corpus.catalog.all_attributes();
+    let pad = |seed: &[String], pool: &[String], target: usize| -> Vec<String> {
+        let mut out: Vec<String> = seed.to_vec();
+        for candidate in pool {
+            if out.len() >= target {
+                break;
+            }
+            if !out.contains(candidate) {
+                out.push(candidate.clone());
+            }
+        }
+        out
+    };
+    corpus
+        .claims
+        .iter()
+        .take(count)
+        .map(|claim: &ClaimRecord| {
+            let mut texts = vec![claim.formula_text.clone()];
+            texts.extend(shared.iter().map(|s| s.to_string()));
+            texts.dedup();
+            let formulas = texts
+                .into_iter()
+                .filter_map(|t| parse_formula(&t).ok().map(|f| (t, f)))
+                .collect();
+            SweepContext {
+                relations: pad(std::slice::from_ref(&claim.relation), &relation_pool, 3),
+                keys: pad(std::slice::from_ref(&claim.key), &key_pool, 4),
+                attributes: pad(&claim.attributes, &attribute_pool, 4),
+                formulas,
+                parameter: claim.stated_value,
+            }
+        })
+        .collect()
+}
+
+fn sweep_string(
+    corpus: &Corpus,
+    registry: &FunctionRegistry,
+    contexts: &[SweepContext],
+    config: &SystemConfig,
+) -> usize {
+    contexts
+        .iter()
+        .map(|ctx| {
+            generate_queries_unprepared(
+                &corpus.catalog,
+                registry,
+                &ctx.relations,
+                &ctx.keys,
+                &ctx.attributes,
+                &ctx.formulas,
+                ctx.parameter,
+                config,
+            )
+            .len()
+        })
+        .sum()
+}
+
+fn sweep_prepared(
+    corpus: &Corpus,
+    registry: &FunctionRegistry,
+    contexts: &[SweepContext],
+    config: &SystemConfig,
+) -> usize {
+    contexts
+        .iter()
+        .map(|ctx| {
+            generate_queries(
+                &corpus.catalog,
+                registry,
+                &ctx.relations,
+                &ctx.keys,
+                &ctx.attributes,
+                &ctx.formulas,
+                ctx.parameter,
+                config,
+            )
+            .len()
+        })
+        .sum()
+}
+
+fn bench_suggestion_sweep(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig::small());
+    let registry = FunctionRegistry::standard();
+    let config = SystemConfig::test();
+    let contexts = contexts(&corpus, 12);
+    // both paths must agree before we time them
+    assert_eq!(
+        sweep_string(&corpus, &registry, &contexts, &config),
+        sweep_prepared(&corpus, &registry, &contexts, &config),
+        "string and prepared sweeps must produce the same candidates"
+    );
+
+    let mut group = c.benchmark_group("suggestion_sweep");
+    group.sample_size(20);
+    group.bench_function("string_path", |b| {
+        b.iter(|| sweep_string(&corpus, &registry, &contexts, &config))
+    });
+    group.bench_function("prepared_path", |b| {
+        b.iter(|| sweep_prepared(&corpus, &registry, &contexts, &config))
+    });
+    group.finish();
+
+    // headline ratio for the acceptance gate (criterion's per-line output
+    // does not compare groups)
+    let timed = |f: &dyn Fn() -> usize| {
+        let rounds = 10;
+        let start = Instant::now();
+        for _ in 0..rounds {
+            black_box(f());
+        }
+        start.elapsed().as_secs_f64() / rounds as f64
+    };
+    let string_path = timed(&|| sweep_string(&corpus, &registry, &contexts, &config));
+    let prepared = timed(&|| sweep_prepared(&corpus, &registry, &contexts, &config));
+    println!(
+        "suggestion_sweep: string {:.3} ms vs prepared {:.3} ms → {:.2}x",
+        string_path * 1e3,
+        prepared * 1e3,
+        string_path / prepared
+    );
+}
+
+fn bench_execute_repeat(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig::small());
+    let registry = FunctionRegistry::standard();
+    // a representative two-alias check against real corpus tables
+    let claim = corpus
+        .claims
+        .iter()
+        .find(|c| c.lookups.len() >= 2)
+        .expect("small corpus has a two-lookup claim");
+    let sql = format!(
+        "SELECT a.{} / b.{} FROM {} a, {} b WHERE a.Index = '{}' AND b.Index = '{}'",
+        claim.lookups[0].attribute,
+        claim.lookups[1].attribute,
+        claim.lookups[0].relation,
+        claim.lookups[1].relation,
+        claim.lookups[0].key,
+        claim.lookups[1].key,
+    );
+    let stmt = parse(&sql).expect("generated SQL parses");
+    let mut group = c.benchmark_group("execute_repeat");
+    group.sample_size(20);
+    group.bench_function("unprepared_512", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for _ in 0..512 {
+                hits += scrutinizer_query::exec::execute_with_unprepared(
+                    &corpus.catalog,
+                    &stmt,
+                    &registry,
+                )
+                .map(|r| r.len())
+                .unwrap_or(0);
+            }
+            hits
+        })
+    });
+    group.bench_function("prepare_once_512", |b| {
+        b.iter(|| {
+            let plan = PreparedQuery::prepare(&corpus.catalog, &stmt, &registry).expect("prepares");
+            let mut hits = 0usize;
+            for _ in 0..512 {
+                hits += plan
+                    .execute_all(&corpus.catalog)
+                    .map(|r| r.len())
+                    .unwrap_or(0);
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_suggestion_sweep, bench_execute_repeat
+}
+criterion_main!(benches);

@@ -45,6 +45,9 @@ pub use config::SystemConfig;
 pub use models::{PropertyKind, SystemModels, Translation};
 pub use ordering::{select_batch, OrderingStrategy};
 pub use planner::ClaimPlan;
-pub use qgen::{generate_queries, generate_queries_with, padded_context, QueryCandidate};
+pub use qgen::{
+    generate_queries, generate_queries_unprepared, generate_queries_with, padded_context,
+    AssignmentCache, NoCache, QueryCandidate,
+};
 pub use report::{ClaimOutcome, Verdict, VerificationReport};
 pub use verify::Verifier;

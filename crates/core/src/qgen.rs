@@ -8,12 +8,38 @@
 //! assignments otherwise), and rewrites the survivors into SQL (lines
 //! 23–29). The brute force stays sub-second thanks to the pruning power of
 //! the validated context — exactly the paper's observation.
+//!
+//! ## Prepared skeletons
+//!
+//! The inner loop runs hundreds of assignments per claim, so everything
+//! name-shaped is resolved **once** before enumeration:
+//!
+//! * every `(relation, key, attribute)` triple becomes a [`ResolvedCell`]
+//!   — a numeric [`CellRef`] handle plus the cell's `f64`, materialized
+//!   once from the catalog's cached numeric views;
+//! * every formula is compiled once into a flat postfix program whose
+//!   function calls hold resolved `fn` pointers — the shared *prepared
+//!   skeleton* all of the formula's assignments instantiate;
+//! * an assignment is then just a vector of indices into the resolved
+//!   values: evaluating it swaps bound row ids, touching no strings,
+//!   printing no SQL and parsing nothing (a test pins the SQL parse count
+//!   of this loop at zero).
+//!
+//! Only surviving candidates (a match, or a bounded set of alternatives)
+//! are rewritten into [`SelectStmt`]s. The serving engine plugs a
+//! query-result cache into the loop through [`AssignmentCache`], keyed by
+//! the same `(formula, cells)` structural fingerprint. The pre-refactor
+//! string-resolving implementation survives as
+//! [`generate_queries_unprepared`], the differential-testing and
+//! benchmarking baseline.
 
 use crate::config::SystemConfig;
 use scrutinizer_data::value::approx_eq_f64;
-use scrutinizer_data::Catalog;
+use scrutinizer_data::{Catalog, CellRef};
 use scrutinizer_formula::{eval_formula, instantiate, Formula, Lookup};
-use scrutinizer_query::{FunctionRegistry, SelectStmt};
+use scrutinizer_query::eval::apply_binop;
+use scrutinizer_query::functions::FnImpl;
+use scrutinizer_query::{BinOp, FunctionRegistry, SelectStmt, UnaryOp};
 
 /// One generated candidate query.
 #[derive(Debug, Clone)]
@@ -28,6 +54,223 @@ pub struct QueryCandidate {
     pub value: f64,
     /// Whether the value matches the explicit parameter (within tolerance).
     pub matches_parameter: bool,
+}
+
+/// Cache hook for Algorithm 2's assignment evaluations.
+///
+/// The serving engine implements this over its sharded query-result cache:
+/// the `(formula token, resolved cells)` pair is the structural fingerprint
+/// of one prepared-assignment evaluation, shared across claims and
+/// sessions. The library path uses [`NoCache`].
+pub trait AssignmentCache {
+    /// Whether probes do anything; the no-op impl opts out so the loop can
+    /// skip building cell keys entirely.
+    const ENABLED: bool = true;
+
+    /// Called once per formula before its assignments are enumerated;
+    /// returns the token passed back on every probe.
+    fn formula_token(&mut self, formula_text: &str) -> u64;
+
+    /// Probes the cache: `Some(outcome)` on a hit (`outcome` is `None`
+    /// for a remembered failing assignment), `None` on a miss.
+    fn get(&mut self, token: u64, cells: &[CellRef]) -> Option<Option<f64>>;
+
+    /// Records an evaluation outcome.
+    fn put(&mut self, token: u64, cells: &[CellRef], value: Option<f64>);
+}
+
+/// The no-op cache used by the plain library path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoCache;
+
+impl AssignmentCache for NoCache {
+    const ENABLED: bool = false;
+
+    fn formula_token(&mut self, _formula_text: &str) -> u64 {
+        0
+    }
+
+    fn get(&mut self, _token: u64, _cells: &[CellRef]) -> Option<Option<f64>> {
+        None
+    }
+
+    fn put(&mut self, _token: u64, _cells: &[CellRef], _value: Option<f64>) {}
+}
+
+/// A context cell resolved once before enumeration: the textual lookup it
+/// came from, its numeric handle, and its materialized value.
+#[derive(Debug, Clone)]
+struct ResolvedCell {
+    lookup: Lookup,
+    cell: CellRef,
+    value: f64,
+    /// The attribute label parsed as a number (`A1`-style variables), or
+    /// `None` for non-numeric labels like `Total`.
+    attr_value: Option<f64>,
+}
+
+/// One instruction of a compiled formula (postfix order).
+#[derive(Debug, Clone)]
+enum FInstr {
+    Const(f64),
+    /// Push the value bound to value variable `i`.
+    Var(u16),
+    /// Push the numeric attribute label bound to value variable `i`
+    /// (skips the assignment when the label is not numeric).
+    AttrVar(u16),
+    Neg,
+    Bin(BinOp),
+    Call {
+        imp: FnImpl,
+        argc: u16,
+    },
+}
+
+/// A formula compiled against a function registry — the prepared skeleton
+/// shared by every assignment of that formula.
+///
+/// This VM deliberately parallels `scrutinizer_query::prepared`'s rather
+/// than sharing it: its leaves are assignment-indexed cells (`Var` /
+/// `AttrVar`) instead of `(alias, column)` loads, and *every* failure
+/// skips (Algorithm 2 swallows even unknown functions), where the query
+/// VM must surface hard errors. Both reuse `apply_binop`/`FnImpl` for the
+/// arithmetic itself, and the differential property tests pin each
+/// against the string-path semantics.
+#[derive(Debug, Clone)]
+struct FormulaProgram {
+    instrs: Vec<FInstr>,
+    /// Unknown function or arity mismatch at compile time: the string path
+    /// fails every assignment of such a formula, so the program evaluates
+    /// to `None` without running (budget is still consumed per assignment).
+    dead: bool,
+}
+
+impl FormulaProgram {
+    fn compile(formula: &Formula, registry: &FunctionRegistry) -> FormulaProgram {
+        let mut program = FormulaProgram {
+            instrs: Vec::new(),
+            dead: false,
+        };
+        program.push(formula, registry);
+        program
+    }
+
+    fn push(&mut self, formula: &Formula, registry: &FunctionRegistry) {
+        match formula {
+            Formula::Const(n) => self.instrs.push(FInstr::Const(*n)),
+            Formula::Var(i) => self.instrs.push(FInstr::Var(*i as u16)),
+            Formula::AttrVar(i) => self.instrs.push(FInstr::AttrVar(*i as u16)),
+            Formula::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => {
+                self.push(expr, registry);
+                self.instrs.push(FInstr::Neg);
+            }
+            Formula::Binary { op, left, right } => {
+                self.push(left, registry);
+                self.push(right, registry);
+                self.instrs.push(FInstr::Bin(*op));
+            }
+            Formula::Func { name, args } => {
+                for arg in args {
+                    self.push(arg, registry);
+                }
+                match registry.get(name) {
+                    Some(function) if function.arity.accepts(args.len()) => {
+                        self.instrs.push(FInstr::Call {
+                            imp: function.imp,
+                            argc: args.len() as u16,
+                        });
+                    }
+                    _ => self.dead = true,
+                }
+            }
+        }
+    }
+
+    /// Evaluates one assignment (`assignment[i]` is the index into
+    /// `values` bound to value variable `i`). `None` mirrors every failure
+    /// the string path swallows: missing/non-numeric data, arithmetic
+    /// errors, NaN-producing calls, and a non-finite final value.
+    fn eval(
+        &self,
+        values: &[ResolvedCell],
+        assignment: &[usize],
+        stack: &mut Vec<f64>,
+    ) -> Option<f64> {
+        if self.dead {
+            return None;
+        }
+        stack.clear();
+        for instr in &self.instrs {
+            match instr {
+                FInstr::Const(n) => stack.push(*n),
+                FInstr::Var(i) => stack.push(values[assignment[*i as usize]].value),
+                FInstr::AttrVar(i) => {
+                    stack.push(values[assignment[*i as usize]].attr_value?);
+                }
+                FInstr::Neg => {
+                    let v = stack.pop().expect("compiled formula is balanced");
+                    stack.push(-v);
+                }
+                FInstr::Bin(op) => {
+                    let r = stack.pop().expect("compiled formula is balanced");
+                    let l = stack.pop().expect("compiled formula is balanced");
+                    stack.push(apply_binop(*op, l, r).ok()?);
+                }
+                FInstr::Call { imp, argc } => {
+                    let split = stack.len() - *argc as usize;
+                    let value = imp(&stack[split..]).ok().filter(|v| !v.is_nan())?;
+                    stack.truncate(split);
+                    stack.push(value);
+                }
+            }
+        }
+        stack.pop().filter(|v| v.is_finite())
+    }
+}
+
+/// Resolves the `R × K × A` context (Algorithm 2 lines 5–8) to numeric
+/// cell handles, in the same deterministic nesting order as the string
+/// path.
+fn resolve_context(
+    catalog: &Catalog,
+    relations: &[String],
+    keys: &[String],
+    attributes: &[String],
+) -> Vec<ResolvedCell> {
+    let mut values = Vec::new();
+    for relation in relations {
+        let Some(table_id) = catalog.resolve(relation) else {
+            continue;
+        };
+        let table = catalog.table(table_id);
+        for key in keys {
+            let Some(row) = table.key_row(key) else {
+                continue;
+            };
+            for attribute in attributes {
+                let Some(col) = table.schema().column_index(attribute) else {
+                    continue;
+                };
+                let Some(value) = table.numeric_view(col).get(row as usize) else {
+                    continue;
+                };
+                values.push(ResolvedCell {
+                    lookup: Lookup::new(relation.clone(), key.clone(), attribute.clone()),
+                    cell: CellRef {
+                        table: table_id,
+                        row,
+                        col: col as u32,
+                    },
+                    value,
+                    attr_value: attribute.parse().ok(),
+                });
+            }
+        }
+    }
+    values
 }
 
 /// Runs Algorithm 2.
@@ -51,42 +294,155 @@ pub fn generate_queries(
 ) -> Vec<QueryCandidate> {
     generate_queries_with(
         catalog,
+        registry,
         relations,
         keys,
         attributes,
         formulas,
         parameter,
         config,
-        |_, formula, lookups| {
-            eval_formula(catalog, registry, formula, lookups)
-                .ok()
-                .filter(|v| v.is_finite())
-        },
+        &mut NoCache,
     )
 }
 
-/// Algorithm 2 with a pluggable assignment evaluator.
+/// Algorithm 2 over prepared skeletons, with a pluggable assignment cache.
 ///
-/// `evaluate` receives `(formula_text, formula, lookups)` and returns the
-/// assignment's finite value, or `None` when it does not evaluate. This is
-/// the seam the serving engine uses to route every evaluation through its
-/// query-result cache; [`generate_queries`] plugs in plain
-/// [`eval_formula`]. Enumeration, budgeting and ranking are identical for
-/// both callers by construction.
+/// Enumeration, budgeting and ranking are identical to
+/// [`generate_queries`] (which plugs in [`NoCache`]); the serving engine
+/// supplies its sharded query-result cache so near-duplicate
+/// instantiations across claims and sessions cost a hash probe on the
+/// `(formula, cells)` structural fingerprint instead of an evaluation.
 #[allow(clippy::too_many_arguments)]
-pub fn generate_queries_with<E>(
+pub fn generate_queries_with<C>(
     catalog: &Catalog,
+    registry: &FunctionRegistry,
     relations: &[String],
     keys: &[String],
     attributes: &[String],
     formulas: &[(String, Formula)],
     parameter: Option<f64>,
     config: &SystemConfig,
-    mut evaluate: E,
+    cache: &mut C,
 ) -> Vec<QueryCandidate>
 where
-    E: FnMut(&str, &Formula, &[Lookup]) -> Option<f64>,
+    C: AssignmentCache,
 {
+    // lines 5-8: collect and resolve the available data values V = R × K × A
+    let values = resolve_context(catalog, relations, keys, attributes);
+    if values.is_empty() {
+        return Vec::new();
+    }
+
+    let mut matched: Vec<QueryCandidate> = Vec::new();
+    let mut alternatives: Vec<QueryCandidate> = Vec::new();
+    let mut budget = config.max_assignments;
+    let mut stack: Vec<f64> = Vec::new();
+    let mut cells: Vec<CellRef> = Vec::new();
+
+    for (text, formula) in formulas {
+        let n = formula.value_var_count(); // line 11: GetVars(f)
+        if n == 0 {
+            continue;
+        }
+        // the prepared skeleton every assignment of this formula shares
+        let program = FormulaProgram::compile(formula, registry);
+        let token = cache.formula_token(text);
+        // line 12-13: iterate assignments (permutations with repetition)
+        let mut assignment = vec![0usize; n];
+        'assignments: loop {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            let value = if C::ENABLED {
+                cells.clear();
+                cells.extend(assignment.iter().map(|&i| values[i].cell));
+                match cache.get(token, &cells) {
+                    Some(cached) => cached,
+                    None => {
+                        let computed = program.eval(&values, &assignment, &mut stack);
+                        cache.put(token, &cells, computed);
+                        computed
+                    }
+                }
+            } else {
+                program.eval(&values, &assignment, &mut stack)
+            };
+            if let Some(value) = value {
+                let matches = parameter
+                    .map(|p| approx_eq_f64(value, p, config.tolerance))
+                    .unwrap_or(false);
+                if matches {
+                    // line 15-16: owned lookups materialize only here
+                    let lookups: Vec<Lookup> = assignment
+                        .iter()
+                        .map(|&i| values[i].lookup.clone())
+                        .collect();
+                    if let Ok(stmt) = instantiate(formula, &lookups) {
+                        matched.push(QueryCandidate {
+                            stmt,
+                            formula_text: text.clone(),
+                            lookups,
+                            value,
+                            matches_parameter: true,
+                        });
+                    }
+                } else if matched.is_empty() && alternatives.len() < config.final_options * 4 {
+                    // line 17-18 (bounded: we only ever show a handful)
+                    let lookups: Vec<Lookup> = assignment
+                        .iter()
+                        .map(|&i| values[i].lookup.clone())
+                        .collect();
+                    if let Ok(stmt) = instantiate(formula, &lookups) {
+                        alternatives.push(QueryCandidate {
+                            stmt,
+                            formula_text: text.clone(),
+                            lookups,
+                            value,
+                            matches_parameter: false,
+                        });
+                    }
+                }
+            }
+            // odometer over value indices
+            let mut d = n;
+            loop {
+                if d == 0 {
+                    break 'assignments;
+                }
+                d -= 1;
+                assignment[d] += 1;
+                if assignment[d] < values.len() {
+                    break;
+                }
+                assignment[d] = 0;
+            }
+        }
+        if budget == 0 {
+            break;
+        }
+    }
+
+    rank(matched, alternatives, parameter)
+}
+
+/// The pre-refactor Algorithm 2: per-assignment `Vec<Lookup>` clones and
+/// string-resolving [`eval_formula`] calls.
+///
+/// Kept as the behavioral baseline: the property tests assert
+/// [`generate_queries`] produces identical candidates, and
+/// `crates/bench/benches/prepared.rs` measures the speedup.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_queries_unprepared(
+    catalog: &Catalog,
+    registry: &FunctionRegistry,
+    relations: &[String],
+    keys: &[String],
+    attributes: &[String],
+    formulas: &[(String, Formula)],
+    parameter: Option<f64>,
+    config: &SystemConfig,
+) -> Vec<QueryCandidate> {
     // line 5-8: collect the available data values V = R × K × A
     let mut values: Vec<Lookup> = Vec::new();
     for relation in relations {
@@ -120,7 +476,7 @@ where
 
     for (text, formula) in formulas {
         let n = formula.value_var_count(); // line 11: GetVars(f)
-        if n == 0 || values.len().pow(n as u32) == 0 {
+        if n == 0 {
             continue;
         }
         // line 12-13: iterate assignments (permutations with repetition)
@@ -131,7 +487,10 @@ where
             }
             budget -= 1;
             let lookups: Vec<Lookup> = index.iter().map(|&i| values[i].clone()).collect();
-            if let Some(value) = evaluate(text, formula, &lookups) {
+            let value = eval_formula(catalog, registry, formula, &lookups)
+                .ok()
+                .filter(|v| v.is_finite());
+            if let Some(value) = value {
                 let matches = parameter
                     .map(|p| approx_eq_f64(value, p, config.tolerance))
                     .unwrap_or(false);
@@ -178,11 +537,19 @@ where
         }
     }
 
-    // lines 23-29: matching queries win; otherwise return the alternatives
+    rank(matched, alternatives, parameter)
+}
+
+/// Lines 23-29: matching queries win; otherwise the alternatives, ranked
+/// by closeness to the parameter when explicit.
+fn rank(
+    matched: Vec<QueryCandidate>,
+    mut alternatives: Vec<QueryCandidate>,
+    parameter: Option<f64>,
+) -> Vec<QueryCandidate> {
     if !matched.is_empty() {
         matched
     } else {
-        // rank alternatives by closeness to the parameter when explicit
         if let Some(p) = parameter {
             alternatives.sort_by(|a, b| {
                 let da = relative_distance(a.value, p);
@@ -402,5 +769,146 @@ mod tests {
                 && c.lookups[0].relation == "GED"
                 && c.lookups[1].relation == "GED_EU"
         }));
+    }
+
+    /// A recording cache that remembers everything and replays on re-run.
+    #[derive(Default)]
+    struct MemoCache {
+        tokens: Vec<String>,
+        map: std::collections::HashMap<(u64, Vec<CellRef>), Option<f64>>,
+        hits: usize,
+        misses: usize,
+    }
+
+    impl AssignmentCache for MemoCache {
+        fn formula_token(&mut self, text: &str) -> u64 {
+            if let Some(i) = self.tokens.iter().position(|t| t == text) {
+                i as u64
+            } else {
+                self.tokens.push(text.to_string());
+                (self.tokens.len() - 1) as u64
+            }
+        }
+
+        fn get(&mut self, token: u64, cells: &[CellRef]) -> Option<Option<f64>> {
+            match self.map.get(&(token, cells.to_vec())) {
+                Some(&cached) => {
+                    self.hits += 1;
+                    Some(cached)
+                }
+                None => {
+                    self.misses += 1;
+                    None
+                }
+            }
+        }
+
+        fn put(&mut self, token: u64, cells: &[CellRef], value: Option<f64>) {
+            self.map.insert((token, cells.to_vec()), value);
+        }
+    }
+
+    #[test]
+    fn cached_path_is_identical_and_hits_on_rerun() {
+        let cat = catalog();
+        let registry = FunctionRegistry::standard();
+        let config = SystemConfig::test();
+        let args = (
+            strs(&["GED"]),
+            strs(&["PGElecDemand", "CapAddTotal_Wind"]),
+            strs(&["2000", "2016", "2017"]),
+            formulas(&["POWER(a / b, 1 / (A1 - A2)) - 1", "a / b"]),
+        );
+        let plain = generate_queries(
+            &cat,
+            &registry,
+            &args.0,
+            &args.1,
+            &args.2,
+            &args.3,
+            Some(0.03),
+            &config,
+        );
+        let mut memo = MemoCache::default();
+        let cached = generate_queries_with(
+            &cat,
+            &registry,
+            &args.0,
+            &args.1,
+            &args.2,
+            &args.3,
+            Some(0.03),
+            &config,
+            &mut memo,
+        );
+        assert_eq!(plain.len(), cached.len());
+        for (a, b) in plain.iter().zip(&cached) {
+            assert_eq!(a.stmt, b.stmt);
+            assert_eq!(a.value, b.value);
+        }
+        assert_eq!(memo.hits, 0);
+        let misses = memo.misses;
+        let rerun = generate_queries_with(
+            &cat,
+            &registry,
+            &args.0,
+            &args.1,
+            &args.2,
+            &args.3,
+            Some(0.03),
+            &config,
+            &mut memo,
+        );
+        assert_eq!(rerun.len(), cached.len());
+        assert_eq!(memo.misses, misses, "re-run must be all hits");
+        assert!(memo.hits > 0);
+    }
+
+    #[test]
+    fn prepared_matches_unprepared_on_mixed_contexts() {
+        let mut cat = catalog();
+        cat.add(
+            TableBuilder::new("Mixed", "Index", &["2017", "Total"])
+                .row_opt("PGElecDemand", &[Some(7.0), None])
+                .unwrap()
+                .build(),
+        )
+        .unwrap();
+        let registry = FunctionRegistry::standard();
+        let config = SystemConfig::test();
+        for (formulas, parameter) in [
+            (formulas(&["a / b", "a - b"]), Some(1.5)),
+            (formulas(&["POWER(a / b, 1 / (A1 - A2)) - 1"]), Some(0.03)),
+            (formulas(&["NOPE(a)", "a / b"]), Some(9.0)), // dead formula consumes budget
+            (formulas(&["a + A1"]), None),
+        ] {
+            let prepared = generate_queries(
+                &cat,
+                &registry,
+                &strs(&["GED", "Mixed", "Missing"]),
+                &strs(&["PGElecDemand", "CapAddTotal_Wind", "Nope"]),
+                &strs(&["2000", "2016", "2017", "Total", "1999"]),
+                &formulas,
+                parameter,
+                &config,
+            );
+            let legacy = generate_queries_unprepared(
+                &cat,
+                &registry,
+                &strs(&["GED", "Mixed", "Missing"]),
+                &strs(&["PGElecDemand", "CapAddTotal_Wind", "Nope"]),
+                &strs(&["2000", "2016", "2017", "Total", "1999"]),
+                &formulas,
+                parameter,
+                &config,
+            );
+            assert_eq!(prepared.len(), legacy.len());
+            for (a, b) in prepared.iter().zip(&legacy) {
+                assert_eq!(a.stmt, b.stmt);
+                assert_eq!(a.lookups, b.lookups);
+                assert_eq!(a.value, b.value);
+                assert_eq!(a.matches_parameter, b.matches_parameter);
+            }
+        }
     }
 }

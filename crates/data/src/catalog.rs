@@ -5,6 +5,42 @@ use crate::hash::FxHashMap;
 use crate::table::Table;
 use crate::Result;
 
+/// Stable numeric handle for a table inside one [`Catalog`].
+///
+/// Handles are positions in insertion order: once a table is added its id
+/// never changes (the catalog has no removal), so prepared queries can
+/// resolve a table name to a `TableId` once and index by it thereafter.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(u32);
+
+impl TableId {
+    /// The handle as a dense index (insertion position).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TableId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A fully resolved cell address: table handle, row position, column
+/// position. This is the numeric form of a `(relation, key, attribute)`
+/// lookup triple — what prepared plans bind and what the engine's
+/// query-result cache keys on instead of cloned strings.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellRef {
+    /// The table.
+    pub table: TableId,
+    /// Row position (primary-key index slot).
+    pub row: u32,
+    /// Column position in schema order.
+    pub col: u32,
+}
+
 /// A named collection of tables.
 ///
 /// The paper's IEA corpus has 1791 relations with nothing but table and
@@ -40,6 +76,37 @@ impl Catalog {
             .get(name)
             .map(|&i| &self.tables[i])
             .ok_or_else(|| DataError::UnknownTable(name.to_string()))
+    }
+
+    /// Resolves a table name to its stable handle.
+    #[inline]
+    pub fn resolve(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).map(|&i| TableId(i as u32))
+    }
+
+    /// Table by handle.
+    ///
+    /// # Panics
+    /// Panics when `id` does not come from this catalog (handles are plain
+    /// positions; resolving against one catalog and indexing another is a
+    /// programming error).
+    #[inline]
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.index()]
+    }
+
+    /// Resolves a `(relation, key, attribute)` lookup triple to a cell
+    /// handle, or `None` when any component is missing.
+    pub fn resolve_cell(&self, relation: &str, key: &str, attribute: &str) -> Option<CellRef> {
+        let table_id = self.resolve(relation)?;
+        let table = self.table(table_id);
+        let row = table.key_row(key)?;
+        let col = table.schema().column_index(attribute)? as u32;
+        Some(CellRef {
+            table: table_id,
+            row,
+            col,
+        })
     }
 
     /// Whether a table with this name exists.
@@ -157,6 +224,40 @@ mod tests {
             cat.all_attributes(),
             vec!["2016".to_string(), "2017".into(), "2030".into()]
         );
+    }
+
+    #[test]
+    fn handles_are_stable_positions() {
+        let cat = sample();
+        let global = cat.resolve("GED_Global").unwrap();
+        let europe = cat.resolve("GED_Europe").unwrap();
+        assert_ne!(global, europe);
+        assert_eq!(cat.table(global).name(), "GED_Global");
+        assert_eq!(cat.table(europe).name(), "GED_Europe");
+        assert_eq!(global.index(), 0);
+        assert!(cat.resolve("Nope").is_none());
+    }
+
+    #[test]
+    fn resolve_cell_finds_numeric_handles() {
+        let cat = sample();
+        let cell = cat
+            .resolve_cell("GED_Europe", "CapAddTotal_Wind", "2030")
+            .unwrap();
+        assert_eq!(cell.table, cat.resolve("GED_Europe").unwrap());
+        let table = cat.table(cell.table);
+        assert_eq!(table.key_at(cell.row), Some("CapAddTotal_Wind"));
+        assert_eq!(
+            table.numeric_view(cell.col as usize).get(cell.row as usize),
+            Some(30.0)
+        );
+        assert!(cat.resolve_cell("GED_Europe", "Nope", "2030").is_none());
+        assert!(cat
+            .resolve_cell("GED_Europe", "CapAddTotal_Wind", "1999")
+            .is_none());
+        assert!(cat
+            .resolve_cell("Nope", "CapAddTotal_Wind", "2030")
+            .is_none());
     }
 
     #[test]

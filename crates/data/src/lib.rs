@@ -29,10 +29,10 @@ pub mod table;
 pub mod value;
 
 pub use builder::TableBuilder;
-pub use catalog::Catalog;
+pub use catalog::{Catalog, CellRef, TableId};
 pub use error::DataError;
 pub use schema::{Column, DataType, Schema};
-pub use table::Table;
+pub use table::{NumericColumn, Table};
 pub use value::Value;
 
 /// Result alias used throughout the crate.

@@ -6,6 +6,56 @@ use crate::schema::Schema;
 use crate::value::Value;
 use crate::Result;
 
+/// A materialized numeric view of one column.
+///
+/// `values[row]` is the `f64` cast of the cell (or `NaN` when the cell is
+/// not numeric) and `valid[row]` records whether the cast existed. The view
+/// is maintained on every insert, so prepared-query execution reads plain
+/// `f64` slices instead of going through [`Value::as_f64`] per cell.
+#[derive(Debug, Default, Clone)]
+pub struct NumericColumn {
+    values: Vec<f64>,
+    valid: Vec<bool>,
+}
+
+impl NumericColumn {
+    /// The cell's numeric value, `None` when the cell is not numeric.
+    ///
+    /// A stored `Float(NaN)` *is* numeric and comes back as `Some(NaN)`,
+    /// exactly like [`Value::as_f64`] on the underlying cell.
+    #[inline]
+    pub fn get(&self, row: usize) -> Option<f64> {
+        if *self.valid.get(row)? {
+            Some(self.values[row])
+        } else {
+            None
+        }
+    }
+
+    /// The raw cast column; non-numeric cells read as `NaN`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Per-row validity: whether the cell was numeric.
+    pub fn valid(&self) -> &[bool] {
+        &self.valid
+    }
+
+    fn push(&mut self, value: &Value) {
+        match value.as_f64() {
+            Some(v) => {
+                self.values.push(v);
+                self.valid.push(true);
+            }
+            None => {
+                self.values.push(f64::NAN);
+                self.valid.push(false);
+            }
+        }
+    }
+}
+
 /// An in-memory table stored column-major with a primary-key index.
 ///
 /// Column-major layout matches the access pattern of statistical checks:
@@ -16,6 +66,7 @@ pub struct Table {
     name: String,
     schema: Schema,
     columns: Vec<Vec<Value>>,
+    numeric: Vec<NumericColumn>,
     index: KeyIndex,
 }
 
@@ -23,10 +74,12 @@ impl Table {
     /// Creates an empty table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
         let columns = vec![Vec::new(); schema.arity()];
+        let numeric = vec![NumericColumn::default(); schema.arity()];
         Table {
             name: name.into(),
             schema,
             columns,
+            numeric,
             index: KeyIndex::default(),
         }
     }
@@ -79,7 +132,8 @@ impl Table {
         if !self.index.insert(key, position) {
             return Err(DataError::DuplicateKey(key.to_string()));
         }
-        for (column, value) in self.columns.iter_mut().zip(row) {
+        for ((column, numeric), value) in self.columns.iter_mut().zip(&mut self.numeric).zip(row) {
+            numeric.push(&value);
             column.push(value);
         }
         Ok(())
@@ -106,6 +160,32 @@ impl Table {
     /// Whether the table has a row with this primary key.
     pub fn contains_key(&self, key: &str) -> bool {
         self.index.contains(key)
+    }
+
+    /// Row position of `key`, if present — the numeric handle prepared
+    /// queries bind instead of cloning key strings.
+    #[inline]
+    pub fn key_row(&self, key: &str) -> Option<u32> {
+        self.index.get(key)
+    }
+
+    /// The primary-key string stored at row `row`, if in range.
+    #[inline]
+    pub fn key_at(&self, row: u32) -> Option<&str> {
+        self.columns[self.schema.key_index()]
+            .get(row as usize)
+            .and_then(Value::as_str)
+    }
+
+    /// The cached numeric view of column `col` (by schema position).
+    ///
+    /// # Panics
+    /// Panics when `col` is out of range — column positions come from
+    /// [`Schema::column_index`](crate::schema::Schema::column_index), so an
+    /// out-of-range position is a programming error.
+    #[inline]
+    pub fn numeric_view(&self, col: usize) -> &NumericColumn {
+        &self.numeric[col]
     }
 
     /// Whether the table has an attribute column with this name.
@@ -254,6 +334,31 @@ mod tests {
         assert_eq!(t.column("2017").unwrap().len(), 2);
         assert!(t.has_attribute("2030"));
         assert!(!t.has_attribute("Index"), "key column is not an attribute");
+    }
+
+    #[test]
+    fn numeric_views_track_inserts() {
+        let t = ged();
+        let col = t.schema().column_index("2017").unwrap();
+        let view = t.numeric_view(col);
+        assert_eq!(view.get(0), Some(22_209.0));
+        assert_eq!(view.get(1), Some(2_390.0));
+        assert_eq!(view.get(2), None, "out of range");
+        assert_eq!(view.values(), &[22_209.0, 2_390.0]);
+        assert_eq!(view.valid(), &[true, true]);
+        // the key column is strings: numeric view is all-invalid NaN
+        let key_view = t.numeric_view(t.schema().key_index());
+        assert_eq!(key_view.get(0), None);
+        assert!(key_view.values()[0].is_nan());
+    }
+
+    #[test]
+    fn key_row_and_key_at_roundtrip() {
+        let t = ged();
+        assert_eq!(t.key_row("PGINCoal"), Some(1));
+        assert_eq!(t.key_at(1), Some("PGINCoal"));
+        assert_eq!(t.key_row("Nope"), None);
+        assert_eq!(t.key_at(9), None);
     }
 
     #[test]

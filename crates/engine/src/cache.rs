@@ -9,18 +9,19 @@
 //!
 //! ## Keying
 //!
-//! Entries are keyed by **normalized SQL**: the canonical text a query
-//! instantiation prints to, normalized by [`normalize_sql`] (whitespace
-//! collapse, keyword case, trailing-semicolon removal). Two key producers
-//! feed the same cache:
+//! Entries are keyed by [`PlanKey`] — the **structural fingerprint of a
+//! prepared plan**. Two key producers feed the same cache:
 //!
-//! * the serving layer's raw-SQL endpoint normalizes client text with
-//!   [`normalize_sql`], and
-//! * the query-generation hot path uses [`assignment_key`], a cheap
-//!   pre-image of the normalized SQL — the same formula instantiated with
-//!   the same lookups always prints to the same SQL, so
-//!   `(formula, lookups)` keys exactly as finely without paying for
-//!   instantiation + printing on every probe.
+//! * the query-generation hot path keys with
+//!   [`PlanKey::assignment`]: an interned formula id plus the assignment's
+//!   resolved [`CellRef`] handles. No strings are built or hashed per
+//!   probe — the fingerprint is a few words of plain data, and it
+//!   identifies the evaluation exactly (same formula skeleton, same bound
+//!   cells ⇒ same result);
+//! * the raw-SQL TCP endpoint keys with [`PlanKey::sql`] over
+//!   [`normalize_sql`]'d client text. Text normalization survives **only**
+//!   at that boundary, where text is the input format; everything behind
+//!   it works on prepared plans.
 //!
 //! ## Structure
 //!
@@ -33,13 +34,12 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::fmt::Write as _;
-use std::hash::{BuildHasher, Hasher};
+use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use scrutinizer_data::hash::FxBuildHasher;
-use scrutinizer_formula::Lookup;
+use scrutinizer_data::CellRef;
 
 /// The cached outcome of evaluating one query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,10 +62,72 @@ impl CachedResult {
     }
 }
 
+/// A compact cell list: inline for the common ≤ 4-variable formulas, a
+/// heap slice beyond that. Padding slots are zeroed so derived equality
+/// and hashing are well-defined.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CellVec {
+    /// Up to four cells stored inline (length, zero-padded array).
+    Inline(u8, [CellRef; 4]),
+    /// Five or more cells on the heap.
+    Heap(Box<[CellRef]>),
+}
+
+impl CellVec {
+    /// Packs a cell slice, staying allocation-free for ≤ 4 cells.
+    pub fn from_slice(cells: &[CellRef]) -> CellVec {
+        if cells.len() <= 4 {
+            let mut inline = [CellRef::default(); 4];
+            inline[..cells.len()].copy_from_slice(cells);
+            CellVec::Inline(cells.len() as u8, inline)
+        } else {
+            CellVec::Heap(cells.into())
+        }
+    }
+
+    /// The cells as a slice.
+    pub fn as_slice(&self) -> &[CellRef] {
+        match self {
+            CellVec::Inline(len, cells) => &cells[..*len as usize],
+            CellVec::Heap(cells) => cells,
+        }
+    }
+}
+
+/// Structural fingerprint of one prepared evaluation — the cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PlanKey {
+    /// A prepared-assignment evaluation: which formula skeleton (interned
+    /// id), bound to which resolved cells.
+    Assignment {
+        /// Interned formula id (stable per engine lifetime, never reused).
+        formula: u64,
+        /// The assignment's resolved cell handles, in variable order.
+        cells: CellVec,
+    },
+    /// A raw-SQL request, keyed by its [`normalize_sql`]'d text.
+    Sql(Box<str>),
+}
+
+impl PlanKey {
+    /// Fingerprint of a prepared assignment.
+    pub fn assignment(formula: u64, cells: &[CellRef]) -> PlanKey {
+        PlanKey::Assignment {
+            formula,
+            cells: CellVec::from_slice(cells),
+        }
+    }
+
+    /// Fingerprint of a raw-SQL request (pass [`normalize_sql`] output).
+    pub fn sql(normalized: String) -> PlanKey {
+        PlanKey::Sql(normalized.into_boxed_str())
+    }
+}
+
 const NIL: u32 = u32::MAX;
 
-struct Node {
-    key: Box<str>,
+struct Node<K> {
+    key: K,
     result: CachedResult,
     prev: u32,
     next: u32,
@@ -73,16 +135,16 @@ struct Node {
 
 /// One LRU shard: slab-backed intrusive doubly-linked list, most recent at
 /// `head`.
-struct LruShard {
-    map: HashMap<Box<str>, u32, FxBuildHasher>,
-    nodes: Vec<Node>,
+struct LruShard<K> {
+    map: HashMap<K, u32, FxBuildHasher>,
+    nodes: Vec<Node<K>>,
     free: Vec<u32>,
     head: u32,
     tail: u32,
     capacity: usize,
 }
 
-impl LruShard {
+impl<K: Hash + Eq + Clone> LruShard<K> {
     fn new(capacity: usize) -> Self {
         LruShard {
             map: HashMap::with_hasher(FxBuildHasher::default()),
@@ -126,7 +188,7 @@ impl LruShard {
         self.head = index;
     }
 
-    fn get(&mut self, key: &str) -> Option<CachedResult> {
+    fn get(&mut self, key: &K) -> Option<CachedResult> {
         let index = *self.map.get(key)?;
         if index != self.head {
             self.unlink(index);
@@ -135,8 +197,8 @@ impl LruShard {
         Some(self.nodes[index as usize].result)
     }
 
-    fn insert(&mut self, key: &str, result: CachedResult) {
-        match self.map.entry(key.into()) {
+    fn insert(&mut self, key: K, result: CachedResult) {
+        match self.map.entry(key) {
             Entry::Occupied(slot) => {
                 let index = *slot.get();
                 self.nodes[index as usize].result = result;
@@ -146,15 +208,16 @@ impl LruShard {
                 }
             }
             Entry::Vacant(slot) => {
+                let key = slot.key().clone();
                 let index = if let Some(reused) = self.free.pop() {
                     let node = &mut self.nodes[reused as usize];
-                    node.key = key.into();
+                    node.key = key;
                     node.result = result;
                     reused
                 } else {
                     let index = self.nodes.len() as u32;
                     self.nodes.push(Node {
-                        key: key.into(),
+                        key,
                         result,
                         prev: NIL,
                         next: NIL,
@@ -167,8 +230,8 @@ impl LruShard {
                     let victim = self.tail;
                     debug_assert_ne!(victim, NIL);
                     self.unlink(victim);
-                    let old_key = std::mem::take(&mut self.nodes[victim as usize].key);
-                    self.map.remove(&old_key);
+                    // disjoint field borrows: no key clone under the lock
+                    self.map.remove(&self.nodes[victim as usize].key);
                     self.free.push(victim);
                 }
             }
@@ -184,15 +247,16 @@ impl LruShard {
     }
 }
 
-/// The concurrent, sharded query-result cache.
-pub struct QueryCache {
-    shards: Vec<Mutex<LruShard>>,
+/// The concurrent, sharded query-result cache, generic over the key (the
+/// engine instantiates it with [`PlanKey`]).
+pub struct QueryCache<K = PlanKey> {
+    shards: Vec<Mutex<LruShard<K>>>,
     shard_bits: u32,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl QueryCache {
+impl<K: Hash + Eq + Clone> QueryCache<K> {
     /// A cache holding up to `capacity` entries across `shards` shards
     /// (rounded up to a power of two).
     pub fn new(capacity: usize, shards: usize) -> Self {
@@ -208,20 +272,19 @@ impl QueryCache {
         }
     }
 
-    fn shard_for(&self, key: &str) -> &Mutex<LruShard> {
+    fn shard_for(&self, key: &K) -> &Mutex<LruShard<K>> {
         if self.shard_bits == 0 {
             return &self.shards[0];
         }
-        let mut hasher = FxBuildHasher::default().build_hasher();
-        hasher.write(key.as_bytes());
         // FxHash's low bits are nearly constant for short keys; Fibonacci-mix
         // and take the top bits for the shard index instead.
-        let mixed = hasher.finish().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let hashed = FxBuildHasher::default().hash_one(key);
+        let mixed = hashed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         &self.shards[(mixed >> (64 - self.shard_bits)) as usize]
     }
 
     /// Looks up `key`, counting the hit or miss.
-    pub fn get(&self, key: &str) -> Option<CachedResult> {
+    pub fn get(&self, key: &K) -> Option<CachedResult> {
         let found = self
             .shard_for(key)
             .lock()
@@ -235,8 +298,8 @@ impl QueryCache {
     }
 
     /// Inserts (or refreshes) `key`.
-    pub fn insert(&self, key: &str, result: CachedResult) {
-        self.shard_for(key)
+    pub fn insert(&self, key: K, result: CachedResult) {
+        self.shard_for(&key)
             .lock()
             .expect("cache shard poisoned")
             .insert(key, result);
@@ -247,14 +310,14 @@ impl QueryCache {
     /// serialize their evaluations.
     pub fn get_or_insert_with(
         &self,
-        key: &str,
+        key: &K,
         evaluate: impl FnOnce() -> CachedResult,
     ) -> CachedResult {
         if let Some(found) = self.get(key) {
             return found;
         }
         let computed = evaluate();
-        self.insert(key, computed);
+        self.insert(key.clone(), computed);
         computed
     }
 
@@ -303,7 +366,8 @@ impl QueryCache {
 
 /// Canonicalizes SQL text for cache keying: collapses whitespace runs,
 /// uppercases bare keywords, trims, and strips a trailing semicolon.
-/// Quoted strings pass through untouched.
+/// Quoted strings pass through untouched. Used only at the raw-SQL TCP
+/// endpoint boundary — internal paths key on prepared-plan fingerprints.
 pub fn normalize_sql(sql: &str) -> String {
     const KEYWORDS: [&str; 5] = ["SELECT", "FROM", "WHERE", "AND", "OR"];
     let mut out = String::with_capacity(sql.len());
@@ -355,35 +419,38 @@ pub fn normalize_sql(sql: &str) -> String {
     out
 }
 
-/// The query-generation hot path's cache key: a canonical rendering of
-/// `(formula, lookups)`. This is a pre-image of the normalized SQL the
-/// instantiated statement would print to — same formula, same lookups,
-/// same SQL — but costs one string build instead of AST instantiation
-/// plus printing.
-pub fn assignment_key(formula_text: &str, lookups: &[Lookup]) -> String {
-    let mut key = String::with_capacity(formula_text.len() + lookups.len() * 24 + 8);
-    key.push_str("q:");
-    key.push_str(formula_text);
-    for lookup in lookups {
-        let _ = write!(
-            key,
-            "|{}\u{1}{}\u{1}{}",
-            lookup.relation, lookup.key, lookup.attribute
-        );
-    }
-    key
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scrutinizer_data::{Catalog, TableBuilder};
+
+    fn cell(catalog: &Catalog, relation: &str, key: &str, attribute: &str) -> CellRef {
+        catalog.resolve_cell(relation, key, attribute).unwrap()
+    }
+
+    fn sample_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add(
+            TableBuilder::new("T", "Index", &["2016", "2017"])
+                .row("K", &[1.0, 2.0])
+                .unwrap()
+                .row("L", &[3.0, 4.0])
+                .unwrap()
+                .build(),
+        )
+        .unwrap();
+        cat
+    }
 
     #[test]
     fn hit_after_insert_miss_before() {
-        let cache = QueryCache::new(64, 4);
-        assert_eq!(cache.get("q:a"), None);
-        cache.insert("q:a", CachedResult::Value(1.5));
-        assert_eq!(cache.get("q:a"), Some(CachedResult::Value(1.5)));
+        let cache: QueryCache<String> = QueryCache::new(64, 4);
+        assert_eq!(cache.get(&"q:a".to_string()), None);
+        cache.insert("q:a".to_string(), CachedResult::Value(1.5));
+        assert_eq!(
+            cache.get(&"q:a".to_string()),
+            Some(CachedResult::Value(1.5))
+        );
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
@@ -391,10 +458,10 @@ mod tests {
 
     #[test]
     fn failed_evaluations_are_cached_too() {
-        let cache = QueryCache::new(8, 1);
+        let cache: QueryCache<String> = QueryCache::new(8, 1);
         let mut calls = 0;
         for _ in 0..3 {
-            let result = cache.get_or_insert_with("q:bad", || {
+            let result = cache.get_or_insert_with(&"q:bad".to_string(), || {
                 calls += 1;
                 CachedResult::Failed
             });
@@ -405,31 +472,35 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let cache = QueryCache::new(2, 1);
-        cache.insert("a", CachedResult::Value(1.0));
-        cache.insert("b", CachedResult::Value(2.0));
-        assert!(cache.get("a").is_some()); // refresh a; b is now oldest
-        cache.insert("c", CachedResult::Value(3.0));
-        assert_eq!(cache.get("b"), None, "b should have been evicted");
-        assert!(cache.get("a").is_some());
-        assert!(cache.get("c").is_some());
+        let cache: QueryCache<String> = QueryCache::new(2, 1);
+        cache.insert("a".to_string(), CachedResult::Value(1.0));
+        cache.insert("b".to_string(), CachedResult::Value(2.0));
+        assert!(cache.get(&"a".to_string()).is_some()); // refresh a; b is now oldest
+        cache.insert("c".to_string(), CachedResult::Value(3.0));
+        assert_eq!(
+            cache.get(&"b".to_string()),
+            None,
+            "b should have been evicted"
+        );
+        assert!(cache.get(&"a".to_string()).is_some());
+        assert!(cache.get(&"c".to_string()).is_some());
         assert_eq!(cache.len(), 2);
     }
 
     #[test]
     fn reinsert_updates_in_place() {
-        let cache = QueryCache::new(4, 1);
-        cache.insert("a", CachedResult::Value(1.0));
-        cache.insert("a", CachedResult::Value(9.0));
-        assert_eq!(cache.get("a"), Some(CachedResult::Value(9.0)));
+        let cache: QueryCache<String> = QueryCache::new(4, 1);
+        cache.insert("a".to_string(), CachedResult::Value(1.0));
+        cache.insert("a".to_string(), CachedResult::Value(9.0));
+        assert_eq!(cache.get(&"a".to_string()), Some(CachedResult::Value(9.0)));
         assert_eq!(cache.len(), 1);
     }
 
     #[test]
     fn clear_empties_every_shard() {
-        let cache = QueryCache::new(100, 8);
+        let cache: QueryCache<String> = QueryCache::new(100, 8);
         for i in 0..100 {
-            cache.insert(&format!("k{i}"), CachedResult::Value(i as f64));
+            cache.insert(format!("k{i}"), CachedResult::Value(i as f64));
         }
         assert!(!cache.is_empty());
         cache.clear();
@@ -438,9 +509,9 @@ mod tests {
 
     #[test]
     fn heavy_insertion_respects_capacity() {
-        let cache = QueryCache::new(128, 8);
+        let cache: QueryCache<String> = QueryCache::new(128, 8);
         for i in 0..10_000 {
-            cache.insert(&format!("key-{i}"), CachedResult::Value(i as f64));
+            cache.insert(format!("key-{i}"), CachedResult::Value(i as f64));
         }
         assert!(
             cache.len() <= 128 + 8,
@@ -462,18 +533,56 @@ mod tests {
     }
 
     #[test]
-    fn assignment_keys_distinguish_lookups() {
-        let a = assignment_key("a / b", &[Lookup::new("T", "K", "2016")]);
-        let b = assignment_key("a / b", &[Lookup::new("T", "K", "2017")]);
-        let c = assignment_key("a / b", &[Lookup::new("T", "K", "2016")]);
+    fn plan_keys_distinguish_assignments() {
+        let cat = sample_catalog();
+        let a = PlanKey::assignment(0, &[cell(&cat, "T", "K", "2016")]);
+        let b = PlanKey::assignment(0, &[cell(&cat, "T", "K", "2017")]);
+        let c = PlanKey::assignment(0, &[cell(&cat, "T", "K", "2016")]);
+        let d = PlanKey::assignment(1, &[cell(&cat, "T", "K", "2016")]);
         assert_ne!(a, b);
         assert_eq!(a, c);
+        assert_ne!(a, d, "different formulas never collide");
+        assert_ne!(a, PlanKey::sql("SELECT 1".to_string()));
+    }
+
+    #[test]
+    fn cell_vec_inline_and_heap_agree() {
+        let cat = sample_catalog();
+        let cells: Vec<CellRef> = ["2016", "2017"]
+            .iter()
+            .flat_map(|attr| [cell(&cat, "T", "K", attr), cell(&cat, "T", "L", attr)])
+            .collect();
+        let inline = CellVec::from_slice(&cells[..3]);
+        assert!(matches!(inline, CellVec::Inline(3, _)));
+        assert_eq!(inline.as_slice(), &cells[..3]);
+        let mut many = cells.clone();
+        many.extend_from_slice(&cells);
+        let heap = CellVec::from_slice(&many);
+        assert!(matches!(heap, CellVec::Heap(_)));
+        assert_eq!(heap.as_slice(), &many[..]);
+        // equality is by content, padding never leaks
+        assert_eq!(CellVec::from_slice(&cells[..3]), inline);
+        assert_ne!(CellVec::from_slice(&cells[..2]), inline);
+    }
+
+    #[test]
+    fn plan_keyed_cache_round_trips() {
+        let cat = sample_catalog();
+        let cache: QueryCache<PlanKey> = QueryCache::new(16, 2);
+        let key = PlanKey::assignment(7, &[cell(&cat, "T", "L", "2017")]);
+        assert_eq!(cache.get(&key), None);
+        cache.insert(key.clone(), CachedResult::Value(4.0));
+        assert_eq!(cache.get(&key), Some(CachedResult::Value(4.0)));
+        let sql = PlanKey::sql(normalize_sql("select  a.2017 from T a"));
+        cache.insert(sql.clone(), CachedResult::Failed);
+        assert_eq!(cache.get(&sql), Some(CachedResult::Failed));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]
     fn concurrent_access_is_consistent() {
         use std::sync::Arc;
-        let cache = Arc::new(QueryCache::new(1024, 16));
+        let cache: Arc<QueryCache<String>> = Arc::new(QueryCache::new(1024, 16));
         let handles: Vec<_> = (0..8)
             .map(|t| {
                 let cache = Arc::clone(&cache);

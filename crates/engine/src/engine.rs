@@ -10,6 +10,7 @@ use scrutinizer_core::qgen::QueryCandidate;
 use scrutinizer_core::report::{ClaimOutcome, Verdict};
 use scrutinizer_core::screens::FinalScreen;
 use scrutinizer_core::stats::mean;
+use scrutinizer_core::AssignmentCache;
 use scrutinizer_core::{
     generate_queries_with, padded_context, select_batch, OrderingStrategy, PropertyKind,
     SystemConfig, SystemModels, Verifier,
@@ -17,10 +18,11 @@ use scrutinizer_core::{
 use scrutinizer_corpus::{ClaimKind, ClaimRecord, Corpus};
 use scrutinizer_crowd::{Worker, WorkerConfig};
 use scrutinizer_data::hash::{FxHashMap, FxHashSet};
-use scrutinizer_formula::{eval_formula, parse_formula, Formula};
+use scrutinizer_data::CellRef;
+use scrutinizer_formula::{parse_formula, Formula};
 use scrutinizer_query::FunctionRegistry;
 
-use crate::cache::{assignment_key, normalize_sql, CachedResult, QueryCache};
+use crate::cache::{normalize_sql, CachedResult, PlanKey, QueryCache};
 use crate::executor::ThreadPool;
 use crate::session::{ClaimPhase, ClaimQuestions, ClaimTask, SessionId, SessionState, Suggestion};
 use crate::stats::{EngineStats, StatsSnapshot};
@@ -114,6 +116,43 @@ pub struct VerdictRecord {
 
 type SessionHandle = Arc<Mutex<SessionState>>;
 
+/// The engine's [`AssignmentCache`]: routes Algorithm 2's assignment
+/// evaluations through the sharded LRU, keyed by the prepared plan's
+/// structural fingerprint ([`PlanKey::Assignment`]).
+struct PlanCacheHook<'a> {
+    cache: &'a QueryCache<PlanKey>,
+    formula_ids: &'a Mutex<FxHashMap<Box<str>, u64>>,
+}
+
+impl AssignmentCache for PlanCacheHook<'_> {
+    fn formula_token(&mut self, formula_text: &str) -> u64 {
+        let mut ids = self.formula_ids.lock().expect("formula interner poisoned");
+        if let Some(&id) = ids.get(formula_text) {
+            return id;
+        }
+        // ids are dense and never reused; the formula pool is the learned
+        // formula library plus per-claim ground-truth texts, so the
+        // interner stays small relative to the result cache it feeds
+        let id = ids.len() as u64;
+        ids.insert(formula_text.into(), id);
+        id
+    }
+
+    fn get(&mut self, token: u64, cells: &[CellRef]) -> Option<Option<f64>> {
+        self.cache
+            .get(&PlanKey::assignment(token, cells))
+            .map(CachedResult::value)
+    }
+
+    fn put(&mut self, token: u64, cells: &[CellRef], value: Option<f64>) {
+        let result = match value {
+            Some(v) => CachedResult::Value(v),
+            None => CachedResult::Failed,
+        };
+        self.cache.insert(PlanKey::assignment(token, cells), result);
+    }
+}
+
 struct VerifiedSet {
     order: Vec<usize>,
     seen: FxHashSet<usize>,
@@ -131,7 +170,10 @@ pub struct Engine {
     options: EngineOptions,
     registry: FunctionRegistry,
     models: RwLock<SystemModels>,
-    cache: QueryCache,
+    cache: QueryCache<PlanKey>,
+    /// Formula text → stable interned id, the `formula` half of
+    /// [`PlanKey::Assignment`] fingerprints.
+    formula_ids: Mutex<FxHashMap<Box<str>, u64>>,
     pool: ThreadPool,
     stats: EngineStats,
     sessions: Mutex<FxHashMap<u64, SessionHandle>>,
@@ -156,6 +198,7 @@ impl Engine {
             registry: FunctionRegistry::standard(),
             models: RwLock::new(models),
             cache: QueryCache::new(options.cache_capacity, options.cache_shards),
+            formula_ids: Mutex::new(FxHashMap::default()),
             pool: ThreadPool::new(options.threads, options.queue_capacity),
             stats: EngineStats::default(),
             sessions: Mutex::new(FxHashMap::default()),
@@ -555,9 +598,11 @@ impl Engine {
     /// enumeration, budgeting and ranking as
     /// [`scrutinizer_core::generate_queries`] — it delegates to
     /// [`generate_queries_with`] — but each assignment's evaluation goes
-    /// through the sharded LRU, so near-duplicate instantiations across
-    /// claims and sessions cost a hash probe instead of a formula
-    /// evaluation.
+    /// through the sharded LRU, keyed by the prepared plan's structural
+    /// fingerprint (interned formula id + resolved cell handles), so
+    /// near-duplicate instantiations across claims and sessions cost a
+    /// hash probe over a few plain words instead of an evaluation — and
+    /// never build a key string.
     pub fn cached_generate(
         &self,
         relations: &[String],
@@ -566,26 +611,20 @@ impl Engine {
         formulas: &[(String, Formula)],
         parameter: Option<f64>,
     ) -> Vec<QueryCandidate> {
-        let catalog = &self.corpus.catalog;
+        let mut hook = PlanCacheHook {
+            cache: &self.cache,
+            formula_ids: &self.formula_ids,
+        };
         generate_queries_with(
-            catalog,
+            &self.corpus.catalog,
+            &self.registry,
             relations,
             keys,
             attributes,
             formulas,
             parameter,
             &self.config,
-            |text, formula, lookups| {
-                let key = assignment_key(text, lookups);
-                self.cache
-                    .get_or_insert_with(&key, || {
-                        match eval_formula(catalog, &self.registry, formula, lookups) {
-                            Ok(value) if value.is_finite() => CachedResult::Value(value),
-                            _ => CachedResult::Failed,
-                        }
-                    })
-                    .value()
-            },
+            &mut hook,
         )
     }
 
@@ -760,12 +799,19 @@ impl Engine {
     // ---- raw SQL ----------------------------------------------------------
 
     /// Executes one SQL statement against the shared catalog through the
-    /// query-result cache (keyed by [`normalize_sql`]).
+    /// query-result cache. This is the one place [`normalize_sql`]
+    /// survives — the TCP endpoint boundary, where the input *is* text;
+    /// on a miss the statement is parsed and runs through the prepared
+    /// executor like every internal evaluation.
     pub fn run_sql(&self, sql: &str) -> Result<f64, EngineError> {
         self.stats.bump(&self.stats.sql_executed);
-        let key = normalize_sql(sql);
+        let normalized = normalize_sql(sql);
+        let key = PlanKey::sql(normalized.clone());
         let result = self.cache.get_or_insert_with(&key, || {
-            match scrutinizer_query::run_sql(&self.corpus.catalog, sql) {
+            // evaluate the *normalized* text so the cached outcome always
+            // agrees with the key (e.g. a trailing `;` is stripped by
+            // normalization and must not fail the parse)
+            match scrutinizer_query::run_sql(&self.corpus.catalog, &normalized) {
                 Ok(value) => match value.as_f64() {
                     Some(v) if v.is_finite() => CachedResult::Value(v),
                     _ => CachedResult::Failed,
@@ -775,7 +821,7 @@ impl Engine {
         });
         result
             .value()
-            .ok_or_else(|| EngineError::Sql(format!("evaluation failed for `{key}`")))
+            .ok_or_else(|| EngineError::Sql(format!("evaluation failed for `{normalized}`")))
     }
 
     // ---- observability -----------------------------------------------------

@@ -21,7 +21,7 @@
 //!   │ Engine                                      │
 //!   │   models: RwLock<SystemModels>  (4 clfs)    │──▶ plan_claim / translate
 //!   │   corpus: Arc<Corpus>           (catalog)   │──▶ Algorithm 2 (qgen)
-//!   │   cache:  sharded LRU  (normalized SQL)     │──▶ hit ⇒ skip evaluation
+//!   │   cache:  sharded LRU  (plan fingerprints)  │──▶ hit ⇒ skip evaluation
 //!   │   pool:   bounded-queue thread pool         │──▶ verify_batch fan-out
 //!   │   stats:  counters + latency histograms     │──▶ `stats` endpoint
 //!   └─────────────────────────────────────────────┘
@@ -56,10 +56,13 @@
 //! Algorithm 2 brute-forces thousands of near-duplicate query
 //! instantiations per claim, and concurrent sessions repeat one another's
 //! work (contexts are Zipf-distributed). [`cache::QueryCache`] is a
-//! sharded LRU keyed by normalized SQL (see [`cache::normalize_sql`] and
-//! [`cache::assignment_key`]) storing each instantiation's evaluated
-//! result — including failures, which recur just as often. The
-//! `engine` bench measures the cold/warm gap.
+//! sharded LRU keyed by [`cache::PlanKey`] — the structural fingerprint
+//! of a prepared evaluation (interned formula id + resolved cell
+//! handles), so the hot path's probes hash a few plain words instead of
+//! building key strings. [`cache::normalize_sql`] survives only at the
+//! raw-SQL TCP boundary, where the input is text. Cached entries include
+//! failures, which recur just as often. The `engine` and `prepared`
+//! benches measure the cold/warm and string/prepared gaps.
 //!
 //! ## Serving
 //!
@@ -82,7 +85,7 @@ pub mod protocol;
 pub mod session;
 pub mod stats;
 
-pub use cache::{normalize_sql, CachedResult, QueryCache};
+pub use cache::{normalize_sql, CachedResult, CellVec, PlanKey, QueryCache};
 pub use engine::{Engine, EngineError, EngineOptions, VerdictRecord};
 pub use executor::ThreadPool;
 pub use session::{ClaimQuestions, ScreenView, SessionId, Suggestion};

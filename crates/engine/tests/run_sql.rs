@@ -1,0 +1,56 @@
+//! The raw-SQL boundary: normalization is the cache key *and* the text
+//! that gets evaluated, so every spelling of one statement shares one
+//! entry and one outcome.
+
+use scrutinizer_core::SystemConfig;
+use scrutinizer_corpus::{Corpus, CorpusConfig};
+use scrutinizer_engine::engine::{Engine, EngineOptions};
+
+#[test]
+fn normalized_spellings_share_one_cache_entry() {
+    let corpus = Corpus::generate(CorpusConfig::small());
+    // grab a real cell so the query evaluates
+    let claim = &corpus.claims[0];
+    let lookup = &claim.lookups[0];
+    let spellings = [
+        format!(
+            "SELECT a.{} FROM {} a WHERE a.Index = '{}'",
+            lookup.attribute, lookup.relation, lookup.key
+        ),
+        format!(
+            "select   a.{}  from {} a  where a.Index = '{}' ;",
+            lookup.attribute, lookup.relation, lookup.key
+        ),
+        format!(
+            "SELECT a.{} FROM {} a WHERE a.Index = '{}';",
+            lookup.attribute, lookup.relation, lookup.key
+        ),
+    ];
+    let engine = Engine::with_options(
+        corpus,
+        SystemConfig::test(),
+        EngineOptions {
+            retrain_interval: None,
+            ..EngineOptions::default()
+        },
+    );
+    let mut values = Vec::new();
+    for sql in &spellings {
+        values.push(engine.run_sql(sql).expect("valid statement evaluates"));
+    }
+    assert!(values.windows(2).all(|w| w[0] == w[1]));
+    let stats = engine.stats();
+    assert_eq!(
+        stats.cache_entries, 1,
+        "one normalized key for all spellings"
+    );
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(stats.sql_executed, 3);
+
+    // failures are remembered under their own key and never poison others
+    assert!(engine.run_sql("SELECT nope").is_err());
+    assert!(engine.run_sql("SELECT nope ;").is_err());
+    assert_eq!(engine.stats().cache_entries, 2);
+    assert_eq!(engine.run_sql(&spellings[0]).unwrap(), values[0]);
+}

@@ -1,11 +1,20 @@
 //! Query execution: bind aliases to rows, evaluate the projection.
+//!
+//! Since the prepared-plan refactor, [`execute`], [`execute_all`] and
+//! [`execute_with`] are thin wrappers over
+//! [`PreparedQuery`](crate::prepared::PreparedQuery): prepare once, run
+//! once. Callers that execute one statement many times should prepare it
+//! themselves and reuse the plan. [`execute_with_unprepared`] keeps the
+//! original string-resolving interpreter alive as the differential-testing
+//! and benchmarking baseline.
 
 use crate::ast::SelectStmt;
 use crate::error::QueryError;
 use crate::eval::eval_expr;
 use crate::functions::FunctionRegistry;
+use crate::prepared::PreparedQuery;
 use crate::Result;
-use scrutinizer_data::{Catalog, Value};
+use scrutinizer_data::{Catalog, Table, Value};
 
 /// One assignment of aliases to primary-key values.
 ///
@@ -21,11 +30,7 @@ pub struct Binding {
 /// WHERE-clause order).
 pub fn execute(catalog: &Catalog, stmt: &SelectStmt) -> Result<Value> {
     let registry = FunctionRegistry::standard();
-    execute_with(catalog, stmt, &registry)?
-        .into_iter()
-        .next()
-        .map(|(_, v)| v)
-        .ok_or(QueryError::NoBinding)
+    PreparedQuery::prepare(catalog, stmt, &registry)?.execute_first(catalog)
 }
 
 /// Executes the statement, returning every satisfying binding with its value.
@@ -44,7 +49,25 @@ pub fn execute_with(
     stmt: &SelectStmt,
     registry: &FunctionRegistry,
 ) -> Result<Vec<(Binding, Value)>> {
-    // Per alias: the set of admissible keys (intersection of its OR-groups).
+    PreparedQuery::prepare(catalog, stmt, registry)?.execute_all(catalog)
+}
+
+/// The original string-path interpreter: re-resolves names per binding
+/// instead of preparing a plan.
+///
+/// Kept as the behavioral baseline — the property tests assert the
+/// prepared path is observably identical, and `crates/bench` measures the
+/// gap. One historic inefficiency is fixed even here: the alias →
+/// `(table, position)` mapping is precomputed before enumeration instead
+/// of running a FROM scan plus a catalog hash lookup *per cell*.
+pub fn execute_with_unprepared(
+    catalog: &Catalog,
+    stmt: &SelectStmt,
+    registry: &FunctionRegistry,
+) -> Result<Vec<(Binding, Value)>> {
+    // Per alias: the table it binds (resolved once) and the set of
+    // admissible keys (intersection of its OR-groups).
+    let mut alias_tables: Vec<(&str, &Table)> = Vec::with_capacity(stmt.from.len());
     let mut candidates: Vec<Vec<String>> = Vec::with_capacity(stmt.from.len());
     for (table_name, alias) in &stmt.from {
         let table = catalog.get(table_name)?;
@@ -82,29 +105,34 @@ pub fn execute_with(
             keys.retain(|k| table.contains_key(k));
             keys
         };
+        alias_tables.push((alias.as_str(), table));
         candidates.push(keys);
     }
 
-    // Enumerate the cross product of per-alias candidates.
+    // Enumerate the cross product of per-alias candidates. Keys are
+    // borrowed during enumeration; owned strings are built only for the
+    // bindings that make it into the result set.
     let mut results = Vec::new();
     let mut current = vec![0usize; candidates.len()];
     if candidates.iter().any(Vec::is_empty) {
         return Ok(results);
     }
+    let mut keys: Vec<&str> = Vec::with_capacity(candidates.len());
     loop {
-        let keys: Vec<String> = current
-            .iter()
-            .zip(&candidates)
-            .map(|(&i, keys)| keys[i].clone())
-            .collect();
-        let mut lookup = |alias: &str, column: &str| -> Result<f64> {
-            let position = stmt
-                .from
+        keys.clear();
+        keys.extend(
+            current
                 .iter()
-                .position(|(_, a)| a == alias)
+                .zip(&candidates)
+                .map(|(&i, keys)| keys[i].as_str()),
+        );
+        let keys_now = &keys;
+        let mut lookup = |alias: &str, column: &str| -> Result<f64> {
+            let position = alias_tables
+                .iter()
+                .position(|(a, _)| *a == alias)
                 .ok_or_else(|| QueryError::UnknownAlias(alias.to_string()))?;
-            let table = catalog.get(&stmt.from[position].0)?;
-            let value = table.get(&keys[position], column)?;
+            let value = alias_tables[position].1.get(keys_now[position], column)?;
             value.as_f64().ok_or_else(|| {
                 QueryError::Arithmetic(format!(
                     "{alias}.{column} is {} `{value}`, not numeric",
@@ -113,7 +141,12 @@ pub fn execute_with(
             })
         };
         match eval_expr(&stmt.projection, registry, &mut lookup) {
-            Ok(v) => results.push((Binding { keys }, Value::Float(v))),
+            Ok(v) => results.push((
+                Binding {
+                    keys: keys.iter().map(|k| k.to_string()).collect(),
+                },
+                Value::Float(v),
+            )),
             Err(QueryError::Arithmetic(_)) | Err(QueryError::Data(_)) => {}
             Err(other) => return Err(other),
         }

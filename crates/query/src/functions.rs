@@ -20,14 +20,16 @@ pub enum Arity {
 }
 
 impl Arity {
-    fn accepts(self, n: usize) -> bool {
+    /// Whether `n` arguments are acceptable.
+    pub fn accepts(self, n: usize) -> bool {
         match self {
             Arity::Exact(k) => n == k,
             Arity::AtLeast(k) => n >= k,
         }
     }
 
-    fn describe(self) -> String {
+    /// Human-readable description used in arity-mismatch errors.
+    pub fn describe(self) -> String {
         match self {
             Arity::Exact(k) => format!("exactly {k}"),
             Arity::AtLeast(k) => format!("at least {k}"),

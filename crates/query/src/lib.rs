@@ -18,6 +18,17 @@
 //! evaluator, an executor that enumerates key bindings, and a pretty-printer
 //! that renders queries back to the human-readable SQL fact checkers see on
 //! their screens (Figure 3).
+//!
+//! ## Prepare once, execute many
+//!
+//! Execution is split into a *prepare* step and a *run* step (see
+//! [`prepared::PreparedQuery`]): preparing resolves table names to
+//! [`scrutinizer_data::TableId`] handles, WHERE keys to `u32` row
+//! positions, and compiles the projection into a flat postfix program over
+//! cached numeric column views. [`execute`], [`execute_all`] and
+//! [`exec::execute_with`] wrap prepare + run for one-shot callers; hot
+//! loops (Algorithm 2, the serving engine) prepare once and re-run with
+//! different row bindings.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,13 +40,15 @@ pub mod exec;
 pub mod functions;
 pub mod lexer;
 pub mod parser;
+pub mod prepared;
 pub mod printer;
 
 pub use ast::{BinOp, Expr, KeyPredicate, SelectStmt, UnaryOp};
 pub use error::QueryError;
-pub use exec::{execute, execute_all, Binding};
+pub use exec::{execute, execute_all, execute_with_unprepared, Binding};
 pub use functions::FunctionRegistry;
-pub use parser::parse;
+pub use parser::{parse, parse_count};
+pub use prepared::PreparedQuery;
 
 use scrutinizer_data::{Catalog, Value};
 

@@ -4,9 +4,25 @@ use crate::ast::{BinOp, Expr, KeyPredicate, SelectStmt, UnaryOp};
 use crate::error::QueryError;
 use crate::lexer::{tokenize, Keyword, Token, TokenKind};
 use crate::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`parse`] calls.
+///
+/// SQL parsing belongs at system boundaries (the TCP endpoint, test
+/// fixtures) — never inside Algorithm 2's candidate loop, which works on
+/// structured plans. Tests snapshot this counter around hot paths to
+/// assert they stay parse-free.
+static PARSES: AtomicU64 = AtomicU64::new(0);
+
+/// Lifetime number of statement parses performed by this process (see
+/// [`PARSES`] — expression parses via `parse_expr` are not counted).
+pub fn parse_count() -> u64 {
+    PARSES.load(Ordering::Relaxed)
+}
 
 /// Parses a complete statistical-check SELECT statement.
 pub fn parse(input: &str) -> Result<SelectStmt> {
+    PARSES.fetch_add(1, Ordering::Relaxed);
     let tokens = tokenize(input)?;
     let mut parser = Parser { tokens, pos: 0 };
     let stmt = parser.select_stmt()?;

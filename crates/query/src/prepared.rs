@@ -1,0 +1,525 @@
+//! Prepared queries: resolve once, execute many.
+//!
+//! The string path re-resolves everything per binding: alias → FROM
+//! position by linear scan, table by name through the catalog hash map,
+//! column by name through the schema, cell through [`Value::as_f64`] — all
+//! inside Algorithm 2's innermost loop. A [`PreparedQuery`] does that work
+//! exactly once at *prepare* time:
+//!
+//! * every FROM table is resolved to a [`TableId`] handle,
+//! * every WHERE key predicate is resolved to `u32` row positions (in the
+//!   executor's deterministic sorted-key order),
+//! * the projection is compiled to a flat postfix program whose column
+//!   references are `(FROM position, column position)` pairs read from the
+//!   table's cached numeric views, and whose function calls hold the
+//!   resolved `fn` pointer (arity pre-checked),
+//!
+//! after which *execute* is a tight odometer over row ids evaluating a
+//! register program — no string hashing, no `Value` matching, no per-cell
+//! error construction. `execute`/`execute_all`/`execute_with` in
+//! [`exec`](crate::exec) are thin wrappers over prepare + run.
+//!
+//! ## Equivalence with the string path
+//!
+//! The prepared path reproduces the string executor's observable behavior
+//! bit for bit (property-tested in `tests/proptest_prepared.rs`):
+//!
+//! * binding enumeration order (FROM order × sorted candidate keys, table
+//!   row order for unconstrained aliases),
+//! * skip semantics — missing cells, non-numeric cells, arithmetic
+//!   failures and NaN-producing calls skip the binding instead of failing
+//!   the query,
+//! * hard errors — unknown aliases, unknown functions and arity mismatches
+//!   surface only when a binding actually evaluates them, so a query with
+//!   zero bindings still returns `Ok(vec![])` exactly like the string
+//!   path, and errors fire at the same evaluation position.
+
+use crate::ast::{Expr, SelectStmt, UnaryOp};
+use crate::error::QueryError;
+use crate::eval::apply_binop;
+use crate::exec::Binding;
+use crate::functions::{FnImpl, FunctionRegistry};
+use crate::Result;
+use scrutinizer_data::{Catalog, DataError, Table, TableId, Value};
+
+/// One instruction of the compiled projection program (postfix order, so
+/// evaluation visits nodes exactly like the recursive string evaluator).
+#[derive(Debug, Clone)]
+enum Instr {
+    /// Push a literal.
+    Const(f64),
+    /// Push the numeric cell of FROM entry `from`'s bound row at column
+    /// `col`; a non-numeric or missing cell skips the binding.
+    Load { from: u16, col: u32 },
+    /// The column did not resolve at prepare time — the string path raises
+    /// a (skippable) storage error per binding, so this skips the binding.
+    MissingColumn,
+    /// Negate the top of stack.
+    Neg,
+    /// Apply a binary operator to the top two stack slots.
+    Bin(crate::ast::BinOp),
+    /// Call a resolved function over the top `argc` stack slots.
+    Call { imp: FnImpl, argc: u16 },
+    /// A non-skippable prepare-time failure (unknown alias / function,
+    /// arity mismatch), raised only if a binding reaches this point —
+    /// matching the string path's lazily-surfaced errors.
+    Fail(Box<QueryError>),
+}
+
+/// A statement resolved against a catalog: numeric handles everywhere.
+///
+/// Prepared queries hold positions into the catalog they were prepared
+/// against; executing one against a different catalog is a programming
+/// error (row/column handles would be meaningless) and panics or returns
+/// nonsense rather than being detected.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// Table handle per FROM entry.
+    tables: Vec<TableId>,
+    /// Admissible row positions per FROM entry, in the executor's
+    /// deterministic order.
+    row_candidates: Vec<Vec<u32>>,
+    /// The compiled projection.
+    program: Vec<Instr>,
+    /// Whether the program contains a [`Instr::Fail`] — when it does not,
+    /// first-binding execution may stop early.
+    has_hard_errors: bool,
+}
+
+impl PreparedQuery {
+    /// Resolves `stmt` against `catalog` and `registry`.
+    ///
+    /// Fails eagerly on the errors the string path raises before
+    /// enumeration (unknown table, non-key predicate); errors the string
+    /// path raises *during* evaluation (unknown alias/function, arity) are
+    /// compiled into the program and surface only when a binding reaches
+    /// them.
+    pub fn prepare(
+        catalog: &Catalog,
+        stmt: &SelectStmt,
+        registry: &FunctionRegistry,
+    ) -> Result<PreparedQuery> {
+        let mut tables = Vec::with_capacity(stmt.from.len());
+        let mut resolved: Vec<&Table> = Vec::with_capacity(stmt.from.len());
+        let mut row_candidates = Vec::with_capacity(stmt.from.len());
+        for (table_name, alias) in &stmt.from {
+            let id = catalog
+                .resolve(table_name)
+                .ok_or_else(|| DataError::UnknownTable(table_name.to_string()))?;
+            let table = catalog.table(id);
+            for group in &stmt.where_groups {
+                for p in group {
+                    if p.alias == *alias && p.column != table.schema().key_name() {
+                        return Err(QueryError::NonKeyPredicate {
+                            alias: alias.clone(),
+                            column: p.column.clone(),
+                        });
+                    }
+                }
+            }
+            let groups: Vec<&Vec<_>> = stmt
+                .where_groups
+                .iter()
+                .filter(|g| g.iter().any(|p| p.alias == *alias))
+                .collect();
+            let rows: Vec<u32> = if groups.is_empty() {
+                // unconstrained alias: every row (keys() is row order)
+                (0..table.row_count() as u32).collect()
+            } else {
+                // keys allowed by every OR-group that mentions the alias,
+                // in sorted-key order — the string executor's order
+                let mut keys: Vec<&str> = groups[0]
+                    .iter()
+                    .filter(|p| p.alias == *alias)
+                    .map(|p| p.value.as_str())
+                    .collect();
+                for group in &groups[1..] {
+                    keys.retain(|k| group.iter().any(|p| p.alias == *alias && p.value == *k));
+                }
+                keys.sort_unstable();
+                keys.dedup();
+                keys.iter().filter_map(|k| table.key_row(k)).collect()
+            };
+            tables.push(id);
+            resolved.push(table);
+            row_candidates.push(rows);
+        }
+
+        let mut program = Vec::new();
+        let mut has_hard_errors = false;
+        compile(
+            &stmt.projection,
+            stmt,
+            &resolved,
+            registry,
+            &mut program,
+            &mut has_hard_errors,
+        );
+        Ok(PreparedQuery {
+            tables,
+            row_candidates,
+            program,
+            has_hard_errors,
+        })
+    }
+
+    /// Number of bindings the run will enumerate (the cross product of the
+    /// per-alias candidate row sets).
+    pub fn binding_count(&self) -> usize {
+        if self.row_candidates.iter().any(Vec::is_empty) {
+            return 0;
+        }
+        self.row_candidates.iter().map(Vec::len).product()
+    }
+
+    /// Whether the compiled program can raise a non-skippable error.
+    pub fn has_hard_errors(&self) -> bool {
+        self.has_hard_errors
+    }
+
+    /// Runs the plan, invoking `on_result` for every satisfying binding
+    /// (row positions in FROM order, projected value). Return `false` from
+    /// the callback to stop early.
+    pub fn run(
+        &self,
+        catalog: &Catalog,
+        mut on_result: impl FnMut(&[u32], f64) -> bool,
+    ) -> Result<()> {
+        if self.row_candidates.iter().any(Vec::is_empty) {
+            return Ok(());
+        }
+        let tables: Vec<&Table> = self.tables.iter().map(|&id| catalog.table(id)).collect();
+        let mut current = vec![0usize; self.row_candidates.len()];
+        let mut rows: Vec<u32> = self.row_candidates.iter().map(|c| c[0]).collect();
+        let mut stack: Vec<f64> = Vec::with_capacity(self.program.len());
+        loop {
+            if let Some(value) = self.eval_binding(&tables, &rows, &mut stack)? {
+                if !on_result(&rows, value) {
+                    return Ok(());
+                }
+            }
+            // odometer increment
+            let mut dim = self.row_candidates.len();
+            loop {
+                if dim == 0 {
+                    return Ok(());
+                }
+                dim -= 1;
+                current[dim] += 1;
+                if current[dim] < self.row_candidates[dim].len() {
+                    rows[dim] = self.row_candidates[dim][current[dim]];
+                    break;
+                }
+                current[dim] = 0;
+                rows[dim] = self.row_candidates[dim][0];
+            }
+        }
+    }
+
+    /// Every satisfying binding with owned keys — the [`exec::execute_all`]
+    /// result shape. Keys are materialized only here, for bindings that
+    /// actually evaluated.
+    ///
+    /// [`exec::execute_all`]: crate::exec::execute_all
+    pub fn execute_all(&self, catalog: &Catalog) -> Result<Vec<(Binding, Value)>> {
+        let tables: Vec<&Table> = self.tables.iter().map(|&id| catalog.table(id)).collect();
+        let mut out = Vec::new();
+        self.run(catalog, |rows, value| {
+            let keys = rows
+                .iter()
+                .zip(&tables)
+                .map(|(&row, table)| {
+                    table
+                        .key_at(row)
+                        .expect("candidate row has a key")
+                        .to_string()
+                })
+                .collect();
+            out.push((Binding { keys }, Value::Float(value)));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// The first satisfying binding's value — the [`exec::execute`] result.
+    ///
+    /// Stops at the first hit when the program is error-free; when the
+    /// program can raise hard errors every binding is visited so errors
+    /// surface exactly like the string path.
+    ///
+    /// [`exec::execute`]: crate::exec::execute
+    pub fn execute_first(&self, catalog: &Catalog) -> Result<Value> {
+        let mut found = None;
+        self.run(catalog, |_, value| {
+            if found.is_none() {
+                found = Some(value);
+            }
+            self.has_hard_errors // keep scanning only if an error could still fire
+        })?;
+        found.map(Value::Float).ok_or(QueryError::NoBinding)
+    }
+
+    fn eval_binding(
+        &self,
+        tables: &[&Table],
+        rows: &[u32],
+        stack: &mut Vec<f64>,
+    ) -> Result<Option<f64>> {
+        stack.clear();
+        for instr in &self.program {
+            match instr {
+                Instr::Const(n) => stack.push(*n),
+                Instr::Load { from, col } => {
+                    let from = *from as usize;
+                    match tables[from]
+                        .numeric_view(*col as usize)
+                        .get(rows[from] as usize)
+                    {
+                        Some(v) => stack.push(v),
+                        None => return Ok(None),
+                    }
+                }
+                Instr::MissingColumn => return Ok(None),
+                Instr::Neg => {
+                    let v = stack.pop().expect("compiled program is balanced");
+                    stack.push(-v);
+                }
+                Instr::Bin(op) => {
+                    let r = stack.pop().expect("compiled program is balanced");
+                    let l = stack.pop().expect("compiled program is balanced");
+                    match apply_binop(*op, l, r) {
+                        Ok(v) => stack.push(v),
+                        Err(QueryError::Arithmetic(_)) => return Ok(None),
+                        Err(other) => return Err(other),
+                    }
+                }
+                Instr::Call { imp, argc } => {
+                    let split = stack.len() - *argc as usize;
+                    let value = match imp(&stack[split..]) {
+                        Ok(v) if !v.is_nan() => v,
+                        // domain error or NaN result: skippable, like
+                        // `FunctionRegistry::call`'s Arithmetic errors
+                        _ => return Ok(None),
+                    };
+                    stack.truncate(split);
+                    stack.push(value);
+                }
+                Instr::Fail(error) => return Err((**error).clone()),
+            }
+        }
+        Ok(stack.pop())
+    }
+}
+
+/// Compiles `expr` to postfix, resolving what can be resolved and encoding
+/// the string path's per-binding failures as explicit instructions.
+fn compile(
+    expr: &Expr,
+    stmt: &SelectStmt,
+    tables: &[&Table],
+    registry: &FunctionRegistry,
+    out: &mut Vec<Instr>,
+    has_hard_errors: &mut bool,
+) {
+    match expr {
+        Expr::Number(n) => out.push(Instr::Const(*n)),
+        Expr::Column { alias, column } => {
+            let Some(position) = stmt.from.iter().position(|(_, a)| a == alias) else {
+                out.push(Instr::Fail(Box::new(QueryError::UnknownAlias(
+                    alias.clone(),
+                ))));
+                *has_hard_errors = true;
+                return;
+            };
+            match tables[position].schema().column_index(column) {
+                Some(col) => out.push(Instr::Load {
+                    from: position as u16,
+                    col: col as u32,
+                }),
+                None => out.push(Instr::MissingColumn),
+            }
+        }
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => {
+            compile(expr, stmt, tables, registry, out, has_hard_errors);
+            out.push(Instr::Neg);
+        }
+        Expr::Binary { op, left, right } => {
+            compile(left, stmt, tables, registry, out, has_hard_errors);
+            compile(right, stmt, tables, registry, out, has_hard_errors);
+            out.push(Instr::Bin(*op));
+        }
+        Expr::Func { name, args } => {
+            for arg in args {
+                compile(arg, stmt, tables, registry, out, has_hard_errors);
+            }
+            let Some(function) = registry.get(name) else {
+                out.push(Instr::Fail(Box::new(QueryError::UnknownFunction(
+                    name.clone(),
+                ))));
+                *has_hard_errors = true;
+                return;
+            };
+            if !function.arity.accepts(args.len()) {
+                out.push(Instr::Fail(Box::new(QueryError::Arity {
+                    function: function.name.to_string(),
+                    got: args.len(),
+                    expected: function.arity.describe(),
+                })));
+                *has_hard_errors = true;
+                return;
+            }
+            out.push(Instr::Call {
+                imp: function.imp,
+                argc: args.len() as u16,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_all, execute_with_unprepared};
+    use crate::parser::parse;
+    use scrutinizer_data::TableBuilder;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add(
+            TableBuilder::new("GED", "Index", &["2000", "2016", "2017"])
+                .row("PGElecDemand", &[15_000.0, 21_566.0, 22_209.0])
+                .unwrap()
+                .row("CapAddTotal_Wind", &[5.8, 48.0, 52.2])
+                .unwrap()
+                .row_opt("Sparse", &[Some(1.0), None, Some(3.0)])
+                .unwrap()
+                .build(),
+        )
+        .unwrap();
+        cat
+    }
+
+    type Executed = Result<Vec<(Binding, Value)>>;
+
+    fn both_paths(cat: &Catalog, sql: &str) -> (Executed, Executed) {
+        let stmt = parse(sql).unwrap();
+        let registry = FunctionRegistry::standard();
+        let prepared =
+            PreparedQuery::prepare(cat, &stmt, &registry).and_then(|plan| plan.execute_all(cat));
+        let legacy = execute_with_unprepared(cat, &stmt, &registry);
+        (prepared, legacy)
+    }
+
+    #[test]
+    fn prepared_matches_string_path_on_basics() {
+        let cat = catalog();
+        for sql in [
+            "SELECT POWER(a.2017/b.2016, 1/(2017-2016)) - 1 FROM GED a, GED b \
+             WHERE a.Index = 'PGElecDemand' AND b.Index = 'PGElecDemand'",
+            "SELECT a.2017 FROM GED a \
+             WHERE (a.Index = 'PGElecDemand' OR a.Index = 'CapAddTotal_Wind')",
+            "SELECT a.2017 / a.2016 FROM GED a \
+             WHERE (a.Index = 'Sparse' OR a.Index = 'PGElecDemand')",
+            "SELECT a.2017 FROM GED a",
+            "SELECT a.2017 > 20000 FROM GED a WHERE a.Index = 'PGElecDemand'",
+            "SELECT a.1999 FROM GED a WHERE a.Index = 'PGElecDemand'",
+        ] {
+            let (prepared, legacy) = both_paths(&cat, sql);
+            assert_eq!(prepared, legacy, "{sql}");
+        }
+    }
+
+    #[test]
+    fn prepare_once_execute_many() {
+        let cat = catalog();
+        let stmt = parse(
+            "SELECT a.2017 / b.2000 FROM GED a, GED b \
+             WHERE a.Index = 'CapAddTotal_Wind' AND b.Index = 'CapAddTotal_Wind'",
+        )
+        .unwrap();
+        let registry = FunctionRegistry::standard();
+        let plan = PreparedQuery::prepare(&cat, &stmt, &registry).unwrap();
+        assert_eq!(plan.binding_count(), 1);
+        for _ in 0..3 {
+            let value = plan.execute_first(&cat).unwrap();
+            assert!((value.as_f64().unwrap() - 9.0).abs() < 0.01);
+        }
+        assert_eq!(plan.execute_all(&cat).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn missing_cells_skip_not_fail() {
+        let cat = catalog();
+        // Sparse.2016 is NULL: that binding is skipped, PGElecDemand's kept
+        let stmt = parse(
+            "SELECT a.2016 FROM GED a \
+             WHERE (a.Index = 'Sparse' OR a.Index = 'PGElecDemand')",
+        )
+        .unwrap();
+        let registry = FunctionRegistry::standard();
+        let plan = PreparedQuery::prepare(&cat, &stmt, &registry).unwrap();
+        let all = plan.execute_all(&cat).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0.keys, vec!["PGElecDemand".to_string()]);
+    }
+
+    #[test]
+    fn hard_errors_fire_only_when_bindings_exist() {
+        let cat = catalog();
+        let registry = FunctionRegistry::standard();
+        // unknown function, one binding → error
+        let stmt = parse("SELECT NOPE(a.2017) FROM GED a WHERE a.Index = 'PGElecDemand'").unwrap();
+        let plan = PreparedQuery::prepare(&cat, &stmt, &registry).unwrap();
+        assert!(plan.has_hard_errors());
+        assert!(matches!(
+            plan.execute_all(&cat),
+            Err(QueryError::UnknownFunction(_))
+        ));
+        // unknown function, zero bindings → Ok(empty), like the string path
+        let stmt = parse("SELECT NOPE(a.2017) FROM GED a WHERE a.Index = 'Missing'").unwrap();
+        let plan = PreparedQuery::prepare(&cat, &stmt, &registry).unwrap();
+        assert_eq!(plan.execute_all(&cat).unwrap(), vec![]);
+        assert_eq!(plan.binding_count(), 0);
+        // arity mismatch surfaces the same way
+        let stmt = parse("SELECT POWER(a.2017) FROM GED a WHERE a.Index = 'PGElecDemand'").unwrap();
+        let (prepared, legacy) = {
+            let registry = FunctionRegistry::standard();
+            let prepared =
+                PreparedQuery::prepare(&cat, &stmt, &registry).and_then(|p| p.execute_all(&cat));
+            (prepared, execute_with_unprepared(&cat, &stmt, &registry))
+        };
+        assert_eq!(prepared, legacy);
+        assert!(matches!(prepared, Err(QueryError::Arity { .. })));
+    }
+
+    #[test]
+    fn unknown_table_and_non_key_predicate_fail_at_prepare() {
+        let cat = catalog();
+        let registry = FunctionRegistry::standard();
+        let stmt = parse("SELECT a.2017 FROM Missing a").unwrap();
+        assert!(matches!(
+            PreparedQuery::prepare(&cat, &stmt, &registry),
+            Err(QueryError::Data(_))
+        ));
+        let stmt = parse("SELECT a.2017 FROM GED a WHERE a.2016 = 'x'").unwrap();
+        assert!(matches!(
+            PreparedQuery::prepare(&cat, &stmt, &registry),
+            Err(QueryError::NonKeyPredicate { .. })
+        ));
+    }
+
+    #[test]
+    fn execute_first_early_exits_match_full_scan() {
+        let cat = catalog();
+        let stmt = parse("SELECT a.2017 FROM GED a").unwrap();
+        let registry = FunctionRegistry::standard();
+        let plan = PreparedQuery::prepare(&cat, &stmt, &registry).unwrap();
+        assert!(!plan.has_hard_errors());
+        let first = plan.execute_first(&cat).unwrap();
+        let all = execute_all(&cat, &stmt).unwrap();
+        assert_eq!(first, all[0].1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Differential property tests: the prepared path must be observably
+//! identical to the string-path interpreter — same bindings in the same
+//! order, same values, same skips, and the same errors at the same
+//! points — over random catalogs and random statements that deliberately
+//! include missing tables, missing keys, null cells, zero divisors,
+//! unknown columns, unknown aliases, unknown functions and arity
+//! mismatches.
+
+use proptest::prelude::*;
+use scrutinizer_data::{Catalog, TableBuilder};
+use scrutinizer_query::exec::execute_with_unprepared;
+use scrutinizer_query::{
+    execute, execute_all, BinOp, Expr, FunctionRegistry, KeyPredicate, PreparedQuery, QueryError,
+    SelectStmt,
+};
+
+const KEYS: [&str; 4] = ["K0", "K1", "K2", "K3"];
+const ATTRS: [&str; 3] = ["2016", "2017", "Total"];
+
+/// One table: which keys are present and their (possibly null) cells.
+type TableSpec = Vec<(bool, Vec<Option<f64>>)>;
+
+fn cell_strategy() -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(0.0)), // zero divisors
+        (1..50i32).prop_map(|n| Some(n as f64)),
+    ]
+}
+
+fn table_strategy() -> impl Strategy<Value = TableSpec> {
+    prop::collection::vec(
+        (
+            prop_oneof![Just(true), Just(true), Just(false)],
+            prop::collection::vec(cell_strategy(), 3..=3),
+        ),
+        4..=4,
+    )
+}
+
+fn build_catalog(specs: &[(&str, &TableSpec)]) -> Catalog {
+    let mut catalog = Catalog::new();
+    for (name, spec) in specs {
+        let mut builder = TableBuilder::new(name, "Index", &ATTRS);
+        for (key, (present, cells)) in KEYS.iter().zip(spec.iter()) {
+            if *present {
+                builder = builder.row_opt(key, cells).expect("row fits schema");
+            }
+        }
+        catalog.add(builder.build()).expect("unique table names");
+    }
+    catalog
+}
+
+fn column_strategy() -> impl Strategy<Value = Expr> {
+    // aliases: a, b (declared), z (never declared → UnknownAlias);
+    // columns: real attributes, the key column, and an unknown one
+    (
+        prop_oneof![
+            8 => Just("a"),
+            8 => Just("b"),
+            1 => Just("z"),
+        ],
+        prop_oneof![
+            4 => Just("2016"),
+            4 => Just("2017"),
+            2 => Just("Total"),
+            1 => Just("Index"),
+            1 => Just("1999"),
+        ],
+    )
+        .prop_map(|(alias, column)| Expr::column(alias, column))
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..5i32).prop_map(|n| Expr::Number(n as f64)),
+        column_strategy(),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            6 => (inner.clone(), inner.clone(), op_strategy())
+                .prop_map(|(l, r, op)| Expr::binary(op, l, r)),
+            2 => (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::func("POWER", vec![l, r])),
+            2 => inner.clone().prop_map(|e| Expr::func("ABS", vec![e])),
+            1 => inner.clone().prop_map(|e| Expr::func("NOPE", vec![e])), // unknown
+            1 => inner.clone().prop_map(|e| Expr::func("POWER", vec![e])), // arity
+            1 => inner.clone().prop_map(|e| Expr::Unary {
+                op: scrutinizer_query::UnaryOp::Neg,
+                expr: Box::new(e),
+            }),
+        ]
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Gt),
+        Just(BinOp::Le),
+        Just(BinOp::Eq),
+    ]
+}
+
+fn predicate_strategy() -> impl Strategy<Value = KeyPredicate> {
+    (
+        prop_oneof![5 => Just("a"), 5 => Just("b"), 1 => Just("z")],
+        prop_oneof![20 => Just("Index"), 1 => Just("2016")], // rare NonKeyPredicate
+        prop_oneof![
+            8 => (0..4usize).prop_map(|i| KEYS[i].to_string()),
+            1 => Just("Nope".to_string()),
+        ],
+    )
+        .prop_map(|(alias, column, value)| KeyPredicate {
+            alias: alias.to_string(),
+            column: column.to_string(),
+            value,
+        })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = SelectStmt> {
+    (
+        expr_strategy(),
+        // 1–2 FROM entries over T1/T2 and, rarely, a missing table
+        prop_oneof![
+            4 => Just(vec![("T1", "a")]),
+            4 => Just(vec![("T1", "a"), ("T2", "b")]),
+            3 => Just(vec![("T2", "a"), ("T2", "b")]),
+            1 => Just(vec![("Missing", "a")]),
+            1 => Just(vec![("T1", "a"), ("Missing", "b")]),
+        ],
+        prop::collection::vec(prop::collection::vec(predicate_strategy(), 1..=3), 0..=3),
+    )
+        .prop_map(|(projection, from, where_groups)| SelectStmt {
+            projection,
+            from: from
+                .into_iter()
+                .map(|(t, a)| (t.to_string(), a.to_string()))
+                .collect(),
+            where_groups,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    #[test]
+    fn prepared_path_matches_string_path(
+        t1 in table_strategy(),
+        t2 in table_strategy(),
+        stmt in stmt_strategy(),
+    ) {
+        let catalog = build_catalog(&[("T1", &t1), ("T2", &t2)]);
+        let registry = FunctionRegistry::standard();
+        let legacy = execute_with_unprepared(&catalog, &stmt, &registry);
+        let prepared = PreparedQuery::prepare(&catalog, &stmt, &registry)
+            .and_then(|plan| plan.execute_all(&catalog));
+        prop_assert_eq!(&prepared, &legacy, "stmt: {}", stmt);
+        // the public wrappers agree with themselves
+        prop_assert_eq!(execute_all(&catalog, &stmt), legacy.clone());
+        let first = execute(&catalog, &stmt);
+        let expected_first = legacy.map(|results| {
+            results
+                .into_iter()
+                .next()
+                .map(|(_, v)| v)
+                .ok_or(QueryError::NoBinding)
+        });
+        match expected_first {
+            Ok(inner) => prop_assert_eq!(first, inner, "stmt: {}", stmt),
+            Err(e) => prop_assert_eq!(first, Err(e), "stmt: {}", stmt),
+        }
+    }
+
+    #[test]
+    fn prepare_once_execute_many_is_stable(
+        t1 in table_strategy(),
+        t2 in table_strategy(),
+        stmt in stmt_strategy(),
+    ) {
+        let catalog = build_catalog(&[("T1", &t1), ("T2", &t2)]);
+        let registry = FunctionRegistry::standard();
+        if let Ok(plan) = PreparedQuery::prepare(&catalog, &stmt, &registry) {
+            let first_run = plan.execute_all(&catalog);
+            for _ in 0..2 {
+                prop_assert_eq!(&plan.execute_all(&catalog), &first_run, "stmt: {}", stmt);
+            }
+            if let Ok(results) = &first_run {
+                prop_assert!(results.len() <= plan.binding_count());
+            }
+        }
+    }
+}

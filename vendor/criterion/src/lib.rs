@@ -10,8 +10,9 @@
 //! min / mean / max nanoseconds per iteration.
 //!
 //! When a bench binary is invoked by `cargo test` (cargo passes
-//! `--test`), every benchmark runs exactly one iteration as a smoke test,
-//! matching real criterion's behavior.
+//! `--test`) or with the `--quick` CI smoke flag, every benchmark runs
+//! exactly one iteration as a smoke test, matching real criterion's
+//! behavior.
 
 #![forbid(unsafe_code)]
 
@@ -28,7 +29,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        let test_mode = std::env::args().any(|a| a == "--test");
+        // `--test` is what `cargo test` passes to bench binaries;
+        // `--quick` is the CI smoke mode (run everything exactly once).
+        let test_mode = std::env::args().any(|a| a == "--test" || a == "--quick");
         Criterion {
             sample_size: 20,
             test_mode,

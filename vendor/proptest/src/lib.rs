@@ -55,9 +55,15 @@ macro_rules! prop_assert_eq {
     ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
 }
 
-/// Uniform choice between strategies producing the same value type.
+/// Choice between strategies producing the same value type: uniform, or
+/// weighted with real proptest's `weight => strategy` arms.
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
     ($($strategy:expr),+ $(,)?) => {
         $crate::strategy::Union::new(vec![
             $($crate::strategy::Strategy::boxed($strategy)),+
