@@ -1,0 +1,306 @@
+//! Batch-selection planner benchmarks: what the parallel, warm-started,
+//! incumbent-seeded solver and the incremental re-planner buy over the
+//! seed's serial ILP path, swept from 100 to 10 000 unverified claims.
+//!
+//! * `planner_cold/*` — one cold batch selection per call:
+//!   `seed_serial` is the pre-PR3 path (one cold 40-node branch & bound,
+//!   greedy on failure, kept verbatim as
+//!   [`select_batch_serial_baseline`]), `parallel_warm` the new solver
+//!   (greedy-seeded incumbent, work-stealing search, dual-simplex LP warm
+//!   starts), `greedy` the heuristic floor. Acceptance target: ≥ 3× at
+//!   10 000 claims with equal or better objective.
+//! * `planner_replan/*` — the re-plan after a retrain shifts utilities:
+//!   `incremental_repair` reuses the cached batch through
+//!   [`IncrementalPlanner`], `cold_resolve` solves from scratch.
+//!   Acceptance target: ≥ 2×.
+//!
+//! Objective parity (ILP ≥ greedy, ILP ≥ serial baseline, repair within
+//! the configured gap of a cold solve) is asserted before anything is
+//! timed. The `--quick` smoke mode (used by CI) runs every routine once
+//! just to prove the bench still drives the APIs — and still runs the
+//! parity asserts.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scrutinizer_core::incremental::IncrementalPlanner;
+use scrutinizer_core::ordering::{
+    batch_utility, select_batch_detailed, select_batch_serial_baseline, ClaimChoice,
+};
+use scrutinizer_core::{OrderingStrategy, SystemConfig};
+use scrutinizer_corpus::{Document, Section};
+
+/// Deterministic pseudo-randomness; the bench must not depend on `rand`.
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*state >> 33) as f64) / ((1u64 << 31) as f64)
+}
+
+/// A synthetic document + per-claim planning input at the given scale,
+/// shaped like the engine's: costs from the expected-cost model's range,
+/// utilities from the retrained classifiers' range.
+fn instance(n_claims: usize, n_sections: usize, seed: u64) -> (Document, Vec<ClaimChoice>) {
+    let mut state = seed;
+    let sections: Vec<Section> = (0..n_sections)
+        .map(|id| Section {
+            id,
+            title: format!("Section {id}"),
+            sentence_count: 40 + (lcg(&mut state) * 210.0) as usize,
+            claim_ids: Vec::new(),
+        })
+        .collect();
+    let mut document = Document {
+        sections,
+        total_sentences: 0,
+    };
+    document.total_sentences = document.sections.iter().map(|s| s.sentence_count).sum();
+    let choices: Vec<ClaimChoice> = (0..n_claims)
+        .map(|id| {
+            let section = (lcg(&mut state) * n_sections as f64) as usize % n_sections;
+            document.sections[section].claim_ids.push(id);
+            ClaimChoice {
+                id,
+                section,
+                cost: 30.0 + lcg(&mut state) * 90.0,
+                utility: 0.5 + lcg(&mut state) * 5.5,
+            }
+        })
+        .collect();
+    (document, choices)
+}
+
+/// The engine's session budget formula.
+fn budget_for(choices: &[ClaimChoice], config: &SystemConfig) -> f64 {
+    let mean_cost = choices.iter().map(|c| c.cost).sum::<f64>() / choices.len().max(1) as f64;
+    config.batch_size as f64 * mean_cost * 1.3 + 3.0 * config.read_seconds_per_sentence * 400.0
+}
+
+/// Utilities after a simulated retrain: a few percent of drift, the
+/// Definition-7 re-estimate the mixed-initiative loop produces.
+fn retrained(choices: &[ClaimChoice], seed: u64) -> Vec<ClaimChoice> {
+    let mut state = seed;
+    choices
+        .iter()
+        .map(|c| ClaimChoice {
+            utility: c.utility * (0.95 + lcg(&mut state) * 0.1),
+            ..c.clone()
+        })
+        .collect()
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let config = SystemConfig::default();
+    let mut cold_group = c.benchmark_group("planner_cold");
+    cold_group.sample_size(10);
+    let mut summaries: Vec<(usize, f64, f64, f64, f64, f64)> = Vec::new();
+
+    for n in [100usize, 1_000, 10_000] {
+        let (document, choices) = instance(n, 8 + n / 250, 41 * n as u64 + 1);
+        let budget = budget_for(&choices, &config);
+
+        // ---- objective parity, asserted before anything is timed --------
+        let ilp =
+            select_batch_detailed(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+        let greedy = select_batch_detailed(
+            &choices,
+            &document,
+            OrderingStrategy::Greedy,
+            budget,
+            &config,
+        );
+        let serial = select_batch_serial_baseline(&choices, &document, budget, &config);
+        let serial_utility = batch_utility(&serial, &choices);
+        // Ilp dominates Greedy unconditionally (the selection takes a
+        // post-hoc max against the full-pool greedy), so this is exact
+        assert!(
+            ilp.utility >= greedy.utility - 1e-9,
+            "{n} claims: ILP {} must match or beat greedy {}",
+            ilp.utility,
+            greedy.utility
+        );
+        // vs the serial baseline the guarantee is gap-relative: the
+        // parallel solver trades up to its 1 % optimality gap for early
+        // termination (on the shipped instances it wins outright — the
+        // printed summary shows the margin)
+        assert!(
+            ilp.utility >= serial_utility * 0.99 - 1e-9,
+            "{n} claims: ILP {} below the seed serial path {} beyond the gap",
+            ilp.utility,
+            serial_utility
+        );
+
+        // repair parity: after a utility shift, an accepted repair stays
+        // within the configured gap of a cold solve on the same input
+        let shifted = retrained(&choices, 7 * n as u64 + 3);
+        let mut planner = IncrementalPlanner::new();
+        planner.plan(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+        let repair = planner.plan(&shifted, &document, OrderingStrategy::Ilp, budget, &config);
+        let cold_shifted =
+            select_batch_detailed(&shifted, &document, OrderingStrategy::Ilp, budget, &config);
+        assert!(
+            repair.utility >= (1.0 - config.replan_gap) * cold_shifted.utility - 1e-9,
+            "{n} claims: repair {} vs cold {} exceeds the {} gap",
+            repair.utility,
+            cold_shifted.utility,
+            config.replan_gap
+        );
+
+        // ---- criterion timings ------------------------------------------
+        cold_group.bench_with_input(BenchmarkId::new("seed_serial", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(select_batch_serial_baseline(
+                    black_box(&choices),
+                    &document,
+                    budget,
+                    &config,
+                ))
+            })
+        });
+        cold_group.bench_with_input(BenchmarkId::new("parallel_warm", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(select_batch_detailed(
+                    black_box(&choices),
+                    &document,
+                    OrderingStrategy::Ilp,
+                    budget,
+                    &config,
+                ))
+            })
+        });
+        cold_group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(select_batch_detailed(
+                    black_box(&choices),
+                    &document,
+                    OrderingStrategy::Greedy,
+                    budget,
+                    &config,
+                ))
+            })
+        });
+
+        // ---- headline ratios (criterion lines do not compare) -----------
+        let rounds = 3;
+        let timed = |f: &mut dyn FnMut()| {
+            let start = Instant::now();
+            for _ in 0..rounds {
+                f();
+            }
+            start.elapsed().as_secs_f64() / rounds as f64
+        };
+        let serial_s = timed(&mut || {
+            black_box(select_batch_serial_baseline(
+                &choices, &document, budget, &config,
+            ));
+        });
+        let parallel_s = timed(&mut || {
+            black_box(select_batch_detailed(
+                &choices,
+                &document,
+                OrderingStrategy::Ilp,
+                budget,
+                &config,
+            ));
+        });
+        let mut warm_planner = IncrementalPlanner::new();
+        warm_planner.plan(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+        let variants = [
+            retrained(&choices, 11 * n as u64 + 5),
+            retrained(&choices, 13 * n as u64 + 7),
+        ];
+        let mut flip = 0usize;
+        let replan_s = timed(&mut || {
+            flip += 1;
+            black_box(warm_planner.plan(
+                &variants[flip % 2],
+                &document,
+                OrderingStrategy::Ilp,
+                budget,
+                &config,
+            ));
+        });
+        let repairs = warm_planner.counters().incremental_repairs;
+        assert!(
+            repairs >= rounds as u64,
+            "{n} claims: the timed re-plans must take the repair path ({repairs}/{rounds})"
+        );
+        summaries.push((
+            n,
+            serial_s,
+            parallel_s,
+            replan_s,
+            ilp.utility,
+            serial_utility,
+        ));
+    }
+    cold_group.finish();
+
+    println!("planner: cold solve vs seed serial baseline vs incremental re-plan");
+    for (n, serial_s, parallel_s, replan_s, ilp_u, serial_u) in &summaries {
+        println!(
+            "  {n:>6} claims: serial {:>8.2} ms | parallel+warm {:>8.2} ms ({:.2}x) | \
+             incremental re-plan {:>8.2} ms ({:.2}x vs cold) | objective {:.1} vs seed {:.1}",
+            serial_s * 1e3,
+            parallel_s * 1e3,
+            serial_s / parallel_s,
+            replan_s * 1e3,
+            parallel_s / replan_s,
+            ilp_u,
+            serial_u,
+        );
+    }
+}
+
+fn bench_replan(c: &mut Criterion) {
+    // the re-plan benches live in their own group so `planner_replan/...`
+    // lines read as one comparison in criterion output
+    let config = SystemConfig::default();
+    let mut group = c.benchmark_group("planner_replan");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let (document, choices) = instance(n, 8 + n / 250, 17 * n as u64 + 9);
+        let budget = budget_for(&choices, &config);
+        let variants = [
+            retrained(&choices, n as u64 + 1),
+            retrained(&choices, n as u64 + 2),
+        ];
+        group.bench_with_input(BenchmarkId::new("incremental_repair", n), &n, |b, _| {
+            let mut planner = IncrementalPlanner::new();
+            planner.plan(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+            let mut flip = 0usize;
+            b.iter(|| {
+                flip += 1;
+                black_box(planner.plan(
+                    &variants[flip % 2],
+                    &document,
+                    OrderingStrategy::Ilp,
+                    budget,
+                    &config,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cold_resolve", n), &n, |b, _| {
+            let mut flip = 0usize;
+            b.iter(|| {
+                flip += 1;
+                black_box(select_batch_detailed(
+                    &variants[flip % 2],
+                    &document,
+                    OrderingStrategy::Ilp,
+                    budget,
+                    &config,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_planner, bench_replan
+}
+criterion_main!(benches);

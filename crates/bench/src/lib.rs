@@ -1,1 +1,9 @@
-//! Shared helpers for the Scrutinizer bench harness (see `benches/` and `src/bin/repro.rs`).
+//! Shared helpers for the Scrutinizer bench harness.
+//!
+//! The interesting code lives in `benches/` (criterion benchmarks:
+//! `engine`, `prepared`, `planner`, `planning`, `latency`, `substrates`)
+//! and `src/bin/` (paper-reproduction binaries). This library crate exists
+//! so they share a package; it exports nothing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

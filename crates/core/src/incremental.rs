@@ -1,0 +1,412 @@
+//! Incremental batch re-planning.
+//!
+//! The mixed-initiative loop re-plans after every retrain (Algorithm 1's
+//! feedback edge): utilities shift a little (Definition 7 is re-estimated),
+//! and verified claims leave the pool. Solving Definition 9 cold each time
+//! wastes work — the previous batch is almost always still near-optimal.
+//!
+//! [`IncrementalPlanner`] caches the last accepted batch and, on the next
+//! plan, **repairs** it instead of re-solving: claims that disappeared are
+//! dropped, the rest re-priced under the new utilities, and the remaining
+//! budget refilled greedily. The repair is accepted only while its utility
+//! stays within [`SystemConfig::replan_gap`] of an optimistic upper bound
+//! on the achievable optimum — past that, the planner falls back to a full
+//! (warm-started) solve seeded with the cached batch as the incumbent.
+//!
+//! The bound is sound: it relaxes integrality, section skim costs and the
+//! cardinality/budget interaction, so it always dominates the true optimum.
+//! An accepted repair with utility `R ≥ (1 − gap) · bound` therefore
+//! satisfies `R ≥ (1 − gap) · OPT` — the differential property test pins
+//! this.
+
+use crate::config::SystemConfig;
+use crate::ordering::{
+    batch_utility, greedy_fill, select_batch_detailed, select_batch_with_hint, window_lp_bound,
+    BatchMethod, BatchSelection, ClaimChoice, OrderingStrategy,
+};
+use scrutinizer_corpus::Document;
+use scrutinizer_ilp::IlpError;
+
+/// Monotone counters describing a planner's lifetime, exported through the
+/// engine's stats endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerCounters {
+    /// Total plan requests.
+    pub plans: u64,
+    /// Full (cold or incumbent-seeded) ILP solves.
+    pub cold_solves: u64,
+    /// Plans answered by repairing the cached batch — no ILP solve at all.
+    pub incremental_repairs: u64,
+    /// Repairs rejected by the bound test (followed by a full solve).
+    pub repair_rejections: u64,
+    /// ILP failures that degraded to the greedy heuristic.
+    pub fallbacks: u64,
+    /// Branch & bound nodes explored across all solves.
+    pub nodes_explored: u64,
+    /// LP solves that reused a parent basis (phase 1 skipped).
+    pub warm_start_hits: u64,
+    /// Total LP relaxations solved.
+    pub lp_solves: u64,
+}
+
+/// A caching planner that repairs its last solution instead of re-solving
+/// Definition 9 from scratch on every re-plan.
+///
+/// One planner belongs to one re-planning stream (the engine keeps one per
+/// session); it is deliberately not thread-safe — wrap it in the session's
+/// existing lock.
+#[derive(Debug, Default)]
+pub struct IncrementalPlanner {
+    /// The last accepted batch, reused as repair seed and solver incumbent.
+    cached: Option<Vec<usize>>,
+    counters: PlannerCounters,
+    last_fallback: Option<IlpError>,
+}
+
+impl IncrementalPlanner {
+    /// A fresh planner with no cached solution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> PlannerCounters {
+        self.counters
+    }
+
+    /// The most recent ILP failure that forced a greedy fallback, if any.
+    pub fn last_fallback(&self) -> Option<&IlpError> {
+        self.last_fallback.as_ref()
+    }
+
+    /// Drops the cached solution; the next plan solves cold.
+    pub fn invalidate(&mut self) {
+        self.cached = None;
+    }
+
+    /// Plans the next batch. For [`OrderingStrategy::Ilp`] the cached
+    /// solution is repaired when the bound test allows; other strategies
+    /// pass straight through to [`select_batch_detailed`].
+    pub fn plan(
+        &mut self,
+        choices: &[ClaimChoice],
+        document: &Document,
+        strategy: OrderingStrategy,
+        budget_seconds: f64,
+        config: &SystemConfig,
+    ) -> BatchSelection {
+        self.counters.plans += 1;
+        if strategy != OrderingStrategy::Ilp {
+            return select_batch_detailed(choices, document, strategy, budget_seconds, config);
+        }
+        if choices.is_empty() {
+            self.cached = None;
+            return select_batch_detailed(choices, document, strategy, budget_seconds, config);
+        }
+
+        // ---- repair path -------------------------------------------------
+        if let Some(prior) = self.cached.clone() {
+            let survivors: Vec<usize> = prior
+                .iter()
+                .copied()
+                .filter(|id| choices.iter().any(|c| c.id == *id))
+                .collect();
+            // repair inside the same candidate window the ILP would use
+            // (plus the survivors), so the greedy augmentation is O(window)
+            // instead of O(all claims)
+            let mut pool: Vec<ClaimChoice> = {
+                let mut by_density: Vec<&ClaimChoice> = choices.iter().collect();
+                by_density.sort_by(|a, b| crate::ordering::density_cmp(a, b));
+                by_density
+                    .iter()
+                    .take(config.ordering_window)
+                    .map(|c| (*c).clone())
+                    .collect()
+            };
+            for id in &survivors {
+                if !pool.iter().any(|c| c.id == *id) {
+                    if let Some(c) = choices.iter().find(|c| c.id == *id) {
+                        pool.push(c.clone());
+                    }
+                }
+            }
+            let repaired = greedy_fill(&survivors, &pool, document, budget_seconds, config);
+            let utility = batch_utility(&repaired, &pool);
+            // two-tier bound test, cheap first: the closed-form
+            // knapsack/cardinality bound needs no LP; only when it is too
+            // loose to accept does the (tighter) LP-relaxation bound run.
+            // Both dominate OPT, so either acceptance is sound.
+            let threshold = 1.0 - config.replan_gap;
+            let loose = optimistic_bound(choices, document, budget_seconds, config);
+            let accepted = !repaired.is_empty()
+                && (utility >= threshold * loose || {
+                    let tight = window_lp_bound(choices, document, budget_seconds, config)
+                        .unwrap_or(f64::INFINITY)
+                        .min(loose);
+                    utility >= threshold * tight
+                });
+            if accepted {
+                self.counters.incremental_repairs += 1;
+                self.cached = Some(repaired.clone());
+                return BatchSelection {
+                    batch: repaired,
+                    utility,
+                    method: BatchMethod::IncrementalRepair,
+                    fallback: None,
+                    solver: None,
+                };
+            }
+            self.counters.repair_rejections += 1;
+        }
+
+        // ---- full solve, seeded with the cached batch --------------------
+        let selection = select_batch_with_hint(
+            choices,
+            document,
+            strategy,
+            budget_seconds,
+            config,
+            self.cached.as_deref(),
+        );
+        match selection.method {
+            BatchMethod::GreedyFallback => {
+                self.counters.fallbacks += 1;
+                self.last_fallback = selection.fallback.clone();
+                // a greedy answer is not worth repairing next round
+                self.cached = None;
+            }
+            _ => {
+                self.counters.cold_solves += 1;
+                self.cached = Some(selection.batch.clone());
+            }
+        }
+        if let Some(stats) = &selection.solver {
+            self.counters.nodes_explored += stats.nodes_explored as u64;
+            self.counters.warm_start_hits += stats.warm_start_hits as u64;
+            self.counters.lp_solves += stats.lp_solves as u64;
+        }
+        selection
+    }
+}
+
+/// An optimistic upper bound on the achievable batch utility: the smaller
+/// of (a) the fractional knapsack over *amortized* claim costs — each claim
+/// carries `cost + read(section)/n_section`, where `n_section` counts the
+/// section's claims among `choices`; a batch selecting `k ≤ n_section` of
+/// them pays the skim once, which is at least `k · read/n_section`, so the
+/// amortized weights never overstate a feasible batch's cost — and (b) the
+/// sum of the `batch_size` largest utilities (the cardinality bound). Both
+/// relax the true ILP, so `bound ≥ OPT`.
+pub fn optimistic_bound(
+    choices: &[ClaimChoice],
+    document: &Document,
+    budget_seconds: f64,
+    config: &SystemConfig,
+) -> f64 {
+    // claims per section, for read-cost amortization
+    let mut section_counts: Vec<(usize, usize)> = Vec::new();
+    for c in choices {
+        match section_counts.binary_search_by_key(&c.section, |&(s, _)| s) {
+            Ok(i) => section_counts[i].1 += 1,
+            Err(i) => section_counts.insert(i, (c.section, 1)),
+        }
+    }
+    let amortized = |c: &ClaimChoice| -> f64 {
+        let n = section_counts
+            .binary_search_by_key(&c.section, |&(s, _)| s)
+            .map(|i| section_counts[i].1)
+            .unwrap_or(1);
+        let read = document
+            .sections
+            .get(c.section)
+            .map(|s| s.read_cost(config.read_seconds_per_sentence))
+            .unwrap_or(0.0);
+        c.cost + read / n as f64
+    };
+
+    // (a) fractional knapsack by utility density over amortized costs
+    let mut by_density: Vec<(&ClaimChoice, f64)> =
+        choices.iter().map(|c| (c, amortized(c))).collect();
+    by_density.sort_by(|(a, wa), (b, wb)| {
+        let da = a.utility / wa.max(1e-9);
+        let db = b.utility / wb.max(1e-9);
+        db.total_cmp(&da).then(a.id.cmp(&b.id))
+    });
+    let mut knapsack = 0.0;
+    let mut spent = 0.0;
+    for (c, weight) in &by_density {
+        if spent + weight <= budget_seconds {
+            spent += weight;
+            knapsack += c.utility;
+        } else {
+            let slack = (budget_seconds - spent).max(0.0);
+            knapsack += c.utility * (slack / weight.max(1e-9));
+            break;
+        }
+    }
+    // (b) cardinality: the batch holds at most `batch_size` claims
+    let mut utilities: Vec<f64> = choices.iter().map(|c| c.utility).collect();
+    utilities.sort_by(|a, b| b.total_cmp(a));
+    let cardinality: f64 = utilities.iter().take(config.batch_size).sum();
+    knapsack.min(cardinality)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrutinizer_corpus::{Corpus, CorpusConfig};
+
+    fn setup() -> (Document, Vec<ClaimChoice>, SystemConfig) {
+        let corpus = Corpus::generate(CorpusConfig::small());
+        let choices: Vec<ClaimChoice> = corpus
+            .claims
+            .iter()
+            .map(|c| ClaimChoice {
+                id: c.id,
+                section: c.section,
+                cost: 40.0 + (c.id % 7) as f64 * 10.0,
+                utility: 1.0 + (c.id % 5) as f64,
+            })
+            .collect();
+        (corpus.document, choices, SystemConfig::test())
+    }
+
+    #[test]
+    fn first_plan_solves_cold_then_repairs() {
+        let (document, mut choices, config) = setup();
+        let mut planner = IncrementalPlanner::new();
+        let budget = 900.0;
+        let first = planner.plan(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+        assert_eq!(planner.counters().cold_solves, 1);
+        assert!(!first.batch.is_empty());
+
+        // a retrain shifts utilities slightly → the repair path answers
+        for c in &mut choices {
+            c.utility *= 1.02;
+        }
+        let second = planner.plan(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+        assert_eq!(second.method, BatchMethod::IncrementalRepair);
+        assert_eq!(planner.counters().incremental_repairs, 1);
+        assert!(second.utility > 0.0);
+    }
+
+    #[test]
+    fn verdicts_remove_claims_from_the_repair() {
+        let (document, choices, config) = setup();
+        let mut planner = IncrementalPlanner::new();
+        let budget = 900.0;
+        let first = planner.plan(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+        let gone = first.batch[0];
+        let remaining: Vec<ClaimChoice> =
+            choices.iter().filter(|c| c.id != gone).cloned().collect();
+        let second = planner.plan(
+            &remaining,
+            &document,
+            OrderingStrategy::Ilp,
+            budget,
+            &config,
+        );
+        assert!(
+            !second.batch.contains(&gone),
+            "verified claim must leave the plan"
+        );
+    }
+
+    #[test]
+    fn repair_respects_configured_gap() {
+        let (document, mut choices, config) = setup();
+        let mut planner = IncrementalPlanner::new();
+        let budget = 900.0;
+        planner.plan(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+        for c in &mut choices {
+            c.utility *= 0.97;
+        }
+        let second = planner.plan(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+        if second.method == BatchMethod::IncrementalRepair {
+            let bound = crate::ordering::window_lp_bound(&choices, &document, budget, &config)
+                .unwrap_or(f64::INFINITY)
+                .min(optimistic_bound(&choices, &document, budget, &config));
+            assert!(
+                second.utility >= (1.0 - config.replan_gap) * bound - 1e-9,
+                "accepted repair violates its own bound: {} < (1-gap)·{bound}",
+                second.utility
+            );
+        }
+    }
+
+    #[test]
+    fn drastic_shift_forces_cold_resolve() {
+        let (document, mut choices, config) = setup();
+        let mut planner = IncrementalPlanner::new();
+        let budget = 900.0;
+        let first = planner.plan(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+        // invert the utility landscape: everything the plan chose is now
+        // worthless, everything else is precious
+        for c in &mut choices {
+            c.utility = if first.batch.contains(&c.id) {
+                0.01
+            } else {
+                50.0
+            };
+        }
+        let second = planner.plan(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+        assert_ne!(
+            second.method,
+            BatchMethod::IncrementalRepair,
+            "a drastic utility shift must trigger a full solve"
+        );
+        assert_eq!(planner.counters().repair_rejections, 1);
+        assert_eq!(planner.counters().cold_solves, 2);
+    }
+
+    #[test]
+    fn invalidate_drops_the_cache() {
+        let (document, choices, config) = setup();
+        let mut planner = IncrementalPlanner::new();
+        let budget = 900.0;
+        planner.plan(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+        planner.invalidate();
+        planner.plan(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+        assert_eq!(planner.counters().cold_solves, 2);
+        assert_eq!(planner.counters().incremental_repairs, 0);
+    }
+
+    #[test]
+    fn non_ilp_strategies_pass_through() {
+        let (document, choices, config) = setup();
+        let mut planner = IncrementalPlanner::new();
+        let sequential = planner.plan(
+            &choices,
+            &document,
+            OrderingStrategy::Sequential,
+            900.0,
+            &config,
+        );
+        assert_eq!(sequential.method, BatchMethod::Sequential);
+        let greedy = planner.plan(
+            &choices,
+            &document,
+            OrderingStrategy::Greedy,
+            900.0,
+            &config,
+        );
+        assert_eq!(greedy.method, BatchMethod::Greedy);
+        assert_eq!(planner.counters().plans, 2);
+        assert_eq!(planner.counters().cold_solves, 0);
+    }
+
+    #[test]
+    fn bound_dominates_any_feasible_batch() {
+        let (document, choices, config) = setup();
+        let budget = 900.0;
+        let bound = optimistic_bound(&choices, &document, budget, &config);
+        for strategy in [OrderingStrategy::Ilp, OrderingStrategy::Greedy] {
+            let selection = select_batch_detailed(&choices, &document, strategy, budget, &config);
+            assert!(
+                selection.utility <= bound + 1e-9,
+                "{strategy:?} beat the 'upper' bound: {} > {bound}",
+                selection.utility
+            );
+        }
+    }
+}

@@ -22,6 +22,8 @@
 //! * [`screens`] / [`planner`] / [`pruning`] — single-claim question
 //!   planning (Theorems 1–6),
 //! * [`ordering`] — claim-batch selection (Definitions 7–9, ILP),
+//! * [`incremental`] — cached re-planning: repair the last batch after a
+//!   retrain instead of re-solving Definition 9 cold,
 //! * [`verify`] — the main loop, producing a [`report::VerificationReport`],
 //! * [`sim`] — the paper's experiments: user study (Figures 5–6), report
 //!   simulation (Table 2, Figures 7–9), top-k accuracy (Figure 10).
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod incremental;
 pub mod models;
 pub mod ordering;
 pub mod planner;
@@ -42,8 +45,11 @@ pub mod stats;
 pub mod verify;
 
 pub use config::SystemConfig;
+pub use incremental::{IncrementalPlanner, PlannerCounters};
 pub use models::{PropertyKind, SystemModels, Translation};
-pub use ordering::{select_batch, OrderingStrategy};
+pub use ordering::{
+    select_batch, select_batch_detailed, BatchMethod, BatchSelection, OrderingStrategy,
+};
 pub use planner::ClaimPlan;
 pub use qgen::{
     generate_queries, generate_queries_unprepared, generate_queries_with, padded_context,

@@ -3,13 +3,35 @@
 //! Picks the next batch of claims to verify, trading off expected
 //! verification cost (including section skim costs, Definition 8) against
 //! training utility (Definition 7). The selection ILP (Definition 9) is
-//! solved with `scrutinizer-ilp`; a utility-density greedy serves as the
-//! fallback when branch & bound hits its node budget and as an ablation
-//! baseline.
+//! solved with `scrutinizer-ilp`'s parallel, warm-started branch & bound; a
+//! utility-density greedy serves as the fallback when the solver fails and
+//! as an ablation baseline.
+//!
+//! [`select_batch`] returns just the claim ids; [`select_batch_detailed`]
+//! additionally reports the achieved utility, the method that produced the
+//! batch, the solver's search counters, and — when the ILP could not answer
+//! — the [`IlpError`] that forced the greedy fallback, so callers can log
+//! it instead of losing it.
 
 use crate::config::SystemConfig;
 use scrutinizer_corpus::Document;
-use scrutinizer_ilp::{solve_ilp, BranchConfig, IlpError, Model, Sense};
+use scrutinizer_ilp::simplex::solve_lp;
+use scrutinizer_ilp::{
+    solve_ilp, solve_ilp_parallel, BranchConfig, IlpError, Model, ParallelConfig, Sense, SolveStats,
+};
+
+/// Node budget of the parallel planning solver. The incumbent is seeded
+/// with the greedy solution before the search starts, so every explored
+/// node strictly *improves* on greedy — a dozen warm-started nodes recoup
+/// most of the ILP's advantage at a fraction of the seed solver's 40 cold
+/// LP solves (which, at the default 150-claim window, routinely found no
+/// incumbent at all and fell back to greedy anyway).
+const PARALLEL_NODE_LIMIT: usize = 12;
+
+/// Relative optimality gap of the planning solver. Batch selection needs
+/// "the right claims", not the last decimal of the utility sum; a 1 % gap
+/// prunes the symmetric-optima plateaus Definition-9 instances produce.
+const PLANNING_GAP: f64 = 0.01;
 
 /// How the next batch is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,10 +57,112 @@ pub struct ClaimChoice {
     pub utility: f64,
 }
 
+/// What actually produced a batch (the requested strategy may degrade).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMethod {
+    /// Document order.
+    Sequential,
+    /// The ILP solved to (gap-)optimality.
+    IlpOptimal,
+    /// The ILP hit its node budget; the batch is its best incumbent.
+    IlpIncumbent,
+    /// The ILP failed; the greedy heuristic answered instead. The failure
+    /// is recorded in [`BatchSelection::fallback`].
+    GreedyFallback,
+    /// The ILP solved its candidate window, but the full-pool greedy found
+    /// a better batch outside that window (possible when high-read-cost
+    /// sections push value below the utility-density cut); the greedy
+    /// batch is returned. This post-hoc max makes [`OrderingStrategy::Ilp`]
+    /// never worse than [`OrderingStrategy::Greedy`] *by construction*,
+    /// whatever the window or thread schedule did.
+    GreedyOverWindow,
+    /// Greedy was the requested strategy.
+    Greedy,
+    /// The incremental planner repaired a cached solution instead of
+    /// solving cold (see [`crate::incremental::IncrementalPlanner`]).
+    IncrementalRepair,
+}
+
+/// The outcome of one batch selection.
+#[derive(Debug, Clone)]
+pub struct BatchSelection {
+    /// Selected claim ids.
+    pub batch: Vec<usize>,
+    /// Total training utility of the batch (Definition 9's objective).
+    pub utility: f64,
+    /// What produced the batch.
+    pub method: BatchMethod,
+    /// The solver error behind a [`BatchMethod::GreedyFallback`] — returned
+    /// instead of silently dropped so the engine can log it.
+    pub fallback: Option<IlpError>,
+    /// Search counters when the parallel ILP ran to completion.
+    pub solver: Option<SolveStats>,
+}
+
+impl BatchSelection {
+    fn with_utility(mut self, choices: &[ClaimChoice]) -> Self {
+        self.utility = batch_utility(&self.batch, choices);
+        self
+    }
+}
+
+/// The canonical candidate order: utility-per-cost density descending,
+/// ties broken by claim id. The ILP's candidate window, the greedy seed
+/// ordering and the incremental planner's repair pool all sort with this
+/// one comparator so they can never drift apart.
+pub fn density_cmp(a: &ClaimChoice, b: &ClaimChoice) -> std::cmp::Ordering {
+    let da = a.utility / a.cost.max(1e-9);
+    let db = b.utility / b.cost.max(1e-9);
+    db.total_cmp(&da).then(a.id.cmp(&b.id))
+}
+
+/// Total utility of a batch under the given per-claim choices.
+pub fn batch_utility(batch: &[usize], choices: &[ClaimChoice]) -> f64 {
+    batch
+        .iter()
+        .map(|&id| {
+            choices
+                .iter()
+                .find(|c| c.id == id)
+                .map_or(0.0, |c| c.utility)
+        })
+        .sum()
+}
+
 /// Selects the next batch of claim ids.
 ///
 /// `budget_seconds` is `t_m` of Definition 9; the batch size is bounded by
-/// `[1, config.batch_size]`.
+/// `[1, config.batch_size]`. This is the thin wrapper over
+/// [`select_batch_detailed`] for callers that only need the ids.
+///
+/// ```
+/// use scrutinizer_core::ordering::{select_batch, ClaimChoice, OrderingStrategy};
+/// use scrutinizer_core::SystemConfig;
+/// use scrutinizer_corpus::{Document, Section};
+///
+/// let document = Document {
+///     sections: vec![Section {
+///         id: 0,
+///         title: "Outlook".into(),
+///         sentence_count: 10,
+///         claim_ids: vec![0, 1],
+///     }],
+///     total_sentences: 10,
+/// };
+/// let choices = vec![
+///     ClaimChoice { id: 0, section: 0, cost: 40.0, utility: 2.0 },
+///     ClaimChoice { id: 1, section: 0, cost: 45.0, utility: 5.0 },
+/// ];
+/// let config = SystemConfig::test();
+/// let batch = select_batch(
+///     &choices,
+///     &document,
+///     OrderingStrategy::Ilp,
+///     1_000.0,
+///     &config,
+/// );
+/// assert!(batch.contains(&1), "the high-utility claim is selected");
+/// ```
 pub fn select_batch(
     choices: &[ClaimChoice],
     document: &Document,
@@ -46,29 +170,131 @@ pub fn select_batch(
     budget_seconds: f64,
     config: &SystemConfig,
 ) -> Vec<usize> {
+    select_batch_detailed(choices, document, strategy, budget_seconds, config).batch
+}
+
+/// [`select_batch`] with the full [`BatchSelection`] report.
+pub fn select_batch_detailed(
+    choices: &[ClaimChoice],
+    document: &Document,
+    strategy: OrderingStrategy,
+    budget_seconds: f64,
+    config: &SystemConfig,
+) -> BatchSelection {
+    select_batch_with_hint(choices, document, strategy, budget_seconds, config, None)
+}
+
+/// [`select_batch_detailed`] with an optional prior batch whose claims seed
+/// the solver's incumbent (the incremental planner's warm start).
+pub fn select_batch_with_hint(
+    choices: &[ClaimChoice],
+    document: &Document,
+    strategy: OrderingStrategy,
+    budget_seconds: f64,
+    config: &SystemConfig,
+    prior_batch: Option<&[usize]>,
+) -> BatchSelection {
     if choices.is_empty() {
-        return Vec::new();
+        return BatchSelection {
+            batch: Vec::new(),
+            utility: 0.0,
+            method: match strategy {
+                OrderingStrategy::Sequential => BatchMethod::Sequential,
+                OrderingStrategy::Ilp => BatchMethod::IlpOptimal,
+                OrderingStrategy::Greedy => BatchMethod::Greedy,
+            },
+            fallback: None,
+            solver: None,
+        };
     }
     match strategy {
         OrderingStrategy::Sequential => {
             let mut ordered: Vec<&ClaimChoice> = choices.iter().collect();
             ordered.sort_by_key(|c| c.id);
-            ordered
-                .iter()
-                .take(config.batch_size)
-                .map(|c| c.id)
-                .collect()
+            BatchSelection {
+                batch: ordered
+                    .iter()
+                    .take(config.batch_size)
+                    .map(|c| c.id)
+                    .collect(),
+                utility: 0.0,
+                method: BatchMethod::Sequential,
+                fallback: None,
+                solver: None,
+            }
+            .with_utility(choices)
         }
-        OrderingStrategy::Greedy => greedy_batch(choices, document, budget_seconds, config),
-        OrderingStrategy::Ilp => ilp_batch(choices, document, budget_seconds, config)
-            .unwrap_or_else(|| greedy_batch(choices, document, budget_seconds, config)),
+        OrderingStrategy::Greedy => BatchSelection {
+            batch: greedy_fill(&[], choices, document, budget_seconds, config),
+            utility: 0.0,
+            method: BatchMethod::Greedy,
+            fallback: None,
+            solver: None,
+        }
+        .with_utility(choices),
+        OrderingStrategy::Ilp => {
+            let greedy = greedy_fill(&[], choices, document, budget_seconds, config);
+            match ilp_batch(choices, document, budget_seconds, config, prior_batch) {
+                Ok((batch, method, solver)) => {
+                    let selection = BatchSelection {
+                        batch,
+                        utility: 0.0,
+                        method,
+                        fallback: None,
+                        solver,
+                    }
+                    .with_utility(choices);
+                    // the solver only sees the candidate window and its
+                    // greedy seed may be discarded when budget-infeasible —
+                    // max against the full-pool greedy so Ilp dominates
+                    // Greedy unconditionally
+                    let greedy_utility = batch_utility(&greedy, choices);
+                    if greedy_utility > selection.utility + 1e-12 {
+                        BatchSelection {
+                            batch: greedy,
+                            utility: greedy_utility,
+                            method: BatchMethod::GreedyOverWindow,
+                            ..selection
+                        }
+                    } else {
+                        selection
+                    }
+                }
+                Err(error) => BatchSelection {
+                    batch: greedy,
+                    utility: 0.0,
+                    method: BatchMethod::GreedyFallback,
+                    fallback: Some(error),
+                    solver: None,
+                }
+                .with_utility(choices),
+            }
+        }
     }
 }
 
-/// Greedy: repeatedly take the claim with the best utility-per-marginal-cost
-/// ratio, where marginal cost includes the section skim the first time a
-/// section is touched.
-fn greedy_batch(
+/// The pre-PR3 serial ILP path — one cold branch & bound per call, greedy
+/// on failure — kept verbatim as the benchmark baseline and ablation.
+pub fn select_batch_serial_baseline(
+    choices: &[ClaimChoice],
+    document: &Document,
+    budget_seconds: f64,
+    config: &SystemConfig,
+) -> Vec<usize> {
+    if choices.is_empty() {
+        return Vec::new();
+    }
+    serial_ilp_batch(choices, document, budget_seconds, config)
+        .unwrap_or_else(|| greedy_fill(&[], choices, document, budget_seconds, config))
+}
+
+/// Greedy utility-per-marginal-cost selection, optionally seeded with prior
+/// picks: `seed` claims are admitted first (in density order, while they
+/// fit), then the standard greedy loop fills the remainder. The marginal
+/// cost of a claim includes the section skim the first time its section is
+/// touched. `greedy_fill(&[], ..)` is the plain greedy baseline.
+pub fn greedy_fill(
+    seed: &[usize],
     choices: &[ClaimChoice],
     document: &Document,
     budget_seconds: f64,
@@ -78,6 +304,31 @@ fn greedy_batch(
     let mut touched_sections: Vec<usize> = Vec::new();
     let mut batch = Vec::new();
     let mut spent = 0.0;
+
+    // admit the seed first, best density first, while it fits
+    let mut seeded: Vec<&ClaimChoice> = choices.iter().filter(|c| seed.contains(&c.id)).collect();
+    seeded.sort_by(|a, b| density_cmp(a, b));
+    for c in seeded {
+        if batch.len() >= config.batch_size {
+            break;
+        }
+        let read = if touched_sections.contains(&c.section) {
+            0.0
+        } else {
+            section_read_cost(document, c.section, config)
+        };
+        let marginal = c.cost + read;
+        if spent + marginal > budget_seconds && !batch.is_empty() {
+            continue;
+        }
+        spent += marginal;
+        if !touched_sections.contains(&c.section) {
+            touched_sections.push(c.section);
+        }
+        batch.push(c.id);
+        remaining.retain(|r| r.id != c.id);
+    }
+
     while batch.len() < config.batch_size && !remaining.is_empty() {
         let mut best: Option<(usize, f64, f64)> = None; // (idx, density, marginal)
         for (i, c) in remaining.iter().enumerate() {
@@ -106,27 +357,32 @@ fn greedy_batch(
     batch
 }
 
-/// The ILP of Definition 9: binary `cs_i` per claim, binary `sr_j` per
-/// section, `sr_j ≥ cs_i` coverage constraints, the budget
+/// The candidate window plus the Definition-9 model built over it.
+struct WindowModel<'a> {
+    window: Vec<&'a ClaimChoice>,
+    model: Model,
+    claim_vars: Vec<scrutinizer_ilp::VarId>,
+    sections: Vec<usize>,
+    section_vars: Vec<scrutinizer_ilp::VarId>,
+}
+
+/// Builds the ILP of Definition 9: binary `cs_i` per claim, binary `sr_j`
+/// per section, `sr_j ≥ cs_i` coverage constraints, the budget
 /// `Σ cs·v + Σ sr·r ≤ t_m`, cardinality `1 ≤ Σ cs ≤ b_u`, objective
 /// `max Σ u·cs` (the paper minimizes `−Σ u·cs`).
 ///
 /// To keep the instance at the size Theorem 8 promises even with thousands
 /// of unverified claims, selection runs over the `ordering_window` claims
-/// with the highest utility density (documented in DESIGN.md).
-fn ilp_batch(
-    choices: &[ClaimChoice],
+/// with the highest utility density.
+fn build_window_model<'a>(
+    choices: &'a [ClaimChoice],
     document: &Document,
     budget_seconds: f64,
     config: &SystemConfig,
-) -> Option<Vec<usize>> {
+) -> Option<WindowModel<'a>> {
     // candidate window
     let mut window: Vec<&ClaimChoice> = choices.iter().collect();
-    window.sort_by(|a, b| {
-        let da = a.utility / a.cost.max(1e-9);
-        let db = b.utility / b.cost.max(1e-9);
-        db.total_cmp(&da).then(a.id.cmp(&b.id))
-    });
+    window.sort_by(|a, b| density_cmp(a, b));
     window.truncate(config.ordering_window);
 
     let mut model = Model::maximize();
@@ -169,12 +425,112 @@ fn ilp_batch(
         .ok()?;
     model.add_constraint(cardinality, Sense::Ge, 1.0).ok()?;
 
-    // Definition 9 instances are knapsack-like: their LP relaxations are
-    // near-integral and the incumbent after a few dozen nodes is optimal or
-    // indistinguishable from it, so a small node budget keeps planning well
-    // inside the paper's 15-minute total
+    Some(WindowModel {
+        window,
+        model,
+        claim_vars,
+        sections,
+        section_vars,
+    })
+}
+
+/// Maps a batch of claim ids onto the window model's variable vector
+/// (claim vars plus the section vars they force on).
+fn hint_values(wm: &WindowModel<'_>, batch: &[usize]) -> Vec<f64> {
+    let mut values = vec![0.0; wm.model.num_variables()];
+    for (c, v) in wm.window.iter().zip(&wm.claim_vars) {
+        if batch.contains(&c.id) {
+            values[v.index()] = 1.0;
+            let j = wm
+                .sections
+                .binary_search(&c.section)
+                .expect("section present");
+            values[wm.section_vars[j].index()] = 1.0;
+        }
+    }
+    values
+}
+
+/// Solves Definition 9 with the parallel, warm-started solver. The greedy
+/// heuristic's answer always seeds the incumbent (so the ILP can only
+/// match or beat it); a prior batch from the incremental planner seeds it
+/// too. Errors — no longer swallowed — bubble up so the caller records the
+/// fallback reason.
+fn ilp_batch(
+    choices: &[ClaimChoice],
+    document: &Document,
+    budget_seconds: f64,
+    config: &SystemConfig,
+    prior_batch: Option<&[usize]>,
+) -> Result<(Vec<usize>, BatchMethod, Option<SolveStats>), IlpError> {
+    let wm = build_window_model(choices, document, budget_seconds, config)
+        .ok_or(IlpError::Infeasible)?;
+
+    // incumbent seeds: greedy over the window, plus the prior batch
+    let window_choices: Vec<ClaimChoice> = wm.window.iter().map(|&c| c.clone()).collect();
+    let greedy_seed = greedy_fill(&[], &window_choices, document, budget_seconds, config);
+    let greedy_hint = hint_values(&wm, &greedy_seed);
+    let prior_hint = prior_batch.map(|prior| hint_values(&wm, prior));
+    let mut hints: Vec<&[f64]> = vec![&greedy_hint];
+    if let Some(prior) = &prior_hint {
+        hints.push(prior);
+    }
+
+    let parallel = ParallelConfig {
+        threads: config.planner_threads,
+        node_limit: PARALLEL_NODE_LIMIT,
+        gap: PLANNING_GAP,
+        ..Default::default()
+    };
+    let solve = solve_ilp_parallel(&wm.model, parallel, &hints)?;
+    let method = if solve.stats.node_limit_hit {
+        BatchMethod::IlpIncumbent
+    } else {
+        BatchMethod::IlpOptimal
+    };
+    let batch: Vec<usize> = wm
+        .window
+        .iter()
+        .zip(&wm.claim_vars)
+        .filter(|(_, &v)| solve.solution.is_set(v))
+        .map(|(c, _)| c.id)
+        .collect();
+    if batch.is_empty() {
+        return Err(IlpError::Infeasible);
+    }
+    Ok((batch, method, Some(solve.stats)))
+}
+
+/// The LP-relaxation value of the Definition-9 window model — a tight
+/// upper bound on the achievable batch utility (the same bound the branch
+/// & bound prunes against at its root). One warm-free LP solve: an order
+/// of magnitude cheaper than a full solve, which is what makes it usable
+/// as the incremental planner's repair-acceptance test.
+pub fn window_lp_bound(
+    choices: &[ClaimChoice],
+    document: &Document,
+    budget_seconds: f64,
+    config: &SystemConfig,
+) -> Option<f64> {
+    let wm = build_window_model(choices, document, budget_seconds, config)?;
+    let lower: Vec<f64> = vec![0.0; wm.model.num_variables()];
+    let upper: Vec<f64> = vec![1.0; wm.model.num_variables()];
+    solve_lp(&wm.model, &lower, &upper)
+        .ok()
+        .map(|s| s.objective)
+}
+
+/// The seed's serial solve: cold branch & bound, 40-node budget, incumbent
+/// accepted on exhaustion, `None` on any other failure.
+fn serial_ilp_batch(
+    choices: &[ClaimChoice],
+    document: &Document,
+    budget_seconds: f64,
+    config: &SystemConfig,
+) -> Option<Vec<usize>> {
+    let wm = build_window_model(choices, document, budget_seconds, config)?;
     let solution = match solve_ilp(
-        &model,
+        &wm.model,
         BranchConfig {
             node_limit: 40,
             ..Default::default()
@@ -184,9 +540,10 @@ fn ilp_batch(
         Err(IlpError::NodeLimit(Some(s))) => s,
         Err(_) => return None,
     };
-    let batch: Vec<usize> = window
+    let batch: Vec<usize> = wm
+        .window
         .iter()
-        .zip(&claim_vars)
+        .zip(&wm.claim_vars)
         .filter(|(_, &v)| solution.is_set(v))
         .map(|(c, _)| c.id)
         .collect();
@@ -268,14 +625,9 @@ mod tests {
     fn ilp_beats_or_matches_greedy_utility() {
         let (document, choices, config) = setup();
         let budget = 900.0;
-        let utility_of = |batch: &[usize]| -> f64 {
-            batch
-                .iter()
-                .map(|&id| choices.iter().find(|c| c.id == id).unwrap().utility)
-                .sum()
-        };
-        let ilp = select_batch(&choices, &document, OrderingStrategy::Ilp, budget, &config);
-        let greedy = select_batch(
+        let ilp =
+            select_batch_detailed(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+        let greedy = select_batch_detailed(
             &choices,
             &document,
             OrderingStrategy::Greedy,
@@ -283,11 +635,42 @@ mod tests {
             &config,
         );
         assert!(
-            utility_of(&ilp) >= utility_of(&greedy) - 1e-6,
+            ilp.utility >= greedy.utility - 1e-6,
             "ILP {} vs greedy {}",
-            utility_of(&ilp),
-            utility_of(&greedy)
+            ilp.utility,
+            greedy.utility
         );
+        assert!(
+            matches!(
+                ilp.method,
+                BatchMethod::IlpOptimal | BatchMethod::IlpIncumbent | BatchMethod::GreedyOverWindow
+            ),
+            "{:?}",
+            ilp.method
+        );
+        assert!(ilp.fallback.is_none());
+        let solver = ilp.solver.expect("parallel solver ran");
+        assert!(solver.lp_solves >= 1);
+    }
+
+    #[test]
+    fn parallel_matches_serial_baseline_objective() {
+        let (document, choices, config) = setup();
+        for budget in [500.0, 900.0, 2000.0] {
+            let parallel =
+                select_batch_detailed(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+            let serial = select_batch_serial_baseline(&choices, &document, budget, &config);
+            let serial_utility = batch_utility(&serial, &choices);
+            // the parallel solver legitimately trades up to PLANNING_GAP of
+            // objective for early termination, so the guarantee is
+            // gap-relative, not exact
+            assert!(
+                parallel.utility >= serial_utility * (1.0 - PLANNING_GAP) - 1e-6,
+                "budget {budget}: parallel {} < serial {} beyond the gap",
+                parallel.utility,
+                serial_utility
+            );
+        }
     }
 
     #[test]
@@ -315,5 +698,57 @@ mod tests {
     fn empty_input_yields_empty_batch() {
         let (document, _, config) = setup();
         assert!(select_batch(&[], &document, OrderingStrategy::Ilp, 100.0, &config).is_empty());
+    }
+
+    #[test]
+    fn infeasible_ilp_reports_fallback_reason() {
+        // a budget below every claim's cost makes Definition 9 infeasible
+        // (cardinality demands ≥ 1 claim); greedy still answers, and the
+        // reason is returned instead of dropped
+        let (document, choices, config) = setup();
+        let selection =
+            select_batch_detailed(&choices, &document, OrderingStrategy::Ilp, 1.0, &config);
+        assert_eq!(selection.method, BatchMethod::GreedyFallback);
+        assert!(matches!(selection.fallback, Some(IlpError::Infeasible)));
+        assert!(
+            !selection.batch.is_empty(),
+            "greedy admits the first claim even over budget"
+        );
+    }
+
+    #[test]
+    fn hint_never_hurts() {
+        let (document, choices, config) = setup();
+        let budget = 900.0;
+        let cold =
+            select_batch_detailed(&choices, &document, OrderingStrategy::Ilp, budget, &config);
+        let hinted = select_batch_with_hint(
+            &choices,
+            &document,
+            OrderingStrategy::Ilp,
+            budget,
+            &config,
+            Some(&cold.batch),
+        );
+        // the hint seeds the incumbent with the cold batch, so the hinted
+        // solve can only match or improve it (it may legitimately improve
+        // by up to the gap the cold run pruned away — exact equality is
+        // not guaranteed under gap pruning)
+        assert!(
+            hinted.utility >= cold.utility - 1e-9,
+            "hinted {} < cold {}",
+            hinted.utility,
+            cold.utility
+        );
+    }
+
+    #[test]
+    fn greedy_fill_seeds_survive() {
+        let (document, choices, config) = setup();
+        let seed = [choices[3].id, choices[10].id];
+        let batch = greedy_fill(&seed, &choices, &document, 1e9, &config);
+        for id in seed {
+            assert!(batch.contains(&id), "seed {id} must survive a loose budget");
+        }
     }
 }

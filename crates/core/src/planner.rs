@@ -29,6 +29,28 @@ pub const CROWD_PROPERTIES: [PropertyKind; 3] = [
 ];
 
 /// Builds the optimal plan for one claim from its translation.
+///
+/// ```
+/// use scrutinizer_core::planner::plan_claim;
+/// use scrutinizer_core::{SystemConfig, Translation};
+///
+/// // classifier output: (label, probability) per property, best first
+/// let options = |base: f32| {
+///     vec![
+///         ("first".to_string(), base),
+///         ("second".to_string(), base / 2.0),
+///         ("third".to_string(), base / 4.0),
+///     ]
+/// };
+/// let translation = Translation {
+///     candidates: [options(0.6), options(0.5), options(0.55), options(0.4)],
+/// };
+/// let config = SystemConfig::test();
+/// let plan = plan_claim(&translation, &config);
+/// assert!(!plan.screens.is_empty(), "uncertain properties get screens");
+/// assert!(plan.screens.len() <= config.cost.max_screens(), "Corollary 1");
+/// assert!(plan.expected_cost > 0.0);
+/// ```
 pub fn plan_claim(translation: &Translation, config: &SystemConfig) -> ClaimPlan {
     // §5.1's ideal case: a property whose top prediction is near-certain
     // needs no screen — the worker only confirms the final query

@@ -14,7 +14,7 @@
 //! The inner loop runs hundreds of assignments per claim, so everything
 //! name-shaped is resolved **once** before enumeration:
 //!
-//! * every `(relation, key, attribute)` triple becomes a [`ResolvedCell`]
+//! * every `(relation, key, attribute)` triple becomes a `ResolvedCell`
 //!   — a numeric [`CellRef`] handle plus the cell's `f64`, materialized
 //!   once from the catalog's cached numeric views;
 //! * every formula is compiled once into a flat postfix program whose

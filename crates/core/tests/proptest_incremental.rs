@@ -1,0 +1,137 @@
+//! Differential property test for incremental re-planning: whenever the
+//! planner answers a re-plan by *repairing* its cached batch (no ILP
+//! solve), the repaired batch's utility must stay within the configured
+//! `replan_gap` of what a cold solve on the same shifted input achieves —
+//! the guarantee the bound test is supposed to enforce.
+
+use proptest::prelude::*;
+use scrutinizer_core::incremental::IncrementalPlanner;
+use scrutinizer_core::ordering::{select_batch_detailed, BatchMethod, ClaimChoice};
+use scrutinizer_core::{OrderingStrategy, SystemConfig};
+use scrutinizer_corpus::{Document, Section};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    choices: Vec<ClaimChoice>,
+    sentence_counts: Vec<usize>,
+    budget: f64,
+    /// Per-claim utility drift factors for the simulated retrain.
+    drift: Vec<u32>,
+    /// Claims verified between the two plans (removed from the pool).
+    removed_mask: u32,
+}
+
+fn scenarios() -> impl Strategy<Value = Scenario> {
+    (
+        prop::collection::vec((20u32..100, 1u32..12, 0usize..5), 4..24),
+        prop::collection::vec(20usize..120, 5),
+        300u32..3000,
+        prop::collection::vec(80u32..120, 24),
+        0u32..65536,
+    )
+        .prop_map(
+            |(claims, sentence_counts, budget, drift, removed_mask)| Scenario {
+                choices: claims
+                    .iter()
+                    .enumerate()
+                    .map(|(id, &(cost, utility, section))| ClaimChoice {
+                        id,
+                        section,
+                        cost: cost as f64,
+                        utility: utility as f64,
+                    })
+                    .collect(),
+                sentence_counts,
+                budget: budget as f64,
+                drift,
+                removed_mask,
+            },
+        )
+}
+
+fn document(scenario: &Scenario) -> Document {
+    let sections: Vec<Section> = scenario
+        .sentence_counts
+        .iter()
+        .enumerate()
+        .map(|(id, &sentence_count)| Section {
+            id,
+            title: format!("s{id}"),
+            sentence_count,
+            claim_ids: scenario
+                .choices
+                .iter()
+                .filter(|c| c.section == id)
+                .map(|c| c.id)
+                .collect(),
+        })
+        .collect();
+    let total_sentences = sections.iter().map(|s| s.sentence_count).sum();
+    Document {
+        sections,
+        total_sentences,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn accepted_repairs_stay_within_the_gap(scenario in scenarios()) {
+        let config = SystemConfig::test();
+        let doc = document(&scenario);
+        let mut planner = IncrementalPlanner::new();
+        planner.plan(
+            &scenario.choices,
+            &doc,
+            OrderingStrategy::Ilp,
+            scenario.budget,
+            &config,
+        );
+
+        // retrain: drift utilities; verdicts: drop the masked claims
+        let shifted: Vec<ClaimChoice> = scenario
+            .choices
+            .iter()
+            .filter(|c| scenario.removed_mask & (1 << (c.id % 32)) == 0)
+            .map(|c| ClaimChoice {
+                utility: c.utility * scenario.drift[c.id % scenario.drift.len()] as f64 / 100.0,
+                ..c.clone()
+            })
+            .collect();
+        if !shifted.is_empty() {
+            let replanned = planner.plan(
+                &shifted,
+                &doc,
+                OrderingStrategy::Ilp,
+                scenario.budget,
+                &config,
+            );
+
+            // removed claims must never resurface
+            for id in &replanned.batch {
+                prop_assert!(
+                    shifted.iter().any(|c| c.id == *id),
+                    "claim {id} left the pool but stayed in the plan"
+                );
+            }
+
+            if replanned.method == BatchMethod::IncrementalRepair {
+                let cold = select_batch_detailed(
+                    &shifted,
+                    &doc,
+                    OrderingStrategy::Ilp,
+                    scenario.budget,
+                    &config,
+                );
+                prop_assert!(
+                    replanned.utility >= (1.0 - config.replan_gap) * cold.utility - 1e-9,
+                    "repair {} vs cold {} exceeds the {} gap",
+                    replanned.utility,
+                    cold.utility,
+                    config.replan_gap
+                );
+            }
+        }
+    }
+}

@@ -37,7 +37,7 @@ pub mod formulas;
 pub mod tables;
 
 pub use claims::{ClaimKind, ClaimRecord};
-pub use document::Document;
+pub use document::{Document, Section};
 pub use formulas::FormulaSpec;
 
 use scrutinizer_data::Catalog;

@@ -12,7 +12,7 @@ use scrutinizer_core::screens::FinalScreen;
 use scrutinizer_core::stats::mean;
 use scrutinizer_core::AssignmentCache;
 use scrutinizer_core::{
-    generate_queries_with, padded_context, select_batch, OrderingStrategy, PropertyKind,
+    generate_queries_with, padded_context, OrderingStrategy, PlannerCounters, PropertyKind,
     SystemConfig, SystemModels, Verifier,
 };
 use scrutinizer_corpus::{ClaimKind, ClaimRecord, Corpus};
@@ -241,6 +241,22 @@ impl Engine {
     // ---- session lifecycle -------------------------------------------------
 
     /// Opens a session for a named checker.
+    ///
+    /// ```
+    /// use scrutinizer_core::SystemConfig;
+    /// use scrutinizer_corpus::{Corpus, CorpusConfig};
+    /// use scrutinizer_engine::Engine;
+    ///
+    /// let engine = Engine::new(Corpus::generate(CorpusConfig::small()), SystemConfig::test());
+    /// let session = engine.open_session("alice");
+    /// assert_eq!(engine.session_checker(session).unwrap(), "alice");
+    /// assert_eq!(engine.session_count(), 1);
+    ///
+    /// // the mixed-initiative loop starts by submitting a report of claims
+    /// let questions = engine.submit_report(session, &[0, 1]).unwrap();
+    /// assert!(!questions.is_empty());
+    /// engine.close_session(session).unwrap();
+    /// ```
     pub fn open_session(&self, checker: &str) -> SessionId {
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         self.sessions
@@ -382,13 +398,18 @@ impl Engine {
         let mean_cost = mean(&choices.iter().map(|c| c.cost).collect::<Vec<_>>());
         let budget = self.config.batch_size as f64 * mean_cost * 1.3
             + 3.0 * self.config.read_seconds_per_sentence * 400.0;
-        let mut batch = select_batch(
+        let before = state.planner.counters();
+        let selection = state.planner.plan(
             &choices,
             &self.corpus.document,
             self.options.ordering,
             budget,
             &self.config,
         );
+        let after = state.planner.counters();
+        let fallback = state.planner.last_fallback().map(|e| e.to_string());
+        self.note_planned(before, after, fallback);
+        let mut batch = selection.batch;
         if batch.is_empty() {
             batch = vec![open[0]];
         }
@@ -552,6 +573,62 @@ impl Engine {
         self.stats.bump(&self.stats.claims_verified);
         let retrained = self.note_verified(claim_id);
         Ok(VerdictRecord { outcome, retrained })
+    }
+
+    /// Folds one plan's [`PlannerCounters`] delta into the engine-wide
+    /// atomics — the session planner is the single source of truth; the
+    /// engine only aggregates. The last fallback reason is kept too,
+    /// satisfying the "don't swallow `IlpError`" contract at the metrics
+    /// surface.
+    fn note_planned(
+        &self,
+        before: PlannerCounters,
+        after: PlannerCounters,
+        fallback: Option<String>,
+    ) {
+        let add = |counter: &AtomicU64, delta: u64| {
+            if delta > 0 {
+                counter.fetch_add(delta, Ordering::Relaxed);
+            }
+        };
+        add(&self.stats.planner_plans, after.plans - before.plans);
+        add(
+            &self.stats.planner_cold_solves,
+            after.cold_solves - before.cold_solves,
+        );
+        add(
+            &self.stats.planner_incremental_repairs,
+            after.incremental_repairs - before.incremental_repairs,
+        );
+        add(
+            &self.stats.planner_repair_rejections,
+            after.repair_rejections - before.repair_rejections,
+        );
+        add(
+            &self.stats.planner_fallbacks,
+            after.fallbacks - before.fallbacks,
+        );
+        add(
+            &self.stats.planner_nodes,
+            after.nodes_explored - before.nodes_explored,
+        );
+        add(
+            &self.stats.planner_warm_start_hits,
+            after.warm_start_hits - before.warm_start_hits,
+        );
+        add(
+            &self.stats.planner_lp_solves,
+            after.lp_solves - before.lp_solves,
+        );
+        if after.fallbacks > before.fallbacks {
+            if let Some(reason) = fallback {
+                *self
+                    .stats
+                    .planner_last_fallback
+                    .lock()
+                    .expect("fallback slot poisoned") = Some(reason);
+            }
+        }
     }
 
     /// Adds a claim to the global verified set and retrains when the
@@ -838,6 +915,20 @@ impl Engine {
             suggestions_served: load(&self.stats.suggestions_served),
             retrains: load(&self.stats.retrains),
             sql_executed: load(&self.stats.sql_executed),
+            planner_plans: load(&self.stats.planner_plans),
+            planner_cold_solves: load(&self.stats.planner_cold_solves),
+            planner_incremental_repairs: load(&self.stats.planner_incremental_repairs),
+            planner_repair_rejections: load(&self.stats.planner_repair_rejections),
+            planner_fallbacks: load(&self.stats.planner_fallbacks),
+            planner_nodes: load(&self.stats.planner_nodes),
+            planner_warm_start_hits: load(&self.stats.planner_warm_start_hits),
+            planner_lp_solves: load(&self.stats.planner_lp_solves),
+            planner_last_fallback: self
+                .stats
+                .planner_last_fallback
+                .lock()
+                .expect("fallback slot poisoned")
+                .clone(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_hit_rate: self.cache.hit_rate(),

@@ -428,6 +428,39 @@ fn stats_json(snapshot: &StatsSnapshot) -> Json {
         ),
         ("retrains", Json::Num(snapshot.retrains as f64)),
         ("sql_executed", Json::Num(snapshot.sql_executed as f64)),
+        ("planner_plans", Json::Num(snapshot.planner_plans as f64)),
+        (
+            "planner_cold_solves",
+            Json::Num(snapshot.planner_cold_solves as f64),
+        ),
+        (
+            "planner_incremental_repairs",
+            Json::Num(snapshot.planner_incremental_repairs as f64),
+        ),
+        (
+            "planner_repair_rejections",
+            Json::Num(snapshot.planner_repair_rejections as f64),
+        ),
+        (
+            "planner_fallbacks",
+            Json::Num(snapshot.planner_fallbacks as f64),
+        ),
+        ("planner_nodes", Json::Num(snapshot.planner_nodes as f64)),
+        (
+            "planner_warm_start_hits",
+            Json::Num(snapshot.planner_warm_start_hits as f64),
+        ),
+        (
+            "planner_lp_solves",
+            Json::Num(snapshot.planner_lp_solves as f64),
+        ),
+        (
+            "planner_last_fallback",
+            match &snapshot.planner_last_fallback {
+                Some(reason) => Json::Str(reason.clone()),
+                None => Json::Null,
+            },
+        ),
         ("cache_hits", Json::Num(snapshot.cache_hits as f64)),
         ("cache_misses", Json::Num(snapshot.cache_misses as f64)),
         ("cache_hit_rate", Json::Num(snapshot.cache_hit_rate)),

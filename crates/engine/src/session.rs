@@ -9,7 +9,7 @@
 
 use scrutinizer_core::planner::ClaimPlan;
 use scrutinizer_core::qgen::QueryCandidate;
-use scrutinizer_core::{PropertyKind, Translation};
+use scrutinizer_core::{IncrementalPlanner, PropertyKind, Translation};
 use scrutinizer_data::hash::FxHashMap;
 use scrutinizer_text::SparseVector;
 
@@ -120,6 +120,9 @@ pub(crate) struct SessionState {
     pub pending: Vec<usize>,
     /// Claims with recorded verdicts, in verdict order.
     pub verified: Vec<usize>,
+    /// The session's batch planner: caches the last selection and repairs
+    /// it across re-plans instead of re-solving Definition 9 cold.
+    pub planner: IncrementalPlanner,
 }
 
 impl SessionState {
@@ -129,6 +132,7 @@ impl SessionState {
             tasks: FxHashMap::default(),
             pending: Vec::new(),
             verified: Vec::new(),
+            planner: IncrementalPlanner::new(),
         }
     }
 }

@@ -3,6 +3,7 @@
 //! benches.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Number of power-of-two latency buckets; bucket `i` holds samples in
@@ -113,6 +114,24 @@ pub struct EngineStats {
     pub retrains: AtomicU64,
     /// Raw SQL statements executed through the serving layer.
     pub sql_executed: AtomicU64,
+    /// Batch-selection plans requested (all strategies).
+    pub planner_plans: AtomicU64,
+    /// Full ILP solves (cold or incumbent-seeded) behind those plans.
+    pub planner_cold_solves: AtomicU64,
+    /// Plans answered by repairing a cached batch — no ILP solve.
+    pub planner_incremental_repairs: AtomicU64,
+    /// Repairs rejected by the bound test (each followed by a full solve).
+    pub planner_repair_rejections: AtomicU64,
+    /// ILP failures that degraded to the greedy heuristic.
+    pub planner_fallbacks: AtomicU64,
+    /// Branch & bound nodes explored across all planning solves.
+    pub planner_nodes: AtomicU64,
+    /// Planning LP solves that reused a prior basis (phase 1 skipped).
+    pub planner_warm_start_hits: AtomicU64,
+    /// Total LP relaxations solved while planning.
+    pub planner_lp_solves: AtomicU64,
+    /// Human-readable reason of the most recent planner fallback.
+    pub planner_last_fallback: Mutex<Option<String>>,
     /// Latency of claim planning (translation + screen selection).
     pub plan_latency: LatencyHistogram,
     /// Latency of query generation (Algorithm 2, cache-assisted).
@@ -150,6 +169,24 @@ pub struct StatsSnapshot {
     pub retrains: u64,
     /// Raw SQL statements executed.
     pub sql_executed: u64,
+    /// Batch-selection plans requested.
+    pub planner_plans: u64,
+    /// Full ILP solves behind those plans.
+    pub planner_cold_solves: u64,
+    /// Plans answered by incremental repair (no solve).
+    pub planner_incremental_repairs: u64,
+    /// Repairs rejected by the bound test.
+    pub planner_repair_rejections: u64,
+    /// ILP failures that degraded to greedy.
+    pub planner_fallbacks: u64,
+    /// Branch & bound nodes explored while planning.
+    pub planner_nodes: u64,
+    /// Warm-started planning LP solves.
+    pub planner_warm_start_hits: u64,
+    /// Total planning LP solves.
+    pub planner_lp_solves: u64,
+    /// The most recent planner fallback reason, if any ILP ever failed.
+    pub planner_last_fallback: Option<String>,
     /// Query-result cache hits.
     pub cache_hits: u64,
     /// Query-result cache misses.

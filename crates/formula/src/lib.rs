@@ -17,8 +17,8 @@
 //! single binding of variables to lookups instantiates both.
 //!
 //! This crate provides the AST ([`Formula`]), a parser, **generalization**
-//! from concrete queries ([`generalize`]), **instantiation** back into
-//! executable queries ([`instantiate`]), direct evaluation against a catalog
+//! from concrete queries ([`generalize()`]), **instantiation** back into
+//! executable queries ([`instantiate()`]), direct evaluation against a catalog
 //! ([`eval_formula`]) used by Algorithm 2's inner loop, canonical signatures
 //! for deduplication, and the claim-complexity measure of Figure 6.
 

@@ -5,30 +5,41 @@
 //!
 //! * [`model`] — a Gurobi-like model builder: variables (continuous or
 //!   binary), linear constraints, minimize/maximize objective;
-//! * [`simplex`] — dense two-phase primal simplex for the LP relaxation;
-//! * [`branch`] — best-first branch & bound over the binary variables, with
-//!   node and gap limits;
+//! * [`simplex`] — dense two-phase primal simplex for the LP relaxation,
+//!   with optional basis warm-starting ([`simplex::solve_lp_warm`]);
+//! * [`branch`] — serial best-first branch & bound over the binary
+//!   variables, with node and gap limits (kept as the reference solver and
+//!   ablation baseline);
+//! * [`parallel`] — the scalable solver: work-stealing parallel branch &
+//!   bound with a shared atomic incumbent, per-node LP warm starts, and
+//!   [`heuristic`] incumbent seeding, reporting [`SolveStats`] counters;
+//! * [`heuristic`] — LP-relaxation rounding that turns the root relaxation
+//!   into a feasible incumbent so the gap test prunes early;
 //! * [`knapsack`] — dynamic-programming 0/1 knapsack, used both as a fast
 //!   path for batch-selection instances that degenerate to knapsack
 //!   (Theorem 7's reduction) and as an independent cross-check in tests.
 //!
 //! The batch-selection ILPs are small — `O(claims + sections)` variables and
-//! constraints (Theorem 8) — so a textbook implementation solves them in
-//! milliseconds, which is all the paper's experiments require.
+//! constraints (Theorem 8) — but the mixed-initiative loop re-solves one
+//! after *every* retrain over thousands of claims, so the solver is built to
+//! be re-entered cheaply rather than merely to finish once.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod branch;
 pub mod error;
+pub mod heuristic;
 pub mod knapsack;
 pub mod model;
+pub mod parallel;
 pub mod simplex;
 
 pub use branch::{solve_ilp, BranchConfig};
 pub use error::IlpError;
 pub use knapsack::knapsack_01;
 pub use model::{Constraint, Model, Sense, Solution, SolveStatus, VarId, VarKind};
+pub use parallel::{solve_ilp_parallel, ParallelConfig, ParallelSolve, SolveStats};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, IlpError>;

@@ -1,0 +1,662 @@
+//! Parallel best-first branch & bound over a work-stealing node pool.
+//!
+//! The serial solver in [`crate::branch`] explores one node at a time and
+//! re-solves every LP from scratch. This module scales the same search
+//! three ways:
+//!
+//! * **work stealing** — each worker owns a best-first node heap; idle
+//!   workers steal half of the richest victim's nodes, so the frontier
+//!   spreads without a global lock on the hot path;
+//! * **shared atomic incumbent** — the best integral value is published as
+//!   atomic `f64` bits, so bound pruning reads it without locking; the full
+//!   solution vector lives behind a mutex touched only on improvement;
+//! * **LP warm starts** — every child node carries its parent's optimal
+//!   [`LpBasis`] and re-installs it, repairing the usual primal
+//!   infeasibility (the fixed branching variable) with dual simplex pivots
+//!   instead of re-running phase 1 from scratch;
+//! * **incumbent seeding** — the root relaxation is rounded
+//!   ([`crate::heuristic::round_to_incumbent`]) into a feasible incumbent
+//!   before the search starts, so the gap test prunes from node one.
+//!
+//! **Determinism:** with a (near-)zero gap, a run that terminates by
+//! optimality returns the same objective regardless of thread count or
+//! scheduling (pruning then only discards nodes that cannot improve the
+//! incumbent), and incumbent ties are broken lexicographically. With a
+//! nonzero gap the objective is guaranteed within the gap of optimal but
+//! may vary inside it (gap pruning discards nodes another schedule would
+//! have explored first), and runs cut off by the node limit return
+//! schedule-dependent incumbents — exactly like the serial solver's
+//! budget-exhaustion path. Seeded hints are a floor in every mode: the
+//! result never drops below a feasible hint.
+
+use crate::error::IlpError;
+use crate::heuristic::round_to_incumbent;
+use crate::model::{Direction, Model, Solution, SolveStatus};
+use crate::simplex::{solve_lp_warm, LpBasis};
+use crate::Result;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Configuration of the parallel solver.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Worker threads; `0` uses the machine's available parallelism.
+    pub threads: usize,
+    /// Maximum number of explored nodes before giving up with the incumbent.
+    pub node_limit: usize,
+    /// Relative optimality gap at which a node is pruned against the
+    /// incumbent (also the early-termination gap).
+    pub gap: f64,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Round the root relaxation into a seed incumbent before searching.
+    pub seed_heuristic: bool,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 0,
+            node_limit: 20_000,
+            gap: 1e-6,
+            int_tol: 1e-6,
+            seed_heuristic: true,
+        }
+    }
+}
+
+/// Counters describing one parallel solve, surfaced up to the planner and
+/// the engine's metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Nodes popped and processed (the serial solver's `explored`).
+    pub nodes_explored: usize,
+    /// LP relaxations solved.
+    pub lp_solves: usize,
+    /// LP solves that reused a parent basis and skipped phase 1.
+    pub warm_start_hits: usize,
+    /// Whether the rounding heuristic produced the seed incumbent.
+    pub heuristic_seeded: bool,
+    /// Worker threads used.
+    pub threads_used: usize,
+    /// Whether the node budget ran out (the solution is the best incumbent,
+    /// not a proven optimum).
+    pub node_limit_hit: bool,
+}
+
+/// A completed parallel solve: the solution plus its search counters.
+#[derive(Debug, Clone)]
+pub struct ParallelSolve {
+    /// The optimal (or, under a nonzero gap, gap-optimal) solution.
+    pub solution: Solution,
+    /// Search counters.
+    pub stats: SolveStats,
+}
+
+struct Node {
+    /// LP bound of this node (maximize convention).
+    bound: f64,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Parent's optimal basis, installed to warm-start this node's LP.
+    basis: LpBasis,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // best-first: larger bound explored first
+        self.bound.total_cmp(&other.bound)
+    }
+}
+
+struct Incumbent {
+    /// Best value in maximize convention; −∞ when none.
+    value: f64,
+    solution: Option<Solution>,
+}
+
+struct Shared<'m> {
+    model: &'m Model,
+    binaries: Vec<usize>,
+    sign: f64,
+    config: ParallelConfig,
+    queues: Vec<Mutex<BinaryHeap<Node>>>,
+    /// Nodes queued or currently being processed; 0 means the search is done.
+    pending: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    wakeup: Condvar,
+    incumbent: Mutex<Incumbent>,
+    /// `f64::to_bits` of the incumbent value, for lock-free bound pruning.
+    incumbent_bits: AtomicU64,
+    explored: AtomicUsize,
+    lp_solves: AtomicUsize,
+    warm_hits: AtomicUsize,
+    stop: AtomicBool,
+    node_limit_hit: AtomicBool,
+    hard_error: Mutex<Option<IlpError>>,
+}
+
+impl Shared<'_> {
+    fn incumbent_value(&self) -> f64 {
+        f64::from_bits(self.incumbent_bits.load(Ordering::Acquire))
+    }
+
+    /// Publishes a candidate incumbent; ties (within 1e-12) are broken
+    /// toward the lexicographically smaller value vector so full solves
+    /// stay deterministic across schedules.
+    fn offer_incumbent(&self, values: Vec<f64>) {
+        let objective = self.model.objective_value(&values);
+        let value = self.sign * objective;
+        let mut incumbent = self.incumbent.lock().expect("incumbent poisoned");
+        let better = value > incumbent.value + 1e-12
+            || ((value - incumbent.value).abs() <= 1e-12
+                && incumbent
+                    .solution
+                    .as_ref()
+                    .is_none_or(|s| lexicographically_less(&values, &s.values)));
+        if better {
+            incumbent.value = value;
+            incumbent.solution = Some(Solution {
+                values,
+                objective,
+                status: SolveStatus::Optimal,
+            });
+            self.incumbent_bits
+                .store(value.to_bits(), Ordering::Release);
+        }
+    }
+
+    /// Whether a node at `bound` can still beat the incumbent by more than
+    /// the configured gap.
+    fn improves(&self, bound: f64) -> bool {
+        let value = self.incumbent_value();
+        if value == f64::NEG_INFINITY {
+            return true;
+        }
+        bound > value + self.config.gap * value.abs().max(1.0) - 1e-12
+    }
+}
+
+fn lexicographically_less(a: &[f64], b: &[f64]) -> bool {
+    for (x, y) in a.iter().zip(b) {
+        match x.total_cmp(y) {
+            CmpOrdering::Less => return true,
+            CmpOrdering::Greater => return false,
+            CmpOrdering::Equal => {}
+        }
+    }
+    false
+}
+
+/// Solves a model whose integer variables are all binary, in parallel.
+///
+/// `hints` seed the incumbent with known feasible assignments (e.g. the
+/// greedy heuristic's answer, or the previous planning round's solution) —
+/// infeasible hints are ignored, and the returned objective can only
+/// improve on a feasible hint. When the node budget runs out *with* an
+/// incumbent, the incumbent is returned as a [`SolveStatus::Feasible`]
+/// solution with [`SolveStats::node_limit_hit`] set (unlike
+/// [`crate::branch::solve_ilp`], which wraps it in an error — the parallel
+/// caller wants the counters either way); exhaustion with no incumbent is
+/// [`IlpError::NodeLimit`]`(None)`.
+pub fn solve_ilp_parallel(
+    model: &Model,
+    config: ParallelConfig,
+    hints: &[&[f64]],
+) -> Result<ParallelSolve> {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        config.threads
+    }
+    .max(1)
+    // a search capped at N nodes can never keep more than N workers busy —
+    // don't spawn a many-core fleet to explore a 12-node planning tree
+    .min(config.node_limit.max(1));
+    let binaries: Vec<usize> = model.binary_vars().iter().map(|v| v.index()).collect();
+    let sign = match model.direction() {
+        Direction::Maximize => 1.0,
+        Direction::Minimize => -1.0,
+    };
+
+    let root_lower: Vec<f64> = model.variables.iter().map(|v| v.lower).collect();
+    let root_upper: Vec<f64> = model.variables.iter().map(|v| v.upper).collect();
+    let root = solve_lp_warm(model, &root_lower, &root_upper, None)?;
+
+    let shared = Shared {
+        model,
+        binaries,
+        sign,
+        config,
+        queues: (0..threads)
+            .map(|_| Mutex::new(BinaryHeap::new()))
+            .collect(),
+        pending: AtomicUsize::new(0),
+        sleep_lock: Mutex::new(()),
+        wakeup: Condvar::new(),
+        incumbent: Mutex::new(Incumbent {
+            value: f64::NEG_INFINITY,
+            solution: None,
+        }),
+        incumbent_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        explored: AtomicUsize::new(0),
+        lp_solves: AtomicUsize::new(1),
+        warm_hits: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        node_limit_hit: AtomicBool::new(false),
+        hard_error: Mutex::new(None),
+    };
+
+    // seed incumbents: caller hints first, then the rounding heuristic
+    for &values in hints {
+        if values.len() == model.num_variables() && model.is_feasible(values, 1e-6) {
+            shared.offer_incumbent(values.to_vec());
+        }
+    }
+    let mut heuristic_seeded = false;
+    if config.seed_heuristic {
+        if let Some(seed) = round_to_incumbent(model, &root.solution) {
+            heuristic_seeded = true;
+            shared.offer_incumbent(seed.values);
+        }
+    }
+
+    // root handled inline: integral roots never spawn a worker
+    let root_bound = sign * root.solution.objective;
+    let fractional = most_fractional(&shared.binaries, &root.solution.values, config.int_tol);
+    match fractional {
+        None => {
+            let mut values = root.solution.values.clone();
+            for &i in &shared.binaries {
+                values[i] = values[i].round();
+            }
+            if model.is_feasible(&values, 1e-6) {
+                shared.offer_incumbent(values);
+            }
+        }
+        Some(var) => {
+            if shared.improves(root_bound) {
+                shared.explored.fetch_add(1, Ordering::Relaxed);
+                let mut queue = shared.queues[0].lock().expect("queue poisoned");
+                push_children(
+                    &mut queue,
+                    &shared.pending,
+                    var,
+                    root_bound,
+                    &root_lower,
+                    &root_upper,
+                    &root.basis,
+                );
+            }
+        }
+    }
+
+    if shared.pending.load(Ordering::Acquire) > 0 {
+        if threads == 1 {
+            worker(&shared, 0);
+        } else {
+            std::thread::scope(|scope| {
+                for me in 0..threads {
+                    let shared = &shared;
+                    scope.spawn(move || worker(shared, me));
+                }
+            });
+        }
+    }
+
+    if let Some(error) = shared
+        .hard_error
+        .lock()
+        .expect("hard error slot poisoned")
+        .take()
+    {
+        return Err(error);
+    }
+    let incumbent = shared
+        .incumbent
+        .lock()
+        .expect("incumbent poisoned")
+        .solution
+        .take();
+    let node_limit_hit = shared.node_limit_hit.load(Ordering::Acquire);
+    let mut solution = match incumbent {
+        Some(solution) => solution,
+        None if node_limit_hit => return Err(IlpError::NodeLimit(None)),
+        None => return Err(IlpError::Infeasible),
+    };
+    if node_limit_hit {
+        solution.status = SolveStatus::Feasible;
+    }
+    let stats = SolveStats {
+        nodes_explored: shared.explored.load(Ordering::Relaxed),
+        lp_solves: shared.lp_solves.load(Ordering::Relaxed),
+        warm_start_hits: shared.warm_hits.load(Ordering::Relaxed),
+        heuristic_seeded,
+        threads_used: threads,
+        node_limit_hit,
+    };
+    Ok(ParallelSolve { solution, stats })
+}
+
+fn most_fractional(binaries: &[usize], values: &[f64], int_tol: f64) -> Option<usize> {
+    binaries
+        .iter()
+        .copied()
+        .map(|i| (i, (values[i] - values[i].round()).abs()))
+        .filter(|(_, f)| *f > int_tol)
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(i, _)| i)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_children(
+    queue: &mut BinaryHeap<Node>,
+    pending: &AtomicUsize,
+    var: usize,
+    bound: f64,
+    lower: &[f64],
+    upper: &[f64],
+    basis: &LpBasis,
+) {
+    let mut down_upper = upper.to_vec();
+    down_upper[var] = 0.0;
+    queue.push(Node {
+        bound,
+        lower: lower.to_vec(),
+        upper: down_upper,
+        basis: basis.clone(),
+    });
+    let mut up_lower = lower.to_vec();
+    up_lower[var] = 1.0;
+    queue.push(Node {
+        bound,
+        lower: up_lower,
+        upper: upper.to_vec(),
+        basis: basis.clone(),
+    });
+    pending.fetch_add(2, Ordering::AcqRel);
+}
+
+fn worker(shared: &Shared<'_>, me: usize) {
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(node) = pop_or_steal(shared, me) else {
+            if shared.pending.load(Ordering::Acquire) == 0 {
+                shared.wakeup.notify_all();
+                return;
+            }
+            let guard = shared.sleep_lock.lock().expect("sleep lock poisoned");
+            // re-check under the lock, then nap until work or completion
+            if shared.pending.load(Ordering::Acquire) == 0 || shared.stop.load(Ordering::Acquire) {
+                continue;
+            }
+            let _ = shared
+                .wakeup
+                .wait_timeout(guard, Duration::from_micros(200))
+                .expect("sleep lock poisoned");
+            continue;
+        };
+        process(shared, me, node);
+        if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            shared.wakeup.notify_all();
+        }
+    }
+}
+
+/// Pops the best node from the worker's own heap, or steals roughly half of
+/// the richest victim's nodes.
+fn pop_or_steal(shared: &Shared<'_>, me: usize) -> Option<Node> {
+    if let Some(node) = shared.queues[me].lock().expect("queue poisoned").pop() {
+        return Some(node);
+    }
+    let n = shared.queues.len();
+    for offset in 1..n {
+        let victim = (me + offset) % n;
+        let mut stolen: Vec<Node> = Vec::new();
+        {
+            let mut queue = shared.queues[victim].lock().expect("queue poisoned");
+            let take = queue.len().div_ceil(2);
+            for _ in 0..take {
+                if let Some(node) = queue.pop() {
+                    stolen.push(node);
+                }
+            }
+        }
+        if stolen.is_empty() {
+            continue;
+        }
+        let best = stolen.remove(0);
+        if !stolen.is_empty() {
+            let mut own = shared.queues[me].lock().expect("queue poisoned");
+            for node in stolen {
+                own.push(node);
+            }
+            shared.wakeup.notify_all();
+        }
+        return Some(best);
+    }
+    None
+}
+
+fn process(shared: &Shared<'_>, me: usize, node: Node) {
+    // bound pruning against the shared incumbent (lock-free read)
+    if !shared.improves(node.bound) {
+        return;
+    }
+    let explored = shared.explored.fetch_add(1, Ordering::AcqRel) + 1;
+    if explored > shared.config.node_limit {
+        shared.node_limit_hit.store(true, Ordering::Release);
+        shared.stop.store(true, Ordering::Release);
+        shared.wakeup.notify_all();
+        return;
+    }
+    let warm = if node.basis.is_empty() {
+        None
+    } else {
+        Some(&node.basis)
+    };
+    shared.lp_solves.fetch_add(1, Ordering::Relaxed);
+    let relaxed = match solve_lp_warm(shared.model, &node.lower, &node.upper, warm) {
+        Ok(warm_lp) => {
+            if warm_lp.warm_start_used {
+                shared.warm_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            warm_lp
+        }
+        Err(IlpError::Infeasible) => return,
+        Err(error) => {
+            let mut slot = shared.hard_error.lock().expect("hard error slot poisoned");
+            slot.get_or_insert(error);
+            shared.stop.store(true, Ordering::Release);
+            shared.wakeup.notify_all();
+            return;
+        }
+    };
+    let bound = shared.sign * relaxed.solution.objective;
+    if !shared.improves(bound) {
+        return;
+    }
+    match most_fractional(
+        &shared.binaries,
+        &relaxed.solution.values,
+        shared.config.int_tol,
+    ) {
+        None => {
+            let mut values = relaxed.solution.values.clone();
+            for &i in &shared.binaries {
+                values[i] = values[i].round();
+            }
+            if shared.model.is_feasible(&values, 1e-6) {
+                shared.offer_incumbent(values);
+            }
+        }
+        Some(var) => {
+            let mut queue = shared.queues[me].lock().expect("queue poisoned");
+            push_children(
+                &mut queue,
+                &shared.pending,
+                var,
+                bound,
+                &node.lower,
+                &node.upper,
+                &relaxed.basis,
+            );
+            drop(queue);
+            shared.wakeup.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::{solve_ilp, BranchConfig};
+    use crate::model::Sense;
+
+    fn config(threads: usize) -> ParallelConfig {
+        ParallelConfig {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_knapsack() {
+        let mut m = Model::maximize();
+        let a = m.add_binary("a", 10.0);
+        let b = m.add_binary("b", 13.0);
+        let c = m.add_binary("c", 7.0);
+        m.add_constraint(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Sense::Le, 6.0)
+            .unwrap();
+        let serial = solve_ilp(&m, BranchConfig::default()).unwrap();
+        for threads in [1, 2, 4] {
+            let parallel = solve_ilp_parallel(&m, config(threads), &[]).unwrap();
+            assert!(
+                (parallel.solution.objective - serial.objective).abs() < 1e-6,
+                "{threads} threads: {} vs {}",
+                parallel.solution.objective,
+                serial.objective
+            );
+            assert_eq!(parallel.stats.threads_used, threads);
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_minimization() {
+        let mut m = Model::minimize();
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 1.0)
+            .unwrap();
+        let parallel = solve_ilp_parallel(&m, config(2), &[]).unwrap();
+        assert!((parallel.solution.objective - 1.0).abs() < 1e-6);
+        assert!(parallel.solution.is_set(x) && !parallel.solution.is_set(y));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::maximize();
+        let x = m.add_binary("x", 1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 2.0).unwrap();
+        assert!(matches!(
+            solve_ilp_parallel(&m, config(2), &[]),
+            Err(IlpError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn node_limit_returns_incumbent() {
+        // symmetric optima with a tiny node budget and no heuristic seeding
+        // (the heuristic would otherwise solve it at the root)
+        let mut m = Model::maximize();
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.add_binary(format!("x{i}"), 1.0 + (i as f64) * 1e-7))
+            .collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        m.add_constraint(terms, Sense::Le, 6.5).unwrap();
+        let tight = ParallelConfig {
+            threads: 2,
+            node_limit: 1,
+            seed_heuristic: false,
+            ..Default::default()
+        };
+        match solve_ilp_parallel(&m, tight, &[]) {
+            Err(IlpError::NodeLimit(None)) => {}
+            Ok(solve) => {
+                assert!(solve.solution.objective <= 6.5 + 1e-9);
+                if solve.stats.node_limit_hit {
+                    assert_eq!(solve.solution.status, SolveStatus::Feasible);
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hint_seeds_incumbent() {
+        let mut m = Model::maximize();
+        let a = m.add_binary("a", 2.0);
+        let b = m.add_binary("b", 3.0);
+        m.add_constraint(vec![(a, 1.0), (b, 1.0)], Sense::Le, 1.0)
+            .unwrap();
+        // feasible hint: take `a` (suboptimal); solver must still find `b`
+        let hint = [1.0, 0.0];
+        let solve = solve_ilp_parallel(&m, config(2), &[&hint]).unwrap();
+        assert!((solve.solution.objective - 3.0).abs() < 1e-6);
+        // infeasible hint is ignored, not propagated
+        let bad_hint = [1.0, 1.0];
+        let solve = solve_ilp_parallel(&m, config(1), &[&bad_hint]).unwrap();
+        assert!((solve.solution.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_report_search_effort() {
+        // a model that forces branching
+        let mut m = Model::maximize();
+        let vars: Vec<_> = (0..10)
+            .map(|i| m.add_binary(format!("x{i}"), 3.0 + ((i * 5) % 7) as f64))
+            .collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 2.0 + ((i * 3) % 5) as f64))
+            .collect();
+        m.add_constraint(terms, Sense::Le, 11.0).unwrap();
+        let solve = solve_ilp_parallel(&m, config(2), &[]).unwrap();
+        assert!(solve.stats.lp_solves >= 1);
+        assert!(solve.stats.heuristic_seeded);
+        // warm starts only happen once children are explored
+        if solve.stats.nodes_explored > 1 {
+            assert!(solve.stats.warm_start_hits > 0, "{:?}", solve.stats);
+        }
+    }
+
+    #[test]
+    fn mixed_continuous_and_binary() {
+        let mut m = Model::maximize();
+        let x = m.add_binary("x", 2.0);
+        let y = m.add_continuous("y", 0.0, 3.5, 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 4.0)
+            .unwrap();
+        let solve = solve_ilp_parallel(&m, config(2), &[]).unwrap();
+        assert!((solve.solution.objective - 5.0).abs() < 1e-6);
+        assert!(solve.solution.is_set(x));
+        assert!((solve.solution.value(y) - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,134 @@
+//! Differential property test for LP basis warm-starting: re-solving a
+//! model under branch-and-bound-style bound changes with the parent's
+//! basis must agree with a cold solve — same objective, and always a
+//! feasible point. This is the harness that catches "the warm path
+//! silently dropped a constraint" bugs.
+
+use proptest::prelude::*;
+use scrutinizer_ilp::simplex::{solve_lp, solve_lp_warm};
+use scrutinizer_ilp::{IlpError, Model, Sense};
+
+#[derive(Debug, Clone)]
+struct LpCase {
+    /// Per-variable (upper bound in tenths, objective in ±tenths).
+    variables: Vec<(u32, i32)>,
+    /// Constraints: per-variable coefficients in ±units, sense selector,
+    /// rhs in ±units.
+    constraints: Vec<(Vec<i32>, u8, i32)>,
+    /// Which variable a "branch" fixes, and to which bound.
+    branch_var: usize,
+    branch_up: bool,
+}
+
+fn cases() -> impl Strategy<Value = LpCase> {
+    (2usize..6).prop_flat_map(|n| {
+        (
+            prop::collection::vec((1u32..30, -50i32..50), n),
+            prop::collection::vec(
+                (prop::collection::vec(-5i32..6, n), 0u8..3, -8i32..20),
+                1..5,
+            ),
+            0..n,
+            0u8..2,
+        )
+            .prop_map(|(variables, constraints, branch_var, branch_up)| LpCase {
+                variables,
+                constraints,
+                branch_var,
+                branch_up: branch_up == 1,
+            })
+    })
+}
+
+fn build(case: &LpCase) -> (Model, Vec<f64>, Vec<f64>) {
+    let mut m = Model::maximize();
+    let vars: Vec<_> = case
+        .variables
+        .iter()
+        .enumerate()
+        .map(|(i, &(upper, objective))| {
+            m.add_continuous(
+                format!("x{i}"),
+                0.0,
+                upper as f64 / 10.0,
+                objective as f64 / 10.0,
+            )
+            .unwrap()
+        })
+        .collect();
+    for (coeffs, sense, rhs) in &case.constraints {
+        let terms: Vec<_> = vars
+            .iter()
+            .zip(coeffs)
+            .filter(|(_, &c)| c != 0)
+            .map(|(&v, &c)| (v, c as f64))
+            .collect();
+        if terms.is_empty() {
+            continue;
+        }
+        let sense = match sense {
+            0 => Sense::Le,
+            1 => Sense::Ge,
+            _ => Sense::Eq,
+        };
+        m.add_constraint(terms, sense, *rhs as f64).unwrap();
+    }
+    let lower = vec![0.0; case.variables.len()];
+    let upper: Vec<f64> = case
+        .variables
+        .iter()
+        .map(|&(u, _)| u as f64 / 10.0)
+        .collect();
+    (m, lower, upper)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn warm_solve_matches_cold_solve(case in cases()) {
+        let (model, lower, upper) = build(&case);
+        // infeasible/unbounded roots have nothing to warm-start
+        if let Ok(root) = solve_lp_warm(&model, &lower, &upper, None) {
+            // branch: clamp one variable to one of its bounds
+            let mut child_lower = lower.clone();
+            let mut child_upper = upper.clone();
+            if case.branch_up {
+                child_lower[case.branch_var] = upper[case.branch_var];
+            } else {
+                child_upper[case.branch_var] = 0.0;
+            }
+            let cold = solve_lp(&model, &child_lower, &child_upper);
+            let warm = solve_lp_warm(&model, &child_lower, &child_upper, Some(&root.basis));
+            match (cold, warm) {
+                (Ok(cold), Ok(warm)) => {
+                    prop_assert!(
+                        (cold.objective - warm.solution.objective).abs() < 1e-6,
+                        "cold {} vs warm {} (warm_used={})",
+                        cold.objective,
+                        warm.solution.objective,
+                        warm.warm_start_used
+                    );
+                    let clamped = clamp(&warm.solution.values, &child_lower, &child_upper);
+                    prop_assert!(
+                        model.is_feasible(&clamped, 1e-5),
+                        "warm solution infeasible: {:?}",
+                        warm.solution.values
+                    );
+                }
+                (Err(IlpError::Infeasible), Err(IlpError::Infeasible)) => {}
+                (cold, warm) => prop_assert!(false, "disagreement: cold {cold:?} vs warm {warm:?}"),
+            }
+        }
+    }
+}
+
+/// `Model::is_feasible` checks the *model* bounds; the child tightened
+/// them, so clamp tiny numerical overshoot against the child bounds first.
+fn clamp(values: &[f64], lower: &[f64], upper: &[f64]) -> Vec<f64> {
+    values
+        .iter()
+        .zip(lower.iter().zip(upper))
+        .map(|(&v, (&l, &u))| v.clamp(l, u))
+        .collect()
+}

@@ -2,7 +2,7 @@
 //!
 //! Since the prepared-plan refactor, [`execute`], [`execute_all`] and
 //! [`execute_with`] are thin wrappers over
-//! [`PreparedQuery`](crate::prepared::PreparedQuery): prepare once, run
+//! [`PreparedQuery`]: prepare once, run
 //! once. Callers that execute one statement many times should prepare it
 //! themselves and reuse the plan. [`execute_with_unprepared`] keeps the
 //! original string-resolving interpreter alive as the differential-testing

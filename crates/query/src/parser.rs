@@ -14,8 +14,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// assert they stay parse-free.
 static PARSES: AtomicU64 = AtomicU64::new(0);
 
-/// Lifetime number of statement parses performed by this process (see
-/// [`PARSES`] — expression parses via `parse_expr` are not counted).
+/// Lifetime number of statement parses performed by this process
+/// (expression parses via `parse_expr` are not counted).
 pub fn parse_count() -> u64 {
     PARSES.load(Ordering::Relaxed)
 }

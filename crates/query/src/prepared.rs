@@ -94,6 +94,31 @@ impl PreparedQuery {
     /// path raises *during* evaluation (unknown alias/function, arity) are
     /// compiled into the program and surface only when a binding reaches
     /// them.
+    ///
+    /// ```
+    /// use scrutinizer_data::{Catalog, TableBuilder};
+    /// use scrutinizer_query::{parse, FunctionRegistry, PreparedQuery};
+    ///
+    /// let mut catalog = Catalog::new();
+    /// catalog
+    ///     .add(
+    ///         TableBuilder::new("GED", "Index", &["2016", "2017"])
+    ///             .row("Demand", &[21_566.0, 22_209.0])
+    ///             .unwrap()
+    ///             .build(),
+    ///     )
+    ///     .unwrap();
+    /// let stmt = parse("SELECT a.2017 / a.2016 FROM GED a WHERE a.Index = 'Demand'").unwrap();
+    /// let registry = FunctionRegistry::standard();
+    ///
+    /// // prepare once …
+    /// let prepared = PreparedQuery::prepare(&catalog, &stmt, &registry).unwrap();
+    /// // … execute many times without re-resolving a single name
+    /// for _ in 0..3 {
+    ///     let value = prepared.execute_first(&catalog).unwrap();
+    ///     assert!((value.as_f64().unwrap() - 22_209.0 / 21_566.0).abs() < 1e-12);
+    /// }
+    /// ```
     pub fn prepare(
         catalog: &Catalog,
         stmt: &SelectStmt,

@@ -1,6 +1,6 @@
 //! Word embeddings trained on the corpus.
 //!
-//! The paper uses pre-trained GloVe vectors [25]. Offline, we train our own
+//! The paper uses pre-trained GloVe vectors \[25]. Offline, we train our own
 //! on the document being verified plus any related text: a PPMI-weighted
 //! co-occurrence matrix factorized by orthogonal power iteration — the
 //! classic count-based construction that GloVe approximates. The interface

@@ -1,7 +1,7 @@
 //! Check-worthy claim spotting.
 //!
 //! The paper assumes claims are already identified by external tools
-//! (ClaimBuster [12], ClaimRank [17]). For a complete public API we ship a
+//! (ClaimBuster \[12], ClaimRank \[17]). For a complete public API we ship a
 //! light heuristic spotter: a sentence is check-worthy when it mentions a
 //! quantity — a number, a percentage, a multiplier verb, or a trend verb with
 //! a magnitude adverb. The corpus generator bypasses this (it knows its claim
@@ -17,7 +17,7 @@ pub struct SpottedClaim {
     pub sentence: String,
     /// Index of the sentence in the document.
     pub sentence_index: usize,
-    /// Crude confidence in [0,1]: more quantity signals ⇒ higher.
+    /// Crude confidence in \[0,1]: more quantity signals ⇒ higher.
     pub score: f64,
 }
 

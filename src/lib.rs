@@ -40,6 +40,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// The Scrutinizer system itself: translation, query generation, question
 /// planning, claim ordering, the main verification loop, and simulators.
