@@ -1,0 +1,379 @@
+//! Learning-stack benchmarks: what epoch-versioned snapshots, warm-start
+//! incremental retraining and the batched feature/scoring pipeline buy.
+//!
+//! * `retrain/*` — the mixed-initiative loop's `Retrain(N, A)` step as a
+//!   stream of verified batches: `cold_replay` retrains from scratch on
+//!   the growing union after every batch (the pre-PR4 engine behavior),
+//!   `warm_incremental` warm-starts on just the new batch (plus bounded
+//!   rehearsal) against the shared `FeatureStore`. Acceptance target:
+//!   ≥ 3× for the whole stream at matching accuracy.
+//! * `utility/*` — Definition 7 over 10 000 open claims: `per_claim` is
+//!   the legacy one-at-a-time `training_utility` loop, `batched` the CSR
+//!   `training_utilities` pass through the classifiers' feature-major
+//!   layout. Acceptance target: ≥ 5×.
+//! * the **retrain storm** — suggest latency on a live engine while a
+//!   writer thread publishes back-to-back model epochs. With snapshot
+//!   swaps readers never wait on the trainer; the p99 must stay near the
+//!   idle p99 instead of absorbing whole retrain latencies.
+//!
+//! The warm≡cold model-equivalence assertion (accuracy parity on the full
+//! stream) and the batched≡scalar utility parity run **before** anything
+//! is timed, in `--quick` smoke mode too. The latency-ratio assertions
+//! run only in full mode: a one-shot smoke iteration has no stable tail.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scrutinizer_core::{FeatureStore, OrderingStrategy, SystemConfig, SystemModels};
+use scrutinizer_corpus::{ClaimRecord, Corpus, CorpusConfig};
+use scrutinizer_engine::engine::{Engine, EngineOptions};
+use scrutinizer_text::SparseVector;
+
+/// The retrain stream's shape mirrors the paper's loop: a report's worth
+/// of claims verified in interval-sized batches (§6.2 retrains every 100
+/// verdicts out of 1539 claims — 15 growing replays for the old path).
+const BATCHES: usize = 16;
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "--test")
+}
+
+/// The retrain bench's corpus: `small()` label spaces, but enough claims
+/// that the stream has [`BATCHES`] meaningful intervals.
+fn retrain_corpus() -> CorpusConfig {
+    CorpusConfig {
+        n_claims: 320,
+        n_sentences: 1600,
+        ..CorpusConfig::small()
+    }
+}
+
+/// The utility bench's corpus: label spaces scaled toward the paper's
+/// (1791 relations / 830 keys / 87 attributes / 413 formulas); per-claim
+/// scoring cost grows with the class count, which is exactly the regime
+/// the batched pipeline exists for.
+fn utility_corpus() -> CorpusConfig {
+    CorpusConfig {
+        n_claims: 160,
+        n_sentences: 800,
+        n_relations: 120,
+        n_keys: 200,
+        n_attributes: 60,
+        n_formulas: 80,
+        ..CorpusConfig::small()
+    }
+}
+
+fn setup_scaled(config: CorpusConfig) -> (Corpus, SystemModels, FeatureStore) {
+    let corpus = Corpus::generate(config);
+    let models = SystemModels::bootstrap(&corpus, &SystemConfig::test());
+    let store = FeatureStore::build(&corpus, &models);
+    (corpus, models, store)
+}
+
+/// The pre-PR4 engine behavior: after each verified batch, retrain from
+/// scratch on everything verified so far.
+fn cold_replay_stream(base: &SystemModels, corpus: &Corpus, batches: &[&[usize]]) -> SystemModels {
+    let mut models = base.clone();
+    let mut union: Vec<usize> = Vec::new();
+    for batch in batches {
+        union.extend_from_slice(batch);
+        let refs: Vec<&ClaimRecord> = union.iter().map(|&id| &corpus.claims[id]).collect();
+        models.retrain(&refs);
+    }
+    models
+}
+
+/// The PR4 path: warm-start each batch against the feature store.
+fn warm_incremental_stream(
+    base: &SystemModels,
+    corpus: &Corpus,
+    store: &FeatureStore,
+    batches: &[&[usize]],
+) -> SystemModels {
+    let mut models = base.clone();
+    for batch in batches {
+        models.retrain_incremental(store, &corpus.claims, batch);
+    }
+    models
+}
+
+fn bench_retrain(c: &mut Criterion) {
+    let (corpus, base, store) = setup_scaled(retrain_corpus());
+    let ids: Vec<usize> = (0..corpus.claims.len()).collect();
+    let batch_size = ids.len().div_ceil(BATCHES);
+    let batches: Vec<&[usize]> = ids.chunks(batch_size).collect();
+    let refs: Vec<&ClaimRecord> = corpus.claims.iter().collect();
+
+    // ---- warm ≡ cold model equivalence, asserted before timing ---------
+    let cold = cold_replay_stream(&base, &corpus, &batches);
+    let warm = warm_incremental_stream(&base, &corpus, &store, &batches);
+    let cold_acc: f64 = cold.accuracy_on(&refs).iter().sum();
+    let warm_acc: f64 = warm.accuracy_on(&refs).iter().sum();
+    assert!(
+        cold_acc > 1.5,
+        "cold replay failed to learn its own training set: {cold_acc}"
+    );
+    assert!(
+        warm_acc >= cold_acc - 0.25,
+        "warm-start accuracy {warm_acc} fell beyond tolerance of cold {cold_acc}"
+    );
+    // and the streams genuinely reduced uncertainty the same way
+    let probe = store.gather(&ids[..10.min(ids.len())]);
+    let cold_u: f64 = cold.training_utilities(&probe).iter().sum();
+    let warm_u: f64 = warm.training_utilities(&probe).iter().sum();
+    let bootstrap_u: f64 = base.training_utilities(&probe).iter().sum();
+    assert!(
+        cold_u < bootstrap_u && warm_u < bootstrap_u,
+        "training must reduce entropy: bootstrap {bootstrap_u}, cold {cold_u}, warm {warm_u}"
+    );
+
+    // ---- criterion timings ---------------------------------------------
+    let mut group = c.benchmark_group("retrain");
+    group.sample_size(10);
+    group.bench_function("cold_replay", |b| {
+        b.iter(|| black_box(cold_replay_stream(&base, &corpus, &batches)))
+    });
+    group.bench_function("warm_incremental", |b| {
+        b.iter(|| black_box(warm_incremental_stream(&base, &corpus, &store, &batches)))
+    });
+    group.finish();
+
+    // ---- headline ratio ------------------------------------------------
+    let rounds = if quick_mode() { 1 } else { 3 };
+    let timed = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            f();
+        }
+        start.elapsed().as_secs_f64() / rounds as f64
+    };
+    let cold_s = timed(&mut || {
+        black_box(cold_replay_stream(&base, &corpus, &batches));
+    });
+    let warm_s = timed(&mut || {
+        black_box(warm_incremental_stream(&base, &corpus, &store, &batches));
+    });
+    println!(
+        "retrain stream ({} claims, {} batches): cold replay {:.1} ms | warm incremental {:.1} ms \
+         ({:.2}x) | accuracy cold {:.2} vs warm {:.2}",
+        ids.len(),
+        batches.len(),
+        cold_s * 1e3,
+        warm_s * 1e3,
+        cold_s / warm_s,
+        cold_acc,
+        warm_acc,
+    );
+    if !quick_mode() {
+        assert!(
+            cold_s >= 3.0 * warm_s,
+            "warm-start retrain must be ≥3× the from-scratch replay: {:.1} ms vs {:.1} ms",
+            warm_s * 1e3,
+            cold_s * 1e3
+        );
+    }
+}
+
+fn bench_utilities(c: &mut Criterion) {
+    let (corpus, mut models, store) = setup_scaled(utility_corpus());
+    let refs: Vec<&ClaimRecord> = corpus.claims.iter().collect();
+    models.retrain(&refs);
+
+    // 10 000 open claims, cycling the corpus
+    let n = if quick_mode() { 1_000 } else { 10_000 };
+    let ids: Vec<usize> = (0..n).map(|i| i % corpus.claims.len()).collect();
+    let rows = store.gather(&ids);
+    // the legacy loop's input: one owned vector per claim, pre-featurized
+    // (exactly what the engine's sessions used to hold)
+    let vectors: Vec<SparseVector> = ids
+        .iter()
+        .map(|&id| store.features(id).to_owned_vector())
+        .collect();
+
+    // ---- batched ≡ per-claim parity, asserted before timing ------------
+    let batched = models.training_utilities(&rows);
+    assert_eq!(batched.len(), n);
+    for (i, v) in vectors.iter().enumerate().step_by(97) {
+        let scalar = models.training_utility(v);
+        assert!(
+            (scalar - batched[i]).abs() < 1e-4,
+            "row {i}: scalar {scalar} vs batched {}",
+            batched[i]
+        );
+    }
+
+    // ---- criterion timings ---------------------------------------------
+    let mut group = c.benchmark_group("utility");
+    group.sample_size(10);
+    group.bench_function("per_claim", |b| {
+        b.iter(|| -> f64 {
+            vectors
+                .iter()
+                .map(|v| models.training_utility(black_box(v)))
+                .sum()
+        })
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| black_box(models.training_utilities(black_box(&rows))))
+    });
+    group.finish();
+
+    // ---- headline ratio ------------------------------------------------
+    let rounds = if quick_mode() { 1 } else { 3 };
+    let timed = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            f();
+        }
+        start.elapsed().as_secs_f64() / rounds as f64
+    };
+    let per_claim_s = timed(&mut || {
+        let total: f64 = vectors
+            .iter()
+            .map(|v| models.training_utility(black_box(v)))
+            .sum();
+        black_box(total);
+    });
+    let batched_s = timed(&mut || {
+        black_box(models.training_utilities(&rows));
+    });
+    println!(
+        "utility scoring ({n} claims): per-claim {:.1} ms | batched {:.1} ms ({:.2}x)",
+        per_claim_s * 1e3,
+        batched_s * 1e3,
+        per_claim_s / batched_s,
+    );
+    if !quick_mode() {
+        assert!(
+            per_claim_s >= 5.0 * batched_s,
+            "batched utility scoring must be ≥5× the per-claim loop: {:.1} ms vs {:.1} ms",
+            batched_s * 1e3,
+            per_claim_s * 1e3
+        );
+    }
+}
+
+/// p99 of a set of measured latencies, in microseconds.
+fn p99_micros(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let rank = ((samples.len() as f64) * 0.99).ceil() as usize;
+    samples[rank.saturating_sub(1).min(samples.len() - 1)]
+}
+
+/// Times `suggest` for one claim through a fresh session (µs); the
+/// submit/screens setup is outside the measured window.
+fn timed_suggest(engine: &Arc<Engine>, claim_id: usize) -> f64 {
+    let session = engine.open_session("bench");
+    engine.submit_report(session, &[claim_id]).expect("submit");
+    let start = Instant::now();
+    let suggestions = engine.suggest(session, claim_id).expect("suggest");
+    let elapsed = start.elapsed().as_secs_f64() * 1e6;
+    black_box(suggestions);
+    engine.close_session(session).expect("close");
+    elapsed
+}
+
+fn bench_retrain_storm(_c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig::small());
+    let engine = Engine::with_options(
+        corpus,
+        SystemConfig::test(),
+        EngineOptions {
+            retrain_interval: None,
+            ordering: OrderingStrategy::Sequential,
+            ..EngineOptions::default()
+        },
+    );
+    engine.pretrain(None);
+
+    let claims: Vec<usize> = (0..8).collect();
+    let passes = if quick_mode() { 2 } else { 25 };
+    // warm the query cache so idle and storm runs see the same cache state
+    for &id in &claims {
+        timed_suggest(&engine, id);
+    }
+
+    // ---- idle baseline --------------------------------------------------
+    let mut idle: Vec<f64> = Vec::new();
+    for _ in 0..passes {
+        for &id in &claims {
+            idle.push(timed_suggest(&engine, id));
+        }
+    }
+
+    // ---- the storm: back-to-back epoch publishes ------------------------
+    let epoch_before = engine.model_epoch();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut published = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                engine.pretrain(None);
+                published += 1;
+            }
+            published
+        })
+    };
+    let mut storm: Vec<f64> = Vec::new();
+    for _ in 0..passes {
+        for &id in &claims {
+            storm.push(timed_suggest(&engine, id));
+        }
+    }
+    stop.store(true, Ordering::Release);
+    let published = writer.join().expect("storm writer");
+    let epochs_advanced = engine.model_epoch() - epoch_before;
+
+    let idle_p99 = p99_micros(idle);
+    let storm_p99 = p99_micros(storm);
+    let retrain_mean = engine.stats().retrain_latency.mean_micros();
+    println!(
+        "suggest under retrain storm: idle p99 {:.0} µs | storm p99 {:.0} µs ({:.2}x) | \
+         {published} retrains published ({epochs_advanced} epochs), mean retrain {:.0} µs",
+        idle_p99,
+        storm_p99,
+        storm_p99 / idle_p99,
+        retrain_mean,
+    );
+    assert!(
+        epochs_advanced >= published,
+        "every storm retrain must publish an epoch"
+    );
+    if !quick_mode() {
+        assert!(
+            published >= 1,
+            "the storm must actually have retrained while suggests ran"
+        );
+        // the non-blocking guarantee: the suggest tail never absorbs a
+        // retrain stall. Pre-PR4 the models sat behind a RwLock and every
+        // reader waited out the whole retrain — p99 would sit at or above
+        // the mean retrain latency; with snapshots it must stay far below.
+        assert!(
+            storm_p99 < 0.5 * retrain_mean,
+            "suggest p99 {storm_p99} µs absorbed a retrain stall (mean retrain {retrain_mean} µs)"
+        );
+        // and stays near the idle tail. With ≥ 2 cores the trainer runs on
+        // its own core and the tail must hold the ~1.2× target; on one
+        // core the OS timeslices reader and trainer (~2× wall time plus
+        // scheduler jitter is physics, not lock contention — the stall
+        // bound above is the load-bearing assertion there).
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let allowed = if cores >= 2 { 1.2 } else { 5.0 };
+        assert!(
+            storm_p99 <= allowed * idle_p99,
+            "storm p99 {storm_p99} µs vs idle p99 {idle_p99} µs exceeds {allowed}x"
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_retrain, bench_utilities, bench_retrain_storm
+}
+criterion_main!(benches);

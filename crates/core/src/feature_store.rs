@@ -1,0 +1,109 @@
+//! The corpus-wide feature store: every claim featurized exactly once.
+//!
+//! Before PR 4, each subsystem re-featurized claims from raw text on its
+//! own schedule — `retrain` re-ran tokenization over the whole verified
+//! history on every threshold crossing, `accuracy_on` re-featurized its
+//! batch, and the engine stored one owned `SparseVector` per live claim
+//! task. The store materializes the whole corpus into one CSR
+//! [`FeatureMatrix`] at bootstrap and hands out borrowed rows, so
+//! translation, utility scoring, retraining and accuracy traces all share
+//! the same bytes.
+//!
+//! The store is immutable after construction (claim text never changes),
+//! which is what lets the engine share it between concurrent readers and
+//! the background trainer without any locking.
+
+use crate::models::SystemModels;
+use scrutinizer_corpus::Corpus;
+use scrutinizer_text::{FeatureMatrix, SparseView};
+
+/// Immutable per-claim features for a whole corpus, row `i` holding the
+/// features of claim id `i`.
+#[derive(Debug, Clone)]
+pub struct FeatureStore {
+    matrix: FeatureMatrix,
+}
+
+impl FeatureStore {
+    /// Featurizes every claim of the corpus once with the models' fitted
+    /// featurizer.
+    pub fn build(corpus: &Corpus, models: &SystemModels) -> Self {
+        let matrix = models.featurizer().features_batch(
+            corpus
+                .claims
+                .iter()
+                .map(|c| (c.claim_text.as_str(), c.sentence_text.as_str())),
+        );
+        FeatureStore { matrix }
+    }
+
+    /// Borrowed features of one claim.
+    ///
+    /// # Panics
+    /// Panics if `claim_id` is outside the corpus.
+    pub fn features(&self, claim_id: usize) -> SparseView<'_> {
+        self.matrix.row(claim_id)
+    }
+
+    /// Number of claims stored.
+    pub fn len(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// True when the corpus had no claims.
+    pub fn is_empty(&self) -> bool {
+        self.matrix.is_empty()
+    }
+
+    /// The backing CSR matrix (all claims, id order).
+    pub fn matrix(&self) -> &FeatureMatrix {
+        &self.matrix
+    }
+
+    /// Copies the selected claims' rows into a batch matrix, in the given
+    /// order — the input shape of
+    /// [`SystemModels::training_utilities`].
+    pub fn gather(&self, claim_ids: &[usize]) -> FeatureMatrix {
+        self.matrix.gather(claim_ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use scrutinizer_corpus::CorpusConfig;
+
+    #[test]
+    fn store_rows_match_one_at_a_time_featurization() {
+        let corpus = Corpus::generate(CorpusConfig::small());
+        let models = SystemModels::bootstrap(&corpus, &SystemConfig::test());
+        let store = FeatureStore::build(&corpus, &models);
+        assert_eq!(store.len(), corpus.claims.len());
+        assert!(!store.is_empty());
+        for id in [0, 1, corpus.claims.len() - 1] {
+            let single = models.features(&corpus.claims[id]);
+            assert_eq!(
+                store.features(id).to_owned_vector(),
+                single,
+                "claim {id} differs from the one-shot featurizer"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_preserves_request_order() {
+        let corpus = Corpus::generate(CorpusConfig::small());
+        let models = SystemModels::bootstrap(&corpus, &SystemConfig::test());
+        let store = FeatureStore::build(&corpus, &models);
+        let ids = [3usize, 0, 3];
+        let batch = store.gather(&ids);
+        assert_eq!(batch.rows(), 3);
+        for (row, &id) in ids.iter().enumerate() {
+            assert_eq!(
+                batch.row(row).to_owned_vector(),
+                store.features(id).to_owned_vector()
+            );
+        }
+    }
+}

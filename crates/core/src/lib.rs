@@ -18,6 +18,8 @@
 //! ```
 //!
 //! * [`models`] — the four property classifiers over shared claim features,
+//! * [`feature_store`] — every claim featurized exactly once (CSR rows
+//!   shared by translation, utility scoring and retraining),
 //! * [`qgen`] — Algorithm 2's query generation,
 //! * [`screens`] / [`planner`] / [`pruning`] — single-claim question
 //!   planning (Theorems 1–6),
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod feature_store;
 pub mod incremental;
 pub mod models;
 pub mod ordering;
@@ -45,6 +48,7 @@ pub mod stats;
 pub mod verify;
 
 pub use config::SystemConfig;
+pub use feature_store::FeatureStore;
 pub use incremental::{IncrementalPlanner, PlannerCounters};
 pub use models::{PropertyKind, SystemModels, Translation};
 pub use ordering::{

@@ -181,7 +181,7 @@ pub fn run_user_study(corpus: &Corpus, config: SystemConfig, study: StudyConfig)
                 break;
             }
             let features = verifier.models().features(claim);
-            let outcome = verifier.verify_claim(corpus, claim, &features, &mut worker);
+            let outcome = verifier.verify_claim(corpus, claim, features.view(), &mut worker);
             if matches!(outcome.verdict, Verdict::Skipped) {
                 result.skipped += 1;
                 continue;

@@ -2,6 +2,7 @@
 //! sessions against a (simulated) crowd.
 
 use crate::config::SystemConfig;
+use crate::feature_store::FeatureStore;
 use crate::models::{PropertyKind, SystemModels};
 use crate::ordering::{select_batch, ClaimChoice, OrderingStrategy};
 use crate::planner::plan_claim;
@@ -13,7 +14,7 @@ use scrutinizer_corpus::{ClaimKind, ClaimRecord, Corpus};
 use scrutinizer_crowd::{Panel, Worker};
 use scrutinizer_formula::parse_formula;
 use scrutinizer_query::FunctionRegistry;
-use scrutinizer_text::{extract_parameters, ParameterKind, SparseVector};
+use scrutinizer_text::{extract_parameters, ParameterKind, SparseView};
 
 /// The Scrutinizer verifier: models + configuration + function registry.
 pub struct Verifier {
@@ -76,7 +77,7 @@ impl Verifier {
         &self,
         corpus: &Corpus,
         claim: &ClaimRecord,
-        features: &SparseVector,
+        features: SparseView<'_>,
         worker: &mut Worker,
     ) -> ClaimOutcome {
         if worker.skips() {
@@ -90,7 +91,7 @@ impl Verifier {
         let cost = self.config.cost;
         let translation = self
             .models
-            .translate(features, self.config.options_per_screen);
+            .translate_view(features, self.config.options_per_screen);
         let plan = plan_claim(&translation, &self.config);
 
         let mut seconds = 0.0;
@@ -259,25 +260,29 @@ impl Verifier {
     ) -> VerificationReport {
         let mut report = VerificationReport::default();
         let claims = &corpus.claims;
-        let features: Vec<SparseVector> = claims.iter().map(|c| self.models.features(c)).collect();
+        // featurize the whole report once; everything below borrows rows
+        let store = FeatureStore::build(corpus, &self.models);
         let mut remaining: Vec<usize> = (0..claims.len()).collect();
         let mut verified: Vec<usize> = Vec::new();
 
         while !remaining.is_empty() {
             // ---- OptBatch ----
             let planning_start = std::time::Instant::now();
+            // utilities for the whole open pool in one batched pass
+            let utilities = self.models.training_utilities(&store.gather(&remaining));
             let choices: Vec<ClaimChoice> = remaining
                 .iter()
-                .map(|&id| {
+                .zip(&utilities)
+                .map(|(&id, &utility)| {
                     let translation = self
                         .models
-                        .translate(&features[id], self.config.options_per_screen);
+                        .translate_view(store.features(id), self.config.options_per_screen);
                     let plan = plan_claim(&translation, &self.config);
                     ClaimChoice {
                         id,
                         section: claims[id].section,
                         cost: plan.expected_cost,
-                        utility: self.models.training_utility(&features[id]),
+                        utility,
                     }
                 })
                 .collect();
@@ -294,9 +299,11 @@ impl Verifier {
 
             // ---- accuracy trace (measured on the upcoming batch) ----
             let batch_claims: Vec<&ClaimRecord> = batch.iter().map(|&id| &claims[id]).collect();
-            report
-                .accuracy_trace
-                .push((verified.len(), self.models.accuracy_on(&batch_claims)));
+            report.accuracy_trace.push((
+                verified.len(),
+                self.models
+                    .accuracy_on_rows(&store.gather(&batch), &batch_claims),
+            ));
 
             // ---- section reading (each checker skims each touched section) ----
             let mut sections: Vec<usize> = batch.iter().map(|&id| claims[id].section).collect();
@@ -313,7 +320,7 @@ impl Verifier {
                 let claim = &claims[id];
                 let mut outcomes: Vec<ClaimOutcome> = Vec::with_capacity(panel.len());
                 for worker in panel.workers_mut() {
-                    outcomes.push(self.verify_claim(corpus, claim, &features[id], worker));
+                    outcomes.push(self.verify_claim(corpus, claim, store.features(id), worker));
                 }
                 let claim_seconds: f64 = outcomes.iter().map(|o| o.crowd_seconds).sum();
                 report.total_crowd_seconds += claim_seconds;
@@ -405,7 +412,7 @@ mod tests {
         let sample: Vec<&ClaimRecord> = corpus.claims.iter().take(20).collect();
         for claim in &sample {
             let features = verifier.models().features(claim);
-            let outcome = verifier.verify_claim(&corpus, claim, &features, &mut worker);
+            let outcome = verifier.verify_claim(&corpus, claim, features.view(), &mut worker);
             total_seconds += outcome.crowd_seconds;
             if outcome.verdict_matches_truth {
                 matched += 1;
@@ -461,7 +468,7 @@ mod tests {
         let mut suggestions = 0;
         for claim in corpus.claims.iter().filter(|c| !c.is_correct).take(10) {
             let features = verifier.models().features(claim);
-            let outcome = verifier.verify_claim(&corpus, claim, &features, &mut worker);
+            let outcome = verifier.verify_claim(&corpus, claim, features.view(), &mut worker);
             if let Verdict::Incorrect {
                 suggested_value, ..
             } = outcome.verdict

@@ -1,8 +1,8 @@
 //! The engine proper: shared corpus + models behind a concurrency-safe
 //! facade, serving many interactive verification sessions at once.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
 
 use scrutinizer_core::ordering::ClaimChoice;
 use scrutinizer_core::planner::plan_claim;
@@ -12,8 +12,8 @@ use scrutinizer_core::screens::FinalScreen;
 use scrutinizer_core::stats::mean;
 use scrutinizer_core::AssignmentCache;
 use scrutinizer_core::{
-    generate_queries_with, padded_context, OrderingStrategy, PlannerCounters, PropertyKind,
-    SystemConfig, SystemModels, Verifier,
+    generate_queries_with, padded_context, FeatureStore, OrderingStrategy, PlannerCounters,
+    PropertyKind, SystemConfig, SystemModels, Verifier,
 };
 use scrutinizer_corpus::{ClaimKind, ClaimRecord, Corpus};
 use scrutinizer_crowd::{Worker, WorkerConfig};
@@ -25,6 +25,7 @@ use scrutinizer_query::FunctionRegistry;
 use crate::cache::{normalize_sql, CachedResult, PlanKey, QueryCache};
 use crate::executor::ThreadPool;
 use crate::session::{ClaimPhase, ClaimQuestions, ClaimTask, SessionId, SessionState, Suggestion};
+use crate::snapshot::{ModelSnapshot, SnapshotCell};
 use crate::stats::{EngineStats, StatsSnapshot};
 
 /// Engine sizing and behavior knobs.
@@ -39,8 +40,11 @@ pub struct EngineOptions {
     pub cache_capacity: usize,
     /// Cache shard count (rounded up to a power of two).
     pub cache_shards: usize,
-    /// Retrain the classifiers after this many newly verified claims;
-    /// `None` freezes the models (deterministic serving).
+    /// Schedule a background incremental retrain once this many newly
+    /// verified claims sit in the pending-examples log; `None` freezes the
+    /// models (deterministic serving). Retraining happens off the read
+    /// path: verdicts only append to the log, a background trainer folds
+    /// it into the next model epoch.
     pub retrain_interval: Option<usize>,
     /// Claim-batch ordering strategy for session re-planning.
     pub ordering: OrderingStrategy,
@@ -110,7 +114,10 @@ impl std::error::Error for EngineError {}
 pub struct VerdictRecord {
     /// The recorded outcome.
     pub outcome: ClaimOutcome,
-    /// Whether this verdict pushed the engine over its retrain threshold.
+    /// Whether this verdict pushed the pending-examples log over the
+    /// retrain threshold and scheduled a background retrain. The new model
+    /// epoch publishes asynchronously; readers keep serving the current
+    /// snapshot in the meantime.
     pub retrained: bool,
 }
 
@@ -169,17 +176,52 @@ pub struct Engine {
     config: SystemConfig,
     options: EngineOptions,
     registry: FunctionRegistry,
-    models: RwLock<SystemModels>,
+    /// The current model generation. Readers [`SnapshotCell::load`] an
+    /// immutable snapshot; trainers publish fresh epochs. Nobody ever
+    /// computes under the cell's lock.
+    models: SnapshotCell,
+    /// Every claim featurized exactly once at construction; shared by
+    /// translation, utility scoring and the background trainer.
+    features: Arc<FeatureStore>,
     cache: QueryCache<PlanKey>,
     /// Formula text → stable interned id, the `formula` half of
     /// [`PlanKey::Assignment`] fingerprints.
     formula_ids: Mutex<FxHashMap<Box<str>, u64>>,
     pool: ThreadPool,
+    /// Dedicated single-thread executor for background retraining, so
+    /// learning can never compete with (or deadlock against) the serving
+    /// pool's claim-verification jobs.
+    trainer: ThreadPool,
     stats: EngineStats,
     sessions: Mutex<FxHashMap<u64, SessionHandle>>,
     next_session: AtomicU64,
     verified: Mutex<VerifiedSet>,
-    since_retrain: AtomicUsize,
+    /// The pending-examples log: claim ids verified since the last retrain
+    /// was scheduled. Verdicts append here (cheap); the background trainer
+    /// drains it.
+    pending: Mutex<Vec<usize>>,
+    /// True while a background retrain is queued or running — at most one
+    /// trainer job exists at a time; later threshold crossings fold into
+    /// the active drain loop.
+    retrain_active: AtomicBool,
+    /// Serializes whole retrain executions (load → train → publish).
+    /// Without it, a synchronous `pretrain` racing the background trainer
+    /// would clone the same base snapshot and the later publish would
+    /// silently discard the earlier one's training — including drained
+    /// pending examples that exist nowhere else. Readers never touch this
+    /// lock; only trainers do.
+    retrain_serial: Mutex<()>,
+    /// Self-handle so verdict paths can hand the engine to trainer jobs.
+    self_ref: Weak<Engine>,
+}
+
+/// Which retrain flavor [`Engine::run_retrain`] executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RetrainKind {
+    /// Replay the given claims from scratch (bootstrap / pretrain).
+    FromScratch,
+    /// Warm-start `partial_fit` on just the given claims (verdict path).
+    Incremental,
 }
 
 impl Engine {
@@ -191,15 +233,18 @@ impl Engine {
     /// Engine with explicit sizing.
     pub fn with_options(corpus: Corpus, config: SystemConfig, options: EngineOptions) -> Arc<Self> {
         let models = SystemModels::bootstrap(&corpus, &config);
-        Arc::new(Engine {
+        let features = Arc::new(FeatureStore::build(&corpus, &models));
+        Arc::new_cyclic(|self_ref| Engine {
             corpus: Arc::new(corpus),
             config,
             options,
             registry: FunctionRegistry::standard(),
-            models: RwLock::new(models),
+            models: SnapshotCell::new(models),
+            features,
             cache: QueryCache::new(options.cache_capacity, options.cache_shards),
             formula_ids: Mutex::new(FxHashMap::default()),
             pool: ThreadPool::new(options.threads, options.queue_capacity),
+            trainer: ThreadPool::new(1, 2),
             stats: EngineStats::default(),
             sessions: Mutex::new(FxHashMap::default()),
             next_session: AtomicU64::new(1),
@@ -207,7 +252,10 @@ impl Engine {
                 order: Vec::new(),
                 seen: FxHashSet::default(),
             }),
-            since_retrain: AtomicUsize::new(0),
+            pending: Mutex::new(Vec::new()),
+            retrain_active: AtomicBool::new(false),
+            retrain_serial: Mutex::new(()),
+            self_ref: self_ref.clone(),
         })
     }
 
@@ -221,21 +269,72 @@ impl Engine {
         &self.config
     }
 
+    /// The corpus-wide feature store (claims featurized once at startup).
+    pub fn feature_store(&self) -> &FeatureStore {
+        &self.features
+    }
+
+    /// The currently published model generation (see
+    /// [`ModelSnapshot::epoch`]).
+    pub fn model_epoch(&self) -> u64 {
+        self.models.epoch()
+    }
+
+    /// The current immutable model snapshot. The returned `Arc` stays
+    /// valid (and unchanged) however many retrains publish after it.
+    pub fn models_snapshot(&self) -> Arc<ModelSnapshot> {
+        self.models.load()
+    }
+
     /// Trains the classifiers on the given claims (all claims when
     /// `claim_ids` is `None`) — the warm-start used by the benches, the
     /// serving binary and every simulation, mirroring the paper's
-    /// pre-trained user-study condition.
+    /// pre-trained user-study condition. Synchronous: the new epoch is
+    /// published when this returns; concurrent readers keep serving the
+    /// previous snapshot while it runs.
     pub fn pretrain(&self, claim_ids: Option<&[usize]>) {
-        let refs: Vec<&ClaimRecord> = match claim_ids {
+        let ids: Vec<usize> = match claim_ids {
             Some(ids) => ids
                 .iter()
-                .filter_map(|&id| self.corpus.claims.get(id))
+                .copied()
+                .filter(|&id| id < self.corpus.claims.len())
                 .collect(),
-            None => self.corpus.claims.iter().collect(),
+            None => (0..self.corpus.claims.len()).collect(),
         };
-        let mut models = self.models.write().expect("models lock poisoned");
-        self.stats.retrain_latency.time(|| models.retrain(&refs));
+        self.run_retrain(&ids, RetrainKind::FromScratch);
+    }
+
+    /// The single source of truth for retrain execution and accounting —
+    /// shared by [`pretrain`](Self::pretrain) (synchronous, from scratch)
+    /// and the verdict path's background trainer (incremental): clone the
+    /// current snapshot's models, train the copy *off* every reader-facing
+    /// lock (timed into `retrain_latency`), publish the next epoch, bump
+    /// the counter. Concurrent trainers serialize on `retrain_serial`, so
+    /// each one bases its copy on the previous one's published snapshot
+    /// and no training is ever lost; readers keep loading snapshots
+    /// throughout.
+    fn run_retrain(&self, claim_ids: &[usize], kind: RetrainKind) -> u64 {
+        let _serial = self
+            .retrain_serial
+            .lock()
+            .expect("retrain serializer poisoned");
+        let snapshot = self.models.load();
+        let mut models = snapshot.models.clone();
+        self.stats.retrain_latency.time(|| match kind {
+            RetrainKind::FromScratch => {
+                let refs: Vec<&ClaimRecord> = claim_ids
+                    .iter()
+                    .map(|&id| &self.corpus.claims[id])
+                    .collect();
+                models.retrain(&refs);
+            }
+            RetrainKind::Incremental => {
+                models.retrain_incremental(&self.features, &self.corpus.claims, claim_ids);
+            }
+        });
+        let epoch = self.models.publish(models);
         self.stats.bump(&self.stats.retrains);
+        epoch
     }
 
     // ---- session lifecycle -------------------------------------------------
@@ -322,7 +421,10 @@ impl Engine {
             return Err(EngineError::UnknownClaim(bad));
         }
         {
-            let models = self.models.read().expect("models lock poisoned");
+            // lock-free model access: grab the current snapshot once for
+            // the whole report; a concurrent retrain publishes a *new*
+            // snapshot and never touches this one
+            let snapshot = self.models.load();
             let mut state = handle.lock().expect("session poisoned");
             for &claim_id in claim_ids {
                 // resubmission (e.g. a client retry) is idempotent: a claim
@@ -330,15 +432,16 @@ impl Engine {
                 if state.tasks.contains_key(&claim_id) {
                     continue;
                 }
-                let claim = &self.corpus.claims[claim_id];
                 let task = self.stats.plan_latency.time(|| {
-                    let features = models.features(claim);
-                    let translation = models.translate(&features, self.config.options_per_screen);
+                    let features = self.features.features(claim_id);
+                    let translation = snapshot
+                        .models
+                        .translate_view(features, self.config.options_per_screen);
                     let plan = plan_claim(&translation, &self.config);
                     ClaimTask {
-                        features,
                         translation,
                         plan,
+                        translated_epoch: snapshot.epoch,
                         validated: [None, None, None],
                         next_screen: 0,
                         candidates: Vec::new(),
@@ -358,7 +461,7 @@ impl Engine {
     /// back into cheaper screens for everything still open.
     pub fn next_batch(&self, session: SessionId) -> Result<Vec<ClaimQuestions>, EngineError> {
         let handle = self.session(session)?;
-        let models = self.models.read().expect("models lock poisoned");
+        let snapshot = self.models.load();
         let mut state = handle.lock().expect("session poisoned");
         let state = &mut *state;
         let open: Vec<usize> = state
@@ -375,15 +478,44 @@ impl Engine {
         if open.is_empty() {
             return Ok(Vec::new());
         }
-        // re-plan claims whose screens have not started yet
+        // re-plan claims whose screens have not started yet — but only when
+        // the model epoch moved since their translation was computed; the
+        // epoch is the invalidation token, same discipline as the PlanKey
+        // fingerprints on the query cache
         for &claim_id in &open {
             let task = state
                 .tasks
                 .get_mut(&claim_id)
                 .expect("open claim has a task");
-            if task.next_screen == 0 && task.phase == ClaimPhase::Screening {
-                task.translation = models.translate(&task.features, self.config.options_per_screen);
+            if task.next_screen == 0
+                && task.phase == ClaimPhase::Screening
+                && task.translated_epoch != snapshot.epoch
+            {
+                task.translation = snapshot.models.translate_view(
+                    self.features.features(claim_id),
+                    self.config.options_per_screen,
+                );
                 task.plan = plan_claim(&task.translation, &self.config);
+                task.translated_epoch = snapshot.epoch;
+            }
+        }
+        // utilities for the open pool, scored as one CSR batch per model
+        // epoch: cached per session, invalidated when the epoch advances
+        if state.utilities_epoch != snapshot.epoch {
+            state.utilities.clear();
+            state.utilities_epoch = snapshot.epoch;
+        }
+        let missing: Vec<usize> = open
+            .iter()
+            .copied()
+            .filter(|id| !state.utilities.contains_key(id))
+            .collect();
+        if !missing.is_empty() {
+            let scored = snapshot
+                .models
+                .training_utilities(&self.features.gather(&missing));
+            for (id, utility) in missing.into_iter().zip(scored) {
+                state.utilities.insert(id, utility);
             }
         }
         let choices: Vec<ClaimChoice> = open
@@ -392,7 +524,7 @@ impl Engine {
                 id,
                 section: self.corpus.claims[id].section,
                 cost: state.tasks[&id].plan.expected_cost,
-                utility: models.training_utility(&state.tasks[&id].features),
+                utility: state.utilities[&id],
             })
             .collect();
         let mean_cost = mean(&choices.iter().map(|c| c.cost).collect::<Vec<_>>());
@@ -631,8 +763,11 @@ impl Engine {
         }
     }
 
-    /// Adds a claim to the global verified set and retrains when the
-    /// interval is crossed.
+    /// Adds a claim to the global verified set, appends it to the
+    /// pending-examples log, and schedules a background incremental
+    /// retrain once the log crosses the configured interval. The verdict
+    /// path itself never trains: this returns as soon as the log entry is
+    /// written (and, at most, a job handle is enqueued).
     fn note_verified(&self, claim_id: usize) -> bool {
         {
             let mut verified = self.verified.lock().expect("verified set poisoned");
@@ -644,29 +779,93 @@ impl Engine {
         let Some(interval) = self.options.retrain_interval else {
             return false;
         };
-        // one CAS both counts and resets, so exactly one thread crosses
-        // each threshold and no concurrent count is lost
-        let crossed = self
-            .since_retrain
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |count| {
-                Some(if count + 1 >= interval { 0 } else { count + 1 })
-            })
-            .map(|previous| previous + 1 >= interval)
-            .unwrap_or(false);
-        if !crossed {
+        {
+            let mut pending = self.pending.lock().expect("pending log poisoned");
+            pending.push(claim_id);
+            if pending.len() < interval {
+                return false;
+            }
+        }
+        self.schedule_retrain()
+    }
+
+    /// Enqueues one background retrain unless one is already queued or
+    /// running (the active trainer drains whatever accumulates meanwhile).
+    fn schedule_retrain(&self) -> bool {
+        if self
+            .retrain_active
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
             return false;
         }
-        let ids: Vec<usize> = self
-            .verified
-            .lock()
-            .expect("verified set poisoned")
-            .order
-            .clone();
-        let refs: Vec<&ClaimRecord> = ids.iter().map(|&id| &self.corpus.claims[id]).collect();
-        let mut models = self.models.write().expect("models lock poisoned");
-        self.stats.retrain_latency.time(|| models.retrain(&refs));
-        self.stats.bump(&self.stats.retrains);
+        let Some(engine) = self.self_ref.upgrade() else {
+            // engine is tearing down; nobody is left to read new models
+            self.retrain_active.store(false, Ordering::Release);
+            return false;
+        };
+        self.trainer.execute(move || engine.background_retrain());
         true
+    }
+
+    /// The trainer job: drain the pending log, warm-start the classifiers
+    /// on the drained batch against a *copy* of the current snapshot, and
+    /// publish the result as the next epoch. Loops while whole new
+    /// intervals accumulated during training, then re-arms.
+    fn background_retrain(&self) {
+        let interval = self.options.retrain_interval.unwrap_or(usize::MAX);
+        loop {
+            let batch: Vec<usize> = {
+                let mut pending = self.pending.lock().expect("pending log poisoned");
+                std::mem::take(&mut *pending)
+            };
+            if batch.is_empty() {
+                break;
+            }
+            self.run_retrain(&batch, RetrainKind::Incremental);
+            self.stats.bump(&self.stats.background_retrains);
+            let backlog = self.pending.lock().expect("pending log poisoned").len();
+            if backlog < interval {
+                break;
+            }
+        }
+        self.retrain_active.store(false, Ordering::Release);
+        // a verdict may have crossed the threshold after our last check but
+        // before the flag cleared; make sure it is not stranded
+        let stranded = self.pending.lock().expect("pending log poisoned").len()
+            >= self.options.retrain_interval.unwrap_or(usize::MAX);
+        if stranded {
+            self.schedule_retrain();
+        }
+    }
+
+    /// Blocks until every pending example has been folded into a published
+    /// model epoch — below-threshold leftovers included. A test/bench
+    /// hook for deterministic observation of the asynchronous learning
+    /// path; the serving path never calls it.
+    pub fn flush_retrains(&self) {
+        loop {
+            // read the active flag on both sides of the pending check: the
+            // log is conclusively drained only if it was empty at a moment
+            // with no trainer running before *or* after the observation
+            // (one read could race a trainer that drained the log but has
+            // not yet published, or a verdict that appended right after an
+            // early flag read)
+            let active_before = self.retrain_active.load(Ordering::Acquire);
+            let pending_empty = self
+                .pending
+                .lock()
+                .expect("pending log poisoned")
+                .is_empty();
+            let active_after = self.retrain_active.load(Ordering::Acquire);
+            if pending_empty && !active_before && !active_after {
+                return;
+            }
+            if !pending_empty && !active_after {
+                self.schedule_retrain();
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
     }
 
     // ---- cache-assisted query generation ----------------------------------
@@ -914,6 +1113,9 @@ impl Engine {
             answers_posted: load(&self.stats.answers_posted),
             suggestions_served: load(&self.stats.suggestions_served),
             retrains: load(&self.stats.retrains),
+            background_retrains: load(&self.stats.background_retrains),
+            model_epoch: self.models.epoch(),
+            pending_examples: self.pending.lock().expect("pending log poisoned").len() as u64,
             sql_executed: load(&self.stats.sql_executed),
             planner_plans: load(&self.stats.planner_plans),
             planner_cold_solves: load(&self.stats.planner_cold_solves),

@@ -170,8 +170,18 @@ impl Drop for ThreadPool {
         }
         self.shared.job_ready.notify_all();
         self.shared.space_ready.notify_all();
+        // A job may own the last handle to the structure holding this pool
+        // (e.g. the engine's background trainer holds an `Arc<Engine>`), in
+        // which case the pool is dropped *on one of its own workers* when
+        // that job finishes. Joining the current thread would deadlock it
+        // against itself forever — skip it; it exits on its own as soon as
+        // this drop (running inside its job) returns and the worker loop
+        // sees the shutdown flag.
+        let current = std::thread::current().id();
         for worker in self.workers.drain(..) {
-            let _ = worker.join();
+            if worker.thread().id() != current {
+                let _ = worker.join();
+            }
         }
     }
 }
@@ -262,6 +272,33 @@ mod tests {
         let (lock, signal) = &*gate;
         *lock.lock().unwrap() = true;
         signal.notify_all();
+    }
+
+    #[test]
+    fn dropping_pool_from_its_own_worker_does_not_deadlock() {
+        struct Holder {
+            pool: ThreadPool,
+        }
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let holder = Arc::new(Holder {
+            pool: ThreadPool::new(1, 2),
+        });
+        let job_holder = Arc::clone(&holder);
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        holder.pool.execute(move || {
+            started_tx.send(()).expect("main alive");
+            // wait until main has released its handle, so this drop is the
+            // last one and Holder (pool included) drops on this worker
+            std::thread::sleep(Duration::from_millis(50));
+            drop(job_holder);
+            done_tx.send(()).expect("receiver alive");
+        });
+        started_rx.recv().expect("job started");
+        drop(holder);
+        // with a self-join in ThreadPool::drop the job never finishes
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("dropping the pool from its own worker must not deadlock");
     }
 
     #[test]

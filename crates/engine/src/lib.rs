@@ -19,15 +19,20 @@
 //!        ▼
 //!   ┌─────────────────────────────────────────────┐
 //!   │ Engine                                      │
-//!   │   models: RwLock<SystemModels>  (4 clfs)    │──▶ plan_claim / translate
-//!   │   corpus: Arc<Corpus>           (catalog)   │──▶ Algorithm 2 (qgen)
-//!   │   cache:  sharded LRU  (plan fingerprints)  │──▶ hit ⇒ skip evaluation
-//!   │   pool:   bounded-queue thread pool         │──▶ verify_batch fan-out
-//!   │   stats:  counters + latency histograms     │──▶ `stats` endpoint
+//!   │   models:   SnapshotCell (epoch-versioned   │──▶ plan_claim / translate
+//!   │             Arc<ModelSnapshot> swaps)       │    (readers never block)
+//!   │   features: Arc<FeatureStore> (CSR, built   │──▶ batch utility scoring
+//!   │             once at bootstrap)              │
+//!   │   corpus:   Arc<Corpus>       (catalog)     │──▶ Algorithm 2 (qgen)
+//!   │   cache:    sharded LRU (plan fingerprints) │──▶ hit ⇒ skip evaluation
+//!   │   pool:     bounded-queue thread pool       │──▶ verify_batch fan-out
+//!   │   trainer:  1-thread background executor    │──▶ warm-start retrains
+//!   │   stats:    counters + latency histograms   │──▶ `stats` endpoint
 //!   └─────────────────────────────────────────────┘
-//!        │ verdicts accumulate
+//!        │ verdicts append to the pending-examples log
 //!        ▼
-//!    retrain (interval-gated) ──▶ next_batch re-plans open claims
+//!    background trainer: drain log ─▶ partial_fit a COPY ─▶ publish epoch+1
+//!    (readers keep the old snapshot; next_batch re-plans on epoch change)
 //! ```
 //!
 //! ## The session loop
@@ -41,11 +46,12 @@
 //! 4. [`Engine::suggest`] — Algorithm 2 instantiates candidate queries
 //!    over the validated context, through the query-result cache, and
 //!    returns the top-k as a ranked final screen.
-//! 5. [`Engine::post_verdict`] — the checker's judgment lands; at the
-//!    configured interval the four classifiers retrain on everything
-//!    verified so far, and [`Engine::next_batch`] re-plans the remaining
-//!    claims with the improved models — the mixed-initiative feedback
-//!    edge.
+//! 5. [`Engine::post_verdict`] — the checker's judgment lands in the
+//!    pending-examples log; at the configured interval a **background**
+//!    warm-start retrain folds the log into the next model epoch (readers
+//!    never wait), and [`Engine::next_batch`] re-plans the remaining
+//!    claims once the new epoch publishes — the mixed-initiative feedback
+//!    edge, off the read path.
 //!
 //! [`Engine::verify_batch`] drives the same machinery with simulated
 //! checkers ([`scrutinizer_crowd::Worker`]) concurrently over the thread
@@ -83,10 +89,12 @@ pub mod engine;
 pub mod executor;
 pub mod protocol;
 pub mod session;
+pub mod snapshot;
 pub mod stats;
 
 pub use cache::{normalize_sql, CachedResult, CellVec, PlanKey, QueryCache};
 pub use engine::{Engine, EngineError, EngineOptions, VerdictRecord};
 pub use executor::ThreadPool;
 pub use session::{ClaimQuestions, ScreenView, SessionId, Suggestion};
+pub use snapshot::{ModelSnapshot, SnapshotCell};
 pub use stats::{EngineStats, HistogramSnapshot, LatencyHistogram, StatsSnapshot};

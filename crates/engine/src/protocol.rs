@@ -427,6 +427,15 @@ fn stats_json(snapshot: &StatsSnapshot) -> Json {
             Json::Num(snapshot.suggestions_served as f64),
         ),
         ("retrains", Json::Num(snapshot.retrains as f64)),
+        (
+            "background_retrains",
+            Json::Num(snapshot.background_retrains as f64),
+        ),
+        ("model_epoch", Json::Num(snapshot.model_epoch as f64)),
+        (
+            "pending_examples",
+            Json::Num(snapshot.pending_examples as f64),
+        ),
         ("sql_executed", Json::Num(snapshot.sql_executed as f64)),
         ("planner_plans", Json::Num(snapshot.planner_plans as f64)),
         (

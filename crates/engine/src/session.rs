@@ -11,7 +11,6 @@ use scrutinizer_core::planner::ClaimPlan;
 use scrutinizer_core::qgen::QueryCandidate;
 use scrutinizer_core::{IncrementalPlanner, PropertyKind, Translation};
 use scrutinizer_data::hash::FxHashMap;
-use scrutinizer_text::SparseVector;
 
 /// Opaque session handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -69,11 +68,16 @@ pub enum ClaimPhase {
     Done,
 }
 
-/// Per-claim working state.
+/// Per-claim working state. Features live in the engine's shared
+/// [`FeatureStore`](scrutinizer_core::FeatureStore) (claims are corpus
+/// claims, so the claim id is the row id) — the task holds only what the
+/// models derived from them.
 pub(crate) struct ClaimTask {
-    pub features: SparseVector,
     pub translation: Translation,
     pub plan: ClaimPlan,
+    /// The model epoch `translation`/`plan` were computed under; re-planning
+    /// refreshes them only when the published epoch moves past this.
+    pub translated_epoch: u64,
     /// Validated context answers: relation, key, attribute.
     pub validated: [Option<String>; 3],
     /// Index of the next unanswered screen in `plan.screens`.
@@ -123,6 +127,12 @@ pub(crate) struct SessionState {
     /// The session's batch planner: caches the last selection and repairs
     /// it across re-plans instead of re-solving Definition 9 cold.
     pub planner: IncrementalPlanner,
+    /// Training utilities of open claims, cached per model epoch: scored
+    /// in one CSR batch on first use, invalidated when the published epoch
+    /// moves past `utilities_epoch`.
+    pub utilities: FxHashMap<usize, f64>,
+    /// The model epoch `utilities` was scored under.
+    pub utilities_epoch: u64,
 }
 
 impl SessionState {
@@ -133,6 +143,8 @@ impl SessionState {
             pending: Vec::new(),
             verified: Vec::new(),
             planner: IncrementalPlanner::new(),
+            utilities: FxHashMap::default(),
+            utilities_epoch: 0,
         }
     }
 }

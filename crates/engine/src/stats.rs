@@ -112,6 +112,9 @@ pub struct EngineStats {
     pub suggestions_served: AtomicU64,
     /// Model retrains triggered by verified-claim accumulation.
     pub retrains: AtomicU64,
+    /// Retrains executed by the background trainer (a subset of
+    /// `retrains`; the rest are synchronous pretrains).
+    pub background_retrains: AtomicU64,
     /// Raw SQL statements executed through the serving layer.
     pub sql_executed: AtomicU64,
     /// Batch-selection plans requested (all strategies).
@@ -167,6 +170,14 @@ pub struct StatsSnapshot {
     pub suggestions_served: u64,
     /// Model retrains.
     pub retrains: u64,
+    /// Retrains executed by the background trainer.
+    pub background_retrains: u64,
+    /// The published model generation (bumped by every retrain; readers
+    /// serve whichever snapshot was current when they started).
+    pub model_epoch: u64,
+    /// Verified claims sitting in the pending-examples log, not yet
+    /// folded into a published epoch.
+    pub pending_examples: u64,
     /// Raw SQL statements executed.
     pub sql_executed: u64,
     /// Batch-selection plans requested.

@@ -3,10 +3,16 @@
 use crate::labels::LabelDict;
 use crate::metrics::entropy;
 use crate::softmax::{SoftmaxClassifier, TrainConfig};
-use scrutinizer_text::SparseVector;
+use scrutinizer_text::{FeatureMatrix, SparseVector, SparseView};
 
 /// A classifier for one query property (relation / key / attribute /
-/// formula), operating on string labels.
+/// formula), operating on interned label ids with a string boundary.
+///
+/// The hot paths (`retrain_encoded`, `partial_fit_encoded`, `top_k_ids`,
+/// `entropy_batch_into`) move borrowed feature views and `u32` label ids
+/// only; the string-returning APIs ([`top_k`](Self::top_k),
+/// [`predict`](Self::predict)) are thin adapters kept for the session
+/// boundary, where checkers read label text.
 ///
 /// Supports the cold-start protocol of §3: before any training data exists,
 /// predictions fall back to the uniform distribution over the known label
@@ -44,76 +50,147 @@ impl PropertyClassifier {
         &self.labels
     }
 
+    /// Interns a label (checkers may suggest new answers), returning its id.
+    pub fn intern_label(&mut self, label: &str) -> u32 {
+        self.labels.intern(label)
+    }
+
     /// Whether a model has been trained.
     pub fn is_trained(&self) -> bool {
         self.model.is_some()
     }
 
-    /// Retrains from scratch on `(features, label)` pairs — the
-    /// `Retrain(N, A)` step of Algorithm 1. Labels outside the label space
-    /// are interned (checkers may suggest new answers).
-    pub fn retrain(&mut self, examples: &[(SparseVector, String)]) {
+    /// Retrains from scratch on borrowed `(features, label id)` pairs —
+    /// the `Retrain(N, A)` step of Algorithm 1, with zero feature clones
+    /// and zero label strings in the loop.
+    pub fn retrain_encoded(&mut self, examples: &[(SparseView<'_>, u32)]) {
         if examples.is_empty() {
             self.model = None;
             return;
         }
-        let encoded: Vec<(SparseVector, u32)> = examples
-            .iter()
-            .map(|(x, label)| (x.clone(), self.labels.intern(label)))
-            .collect();
         self.model = Some(SoftmaxClassifier::train(
-            &encoded,
+            examples,
             self.labels.len(),
             self.dim,
             self.config,
         ));
     }
 
-    /// Ranked `(label, probability)` predictions, descending, length ≤ `k`.
+    /// Warm-start incremental training on one new example batch: resumes
+    /// from the current weights (or a zero model when untrained) instead of
+    /// replaying the whole verified history. Label ids past the current
+    /// class count grow the model in place, so labels interned since the
+    /// last call are legal.
+    pub fn partial_fit_encoded(&mut self, examples: &[(SparseView<'_>, u32)]) {
+        if examples.is_empty() {
+            return;
+        }
+        let model = self
+            .model
+            .get_or_insert_with(|| SoftmaxClassifier::untrained(self.labels.len(), self.dim));
+        model.partial_fit(examples, self.config);
+    }
+
+    /// String-boundary adapter over [`retrain_encoded`]: interns the labels
+    /// and borrows the features (no clones).
+    ///
+    /// [`retrain_encoded`]: Self::retrain_encoded
+    pub fn retrain(&mut self, examples: &[(SparseVector, String)]) {
+        let encoded: Vec<(SparseView<'_>, u32)> = examples
+            .iter()
+            .map(|(x, label)| (x.view(), self.labels.intern(label)))
+            .collect();
+        self.retrain_encoded(&encoded);
+    }
+
+    /// Ranked `(label id, probability)` predictions, descending, length ≤
+    /// `k` — the allocation-free core of [`top_k`](Self::top_k).
     ///
     /// Untrained: uniform probabilities in label-id order (deterministic).
-    pub fn top_k(&self, features: &SparseVector, k: usize) -> Vec<(String, f32)> {
+    pub fn top_k_ids(&self, features: SparseView<'_>, k: usize) -> Vec<(u32, f32)> {
         match &self.model {
-            Some(model) => model
-                .top_k(features, k)
-                .into_iter()
-                .map(|(id, p)| (self.labels.name(id).unwrap_or("<unknown>").to_string(), p))
-                .collect(),
+            Some(model) => model.top_k_view(features, k),
             None => {
                 let n = self.labels.len();
                 if n == 0 {
                     return Vec::new();
                 }
                 let p = 1.0 / n as f32;
-                self.labels
-                    .names()
-                    .iter()
-                    .take(k)
-                    .map(|l| (l.clone(), p))
-                    .collect()
+                (0..n.min(k) as u32).map(|id| (id, p)).collect()
             }
         }
     }
 
-    /// Most probable label.
+    /// Most probable label id.
+    pub fn predict_id(&self, features: SparseView<'_>) -> Option<u32> {
+        self.top_k_ids(features, 1).first().map(|&(id, _)| id)
+    }
+
+    /// The label text of an id (`"<unknown>"` when out of range).
+    pub fn label_name(&self, id: u32) -> &str {
+        self.labels.name(id).unwrap_or("<unknown>")
+    }
+
+    /// Ranked `(label, probability)` predictions, descending, length ≤ `k`.
+    ///
+    /// Boundary adapter over [`top_k_ids`](Self::top_k_ids): the one place
+    /// label strings are materialized, for screens shown to checkers.
+    pub fn top_k(&self, features: &SparseVector, k: usize) -> Vec<(String, f32)> {
+        self.top_k_ids(features.view(), k)
+            .into_iter()
+            .map(|(id, p)| (self.label_name(id).to_string(), p))
+            .collect()
+    }
+
+    /// Most probable label (boundary adapter over
+    /// [`predict_id`](Self::predict_id)).
     pub fn predict(&self, features: &SparseVector) -> Option<String> {
-        self.top_k(features, 1).into_iter().next().map(|(l, _)| l)
+        self.predict_id(features.view())
+            .map(|id| self.label_name(id).to_string())
     }
 
     /// Entropy of the predictive distribution — the per-model term `e(m, c)`
     /// of Definition 7. Untrained classifiers have maximal entropy
     /// `ln(#labels)`.
     pub fn prediction_entropy(&self, features: &SparseVector) -> f64 {
+        self.prediction_entropy_view(features.view())
+    }
+
+    /// [`prediction_entropy`](Self::prediction_entropy) over a borrowed view.
+    pub fn prediction_entropy_view(&self, features: SparseView<'_>) -> f64 {
         match &self.model {
-            Some(model) => entropy(&model.predict_proba(features)),
+            Some(model) => entropy(&model.predict_proba_view(features)),
+            None => self.uniform_entropy(),
+        }
+    }
+
+    /// Appends the prediction entropy of every CSR row to `out` — the bulk
+    /// kernel behind batched utility scoring. Untrained classifiers
+    /// contribute their constant uniform entropy per row.
+    pub fn entropy_batch_into(&self, rows: &FeatureMatrix, out: &mut Vec<f64>) {
+        match &self.model {
+            Some(model) => model.entropy_batch_into(rows, out),
             None => {
-                let n = self.labels.len();
-                if n == 0 {
-                    0.0
-                } else {
-                    (n as f64).ln()
-                }
+                let h = self.uniform_entropy();
+                out.extend(std::iter::repeat_n(h, rows.rows()));
             }
+        }
+    }
+
+    /// The trained softmax model, if any (crate-internal: fusion reads the
+    /// transposed layout directly).
+    pub(crate) fn softmax(&self) -> Option<&SoftmaxClassifier> {
+        self.model.as_ref()
+    }
+
+    /// Entropy of the uniform fallback distribution (`ln` of the label
+    /// count; the untrained contribution to Definition 7).
+    pub(crate) fn uniform_entropy(&self) -> f64 {
+        let n = self.labels.len();
+        if n == 0 {
+            0.0
+        } else {
+            (n as f64).ln()
         }
     }
 
@@ -123,7 +200,11 @@ impl PropertyClassifier {
             return 0.0;
         };
         match &self.model {
-            Some(model) => model.predict_proba(features)[id as usize],
+            Some(model) => model
+                .predict_proba_view(features.view())
+                .get(id as usize)
+                .copied()
+                .unwrap_or(0.0),
             None => {
                 if self.labels.is_empty() {
                     0.0
@@ -168,6 +249,7 @@ mod tests {
         let top = c.top_k(&x, 2);
         assert_eq!(top.len(), 2);
         assert!((top[0].1 - 0.25).abs() < 1e-6);
+        assert_eq!(top[0].0, "a");
         assert!((c.prediction_entropy(&x) - (4.0f64).ln()).abs() < 1e-9);
         assert!((c.probability_of(&x, "c") - 0.25).abs() < 1e-6);
     }
@@ -183,12 +265,83 @@ mod tests {
     }
 
     #[test]
+    fn id_api_is_the_string_api_without_strings() {
+        let c = trained();
+        let x = features(1);
+        let ids = c.top_k_ids(x.view(), 3);
+        let names = c.top_k(&x, 3);
+        assert_eq!(ids.len(), names.len());
+        for ((id, p_id), (name, p_name)) in ids.iter().zip(&names) {
+            assert_eq!(c.label_name(*id), name);
+            assert_eq!(p_id, p_name);
+        }
+        assert_eq!(
+            c.predict_id(x.view()).map(|id| c.label_name(id)),
+            Some("TFC")
+        );
+    }
+
+    #[test]
     fn new_labels_interned_on_retrain() {
         let mut c = trained();
         let examples = vec![(features(3), "NEW_REL".to_string()); 10];
         c.retrain(&examples);
         assert!(c.labels().get("NEW_REL").is_some());
         assert_eq!(c.predict(&features(3)).unwrap(), "NEW_REL");
+    }
+
+    #[test]
+    fn partial_fit_handles_label_growth_mid_stream() {
+        let mut c = trained();
+        let before = c.prediction_entropy(&features(0));
+        // a new label arrives: intern it, then warm-start on the new batch
+        // (a realistic verified batch mixes the new label with known ones)
+        let novel = features(5);
+        let known: Vec<SparseVector> = (0..3).map(features).collect();
+        let id = c.intern_label("NEW_REL");
+        let mut batch: Vec<(scrutinizer_text::SparseView<'_>, u32)> = Vec::new();
+        for _ in 0..6 {
+            batch.push((novel.view(), id));
+            for (class, x) in known.iter().enumerate() {
+                batch.push((x.view(), class as u32));
+            }
+        }
+        c.partial_fit_encoded(&batch);
+        assert_eq!(c.predict(&novel).unwrap(), "NEW_REL");
+        // old knowledge survives the warm start and the class growth
+        assert_eq!(c.predict(&features(0)).unwrap(), "GED");
+        assert!(c.prediction_entropy(&features(0)) <= before + 0.2);
+    }
+
+    #[test]
+    fn partial_fit_bootstraps_an_untrained_classifier() {
+        let labels = LabelDict::from_labels(["x", "y"]);
+        let mut c = PropertyClassifier::new("row", labels, 4, TrainConfig::default());
+        let (a, b) = (features(0), features(1));
+        let batch = vec![(a.view(), 0u32), (b.view(), 1u32)];
+        let batch: Vec<_> = batch.into_iter().cycle().take(20).collect();
+        c.partial_fit_encoded(&batch);
+        assert!(c.is_trained());
+        assert_eq!(c.predict(&a).unwrap(), "x");
+        assert_eq!(c.predict(&b).unwrap(), "y");
+    }
+
+    #[test]
+    fn batch_entropies_match_scalar() {
+        let c = trained();
+        let xs: Vec<SparseVector> = (0..4).map(features).collect();
+        let rows = scrutinizer_text::FeatureMatrix::from_rows(xs.iter().cloned());
+        let mut batch = Vec::new();
+        c.entropy_batch_into(&rows, &mut batch);
+        for (i, x) in xs.iter().enumerate() {
+            assert!((batch[i] - c.prediction_entropy(x)).abs() < 1e-6, "row {i}");
+        }
+        // untrained: constant ln(n) per row
+        let untrained =
+            PropertyClassifier::new("row", LabelDict::from_labels(["a", "b"]), 4, c.config);
+        let mut out = Vec::new();
+        untrained.entropy_batch_into(&rows, &mut out);
+        assert!(out.iter().all(|h| (h - (2.0f64).ln()).abs() < 1e-12));
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Fused multi-model entropy scoring — the bulk kernel behind batched
+//! training-utility estimation (Definition 7).
+//!
+//! Definition 7 sums the prediction entropy of *four* classifiers per
+//! claim. Scoring them one at a time walks the CSR batch four times and
+//! touches four separate transposed weight blocks per stored feature.
+//! [`FusedEntropy`] concatenates the trained classifiers' feature-major
+//! layouts into one `dim × total_classes` block, so each stored feature
+//! contributes with a single contiguous multiply-add sweep across *all*
+//! models' classes, and each row needs one pass over the matrix total.
+//! Untrained classifiers fold in as their constant uniform entropy.
+//!
+//! The fusion is a snapshot of the classifiers at build time — rebuild it
+//! after training (`scrutinizer-core` rebuilds per retrain and ships it
+//! inside the published model snapshot).
+
+use crate::classifier::PropertyClassifier;
+use crate::softmax::entropy_from_scores;
+use scrutinizer_text::FeatureMatrix;
+
+/// The concatenated feature-major scoring block of several classifiers.
+#[derive(Debug, Clone)]
+pub struct FusedEntropy {
+    /// Total classes across the fused (trained) classifiers.
+    width: usize,
+    /// `[start, end)` segment of each fused classifier inside a scratch row.
+    segments: Vec<(usize, usize)>,
+    /// `dim × width`: for feature `i`, the concatenated class columns of
+    /// every fused classifier at `weights[i * width .. (i + 1) * width]`.
+    weights: Vec<f32>,
+    /// Concatenated biases (length `width`).
+    biases: Vec<f32>,
+    /// Shared feature dimensionality.
+    dim: usize,
+    /// Σ `ln(n_labels)` of the untrained classifiers — their constant
+    /// entropy contribution per row.
+    constant: f64,
+}
+
+impl FusedEntropy {
+    /// Fuses the trained classifiers of `models`; untrained ones
+    /// contribute their uniform entropy as a per-row constant.
+    ///
+    /// # Panics
+    /// Panics if the trained classifiers disagree on feature
+    /// dimensionality (they share one featurizer by construction).
+    pub fn fuse(models: &[&PropertyClassifier]) -> Self {
+        let mut constant = 0.0f64;
+        let mut parts: Vec<(&[f32], &[f32], usize)> = Vec::new(); // (weights_t, biases, nc)
+        let mut dim = 0usize;
+        for classifier in models {
+            match classifier.softmax() {
+                Some(model) => {
+                    assert!(
+                        dim == 0 || dim == model.dim(),
+                        "fused classifiers must share one feature space"
+                    );
+                    dim = model.dim();
+                    let (weights_t, biases) = model.transposed_parts();
+                    parts.push((weights_t, biases, model.n_classes()));
+                }
+                None => constant += classifier.uniform_entropy(),
+            }
+        }
+        let width: usize = parts.iter().map(|(_, _, nc)| nc).sum();
+        let mut segments = Vec::with_capacity(parts.len());
+        let mut biases = Vec::with_capacity(width);
+        let mut start = 0usize;
+        for (_, part_biases, nc) in &parts {
+            segments.push((start, start + nc));
+            biases.extend_from_slice(part_biases);
+            start += nc;
+        }
+        // interleave: fused row i = [m1 column i | m2 column i | ...]
+        let mut weights = vec![0.0f32; dim * width];
+        for i in 0..dim {
+            let row = &mut weights[i * width..(i + 1) * width];
+            let mut offset = 0usize;
+            for (weights_t, _, nc) in &parts {
+                row[offset..offset + nc].copy_from_slice(&weights_t[i * nc..(i + 1) * nc]);
+                offset += nc;
+            }
+        }
+        FusedEntropy {
+            width,
+            segments,
+            weights,
+            biases,
+            dim,
+            constant,
+        }
+    }
+
+    /// Appends the summed prediction entropy (Definition 7's `u(c)`) of
+    /// every CSR row to `out`: one matrix pass, one contiguous
+    /// multiply-add sweep per stored feature, one softmax-entropy per
+    /// fused segment, plus the untrained constant.
+    pub fn utilities_into(&self, rows: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.reserve(rows.rows());
+        if self.width == 0 {
+            out.extend(std::iter::repeat_n(self.constant, rows.rows()));
+            return;
+        }
+        let mut scratch = vec![0.0f32; self.width];
+        for row in rows.iter() {
+            scratch.copy_from_slice(&self.biases);
+            for (i, v) in row.iter() {
+                let i = i as usize;
+                if i >= self.dim {
+                    continue;
+                }
+                let column = &self.weights[i * self.width..(i + 1) * self.width];
+                for (s, &w) in scratch.iter_mut().zip(column) {
+                    *s += v * w;
+                }
+            }
+            let mut utility = self.constant;
+            for &(start, end) in &self.segments {
+                utility += entropy_from_scores(&scratch[start..end]);
+            }
+            out.push(utility);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::LabelDict;
+    use crate::softmax::TrainConfig;
+    use scrutinizer_text::SparseVector;
+
+    fn features(idx: u32, extra: u32) -> SparseVector {
+        SparseVector::from_pairs(vec![(idx, 1.0), (extra, 0.3)])
+    }
+
+    fn trained(labels: &[&str], shift: u32) -> PropertyClassifier {
+        let mut c = PropertyClassifier::new(
+            "p",
+            LabelDict::from_labels(labels.iter().copied()),
+            12,
+            TrainConfig::default(),
+        );
+        let examples: Vec<(SparseVector, String)> = (0..36)
+            .map(|i| {
+                let class = (i as usize) % labels.len();
+                (
+                    features(class as u32 + shift, 11),
+                    labels[class].to_string(),
+                )
+            })
+            .collect();
+        c.retrain(&examples);
+        c
+    }
+
+    #[test]
+    fn fused_matches_per_classifier_entropies() {
+        let a = trained(&["x", "y", "z"], 0);
+        let b = trained(&["p", "q"], 4);
+        let untrained = PropertyClassifier::new(
+            "u",
+            LabelDict::from_labels(["m", "n"]),
+            12,
+            TrainConfig::default(),
+        );
+        let rows = FeatureMatrix::from_rows((0..6).map(|i| features(i % 4, 11)));
+
+        let fused = FusedEntropy::fuse(&[&a, &b, &untrained]);
+        let mut got = Vec::new();
+        fused.utilities_into(&rows, &mut got);
+
+        for (r, utility) in got.iter().enumerate() {
+            let row = rows.row(r).to_owned_vector();
+            let expected: f64 = [&a, &b, &untrained]
+                .iter()
+                .map(|c| c.prediction_entropy(&row))
+                .sum();
+            assert!(
+                (utility - expected).abs() < 1e-5,
+                "row {r}: fused {utility} vs per-classifier {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_untrained_is_the_constant() {
+        let u1 = PropertyClassifier::new(
+            "a",
+            LabelDict::from_labels(["x", "y"]),
+            4,
+            TrainConfig::default(),
+        );
+        let u2 = PropertyClassifier::new(
+            "b",
+            LabelDict::from_labels(["p", "q", "r"]),
+            4,
+            TrainConfig::default(),
+        );
+        let fused = FusedEntropy::fuse(&[&u1, &u2]);
+        let rows = FeatureMatrix::from_rows([features(0, 2), features(1, 3)]);
+        let mut got = Vec::new();
+        fused.utilities_into(&rows, &mut got);
+        let expected = (2.0f64).ln() + (3.0f64).ln();
+        assert!(got.iter().all(|u| (u - expected).abs() < 1e-12), "{got:?}");
+    }
+}

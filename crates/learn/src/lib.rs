@@ -19,6 +19,7 @@
 
 pub mod active;
 pub mod classifier;
+pub mod fused;
 pub mod labels;
 pub mod metrics;
 pub mod softmax;
@@ -26,6 +27,7 @@ pub mod split;
 
 pub use active::training_utility;
 pub use classifier::PropertyClassifier;
+pub use fused::FusedEntropy;
 pub use labels::LabelDict;
 pub use metrics::{accuracy, entropy, top_k_accuracy};
-pub use softmax::{SoftmaxClassifier, TrainConfig};
+pub use softmax::{entropy_from_scores, SoftmaxClassifier, TrainConfig};

@@ -4,12 +4,31 @@
 //! retraining (every batch of 100 claims), so the implementation favors:
 //! sparse dot products (only touched coordinates update), per-coordinate
 //! AdaGrad learning rates (robust across the wildly different scales of the
-//! embedding and TF-IDF blocks), and retraining from scratch in a few epochs.
+//! embedding and TF-IDF blocks), and — since PR 4 — **warm-start
+//! incremental training**: the AdaGrad accumulators persist inside the
+//! model, so [`SoftmaxClassifier::partial_fit`] resumes from the previous
+//! weights on just the newly verified examples instead of replaying the
+//! whole history from scratch. The class count can grow mid-stream
+//! (checkers suggest new answers); new classes join as zero rows appended
+//! in place.
+//!
+//! Two inference layouts coexist on purpose:
+//!
+//! * the **row-major** weight matrix (`class × dim`) drives training
+//!   updates and the legacy one-claim-at-a-time `predict_proba` path, and
+//! * a **feature-major transpose** (`dim × class`, rebuilt once per
+//!   training call) drives the batched [`predict_proba_batch`] /
+//!   [`entropy_batch_into`] paths: scoring a CSR row walks each feature's
+//!   *contiguous* class slice instead of gathering one scattered weight
+//!   per class, which is what makes bulk utility scoring fast.
+//!
+//! [`predict_proba_batch`]: SoftmaxClassifier::predict_proba_batch
+//! [`entropy_batch_into`]: SoftmaxClassifier::entropy_batch_into
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use scrutinizer_text::SparseVector;
+use scrutinizer_text::{FeatureMatrix, SparseVector, SparseView};
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -47,46 +66,125 @@ impl Default for TrainConfig {
 /// A trained softmax classifier over `n_classes` classes and `dim` features.
 #[derive(Debug, Clone)]
 pub struct SoftmaxClassifier {
-    weights: Vec<f32>, // n_classes × dim, row-major
+    weights: Vec<f32>, // n_classes × dim, row-major (training layout)
+    /// Feature-major transpose of `weights` (`dim × n_classes`), rebuilt
+    /// after every training call; the batched scoring layout.
+    weights_t: Vec<f32>,
     biases: Vec<f32>,
+    /// Persisted AdaGrad accumulators — the warm-start state.
+    grad_sq_w: Vec<f32>,
+    grad_sq_b: Vec<f32>,
     dim: usize,
     n_classes: usize,
+    /// Completed training calls; salts the shuffle seed so successive
+    /// `partial_fit` batches see different (but deterministic) orders.
+    fits: u64,
 }
 
 impl SoftmaxClassifier {
-    /// Trains from scratch on `(features, class)` examples.
+    /// A zero-weight model over a fixed shape, ready for [`partial_fit`].
+    ///
+    /// [`partial_fit`]: SoftmaxClassifier::partial_fit
+    pub fn untrained(n_classes: usize, dim: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        SoftmaxClassifier {
+            weights: vec![0.0; n_classes * dim],
+            weights_t: vec![0.0; n_classes * dim],
+            biases: vec![0.0; n_classes],
+            grad_sq_w: vec![1e-8; n_classes * dim],
+            grad_sq_b: vec![1e-8; n_classes],
+            dim,
+            n_classes,
+            fits: 0,
+        }
+    }
+
+    /// Trains from scratch on `(features, class)` examples. Features are
+    /// borrowed views — training never clones a vector.
     ///
     /// # Panics
     /// Panics if any class id is ≥ `n_classes` (caller builds the label
     /// space, so this is a programming error).
     pub fn train(
+        examples: &[(SparseView<'_>, u32)],
+        n_classes: usize,
+        dim: usize,
+        config: TrainConfig,
+    ) -> Self {
+        for (_, y) in examples {
+            assert!((*y as usize) < n_classes, "class id {y} out of range");
+        }
+        let mut model = SoftmaxClassifier::untrained(n_classes, dim);
+        model.fit_epochs(examples, config, config.seed);
+        model.fits = 1;
+        model.rebuild_transpose();
+        model
+    }
+
+    /// Convenience adapter over owned vectors (tests, notebooks); the hot
+    /// paths pass views.
+    pub fn train_owned(
         examples: &[(SparseVector, u32)],
         n_classes: usize,
         dim: usize,
         config: TrainConfig,
     ) -> Self {
-        assert!(n_classes > 0, "need at least one class");
-        for (_, y) in examples {
-            assert!((*y as usize) < n_classes, "class id {y} out of range");
-        }
-        let mut model = SoftmaxClassifier {
-            weights: vec![0.0; n_classes * dim],
-            biases: vec![0.0; n_classes],
-            dim,
-            n_classes,
-        };
-        let mut grad_sq_w = vec![1e-8f32; n_classes * dim];
-        let mut grad_sq_b = vec![1e-8f32; n_classes];
-        let mut order: Vec<usize> = (0..examples.len()).collect();
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut probs = vec![0.0f32; n_classes];
+        let views: Vec<(SparseView<'_>, u32)> =
+            examples.iter().map(|(x, y)| (x.view(), *y)).collect();
+        Self::train(&views, n_classes, dim, config)
+    }
 
+    /// Resumes training on a new example batch — the warm start of the
+    /// incremental retrain path. Weights, biases and AdaGrad accumulators
+    /// continue from where the last call left them, so the effective step
+    /// sizes keep shrinking as if the stream had been one long training
+    /// run; class ids beyond the current shape grow the weight matrix in
+    /// place (appended zero rows — row-major by class makes that a plain
+    /// `resize`).
+    pub fn partial_fit(&mut self, examples: &[(SparseView<'_>, u32)], config: TrainConfig) {
+        if examples.is_empty() {
+            return;
+        }
+        let max_class = examples.iter().map(|(_, y)| *y).max().unwrap_or(0) as usize;
+        if max_class >= self.n_classes {
+            self.grow_classes(max_class + 1);
+        }
+        // salt the shuffle so batch k does not replay batch 0's order, while
+        // staying deterministic for a given call sequence
+        let seed = config
+            .seed
+            .wrapping_add(self.fits.wrapping_mul(0x9E37_79B9));
+        self.fit_epochs(examples, config, seed);
+        self.fits += 1;
+        self.rebuild_transpose();
+    }
+
+    /// Appends zero-weight classes in place (row-major by class, so class
+    /// growth is a tail `resize` of every per-class array).
+    fn grow_classes(&mut self, n_classes: usize) {
+        debug_assert!(n_classes > self.n_classes);
+        self.weights.resize(n_classes * self.dim, 0.0);
+        self.grad_sq_w.resize(n_classes * self.dim, 1e-8);
+        self.biases.resize(n_classes, 0.0);
+        self.grad_sq_b.resize(n_classes, 1e-8);
+        self.n_classes = n_classes;
+    }
+
+    /// The AdaGrad inner loop: `config.epochs` shuffled passes over
+    /// `examples`, updating the true class plus the top-probability classes.
+    fn fit_epochs(&mut self, examples: &[(SparseView<'_>, u32)], config: TrainConfig, seed: u64) {
+        let n_classes = self.n_classes;
+        let dim = self.dim;
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut probs = vec![0.0f32; n_classes];
         let mut touched: Vec<usize> = Vec::with_capacity(n_classes.min(64));
         for _ in 0..config.epochs {
             order.shuffle(&mut rng);
             for &idx in &order {
                 let (x, y) = &examples[idx];
-                model.predict_into(x, &mut probs);
+                self.scores_into(*x, &mut probs);
+                softmax_in_place(&mut probs);
                 // classes to update: the true class plus the top-probability
                 // classes (they carry essentially all the gradient mass)
                 touched.clear();
@@ -110,8 +208,8 @@ impl SoftmaxClassifier {
                     }
                     // bias
                     let gb = g;
-                    grad_sq_b[c] += gb * gb;
-                    model.biases[c] -= config.learning_rate * gb / grad_sq_b[c].sqrt();
+                    self.grad_sq_b[c] += gb * gb;
+                    self.biases[c] -= config.learning_rate * gb / self.grad_sq_b[c].sqrt();
                     // touched weights only
                     let row = c * dim;
                     for (i, v) in x.iter() {
@@ -120,19 +218,41 @@ impl SoftmaxClassifier {
                             continue;
                         }
                         let slot = row + i;
-                        let gw = g * v + config.l2 * model.weights[slot];
-                        grad_sq_w[slot] += gw * gw;
-                        model.weights[slot] -= config.learning_rate * gw / grad_sq_w[slot].sqrt();
+                        let gw = g * v + config.l2 * self.weights[slot];
+                        self.grad_sq_w[slot] += gw * gw;
+                        self.weights[slot] -=
+                            config.learning_rate * gw / self.grad_sq_w[slot].sqrt();
                     }
                 }
             }
         }
-        model
+    }
+
+    /// Rebuilds the feature-major scoring transpose from the row-major
+    /// training weights; called once per training call, so reads between
+    /// retrains always see a consistent layout.
+    fn rebuild_transpose(&mut self) {
+        self.weights_t.clear();
+        self.weights_t.resize(self.n_classes * self.dim, 0.0);
+        for c in 0..self.n_classes {
+            let row = &self.weights[c * self.dim..(c + 1) * self.dim];
+            for (i, &w) in row.iter().enumerate() {
+                if w != 0.0 {
+                    self.weights_t[i * self.n_classes + c] = w;
+                }
+            }
+        }
     }
 
     /// Number of classes.
     pub fn n_classes(&self) -> usize {
         self.n_classes
+    }
+
+    /// The feature-major scoring layout (`weights_t`, `biases`) —
+    /// crate-internal input to [`FusedEntropy`](crate::FusedEntropy).
+    pub(crate) fn transposed_parts(&self) -> (&[f32], &[f32]) {
+        (&self.weights_t, &self.biases)
     }
 
     /// Feature dimensionality.
@@ -142,22 +262,83 @@ impl SoftmaxClassifier {
 
     /// Class probabilities for `x` (softmax over linear scores).
     pub fn predict_proba(&self, x: &SparseVector) -> Vec<f32> {
+        self.predict_proba_view(x.view())
+    }
+
+    /// [`predict_proba`](Self::predict_proba) over a borrowed view.
+    pub fn predict_proba_view(&self, x: SparseView<'_>) -> Vec<f32> {
         let mut probs = vec![0.0f32; self.n_classes];
-        self.predict_into(x, &mut probs);
+        self.scores_into(x, &mut probs);
+        softmax_in_place(&mut probs);
         probs
     }
 
-    fn predict_into(&self, x: &SparseVector, probs: &mut [f32]) {
-        debug_assert_eq!(probs.len(), self.n_classes);
-        for (c, p) in probs.iter_mut().enumerate() {
-            *p = self.biases[c] + x.dot_dense(&self.weights[c * self.dim..(c + 1) * self.dim]);
+    /// Linear scores via the row-major layout (one dot product per class) —
+    /// the legacy per-claim path, also used inside training where the
+    /// transpose is stale.
+    fn scores_into(&self, x: SparseView<'_>, scores: &mut [f32]) {
+        debug_assert_eq!(scores.len(), self.n_classes);
+        for (c, s) in scores.iter_mut().enumerate() {
+            *s = self.biases[c] + x.dot_dense(&self.weights[c * self.dim..(c + 1) * self.dim]);
         }
-        softmax_in_place(probs);
+    }
+
+    /// Linear scores via the feature-major transpose: one contiguous
+    /// `n_classes` slice per stored feature — the batched scoring kernel.
+    fn scores_into_transposed(&self, x: SparseView<'_>, scores: &mut [f32]) {
+        debug_assert_eq!(scores.len(), self.n_classes);
+        scores.copy_from_slice(&self.biases);
+        let nc = self.n_classes;
+        for (i, v) in x.iter() {
+            let i = i as usize;
+            if i >= self.dim {
+                continue;
+            }
+            let column = &self.weights_t[i * nc..(i + 1) * nc];
+            for (s, &w) in scores.iter_mut().zip(column) {
+                *s += v * w;
+            }
+        }
+    }
+
+    /// Class probabilities for every row of a CSR batch, returned as one
+    /// row-major `rows × n_classes` block. Scores run through the
+    /// feature-major transpose with a single reused scratch row — no
+    /// per-claim allocation, no scattered weight gathers.
+    pub fn predict_proba_batch(&self, rows: &FeatureMatrix) -> Vec<f32> {
+        let nc = self.n_classes;
+        let mut out = vec![0.0f32; rows.rows() * nc];
+        for (r, row) in rows.iter().enumerate() {
+            let slot = &mut out[r * nc..(r + 1) * nc];
+            self.scores_into_transposed(row, slot);
+            softmax_in_place(slot);
+        }
+        out
+    }
+
+    /// Appends the prediction entropy of every row of a CSR batch to `out`
+    /// — the bulk kernel behind batched training-utility scoring
+    /// (Definition 7). Equivalent to `entropy(&predict_proba(row))` per
+    /// row, but with one reused scratch buffer, the transposed layout, and
+    /// entropy folded out of the raw scores with a single `ln` per row
+    /// (`H = ln Z − Σ eᶜ·sᶜ / Z`) instead of one per class.
+    pub fn entropy_batch_into(&self, rows: &FeatureMatrix, out: &mut Vec<f64>) {
+        let mut scratch = vec![0.0f32; self.n_classes];
+        out.reserve(rows.rows());
+        for row in rows.iter() {
+            self.scores_into_transposed(row, &mut scratch);
+            out.push(entropy_from_scores(&scratch));
+        }
     }
 
     /// The `k` most probable classes with probabilities, descending.
     pub fn top_k(&self, x: &SparseVector, k: usize) -> Vec<(u32, f32)> {
-        let probs = self.predict_proba(x);
+        self.top_k_view(x.view(), k)
+    }
+
+    /// [`top_k`](Self::top_k) over a borrowed view.
+    pub fn top_k_view(&self, x: SparseView<'_>, k: usize) -> Vec<(u32, f32)> {
+        let probs = self.predict_proba_view(x);
         let mut ranked: Vec<(u32, f32)> = probs
             .into_iter()
             .enumerate()
@@ -171,6 +352,35 @@ impl SoftmaxClassifier {
     /// Most probable class.
     pub fn predict(&self, x: &SparseVector) -> u32 {
         self.top_k(x, 1)[0].0
+    }
+}
+
+/// Shannon entropy (nats) of the softmax distribution of raw `scores`,
+/// without materializing the probabilities: with `m = max(s)`,
+/// `e_c = exp(s_c − m)` and `Z = Σ e_c`,
+/// `H = −Σ p_c·ln p_c = ln Z − (Σ e_c·(s_c − m)) / Z` — one `ln` total
+/// instead of one per class, and no normalization pass. A degenerate
+/// zero-`Z` input falls back to the uniform entropy, matching
+/// [`softmax_in_place`]'s fallback.
+pub fn entropy_from_scores(scores: &[f32]) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let m = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut z = 0.0f64;
+    let mut weighted = 0.0f64;
+    for &s in scores {
+        let shifted = s - m;
+        // f32 exp (the scores are f32 anyway), f64 accumulation: the sums
+        // stay well within the 1e-4 agreement the parity tests demand
+        let e = shifted.exp();
+        z += f64::from(e);
+        weighted += f64::from(e * shifted);
+    }
+    if z > 0.0 {
+        z.ln() - weighted / z
+    } else {
+        (scores.len() as f64).ln()
     }
 }
 
@@ -220,7 +430,7 @@ mod tests {
     #[test]
     fn learns_separable_data() {
         let (examples, dim) = separable();
-        let model = SoftmaxClassifier::train(&examples, 3, dim, TrainConfig::default());
+        let model = SoftmaxClassifier::train_owned(&examples, 3, dim, TrainConfig::default());
         for (x, y) in &examples {
             assert_eq!(model.predict(x), *y);
         }
@@ -229,7 +439,7 @@ mod tests {
     #[test]
     fn probabilities_sum_to_one() {
         let (examples, dim) = separable();
-        let model = SoftmaxClassifier::train(&examples, 3, dim, TrainConfig::default());
+        let model = SoftmaxClassifier::train_owned(&examples, 3, dim, TrainConfig::default());
         let p = model.predict_proba(&examples[0].0);
         let total: f32 = p.iter().sum();
         assert!((total - 1.0).abs() < 1e-5);
@@ -239,7 +449,7 @@ mod tests {
     #[test]
     fn top_k_is_sorted_and_truncated() {
         let (examples, dim) = separable();
-        let model = SoftmaxClassifier::train(&examples, 3, dim, TrainConfig::default());
+        let model = SoftmaxClassifier::train_owned(&examples, 3, dim, TrainConfig::default());
         let top = model.top_k(&examples[0].0, 2);
         assert_eq!(top.len(), 2);
         assert!(top[0].1 >= top[1].1);
@@ -251,8 +461,8 @@ mod tests {
     #[test]
     fn deterministic_training() {
         let (examples, dim) = separable();
-        let m1 = SoftmaxClassifier::train(&examples, 3, dim, TrainConfig::default());
-        let m2 = SoftmaxClassifier::train(&examples, 3, dim, TrainConfig::default());
+        let m1 = SoftmaxClassifier::train_owned(&examples, 3, dim, TrainConfig::default());
+        let m2 = SoftmaxClassifier::train_owned(&examples, 3, dim, TrainConfig::default());
         assert_eq!(
             m1.predict_proba(&examples[5].0),
             m2.predict_proba(&examples[5].0)
@@ -262,7 +472,7 @@ mod tests {
     #[test]
     fn unseen_features_are_ignored() {
         let (examples, dim) = separable();
-        let model = SoftmaxClassifier::train(&examples, 3, dim, TrainConfig::default());
+        let model = SoftmaxClassifier::train_owned(&examples, 3, dim, TrainConfig::default());
         // feature index 100 is beyond dim: must not panic, must not matter
         let x = SparseVector::from_pairs(vec![(0, 1.0), (100, 5.0)]);
         assert_eq!(model.predict(&x), 0);
@@ -271,7 +481,7 @@ mod tests {
     #[test]
     fn single_class_degenerates_gracefully() {
         let examples = vec![(SparseVector::from_pairs(vec![(0, 1.0)]), 0u32); 4];
-        let model = SoftmaxClassifier::train(&examples, 1, 2, TrainConfig::default());
+        let model = SoftmaxClassifier::train_owned(&examples, 1, 2, TrainConfig::default());
         let p = model.predict_proba(&examples[0].0);
         assert_eq!(p, vec![1.0]);
     }
@@ -280,7 +490,28 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn class_out_of_range_panics() {
         let examples = vec![(SparseVector::from_pairs(vec![(0, 1.0)]), 5u32)];
-        SoftmaxClassifier::train(&examples, 3, 2, TrainConfig::default());
+        SoftmaxClassifier::train_owned(&examples, 3, 2, TrainConfig::default());
+    }
+
+    #[test]
+    fn entropy_from_scores_matches_softmax_then_entropy() {
+        use crate::metrics::entropy;
+        for scores in [
+            vec![0.0f32, 0.0, 0.0],
+            vec![1.0, -2.0, 3.5, 0.25],
+            vec![1000.0, 1001.0, 999.0],
+            vec![-7.0],
+        ] {
+            let mut probs = scores.clone();
+            softmax_in_place(&mut probs);
+            let expected = entropy(&probs);
+            let fused = entropy_from_scores(&scores);
+            assert!(
+                (fused - expected).abs() < 1e-5,
+                "{scores:?}: fused {fused} vs two-pass {expected}"
+            );
+        }
+        assert_eq!(entropy_from_scores(&[]), 0.0);
     }
 
     #[test]
@@ -292,5 +523,55 @@ mod tests {
         let mut tiny = [-1000.0f32, -1000.0];
         softmax_in_place(&mut tiny);
         assert!((tiny[0] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn partial_fit_learns_incrementally() {
+        let (examples, dim) = separable();
+        let views: Vec<(SparseView<'_>, u32)> =
+            examples.iter().map(|(x, y)| (x.view(), *y)).collect();
+        let mut model = SoftmaxClassifier::untrained(3, dim);
+        for chunk in views.chunks(12) {
+            model.partial_fit(chunk, TrainConfig::default());
+        }
+        for (x, y) in &examples {
+            assert_eq!(model.predict(x), *y, "warm-started stream must classify");
+        }
+    }
+
+    #[test]
+    fn partial_fit_grows_classes_in_place() {
+        let (examples, dim) = separable();
+        let mut model = SoftmaxClassifier::train_owned(&examples, 3, dim, TrainConfig::default());
+        assert_eq!(model.n_classes(), 3);
+        // a brand-new class arrives mid-stream on its own feature
+        let novel = SparseVector::from_pairs(vec![(3, 2.0)]);
+        let batch = vec![(novel.view(), 3u32); 12];
+        model.partial_fit(&batch, TrainConfig::default());
+        assert_eq!(model.n_classes(), 4);
+        assert_eq!(model.predict(&novel), 3);
+        // the old classes survive the growth
+        assert_eq!(model.predict(&examples[0].0), 0);
+        assert_eq!(model.predict_proba(&examples[0].0).len(), 4);
+    }
+
+    #[test]
+    fn batch_inference_matches_scalar_path() {
+        let (examples, dim) = separable();
+        let model = SoftmaxClassifier::train_owned(&examples, 3, dim, TrainConfig::default());
+        let rows = FeatureMatrix::from_rows(examples.iter().map(|(x, _)| x.clone()));
+        let batch = model.predict_proba_batch(&rows);
+        let mut entropies = Vec::new();
+        model.entropy_batch_into(&rows, &mut entropies);
+        assert_eq!(entropies.len(), examples.len());
+        for (r, (x, _)) in examples.iter().enumerate() {
+            let scalar = model.predict_proba(x);
+            let row = &batch[r * 3..(r + 1) * 3];
+            for (a, b) in scalar.iter().zip(row) {
+                assert!((a - b).abs() < 1e-5, "row {r}: {a} vs {b}");
+            }
+            let h = crate::metrics::entropy(&scalar);
+            assert!((entropies[r] - h).abs() < 1e-6, "row {r} entropy");
+        }
     }
 }

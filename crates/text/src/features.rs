@@ -6,6 +6,7 @@
 //! shared by all four property classifiers.
 
 use crate::embed::{EmbedConfig, EmbeddingModel};
+use crate::matrix::FeatureMatrix;
 use crate::ngram::{char_trigrams, word_ngrams};
 use crate::sparse::SparseVector;
 use crate::tfidf::TfIdfVectorizer;
@@ -91,6 +92,26 @@ impl ClaimFeaturizer {
             (self.embeddings.dim() + self.word_tfidf.dimension()) as u32,
         );
         out
+    }
+
+    /// Featurizes a batch of claims into one CSR [`FeatureMatrix`], row
+    /// `i` holding the features of pair `i`.
+    ///
+    /// This is the bootstrap path of the learning pipeline: every claim is
+    /// featurized exactly once, and everything downstream (translation,
+    /// utility scoring, retraining) borrows the rows instead of re-running
+    /// tokenization or cloning vectors.
+    pub fn features_batch<'a, I>(&self, pairs: I) -> FeatureMatrix
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let pairs = pairs.into_iter();
+        let mut matrix = FeatureMatrix::with_capacity(pairs.size_hint().0, 32);
+        for (claim, sentence) in pairs {
+            let row = self.features(claim, sentence);
+            matrix.push_row(row.view());
+        }
+        matrix
     }
 
     /// Access to the embedding model (used by similarity diagnostics).
@@ -179,6 +200,18 @@ mod tests {
         let x1 = f1.features("coal demand fell", "Meanwhile coal demand fell by 1%.");
         let x2 = f2.features("coal demand fell", "Meanwhile coal demand fell by 1%.");
         assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn batch_featurization_matches_one_at_a_time() {
+        let corpus = corpus();
+        let f = ClaimFeaturizer::fit(&corpus, FeaturizerConfig::default());
+        let matrix = f.features_batch(corpus.iter().map(|(c, s)| (c.as_str(), s.as_str())));
+        assert_eq!(matrix.rows(), corpus.len());
+        for (i, (claim, sentence)) in corpus.iter().enumerate() {
+            let single = f.features(claim, sentence);
+            assert_eq!(matrix.row(i).to_owned_vector(), single, "row {i}");
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod embed;
 pub mod features;
+pub mod matrix;
 pub mod ngram;
 pub mod numbers;
 pub mod sparse;
@@ -32,7 +33,8 @@ pub mod tokenize;
 
 pub use embed::EmbeddingModel;
 pub use features::{ClaimFeaturizer, FeaturizerConfig};
+pub use matrix::FeatureMatrix;
 pub use numbers::{extract_parameters, ExtractedParameter, ParameterKind};
-pub use sparse::SparseVector;
+pub use sparse::{SparseVector, SparseView};
 pub use tfidf::TfIdfVectorizer;
 pub use tokenize::{sentences, tokenize};

@@ -1,0 +1,161 @@
+//! A CSR matrix of sparse feature rows — the batch currency of the
+//! learning pipeline.
+//!
+//! Feature vectors are built once (bootstrap featurizes every claim of the
+//! corpus exactly once) and then read many times: translation, utility
+//! scoring, retraining, accuracy traces. Storing the rows as one
+//! compressed-sparse-row block keeps them contiguous — batched scoring
+//! walks `indices`/`values` straight through instead of chasing one heap
+//! allocation per claim — and rows are handed out as borrowed
+//! [`SparseView`]s, so nothing downstream ever clones a feature vector.
+
+use crate::sparse::{SparseVector, SparseView};
+
+/// Compressed-sparse-row matrix of feature vectors.
+///
+/// Row `i` occupies `indices[indptr[i]..indptr[i + 1]]` (sorted) and the
+/// parallel `values` range. Rows are append-only; `indptr` always has
+/// `rows + 1` entries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureMatrix {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl FeatureMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        FeatureMatrix {
+            indptr: vec![0],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// An empty matrix with room for `rows` rows of ~`nnz_per_row` entries.
+    pub fn with_capacity(rows: usize, nnz_per_row: usize) -> Self {
+        let mut indptr = Vec::with_capacity(rows + 1);
+        indptr.push(0);
+        FeatureMatrix {
+            indptr,
+            indices: Vec::with_capacity(rows * nnz_per_row),
+            values: Vec::with_capacity(rows * nnz_per_row),
+        }
+    }
+
+    /// Appends one row, copying the view's entries into the CSR block.
+    /// Returns the new row's index.
+    pub fn push_row(&mut self, row: SparseView<'_>) -> usize {
+        self.indices.extend_from_slice(row.indices);
+        self.values.extend_from_slice(row.values);
+        self.indptr.push(self.indices.len());
+        self.indptr.len() - 2
+    }
+
+    /// Builds a matrix from owned vectors (one row each, in order).
+    pub fn from_rows<I: IntoIterator<Item = SparseVector>>(rows: I) -> Self {
+        let mut matrix = FeatureMatrix::new();
+        for row in rows {
+            matrix.push_row(row.view());
+        }
+        matrix
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// True when no rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.rows() == 0
+    }
+
+    /// Total stored (non-zero) entries across all rows.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Borrowed view of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows()`.
+    pub fn row(&self, i: usize) -> SparseView<'_> {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        SparseView {
+            indices: &self.indices[lo..hi],
+            values: &self.values[lo..hi],
+        }
+    }
+
+    /// Iterates over all rows in order.
+    pub fn iter(&self) -> impl Iterator<Item = SparseView<'_>> {
+        (0..self.rows()).map(|i| self.row(i))
+    }
+
+    /// Copies the selected rows (in the given order) into a new matrix —
+    /// the gather behind batch scoring of an id subset.
+    pub fn gather(&self, row_ids: &[usize]) -> FeatureMatrix {
+        let nnz_hint = if self.rows() == 0 {
+            0
+        } else {
+            self.nnz() / self.rows() + 1
+        };
+        let mut out = FeatureMatrix::with_capacity(row_ids.len(), nnz_hint);
+        for &id in row_ids {
+            out.push_row(self.row(id));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: Vec<(u32, f32)>) -> SparseVector {
+        SparseVector::from_pairs(pairs)
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let a = v(vec![(0, 1.0), (5, 2.0)]);
+        let b = v(vec![]);
+        let c = v(vec![(2, 3.0)]);
+        let m = FeatureMatrix::from_rows([a.clone(), b.clone(), c.clone()]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row(0).to_owned_vector(), a);
+        assert_eq!(m.row(1).to_owned_vector(), b);
+        assert_eq!(m.row(2).to_owned_vector(), c);
+        assert!(m.row(1).is_empty());
+    }
+
+    #[test]
+    fn push_row_returns_dense_ids() {
+        let mut m = FeatureMatrix::new();
+        assert!(m.is_empty());
+        assert_eq!(m.push_row(v(vec![(1, 1.0)]).view()), 0);
+        assert_eq!(m.push_row(v(vec![(2, 2.0)]).view()), 1);
+        assert_eq!(m.rows(), 2);
+    }
+
+    #[test]
+    fn gather_copies_in_request_order() {
+        let m = FeatureMatrix::from_rows([v(vec![(0, 1.0)]), v(vec![(1, 2.0)]), v(vec![(2, 3.0)])]);
+        let g = m.gather(&[2, 0, 2]);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.row(0).iter().collect::<Vec<_>>(), vec![(2, 3.0)]);
+        assert_eq!(g.row(1).iter().collect::<Vec<_>>(), vec![(0, 1.0)]);
+        assert_eq!(g.row(2).iter().collect::<Vec<_>>(), vec![(2, 3.0)]);
+    }
+
+    #[test]
+    fn iter_visits_every_row() {
+        let m = FeatureMatrix::from_rows([v(vec![(0, 1.0)]), v(vec![(7, 2.0)])]);
+        let nnzs: Vec<usize> = m.iter().map(|r| r.nnz()).collect();
+        assert_eq!(nnzs, vec![1, 1]);
+    }
+}

@@ -102,6 +102,77 @@ impl SparseVector {
     pub fn width(&self) -> u32 {
         self.indices.last().map_or(0, |i| i + 1)
     }
+
+    /// A borrowed view of this vector — the currency of the batched
+    /// feature/scoring pipeline: classifiers take views, so a claim's
+    /// features are materialized once (in a [`FeatureMatrix`] row or an
+    /// owned vector) and then only ever borrowed, never cloned.
+    ///
+    /// [`FeatureMatrix`]: crate::FeatureMatrix
+    pub fn view(&self) -> SparseView<'_> {
+        SparseView {
+            indices: &self.indices,
+            values: &self.values,
+        }
+    }
+
+    /// Consumes the vector into its parallel `(indices, values)` arrays.
+    pub fn into_parts(self) -> (Vec<u32>, Vec<f32>) {
+        (self.indices, self.values)
+    }
+}
+
+/// A borrowed sparse vector: parallel `(index, value)` slices sorted by
+/// index. Produced by [`SparseVector::view`] and by
+/// [`FeatureMatrix::row`](crate::FeatureMatrix::row); consumed by every
+/// hot-path classifier API, so features are shared by reference instead of
+/// cloned per property.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseView<'a> {
+    /// Sorted feature indices.
+    pub indices: &'a [u32],
+    /// Values parallel to `indices`.
+    pub values: &'a [f32],
+}
+
+impl<'a> SparseView<'a> {
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Iterates over `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + 'a {
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+    }
+
+    /// Dot product with a dense slice (`weights[index]`); indices beyond
+    /// the slice are ignored, mirroring [`SparseVector::dot_dense`].
+    pub fn dot_dense(&self, weights: &[f32]) -> f32 {
+        let mut total = 0.0f32;
+        for (i, v) in self.iter() {
+            if let Some(w) = weights.get(i as usize) {
+                total += v * w;
+            }
+        }
+        total
+    }
+
+    /// Copies the view into an owned [`SparseVector`].
+    pub fn to_owned_vector(&self) -> SparseVector {
+        SparseVector {
+            indices: self.indices.to_vec(),
+            values: self.values.to_vec(),
+        }
+    }
 }
 
 impl FromIterator<(u32, f32)> for SparseVector {
@@ -147,6 +218,21 @@ mod tests {
         a.concat_shifted(&b, 10);
         let pairs: Vec<(u32, f32)> = a.iter().collect();
         assert_eq!(pairs, vec![(0, 1.0), (9, 2.0), (10, 3.0), (14, 4.0)]);
+    }
+
+    #[test]
+    fn view_mirrors_the_vector() {
+        let v = SparseVector::from_pairs(vec![(0, 1.0), (3, 2.0), (100, 5.0)]);
+        let view = v.view();
+        assert_eq!(view.nnz(), 3);
+        assert!(!view.is_empty());
+        let weights = [1.0, 0.0, 0.0, 10.0];
+        assert_eq!(view.dot_dense(&weights), v.dot_dense(&weights));
+        assert_eq!(
+            view.iter().collect::<Vec<_>>(),
+            v.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(view.to_owned_vector(), v);
     }
 
     #[test]
