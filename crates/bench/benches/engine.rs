@@ -89,12 +89,20 @@ fn bench_verify_throughput(c: &mut Criterion) {
     group.bench_function("pooled_cold", |b| {
         b.iter(|| {
             engine.clear_cache();
-            engine.verify_batch(&claims, base).len()
+            engine
+                .verify_batch(&claims, base)
+                .expect("valid claims")
+                .len()
         })
     });
-    engine.verify_batch(&claims, base); // warm
+    engine.verify_batch(&claims, base).expect("valid claims"); // warm
     group.bench_function("pooled_warm", |b| {
-        b.iter(|| engine.verify_batch(&claims, base).len())
+        b.iter(|| {
+            engine
+                .verify_batch(&claims, base)
+                .expect("valid claims")
+                .len()
+        })
     });
     group.finish();
     let stats = engine.stats();

@@ -1,0 +1,239 @@
+//! Wire-protocol throughput over the real TCP server on loopback: the
+//! same workload (32 raw-SQL requests) driven three ways —
+//!
+//! * `sequential`  — one request per round trip (the pre-v1 interaction
+//!   pattern: write a line, wait for its response, repeat);
+//! * `pipelined`   — all 32 lines written at once, responses matched
+//!   back by their echoed `id`;
+//! * `batch_op`    — one `batch` request carrying all 32 as
+//!   sub-requests, one round trip total.
+//!
+//! Every mode must produce byte-for-byte the values the engine computes
+//! in-process — parity is asserted before anything is timed — and the
+//! pipelined/batch modes must beat the sequential baseline by ≥ 3×.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scrutinizer_core::{OrderingStrategy, SystemConfig};
+use scrutinizer_corpus::{Corpus, CorpusConfig};
+use scrutinizer_engine::engine::{Engine, EngineOptions};
+use scrutinizer_engine::protocol::Json;
+use scrutinizer_engine::server::{Server, ServerOptions};
+
+const REQUESTS: usize = 32;
+
+struct Wire {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Wire {
+    fn connect(addr: SocketAddr) -> Wire {
+        let stream = TcpStream::connect(addr).expect("connect to bench server");
+        // a fair baseline: without NODELAY, Nagle + delayed ACK charge the
+        // sequential client ~40ms per round trip and flatter the pipeline
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Wire { stream, reader }
+    }
+
+    fn read_json(&mut self) -> Json {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        Json::parse(line.trim()).expect("response is JSON")
+    }
+}
+
+fn sql_line(id: usize, query: &str) -> Json {
+    Json::Obj(vec![
+        ("op".into(), Json::Str("sql".into())),
+        ("id".into(), Json::Num(id as f64)),
+        ("query".into(), Json::Str(query.to_string())),
+    ])
+}
+
+/// One request per round trip: the latency-bound baseline.
+fn drive_sequential(wire: &mut Wire, queries: &[String]) -> Vec<f64> {
+    let mut values = vec![0.0; queries.len()];
+    for (i, query) in queries.iter().enumerate() {
+        writeln!(wire.stream, "{}", sql_line(i, query).render()).expect("write request");
+        let response = wire.read_json();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        values[i] = response.get("value").and_then(Json::as_f64).expect("value");
+    }
+    values
+}
+
+/// Every line in flight at once; responses matched by echoed id.
+fn drive_pipelined(wire: &mut Wire, queries: &[String]) -> Vec<f64> {
+    let mut blob = String::new();
+    for (i, query) in queries.iter().enumerate() {
+        blob.push_str(&sql_line(i, query).render());
+        blob.push('\n');
+    }
+    wire.stream
+        .write_all(blob.as_bytes())
+        .expect("write pipeline");
+    let mut values = vec![0.0; queries.len()];
+    for _ in 0..queries.len() {
+        let response = wire.read_json();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        let id = response
+            .get("id")
+            .and_then(Json::as_usize)
+            .expect("id echo");
+        values[id] = response.get("value").and_then(Json::as_f64).expect("value");
+    }
+    values
+}
+
+/// One `batch` op carrying the whole workload: one round trip.
+fn drive_batch(wire: &mut Wire, queries: &[String]) -> Vec<f64> {
+    let request = Json::Obj(vec![
+        ("op".into(), Json::Str("batch".into())),
+        (
+            "requests".into(),
+            Json::Arr(
+                queries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| sql_line(i, q))
+                    .collect(),
+            ),
+        ),
+    ]);
+    writeln!(wire.stream, "{}", request.render()).expect("write batch");
+    let response = wire.read_json();
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    let results = response
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results");
+    let mut values = vec![0.0; queries.len()];
+    for item in results {
+        assert_eq!(item.get("ok").and_then(Json::as_bool), Some(true));
+        let id = item.get("id").and_then(Json::as_usize).expect("id echo");
+        values[id] = item.get("value").and_then(Json::as_f64).expect("value");
+    }
+    values
+}
+
+fn median_secs(rounds: usize, mut routine: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            routine();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let engine = Engine::with_options(
+        Corpus::generate(CorpusConfig::small()),
+        SystemConfig::test(),
+        EngineOptions {
+            retrain_interval: None,
+            ordering: OrderingStrategy::Sequential,
+            ..EngineOptions::default()
+        },
+    );
+    let queries: Vec<String> = (0..REQUESTS)
+        .map(|i| {
+            let lookup = &engine.corpus().claims[i].lookups[0];
+            format!(
+                "SELECT a.{} FROM {} a WHERE a.Index = '{}'",
+                lookup.attribute, lookup.relation, lookup.key
+            )
+        })
+        .collect();
+    let expected: Vec<f64> = queries
+        .iter()
+        .map(|q| engine.run_sql(q).expect("lookup evaluates"))
+        .collect();
+
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0", ServerOptions::default())
+        .expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // ---- parity before timing: every mode reproduces the in-process
+    // values exactly, over its own connection ----
+    let mut wire = Wire::connect(addr);
+    assert_eq!(drive_sequential(&mut wire, &queries), expected);
+    assert_eq!(drive_pipelined(&mut wire, &queries), expected);
+    assert_eq!(drive_batch(&mut wire, &queries), expected);
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.bench_function("sequential_roundtrips", |b| {
+        b.iter(|| drive_sequential(&mut wire, &queries).len())
+    });
+    group.bench_function("pipelined", |b| {
+        b.iter(|| drive_pipelined(&mut wire, &queries).len())
+    });
+    group.bench_function("batch_op", |b| {
+        b.iter(|| drive_batch(&mut wire, &queries).len())
+    });
+    group.finish();
+
+    // ---- the wire-batching claim: pipelining or the batch op must beat
+    // one-request-per-round-trip by ≥ 3× at equal results ----
+    let rounds = 7;
+    let sequential = median_secs(rounds, || {
+        assert_eq!(drive_sequential(&mut wire, &queries), expected);
+    });
+    let pipelined = median_secs(rounds, || {
+        assert_eq!(drive_pipelined(&mut wire, &queries), expected);
+    });
+    let batch = median_secs(rounds, || {
+        assert_eq!(drive_batch(&mut wire, &queries), expected);
+    });
+    let best = pipelined.min(batch);
+    println!(
+        "serve throughput ({REQUESTS} sql requests/round): sequential {:.2}ms, \
+         pipelined {:.2}ms ({:.1}x), batch op {:.2}ms ({:.1}x)",
+        sequential * 1e3,
+        pipelined * 1e3,
+        sequential / pipelined,
+        batch * 1e3,
+        sequential / batch,
+    );
+    assert!(
+        sequential / best >= 3.0,
+        "wire batching must be ≥ 3x the per-round-trip baseline \
+         (sequential {:.3}ms vs best {:.3}ms = {:.2}x)",
+        sequential * 1e3,
+        best * 1e3,
+        sequential / best,
+    );
+
+    let stats = engine.stats();
+    println!(
+        "server saw pipeline depth {} with {} connection(s) open",
+        stats.pipeline_depth, stats.connections_open
+    );
+    drop(wire);
+    handle.shutdown();
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve
+}
+criterion_main!(benches);

@@ -1,14 +1,19 @@
 //! `scrutinizer-serve` — the engine as a server.
 //!
 //! JSON lines over TCP, `std::net` only: one request object per line in,
-//! one response object per line out (see `scrutinizer_engine::protocol`
-//! for the op table). Each connection gets its own thread; all
-//! connections share one engine, so sessions, models, cache and metrics
-//! are global.
+//! one response object per line out (see `scrutinizer_engine::api` for
+//! the typed v1 op table, error codes, versioning and the `batch` op).
+//! All connections are served by one nonblocking readiness loop
+//! (`scrutinizer_engine::server`): requests may be pipelined arbitrarily
+//! deep per connection (responses echo the request `id`), different
+//! connections' requests execute concurrently on a worker pool, and all
+//! of them share one engine — sessions, models, cache and metrics are
+//! global.
 //!
 //! ```text
 //! scrutinizer-serve [ADDR] [--scale small|paper] [--seed N]
 //!                   [--threads N] [--cache-capacity N] [--no-pretrain]
+//!                   [--max-conns N] [--workers N]
 //!
 //! ADDR defaults to 127.0.0.1:7878.
 //! ```
@@ -17,21 +22,18 @@
 //!
 //! ```text
 //! $ scrutinizer-serve &
-//! $ printf '%s\n' '{"op":"open","checker":"S1"}' | nc -q1 127.0.0.1 7878
-//! {"ok":true,"session":1}
+//! $ printf '%s\n' '{"op":"open","checker":"S1","v":1,"id":1}' | nc -q1 127.0.0.1 7878
+//! {"ok":true,"id":1,"session":1}
 //! $ printf '%s\n' '{"op":"submit","session":1,"claims":[0,1,2]}' | nc -q1 127.0.0.1 7878
 //! {"ok":true,"batch":[{"claim":0,"expected_cost":...,"screens":[...]}]}
 //! ```
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
 use std::process::exit;
-use std::sync::Arc;
 
 use scrutinizer_core::SystemConfig;
 use scrutinizer_corpus::{Corpus, CorpusConfig};
 use scrutinizer_engine::engine::{Engine, EngineOptions};
-use scrutinizer_engine::protocol::handle_request;
+use scrutinizer_engine::server::{Server, ServerOptions};
 
 struct Args {
     addr: String,
@@ -40,6 +42,8 @@ struct Args {
     threads: Option<usize>,
     cache_capacity: Option<usize>,
     pretrain: bool,
+    max_connections: Option<usize>,
+    workers: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -50,12 +54,20 @@ fn parse_args() -> Args {
         threads: None,
         cache_capacity: None,
         pretrain: true,
+        max_connections: None,
+        workers: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value_of = |flag: &str| {
             argv.next().unwrap_or_else(|| {
                 eprintln!("{flag} needs a value");
+                exit(2);
+            })
+        };
+        let int_value = |flag: &str, text: String| -> usize {
+            text.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} needs an integer");
                 exit(2);
             })
         };
@@ -77,23 +89,27 @@ fn parse_args() -> Args {
                 })
             }
             "--threads" => {
-                args.threads = Some(value_of("--threads").parse().unwrap_or_else(|_| {
-                    eprintln!("--threads needs an integer");
-                    exit(2);
-                }))
+                let value = value_of("--threads");
+                args.threads = Some(int_value("--threads", value));
             }
             "--cache-capacity" => {
-                args.cache_capacity =
-                    Some(value_of("--cache-capacity").parse().unwrap_or_else(|_| {
-                        eprintln!("--cache-capacity needs an integer");
-                        exit(2);
-                    }))
+                let value = value_of("--cache-capacity");
+                args.cache_capacity = Some(int_value("--cache-capacity", value));
+            }
+            "--max-conns" => {
+                let value = value_of("--max-conns");
+                args.max_connections = Some(int_value("--max-conns", value));
+            }
+            "--workers" => {
+                let value = value_of("--workers");
+                args.workers = Some(int_value("--workers", value));
             }
             "--no-pretrain" => args.pretrain = false,
             "--help" | "-h" => {
                 eprintln!(
                     "scrutinizer-serve [ADDR] [--scale small|paper] [--seed N] \
-                     [--threads N] [--cache-capacity N] [--no-pretrain]"
+                     [--threads N] [--cache-capacity N] [--no-pretrain] \
+                     [--max-conns N] [--workers N]"
                 );
                 exit(0);
             }
@@ -137,50 +153,23 @@ fn main() {
         engine.pretrain(None);
     }
 
-    let listener = TcpListener::bind(&args.addr).unwrap_or_else(|error| {
+    let mut server_options = ServerOptions::default();
+    if let Some(max_connections) = args.max_connections {
+        server_options.max_connections = max_connections;
+    }
+    if let Some(workers) = args.workers {
+        server_options.workers = workers;
+    }
+    let server = Server::bind(engine, &args.addr, server_options).unwrap_or_else(|error| {
         eprintln!("cannot bind {}: {error}", args.addr);
         exit(1);
     });
-    eprintln!("scrutinizer-serve listening on {}", args.addr);
-
-    for stream in listener.incoming() {
-        match stream {
-            Ok(stream) => {
-                let engine = Arc::clone(&engine);
-                std::thread::spawn(move || serve_connection(&engine, stream));
-            }
-            Err(error) => eprintln!("accept failed: {error}"),
-        }
-    }
-}
-
-fn serve_connection(engine: &Arc<Engine>, stream: TcpStream) {
-    let peer = stream
-        .peer_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| "<unknown>".to_string());
-    let mut writer = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(error) => {
-            eprintln!("[{peer}] cannot clone stream: {error}");
-            return;
-        }
-    };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = match line {
-            Ok(line) => line,
-            Err(error) => {
-                eprintln!("[{peer}] read failed: {error}");
-                return;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = handle_request(engine, &line);
-        if writeln!(writer, "{response}").is_err() {
-            return; // client went away
-        }
+    eprintln!(
+        "scrutinizer-serve listening on {} (protocol v1, up to {} connections, {} workers)",
+        args.addr, server_options.max_connections, server_options.workers
+    );
+    if let Err(error) = server.run() {
+        eprintln!("serving loop failed: {error}");
+        exit(1);
     }
 }

@@ -1049,12 +1049,17 @@ impl Engine {
     /// Verifies a batch of claims concurrently on the engine's executor,
     /// one simulated checker per claim (seeded by `base.seed ^ claim id`,
     /// so results are independent of scheduling). Results come back in
-    /// input order.
+    /// input order. Claim ids are validated here — not in any dispatch
+    /// layer — so every entry point (TCP, in-process, `batch`
+    /// sub-request) reports the same [`EngineError::UnknownClaim`].
     pub fn verify_batch(
         self: &Arc<Self>,
         claim_ids: &[usize],
         base: WorkerConfig,
-    ) -> Vec<ClaimOutcome> {
+    ) -> Result<Vec<ClaimOutcome>, EngineError> {
+        if let Some(&bad) = claim_ids.iter().find(|&&id| id >= self.corpus.claims.len()) {
+            return Err(EngineError::UnknownClaim(bad));
+        }
         let tasks: Vec<_> = claim_ids
             .iter()
             .map(|&claim_id| {
@@ -1069,7 +1074,7 @@ impl Engine {
                 }
             })
             .collect();
-        self.pool.run_all(tasks)
+        Ok(self.pool.run_all(tasks))
     }
 
     // ---- raw SQL ----------------------------------------------------------
@@ -1102,6 +1107,13 @@ impl Engine {
 
     // ---- observability -----------------------------------------------------
 
+    /// The live counter block, shared with the serving layer (the TCP
+    /// server's connection gauges and the wire layer's per-code error
+    /// counters live here so the `stats` op sees one coherent snapshot).
+    pub(crate) fn stats_ref(&self) -> &EngineStats {
+        &self.stats
+    }
+
     /// Point-in-time metrics.
     pub fn stats(&self) -> StatsSnapshot {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
@@ -1131,6 +1143,16 @@ impl Engine {
                 .lock()
                 .expect("fallback slot poisoned")
                 .clone(),
+            connections_open: load(&self.stats.connections_open),
+            requests_in_flight: load(&self.stats.requests_in_flight),
+            pipeline_depth: load(&self.stats.pipeline_depth),
+            wire_errors: {
+                let mut counts = [0u64; crate::api::ErrorCode::COUNT];
+                for (slot, counter) in counts.iter_mut().zip(&self.stats.wire_errors) {
+                    *slot = counter.load(Ordering::Relaxed);
+                }
+                counts
+            },
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_hit_rate: self.cache.hit_rate(),

@@ -70,31 +70,40 @@
 //! failures, which recur just as often. The `engine` and `prepared`
 //! benches measure the cold/warm and string/prepared gaps.
 //!
-//! ## Serving
+//! ## The typed API and the server
 //!
-//! `src/bin/serve.rs` (binary `scrutinizer-serve`) exposes the whole
-//! session API as JSON lines over TCP using nothing but `std::net` — see
-//! [`protocol`] for the wire format:
+//! [`api`] is the versioned service contract: [`api::Request`] /
+//! [`api::Response`] enums (one variant per op), [`api::ApiError`] with
+//! a stable machine-consumable [`api::ErrorCode`], a thin table-driven
+//! JSON codec, the `v`/`id` envelope and the `batch` op. [`server`]
+//! serves it over TCP from a single nonblocking readiness loop —
+//! per-connection buffers, request pipelining, backpressure, connection
+//! limits, graceful shutdown — and `src/bin/serve.rs` (binary
+//! `scrutinizer-serve`) is the thin CLI over it:
 //!
 //! ```text
 //! $ scrutinizer-serve 127.0.0.1:7878 --scale small
-//! $ echo '{"op":"stats"}' | nc 127.0.0.1 7878
+//! $ echo '{"op":"stats","v":1,"id":1}' | nc 127.0.0.1 7878
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod cache;
 pub mod engine;
 pub mod executor;
 pub mod protocol;
+pub mod server;
 pub mod session;
 pub mod snapshot;
 pub mod stats;
 
+pub use api::{dispatch, ApiError, ErrorCode, Request, Response};
 pub use cache::{normalize_sql, CachedResult, CellVec, PlanKey, QueryCache};
 pub use engine::{Engine, EngineError, EngineOptions, VerdictRecord};
 pub use executor::ThreadPool;
+pub use server::{Server, ServerHandle, ServerOptions};
 pub use session::{ClaimQuestions, ScreenView, SessionId, Suggestion};
 pub use snapshot::{ModelSnapshot, SnapshotCell};
 pub use stats::{EngineStats, HistogramSnapshot, LatencyHistogram, StatsSnapshot};

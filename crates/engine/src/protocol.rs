@@ -1,34 +1,30 @@
-//! The serving protocol: JSON values, a hand-rolled parser/serializer
-//! (std only — the environment has no serde), and the request dispatcher
-//! shared by the TCP binary and the in-process tests.
+//! The wire layer: JSON values, a hand-rolled parser/serializer (std
+//! only — the environment has no serde), and the request entry point
+//! shared by the TCP server and the in-process tests.
 //!
 //! The wire format is JSON lines: one request object per line in, one
-//! response object per line out. Every response carries `"ok"`; failures
-//! carry `"error"`.
+//! response object per line out. Requests are decoded into the typed
+//! [`crate::api::Request`] enum and dispatched through
+//! [`crate::api::dispatch`]; every response carries `"ok"`, failures
+//! carry a stable `"code"` (see [`crate::api::ErrorCode`]) plus a
+//! human-readable `"error"`. Requests may carry a protocol version `"v"`
+//! (current: `1`) and a client-chosen `"id"` that is echoed in the
+//! response — see the [`crate::api`] docs for the op table, versioning
+//! rules and the `batch` op.
 //!
-//! | op             | request fields                          | response |
-//! |----------------|-----------------------------------------|----------|
-//! | `open`         | `checker`                               | `session` |
-//! | `submit`       | `session`, `claims: [id]`               | `batch: [claim questions]` |
-//! | `next_batch`   | `session`                               | `batch` |
-//! | `screens`      | `session`, `claim`                      | one claim's questions |
-//! | `answer`       | `session`, `claim`, `kind`, `answer`    | `remaining` |
-//! | `suggest`      | `session`, `claim`                      | `suggestions: [{rank, sql, value, …}]` |
-//! | `verdict`      | `session`, `claim`, `correct`, `chosen?`| `verdict`, `matches_truth`, `retrained` |
-//! | `sql`          | `query`                                 | `value` |
-//! | `verify_batch` | `claims: [id]`, `seed?`                 | `outcomes: [{claim, verdict, matches_truth}]` |
-//! | `stats`        | —                                       | full [`StatsSnapshot`] |
-//! | `close`        | `session`                               | `verified: [id]` |
+//! The pre-v1 stringly dispatcher survives one release as
+//! [`legacy_handle_request`], kept only as the oracle for the
+//! typed-vs-legacy differential tests.
 
 use std::sync::Arc;
 
-use scrutinizer_core::report::Verdict;
-use scrutinizer_core::PropertyKind;
 use scrutinizer_crowd::WorkerConfig;
 
+use crate::api::{
+    outcome_json, property_kind, questions_json, stats_json, suggestion_json, verdict_name,
+};
 use crate::engine::Engine;
-use crate::session::{ClaimQuestions, SessionId, Suggestion};
-use crate::stats::{HistogramSnapshot, StatsSnapshot};
+use crate::session::SessionId;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +42,32 @@ pub enum Json {
     /// An object; insertion-ordered.
     Obj(Vec<(String, Json)>),
 }
+
+/// A structured JSON parse failure: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn new(offset: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
 
 impl Json {
     /// Object field lookup.
@@ -96,13 +118,13 @@ impl Json {
     }
 
     /// Parses one JSON document.
-    pub fn parse(text: &str) -> Result<Json, String> {
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0;
         let value = parse_value(bytes, &mut pos)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
+            return Err(JsonError::new(pos, "trailing garbage"));
         }
         Ok(value)
     }
@@ -121,20 +143,23 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, token: u8) -> Result<(), String> {
+fn expect(bytes: &[u8], pos: &mut usize, token: u8) -> Result<(), JsonError> {
     skip_ws(bytes, pos);
     if bytes.get(*pos) == Some(&token) {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected `{}` at byte {}", token as char, *pos))
+        Err(JsonError::new(
+            *pos,
+            format!("expected `{}`", token as char),
+        ))
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
+        None => Err(JsonError::new(*pos, "unexpected end of input")),
         Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
         Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
@@ -156,7 +181,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                         *pos += 1;
                         return Ok(Json::Arr(items));
                     }
-                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                    _ => return Err(JsonError::new(*pos, "expected `,` or `]`")),
                 }
             }
         }
@@ -181,7 +206,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                         *pos += 1;
                         return Ok(Json::Obj(fields));
                     }
-                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                    _ => return Err(JsonError::new(*pos, "expected `,` or `}`")),
                 }
             }
         }
@@ -189,16 +214,21 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
     if bytes[*pos..].starts_with(word.as_bytes()) {
         *pos += word.len();
         Ok(value)
     } else {
-        Err(format!("invalid literal at byte {pos}", pos = *pos))
+        Err(JsonError::new(*pos, "invalid literal"))
     }
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, JsonError> {
     let start = *pos;
     while *pos < bytes.len()
         && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
@@ -208,13 +238,27 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
     std::str::from_utf8(&bytes[start..*pos])
         .ok()
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("invalid number at byte {start}"))
+        .ok_or_else(|| JsonError::new(start, "invalid number"))
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+/// Reads the 4 hex digits of a `\uXXXX` escape at `*pos`, advancing past
+/// them on success.
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    let hex = bytes
+        .get(*pos..*pos + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .ok_or_else(|| JsonError::new(*pos, "truncated \\u escape"))?;
+    let code =
+        u32::from_str_radix(hex, 16).map_err(|_| JsonError::new(*pos, "invalid \\u escape"))?;
+    *pos += 4;
+    Ok(code)
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     if bytes.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {pos}", pos = *pos));
+        return Err(JsonError::new(*pos, "expected string"));
     }
+    let opened_at = *pos;
     *pos += 1;
     let mut out = String::new();
     let mut chunk_start = *pos;
@@ -223,7 +267,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             b'"' => {
                 out.push_str(
                     std::str::from_utf8(&bytes[chunk_start..*pos])
-                        .map_err(|_| "invalid utf-8 in string".to_string())?,
+                        .map_err(|_| JsonError::new(chunk_start, "invalid utf-8 in string"))?,
                 );
                 *pos += 1;
                 return Ok(out);
@@ -231,10 +275,12 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             b'\\' => {
                 out.push_str(
                     std::str::from_utf8(&bytes[chunk_start..*pos])
-                        .map_err(|_| "invalid utf-8 in string".to_string())?,
+                        .map_err(|_| JsonError::new(chunk_start, "invalid utf-8 in string"))?,
                 );
                 *pos += 1;
-                let escape = bytes.get(*pos).ok_or("dangling escape")?;
+                let escape = *bytes
+                    .get(*pos)
+                    .ok_or_else(|| JsonError::new(*pos, "dangling escape"))?;
                 *pos += 1;
                 match escape {
                     b'"' => out.push('"'),
@@ -246,25 +292,54 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     b'b' => out.push('\u{8}'),
                     b'f' => out.push('\u{c}'),
                     b'u' => {
-                        let hex = bytes
-                            .get(*pos..*pos + 4)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| "invalid \\u escape".to_string())?;
-                        *pos += 4;
-                        // surrogate pairs are not needed by this protocol;
-                        // unpaired surrogates map to the replacement char
-                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        let code = parse_hex4(bytes, pos)?;
+                        if (0xD800..=0xDBFF).contains(&code) {
+                            // a high surrogate must be followed by `\uDC00`
+                            // ..`\uDFFF` to form one supplementary scalar
+                            // (claim text from real corpora contains
+                            // astral-plane characters); a lone surrogate
+                            // maps to the replacement character
+                            let mut ahead = *pos;
+                            let low = if bytes.get(ahead) == Some(&b'\\')
+                                && bytes.get(ahead + 1) == Some(&b'u')
+                            {
+                                ahead += 2;
+                                parse_hex4(bytes, &mut ahead)
+                                    .ok()
+                                    .filter(|l| (0xDC00..=0xDFFF).contains(l))
+                            } else {
+                                None
+                            };
+                            match low {
+                                Some(low) => {
+                                    *pos = ahead;
+                                    let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    out.push(
+                                        char::from_u32(scalar)
+                                            .expect("paired surrogates form a valid scalar"),
+                                    );
+                                }
+                                None => out.push('\u{FFFD}'),
+                            }
+                        } else if (0xDC00..=0xDFFF).contains(&code) {
+                            out.push('\u{FFFD}'); // lone low surrogate
+                        } else {
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
                     }
-                    other => return Err(format!("unknown escape `\\{}`", *other as char)),
+                    other => {
+                        return Err(JsonError::new(
+                            *pos - 1,
+                            format!("unknown escape `\\{}`", other as char),
+                        ))
+                    }
                 }
                 chunk_start = *pos;
             }
             _ => *pos += 1,
         }
     }
-    Err("unterminated string".to_string())
+    Err(JsonError::new(opened_at, "unterminated string"))
 }
 
 fn write_value(value: &Json, out: &mut String) {
@@ -273,7 +348,11 @@ fn write_value(value: &Json, out: &mut String) {
         Json::Bool(true) => out.push_str("true"),
         Json::Bool(false) => out.push_str("false"),
         Json::Num(n) => {
-            if n.fract() == 0.0 && n.abs() < 9e15 {
+            if !n.is_finite() {
+                // JSON has no NaN/Infinity literals; `null` keeps the
+                // line parseable whatever a stat or suggestion computes
+                out.push_str("null");
+            } else if n.fract() == 0.0 && n.abs() < 9e15 {
                 out.push_str(&format!("{}", *n as i64));
             } else {
                 out.push_str(&format!("{n}"));
@@ -331,6 +410,16 @@ pub fn obj(fields: Vec<(&str, Json)>) -> Json {
     )
 }
 
+/// Handles one request line against the engine through the typed v1 API,
+/// returning the response line (without trailing newline). Never panics
+/// on malformed input: parse failures, unknown ops, unsupported versions
+/// and engine errors all come back as `{"ok":false,"code":...,"error":...}`.
+pub fn handle_request(engine: &Arc<Engine>, line: &str) -> String {
+    crate::api::handle_line(engine, line).render()
+}
+
+// ---- the pre-v1 stringly dispatcher (differential-test oracle) ---------
+
 fn ok(mut fields: Vec<(&str, Json)>) -> Json {
     fields.insert(0, ("ok", Json::Bool(true)));
     obj(fields)
@@ -340,146 +429,6 @@ fn err(message: impl std::fmt::Display) -> Json {
     obj(vec![
         ("ok", Json::Bool(false)),
         ("error", Json::Str(message.to_string())),
-    ])
-}
-
-fn property_kind(name: &str) -> Option<PropertyKind> {
-    match name {
-        "relation" => Some(PropertyKind::Relation),
-        "key" => Some(PropertyKind::Key),
-        "attribute" => Some(PropertyKind::Attribute),
-        "formula" => Some(PropertyKind::Formula),
-        _ => None,
-    }
-}
-
-fn questions_json(questions: &ClaimQuestions) -> Json {
-    obj(vec![
-        ("claim", Json::Num(questions.claim_id as f64)),
-        ("expected_cost", Json::Num(questions.expected_cost)),
-        (
-            "screens",
-            Json::Arr(
-                questions
-                    .screens
-                    .iter()
-                    .map(|s| {
-                        obj(vec![
-                            ("kind", Json::Str(s.kind.name().to_ascii_lowercase())),
-                            (
-                                "options",
-                                Json::Arr(s.options.iter().map(|o| Json::Str(o.clone())).collect()),
-                            ),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ])
-}
-
-fn suggestion_json(suggestion: &Suggestion) -> Json {
-    obj(vec![
-        ("rank", Json::Num(suggestion.rank as f64)),
-        ("sql", Json::Str(suggestion.sql.clone())),
-        ("formula", Json::Str(suggestion.formula.clone())),
-        ("value", Json::Num(suggestion.value)),
-        (
-            "matches_parameter",
-            Json::Bool(suggestion.matches_parameter),
-        ),
-    ])
-}
-
-fn histogram_json(snapshot: &HistogramSnapshot) -> Json {
-    obj(vec![
-        ("count", Json::Num(snapshot.count as f64)),
-        ("mean_micros", Json::Num(snapshot.mean_micros())),
-        (
-            "p50_micros",
-            Json::Num(snapshot.quantile_micros(0.5) as f64),
-        ),
-        (
-            "p99_micros",
-            Json::Num(snapshot.quantile_micros(0.99) as f64),
-        ),
-    ])
-}
-
-fn stats_json(snapshot: &StatsSnapshot) -> Json {
-    obj(vec![
-        (
-            "sessions_opened",
-            Json::Num(snapshot.sessions_opened as f64),
-        ),
-        (
-            "sessions_closed",
-            Json::Num(snapshot.sessions_closed as f64),
-        ),
-        ("sessions_live", Json::Num(snapshot.sessions_live as f64)),
-        (
-            "claims_verified",
-            Json::Num(snapshot.claims_verified as f64),
-        ),
-        ("answers_posted", Json::Num(snapshot.answers_posted as f64)),
-        (
-            "suggestions_served",
-            Json::Num(snapshot.suggestions_served as f64),
-        ),
-        ("retrains", Json::Num(snapshot.retrains as f64)),
-        (
-            "background_retrains",
-            Json::Num(snapshot.background_retrains as f64),
-        ),
-        ("model_epoch", Json::Num(snapshot.model_epoch as f64)),
-        (
-            "pending_examples",
-            Json::Num(snapshot.pending_examples as f64),
-        ),
-        ("sql_executed", Json::Num(snapshot.sql_executed as f64)),
-        ("planner_plans", Json::Num(snapshot.planner_plans as f64)),
-        (
-            "planner_cold_solves",
-            Json::Num(snapshot.planner_cold_solves as f64),
-        ),
-        (
-            "planner_incremental_repairs",
-            Json::Num(snapshot.planner_incremental_repairs as f64),
-        ),
-        (
-            "planner_repair_rejections",
-            Json::Num(snapshot.planner_repair_rejections as f64),
-        ),
-        (
-            "planner_fallbacks",
-            Json::Num(snapshot.planner_fallbacks as f64),
-        ),
-        ("planner_nodes", Json::Num(snapshot.planner_nodes as f64)),
-        (
-            "planner_warm_start_hits",
-            Json::Num(snapshot.planner_warm_start_hits as f64),
-        ),
-        (
-            "planner_lp_solves",
-            Json::Num(snapshot.planner_lp_solves as f64),
-        ),
-        (
-            "planner_last_fallback",
-            match &snapshot.planner_last_fallback {
-                Some(reason) => Json::Str(reason.clone()),
-                None => Json::Null,
-            },
-        ),
-        ("cache_hits", Json::Num(snapshot.cache_hits as f64)),
-        ("cache_misses", Json::Num(snapshot.cache_misses as f64)),
-        ("cache_hit_rate", Json::Num(snapshot.cache_hit_rate)),
-        ("cache_entries", Json::Num(snapshot.cache_entries as f64)),
-        ("queue_depth", Json::Num(snapshot.queue_depth as f64)),
-        ("in_flight", Json::Num(snapshot.in_flight as f64)),
-        ("plan_latency", histogram_json(&snapshot.plan_latency)),
-        ("suggest_latency", histogram_json(&snapshot.suggest_latency)),
-        ("verify_latency", histogram_json(&snapshot.verify_latency)),
-        ("retrain_latency", histogram_json(&snapshot.retrain_latency)),
     ])
 }
 
@@ -512,17 +461,21 @@ fn claim_list(request: &Json) -> Result<Vec<usize>, Json> {
         .collect()
 }
 
-/// Handles one request line against the engine, returning the response
-/// line (without trailing newline). Never panics on malformed input.
-pub fn handle_request(engine: &Arc<Engine>, line: &str) -> String {
+/// The pre-v1 request handler, kept **one release** purely as the oracle
+/// for the typed-vs-legacy differential tests: same entry contract as
+/// [`handle_request`], but per-op ad-hoc field plucking, no `code` on
+/// errors, no `v`/`id`/`batch` support. Do not build new clients on it.
+pub fn legacy_handle_request(engine: &Arc<Engine>, line: &str) -> String {
     let response = match Json::parse(line.trim()) {
         Err(error) => err(format!("bad json: {error}")),
-        Ok(request) => dispatch(engine, &request),
+        Ok(request) => legacy_dispatch(engine, &request),
     };
     response.render()
 }
 
-fn dispatch(engine: &Arc<Engine>, request: &Json) -> Json {
+/// The pre-v1 dispatcher behind [`legacy_handle_request`] — the
+/// differential-test oracle. Scheduled for removal next release.
+pub fn legacy_dispatch(engine: &Arc<Engine>, request: &Json) -> Json {
     let Some(op) = request.get("op").and_then(Json::as_str) else {
         return err("missing `op`");
     };
@@ -611,11 +564,7 @@ fn dispatch(engine: &Arc<Engine>, request: &Json) -> Json {
             let chosen = request.get("chosen").and_then(Json::as_usize);
             match engine.post_verdict(session, claim, correct, chosen) {
                 Ok(record) => {
-                    let verdict = match &record.outcome.verdict {
-                        Verdict::Correct { .. } => "correct",
-                        Verdict::Incorrect { .. } => "incorrect",
-                        Verdict::Skipped => "skipped",
-                    };
+                    let verdict = verdict_name(&record.outcome.verdict);
                     ok(vec![
                         ("verdict", Json::Str(verdict.to_string())),
                         (
@@ -642,12 +591,6 @@ fn dispatch(engine: &Arc<Engine>, request: &Json) -> Json {
                 Ok(c) => c,
                 Err(e) => return e,
             };
-            if let Some(bad) = claims
-                .iter()
-                .find(|&&id| id >= engine.corpus().claims.len())
-            {
-                return err(format!("unknown claim {bad}"));
-            }
             let seed = request
                 .get("seed")
                 .and_then(Json::as_f64)
@@ -657,28 +600,13 @@ fn dispatch(engine: &Arc<Engine>, request: &Json) -> Json {
                 seed,
                 ..WorkerConfig::default()
             };
-            let outcomes = engine.verify_batch(&claims, config);
-            ok(vec![(
-                "outcomes",
-                Json::Arr(
-                    outcomes
-                        .iter()
-                        .map(|o| {
-                            let verdict = match &o.verdict {
-                                Verdict::Correct { .. } => "correct",
-                                Verdict::Incorrect { .. } => "incorrect",
-                                Verdict::Skipped => "skipped",
-                            };
-                            obj(vec![
-                                ("claim", Json::Num(o.claim_id as f64)),
-                                ("verdict", Json::Str(verdict.to_string())),
-                                ("matches_truth", Json::Bool(o.verdict_matches_truth)),
-                                ("crowd_seconds", Json::Num(o.crowd_seconds)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            )])
+            match engine.verify_batch(&claims, config) {
+                Ok(outcomes) => ok(vec![(
+                    "outcomes",
+                    Json::Arr(outcomes.iter().map(outcome_json).collect()),
+                )]),
+                Err(error) => err(error),
+            }
         }
         "stats" => ok(vec![("stats", stats_json(&engine.stats()))]),
         "close" => {
@@ -725,6 +653,13 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_carry_offsets() {
+        let error = Json::parse("{\"a\":1} trailing").unwrap_err();
+        assert_eq!(error.offset, 8);
+        assert!(error.to_string().contains("at byte 8"));
+    }
+
+    #[test]
     fn escapes_render_safely() {
         let value = Json::Str("line\nbreak\t\"quote\" \\ \u{1}".to_string());
         let rendered = value.render();
@@ -735,5 +670,53 @@ mod tests {
     fn integers_render_without_exponent() {
         assert_eq!(Json::Num(5.0).render(), "5");
         assert_eq!(Json::Num(2.5).render(), "2.5");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        // `NaN`/`inf` are not JSON; a pathological stat or suggestion
+        // value must never corrupt a response line
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).render(), "null");
+        let wrapped = Json::Arr(vec![Json::Num(f64::NAN), Json::Num(1.5)]);
+        assert_eq!(
+            Json::parse(&wrapped.render()).unwrap().as_arr().unwrap()[0],
+            Json::Null
+        );
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_supplementary_scalars() {
+        // escaped U+1D11E MUSICAL SYMBOL G CLEF and U+1F600 GRINNING FACE
+        let parsed = Json::parse(r#""\uD834\uDD1E and \uD83D\uDE00""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("\u{1D11E} and \u{1F600}"));
+        // round trip: the decoded scalar renders as raw UTF-8
+        assert_eq!(Json::parse(&parsed.render()).unwrap(), parsed);
+        // raw astral-plane UTF-8 also passes through untouched
+        assert_eq!(Json::parse("\"𝄞\"").unwrap().as_str(), Some("\u{1D11E}"));
+    }
+
+    #[test]
+    fn lone_surrogates_become_replacement_chars() {
+        // unpaired high, unpaired low, and high followed by a non-low escape
+        assert_eq!(
+            Json::parse(r#""\uD834!""#).unwrap().as_str(),
+            Some("\u{FFFD}!")
+        );
+        assert_eq!(
+            Json::parse(r#""\uDD1E""#).unwrap().as_str(),
+            Some("\u{FFFD}")
+        );
+        assert_eq!(
+            Json::parse(r#""\uD834A""#).unwrap().as_str(),
+            Some("\u{FFFD}A")
+        );
+        // a high surrogate at end-of-string stays a lone surrogate, and the
+        // string must still terminate cleanly
+        assert_eq!(
+            Json::parse(r#""\uD834""#).unwrap().as_str(),
+            Some("\u{FFFD}")
+        );
     }
 }

@@ -1,0 +1,452 @@
+//! The multiplexed TCP server: one nonblocking readiness loop serving
+//! every connection, `std::net` only.
+//!
+//! The pre-v1 server spent one blocking thread per connection with a
+//! single request in flight per client. This one runs a poll rotation
+//! over nonblocking [`TcpStream`]s:
+//!
+//! * **Per-connection read/write buffers** — bytes are drained off the
+//!   socket as they arrive, complete lines queue up per connection, and
+//!   responses accumulate in a write buffer flushed as the socket
+//!   accepts them.
+//! * **Pipelining** — a client may send many request lines without
+//!   waiting; each carries an `id` the response echoes, so responses can
+//!   be matched however deeply the client pipelines. Lines execute in
+//!   arrival order per connection (at most one in flight per connection,
+//!   so session ops observe their predecessors), while different
+//!   connections' requests run concurrently on a small worker pool.
+//! * **Bounded buffers with backpressure** — the loop stops reading a
+//!   connection whose pipeline or write buffer is full, letting TCP flow
+//!   control push back on the client instead of buffering unboundedly.
+//! * **Connection limits** — accepts beyond
+//!   [`ServerOptions::max_connections`] are answered with an
+//!   `overloaded` error line and closed.
+//! * **Graceful shutdown** — [`ServerHandle::shutdown`] stops accepts
+//!   and reads; queued and in-flight requests finish, write buffers
+//!   flush, then [`Server::run`] returns. A client that stops draining
+//!   its responses is force-closed after
+//!   [`ServerOptions::shutdown_grace`], so `run` always returns.
+//!
+//! The loop exports `connections_open`, `requests_in_flight` and
+//! `pipeline_depth` gauges through
+//! [`EngineStats`](crate::stats::EngineStats) and the `stats` op.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use scrutinizer_data::hash::FxHashMap;
+
+use crate::api::ErrorCode;
+use crate::engine::Engine;
+use crate::executor::ThreadPool;
+use crate::protocol::handle_request;
+
+/// Serving-loop sizing and behavior knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Most simultaneous connections; accepts beyond this are answered
+    /// with an `overloaded` error line and closed.
+    pub max_connections: usize,
+    /// Worker threads executing requests (different connections'
+    /// requests run concurrently; one connection's run in order).
+    pub workers: usize,
+    /// Longest accepted request line, in bytes; a connection exceeding
+    /// it gets a `parse_error` response and is closed (there is no way
+    /// to resynchronize on an unterminated line).
+    pub max_line_bytes: usize,
+    /// Write-buffer size above which the loop stops executing (and then
+    /// reading) for that connection until the client drains responses.
+    pub write_buffer_limit: usize,
+    /// Most complete lines queued per connection before the loop stops
+    /// reading it (backpressure via TCP flow control).
+    pub max_pipeline: usize,
+    /// How long the loop parks when nothing is ready. Completions wake
+    /// it immediately; only socket readiness waits for the next poll.
+    pub poll_interval: Duration,
+    /// How long a graceful shutdown waits for clients to drain their
+    /// responses before force-closing what remains — without it, one
+    /// client that stops reading could park [`Server::run`] forever.
+    pub shutdown_grace: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            max_connections: 1024,
+            workers: 4,
+            max_line_bytes: 1 << 20,
+            write_buffer_limit: 4 << 20,
+            max_pipeline: 128,
+            poll_interval: Duration::from_micros(200),
+            shutdown_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A clonable handle that asks a running [`Server`] to shut down
+/// gracefully: stop accepting, finish queued and in-flight requests,
+/// flush every write buffer, return from [`Server::run`].
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Requests shutdown; returns immediately.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// One client connection's buffers and execution state.
+struct Connection {
+    stream: TcpStream,
+    /// Bytes received but not yet split into complete lines.
+    read_buf: Vec<u8>,
+    /// Complete request lines awaiting execution, in arrival order.
+    queue: VecDeque<String>,
+    /// Rendered responses awaiting the socket; `write_pos` marks how far
+    /// the prefix has been flushed.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// A request of this connection is running on the worker pool.
+    in_flight: bool,
+    /// Client finished sending (EOF); drain, flush, then close.
+    eof: bool,
+    /// Unrecoverable socket error; discard without draining.
+    dead: bool,
+}
+
+impl Connection {
+    fn new(stream: TcpStream) -> Self {
+        Connection {
+            stream,
+            read_buf: Vec::new(),
+            queue: VecDeque::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            in_flight: false,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    fn write_backlog(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    fn push_response(&mut self, line: &str) {
+        self.write_buf.extend_from_slice(line.as_bytes());
+        self.write_buf.push(b'\n');
+    }
+
+    /// Fully drained: nothing queued, nothing running, nothing to flush.
+    fn idle(&self) -> bool {
+        self.queue.is_empty() && !self.in_flight && self.write_backlog() == 0
+    }
+}
+
+/// The multiplexed TCP server: an engine, a bound listener, and the
+/// readiness loop in [`Server::run`].
+///
+/// ```no_run
+/// use scrutinizer_core::SystemConfig;
+/// use scrutinizer_corpus::{Corpus, CorpusConfig};
+/// use scrutinizer_engine::{Engine, Server, ServerOptions};
+///
+/// let engine = Engine::new(Corpus::generate(CorpusConfig::small()), SystemConfig::test());
+/// let server = Server::bind(engine, "127.0.0.1:0", ServerOptions::default()).unwrap();
+/// let handle = server.handle();          // for graceful shutdown
+/// let addr = server.local_addr().unwrap();
+/// std::thread::spawn(move || server.run().unwrap());
+/// // ... connect clients to `addr`, later: handle.shutdown();
+/// ```
+pub struct Server {
+    engine: Arc<Engine>,
+    listener: TcpListener,
+    options: ServerOptions,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and prepares a server; the loop starts when
+    /// [`run`](Self::run) is called.
+    pub fn bind(
+        engine: Arc<Engine>,
+        addr: impl ToSocketAddrs,
+        options: ServerOptions,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            engine,
+            listener,
+            options,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address the listener actually bound (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can request graceful shutdown from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Runs the readiness loop until [`ServerHandle::shutdown`] is
+    /// requested and every connection has drained.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let stats = self.engine.stats_ref();
+        let pool = ThreadPool::new(self.options.workers, self.options.max_connections.max(16));
+        let (done_tx, done_rx) = mpsc::channel::<(u64, String)>();
+        let mut conns: FxHashMap<u64, Connection> = FxHashMap::default();
+        let mut next_conn: u64 = 1;
+        // submitted-but-unfinished jobs, tracked loop-locally so submission
+        // can stay strictly below the pool's queue capacity — the readiness
+        // loop must never block inside `pool.execute`
+        let job_capacity = self.options.max_connections.max(16);
+        let mut jobs_outstanding: usize = 0;
+        // a completion picked up while parked, handled first next round
+        let mut parked: Option<(u64, String)> = None;
+        // when the drain started; past `shutdown_grace`, stragglers are
+        // force-closed so `run` always returns
+        let mut draining_since: Option<Instant> = None;
+        loop {
+            let mut progress = false;
+            let shutting_down = self.shutdown.load(Ordering::Acquire);
+            if shutting_down && draining_since.is_none() {
+                draining_since = Some(Instant::now());
+            }
+            let drain_expired =
+                draining_since.is_some_and(|since| since.elapsed() >= self.options.shutdown_grace);
+
+            // 1. completed requests → write buffers. The counter drops
+            // even when the connection died meanwhile: the work happened.
+            while let Some((conn_id, response)) = parked.take().or_else(|| done_rx.try_recv().ok())
+            {
+                stats.requests_in_flight.fetch_sub(1, Ordering::Relaxed);
+                jobs_outstanding = jobs_outstanding.saturating_sub(1);
+                if let Some(conn) = conns.get_mut(&conn_id) {
+                    conn.push_response(&response);
+                    conn.in_flight = false;
+                }
+                progress = true;
+            }
+
+            // 2. accept up to the connection limit (never while draining)
+            if !shutting_down {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _)) => {
+                            progress = true;
+                            if conns.len() >= self.options.max_connections {
+                                self.reject(stream);
+                                continue;
+                            }
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            let _ = stream.set_nodelay(true);
+                            conns.insert(next_conn, Connection::new(stream));
+                            next_conn += 1;
+                            stats.connections_open.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(error) if error.kind() == ErrorKind::WouldBlock => break,
+                        Err(error) if error.kind() == ErrorKind::Interrupted => continue,
+                        Err(error) => {
+                            eprintln!("accept failed: {error}");
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // 3. service every connection: flush, read, split, execute
+            let mut closed: Vec<u64> = Vec::new();
+            for (&conn_id, conn) in conns.iter_mut() {
+                progress |= service(conn, &self.options, shutting_down, stats);
+                if !conn.in_flight
+                    && !conn.dead
+                    && jobs_outstanding < job_capacity
+                    && conn.write_backlog() < self.options.write_buffer_limit
+                {
+                    if let Some(line) = conn.queue.pop_front() {
+                        conn.in_flight = true;
+                        jobs_outstanding += 1;
+                        stats.requests_in_flight.fetch_add(1, Ordering::Relaxed);
+                        let engine = Arc::clone(&self.engine);
+                        let done = done_tx.clone();
+                        pool.execute(move || {
+                            let response = handle_request(&engine, &line);
+                            let _ = done.send((conn_id, response));
+                        });
+                        progress = true;
+                    }
+                }
+                let depth = conn.queue.len() as u64 + u64::from(conn.in_flight);
+                stats.note_pipeline_depth(depth);
+                if conn.dead || drain_expired || ((conn.eof || shutting_down) && conn.idle()) {
+                    closed.push(conn_id);
+                }
+            }
+            for conn_id in closed {
+                conns.remove(&conn_id);
+                stats.connections_open.fetch_sub(1, Ordering::Relaxed);
+                progress = true;
+            }
+
+            // 4. graceful exit: nothing live, nothing pending
+            if shutting_down && conns.is_empty() {
+                return Ok(());
+            }
+
+            // 5. park until a completion lands or the next poll is due
+            if !progress {
+                match done_rx.recv_timeout(self.options.poll_interval) {
+                    Ok(message) => parked = Some(message),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        unreachable!("the loop owns a sender; completions cannot disconnect")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Answers an over-limit accept with a structured `overloaded` line,
+    /// best effort, and drops the connection.
+    fn reject(&self, stream: TcpStream) {
+        self.engine
+            .stats_ref()
+            .note_wire_error(ErrorCode::Overloaded);
+        let _ = stream.set_nonblocking(true);
+        let mut stream = stream;
+        let _ = stream.write_all(
+            b"{\"ok\":false,\"code\":\"overloaded\",\"error\":\"connection limit reached\"}\n",
+        );
+    }
+}
+
+/// Flushes what the socket will take, reads what it has, and splits
+/// complete lines into the queue. Returns whether anything moved.
+fn service(
+    conn: &mut Connection,
+    options: &ServerOptions,
+    shutting_down: bool,
+    stats: &crate::stats::EngineStats,
+) -> bool {
+    let mut progress = false;
+
+    // flush pending responses
+    while conn.write_backlog() > 0 {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(written) => {
+                conn.write_pos += written;
+                progress = true;
+            }
+            Err(error) if error.kind() == ErrorKind::WouldBlock => break,
+            Err(error) if error.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.write_backlog() == 0 && !conn.write_buf.is_empty() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    }
+
+    // read while the pipeline and write buffer have room; a full queue
+    // or a backed-up client pauses reading, and TCP pushes back
+    let backpressured = conn.queue.len() >= options.max_pipeline
+        || conn.write_backlog() >= options.write_buffer_limit;
+    if !conn.eof && !conn.dead && !backpressured && !shutting_down {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(received) => {
+                    conn.read_buf.extend_from_slice(&chunk[..received]);
+                    progress = true;
+                    if conn.read_buf.len() >= options.max_line_bytes
+                        || conn.queue.len() >= options.max_pipeline
+                    {
+                        break;
+                    }
+                }
+                Err(error) if error.kind() == ErrorKind::WouldBlock => break,
+                Err(error) if error.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // split complete lines off the read buffer, never past the pipeline
+    // cap — one burst can carry far more lines than max_pipeline, and
+    // whatever stays unsplit here pauses reads until the queue drains
+    while conn.queue.len() < options.max_pipeline {
+        let Some(newline) = conn.read_buf.iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let rest = conn.read_buf.split_off(newline + 1);
+        let mut line_bytes = std::mem::replace(&mut conn.read_buf, rest);
+        line_bytes.pop(); // the newline
+                          // invalid UTF-8 flows through lossily and fails JSON parsing,
+                          // producing a structured parse_error like any other bad line
+        let line = String::from_utf8_lossy(&line_bytes).into_owned();
+        if !line.trim().is_empty() {
+            conn.queue.push_back(line);
+        }
+        progress = true;
+    }
+
+    let residual_has_newline = conn.read_buf.contains(&b'\n');
+    if !residual_has_newline && conn.read_buf.len() >= options.max_line_bytes {
+        // an unterminated line longer than the cap can never
+        // resynchronize: answer once, stop reading, close after the flush
+        stats.note_wire_error(ErrorCode::ParseError);
+        conn.push_response(&format!(
+            "{{\"ok\":false,\"code\":\"parse_error\",\"error\":\"request line exceeds {} bytes\"}}",
+            options.max_line_bytes
+        ));
+        conn.read_buf.clear();
+        conn.eof = true;
+        progress = true;
+    } else if conn.eof
+        && !residual_has_newline
+        && !conn.read_buf.is_empty()
+        && conn.queue.len() < options.max_pipeline
+    {
+        // the pre-v1 server answered a final request missing its trailing
+        // newline (BufRead::lines yields it at EOF); keep that contract
+        let line = String::from_utf8_lossy(&conn.read_buf).into_owned();
+        conn.read_buf.clear();
+        if !line.trim().is_empty() {
+            conn.queue.push_back(line);
+        }
+        progress = true;
+    }
+
+    progress
+}

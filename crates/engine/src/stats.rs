@@ -6,6 +6,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use crate::api::ErrorCode;
+
 /// Number of power-of-two latency buckets; bucket `i` holds samples in
 /// `[2^i, 2^(i+1))` microseconds, with the last bucket open-ended. 26
 /// buckets span 1 µs to over a minute.
@@ -135,6 +137,15 @@ pub struct EngineStats {
     pub planner_lp_solves: AtomicU64,
     /// Human-readable reason of the most recent planner fallback.
     pub planner_last_fallback: Mutex<Option<String>>,
+    /// TCP connections currently registered with the serving loop (gauge).
+    pub connections_open: AtomicU64,
+    /// Requests handed to the serving workers and not yet answered (gauge).
+    pub requests_in_flight: AtomicU64,
+    /// High-water mark of one connection's queued + in-flight requests —
+    /// how deeply clients actually pipeline.
+    pub pipeline_depth: AtomicU64,
+    /// Wire errors by [`ErrorCode`] (indexed by [`ErrorCode::index`]).
+    pub wire_errors: [AtomicU64; ErrorCode::COUNT],
     /// Latency of claim planning (translation + screen selection).
     pub plan_latency: LatencyHistogram,
     /// Latency of query generation (Algorithm 2, cache-assisted).
@@ -149,6 +160,16 @@ impl EngineStats {
     /// Bumps a counter by one.
     pub fn bump(&self, counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bumps the wire-error counter for `code`.
+    pub fn note_wire_error(&self, code: ErrorCode) {
+        self.wire_errors[code.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the pipeline-depth high-water mark to at least `depth`.
+    pub fn note_pipeline_depth(&self, depth: u64) {
+        self.pipeline_depth.fetch_max(depth, Ordering::Relaxed);
     }
 }
 
@@ -198,6 +219,14 @@ pub struct StatsSnapshot {
     pub planner_lp_solves: u64,
     /// The most recent planner fallback reason, if any ILP ever failed.
     pub planner_last_fallback: Option<String>,
+    /// TCP connections currently open on the serving loop.
+    pub connections_open: u64,
+    /// Requests handed to the serving workers and not yet answered.
+    pub requests_in_flight: u64,
+    /// High-water mark of one connection's queued + in-flight requests.
+    pub pipeline_depth: u64,
+    /// Wire errors by [`ErrorCode`] (indexed by [`ErrorCode::index`]).
+    pub wire_errors: [u64; ErrorCode::COUNT],
     /// Query-result cache hits.
     pub cache_hits: u64,
     /// Query-result cache misses.
@@ -218,6 +247,13 @@ pub struct StatsSnapshot {
     pub verify_latency: HistogramSnapshot,
     /// Retrain latency.
     pub retrain_latency: HistogramSnapshot,
+}
+
+impl StatsSnapshot {
+    /// The number of wire errors recorded under `code`.
+    pub fn wire_error(&self, code: ErrorCode) -> u64 {
+        self.wire_errors[code.index()]
+    }
 }
 
 #[cfg(test)]

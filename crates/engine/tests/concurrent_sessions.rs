@@ -145,7 +145,9 @@ fn batch_mode_matches_sequential_results_and_hits_cache() {
     };
 
     // concurrent batch over the pool
-    let concurrent = engine.verify_batch(&claims, base);
+    let concurrent = engine
+        .verify_batch(&claims, base)
+        .expect("all claim ids are in the corpus");
 
     // same claims, fresh engine, strictly sequential
     let reference_engine = fresh_engine();

@@ -1,0 +1,389 @@
+//! Protocol property tests for the typed v1 API:
+//!
+//! 1. **Codec round trip** — random typed [`Request`]s survive
+//!    `to_json → render → parse → from_json` unchanged.
+//! 2. **Total parsing** — random malformed lines (arbitrary printable
+//!    strings and truncated valid requests) always yield a structured
+//!    response line with a stable error code; never a panic.
+//! 3. **Differential oracle** — the typed dispatch path answers a
+//!    scripted mixed-initiative session (happy path + every error
+//!    class) exactly like the pre-v1 stringly dispatcher it replaced.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use scrutinizer_core::{OrderingStrategy, PropertyKind, SystemConfig};
+use scrutinizer_corpus::{Corpus, CorpusConfig};
+use scrutinizer_engine::api::{ErrorCode, Request};
+use scrutinizer_engine::engine::{Engine, EngineOptions};
+use scrutinizer_engine::protocol::{handle_request, legacy_handle_request, Json};
+
+fn frozen_engine() -> Arc<Engine> {
+    let corpus = Corpus::generate(CorpusConfig::small());
+    let engine = Engine::with_options(
+        corpus,
+        SystemConfig::test(),
+        EngineOptions {
+            retrain_interval: None,
+            ordering: OrderingStrategy::Sequential,
+            ..EngineOptions::default()
+        },
+    );
+    engine.pretrain(None);
+    engine
+}
+
+/// One engine shared by every malformed-line case: garbage never reaches
+/// the models, so pretraining is unnecessary.
+fn shared_engine() -> &'static Arc<Engine> {
+    static ENGINE: OnceLock<Arc<Engine>> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        Engine::with_options(
+            Corpus::generate(CorpusConfig::small()),
+            SystemConfig::test(),
+            EngineOptions {
+                retrain_interval: None,
+                ordering: OrderingStrategy::Sequential,
+                ..EngineOptions::default()
+            },
+        )
+    })
+}
+
+// ---- 1. codec round trip ------------------------------------------------
+
+fn session_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(0u64), 1u64..10_000]
+}
+
+fn claim_strategy() -> impl Strategy<Value = usize> {
+    0usize..100_000
+}
+
+fn claims_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(claim_strategy(), 0..8)
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // printable ASCII with occasional multi-byte scalars, plus JSON's
+    // favorite troublemakers via explicit escapes
+    prop_oneof![
+        4 => "\\PC{0,16}",
+        1 => Just("with \"quotes\" and \\ backslash".to_string()),
+        1 => Just("newline\nand tab\t".to_string()),
+        1 => Just("astral \u{1D11E}\u{1F600}".to_string()),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = PropertyKind> {
+    prop_oneof![
+        Just(PropertyKind::Relation),
+        Just(PropertyKind::Key),
+        Just(PropertyKind::Attribute),
+        Just(PropertyKind::Formula),
+    ]
+}
+
+fn option_of<T: Clone + std::fmt::Debug + 'static>(
+    inner: impl Strategy<Value = T> + 'static,
+) -> impl Strategy<Value = Option<T>> {
+    prop_oneof![
+        1 => Just(None),
+        2 => inner.prop_map(Some),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        option_of(text_strategy()).prop_map(|checker| Request::Open { checker }),
+        (session_strategy(), claims_strategy())
+            .prop_map(|(session, claims)| Request::Submit { session, claims }),
+        session_strategy().prop_map(|session| Request::NextBatch { session }),
+        (session_strategy(), claim_strategy())
+            .prop_map(|(session, claim)| Request::Screens { session, claim }),
+        (
+            session_strategy(),
+            claim_strategy(),
+            kind_strategy(),
+            text_strategy()
+        )
+            .prop_map(|(session, claim, kind, answer)| Request::Answer {
+                session,
+                claim,
+                kind,
+                answer,
+            }),
+        (session_strategy(), claim_strategy())
+            .prop_map(|(session, claim)| Request::Suggest { session, claim }),
+        (
+            session_strategy(),
+            claim_strategy(),
+            prop_oneof![Just(true), Just(false)],
+            option_of(0usize..16)
+        )
+            .prop_map(|(session, claim, correct, chosen)| Request::Verdict {
+                session,
+                claim,
+                correct,
+                chosen,
+            }),
+        text_strategy().prop_map(|query| Request::Sql { query }),
+        (claims_strategy(), option_of(0u64..1 << 40))
+            .prop_map(|(claims, seed)| Request::VerifyBatch { claims, seed }),
+        Just(Request::Stats),
+        session_strategy().prop_map(|session| Request::Close { session }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn typed_requests_round_trip_through_the_wire(request in request_strategy()) {
+        let rendered = request.to_json().render();
+        let parsed = Json::parse(&rendered).expect("codec renders valid JSON");
+        let decoded = Request::from_json(&parsed).expect("codec output decodes");
+        prop_assert_eq!(request, decoded);
+    }
+}
+
+// ---- 2. malformed lines never panic ------------------------------------
+
+/// Whatever comes in, the response must be one valid JSON object with a
+/// boolean `ok`; failures must carry a stable code and a message.
+fn assert_structured_response(line: &str) {
+    let engine = shared_engine();
+    let response = handle_request(engine, line);
+    let parsed = Json::parse(&response)
+        .unwrap_or_else(|e| panic!("response for {line:?} is not JSON ({e}): {response}"));
+    let ok = parsed
+        .get("ok")
+        .and_then(Json::as_bool)
+        .unwrap_or_else(|| panic!("response for {line:?} has no boolean `ok`: {response}"));
+    if !ok {
+        let code = parsed
+            .get("code")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("error for {line:?} has no `code`: {response}"));
+        assert!(
+            ErrorCode::ALL.iter().any(|c| c.name() == code),
+            "error code `{code}` is not in the stable set"
+        );
+        assert!(
+            parsed.get("error").and_then(Json::as_str).is_some(),
+            "error for {line:?} has no message: {response}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_lines_yield_structured_errors(line in "\\PC{0,60}") {
+        assert_structured_response(&line);
+    }
+
+    #[test]
+    fn truncated_requests_yield_structured_errors(
+        request in request_strategy(),
+        keep in 0usize..80,
+    ) {
+        let rendered = request.to_json().render();
+        let truncated: String = rendered.chars().take(keep).collect();
+        assert_structured_response(&truncated);
+    }
+
+    #[test]
+    fn json_shaped_garbage_yields_structured_errors(fragment in "[{}\\[\\]:,\"0-9a-z ]{0,40}") {
+        assert_structured_response(&fragment);
+    }
+}
+
+// ---- 3. typed dispatch ≡ legacy oracle ---------------------------------
+
+/// Runs one line against both engines and pins the responses together:
+/// byte-identical on success (modulo the volatile `stats` payload, where
+/// only the shape is compared), same `error` message on failure — with
+/// the typed path additionally carrying a stable `code`.
+fn pin(typed: &Arc<Engine>, legacy: &Arc<Engine>, line: &str) -> Json {
+    let typed_response = handle_request(typed, line);
+    let legacy_response = legacy_handle_request(legacy, line);
+    let typed_json = Json::parse(&typed_response).expect("typed response is JSON");
+    let legacy_json = Json::parse(&legacy_response).expect("legacy response is JSON");
+    let ok = typed_json.get("ok").and_then(Json::as_bool);
+    assert_eq!(
+        ok,
+        legacy_json.get("ok").and_then(Json::as_bool),
+        "ok flag diverged for {line}: typed={typed_response} legacy={legacy_response}"
+    );
+    if ok == Some(true) {
+        if typed_json.get("stats").is_some() {
+            // latency histograms differ between two engines; pin the shape
+            assert_eq!(
+                shape(&typed_json),
+                shape(&legacy_json),
+                "stats shape diverged for {line}"
+            );
+        } else {
+            assert_eq!(
+                typed_response, legacy_response,
+                "success response diverged for {line}"
+            );
+        }
+    } else {
+        assert_eq!(
+            typed_json.get("error").and_then(Json::as_str),
+            legacy_json.get("error").and_then(Json::as_str),
+            "error message diverged for {line}"
+        );
+        assert!(
+            typed_json.get("code").and_then(Json::as_str).is_some(),
+            "typed error for {line} carries no code: {typed_response}"
+        );
+    }
+    typed_json
+}
+
+/// The key skeleton of a JSON value: object keys in order, array arity,
+/// scalar kinds erased.
+fn shape(value: &Json) -> String {
+    match value {
+        Json::Obj(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{k}:{}", shape(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+        Json::Arr(items) => format!(
+            "[{}]",
+            items.iter().map(shape).collect::<Vec<_>>().join(",")
+        ),
+        _ => "_".to_string(),
+    }
+}
+
+#[test]
+fn typed_dispatch_matches_legacy_oracle_over_a_scripted_session() {
+    let typed = frozen_engine();
+    let legacy = frozen_engine();
+    let claim = typed.corpus().claims[0].clone();
+
+    // -- happy path: open → submit → screens → answers → suggest →
+    //    verdict → next_batch → sql → verify_batch → stats → close
+    let open = pin(&typed, &legacy, r#"{"op":"open","checker":"diff"}"#);
+    let session = open
+        .get("session")
+        .and_then(Json::as_usize)
+        .expect("both engines assign the same first session id");
+
+    let submit = pin(
+        &typed,
+        &legacy,
+        &format!(r#"{{"op":"submit","session":{session},"claims":[0,1,2]}}"#),
+    );
+    let screens = submit.get("batch").and_then(Json::as_arr).unwrap()[0]
+        .get("screens")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .to_vec();
+    pin(
+        &typed,
+        &legacy,
+        &format!(r#"{{"op":"screens","session":{session},"claim":0}}"#),
+    );
+    for screen in &screens {
+        let kind = screen.get("kind").and_then(Json::as_str).unwrap();
+        let truth = match kind {
+            "relation" => claim.relation.clone(),
+            "key" => claim.key.clone(),
+            "attribute" => claim.attributes[0].clone(),
+            other => panic!("unexpected screen kind {other}"),
+        };
+        let line = Json::Obj(vec![
+            ("op".into(), Json::Str("answer".into())),
+            ("session".into(), Json::Num(session as f64)),
+            ("claim".into(), Json::Num(0.0)),
+            ("kind".into(), Json::Str(kind.to_string())),
+            ("answer".into(), Json::Str(truth)),
+        ])
+        .render();
+        pin(&typed, &legacy, &line);
+    }
+    pin(
+        &typed,
+        &legacy,
+        &format!(r#"{{"op":"suggest","session":{session},"claim":0}}"#),
+    );
+    pin(
+        &typed,
+        &legacy,
+        &format!(
+            r#"{{"op":"verdict","session":{session},"claim":0,"correct":{}}}"#,
+            claim.is_correct
+        ),
+    );
+    pin(
+        &typed,
+        &legacy,
+        &format!(r#"{{"op":"next_batch","session":{session}}}"#),
+    );
+
+    let lookup = &claim.lookups[0];
+    let sql = format!(
+        "SELECT a.{} FROM {} a WHERE a.Index = '{}'",
+        lookup.attribute, lookup.relation, lookup.key
+    );
+    pin(
+        &typed,
+        &legacy,
+        &Json::Obj(vec![
+            ("op".into(), Json::Str("sql".into())),
+            ("query".into(), Json::Str(sql)),
+        ])
+        .render(),
+    );
+    pin(
+        &typed,
+        &legacy,
+        r#"{"op":"verify_batch","claims":[3,4],"seed":5}"#,
+    );
+    pin(&typed, &legacy, r#"{"op":"stats"}"#);
+
+    // -- every error class, op for op
+    let error_lines = [
+        "{nonsense".to_string(),
+        r#"{"claims":[0]}"#.to_string(),               // missing op
+        r#"{"op":"warp"}"#.to_string(),                // unknown op
+        r#"{"op":"submit","claims":[0]}"#.to_string(), // missing session
+        r#"{"op":"submit","session":9999,"claims":[0]}"#.to_string(), // unknown session
+        format!(r#"{{"op":"submit","session":{session},"claims":[999999]}}"#), // unknown claim
+        format!(r#"{{"op":"submit","session":{session}}}"#), // missing claims
+        format!(r#"{{"op":"submit","session":{session},"claims":["3",1.5,-2]}}"#), // invalid ids
+        format!(r#"{{"op":"screens","session":{session},"claim":55}}"#), // not in batch
+        format!(r#"{{"op":"suggest","session":{session},"claim":55}}"#), // not in batch
+        format!(r#"{{"op":"verdict","session":{session},"claim":0,"correct":true}}"#), // wrong phase
+        format!(r#"{{"op":"verdict","session":{session},"claim":1}}"#), // missing correct
+        format!(
+            r#"{{"op":"answer","session":{session},"claim":1,"kind":"sideways","answer":"x"}}"#
+        ), // bad kind
+        format!(r#"{{"op":"answer","session":{session},"claim":1,"kind":"relation"}}"#), // missing answer
+        format!(r#"{{"op":"answer","session":{session},"claim":1,"kind":"formula","answer":"x"}}"#), // unexpected answer
+        r#"{"op":"sql"}"#.to_string(), // missing query
+        r#"{"op":"sql","query":"SELECT nope"}"#.to_string(), // sql failure
+        r#"{"op":"verify_batch","claims":[999999]}"#.to_string(), // unknown claim, engine-validated
+        r#"{"op":"close","session":9999}"#.to_string(), // unknown session
+    ];
+    for line in &error_lines {
+        pin(&typed, &legacy, line);
+    }
+
+    // -- close last so the session survives the error probes above
+    pin(
+        &typed,
+        &legacy,
+        &format!(r#"{{"op":"close","session":{session}}}"#),
+    );
+    pin(
+        &typed,
+        &legacy,
+        &format!(r#"{{"op":"close","session":{session}}}"#), // double close
+    );
+}

@@ -108,15 +108,17 @@ fn main() {
 
     // ---- the batch path: simulated checkers over the thread pool ----
     let claims: Vec<usize> = (6..30).collect();
-    let outcomes = engine.verify_batch(
-        &claims,
-        WorkerConfig {
-            accuracy: 1.0,
-            skip_probability: 0.0,
-            seed: 11,
-            ..Default::default()
-        },
-    );
+    let outcomes = engine
+        .verify_batch(
+            &claims,
+            WorkerConfig {
+                accuracy: 1.0,
+                skip_probability: 0.0,
+                seed: 11,
+                ..Default::default()
+            },
+        )
+        .expect("all claim ids are in the corpus");
     let matched = outcomes.iter().filter(|o| o.verdict_matches_truth).count();
     println!(
         "batch of {} claims over {} pool threads: {}/{} verdicts match ground truth",
