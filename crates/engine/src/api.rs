@@ -22,10 +22,11 @@
 //! | `sql`          | `query`                                 | `value`         | `sql` |
 //! | `verify_batch` | `claims: [id]`, `seed?`                 | `outcomes`      | `unknown_claim` |
 //! | `stats`        | —                                       | `stats` ([`StatsSnapshot`]) | — |
+//! | `metrics`      | —                                       | `metrics` (Prometheus text exposition) | — |
 //! | `close`        | `session`                               | `verified: [id]`| `unknown_session` |
 //! | `batch`        | `requests: [sub-request]`               | `results: [per-item response]` | `invalid_argument` |
 //!
-//! ## Versioning and request ids
+//! ## Versioning, request ids, and trace ids
 //!
 //! Every request may carry `"v"` (the protocol version; current: `1`).
 //! Requests without `v` are treated as v1; any other version gets an
@@ -35,6 +36,14 @@
 //! their requests. **v1 response fields are append-only**: new fields may
 //! appear at the end of response objects, existing fields never change
 //! meaning or type.
+//!
+//! Requests may also carry `"trace"` (a string): the distributed trace id
+//! for the request, echoed verbatim in the response and attached to every
+//! span the request produces in the flight recorder
+//! ([`scrutinizer_obs::trace`]) — including a background retrain the
+//! request triggers. When absent, the server generates one (16 lowercase
+//! hex digits) and echoes it, so every response names its trace. Batch
+//! sub-requests inherit the batch's trace unless they carry their own.
 //!
 //! ## Batching
 //!
@@ -54,6 +63,7 @@ use crate::engine::{Engine, EngineError, VerdictRecord};
 use crate::protocol::{obj, Json};
 use crate::session::{ClaimQuestions, SessionId, Suggestion};
 use crate::stats::{HistogramSnapshot, StatsSnapshot};
+use scrutinizer_obs::{self as obs, TraceId};
 
 /// The protocol version this server speaks.
 pub const PROTOCOL_VERSION: u64 = 1;
@@ -264,6 +274,8 @@ pub enum Request {
     },
     /// Fetch the engine-wide metrics snapshot.
     Stats,
+    /// Fetch every metric in Prometheus text exposition format.
+    Metrics,
     /// Close a session.
     Close {
         /// Target session.
@@ -319,6 +331,11 @@ pub enum Response {
         /// The metrics snapshot.
         stats: Box<StatsSnapshot>,
     },
+    /// `metrics` succeeded.
+    Metrics {
+        /// The registry rendered as Prometheus text exposition.
+        exposition: String,
+    },
     /// `close` succeeded.
     Closed {
         /// Ids of claims the session verified.
@@ -342,6 +359,7 @@ const OPS: &[(&str, OpParser)] = &[
     ("sql", parse_sql),
     ("verify_batch", parse_verify_batch),
     ("stats", parse_stats),
+    ("metrics", parse_metrics),
     ("close", parse_close),
 ];
 
@@ -466,6 +484,10 @@ fn parse_stats(_request: &Json) -> Result<Request, ApiError> {
     Ok(Request::Stats)
 }
 
+fn parse_metrics(_request: &Json) -> Result<Request, ApiError> {
+    Ok(Request::Metrics)
+}
+
 fn parse_close(request: &Json) -> Result<Request, ApiError> {
     Ok(Request::Close {
         session: field_session(request)?,
@@ -486,6 +508,7 @@ impl Request {
             Request::Sql { .. } => "sql",
             Request::VerifyBatch { .. } => "verify_batch",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Close { .. } => "close",
         }
     }
@@ -560,7 +583,7 @@ impl Request {
                     fields.push(("seed", Json::Num(*seed as f64)));
                 }
             }
-            Request::Stats => {}
+            Request::Stats | Request::Metrics => {}
         }
         obj(fields)
     }
@@ -612,6 +635,7 @@ fn append_payload(fields: &mut Vec<(String, Json)>, response: &Response) {
             Json::Arr(outcomes.iter().map(outcome_json).collect()),
         ),
         Response::Stats { stats } => push("stats", stats_json(stats)),
+        Response::Metrics { exposition } => push("metrics", Json::Str(exposition.clone())),
         Response::Closed { verified } => push(
             "verified",
             Json::Arr(verified.iter().map(|&id| Json::Num(id as f64)).collect()),
@@ -713,6 +737,11 @@ fn histogram_json(snapshot: &HistogramSnapshot) -> Json {
             "p99_micros",
             Json::Num(snapshot.quantile_micros(0.99) as f64),
         ),
+        // append-only: interpolated (log-linear) quantile estimates next
+        // to the original bucket-ceiling bounds
+        ("p50_est_micros", Json::Num(snapshot.p50())),
+        ("p95_est_micros", Json::Num(snapshot.p95())),
+        ("p99_est_micros", Json::Num(snapshot.p99())),
     ])
 }
 
@@ -776,6 +805,10 @@ pub(crate) fn stats_json(snapshot: &StatsSnapshot) -> Json {
                 .map(|&code| (code.name(), count(snapshot.wire_errors[code.index()])))
                 .collect()),
         ),
+        // append-only: the conservation pair — requests_total equals
+        // requests_ok plus the sum of every per-code error counter
+        ("requests_total", count(snapshot.requests_total)),
+        ("requests_ok", count(snapshot.requests_ok)),
     ])
 }
 
@@ -786,6 +819,25 @@ pub(crate) fn stats_json(snapshot: &StatsSnapshot) -> Json {
 /// whatever the entry point — TCP line, in-process call, or `batch`
 /// sub-request.
 pub fn dispatch(engine: &Arc<Engine>, request: &Request) -> Result<Response, ApiError> {
+    let mut _span = obs::span("dispatch");
+    _span.add_field("op", request.op_name());
+    match request {
+        Request::Submit { session, .. }
+        | Request::NextBatch { session }
+        | Request::Screens { session, .. }
+        | Request::Answer { session, .. }
+        | Request::Suggest { session, .. }
+        | Request::Verdict { session, .. }
+        | Request::Close { session } => _span.add_field("session", *session),
+        _ => {}
+    }
+    match request {
+        Request::Screens { claim, .. }
+        | Request::Answer { claim, .. }
+        | Request::Suggest { claim, .. }
+        | Request::Verdict { claim, .. } => _span.add_field("claim", *claim),
+        _ => {}
+    }
     match request {
         Request::Open { checker } => Ok(Response::Session {
             session: engine
@@ -835,33 +887,42 @@ pub fn dispatch(engine: &Arc<Engine>, request: &Request) -> Result<Response, Api
         Request::Stats => Ok(Response::Stats {
             stats: Box::new(engine.stats()),
         }),
+        Request::Metrics => Ok(Response::Metrics {
+            exposition: engine.render_metrics(),
+        }),
         Request::Close { session } => Ok(Response::Closed {
             verified: engine.close_session(SessionId(*session))?,
         }),
     }
 }
 
-// ---- the wire envelope (version, id echo, batch) -----------------------
+// ---- the wire envelope (version, id echo, trace, batch) -----------------
 
 /// Renders a success response with the envelope fields: `ok`, the echoed
-/// `id` (when the request carried one), then the payload.
-fn render_ok(id: Option<&Json>, response: &Response) -> Json {
+/// `id` (when the request carried one), the `trace` id, then the payload.
+/// Counts the response toward the conservation invariant
+/// (`requests_total`/`requests_ok`).
+fn render_ok(engine: &Arc<Engine>, id: Option<&Json>, trace: &str, response: &Response) -> Json {
+    engine.stats_ref().note_ok();
     let mut fields = vec![("ok".to_string(), Json::Bool(true))];
     if let Some(id) = id {
         fields.push(("id".to_string(), id.clone()));
     }
+    fields.push(("trace".to_string(), Json::Str(trace.to_string())));
     append_payload(&mut fields, response);
     Json::Obj(fields)
 }
 
-/// Renders an error response (`ok`, echoed `id`, stable `code`, human
-/// `error`) and bumps the engine's per-code wire-error counter.
-fn render_error(engine: &Arc<Engine>, id: Option<&Json>, error: &ApiError) -> Json {
+/// Renders an error response (`ok`, echoed `id`, `trace`, stable `code`,
+/// human `error`) and bumps the engine's per-code wire-error counter
+/// (which also counts the response toward `requests_total`).
+fn render_error(engine: &Arc<Engine>, id: Option<&Json>, trace: &str, error: &ApiError) -> Json {
     engine.stats_ref().note_wire_error(error.code);
     let mut fields = vec![("ok".to_string(), Json::Bool(false))];
     if let Some(id) = id {
         fields.push(("id".to_string(), id.clone()));
     }
+    fields.push(("trace".to_string(), Json::Str(trace.to_string())));
     fields.push(("code".to_string(), Json::Str(error.code.name().to_string())));
     fields.push(("error".to_string(), Json::Str(error.message.clone())));
     Json::Obj(fields)
@@ -887,41 +948,73 @@ fn check_version(value: &Json) -> Result<(), ApiError> {
 /// malformed input.
 pub fn handle_line(engine: &Arc<Engine>, line: &str) -> Json {
     match Json::parse(line.trim()) {
-        Err(error) => render_error(
-            engine,
-            None,
-            &ApiError::new(ErrorCode::ParseError, format!("bad json: {error}")),
-        ),
+        Err(error) => {
+            // unparseable lines carry no usable `trace` field; generate an
+            // id so even this response names a trace
+            let trace = TraceId::generate().to_wire();
+            render_error(
+                engine,
+                None,
+                &trace,
+                &ApiError::new(ErrorCode::ParseError, format!("bad json: {error}")),
+            )
+        }
         Ok(value) => handle_value(engine, &value),
     }
 }
 
-/// Handles one parsed request object, including the `v`/`id` envelope
-/// and the `batch` op.
+/// Handles one parsed request object, including the `v`/`id`/`trace`
+/// envelope and the `batch` op.
 pub fn handle_value(engine: &Arc<Engine>, value: &Json) -> Json {
-    handle_envelope(engine, value, true)
+    handle_envelope(engine, value, None)
 }
 
-fn handle_envelope(engine: &Arc<Engine>, value: &Json, allow_batch: bool) -> Json {
+/// Resolves the request's trace id: its own `trace` field wins, then the
+/// enclosing batch's, then a freshly generated id.
+fn resolve_trace(value: &Json, inherited: Option<&str>) -> String {
+    match value.get("trace").and_then(Json::as_str) {
+        Some(wire) => wire.to_string(),
+        None => match inherited {
+            Some(wire) => wire.to_string(),
+            None => TraceId::generate().to_wire(),
+        },
+    }
+}
+
+/// `inherited` is `None` for a top-level request (which opens the root
+/// span) and the batch's trace for sub-requests (children of that root).
+fn handle_envelope(engine: &Arc<Engine>, value: &Json, inherited: Option<&str>) -> Json {
+    let allow_batch = inherited.is_none();
     let id = value.get("id");
+    let trace = resolve_trace(value, inherited);
+    let mut span = if inherited.is_none() {
+        obs::root_span("server.request", TraceId::from_wire(&trace))
+    } else {
+        obs::span("request")
+    };
+    if let Some(op) = value.get("op").and_then(Json::as_str) {
+        span.add_field("op", op);
+    }
     if let Err(error) = check_version(value) {
-        return render_error(engine, id, &error);
+        return render_error(engine, id, &trace, &error);
     }
     if value.get("op").and_then(Json::as_str) == Some("batch") {
         if !allow_batch {
             return render_error(
                 engine,
                 id,
+                &trace,
                 &ApiError::invalid("`batch` cannot nest inside `batch`"),
             );
         }
         let Some(items) = value.get("requests").and_then(Json::as_arr) else {
-            return render_error(engine, id, &ApiError::invalid("missing `requests`"));
+            return render_error(engine, id, &trace, &ApiError::invalid("missing `requests`"));
         };
         if items.len() > MAX_BATCH_REQUESTS {
             return render_error(
                 engine,
                 id,
+                &trace,
                 &ApiError::invalid(format!(
                     "`batch` carries {} sub-requests (limit {MAX_BATCH_REQUESTS})",
                     items.len()
@@ -932,20 +1025,22 @@ fn handle_envelope(engine: &Arc<Engine>, value: &Json, allow_batch: bool) -> Jso
         // error and does not abort the rest
         let results: Vec<Json> = items
             .iter()
-            .map(|item| handle_envelope(engine, item, false))
+            .map(|item| handle_envelope(engine, item, Some(&trace)))
             .collect();
+        engine.stats_ref().note_ok();
         let mut fields = vec![("ok".to_string(), Json::Bool(true))];
         if let Some(id) = id {
             fields.push(("id".to_string(), id.clone()));
         }
+        fields.push(("trace".to_string(), Json::Str(trace.clone())));
         fields.push(("results".to_string(), Json::Arr(results)));
         return Json::Obj(fields);
     }
     match Request::from_json(value) {
-        Err(error) => render_error(engine, id, &error),
+        Err(error) => render_error(engine, id, &trace, &error),
         Ok(request) => match dispatch(engine, &request) {
-            Ok(response) => render_ok(id, &response),
-            Err(error) => render_error(engine, id, &error),
+            Ok(response) => render_ok(engine, id, &trace, &response),
+            Err(error) => render_error(engine, id, &trace, &error),
         },
     }
 }

@@ -2,38 +2,52 @@
 //!
 //! JSON lines over TCP, `std::net` only: one request object per line in,
 //! one response object per line out (see `scrutinizer_engine::api` for
-//! the typed v1 op table, error codes, versioning and the `batch` op).
-//! All connections are served by one nonblocking readiness loop
-//! (`scrutinizer_engine::server`): requests may be pipelined arbitrarily
-//! deep per connection (responses echo the request `id`), different
-//! connections' requests execute concurrently on a worker pool, and all
-//! of them share one engine — sessions, models, cache and metrics are
-//! global.
+//! the typed v1 op table, error codes, versioning, request/trace ids and
+//! the `batch` op). All connections are served by one nonblocking
+//! readiness loop (`scrutinizer_engine::server`): requests may be
+//! pipelined arbitrarily deep per connection (responses echo the request
+//! `id` and `trace`), different connections' requests execute
+//! concurrently on a worker pool, and all of them share one engine —
+//! sessions, models, cache and metrics are global.
 //!
 //! ```text
 //! scrutinizer-serve [ADDR] [--scale small|paper] [--seed N]
 //!                   [--threads N] [--cache-capacity N] [--no-pretrain]
 //!                   [--max-conns N] [--workers N]
+//!                   [--log-level error|warn|info|debug]
+//!                   [--trace-log FILE]
 //!
 //! ADDR defaults to 127.0.0.1:7878.
 //! ```
+//!
+//! Diagnostics go to stderr as structured JSON log lines, filtered by
+//! `--log-level` (default `info`; `debug` adds per-connection chatter).
+//! `--trace-log FILE` enables the tracing subsystem and appends every
+//! span and event record from the flight recorder to `FILE` as JSON
+//! lines, drained by a background thread — one line per span, carrying
+//! the wire-propagated trace id, so a single request's causal path can
+//! be reassembled offline with `grep`/`jq`.
 //!
 //! Quick tour (with `nc` as the client):
 //!
 //! ```text
 //! $ scrutinizer-serve &
 //! $ printf '%s\n' '{"op":"open","checker":"S1","v":1,"id":1}' | nc -q1 127.0.0.1 7878
-//! {"ok":true,"id":1,"session":1}
+//! {"ok":true,"id":1,"trace":"...","session":1}
 //! $ printf '%s\n' '{"op":"submit","session":1,"claims":[0,1,2]}' | nc -q1 127.0.0.1 7878
-//! {"ok":true,"batch":[{"claim":0,"expected_cost":...,"screens":[...]}]}
+//! {"ok":true,"trace":"...","batch":[{"claim":0,"expected_cost":...,"screens":[...]}]}
 //! ```
 
+use std::io::Write as _;
 use std::process::exit;
+use std::time::Duration;
 
 use scrutinizer_core::SystemConfig;
 use scrutinizer_corpus::{Corpus, CorpusConfig};
 use scrutinizer_engine::engine::{Engine, EngineOptions};
 use scrutinizer_engine::server::{Server, ServerOptions};
+use scrutinizer_obs::log::LogLevel;
+use scrutinizer_obs::{self as obs, log_error, log_info, log_warn};
 
 struct Args {
     addr: String,
@@ -44,6 +58,8 @@ struct Args {
     pretrain: bool,
     max_connections: Option<usize>,
     workers: Option<usize>,
+    log_level: LogLevel,
+    trace_log: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +72,8 @@ fn parse_args() -> Args {
         pretrain: true,
         max_connections: None,
         workers: None,
+        log_level: LogLevel::Info,
+        trace_log: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -104,12 +122,20 @@ fn parse_args() -> Args {
                 let value = value_of("--workers");
                 args.workers = Some(int_value("--workers", value));
             }
+            "--log-level" => {
+                args.log_level = value_of("--log-level").parse().unwrap_or_else(|error| {
+                    eprintln!("--log-level: {error}");
+                    exit(2);
+                })
+            }
+            "--trace-log" => args.trace_log = Some(value_of("--trace-log")),
             "--no-pretrain" => args.pretrain = false,
             "--help" | "-h" => {
                 eprintln!(
                     "scrutinizer-serve [ADDR] [--scale small|paper] [--seed N] \
                      [--threads N] [--cache-capacity N] [--no-pretrain] \
-                     [--max-conns N] [--workers N]"
+                     [--max-conns N] [--workers N] \
+                     [--log-level error|warn|info|debug] [--trace-log FILE]"
                 );
                 exit(0);
             }
@@ -123,8 +149,63 @@ fn parse_args() -> Args {
     args
 }
 
+/// How often the `--trace-log` sink thread drains the flight recorder.
+/// Short enough that the bounded per-thread rings rarely wrap between
+/// drains under steady load.
+const TRACE_LOG_DRAIN_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Enables tracing and starts the background sink that appends every
+/// flight-recorder record to `path` as JSON lines.
+fn start_trace_log(path: &str) {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap_or_else(|error| {
+            log_error!(
+                "cannot open trace log",
+                path = path,
+                error = error.to_string(),
+            );
+            exit(1);
+        });
+    obs::set_tracing(true);
+    log_info!("trace log enabled", path = path);
+    let path = path.to_string();
+    std::thread::Builder::new()
+        .name("trace-log-sink".to_string())
+        .spawn(move || {
+            let mut writer = std::io::BufWriter::new(file);
+            let mut dropped_seen = 0;
+            loop {
+                std::thread::sleep(TRACE_LOG_DRAIN_INTERVAL);
+                let records = obs::drain();
+                for record in &records {
+                    if writeln!(writer, "{}", record.to_json_line()).is_err() {
+                        log_error!("trace log write failed; sink stopped", path = path.as_str());
+                        return;
+                    }
+                }
+                if !records.is_empty() && writer.flush().is_err() {
+                    log_error!("trace log flush failed; sink stopped", path = path.as_str());
+                    return;
+                }
+                let dropped = obs::dropped_records();
+                if dropped > dropped_seen {
+                    log_warn!("flight recorder dropped records", dropped_total = dropped);
+                    dropped_seen = dropped;
+                }
+            }
+        })
+        .expect("spawning trace-log sink thread failed");
+}
+
 fn main() {
     let args = parse_args();
+    obs::log::set_log_level(args.log_level);
+    if let Some(path) = &args.trace_log {
+        start_trace_log(path);
+    }
     let corpus_config = match args.scale {
         "paper" => CorpusConfig {
             seed: args.seed,
@@ -135,9 +216,11 @@ fn main() {
             ..CorpusConfig::small()
         },
     };
-    eprintln!(
-        "generating {} corpus (seed {}): {} claims ...",
-        args.scale, args.seed, corpus_config.n_claims
+    log_info!(
+        "generating corpus",
+        scale = args.scale,
+        seed = args.seed,
+        claims = corpus_config.n_claims,
     );
     let corpus = Corpus::generate(corpus_config);
     let mut options = EngineOptions::default();
@@ -149,7 +232,7 @@ fn main() {
     }
     let engine = Engine::with_options(corpus, SystemConfig::default(), options);
     if args.pretrain {
-        eprintln!("pre-training classifiers on the full corpus ...");
+        log_info!("pre-training classifiers on the full corpus");
         engine.pretrain(None);
     }
 
@@ -161,15 +244,22 @@ fn main() {
         server_options.workers = workers;
     }
     let server = Server::bind(engine, &args.addr, server_options).unwrap_or_else(|error| {
-        eprintln!("cannot bind {}: {error}", args.addr);
+        log_error!(
+            "cannot bind",
+            addr = args.addr.as_str(),
+            error = error.to_string(),
+        );
         exit(1);
     });
-    eprintln!(
-        "scrutinizer-serve listening on {} (protocol v1, up to {} connections, {} workers)",
-        args.addr, server_options.max_connections, server_options.workers
+    log_info!(
+        "scrutinizer-serve listening",
+        addr = args.addr.as_str(),
+        protocol_version = 1u64,
+        max_connections = server_options.max_connections,
+        workers = server_options.workers,
     );
     if let Err(error) = server.run() {
-        eprintln!("serving loop failed: {error}");
+        log_error!("serving loop failed", error = error.to_string());
         exit(1);
     }
 }

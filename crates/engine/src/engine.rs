@@ -26,7 +26,8 @@ use crate::cache::{normalize_sql, CachedResult, PlanKey, QueryCache};
 use crate::executor::ThreadPool;
 use crate::session::{ClaimPhase, ClaimQuestions, ClaimTask, SessionId, SessionState, Suggestion};
 use crate::snapshot::{ModelSnapshot, SnapshotCell};
-use crate::stats::{EngineStats, StatsSnapshot};
+use crate::stats::{Counter, EngineStats, StatsSnapshot};
+use scrutinizer_obs as obs;
 
 /// Engine sizing and behavior knobs.
 #[derive(Debug, Clone, Copy)]
@@ -320,16 +321,19 @@ impl Engine {
             .expect("retrain serializer poisoned");
         let snapshot = self.models.load();
         let mut models = snapshot.models.clone();
-        self.stats.retrain_latency.time(|| match kind {
-            RetrainKind::FromScratch => {
-                let refs: Vec<&ClaimRecord> = claim_ids
-                    .iter()
-                    .map(|&id| &self.corpus.claims[id])
-                    .collect();
-                models.retrain(&refs);
-            }
-            RetrainKind::Incremental => {
-                models.retrain_incremental(&self.features, &self.corpus.claims, claim_ids);
+        self.stats.retrain_latency.time(|| {
+            let _span = obs::span!("retrain", claims = claim_ids.len());
+            match kind {
+                RetrainKind::FromScratch => {
+                    let refs: Vec<&ClaimRecord> = claim_ids
+                        .iter()
+                        .map(|&id| &self.corpus.claims[id])
+                        .collect();
+                    models.retrain(&refs);
+                }
+                RetrainKind::Incremental => {
+                    models.retrain_incremental(&self.features, &self.corpus.claims, claim_ids);
+                }
             }
         });
         let epoch = self.models.publish(models);
@@ -434,10 +438,16 @@ impl Engine {
                 }
                 let task = self.stats.plan_latency.time(|| {
                     let features = self.features.features(claim_id);
-                    let translation = snapshot
-                        .models
-                        .translate_view(features, self.config.options_per_screen);
-                    let plan = plan_claim(&translation, &self.config);
+                    let translation = {
+                        let _span = obs::span!("translate", claim = claim_id);
+                        snapshot
+                            .models
+                            .translate_view(features, self.config.options_per_screen)
+                    };
+                    let plan = {
+                        let _span = obs::span!("plan", claim = claim_id);
+                        plan_claim(&translation, &self.config)
+                    };
                     ClaimTask {
                         translation,
                         plan,
@@ -531,13 +541,16 @@ impl Engine {
         let budget = self.config.batch_size as f64 * mean_cost * 1.3
             + 3.0 * self.config.read_seconds_per_sentence * 400.0;
         let before = state.planner.counters();
-        let selection = state.planner.plan(
-            &choices,
-            &self.corpus.document,
-            self.options.ordering,
-            budget,
-            &self.config,
-        );
+        let selection = {
+            let _span = obs::span!("plan_batch", open = open.len());
+            state.planner.plan(
+                &choices,
+                &self.corpus.document,
+                self.options.ordering,
+                budget,
+                &self.config,
+            )
+        };
         let after = state.planner.counters();
         let fallback = state.planner.last_fallback().map(|e| e.to_string());
         self.note_planned(before, after, fallback);
@@ -632,7 +645,11 @@ impl Engine {
         task.phase = ClaimPhase::Suggesting;
         let claim = &self.corpus.claims[claim_id];
         let screen = self.stats.suggest_latency.time(|| {
-            let candidates = self.generate_candidates(claim, task);
+            let candidates = {
+                let _span = obs::span!("qgen", claim = claim_id);
+                self.generate_candidates(claim, task)
+            };
+            let _span = obs::span!("score", claim = claim_id);
             FinalScreen::new(
                 candidates,
                 task.translation.of(PropertyKind::Formula),
@@ -718,9 +735,9 @@ impl Engine {
         after: PlannerCounters,
         fallback: Option<String>,
     ) {
-        let add = |counter: &AtomicU64, delta: u64| {
+        let add = |counter: &Counter, delta: u64| {
             if delta > 0 {
-                counter.fetch_add(delta, Ordering::Relaxed);
+                counter.add(delta);
             }
         };
         add(&self.stats.planner_plans, after.plans - before.plans);
@@ -804,7 +821,18 @@ impl Engine {
             self.retrain_active.store(false, Ordering::Release);
             return false;
         };
-        self.trainer.execute(move || engine.background_retrain());
+        // carry the triggering request's trace onto the trainer thread, so
+        // the drained flight recorder stitches the verdict that crossed the
+        // threshold to the retrain it caused
+        let trace = obs::current_trace();
+        self.trainer.execute(move || {
+            let mut root = obs::root_span(
+                "retrain.background",
+                trace.unwrap_or_else(obs::TraceId::generate),
+            );
+            root.add_field("triggered_by_request", trace.is_some());
+            engine.background_retrain()
+        });
         true
     }
 
@@ -891,6 +919,7 @@ impl Engine {
             cache: &self.cache,
             formula_ids: &self.formula_ids,
         };
+        let _span = obs::span!("execute");
         generate_queries_with(
             &self.corpus.catalog,
             &self.registry,
@@ -1086,6 +1115,7 @@ impl Engine {
     /// executor like every internal evaluation.
     pub fn run_sql(&self, sql: &str) -> Result<f64, EngineError> {
         self.stats.bump(&self.stats.sql_executed);
+        let _span = obs::span!("sql");
         let normalized = normalize_sql(sql);
         let key = PlanKey::sql(normalized.clone());
         let result = self.cache.get_or_insert_with(&key, || {
@@ -1114,9 +1144,28 @@ impl Engine {
         &self.stats
     }
 
+    /// Renders the unified metrics registry to Prometheus text exposition
+    /// format, refreshing the mirrored gauges (live sessions, model epoch,
+    /// cache and pool levels) first so the output reports the same values
+    /// as [`stats`](Self::stats) for every shared series.
+    pub fn render_metrics(&self) -> String {
+        let stats = &self.stats;
+        stats.sessions_live.set(self.session_count() as u64);
+        stats.model_epoch.set(self.models.epoch());
+        stats
+            .pending_examples
+            .set(self.pending.lock().expect("pending log poisoned").len() as u64);
+        stats.cache_hits.store(self.cache.hits());
+        stats.cache_misses.store(self.cache.misses());
+        stats.cache_entries.set(self.cache.len() as u64);
+        stats.queue_depth.set(self.pool.queue_depth() as u64);
+        stats.jobs_in_flight.set(self.pool.in_flight() as u64);
+        stats.registry().render()
+    }
+
     /// Point-in-time metrics.
     pub fn stats(&self) -> StatsSnapshot {
-        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let load = |c: &Counter| c.get();
         StatsSnapshot {
             sessions_opened: load(&self.stats.sessions_opened),
             sessions_closed: load(&self.stats.sessions_closed),
@@ -1143,13 +1192,15 @@ impl Engine {
                 .lock()
                 .expect("fallback slot poisoned")
                 .clone(),
-            connections_open: load(&self.stats.connections_open),
-            requests_in_flight: load(&self.stats.requests_in_flight),
-            pipeline_depth: load(&self.stats.pipeline_depth),
+            requests_total: load(&self.stats.requests_total),
+            requests_ok: load(&self.stats.requests_ok),
+            connections_open: self.stats.connections_open.get(),
+            requests_in_flight: self.stats.requests_in_flight.get(),
+            pipeline_depth: self.stats.pipeline_depth.get(),
             wire_errors: {
                 let mut counts = [0u64; crate::api::ErrorCode::COUNT];
                 for (slot, counter) in counts.iter_mut().zip(&self.stats.wire_errors) {
-                    *slot = counter.load(Ordering::Relaxed);
+                    *slot = counter.get();
                 }
                 counts
             },

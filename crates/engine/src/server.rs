@@ -234,7 +234,7 @@ impl Server {
             // even when the connection died meanwhile: the work happened.
             while let Some((conn_id, response)) = parked.take().or_else(|| done_rx.try_recv().ok())
             {
-                stats.requests_in_flight.fetch_sub(1, Ordering::Relaxed);
+                stats.requests_in_flight.dec();
                 jobs_outstanding = jobs_outstanding.saturating_sub(1);
                 if let Some(conn) = conns.get_mut(&conn_id) {
                     conn.push_response(&response);
@@ -259,12 +259,17 @@ impl Server {
                             let _ = stream.set_nodelay(true);
                             conns.insert(next_conn, Connection::new(stream));
                             next_conn += 1;
-                            stats.connections_open.fetch_add(1, Ordering::Relaxed);
+                            stats.connections_open.inc();
+                            scrutinizer_obs::log_debug!(
+                                "connection accepted",
+                                conn = next_conn - 1,
+                                open = conns.len(),
+                            );
                         }
                         Err(error) if error.kind() == ErrorKind::WouldBlock => break,
                         Err(error) if error.kind() == ErrorKind::Interrupted => continue,
                         Err(error) => {
-                            eprintln!("accept failed: {error}");
+                            scrutinizer_obs::log_error!("accept failed", error = error.to_string(),);
                             break;
                         }
                     }
@@ -283,7 +288,7 @@ impl Server {
                     if let Some(line) = conn.queue.pop_front() {
                         conn.in_flight = true;
                         jobs_outstanding += 1;
-                        stats.requests_in_flight.fetch_add(1, Ordering::Relaxed);
+                        stats.requests_in_flight.inc();
                         let engine = Arc::clone(&self.engine);
                         let done = done_tx.clone();
                         pool.execute(move || {
@@ -301,7 +306,8 @@ impl Server {
             }
             for conn_id in closed {
                 conns.remove(&conn_id);
-                stats.connections_open.fetch_sub(1, Ordering::Relaxed);
+                stats.connections_open.dec();
+                scrutinizer_obs::log_debug!("connection closed", conn = conn_id);
                 progress = true;
             }
 
@@ -329,6 +335,10 @@ impl Server {
         self.engine
             .stats_ref()
             .note_wire_error(ErrorCode::Overloaded);
+        scrutinizer_obs::log_warn!(
+            "connection rejected at limit",
+            max_connections = self.options.max_connections,
+        );
         let _ = stream.set_nonblocking(true);
         let mut stream = stream;
         let _ = stream.write_all(

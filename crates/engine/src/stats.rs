@@ -1,151 +1,85 @@
-//! The engine's metrics surface: lock-free counters and per-stage latency
-//! histograms, snapshotted on demand for the `stats` endpoint and the
-//! benches.
+//! The engine's metrics surface: registry-backed counters, gauges, and
+//! per-stage latency histograms, snapshotted on demand for the `stats`
+//! endpoint and rendered to Prometheus text exposition for the `metrics`
+//! endpoint.
+//!
+//! Since the observability PR every series lives on one
+//! [`MetricsRegistry`] owned by [`EngineStats`] — the same atomics back
+//! the `stats` JSON, the `metrics` exposition, and the benches, so the
+//! two endpoints can never disagree. The histogram type itself
+//! ([`LatencyHistogram`]) is re-exported from `scrutinizer-obs`, which
+//! keeps the exact log₂ bucketing this module always used.
+//!
+//! **Conservation invariant**: every response line the service emits is
+//! counted exactly once — [`EngineStats::note_ok`] on success,
+//! [`EngineStats::note_wire_error`] on error — so
+//! `requests_total == requests_ok + Σ wire_errors[code]` holds at any
+//! quiescent point. Batch sub-requests count individually (their
+//! per-item responses are real responses); the enclosing batch envelope
+//! counts once as its own success or failure.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+
+use scrutinizer_obs::MetricsRegistry;
 
 use crate::api::ErrorCode;
 
-/// Number of power-of-two latency buckets; bucket `i` holds samples in
-/// `[2^i, 2^(i+1))` microseconds, with the last bucket open-ended. 26
-/// buckets span 1 µs to over a minute.
-const BUCKETS: usize = 26;
+pub use scrutinizer_obs::{Counter, Gauge, Histogram as LatencyHistogram, HistogramSnapshot};
 
-/// A log₂-bucketed latency histogram over microseconds. Recording is a
-/// single relaxed atomic increment; snapshots derive mean and
-/// percentile estimates from the buckets.
-#[derive(Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    total_micros: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// Records one duration.
-    pub fn record(&self, elapsed: Duration) {
-        let micros = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_micros.fetch_add(micros, Ordering::Relaxed);
-    }
-
-    /// Times `routine`, records the elapsed time, and passes its result
-    /// through.
-    pub fn time<T>(&self, routine: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
-        let result = routine();
-        self.record(start.elapsed());
-        result
-    }
-
-    /// A consistent-enough copy for reporting (relaxed reads; counters may
-    /// lag each other by in-flight recordings).
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        let buckets: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let count: u64 = buckets.iter().sum();
-        let total_micros = self.total_micros.load(Ordering::Relaxed);
-        HistogramSnapshot {
-            buckets,
-            count,
-            total_micros,
-        }
-    }
-}
-
-/// Point-in-time view of one histogram.
-#[derive(Debug, Clone)]
-pub struct HistogramSnapshot {
-    /// Sample count per power-of-two bucket (microseconds).
-    pub buckets: Vec<u64>,
-    /// Total samples.
-    pub count: u64,
-    /// Sum of all samples, microseconds.
-    pub total_micros: u64,
-}
-
-impl HistogramSnapshot {
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_micros(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.total_micros as f64 / self.count as f64
-        }
-    }
-
-    /// Upper-bound estimate (bucket ceiling) of the `q`-quantile in
-    /// microseconds, `q` in `[0, 1]`.
-    pub fn quantile_micros(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return 1u64 << (i + 1); // bucket ceiling
-            }
-        }
-        1u64 << self.buckets.len()
-    }
-}
-
-/// Everything the engine counts, one atomic per series.
-#[derive(Default)]
+/// Everything the engine counts: cheap cloneable handles onto series
+/// registered once in the engine's [`MetricsRegistry`].
 pub struct EngineStats {
+    registry: MetricsRegistry,
     /// Sessions ever opened.
-    pub sessions_opened: AtomicU64,
+    pub sessions_opened: Counter,
     /// Sessions closed.
-    pub sessions_closed: AtomicU64,
+    pub sessions_closed: Counter,
     /// Claims whose verdict has been recorded.
-    pub claims_verified: AtomicU64,
+    pub claims_verified: Counter,
     /// Property-screen answers posted by checkers.
-    pub answers_posted: AtomicU64,
+    pub answers_posted: Counter,
     /// Candidate-query suggestion batches produced (Algorithm 2 runs).
-    pub suggestions_served: AtomicU64,
+    pub suggestions_served: Counter,
     /// Model retrains triggered by verified-claim accumulation.
-    pub retrains: AtomicU64,
+    pub retrains: Counter,
     /// Retrains executed by the background trainer (a subset of
     /// `retrains`; the rest are synchronous pretrains).
-    pub background_retrains: AtomicU64,
+    pub background_retrains: Counter,
     /// Raw SQL statements executed through the serving layer.
-    pub sql_executed: AtomicU64,
+    pub sql_executed: Counter,
     /// Batch-selection plans requested (all strategies).
-    pub planner_plans: AtomicU64,
+    pub planner_plans: Counter,
     /// Full ILP solves (cold or incumbent-seeded) behind those plans.
-    pub planner_cold_solves: AtomicU64,
+    pub planner_cold_solves: Counter,
     /// Plans answered by repairing a cached batch — no ILP solve.
-    pub planner_incremental_repairs: AtomicU64,
+    pub planner_incremental_repairs: Counter,
     /// Repairs rejected by the bound test (each followed by a full solve).
-    pub planner_repair_rejections: AtomicU64,
+    pub planner_repair_rejections: Counter,
     /// ILP failures that degraded to the greedy heuristic.
-    pub planner_fallbacks: AtomicU64,
+    pub planner_fallbacks: Counter,
     /// Branch & bound nodes explored across all planning solves.
-    pub planner_nodes: AtomicU64,
+    pub planner_nodes: Counter,
     /// Planning LP solves that reused a prior basis (phase 1 skipped).
-    pub planner_warm_start_hits: AtomicU64,
+    pub planner_warm_start_hits: Counter,
     /// Total LP relaxations solved while planning.
-    pub planner_lp_solves: AtomicU64,
+    pub planner_lp_solves: Counter,
     /// Human-readable reason of the most recent planner fallback.
     pub planner_last_fallback: Mutex<Option<String>>,
+    /// Responses emitted, success or error (see the conservation
+    /// invariant in the module docs).
+    pub requests_total: Counter,
+    /// Responses emitted successfully.
+    pub requests_ok: Counter,
     /// TCP connections currently registered with the serving loop (gauge).
-    pub connections_open: AtomicU64,
+    pub connections_open: Gauge,
     /// Requests handed to the serving workers and not yet answered (gauge).
-    pub requests_in_flight: AtomicU64,
+    pub requests_in_flight: Gauge,
     /// High-water mark of one connection's queued + in-flight requests —
     /// how deeply clients actually pipeline.
-    pub pipeline_depth: AtomicU64,
-    /// Wire errors by [`ErrorCode`] (indexed by [`ErrorCode::index`]).
-    pub wire_errors: [AtomicU64; ErrorCode::COUNT],
+    pub pipeline_depth: Gauge,
+    /// Wire errors by [`ErrorCode`] (indexed by [`ErrorCode::index`]);
+    /// one labeled `scrutinizer_wire_errors_total{code="..."}` series each.
+    pub wire_errors: [Counter; ErrorCode::COUNT],
     /// Latency of claim planning (translation + screen selection).
     pub plan_latency: LatencyHistogram,
     /// Latency of query generation (Algorithm 2, cache-assisted).
@@ -154,22 +88,206 @@ pub struct EngineStats {
     pub verify_latency: LatencyHistogram,
     /// Latency of model retraining.
     pub retrain_latency: LatencyHistogram,
+    /// Sessions currently live (mirrored for exposition).
+    pub sessions_live: Gauge,
+    /// Published model generation (mirrored for exposition).
+    pub model_epoch: Gauge,
+    /// Verified claims awaiting the next retrain (mirrored for exposition).
+    pub pending_examples: Gauge,
+    /// Query-result cache hits (mirrored from the cache for exposition).
+    pub cache_hits: Counter,
+    /// Query-result cache misses (mirrored from the cache for exposition).
+    pub cache_misses: Counter,
+    /// Entries resident in the query-result cache (mirrored).
+    pub cache_entries: Gauge,
+    /// Jobs waiting in the executor queue (mirrored).
+    pub queue_depth: Gauge,
+    /// Jobs currently executing on the pool (mirrored).
+    pub jobs_in_flight: Gauge,
+}
+
+impl Default for EngineStats {
+    fn default() -> Self {
+        EngineStats::new()
+    }
 }
 
 impl EngineStats {
-    /// Bumps a counter by one.
-    pub fn bump(&self, counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Builds the stats block, registering every series on a fresh
+    /// registry.
+    pub fn new() -> EngineStats {
+        let r = MetricsRegistry::new();
+        let wire_errors = std::array::from_fn(|i| {
+            r.counter_with_label(
+                "scrutinizer_wire_errors_total",
+                "Error responses emitted, by stable error code.",
+                "code",
+                ErrorCode::ALL[i].name(),
+            )
+        });
+        EngineStats {
+            sessions_opened: r.counter(
+                "scrutinizer_sessions_opened_total",
+                "Checker sessions ever opened.",
+            ),
+            sessions_closed: r.counter(
+                "scrutinizer_sessions_closed_total",
+                "Checker sessions closed.",
+            ),
+            claims_verified: r.counter(
+                "scrutinizer_claims_verified_total",
+                "Claims whose verdict has been recorded.",
+            ),
+            answers_posted: r.counter(
+                "scrutinizer_answers_posted_total",
+                "Property-screen answers posted by checkers.",
+            ),
+            suggestions_served: r.counter(
+                "scrutinizer_suggestions_served_total",
+                "Candidate-query suggestion batches produced (Algorithm 2 runs).",
+            ),
+            retrains: r.counter(
+                "scrutinizer_retrains_total",
+                "Model retrains triggered by verified-claim accumulation.",
+            ),
+            background_retrains: r.counter(
+                "scrutinizer_background_retrains_total",
+                "Retrains executed by the background trainer.",
+            ),
+            sql_executed: r.counter(
+                "scrutinizer_sql_executed_total",
+                "Raw SQL statements executed through the serving layer.",
+            ),
+            planner_plans: r.counter(
+                "scrutinizer_planner_plans_total",
+                "Batch-selection plans requested (all strategies).",
+            ),
+            planner_cold_solves: r.counter(
+                "scrutinizer_planner_cold_solves_total",
+                "Full ILP solves (cold or incumbent-seeded).",
+            ),
+            planner_incremental_repairs: r.counter(
+                "scrutinizer_planner_incremental_repairs_total",
+                "Plans answered by repairing a cached batch, no ILP solve.",
+            ),
+            planner_repair_rejections: r.counter(
+                "scrutinizer_planner_repair_rejections_total",
+                "Repairs rejected by the bound test.",
+            ),
+            planner_fallbacks: r.counter(
+                "scrutinizer_planner_fallbacks_total",
+                "ILP failures that degraded to the greedy heuristic.",
+            ),
+            planner_nodes: r.counter(
+                "scrutinizer_planner_nodes_total",
+                "Branch & bound nodes explored across all planning solves.",
+            ),
+            planner_warm_start_hits: r.counter(
+                "scrutinizer_planner_warm_start_hits_total",
+                "Planning LP solves that reused a prior basis.",
+            ),
+            planner_lp_solves: r.counter(
+                "scrutinizer_planner_lp_solves_total",
+                "Total LP relaxations solved while planning.",
+            ),
+            planner_last_fallback: Mutex::new(None),
+            requests_total: r.counter(
+                "scrutinizer_requests_total",
+                "Responses emitted, success or error.",
+            ),
+            requests_ok: r.counter(
+                "scrutinizer_requests_ok_total",
+                "Responses emitted successfully.",
+            ),
+            connections_open: r.gauge(
+                "scrutinizer_connections_open",
+                "TCP connections currently registered with the serving loop.",
+            ),
+            requests_in_flight: r.gauge(
+                "scrutinizer_requests_in_flight",
+                "Requests handed to the serving workers and not yet answered.",
+            ),
+            pipeline_depth: r.gauge(
+                "scrutinizer_pipeline_depth",
+                "High-water mark of one connection's queued + in-flight requests.",
+            ),
+            wire_errors,
+            plan_latency: r.histogram(
+                "scrutinizer_plan_latency_seconds",
+                "Latency of claim planning (translation + screen selection).",
+            ),
+            suggest_latency: r.histogram(
+                "scrutinizer_suggest_latency_seconds",
+                "Latency of query generation (Algorithm 2, cache-assisted).",
+            ),
+            verify_latency: r.histogram(
+                "scrutinizer_verify_latency_seconds",
+                "Latency of full single-claim verification drives.",
+            ),
+            retrain_latency: r.histogram(
+                "scrutinizer_retrain_latency_seconds",
+                "Latency of model retraining.",
+            ),
+            sessions_live: r.gauge("scrutinizer_sessions_live", "Sessions currently live."),
+            model_epoch: r.gauge(
+                "scrutinizer_model_epoch",
+                "The published model generation (bumped by every retrain).",
+            ),
+            pending_examples: r.gauge(
+                "scrutinizer_pending_examples",
+                "Verified claims awaiting the next retrain.",
+            ),
+            cache_hits: r.counter("scrutinizer_cache_hits_total", "Query-result cache hits."),
+            cache_misses: r.counter(
+                "scrutinizer_cache_misses_total",
+                "Query-result cache misses.",
+            ),
+            cache_entries: r.gauge(
+                "scrutinizer_cache_entries",
+                "Entries resident in the query-result cache.",
+            ),
+            queue_depth: r.gauge(
+                "scrutinizer_queue_depth",
+                "Jobs waiting in the executor queue.",
+            ),
+            jobs_in_flight: r.gauge(
+                "scrutinizer_jobs_in_flight",
+                "Jobs currently executing on the pool.",
+            ),
+            registry: r,
+        }
     }
 
-    /// Bumps the wire-error counter for `code`.
+    /// The registry backing every series — render it for the `metrics`
+    /// endpoint. Mirrored gauges (`sessions_live`, cache and pool levels)
+    /// are refreshed by [`Engine::render_metrics`](crate::Engine::render_metrics)
+    /// just before rendering.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Bumps a counter by one.
+    pub fn bump(&self, counter: &Counter) {
+        counter.inc();
+    }
+
+    /// Counts one successfully emitted response (conservation: also bumps
+    /// the total).
+    pub fn note_ok(&self) {
+        self.requests_total.inc();
+        self.requests_ok.inc();
+    }
+
+    /// Counts one emitted error response under `code` (conservation: also
+    /// bumps the total).
     pub fn note_wire_error(&self, code: ErrorCode) {
-        self.wire_errors[code.index()].fetch_add(1, Ordering::Relaxed);
+        self.requests_total.inc();
+        self.wire_errors[code.index()].inc();
     }
 
     /// Raises the pipeline-depth high-water mark to at least `depth`.
     pub fn note_pipeline_depth(&self, depth: u64) {
-        self.pipeline_depth.fetch_max(depth, Ordering::Relaxed);
+        self.pipeline_depth.record_max(depth);
     }
 }
 
@@ -219,6 +337,10 @@ pub struct StatsSnapshot {
     pub planner_lp_solves: u64,
     /// The most recent planner fallback reason, if any ILP ever failed.
     pub planner_last_fallback: Option<String>,
+    /// Responses emitted, success or error.
+    pub requests_total: u64,
+    /// Responses emitted successfully.
+    pub requests_ok: u64,
     /// TCP connections currently open on the serving loop.
     pub connections_open: u64,
     /// Requests handed to the serving workers and not yet answered.
@@ -254,11 +376,23 @@ impl StatsSnapshot {
     pub fn wire_error(&self, code: ErrorCode) -> u64 {
         self.wire_errors[code.index()]
     }
+
+    /// Total wire errors across every code.
+    pub fn wire_errors_total(&self) -> u64 {
+        self.wire_errors.iter().sum()
+    }
+
+    /// Verifies the conservation invariant at a quiescent point:
+    /// `requests_total == requests_ok + Σ wire_errors`.
+    pub fn requests_are_conserved(&self) -> bool {
+        self.requests_total == self.requests_ok + self.wire_errors_total()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn histogram_buckets_by_magnitude() {
@@ -301,5 +435,45 @@ mod tests {
         let out = h.time(|| 21 * 2);
         assert_eq!(out, 42);
         assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn conservation_counts_every_response_once() {
+        let stats = EngineStats::default();
+        stats.note_ok();
+        stats.note_ok();
+        stats.note_wire_error(ErrorCode::ParseError);
+        stats.note_wire_error(ErrorCode::Overloaded);
+        assert_eq!(stats.requests_total.get(), 4);
+        assert_eq!(stats.requests_ok.get(), 2);
+        assert_eq!(stats.wire_errors[ErrorCode::ParseError.index()].get(), 1);
+        assert_eq!(stats.wire_errors[ErrorCode::Overloaded.index()].get(), 1);
+        let errors: u64 = stats.wire_errors.iter().map(Counter::get).sum();
+        assert_eq!(stats.requests_total.get(), stats.requests_ok.get() + errors);
+    }
+
+    #[test]
+    fn registry_exposition_carries_engine_series_and_lints() {
+        let stats = EngineStats::default();
+        stats.bump(&stats.sessions_opened);
+        stats.note_ok();
+        stats.note_wire_error(ErrorCode::UnknownOp);
+        stats.plan_latency.record(Duration::from_micros(7));
+        stats.note_pipeline_depth(3);
+        let text = stats.registry().render();
+        assert!(text.contains("scrutinizer_sessions_opened_total 1\n"));
+        assert!(text.contains("scrutinizer_requests_total 2\n"));
+        assert!(text.contains("scrutinizer_wire_errors_total{code=\"unknown_op\"} 1\n"));
+        assert!(text.contains("scrutinizer_plan_latency_seconds_count 1\n"));
+        assert!(text.contains("scrutinizer_pipeline_depth 3\n"));
+        scrutinizer_obs::expo::lint_exposition(&text).expect("engine exposition lints clean");
+    }
+
+    #[test]
+    fn pipeline_depth_is_a_high_water_mark() {
+        let stats = EngineStats::default();
+        stats.note_pipeline_depth(5);
+        stats.note_pipeline_depth(2);
+        assert_eq!(stats.pipeline_depth.get(), 5);
     }
 }

@@ -131,6 +131,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         (claims_strategy(), option_of(0u64..1 << 40))
             .prop_map(|(claims, seed)| Request::VerifyBatch { claims, seed }),
         Just(Request::Stats),
+        Just(Request::Metrics),
         session_strategy().prop_map(|session| Request::Close { session }),
     ]
 }
@@ -205,7 +206,10 @@ proptest! {
 fn pin(typed: &Arc<Engine>, legacy: &Arc<Engine>, line: &str) -> Json {
     let typed_response = handle_request(typed, line);
     let legacy_response = legacy_handle_request(legacy, line);
-    let typed_json = Json::parse(&typed_response).expect("typed response is JSON");
+    let typed_json = strip_trace(Json::parse(&typed_response).expect("typed response is JSON"));
+    // the v1 path appends a `trace` envelope field the pre-v1 oracle never
+    // emits; compare with it stripped
+    let typed_response = typed_json.render();
     let legacy_json = Json::parse(&legacy_response).expect("legacy response is JSON");
     let ok = typed_json.get("ok").and_then(Json::as_bool);
     assert_eq!(
@@ -239,6 +243,15 @@ fn pin(typed: &Arc<Engine>, legacy: &Arc<Engine>, line: &str) -> Json {
         );
     }
     typed_json
+}
+
+/// Drops the generated top-level `trace` envelope field, which has no
+/// counterpart in the legacy oracle's responses.
+fn strip_trace(value: Json) -> Json {
+    match value {
+        Json::Obj(fields) => Json::Obj(fields.into_iter().filter(|(k, _)| k != "trace").collect()),
+        other => other,
+    }
 }
 
 /// The key skeleton of a JSON value: object keys in order, array arity,

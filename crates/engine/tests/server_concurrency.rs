@@ -57,6 +57,20 @@ fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &s
     Json::parse(response.trim()).expect("response is JSON")
 }
 
+/// Conservation invariant of the request counters: every response line
+/// the server ever rendered was counted exactly once, as a success or as
+/// exactly one error code.
+fn assert_requests_conserved(engine: &Engine) {
+    let stats = engine.stats();
+    assert!(
+        stats.requests_are_conserved(),
+        "requests_total {} != requests_ok {} + wire errors {}",
+        stats.requests_total,
+        stats.requests_ok,
+        stats.wire_errors_total()
+    );
+}
+
 #[test]
 fn sustains_64_concurrent_connections() {
     const CLIENTS: usize = 64;
@@ -122,6 +136,7 @@ fn sustains_64_concurrent_connections() {
         "every connection must be unregistered after shutdown"
     );
     assert_eq!(engine.stats().requests_in_flight, 0);
+    assert_requests_conserved(&engine);
 }
 
 #[test]
@@ -193,6 +208,7 @@ fn pipelined_requests_are_answered_in_order_and_matched_by_id() {
 
     handle.shutdown();
     join.join().expect("server thread").expect("clean shutdown");
+    assert_requests_conserved(&engine);
 }
 
 #[test]
@@ -245,6 +261,13 @@ fn batch_op_round_trips_over_tcp() {
 
     handle.shutdown();
     join.join().expect("server thread").expect("clean shutdown");
+    // the four sub-responses (one of them an error) and the batch
+    // envelope are all individually conserved
+    let stats = engine.stats();
+    assert_eq!(stats.requests_total, 5);
+    assert_eq!(stats.requests_ok, 4);
+    assert_eq!(stats.wire_errors_total(), 1);
+    assert_requests_conserved(&engine);
 }
 
 #[test]
@@ -286,6 +309,7 @@ fn backpressure_bounds_buffers_without_losing_responses() {
 
     handle.shutdown();
     join.join().expect("server thread").expect("clean shutdown");
+    assert_requests_conserved(&engine);
 }
 
 #[test]
@@ -330,6 +354,8 @@ fn connection_limit_rejects_with_overloaded() {
     drop((s1, r1, s2, r2));
     handle.shutdown();
     join.join().expect("server thread").expect("clean shutdown");
+    // the rejection line is an emitted response too, so it conserves
+    assert_requests_conserved(&engine);
 }
 
 #[test]
@@ -363,6 +389,7 @@ fn oversized_lines_answer_parse_error_and_close() {
 
     handle.shutdown();
     join.join().expect("server thread").expect("clean shutdown");
+    assert_requests_conserved(&engine);
 }
 
 #[test]
@@ -427,6 +454,7 @@ fn pipeline_cap_bounds_queue_depth() {
 
     handle.shutdown();
     join.join().expect("server thread").expect("clean shutdown");
+    assert_requests_conserved(&engine);
 }
 
 #[test]
@@ -477,6 +505,7 @@ fn graceful_shutdown_drains_and_returns() {
     assert_eq!(reader.read_line(&mut rest).expect("EOF on shutdown"), 0);
     join.join().expect("server thread").expect("clean shutdown");
     assert_eq!(engine.stats().connections_open, 0);
+    assert_requests_conserved(&engine);
 
     // new connections are refused once the listener is gone
     assert!(

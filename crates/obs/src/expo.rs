@@ -1,0 +1,420 @@
+//! A parser/lint for the Prometheus text exposition format.
+//!
+//! The test suite runs [`lint_exposition`] against the live `metrics` op
+//! output so a malformed renderer cannot ship: it rejects syntactically
+//! invalid lines, duplicate series, duplicate or misplaced `# TYPE`
+//! declarations, and incoherent histograms (non-cumulative buckets,
+//! missing `+Inf`, `_count` disagreeing with the `+Inf` bucket).
+
+use std::collections::HashMap;
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (for histograms, the expanded `_bucket`/`_sum`/
+    /// `_count` name).
+    pub name: String,
+    /// Label pairs in appearance order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// Every sample line in order.
+    pub samples: Vec<Sample>,
+    /// `# TYPE` declarations: name → type.
+    pub types: HashMap<String, String>,
+}
+
+impl Exposition {
+    /// The value of the unique sample with `name` and no labels, if any.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// The value of the unique sample with `name` carrying the label
+    /// `key="label"`, if any.
+    pub fn labeled_value(&self, name: &str, key: &str, label: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.iter().any(|(k, v)| k == key && v == label))
+            .map(|s| s.value)
+    }
+}
+
+/// A lint failure: the offending 1-based line number and a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpoError {
+    /// 1-based line number (0 for document-level failures).
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExpoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exposition line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ExpoError {}
+
+fn fail(line: usize, message: impl Into<String>) -> ExpoError {
+    ExpoError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn is_metric_name(name: &str) -> bool {
+    let mut bytes = name.bytes();
+    match bytes.next() {
+        Some(b) if b.is_ascii_alphabetic() || b == b'_' || b == b':' => {}
+        _ => return false,
+    }
+    bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+}
+
+fn is_label_name(name: &str) -> bool {
+    let mut bytes = name.bytes();
+    match bytes.next() {
+        Some(b) if b.is_ascii_alphabetic() || b == b'_' => {}
+        _ => return false,
+    }
+    bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+fn parse_value(raw: &str) -> Option<f64> {
+    match raw {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse::<f64>().ok(),
+    }
+}
+
+/// Parses one `{key="value",...}` label block (input excludes braces).
+fn parse_labels(raw: &str, line: usize) -> Result<Vec<(String, String)>, ExpoError> {
+    let mut labels = Vec::new();
+    let mut rest = raw.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| fail(line, "label without '='"))?;
+        let key = rest[..eq].trim();
+        if !is_label_name(key) {
+            return Err(fail(line, format!("invalid label name {key:?}")));
+        }
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return Err(fail(line, "label value must be quoted"));
+        }
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut end = None;
+        while let Some((i, ch)) = chars.next() {
+            match ch {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    _ => return Err(fail(line, "bad escape in label value")),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| fail(line, "unterminated label value"))?;
+        labels.push((key.to_string(), value));
+        rest = rest[1 + end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+            if rest.is_empty() {
+                return Err(fail(line, "trailing comma in label set"));
+            }
+        } else if !rest.is_empty() {
+            return Err(fail(line, "garbage after label value"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Parses and lints an exposition document. Returns the parsed samples
+/// and type declarations, or the first failure found.
+pub fn lint_exposition(text: &str) -> Result<Exposition, ExpoError> {
+    if text.is_empty() {
+        return Err(fail(0, "empty exposition"));
+    }
+    if !text.ends_with('\n') {
+        return Err(fail(0, "exposition must end with a newline"));
+    }
+    let mut exposition = Exposition::default();
+    // (name, rendered label set) → first line, for duplicate detection.
+    let mut seen: HashMap<(String, String), usize> = HashMap::new();
+    // families that already emitted a sample (TYPE must precede samples).
+    let mut sampled: HashMap<String, usize> = HashMap::new();
+
+    for (index, line) in text.lines().enumerate() {
+        let number = index + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| fail(number, "# TYPE without a name"))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| fail(number, "# TYPE without a type"))?;
+                if parts.next().is_some() {
+                    return Err(fail(number, "garbage after # TYPE"));
+                }
+                if !is_metric_name(name) {
+                    return Err(fail(number, format!("invalid metric name {name:?}")));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(fail(number, format!("unknown metric type {kind:?}")));
+                }
+                if exposition.types.contains_key(name) {
+                    return Err(fail(number, format!("duplicate # TYPE for {name}")));
+                }
+                if let Some(&first) = sampled.get(name) {
+                    return Err(fail(
+                        number,
+                        format!("# TYPE for {name} after its first sample on line {first}"),
+                    ));
+                }
+                exposition.types.insert(name.to_string(), kind.to_string());
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest
+                    .split_whitespace()
+                    .next()
+                    .ok_or_else(|| fail(number, "# HELP without a name"))?;
+                if !is_metric_name(name) {
+                    return Err(fail(number, format!("invalid metric name {name:?}")));
+                }
+            }
+            // other comments are ignored, per the format
+            continue;
+        }
+
+        // sample line: name[{labels}] value
+        let (name_part, rest) = match line.find('{') {
+            Some(brace) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| fail(number, "unterminated label block"))?;
+                if close < brace {
+                    return Err(fail(number, "mismatched label braces"));
+                }
+                (&line[..brace], {
+                    let labels = parse_labels(&line[brace + 1..close], number)?;
+                    (labels, line[close + 1..].trim())
+                })
+            }
+            None => {
+                let space = line
+                    .find(' ')
+                    .ok_or_else(|| fail(number, "sample without a value"))?;
+                (&line[..space], (Vec::new(), line[space + 1..].trim()))
+            }
+        };
+        let (labels, value_part) = rest;
+        let name = name_part.trim();
+        if !is_metric_name(name) {
+            return Err(fail(number, format!("invalid metric name {name:?}")));
+        }
+        if value_part.is_empty() {
+            return Err(fail(number, "sample without a value"));
+        }
+        // A timestamp after the value is legal Prometheus; reject it here
+        // since our renderer never emits one.
+        if value_part.contains(' ') {
+            return Err(fail(number, "unexpected content after sample value"));
+        }
+        let value = parse_value(value_part)
+            .ok_or_else(|| fail(number, format!("unparseable value {value_part:?}")))?;
+
+        let mut label_key: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+        label_key.sort();
+        let key = (name.to_string(), label_key.join(","));
+        if let Some(&first) = seen.get(&key) {
+            return Err(fail(
+                number,
+                format!("duplicate series {name} (first on line {first})"),
+            ));
+        }
+        seen.insert(key, number);
+        // map expanded histogram sample names back to their family
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let base = name.strip_suffix(suffix)?;
+                exposition
+                    .types
+                    .get(base)
+                    .filter(|t| *t == "histogram")
+                    .map(|_| base.to_string())
+            })
+            .unwrap_or_else(|| name.to_string());
+        sampled.entry(family).or_insert(number);
+        exposition.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+
+    check_histograms(&exposition)?;
+    Ok(exposition)
+}
+
+/// Histogram coherence: buckets cumulative and ending in `+Inf`, with
+/// `_count` equal to the `+Inf` bucket.
+fn check_histograms(exposition: &Exposition) -> Result<(), ExpoError> {
+    for (name, kind) in &exposition.types {
+        if kind != "histogram" {
+            continue;
+        }
+        let bucket_name = format!("{name}_bucket");
+        let buckets: Vec<&Sample> = exposition
+            .samples
+            .iter()
+            .filter(|s| s.name == bucket_name)
+            .collect();
+        if buckets.is_empty() {
+            return Err(fail(0, format!("histogram {name} has no buckets")));
+        }
+        let mut previous = 0.0;
+        for bucket in &buckets {
+            let le = bucket
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| fail(0, format!("histogram {name} bucket without le")))?;
+            if parse_value(le).is_none() {
+                return Err(fail(0, format!("histogram {name} has bad le {le:?}")));
+            }
+            if bucket.value < previous {
+                return Err(fail(0, format!("histogram {name} buckets not cumulative")));
+            }
+            previous = bucket.value;
+        }
+        let last = buckets.last().expect("non-empty");
+        let last_le = last
+            .labels
+            .iter()
+            .find(|(k, _)| k == "le")
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("");
+        if last_le != "+Inf" {
+            return Err(fail(0, format!("histogram {name} does not end at +Inf")));
+        }
+        if let Some(count) = exposition.value(&format!("{name}_count")) {
+            if (count - last.value).abs() > f64::EPSILON {
+                return Err(fail(
+                    0,
+                    format!(
+                        "histogram {name}: _count {count} != +Inf bucket {}",
+                        last.value
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use std::time::Duration;
+
+    #[test]
+    fn accepts_registry_output() {
+        let registry = MetricsRegistry::new();
+        registry.counter("expo_requests_total", "Requests.").add(7);
+        registry.gauge("expo_depth", "Depth.").set(3);
+        let latency = registry.histogram("expo_latency_seconds", "Latency.");
+        latency.record(Duration::from_micros(5));
+        latency.record(Duration::from_micros(900));
+        registry
+            .counter_with_label("expo_errors_total", "Errors.", "code", "parse")
+            .inc();
+        let text = registry.render();
+        let parsed = lint_exposition(&text).expect("registry output lints clean");
+        assert_eq!(parsed.value("expo_requests_total"), Some(7.0));
+        assert_eq!(parsed.value("expo_depth"), Some(3.0));
+        assert_eq!(parsed.value("expo_latency_seconds_count"), Some(2.0));
+        assert_eq!(
+            parsed.labeled_value("expo_errors_total", "code", "parse"),
+            Some(1.0)
+        );
+        assert_eq!(
+            parsed.types.get("expo_latency_seconds").map(String::as_str),
+            Some("histogram")
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (doc, why) in [
+            ("metric_without_value\n", "no value"),
+            ("9bad_name 1\n", "bad name"),
+            ("metric 1", "missing trailing newline"),
+            ("metric one\n", "non-numeric value"),
+            ("metric{le=\"unterminated} 1\n", "unterminated label"),
+            ("metric{=\"x\"} 1\n", "empty label name"),
+            ("# TYPE metric frobnicator\n", "unknown type"),
+        ] {
+            assert!(
+                lint_exposition(doc).is_err(),
+                "lint accepted {why}: {doc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_series_and_types() {
+        let duplicate_series = "a_total 1\na_total 2\n";
+        assert!(lint_exposition(duplicate_series).is_err());
+        let duplicate_label = "a_total{code=\"x\"} 1\na_total{code=\"x\"} 2\n";
+        assert!(lint_exposition(duplicate_label).is_err());
+        let distinct_labels = "a_total{code=\"x\"} 1\na_total{code=\"y\"} 2\n";
+        assert!(lint_exposition(distinct_labels).is_ok());
+        let duplicate_type = "# TYPE a counter\n# TYPE a counter\na 1\n";
+        assert!(lint_exposition(duplicate_type).is_err());
+        let type_after_sample = "a 1\n# TYPE a counter\n";
+        assert!(lint_exposition(type_after_sample).is_err());
+    }
+
+    #[test]
+    fn rejects_incoherent_histograms() {
+        let not_cumulative = "# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+             h_sum 1\nh_count 5\n";
+        assert!(lint_exposition(not_cumulative).is_err());
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n";
+        assert!(lint_exposition(no_inf).is_err());
+        let count_mismatch = "# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 7\n";
+        assert!(lint_exposition(count_mismatch).is_err());
+    }
+}

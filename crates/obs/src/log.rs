@@ -1,0 +1,222 @@
+//! A leveled structured logger: one JSON object per line on stderr.
+//!
+//! Used by `scrutinizer-serve` for startup/shutdown and accept/reject
+//! events in place of ad-hoc `eprintln!`. The level gate is a single
+//! relaxed atomic load; suppressed lines cost nothing beyond it.
+//!
+//! ```
+//! use scrutinizer_obs::log::{set_log_level, LogLevel};
+//!
+//! set_log_level(LogLevel::Warn);
+//! scrutinizer_obs::log_info!("not printed");
+//! scrutinizer_obs::log_warn!("printed", port = 7878_u64);
+//! # set_log_level(LogLevel::Info);
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::trace::{current_trace, field_value_json, json_escape_into, FieldValue};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Unrecoverable or operator-actionable failures.
+    Error = 0,
+    /// Degraded behavior (rejected connections, dropped records).
+    Warn = 1,
+    /// Lifecycle events (startup, shutdown). The default.
+    Info = 2,
+    /// Per-connection/per-request chatter.
+    Debug = 3,
+}
+
+impl LogLevel {
+    fn name(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+}
+
+impl std::str::FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "error" => Ok(LogLevel::Error),
+            "warn" => Ok(LogLevel::Warn),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            other => Err(format!(
+                "unknown log level {other:?} (expected error|warn|info|debug)"
+            )),
+        }
+    }
+}
+
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+/// Sets the process-wide log level.
+pub fn set_log_level(level: LogLevel) {
+    LOG_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide log level.
+pub fn log_level() -> LogLevel {
+    match LOG_LEVEL.load(Ordering::Relaxed) {
+        0 => LogLevel::Error,
+        1 => LogLevel::Warn,
+        2 => LogLevel::Info,
+        _ => LogLevel::Debug,
+    }
+}
+
+/// Whether a line at `level` would currently be emitted.
+pub fn log_enabled(level: LogLevel) -> bool {
+    level as u8 <= LOG_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Formats one structured log line. Fields come after the fixed
+/// `ts_ms`/`level`/`msg` keys; the current trace id is attached when the
+/// caller is inside a span.
+pub fn format_line(level: LogLevel, message: &str, fields: &[(&str, FieldValue)]) -> String {
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"ts_ms\":");
+    out.push_str(&ts_ms.to_string());
+    out.push_str(",\"level\":\"");
+    out.push_str(level.name());
+    out.push_str("\",\"msg\":\"");
+    json_escape_into(&mut out, message);
+    out.push('"');
+    if let Some(trace) = current_trace() {
+        out.push_str(",\"trace\":\"");
+        out.push_str(&trace.to_wire());
+        out.push('"');
+    }
+    for (key, value) in fields {
+        out.push_str(",\"");
+        json_escape_into(&mut out, key);
+        out.push_str("\":");
+        field_value_json(&mut out, value);
+    }
+    out.push('}');
+    out
+}
+
+/// Emits one structured line to stderr if `level` passes the gate.
+/// Prefer the `log_error!`/`log_warn!`/`log_info!`/`log_debug!` macros,
+/// which skip field construction entirely when suppressed.
+pub fn log(level: LogLevel, message: &str, fields: &[(&str, FieldValue)]) {
+    if !log_enabled(level) {
+        return;
+    }
+    eprintln!("{}", format_line(level, message, fields));
+}
+
+/// Logs at error level: `log_error!("message", key = value, ...)`.
+/// Fields are only constructed when the level passes the gate.
+#[macro_export]
+macro_rules! log_error {
+    ($msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::log::log_enabled($crate::log::LogLevel::Error) {
+            $crate::log::log(
+                $crate::log::LogLevel::Error,
+                &$msg,
+                &[$((stringify!($key), $crate::trace::FieldValue::from($value))),*],
+            );
+        }
+    };
+}
+
+/// Logs at warn level: `log_warn!("message", key = value, ...)`.
+/// Fields are only constructed when the level passes the gate.
+#[macro_export]
+macro_rules! log_warn {
+    ($msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::log::log_enabled($crate::log::LogLevel::Warn) {
+            $crate::log::log(
+                $crate::log::LogLevel::Warn,
+                &$msg,
+                &[$((stringify!($key), $crate::trace::FieldValue::from($value))),*],
+            );
+        }
+    };
+}
+
+/// Logs at info level: `log_info!("message", key = value, ...)`.
+/// Fields are only constructed when the level passes the gate.
+#[macro_export]
+macro_rules! log_info {
+    ($msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::log::log_enabled($crate::log::LogLevel::Info) {
+            $crate::log::log(
+                $crate::log::LogLevel::Info,
+                &$msg,
+                &[$((stringify!($key), $crate::trace::FieldValue::from($value))),*],
+            );
+        }
+    };
+}
+
+/// Logs at debug level: `log_debug!("message", key = value, ...)`.
+/// Fields are only constructed when the level passes the gate.
+#[macro_export]
+macro_rules! log_debug {
+    ($msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::log::log_enabled($crate::log::LogLevel::Debug) {
+            $crate::log::log(
+                $crate::log::LogLevel::Debug,
+                &$msg,
+                &[$((stringify!($key), $crate::trace::FieldValue::from($value))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(LogLevel::Error < LogLevel::Debug);
+        assert_eq!("warn".parse::<LogLevel>(), Ok(LogLevel::Warn));
+        assert!("loud".parse::<LogLevel>().is_err());
+    }
+
+    #[test]
+    fn format_line_is_json_with_fields() {
+        let line = format_line(
+            LogLevel::Info,
+            "server \"up\"",
+            &[
+                ("port", FieldValue::U64(7878)),
+                ("addr", FieldValue::Str("127.0.0.1".to_string())),
+            ],
+        );
+        assert!(line.starts_with("{\"ts_ms\":"));
+        assert!(line.contains("\"level\":\"info\""));
+        assert!(line.contains("\"msg\":\"server \\\"up\\\"\""));
+        assert!(line.contains("\"port\":7878"));
+        assert!(line.contains("\"addr\":\"127.0.0.1\""));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn gate_respects_level() {
+        let before = log_level();
+        set_log_level(LogLevel::Warn);
+        assert!(log_enabled(LogLevel::Error));
+        assert!(log_enabled(LogLevel::Warn));
+        assert!(!log_enabled(LogLevel::Info));
+        set_log_level(before);
+    }
+}

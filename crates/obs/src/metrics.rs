@@ -1,0 +1,645 @@
+//! The unified metrics registry: counters, gauges, log₂ histograms, and
+//! Prometheus text exposition.
+//!
+//! Every series is registered **once** (duplicate registration panics —
+//! two owners of one name is a bug, not a runtime condition) and handed
+//! back as a cheap cloneable handle ([`Counter`], [`Gauge`],
+//! [`Histogram`]) backed by relaxed atomics. The registry renders all
+//! series in registration order to the Prometheus text exposition format
+//! (`# HELP`/`# TYPE` headers, histogram `_bucket`/`_sum`/`_count`
+//! expansion), which [`crate::expo::lint_exposition`] can parse back.
+//!
+//! The histogram implementation here is the one the engine's
+//! `EngineStats` re-exports as `LatencyHistogram`: 26 power-of-two
+//! buckets over microseconds, bucket `i` holding `[2^i, 2^(i+1))` with
+//! the last bucket open-ended.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two latency buckets; bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` microseconds, with the last bucket open-ended. 26
+/// buckets span 1 µs to over a minute.
+pub const BUCKETS: usize = 26;
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// atomic.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A standalone counter not attached to any registry.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value. Only for counters mirroring an external
+    /// monotone source (e.g. cache hit totals owned by the cache itself).
+    pub fn store(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down. Cloning shares the
+/// underlying atomic. Values are unsigned — every Scrutinizer gauge is a
+/// non-negative level (open connections, queue depth, epoch).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A standalone gauge not attached to any registry.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one (saturating at zero).
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the value to at least `value` (high-water mark).
+    pub fn record_max(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+}
+
+/// A log₂-bucketed latency histogram over microseconds. Recording is a
+/// single relaxed atomic increment; snapshots derive mean and quantile
+/// estimates from the buckets. Cloning shares the underlying buckets.
+#[derive(Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        write!(
+            f,
+            "Histogram(count={}, mean={}µs)",
+            snap.count,
+            snap.mean_micros()
+        )
+    }
+}
+
+impl Histogram {
+    /// A standalone histogram not attached to any registry.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&self, elapsed: Duration) {
+        let micros = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.0.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.total_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Times `routine`, records the elapsed time, and passes its result
+    /// through.
+    pub fn time<T>(&self, routine: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let result = routine();
+        self.record(start.elapsed());
+        result
+    }
+
+    /// A consistent-enough copy for reporting (relaxed reads; counters may
+    /// lag each other by in-flight recordings).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let total_micros = self.0.total_micros.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            total_micros,
+        }
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Sample count per power-of-two bucket (microseconds).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples, microseconds.
+    pub total_micros: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate (bucket ceiling) of the `q`-quantile in
+    /// microseconds, `q` in `[0, 1]`.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << (i + 1); // bucket ceiling
+            }
+        }
+        1u64 << self.buckets.len()
+    }
+
+    /// Log-linear estimate of the `q`-quantile in microseconds: the
+    /// target rank is located in its power-of-two bucket and interpolated
+    /// linearly in log₂ space, so e.g. the median of a bucket `[4, 8)`
+    /// lands at `2^2.5 ≈ 5.66` rather than the ceiling `8`. Monotone in
+    /// `q` by construction.
+    pub fn quantile_est_micros(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0.0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let n = n as f64;
+            if seen + n >= rank {
+                let fraction = ((rank - seen) / n).clamp(0.0, 1.0);
+                return 2f64.powf(i as f64 + fraction);
+            }
+            seen += n;
+        }
+        2f64.powf(self.buckets.len() as f64)
+    }
+
+    /// Interpolated median, microseconds.
+    pub fn p50(&self) -> f64 {
+        self.quantile_est_micros(0.50)
+    }
+
+    /// Interpolated 95th percentile, microseconds.
+    pub fn p95(&self) -> f64 {
+        self.quantile_est_micros(0.95)
+    }
+
+    /// Interpolated 99th percentile, microseconds.
+    pub fn p99(&self) -> f64 {
+        self.quantile_est_micros(0.99)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn exposition_name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Value {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Series {
+    name: String,
+    help: String,
+    label: Option<(String, String)>,
+    value: Value,
+}
+
+/// A per-component metrics registry: series are registered once and
+/// rendered together. The serving engine owns one and registers every
+/// `EngineStats` series on it.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    series: Mutex<Vec<Series>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let series = self.series.lock().expect("metrics registry poisoned");
+        write!(f, "MetricsRegistry({} series)", series.len())
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut bytes = name.bytes();
+    match bytes.next() {
+        Some(b) if b.is_ascii_alphabetic() || b == b'_' || b == b':' => {}
+        _ => return false,
+    }
+    bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut bytes = name.bytes();
+    match bytes.next() {
+        Some(b) if b.is_ascii_alphabetic() || b == b'_' => {}
+        _ => return false,
+    }
+    bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        label: Option<(&str, &str)>,
+        kind: Kind,
+        value: Value,
+    ) {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        if let Some((key, _)) = label {
+            assert!(valid_label_name(key), "invalid label name {key:?}");
+        }
+        let mut series = self.series.lock().expect("metrics registry poisoned");
+        for existing in series.iter() {
+            if existing.name != name {
+                continue;
+            }
+            let existing_kind = match existing.value {
+                Value::Counter(_) => Kind::Counter,
+                Value::Gauge(_) => Kind::Gauge,
+                Value::Histogram(_) => Kind::Histogram,
+            };
+            assert_eq!(
+                existing_kind, kind,
+                "metric {name} registered twice with different kinds"
+            );
+            assert_eq!(
+                existing.label.is_some(),
+                label.is_some(),
+                "metric {name} mixes labeled and unlabeled series"
+            );
+            let duplicate = match (&existing.label, &label) {
+                (None, None) => true,
+                (Some((ek, ev)), Some((k, v))) => ek == k && ev == v,
+                _ => false,
+            };
+            assert!(!duplicate, "metric {name} registered twice");
+        }
+        series.push(Series {
+            name: name.to_string(),
+            help: help.to_string(),
+            label: label.map(|(k, v)| (k.to_string(), v.to_string())),
+            value,
+        });
+    }
+
+    /// Registers and returns a counter. Panics on duplicate names.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let counter = Counter::new();
+        self.register(
+            name,
+            help,
+            None,
+            Kind::Counter,
+            Value::Counter(counter.clone()),
+        );
+        counter
+    }
+
+    /// Registers and returns a counter carrying one `key="value"` label;
+    /// multiple label values may share the family name.
+    pub fn counter_with_label(&self, name: &str, help: &str, key: &str, value: &str) -> Counter {
+        let counter = Counter::new();
+        self.register(
+            name,
+            help,
+            Some((key, value)),
+            Kind::Counter,
+            Value::Counter(counter.clone()),
+        );
+        counter
+    }
+
+    /// Registers and returns a gauge. Panics on duplicate names.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let gauge = Gauge::new();
+        self.register(name, help, None, Kind::Gauge, Value::Gauge(gauge.clone()));
+        gauge
+    }
+
+    /// Registers and returns a histogram (exposed in **seconds** with
+    /// power-of-two-microsecond buckets). Panics on duplicate names.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        let histogram = Histogram::new();
+        self.register(
+            name,
+            help,
+            None,
+            Kind::Histogram,
+            Value::Histogram(histogram.clone()),
+        );
+        histogram
+    }
+
+    /// Renders every series to Prometheus text exposition format, in
+    /// registration order, one `# HELP`/`# TYPE` pair per family.
+    pub fn render(&self) -> String {
+        let series = self.series.lock().expect("metrics registry poisoned");
+        // Group same-name series into families, preserving first-seen
+        // order, so labeled families emit one header.
+        let mut families: Vec<(&str, Vec<&Series>)> = Vec::new();
+        for entry in series.iter() {
+            match families.iter_mut().find(|(name, _)| *name == entry.name) {
+                Some((_, members)) => members.push(entry),
+                None => families.push((entry.name.as_str(), vec![entry])),
+            }
+        }
+        let mut out = String::new();
+        for (name, members) in families {
+            let first = members[0];
+            let kind = match first.value {
+                Value::Counter(_) => Kind::Counter,
+                Value::Gauge(_) => Kind::Gauge,
+                Value::Histogram(_) => Kind::Histogram,
+            };
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            for ch in first.help.chars() {
+                match ch {
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(kind.exposition_name());
+            out.push('\n');
+            for member in members {
+                render_series(&mut out, member);
+            }
+        }
+        out
+    }
+}
+
+fn push_label(out: &mut String, label: &Option<(String, String)>) {
+    if let Some((key, value)) = label {
+        out.push('{');
+        out.push_str(key);
+        out.push_str("=\"");
+        for ch in value.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push_str("\"}");
+    }
+}
+
+fn render_series(out: &mut String, series: &Series) {
+    match &series.value {
+        Value::Counter(counter) => {
+            out.push_str(&series.name);
+            push_label(out, &series.label);
+            out.push(' ');
+            out.push_str(&counter.get().to_string());
+            out.push('\n');
+        }
+        Value::Gauge(gauge) => {
+            out.push_str(&series.name);
+            push_label(out, &series.label);
+            out.push(' ');
+            out.push_str(&gauge.get().to_string());
+            out.push('\n');
+        }
+        Value::Histogram(histogram) => {
+            let snap = histogram.snapshot();
+            let mut cumulative = 0u64;
+            for (i, &n) in snap.buckets.iter().enumerate() {
+                cumulative += n;
+                let le = (1u64 << (i + 1)) as f64 / 1e6;
+                out.push_str(&series.name);
+                out.push_str("_bucket{le=\"");
+                out.push_str(&le.to_string());
+                out.push_str("\"} ");
+                out.push_str(&cumulative.to_string());
+                out.push('\n');
+            }
+            out.push_str(&series.name);
+            out.push_str("_bucket{le=\"+Inf\"} ");
+            out.push_str(&snap.count.to_string());
+            out.push('\n');
+            out.push_str(&series.name);
+            out.push_str("_sum ");
+            out.push_str(&(snap.total_micros as f64 / 1e6).to_string());
+            out.push('\n');
+            out.push_str(&series.name);
+            out.push_str("_count ");
+            out.push_str(&snap.count.to_string());
+            out.push('\n');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(1000));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.buckets[0], 1); // [1, 2)
+        assert_eq!(snap.buckets[1], 1); // [2, 4)
+        assert_eq!(snap.buckets[9], 1); // [512, 1024)
+        assert!((snap.mean_micros() - (1.0 + 3.0 + 1000.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolated_quantiles_are_monotone() {
+        let h = Histogram::new();
+        for i in 0..500u64 {
+            h.record(Duration::from_micros(1 + i * 37 % 4096));
+        }
+        let snap = h.snapshot();
+        let mut previous = 0.0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let value = snap.quantile_est_micros(q);
+            assert!(
+                value >= previous,
+                "quantile not monotone at q={q}: {value} < {previous}"
+            );
+            previous = value;
+        }
+        assert!(snap.p50() <= snap.p95());
+        assert!(snap.p95() <= snap.p99());
+    }
+
+    #[test]
+    fn interpolated_quantiles_pin_exact_bucket_cases() {
+        // All samples land in bucket [4, 8): quantiles interpolate within
+        // the bucket in log2 space.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(4));
+        }
+        let snap = h.snapshot();
+        let p50 = snap.p50();
+        assert!(
+            (p50 - 2f64.powf(2.5)).abs() < 1e-9,
+            "median of one bucket is its log-midpoint, got {p50}"
+        );
+        for q in [0.01, 0.5, 0.95, 0.99] {
+            let value = snap.quantile_est_micros(q);
+            assert!(
+                (4.0..8.0).contains(&value),
+                "q={q} escaped the bucket: {value}"
+            );
+        }
+        // The ceiling estimator stays the compatible upper bound.
+        assert_eq!(snap.quantile_micros(0.5), 8);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.quantile_est_micros(0.5), 0.0);
+        assert_eq!(snap.quantile_micros(0.5), 0);
+        assert_eq!(snap.mean_micros(), 0.0);
+    }
+
+    #[test]
+    fn registry_renders_counters_gauges_and_histograms() {
+        let registry = MetricsRegistry::new();
+        let requests = registry.counter("test_requests_total", "Requests.");
+        let depth = registry.gauge("test_depth", "Queue depth.");
+        let latency = registry.histogram("test_latency_seconds", "Latency.");
+        requests.add(3);
+        depth.set(2);
+        latency.record(Duration::from_micros(3));
+        let text = registry.render();
+        assert!(text.contains("# HELP test_requests_total Requests.\n"));
+        assert!(text.contains("# TYPE test_requests_total counter\n"));
+        assert!(text.contains("test_requests_total 3\n"));
+        assert!(text.contains("# TYPE test_depth gauge\n"));
+        assert!(text.contains("test_depth 2\n"));
+        assert!(text.contains("# TYPE test_latency_seconds histogram\n"));
+        // 3 µs lands in bucket [2, 4): cumulative counts start at le=2µs.
+        assert!(text.contains("test_latency_seconds_bucket{le=\"0.000002\"} 0\n"));
+        assert!(text.contains("test_latency_seconds_bucket{le=\"0.000004\"} 1\n"));
+        assert!(text.contains("test_latency_seconds_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("test_latency_seconds_sum 0.000003\n"));
+        assert!(text.contains("test_latency_seconds_count 1\n"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn labeled_counters_share_one_family_header() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter_with_label("test_errors_total", "Errors.", "code", "parse");
+        let b = registry.counter_with_label("test_errors_total", "Errors.", "code", "overload");
+        a.inc();
+        b.add(2);
+        let text = registry.render();
+        assert_eq!(text.matches("# TYPE test_errors_total counter").count(), 1);
+        assert!(text.contains("test_errors_total{code=\"parse\"} 1\n"));
+        assert!(text.contains("test_errors_total{code=\"overload\"} 2\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let registry = MetricsRegistry::new();
+        let _a = registry.counter("test_dup_total", "One.");
+        let _b = registry.counter("test_dup_total", "Two.");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_panic() {
+        let registry = MetricsRegistry::new();
+        let _ = registry.counter("9bad name", "Bad.");
+    }
+}

@@ -61,6 +61,10 @@ pub use scrutinizer_formula as formula;
 pub use scrutinizer_ilp as ilp;
 /// Classifiers and active learning.
 pub use scrutinizer_learn as learn;
+/// Observability substrate: structured tracing (spans + flight recorder),
+/// the unified metrics registry with Prometheus exposition, and the
+/// structured stderr logger used by `scrutinizer-serve`.
+pub use scrutinizer_obs as obs;
 /// The statistical-check SQL fragment: parser, functions, executor.
 pub use scrutinizer_query as query;
 /// Claim preprocessing: tokenization, TF-IDF, embeddings, parameter extraction.
