@@ -809,6 +809,8 @@ pub(crate) fn stats_json(snapshot: &StatsSnapshot) -> Json {
         // requests_ok plus the sum of every per-code error counter
         ("requests_total", count(snapshot.requests_total)),
         ("requests_ok", count(snapshot.requests_ok)),
+        // append-only: the verdict-loss invariant's trained-examples side
+        ("examples_trained", count(snapshot.examples_trained)),
     ])
 }
 
@@ -1075,6 +1077,35 @@ mod tests {
         for (i, code) in ErrorCode::ALL.iter().enumerate() {
             assert_eq!(code.index(), i);
         }
+    }
+
+    #[test]
+    fn caught_panics_answer_internal() {
+        // `internal` has no legitimate wire trigger (every op handler is
+        // guarded), so the panic seam is pinned here; the wire test's
+        // exhaustive match points at this one
+        let engine = tiny_engine();
+        let before = engine.stats().wire_error(ErrorCode::Internal);
+        let line = crate::protocol::respond_panicked(&engine, Box::new("boom"));
+        let response = Json::parse(line.trim_end()).expect("panic response parses");
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            response.get("code").and_then(Json::as_str),
+            Some(ErrorCode::Internal.name())
+        );
+        let message = response
+            .get("error")
+            .and_then(Json::as_str)
+            .expect("human-readable message");
+        assert!(
+            message.contains("boom"),
+            "panic payload surfaced: {message}"
+        );
+        assert_eq!(
+            engine.stats().wire_error(ErrorCode::Internal),
+            before + 1,
+            "internal errors obey the conservation counters too"
+        );
     }
 
     #[test]

@@ -22,6 +22,8 @@ use scrutinizer_data::CellRef;
 use scrutinizer_formula::{parse_formula, Formula};
 use scrutinizer_query::FunctionRegistry;
 
+use scrutinizer_sim::{SimEnv, Spawner};
+
 use crate::cache::{normalize_sql, CachedResult, PlanKey, QueryCache};
 use crate::executor::ThreadPool;
 use crate::session::{ClaimPhase, ClaimQuestions, ClaimTask, SessionId, SessionState, Suggestion};
@@ -212,6 +214,11 @@ pub struct Engine {
     /// pending examples that exist nowhere else. Readers never touch this
     /// lock; only trainers do.
     retrain_serial: Mutex<()>,
+    /// The injected environment: clock, background scheduling, fault
+    /// points. Production engines carry the zero-cost passthrough
+    /// ([`SimEnv::production`]); the simulation harness injects a virtual
+    /// clock, a harness-driven scheduler, and an armed fault plan.
+    env: SimEnv,
     /// Self-handle so verdict paths can hand the engine to trainer jobs.
     self_ref: Weak<Engine>,
 }
@@ -231,12 +238,43 @@ impl Engine {
         Self::with_options(corpus, config, EngineOptions::default())
     }
 
-    /// Engine with explicit sizing.
+    /// Engine with explicit sizing (production environment).
     pub fn with_options(corpus: Corpus, config: SystemConfig, options: EngineOptions) -> Arc<Self> {
+        Self::with_env(corpus, config, options, SimEnv::production())
+    }
+
+    /// Engine with explicit sizing and an injected [`SimEnv`] —
+    /// bootstraps fresh models and featurizes the corpus. Production
+    /// callers use [`with_options`](Self::with_options); the simulation
+    /// harness passes a simulated environment here or, to amortize the
+    /// world build across schedules, via [`from_parts`](Self::from_parts).
+    pub fn with_env(
+        corpus: Corpus,
+        config: SystemConfig,
+        options: EngineOptions,
+        env: SimEnv,
+    ) -> Arc<Self> {
         let models = SystemModels::bootstrap(&corpus, &config);
         let features = Arc::new(FeatureStore::build(&corpus, &models));
+        Self::from_parts(Arc::new(corpus), features, models, config, options, env)
+    }
+
+    /// Engine over a pre-built world: a shared corpus, its feature store,
+    /// and (possibly pretrained) models. Constructing an engine this way
+    /// does no model or feature work at all, which is what lets the
+    /// simulation harness stamp out thousands of fresh engines per
+    /// second from one world built once. The models are published as
+    /// epoch 0 of the new engine.
+    pub fn from_parts(
+        corpus: Arc<Corpus>,
+        features: Arc<FeatureStore>,
+        models: SystemModels,
+        config: SystemConfig,
+        options: EngineOptions,
+        env: SimEnv,
+    ) -> Arc<Self> {
         Arc::new_cyclic(|self_ref| Engine {
-            corpus: Arc::new(corpus),
+            corpus,
             config,
             options,
             registry: FunctionRegistry::standard(),
@@ -256,6 +294,7 @@ impl Engine {
             pending: Mutex::new(Vec::new()),
             retrain_active: AtomicBool::new(false),
             retrain_serial: Mutex::new(()),
+            env,
             self_ref: self_ref.clone(),
         })
     }
@@ -273,6 +312,24 @@ impl Engine {
     /// The corpus-wide feature store (claims featurized once at startup).
     pub fn feature_store(&self) -> &FeatureStore {
         &self.features
+    }
+
+    /// A shared handle to the corpus — pairs with
+    /// [`from_parts`](Self::from_parts) so many engines can serve one
+    /// world without copying it.
+    pub fn corpus_handle(&self) -> Arc<Corpus> {
+        Arc::clone(&self.corpus)
+    }
+
+    /// A shared handle to the feature store (see
+    /// [`corpus_handle`](Self::corpus_handle)).
+    pub fn features_handle(&self) -> Arc<FeatureStore> {
+        Arc::clone(&self.features)
+    }
+
+    /// The injected environment this engine runs in.
+    pub fn env(&self) -> &SimEnv {
+        &self.env
     }
 
     /// The currently published model generation (see
@@ -825,14 +882,21 @@ impl Engine {
         // the drained flight recorder stitches the verdict that crossed the
         // threshold to the retrain it caused
         let trace = obs::current_trace();
-        self.trainer.execute(move || {
+        let job = move || {
             let mut root = obs::root_span(
                 "retrain.background",
                 trace.unwrap_or_else(obs::TraceId::generate),
             );
             root.add_field("triggered_by_request", trace.is_some());
             engine.background_retrain()
-        });
+        };
+        // under simulation the job goes to the deterministic scheduler
+        // (the harness decides when it runs); in production it runs on
+        // the dedicated trainer thread
+        match self.env.scheduler() {
+            Some(sched) => sched.spawn("trainer", Box::new(job)),
+            None => self.trainer.execute(job),
+        }
         true
     }
 
@@ -850,8 +914,25 @@ impl Engine {
             if batch.is_empty() {
                 break;
             }
+            // buggify: a trainer crash between draining the log and
+            // training. The drained batch exists nowhere else, so the
+            // recovery contract is publish-or-restore: put it back at the
+            // front of the log (order preserved) for the restarted
+            // trainer — the stranded re-check below is the restart. The
+            // canary point deliberately skips the restore; it is the
+            // seeded bug the simulation harness must find and shrink.
+            if self.env.fault("trainer.crash") {
+                if !self.env.fault("canary.trainer.drop_batch") {
+                    let mut pending = self.pending.lock().expect("pending log poisoned");
+                    let tail = std::mem::take(&mut *pending);
+                    *pending = batch;
+                    pending.extend(tail);
+                }
+                break;
+            }
             self.run_retrain(&batch, RetrainKind::Incremental);
             self.stats.bump(&self.stats.background_retrains);
+            self.stats.examples_trained.add(batch.len() as u64);
             let backlog = self.pending.lock().expect("pending log poisoned").len();
             if backlog < interval {
                 break;
@@ -892,7 +973,13 @@ impl Engine {
             if !pending_empty && !active_after {
                 self.schedule_retrain();
             }
-            std::thread::sleep(std::time::Duration::from_micros(100));
+            // under simulation, run the queued trainer job right here on
+            // this thread — a real sleep would wait forever for a thread
+            // that does not exist; in production drive_one is a no-op and
+            // the clock really sleeps
+            if !self.env.drive_one() {
+                self.env.sleep(std::time::Duration::from_micros(100));
+            }
         }
     }
 
@@ -1103,6 +1190,13 @@ impl Engine {
                 }
             })
             .collect();
+        // per-claim worker seeds make results scheduling-independent, but
+        // side effects (session-id draws, cache fills, retrain timing) are
+        // not — under simulation the batch runs inline in input order so
+        // the whole run stays bitwise deterministic
+        if self.env.is_simulated() {
+            return Ok(tasks.into_iter().map(|task| task()).collect());
+        }
         Ok(self.pool.run_all(tasks))
     }
 
@@ -1140,7 +1234,9 @@ impl Engine {
     /// The live counter block, shared with the serving layer (the TCP
     /// server's connection gauges and the wire layer's per-code error
     /// counters live here so the `stats` op sees one coherent snapshot).
-    pub(crate) fn stats_ref(&self) -> &EngineStats {
+    /// Public because alternate serving loops — the simulation harness —
+    /// drive [`service_conn`](crate::serve_core::service_conn) with it.
+    pub fn stats_ref(&self) -> &EngineStats {
         &self.stats
     }
 
@@ -1175,6 +1271,7 @@ impl Engine {
             suggestions_served: load(&self.stats.suggestions_served),
             retrains: load(&self.stats.retrains),
             background_retrains: load(&self.stats.background_retrains),
+            examples_trained: load(&self.stats.examples_trained),
             model_epoch: self.models.epoch(),
             pending_examples: self.pending.lock().expect("pending log poisoned").len() as u64,
             sql_executed: load(&self.stats.sql_executed),

@@ -94,6 +94,7 @@ pub mod cache;
 pub mod engine;
 pub mod executor;
 pub mod protocol;
+pub mod serve_core;
 pub mod server;
 pub mod session;
 pub mod snapshot;
@@ -103,6 +104,7 @@ pub use api::{dispatch, ApiError, ErrorCode, Request, Response};
 pub use cache::{normalize_sql, CachedResult, CellVec, PlanKey, QueryCache};
 pub use engine::{Engine, EngineError, EngineOptions, VerdictRecord};
 pub use executor::ThreadPool;
+pub use serve_core::{service_conn, ConnState, ServiceLimits};
 pub use server::{Server, ServerHandle, ServerOptions};
 pub use session::{ClaimQuestions, ScreenView, SessionId, Suggestion};
 pub use snapshot::{ModelSnapshot, SnapshotCell};

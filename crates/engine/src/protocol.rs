@@ -413,9 +413,43 @@ pub fn obj(fields: Vec<(&str, Json)>) -> Json {
 /// Handles one request line against the engine through the typed v1 API,
 /// returning the response line (without trailing newline). Never panics
 /// on malformed input: parse failures, unknown ops, unsupported versions
-/// and engine errors all come back as `{"ok":false,"code":...,"error":...}`.
+/// and engine errors all come back as `{"ok":false,"code":...,"error":...}`
+/// — and a panic anywhere inside dispatch is caught here and answered as
+/// a structured `internal` error, so one poisoned request can neither
+/// kill a serving worker silently nor desynchronize a pipelined client
+/// waiting on a response line.
 pub fn handle_request(engine: &Arc<Engine>, line: &str) -> String {
-    crate::api::handle_line(engine, line).render()
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::api::handle_line(engine, line).render()
+    })) {
+        Ok(response) => response,
+        Err(payload) => respond_panicked(engine, payload),
+    }
+}
+
+/// Renders the `internal` error line for a caught dispatch panic and
+/// counts it toward the conservation invariant. Split out so tests can
+/// exercise the panic path without constructing a genuinely-panicking
+/// request (no well-formed input reaches it today — which is the point).
+pub(crate) fn respond_panicked(
+    engine: &Arc<Engine>,
+    payload: Box<dyn std::any::Any + Send>,
+) -> String {
+    let detail = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "request handler panicked".to_string());
+    engine
+        .stats_ref()
+        .note_wire_error(crate::api::ErrorCode::Internal);
+    scrutinizer_obs::log_error!("request handler panicked", detail = detail.clone());
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        ("code", Json::Str("internal".to_string())),
+        ("error", Json::Str(format!("internal error: {detail}"))),
+    ])
+    .render()
 }
 
 // ---- the pre-v1 stringly dispatcher (differential-test oracle) ---------

@@ -1,0 +1,306 @@
+//! The transport-generic half of the serving loop: one connection's
+//! buffers and the flush → read → split state machine, over any
+//! [`ByteStream`].
+//!
+//! [`server`](crate::server) instantiates this over real
+//! `TcpStream`s inside its readiness loop; the deterministic simulation
+//! harness (`scrutinizer-simcheck`) instantiates the very same code over
+//! in-memory [`SimStream`](scrutinizer_sim::SimStream)s — so the state
+//! machine being model-checked under injected faults (stalled clients,
+//! partial writes, hard drops) is byte-for-byte the one production runs,
+//! not a reimplementation.
+
+use std::collections::VecDeque;
+
+use scrutinizer_sim::{ByteStream, IoPoll};
+
+use crate::api::ErrorCode;
+use crate::stats::EngineStats;
+
+/// The response line sent to a connection rejected at the connection
+/// limit, newline included (shared by the TCP accept path and the
+/// simulated one so the wire contract cannot drift).
+pub const OVERLOAD_LINE: &[u8] =
+    b"{\"ok\":false,\"code\":\"overloaded\",\"error\":\"connection limit reached\"}\n";
+
+/// The per-connection buffer limits [`service_conn`] enforces — the
+/// transport-independent subset of
+/// [`ServerOptions`](crate::server::ServerOptions).
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceLimits {
+    /// Longest accepted request line, in bytes; a connection exceeding it
+    /// gets a `parse_error` response and is closed (there is no way to
+    /// resynchronize on an unterminated line).
+    pub max_line_bytes: usize,
+    /// Write-buffer backlog above which the loop stops executing (and
+    /// then reading) for that connection until the client drains.
+    pub write_buffer_limit: usize,
+    /// Most complete lines queued per connection before the loop stops
+    /// reading it (backpressure via transport flow control).
+    pub max_pipeline: usize,
+}
+
+/// One client connection's buffers and execution state, over any
+/// transport.
+pub struct ConnState<S> {
+    /// The transport.
+    pub stream: S,
+    /// Bytes received but not yet split into complete lines.
+    read_buf: Vec<u8>,
+    /// Complete request lines awaiting execution, in arrival order.
+    pub queue: VecDeque<String>,
+    /// Rendered responses awaiting the transport; `write_pos` marks how
+    /// far the prefix has been flushed.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// A request of this connection is currently executing.
+    pub in_flight: bool,
+    /// Client finished sending (EOF); drain, flush, then close.
+    pub eof: bool,
+    /// Unrecoverable transport error; discard without draining.
+    pub dead: bool,
+}
+
+impl<S> ConnState<S> {
+    /// Fresh state over a connected transport.
+    pub fn new(stream: S) -> Self {
+        ConnState {
+            stream,
+            read_buf: Vec::new(),
+            queue: VecDeque::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            in_flight: false,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    /// Bytes rendered but not yet accepted by the transport.
+    pub fn write_backlog(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// Appends a response line (newline added) to the write buffer.
+    pub fn push_response(&mut self, line: &str) {
+        self.write_buf.extend_from_slice(line.as_bytes());
+        self.write_buf.push(b'\n');
+    }
+
+    /// Fully drained: nothing queued, nothing running, nothing to flush.
+    pub fn idle(&self) -> bool {
+        self.queue.is_empty() && !self.in_flight && self.write_backlog() == 0
+    }
+}
+
+/// Flushes what the transport will take, reads what it has, and splits
+/// complete lines into the queue. Returns whether anything moved.
+///
+/// This is the serving loop's entire per-connection I/O pass —
+/// executing queued lines and sweeping closed connections stay with the
+/// caller, which owns the scheduling policy (worker pool for the TCP
+/// server, inline execution for the simulation).
+pub fn service_conn<S: ByteStream>(
+    conn: &mut ConnState<S>,
+    limits: &ServiceLimits,
+    shutting_down: bool,
+    stats: &EngineStats,
+) -> bool {
+    let mut progress = false;
+
+    // flush pending responses
+    while conn.write_backlog() > 0 {
+        match conn.stream.write_nb(&conn.write_buf[conn.write_pos..]) {
+            IoPoll::Ready(0) => {
+                conn.dead = true;
+                break;
+            }
+            IoPoll::Ready(written) => {
+                conn.write_pos += written;
+                progress = true;
+            }
+            IoPoll::WouldBlock => break,
+            IoPoll::Closed | IoPoll::Err => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.write_backlog() == 0 && !conn.write_buf.is_empty() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    }
+
+    // read while the pipeline and write buffer have room; a full queue
+    // or a backed-up client pauses reading, and flow control pushes back
+    let backpressured = conn.queue.len() >= limits.max_pipeline
+        || conn.write_backlog() >= limits.write_buffer_limit;
+    if !conn.eof && !conn.dead && !backpressured && !shutting_down {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match conn.stream.read_nb(&mut chunk) {
+                IoPoll::Ready(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                IoPoll::Ready(received) => {
+                    conn.read_buf.extend_from_slice(&chunk[..received]);
+                    progress = true;
+                    if conn.read_buf.len() >= limits.max_line_bytes
+                        || conn.queue.len() >= limits.max_pipeline
+                    {
+                        break;
+                    }
+                }
+                IoPoll::WouldBlock => break,
+                IoPoll::Closed | IoPoll::Err => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // split complete lines off the read buffer, never past the pipeline
+    // cap — one burst can carry far more lines than max_pipeline, and
+    // whatever stays unsplit here pauses reads until the queue drains
+    while conn.queue.len() < limits.max_pipeline {
+        let Some(newline) = conn.read_buf.iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let rest = conn.read_buf.split_off(newline + 1);
+        let mut line_bytes = std::mem::replace(&mut conn.read_buf, rest);
+        line_bytes.pop(); // the newline
+                          // invalid UTF-8 flows through lossily and fails JSON parsing,
+                          // producing a structured parse_error like any other bad line
+        let line = String::from_utf8_lossy(&line_bytes).into_owned();
+        if !line.trim().is_empty() {
+            conn.queue.push_back(line);
+        }
+        progress = true;
+    }
+
+    let residual_has_newline = conn.read_buf.contains(&b'\n');
+    if !residual_has_newline && conn.read_buf.len() >= limits.max_line_bytes {
+        // an unterminated line longer than the cap can never
+        // resynchronize: answer once, stop reading, close after the flush
+        stats.note_wire_error(ErrorCode::ParseError);
+        conn.push_response(&format!(
+            "{{\"ok\":false,\"code\":\"parse_error\",\"error\":\"request line exceeds {} bytes\"}}",
+            limits.max_line_bytes
+        ));
+        conn.read_buf.clear();
+        conn.eof = true;
+        progress = true;
+    } else if conn.eof
+        && !residual_has_newline
+        && !conn.read_buf.is_empty()
+        && conn.queue.len() < limits.max_pipeline
+    {
+        // the pre-v1 server answered a final request missing its trailing
+        // newline (BufRead::lines yields it at EOF); keep that contract
+        let line = String::from_utf8_lossy(&conn.read_buf).into_owned();
+        conn.read_buf.clear();
+        if !line.trim().is_empty() {
+            conn.queue.push_back(line);
+        }
+        progress = true;
+    }
+
+    progress
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrutinizer_sim::sim_pair;
+
+    fn limits() -> ServiceLimits {
+        ServiceLimits {
+            max_line_bytes: 64,
+            write_buffer_limit: 1 << 16,
+            max_pipeline: 4,
+        }
+    }
+
+    #[test]
+    fn lines_split_in_order_and_flush_round_trips() {
+        let stats = EngineStats::default();
+        let (server, client) = sim_pair();
+        let mut conn = ConnState::new(server);
+        client.send(b"{\"a\":1}\n{\"b\":2}\n");
+        assert!(service_conn(&mut conn, &limits(), false, &stats));
+        assert_eq!(conn.queue.len(), 2);
+        assert_eq!(conn.queue[0], "{\"a\":1}");
+
+        conn.push_response("resp");
+        assert!(service_conn(&mut conn, &limits(), false, &stats));
+        assert_eq!(client.recv(), b"resp\n");
+        assert_eq!(conn.write_backlog(), 0);
+    }
+
+    #[test]
+    fn pipeline_cap_pauses_splitting() {
+        let stats = EngineStats::default();
+        let (server, client) = sim_pair();
+        let mut conn = ConnState::new(server);
+        client.send(b"1\n2\n3\n4\n5\n6\n");
+        service_conn(&mut conn, &limits(), false, &stats);
+        assert_eq!(conn.queue.len(), 4, "split stops at max_pipeline");
+        conn.queue.clear();
+        service_conn(&mut conn, &limits(), false, &stats);
+        assert_eq!(conn.queue.len(), 2, "the rest splits once the queue drains");
+    }
+
+    #[test]
+    fn oversized_unterminated_line_answers_parse_error_and_closes() {
+        let stats = EngineStats::default();
+        let (server, client) = sim_pair();
+        let mut conn = ConnState::new(server);
+        client.send(&[b'x'; 100]);
+        service_conn(&mut conn, &limits(), false, &stats);
+        assert!(conn.eof, "no resynchronization possible");
+        assert!(conn.write_backlog() > 0);
+        service_conn(&mut conn, &limits(), false, &stats);
+        let out = String::from_utf8(client.recv()).unwrap();
+        assert!(out.contains("\"code\":\"parse_error\""), "got {out}");
+        assert_eq!(stats.wire_errors[ErrorCode::ParseError.index()].get(), 1);
+    }
+
+    #[test]
+    fn final_unterminated_line_is_served_at_eof() {
+        let stats = EngineStats::default();
+        let (server, client) = sim_pair();
+        let mut conn = ConnState::new(server);
+        client.send(b"{\"op\":\"stats\"}");
+        client.close_write();
+        service_conn(&mut conn, &limits(), false, &stats);
+        assert!(conn.eof);
+        assert_eq!(conn.queue.len(), 1);
+        assert_eq!(conn.queue[0], "{\"op\":\"stats\"}");
+    }
+
+    #[test]
+    fn hard_drop_marks_dead() {
+        let stats = EngineStats::default();
+        let (server, client) = sim_pair();
+        let mut conn = ConnState::new(server);
+        conn.push_response("never delivered");
+        client.drop_hard();
+        service_conn(&mut conn, &limits(), false, &stats);
+        assert!(conn.dead);
+    }
+
+    #[test]
+    fn partial_writes_flush_across_passes() {
+        let stats = EngineStats::default();
+        let (server, client) = sim_pair();
+        let mut conn = ConnState::new(server);
+        client.set_write_cap(Some(3));
+        conn.push_response("0123456789");
+        while conn.write_backlog() > 0 {
+            service_conn(&mut conn, &limits(), false, &stats);
+        }
+        assert_eq!(client.recv(), b"0123456789\n");
+    }
+}

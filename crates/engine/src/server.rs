@@ -31,13 +31,12 @@
 //! `pipeline_depth` gauges through
 //! [`EngineStats`](crate::stats::EngineStats) and the `stats` op.
 
-use std::collections::VecDeque;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use scrutinizer_data::hash::FxHashMap;
 
@@ -45,6 +44,7 @@ use crate::api::ErrorCode;
 use crate::engine::Engine;
 use crate::executor::ThreadPool;
 use crate::protocol::handle_request;
+use crate::serve_core::{service_conn, ConnState, ServiceLimits, OVERLOAD_LINE};
 
 /// Serving-loop sizing and behavior knobs.
 #[derive(Debug, Clone, Copy)]
@@ -103,51 +103,15 @@ impl ServerHandle {
     }
 }
 
-/// One client connection's buffers and execution state.
-struct Connection {
-    stream: TcpStream,
-    /// Bytes received but not yet split into complete lines.
-    read_buf: Vec<u8>,
-    /// Complete request lines awaiting execution, in arrival order.
-    queue: VecDeque<String>,
-    /// Rendered responses awaiting the socket; `write_pos` marks how far
-    /// the prefix has been flushed.
-    write_buf: Vec<u8>,
-    write_pos: usize,
-    /// A request of this connection is running on the worker pool.
-    in_flight: bool,
-    /// Client finished sending (EOF); drain, flush, then close.
-    eof: bool,
-    /// Unrecoverable socket error; discard without draining.
-    dead: bool,
-}
-
-impl Connection {
-    fn new(stream: TcpStream) -> Self {
-        Connection {
-            stream,
-            read_buf: Vec::new(),
-            queue: VecDeque::new(),
-            write_buf: Vec::new(),
-            write_pos: 0,
-            in_flight: false,
-            eof: false,
-            dead: false,
+impl ServerOptions {
+    /// The transport-independent buffer limits this configuration
+    /// implies (see [`ServiceLimits`]).
+    pub fn limits(&self) -> ServiceLimits {
+        ServiceLimits {
+            max_line_bytes: self.max_line_bytes,
+            write_buffer_limit: self.write_buffer_limit,
+            max_pipeline: self.max_pipeline,
         }
-    }
-
-    fn write_backlog(&self) -> usize {
-        self.write_buf.len() - self.write_pos
-    }
-
-    fn push_response(&mut self, line: &str) {
-        self.write_buf.extend_from_slice(line.as_bytes());
-        self.write_buf.push(b'\n');
-    }
-
-    /// Fully drained: nothing queued, nothing running, nothing to flush.
-    fn idle(&self) -> bool {
-        self.queue.is_empty() && !self.in_flight && self.write_backlog() == 0
     }
 }
 
@@ -207,9 +171,14 @@ impl Server {
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let stats = self.engine.stats_ref();
+        let limits = self.options.limits();
+        // time comes from the engine's injected clock, never the ambient
+        // `Instant` — the shutdown-grace deadline is the loop's only timer
+        // and must be virtual under simulation
+        let clock = Arc::clone(self.engine.env().clock());
         let pool = ThreadPool::new(self.options.workers, self.options.max_connections.max(16));
         let (done_tx, done_rx) = mpsc::channel::<(u64, String)>();
-        let mut conns: FxHashMap<u64, Connection> = FxHashMap::default();
+        let mut conns: FxHashMap<u64, ConnState<TcpStream>> = FxHashMap::default();
         let mut next_conn: u64 = 1;
         // submitted-but-unfinished jobs, tracked loop-locally so submission
         // can stay strictly below the pool's queue capacity — the readiness
@@ -220,15 +189,15 @@ impl Server {
         let mut parked: Option<(u64, String)> = None;
         // when the drain started; past `shutdown_grace`, stragglers are
         // force-closed so `run` always returns
-        let mut draining_since: Option<Instant> = None;
+        let mut draining_since: Option<Duration> = None;
         loop {
             let mut progress = false;
             let shutting_down = self.shutdown.load(Ordering::Acquire);
             if shutting_down && draining_since.is_none() {
-                draining_since = Some(Instant::now());
+                draining_since = Some(clock.now());
             }
-            let drain_expired =
-                draining_since.is_some_and(|since| since.elapsed() >= self.options.shutdown_grace);
+            let drain_expired = draining_since
+                .is_some_and(|since| clock.now() - since >= self.options.shutdown_grace);
 
             // 1. completed requests → write buffers. The counter drops
             // even when the connection died meanwhile: the work happened.
@@ -257,7 +226,7 @@ impl Server {
                                 continue;
                             }
                             let _ = stream.set_nodelay(true);
-                            conns.insert(next_conn, Connection::new(stream));
+                            conns.insert(next_conn, ConnState::new(stream));
                             next_conn += 1;
                             stats.connections_open.inc();
                             scrutinizer_obs::log_debug!(
@@ -279,7 +248,7 @@ impl Server {
             // 3. service every connection: flush, read, split, execute
             let mut closed: Vec<u64> = Vec::new();
             for (&conn_id, conn) in conns.iter_mut() {
-                progress |= service(conn, &self.options, shutting_down, stats);
+                progress |= service_conn(conn, &limits, shutting_down, stats);
                 if !conn.in_flight
                     && !conn.dead
                     && jobs_outstanding < job_capacity
@@ -341,122 +310,6 @@ impl Server {
         );
         let _ = stream.set_nonblocking(true);
         let mut stream = stream;
-        let _ = stream.write_all(
-            b"{\"ok\":false,\"code\":\"overloaded\",\"error\":\"connection limit reached\"}\n",
-        );
+        let _ = stream.write_all(OVERLOAD_LINE);
     }
-}
-
-/// Flushes what the socket will take, reads what it has, and splits
-/// complete lines into the queue. Returns whether anything moved.
-fn service(
-    conn: &mut Connection,
-    options: &ServerOptions,
-    shutting_down: bool,
-    stats: &crate::stats::EngineStats,
-) -> bool {
-    let mut progress = false;
-
-    // flush pending responses
-    while conn.write_backlog() > 0 {
-        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
-            Ok(0) => {
-                conn.dead = true;
-                break;
-            }
-            Ok(written) => {
-                conn.write_pos += written;
-                progress = true;
-            }
-            Err(error) if error.kind() == ErrorKind::WouldBlock => break,
-            Err(error) if error.kind() == ErrorKind::Interrupted => continue,
-            Err(_) => {
-                conn.dead = true;
-                break;
-            }
-        }
-    }
-    if conn.write_backlog() == 0 && !conn.write_buf.is_empty() {
-        conn.write_buf.clear();
-        conn.write_pos = 0;
-    }
-
-    // read while the pipeline and write buffer have room; a full queue
-    // or a backed-up client pauses reading, and TCP pushes back
-    let backpressured = conn.queue.len() >= options.max_pipeline
-        || conn.write_backlog() >= options.write_buffer_limit;
-    if !conn.eof && !conn.dead && !backpressured && !shutting_down {
-        let mut chunk = [0u8; 4096];
-        loop {
-            match conn.stream.read(&mut chunk) {
-                Ok(0) => {
-                    conn.eof = true;
-                    break;
-                }
-                Ok(received) => {
-                    conn.read_buf.extend_from_slice(&chunk[..received]);
-                    progress = true;
-                    if conn.read_buf.len() >= options.max_line_bytes
-                        || conn.queue.len() >= options.max_pipeline
-                    {
-                        break;
-                    }
-                }
-                Err(error) if error.kind() == ErrorKind::WouldBlock => break,
-                Err(error) if error.kind() == ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    conn.dead = true;
-                    break;
-                }
-            }
-        }
-    }
-
-    // split complete lines off the read buffer, never past the pipeline
-    // cap — one burst can carry far more lines than max_pipeline, and
-    // whatever stays unsplit here pauses reads until the queue drains
-    while conn.queue.len() < options.max_pipeline {
-        let Some(newline) = conn.read_buf.iter().position(|&b| b == b'\n') else {
-            break;
-        };
-        let rest = conn.read_buf.split_off(newline + 1);
-        let mut line_bytes = std::mem::replace(&mut conn.read_buf, rest);
-        line_bytes.pop(); // the newline
-                          // invalid UTF-8 flows through lossily and fails JSON parsing,
-                          // producing a structured parse_error like any other bad line
-        let line = String::from_utf8_lossy(&line_bytes).into_owned();
-        if !line.trim().is_empty() {
-            conn.queue.push_back(line);
-        }
-        progress = true;
-    }
-
-    let residual_has_newline = conn.read_buf.contains(&b'\n');
-    if !residual_has_newline && conn.read_buf.len() >= options.max_line_bytes {
-        // an unterminated line longer than the cap can never
-        // resynchronize: answer once, stop reading, close after the flush
-        stats.note_wire_error(ErrorCode::ParseError);
-        conn.push_response(&format!(
-            "{{\"ok\":false,\"code\":\"parse_error\",\"error\":\"request line exceeds {} bytes\"}}",
-            options.max_line_bytes
-        ));
-        conn.read_buf.clear();
-        conn.eof = true;
-        progress = true;
-    } else if conn.eof
-        && !residual_has_newline
-        && !conn.read_buf.is_empty()
-        && conn.queue.len() < options.max_pipeline
-    {
-        // the pre-v1 server answered a final request missing its trailing
-        // newline (BufRead::lines yields it at EOF); keep that contract
-        let line = String::from_utf8_lossy(&conn.read_buf).into_owned();
-        conn.read_buf.clear();
-        if !line.trim().is_empty() {
-            conn.queue.push_back(line);
-        }
-        progress = true;
-    }
-
-    progress
 }

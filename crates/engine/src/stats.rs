@@ -45,6 +45,12 @@ pub struct EngineStats {
     /// Retrains executed by the background trainer (a subset of
     /// `retrains`; the rest are synchronous pretrains).
     pub background_retrains: Counter,
+    /// Pending examples folded into a published model epoch by the
+    /// background trainer. The verdict-loss invariant the simulation
+    /// harness checks: `examples_trained + pending_examples` equals the
+    /// number of unique claims ever verified (when retraining is
+    /// enabled) — a drained batch that never trains is a lost example.
+    pub examples_trained: Counter,
     /// Raw SQL statements executed through the serving layer.
     pub sql_executed: Counter,
     /// Batch-selection plans requested (all strategies).
@@ -153,6 +159,10 @@ impl EngineStats {
             background_retrains: r.counter(
                 "scrutinizer_background_retrains_total",
                 "Retrains executed by the background trainer.",
+            ),
+            examples_trained: r.counter(
+                "scrutinizer_examples_trained_total",
+                "Pending examples folded into a published model epoch.",
             ),
             sql_executed: r.counter(
                 "scrutinizer_sql_executed_total",
@@ -311,6 +321,10 @@ pub struct StatsSnapshot {
     pub retrains: u64,
     /// Retrains executed by the background trainer.
     pub background_retrains: u64,
+    /// Pending examples folded into a published model epoch by the
+    /// background trainer (see the verdict-loss invariant on
+    /// [`EngineStats::examples_trained`]).
+    pub examples_trained: u64,
     /// The published model generation (bumped by every retrain; readers
     /// serve whichever snapshot was current when they started).
     pub model_epoch: u64,

@@ -1,0 +1,114 @@
+//! Monotonic time as an injected capability.
+//!
+//! The engine never calls `Instant::now()` or `thread::sleep` directly;
+//! it asks its [`Clock`]. Production code gets [`SystemClock`], a thin
+//! wrapper over `Instant` anchored at a process-wide epoch. Simulation
+//! gets [`VirtualClock`], whose "now" is an atomic nanosecond counter
+//! that only moves when the harness advances it — so a schedule that
+//! jumps the clock forward three hours replays bit-for-bit, and a
+//! `sleep` costs nothing but a counter bump.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// A monotonic clock. `now()` is elapsed time since an arbitrary but
+/// fixed origin; only differences between readings are meaningful.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since the clock's origin.
+    fn now(&self) -> Duration;
+
+    /// Block (or pretend to block) for `d`.
+    ///
+    /// [`SystemClock`] really sleeps the calling thread. [`VirtualClock`]
+    /// advances virtual time and returns immediately — simulated code
+    /// must never wedge the single simulation thread.
+    fn sleep(&self, d: Duration);
+}
+
+/// Process epoch shared by every [`SystemClock`], so independently
+/// constructed clocks agree on "now".
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// The real monotonic clock: `Instant` readings relative to a fixed
+/// process-wide origin, `sleep` = `thread::sleep`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        process_epoch().elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A virtual clock for simulation: time is a nanosecond counter that
+/// moves only via [`advance`](VirtualClock::advance) (harness-driven
+/// jumps) or [`sleep`](Clock::sleep) (which advances instead of
+/// blocking). Deterministic by construction.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    nanos: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock starting at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Jump time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.nanos.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Duration) {
+        // Sleeping in a simulation is just time passing.
+        self.advance(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock;
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_on_advance() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        let before = c.now();
+        assert_eq!(c.now(), before);
+        c.advance(Duration::from_millis(250));
+        assert_eq!(c.now(), before + Duration::from_millis(250));
+    }
+
+    #[test]
+    fn virtual_sleep_advances_instead_of_blocking() {
+        let c = VirtualClock::new();
+        let start = std::time::Instant::now();
+        c.sleep(Duration::from_secs(3600));
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(c.now(), Duration::from_secs(3600));
+    }
+}

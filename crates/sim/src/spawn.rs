@@ -1,0 +1,148 @@
+//! Background-task spawning as an injected capability.
+//!
+//! The engine's trainer does not own a thread when it runs under
+//! simulation. Instead, work it would have handed to its thread pool
+//! goes through a [`Spawner`]: production spawners execute on real
+//! threads (the engine adapts its own pool), while the simulated
+//! [`SimScheduler`] just queues the closure and lets the *harness*
+//! decide when — and whether — it runs, via
+//! [`drive_one`](Spawner::drive_one). That turns "the trainer raced the
+//! shutdown" from a once-in-a-thousand-runs flake into an explicitly
+//! schedulable interleaving.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A unit of background work.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Where background work goes.
+///
+/// `lane` is a stable label for the kind of work (e.g. `"trainer"`);
+/// simulated runs use it for diagnostics and selective driving, real
+/// spawners may ignore it.
+pub trait Spawner: Send + Sync {
+    /// Submit `task` for eventual execution.
+    fn spawn(&self, lane: &'static str, task: Task);
+
+    /// Run one queued task on the calling thread, if any is pending.
+    ///
+    /// Returns `true` if a task ran. Production spawners execute work on
+    /// their own threads and have nothing to drive, so the default is a
+    /// no-op returning `false`; code that waits for background work must
+    /// treat that as "wait for the real thread" (sleep) rather than spin.
+    fn drive_one(&self) -> bool {
+        false
+    }
+
+    /// `true` when tasks only run via [`drive_one`](Spawner::drive_one).
+    fn is_simulated(&self) -> bool {
+        false
+    }
+
+    /// Number of queued-but-unrun tasks (simulated spawners only;
+    /// production spawners report 0 because they cannot observe their
+    /// pool's queue through this trait).
+    fn pending(&self) -> usize {
+        0
+    }
+}
+
+/// The deterministic scheduler: a FIFO of queued tasks that run only
+/// when the harness calls [`drive_one`](Spawner::drive_one). Single
+/// queue, strict submission order — determinism comes from the harness
+/// choosing *when* to interleave driving with foreground ops, not from
+/// reordering.
+#[derive(Default)]
+pub struct SimScheduler {
+    queue: Mutex<VecDeque<(&'static str, Task)>>,
+}
+
+impl SimScheduler {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Spawner for SimScheduler {
+    fn spawn(&self, lane: &'static str, task: Task) {
+        self.queue.lock().unwrap().push_back((lane, task));
+    }
+
+    fn drive_one(&self) -> bool {
+        // Pop under the lock, run after releasing it: a task may itself
+        // spawn (the trainer re-arms its backlog check), and must not
+        // deadlock on the queue.
+        let next = self.queue.lock().unwrap().pop_front();
+        match next {
+            Some((_lane, task)) => {
+                task();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn is_simulated(&self) -> bool {
+        true
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+}
+
+impl std::fmt::Debug for SimScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimScheduler")
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn tasks_run_in_submission_order_when_driven() {
+        let sched = SimScheduler::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let log = Arc::clone(&log);
+            sched.spawn("test", Box::new(move || log.lock().unwrap().push(i)));
+        }
+        assert_eq!(sched.pending(), 3);
+        assert!(log.lock().unwrap().is_empty(), "nothing runs until driven");
+        while sched.drive_one() {}
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2]);
+        assert!(!sched.drive_one());
+    }
+
+    #[test]
+    fn driven_task_may_respawn_without_deadlock() {
+        let sched = Arc::new(SimScheduler::new());
+        let ran = Arc::new(AtomicUsize::new(0));
+        let (s2, r2) = (Arc::clone(&sched), Arc::clone(&ran));
+        sched.spawn(
+            "outer",
+            Box::new(move || {
+                r2.fetch_add(1, Ordering::SeqCst);
+                let r3 = Arc::clone(&r2);
+                s2.spawn(
+                    "inner",
+                    Box::new(move || {
+                        r3.fetch_add(1, Ordering::SeqCst);
+                    }),
+                );
+            }),
+        );
+        assert!(sched.drive_one());
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert!(sched.drive_one());
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! The simcheck CLI: sweep seeded schedules, report and shrink the
+//! first violation, or replay a saved schedule file.
+//!
+//! ```text
+//! simcheck [--schedules N] [--ops N] [--seed S] [--long] [--canary]
+//!          [--replay FILE] [--out FILE]
+//! ```
+//!
+//! * default scope: 10,000 schedules of ~46 ops — the CI push gate
+//! * `--long`: 100,000 schedules — the nightly soak
+//! * `--canary`: enable the deliberately-injected trainer bug; the run
+//!   *succeeds* when the harness finds and shrinks it (self-test)
+//! * `--replay FILE`: run one schedule from its text form
+//! * `--out FILE`: write the failing seed + shrunk schedule for CI to
+//!   upload as an artifact
+//! * `SCRUTINIZER_TEST_SEED`: overrides the base seed, exactly like the
+//!   vendored proptest runner — one knob reproduces either harness
+//!
+//! Exit status: 0 when expectations hold (no violation, or canary found
+//! under `--canary`), 1 otherwise.
+
+use std::process::ExitCode;
+
+use scrutinizer_simcheck::{
+    generate, parse, render, run_schedule, schedule_seed, shrink, SharedWorld, Violation,
+};
+
+struct Options {
+    schedules: u64,
+    ops: usize,
+    base_seed: u64,
+    canary: bool,
+    replay: Option<String>,
+    out: Option<String>,
+}
+
+const DEFAULT_SEED: u64 = 0x5C1_2077;
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        schedules: 10_000,
+        ops: 40,
+        base_seed: match std::env::var("SCRUTINIZER_TEST_SEED") {
+            Ok(text) => text
+                .trim()
+                .parse()
+                .map_err(|_| format!("SCRUTINIZER_TEST_SEED is not a u64: {text:?}"))?,
+            Err(_) => DEFAULT_SEED,
+        },
+        canary: false,
+        replay: None,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--schedules" => options.schedules = num(&value("--schedules")?)?,
+            "--ops" => options.ops = num(&value("--ops")?)? as usize,
+            "--seed" => options.base_seed = num(&value("--seed")?)?,
+            "--long" => options.schedules = 100_000,
+            "--canary" => options.canary = true,
+            "--replay" => options.replay = Some(value("--replay")?),
+            "--out" => options.out = Some(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "simcheck [--schedules N] [--ops N] [--seed S] [--long] [--canary] \
+                     [--replay FILE] [--out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(options)
+}
+
+fn num(text: &str) -> Result<u64, String> {
+    text.parse().map_err(|_| format!("not a number: {text}"))
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("simcheck: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let start = std::time::Instant::now();
+    eprintln!("simcheck: building the shared world (corpus + features + pretrain)...");
+    let world = SharedWorld::build();
+    eprintln!("simcheck: world ready in {:.1?}", start.elapsed());
+
+    if let Some(path) = &options.replay {
+        return replay(&world, path, options.canary);
+    }
+
+    let sweep = std::time::Instant::now();
+    for index in 0..options.schedules {
+        let seed = schedule_seed(options.base_seed, index);
+        let ops = generate(seed, options.ops, world.n_claims);
+        let result = run_schedule(&world, &ops, options.canary);
+        if let Some(violation) = result.violation {
+            return report_failure(&world, &options, seed, &ops, &violation);
+        }
+        if index > 0 && index % 1000 == 0 {
+            eprintln!(
+                "simcheck: {index}/{} schedules clean ({:.1?})",
+                options.schedules,
+                sweep.elapsed()
+            );
+        }
+    }
+    let elapsed = sweep.elapsed();
+    if options.canary {
+        eprintln!(
+            "simcheck: FAILED — the canary bug was enabled but {} schedules found no violation",
+            options.schedules
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "simcheck: {} schedules x ~{} ops clean in {:.1?} (base seed {})",
+        options.schedules, options.ops, elapsed, options.base_seed
+    );
+    ExitCode::SUCCESS
+}
+
+/// Prints (and optionally writes) the failing seed, the violation, and
+/// the shrunk schedule. Under `--canary` a found-and-shrunk violation is
+/// the *expected* outcome, so the exit status inverts.
+fn report_failure(
+    world: &SharedWorld,
+    options: &Options,
+    seed: u64,
+    ops: &[scrutinizer_simcheck::SimOp],
+    violation: &Violation,
+) -> ExitCode {
+    println!("simcheck: VIOLATION with seed {seed}: {violation}");
+    println!(
+        "simcheck: shrinking {} ops (reproduce: SCRUTINIZER_TEST_SEED={} simcheck --schedules 1 --ops {}{})",
+        ops.len(),
+        seed,
+        options.ops,
+        if options.canary { " --canary" } else { "" }
+    );
+    let minimal = shrink(world, ops, options.canary, violation.kind);
+    let text = render(&minimal);
+    println!(
+        "simcheck: minimal schedule ({} ops, invariant {}):\n{text}",
+        minimal.len(),
+        violation.kind
+    );
+    if let Some(path) = &options.out {
+        let contents = format!(
+            "# simcheck failure\n# seed: {seed}\n# invariant: {}\n# detail: {}\n{text}",
+            violation.kind, violation.detail
+        );
+        if let Err(error) = std::fs::write(path, contents) {
+            eprintln!("simcheck: could not write {path}: {error}");
+        } else {
+            eprintln!("simcheck: failure written to {path}");
+        }
+    }
+    if options.canary {
+        println!(
+            "simcheck: canary confirmed — the harness found and shrank the injected bug to {} ops",
+            minimal.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Replays a schedule file once and reports its outcome.
+fn replay(world: &SharedWorld, path: &str, canary: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("simcheck: cannot read {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ops = match parse(&text) {
+        Ok(ops) => ops,
+        Err(message) => {
+            eprintln!("simcheck: {path}: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = run_schedule(world, &ops, canary);
+    match result.violation {
+        Some(violation) => {
+            println!(
+                "simcheck: replay of {path} ({} ops): {violation}",
+                ops.len()
+            );
+            ExitCode::FAILURE
+        }
+        None => {
+            println!(
+                "simcheck: replay of {path} ({} ops) clean, digest {:016x}, {} requests",
+                ops.len(),
+                result.digest,
+                result.requests
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}

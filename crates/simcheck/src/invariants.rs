@@ -1,0 +1,190 @@
+//! The global invariants, checked after every schedule step.
+//!
+//! Each check relates the engine's externally observable counters to a
+//! mirror the harness maintains from the responses it saw — the mirror
+//! is the spec, the engine is the implementation, and any disagreement
+//! at any step is a bug (or the canary).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use scrutinizer_engine::StatsSnapshot;
+
+/// Which invariant a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// Model epoch must move monotonically and equal the retrain count.
+    EpochAccounting,
+    /// `examples_trained + pending_examples` must equal the number of
+    /// unique claims ever verified — a crashed trainer may not lose
+    /// drained examples.
+    VerdictLoss,
+    /// One query, one answer: repeated SQL returns bit-identical values,
+    /// hit/miss counters are monotone, residency never exceeds capacity.
+    CacheCoherence,
+    /// `requests_total == requests_ok + Σ wire_errors`, at every step.
+    Conservation,
+    /// Responses echo their request's trace id; batch sub-responses
+    /// inherit the batch's.
+    TraceStitching,
+    /// At quiesce, every surviving connection has received exactly the
+    /// responses for the requests it sent, in order.
+    Delivery,
+}
+
+impl fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            InvariantKind::EpochAccounting => "epoch-accounting",
+            InvariantKind::VerdictLoss => "verdict-loss",
+            InvariantKind::CacheCoherence => "cache-coherence",
+            InvariantKind::Conservation => "conservation",
+            InvariantKind::TraceStitching => "trace-stitching",
+            InvariantKind::Delivery => "delivery",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One invariant violation: which, where in the schedule, and why.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The invariant broken.
+    pub kind: InvariantKind,
+    /// Schedule step index at which the check failed (`ops.len()` means
+    /// the post-quiesce final check).
+    pub step: usize,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at step {}: {}", self.kind, self.step, self.detail)
+    }
+}
+
+/// The harness's model of the engine, built from responses alone.
+#[derive(Default)]
+pub struct Mirror {
+    /// Claims that received an `ok` verdict response (unique — the
+    /// engine dedups globally, so must the spec).
+    pub verified: BTreeSet<usize>,
+    /// First observed outcome per SQL-pool query: `Some(bits)` for a
+    /// value, `None` for a structured `sql` failure. Later runs of the
+    /// same query must match exactly.
+    pub sql_outcomes: BTreeMap<usize, Option<u64>>,
+    /// High-water marks for monotonicity checks.
+    pub last_epoch: u64,
+    /// Last observed cache-hit counter.
+    pub last_hits: u64,
+    /// Last observed cache-miss counter.
+    pub last_misses: u64,
+}
+
+/// Runs the stats-derived invariant checks (epoch accounting, verdict
+/// loss, cache monotonicity/residency, conservation) against one
+/// snapshot, updating the mirror's high-water marks.
+pub fn check_stats(
+    snapshot: &StatsSnapshot,
+    cache_capacity: usize,
+    mirror: &mut Mirror,
+    step: usize,
+) -> Result<(), Violation> {
+    if snapshot.model_epoch < mirror.last_epoch {
+        return Err(Violation {
+            kind: InvariantKind::EpochAccounting,
+            step,
+            detail: format!(
+                "model epoch went backwards: {} after {}",
+                snapshot.model_epoch, mirror.last_epoch
+            ),
+        });
+    }
+    if snapshot.model_epoch != snapshot.retrains {
+        return Err(Violation {
+            kind: InvariantKind::EpochAccounting,
+            step,
+            detail: format!(
+                "model epoch {} != retrains {}",
+                snapshot.model_epoch, snapshot.retrains
+            ),
+        });
+    }
+    mirror.last_epoch = snapshot.model_epoch;
+
+    let accounted = snapshot.examples_trained + snapshot.pending_examples;
+    let verified = mirror.verified.len() as u64;
+    if accounted != verified {
+        return Err(Violation {
+            kind: InvariantKind::VerdictLoss,
+            step,
+            detail: format!(
+                "examples_trained {} + pending {} != unique verified {}",
+                snapshot.examples_trained, snapshot.pending_examples, verified
+            ),
+        });
+    }
+
+    if snapshot.cache_hits < mirror.last_hits || snapshot.cache_misses < mirror.last_misses {
+        return Err(Violation {
+            kind: InvariantKind::CacheCoherence,
+            step,
+            detail: format!(
+                "cache counters regressed: hits {} (was {}), misses {} (was {})",
+                snapshot.cache_hits, mirror.last_hits, snapshot.cache_misses, mirror.last_misses
+            ),
+        });
+    }
+    mirror.last_hits = snapshot.cache_hits;
+    mirror.last_misses = snapshot.cache_misses;
+    if snapshot.cache_entries > cache_capacity {
+        return Err(Violation {
+            kind: InvariantKind::CacheCoherence,
+            step,
+            detail: format!(
+                "cache holds {} entries over capacity {}",
+                snapshot.cache_entries, cache_capacity
+            ),
+        });
+    }
+
+    if !snapshot.requests_are_conserved() {
+        return Err(Violation {
+            kind: InvariantKind::Conservation,
+            step,
+            detail: format!(
+                "requests_total {} != requests_ok {} + wire_errors {}",
+                snapshot.requests_total,
+                snapshot.requests_ok,
+                snapshot.wire_errors_total()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Records one SQL outcome in the mirror and checks stability against
+/// what the same query returned before.
+pub fn check_sql_outcome(
+    mirror: &mut Mirror,
+    query: usize,
+    outcome: Option<u64>,
+    step: usize,
+) -> Result<(), Violation> {
+    match mirror.sql_outcomes.get(&query) {
+        Some(first) if *first != outcome => Err(Violation {
+            kind: InvariantKind::CacheCoherence,
+            step,
+            detail: format!(
+                "query {query} changed outcome: first {:?}, now {:?}",
+                first, outcome
+            ),
+        }),
+        Some(_) => Ok(()),
+        None => {
+            mirror.sql_outcomes.insert(query, outcome);
+            Ok(())
+        }
+    }
+}

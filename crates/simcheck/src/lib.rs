@@ -1,0 +1,56 @@
+//! # scrutinizer-simcheck
+//!
+//! The deterministic simulation harness: model-checks the whole serving
+//! system — sessions, planning, the query cache, the wire protocol, the
+//! background trainer — by driving thousands of seeded random op
+//! schedules with fault injection against global invariants, and
+//! shrinking any failure to a minimal reproduction.
+//!
+//! ```text
+//!   seed ──▶ schedule (ops over 3 simulated connections + faults)
+//!              │ open / submit / answer / suggest / verdict / sql /
+//!              │ batch / stats / close  +  drive / jump / drop /
+//!              │ stall / partial / crash
+//!              ▼
+//!   run: SimStream pairs ──▶ service_conn (the production state
+//!        machine) ──▶ handle_request (the production protocol) ──▶
+//!        invariants after EVERY step
+//!              │ violation?
+//!              ▼
+//!   shrink: ddmin to a minimal schedule, printed with its seed
+//! ```
+//!
+//! The five invariant families (see [`invariants`]):
+//!
+//! 1. **Epoch accounting** — `model_epoch` is monotone and equals the
+//!    retrain count.
+//! 2. **Verdict loss** — `examples_trained + pending_examples` equals
+//!    the unique claims ever verified; a crashed trainer may not lose
+//!    drained examples. (The `--canary` mode deliberately breaks exactly
+//!    this, proving the harness catches real interleaving bugs.)
+//! 3. **Cache coherence** — repeated SQL returns bit-identical values,
+//!    hit/miss counters are monotone, residency respects capacity.
+//! 4. **Conservation** — `requests_total == requests_ok + Σ errors` at
+//!    every step, and surviving connections receive exactly their
+//!    responses, in order.
+//! 5. **Trace stitching** — every response echoes its request's trace
+//!    id; batch sub-responses inherit the batch's.
+//!
+//! Determinism is bitwise: one seed ⇒ one schedule ⇒ one digest over
+//! every deterministic response byte and the final counters
+//! ([`run::RunResult::digest`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod invariants;
+pub mod run;
+pub mod schedule;
+pub mod shrink;
+pub mod world;
+
+pub use invariants::{InvariantKind, Violation};
+pub use run::{run_schedule, RunResult};
+pub use schedule::{generate, parse, render, schedule_seed, SimOp, N_SLOTS};
+pub use shrink::shrink;
+pub use world::SharedWorld;

@@ -1,0 +1,607 @@
+//! Executing one schedule against one simulated engine.
+//!
+//! The harness plays the client side of [`N_SLOTS`] connections over
+//! in-memory [`SimStream`] pairs, while the *server* side runs the very
+//! same [`service_conn`] state machine production uses — the simulation
+//! model-checks the real serving code, not a stand-in. Requests execute
+//! inline (single-threaded, in slot order), the background trainer runs
+//! only when the schedule says so, and every step ends with the full
+//! invariant battery.
+//!
+//! Determinism: everything a response contains is a function of the
+//! schedule prefix — ids and trace ids are assigned from a counter, the
+//! trainer is driven explicitly, verification runs inline under
+//! simulation, and the planner is pinned to one thread. The only
+//! nondeterministic observable is wall-clock latency, so the run digest
+//! skips `stats` response bodies (their histograms) and hashes
+//! everything else byte-for-byte.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use scrutinizer_engine::engine::Engine;
+use scrutinizer_engine::protocol::{handle_request, Json};
+use scrutinizer_engine::{service_conn, ConnState, ServiceLimits};
+use scrutinizer_sim::{FaultPlan, SimEndpoint, SimScheduler, SimStream, Spawner, VirtualClock};
+
+use crate::invariants::{check_sql_outcome, check_stats, InvariantKind, Mirror, Violation};
+use crate::schedule::{SimOp, N_SLOTS};
+use crate::world::{SharedWorld, CACHE_CAPACITY};
+
+/// Outcome of one schedule run.
+pub struct RunResult {
+    /// The first invariant violation, if any.
+    pub violation: Option<Violation>,
+    /// FNV-1a digest over every deterministic response byte and the
+    /// final counters — bitwise equal across runs of the same schedule.
+    pub digest: u64,
+    /// Requests the engine answered (including error responses).
+    pub requests: u64,
+}
+
+/// What the harness remembers about a request it sent, keyed by id.
+struct Meta {
+    slot: usize,
+    trace: String,
+    op: MetaOp,
+    /// Skip the response body in the digest (stats histograms carry real
+    /// wall-clock timings).
+    skip_body: bool,
+}
+
+enum MetaOp {
+    Open,
+    Submit(Vec<usize>),
+    Verdict(usize),
+    Sql(usize),
+    /// A batch whose first sub-request is this SQL-pool query.
+    Batch(usize),
+    Close,
+    Other,
+}
+
+/// One client connection slot: the server-side state machine, the
+/// client-side endpoint, and the delivery ledger for this incarnation.
+#[derive(Default)]
+struct Slot {
+    conn: Option<(ConnState<SimStream>, SimEndpoint)>,
+    session: Option<u64>,
+    claims: Vec<usize>,
+    sent: Vec<u64>,
+    delivered: Vec<u64>,
+    recv_buf: Vec<u8>,
+}
+
+/// Runs `ops` against a fresh simulated engine in `world`. With `canary`
+/// the deliberately-injected trainer bug is enabled: an armed crash
+/// *discards* its drained batch instead of restoring it, which the
+/// verdict-loss invariant must catch.
+pub fn run_schedule(world: &SharedWorld, ops: &[SimOp], canary: bool) -> RunResult {
+    let (engine, clock, scheduler, faults) = world.spawn_engine();
+    let mut harness = Harness {
+        world,
+        engine,
+        clock,
+        scheduler,
+        faults,
+        canary,
+        limits: ServiceLimits {
+            max_line_bytes: 1 << 16,
+            write_buffer_limit: 1 << 20,
+            max_pipeline: 128,
+        },
+        slots: Vec::from_iter((0..N_SLOTS).map(|_| Slot::default())),
+        meta: HashMap::new(),
+        mirror: Mirror::default(),
+        next_id: 1,
+        step: 0,
+        digest: 0xCBF2_9CE4_8422_2325,
+    };
+    let violation = harness.run(ops).err();
+    let snapshot = harness.engine.stats();
+    harness.fold_final_stats(&snapshot);
+    RunResult {
+        violation,
+        digest: harness.digest,
+        requests: snapshot.requests_total,
+    }
+}
+
+struct Harness<'w> {
+    world: &'w SharedWorld,
+    engine: Arc<Engine>,
+    clock: Arc<VirtualClock>,
+    scheduler: Arc<SimScheduler>,
+    faults: Arc<FaultPlan>,
+    canary: bool,
+    limits: ServiceLimits,
+    slots: Vec<Slot>,
+    meta: HashMap<u64, Meta>,
+    mirror: Mirror,
+    next_id: u64,
+    step: usize,
+    digest: u64,
+}
+
+impl Harness<'_> {
+    fn run(&mut self, ops: &[SimOp]) -> Result<(), Violation> {
+        for (index, op) in ops.iter().enumerate() {
+            self.step = index;
+            self.apply(op)?;
+            self.pump()?;
+            let snapshot = self.engine.stats();
+            check_stats(&snapshot, CACHE_CAPACITY, &mut self.mirror, self.step)?;
+        }
+        self.step = ops.len();
+        self.quiesce()
+    }
+
+    /// Executes one schedule op: either a fault/driver action or a
+    /// request line pushed onto a slot's client endpoint.
+    fn apply(&mut self, op: &SimOp) -> Result<(), Violation> {
+        match op {
+            SimOp::Open { slot } => {
+                let (id, trace) = self.fresh_id();
+                let line = format!(
+                    "{{\"op\":\"open\",\"v\":1,\"id\":{id},\"trace\":\"{trace}\",\"checker\":\"sim-{slot}\"}}"
+                );
+                self.send(*slot, id, trace, MetaOp::Open, false, &line);
+            }
+            SimOp::Submit { slot, claims } => {
+                let (id, trace) = self.fresh_id();
+                let session = self.session_of(*slot);
+                let ids: Vec<String> = claims.iter().map(usize::to_string).collect();
+                let line = format!(
+                    "{{\"op\":\"submit\",\"v\":1,\"id\":{id},\"trace\":\"{trace}\",\"session\":{session},\"claims\":[{}]}}",
+                    ids.join(",")
+                );
+                self.send(
+                    *slot,
+                    id,
+                    trace,
+                    MetaOp::Submit(claims.clone()),
+                    false,
+                    &line,
+                );
+            }
+            SimOp::Answer { slot, pick } => {
+                let (id, trace) = self.fresh_id();
+                let session = self.session_of(*slot);
+                let claim = self.claim_of(*slot, *pick);
+                let relation = self.world.relation_of(claim).to_string();
+                let line = format!(
+                    "{{\"op\":\"answer\",\"v\":1,\"id\":{id},\"trace\":\"{trace}\",\"session\":{session},\"claim\":{claim},\"kind\":\"relation\",\"answer\":\"{relation}\"}}"
+                );
+                self.send(*slot, id, trace, MetaOp::Other, false, &line);
+            }
+            SimOp::Suggest { slot, pick } => {
+                let (id, trace) = self.fresh_id();
+                let session = self.session_of(*slot);
+                let claim = self.claim_of(*slot, *pick);
+                let line = format!(
+                    "{{\"op\":\"suggest\",\"v\":1,\"id\":{id},\"trace\":\"{trace}\",\"session\":{session},\"claim\":{claim}}}"
+                );
+                self.send(*slot, id, trace, MetaOp::Other, false, &line);
+            }
+            SimOp::Verdict {
+                slot,
+                pick,
+                correct,
+            } => {
+                let (id, trace) = self.fresh_id();
+                let session = self.session_of(*slot);
+                let claim = self.claim_of(*slot, *pick);
+                let line = format!(
+                    "{{\"op\":\"verdict\",\"v\":1,\"id\":{id},\"trace\":\"{trace}\",\"session\":{session},\"claim\":{claim},\"correct\":{correct}}}"
+                );
+                self.send(*slot, id, trace, MetaOp::Verdict(claim), false, &line);
+            }
+            SimOp::Sql { slot, query } => {
+                let (id, trace) = self.fresh_id();
+                let index = query % self.world.sql_pool.len();
+                let sql = &self.world.sql_pool[index];
+                let line = format!(
+                    "{{\"op\":\"sql\",\"v\":1,\"id\":{id},\"trace\":\"{trace}\",\"query\":\"{sql}\"}}"
+                );
+                self.send(*slot, id, trace, MetaOp::Sql(index), false, &line);
+            }
+            SimOp::Batch { slot, query } => {
+                let (id, trace) = self.fresh_id();
+                let index = query % self.world.sql_pool.len();
+                let sql = &self.world.sql_pool[index];
+                let line = format!(
+                    "{{\"op\":\"batch\",\"v\":1,\"id\":{id},\"trace\":\"{trace}\",\"requests\":[{{\"op\":\"sql\",\"query\":\"{sql}\"}},{{\"op\":\"stats\"}}]}}"
+                );
+                self.send(*slot, id, trace, MetaOp::Batch(index), true, &line);
+            }
+            SimOp::Stats { slot } => {
+                let (id, trace) = self.fresh_id();
+                let line =
+                    format!("{{\"op\":\"stats\",\"v\":1,\"id\":{id},\"trace\":\"{trace}\"}}");
+                self.send(*slot, id, trace, MetaOp::Other, true, &line);
+            }
+            SimOp::Close { slot } => {
+                let (id, trace) = self.fresh_id();
+                let session = self.session_of(*slot);
+                let line = format!(
+                    "{{\"op\":\"close\",\"v\":1,\"id\":{id},\"trace\":\"{trace}\",\"session\":{session}}}"
+                );
+                self.send(*slot, id, trace, MetaOp::Close, false, &line);
+            }
+            SimOp::DriveTrainer => {
+                self.scheduler.drive_one();
+            }
+            SimOp::ClockJump { millis } => {
+                self.clock
+                    .advance(std::time::Duration::from_millis(*millis));
+            }
+            SimOp::DropConn { slot } => {
+                if let Some((_, endpoint)) = &self.slots[*slot].conn {
+                    endpoint.drop_hard();
+                }
+            }
+            SimOp::Stall { slot, on } => {
+                if let Some((_, endpoint)) = &self.slots[*slot].conn {
+                    endpoint.set_stalled(*on);
+                }
+            }
+            SimOp::PartialWrites { slot, cap } => {
+                if let Some((_, endpoint)) = &self.slots[*slot].conn {
+                    endpoint.set_write_cap(if *cap == 0 { None } else { Some(*cap) });
+                }
+            }
+            SimOp::CrashTrainer => {
+                self.faults.arm("trainer.crash", 1);
+                if self.canary {
+                    self.faults.arm("canary.trainer.drop_batch", 1);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Assigns the next request id and its trace id (the id in 16 hex
+    /// digits, so [`TraceId::from_wire`] round-trips it and responses
+    /// must echo it byte-for-byte).
+    ///
+    /// [`TraceId::from_wire`]: scrutinizer_obs::TraceId::from_wire
+    fn fresh_id(&mut self) -> (u64, String) {
+        let id = self.next_id;
+        self.next_id += 1;
+        (id, format!("{id:016x}"))
+    }
+
+    /// The slot's session id for request construction; a sentinel that no
+    /// engine ever issues when the slot has none (the request then draws
+    /// a structured `unknown_session`, which is itself valid behavior to
+    /// explore).
+    fn session_of(&self, slot: usize) -> u64 {
+        self.slots[slot].session.unwrap_or(999_999_999)
+    }
+
+    /// Resolves a schedule `pick` against the slot's accepted claims, or
+    /// the whole corpus when none are accepted yet.
+    fn claim_of(&self, slot: usize, pick: usize) -> usize {
+        let claims = &self.slots[slot].claims;
+        if claims.is_empty() {
+            pick % self.world.n_claims
+        } else {
+            claims[pick % claims.len()]
+        }
+    }
+
+    /// Queues one request line on the slot's client endpoint, opening a
+    /// fresh connection pair if the slot has none (first use, or after a
+    /// drop — the session survives reconnects, as over TCP).
+    fn send(
+        &mut self,
+        slot: usize,
+        id: u64,
+        trace: String,
+        op: MetaOp,
+        skip_body: bool,
+        line: &str,
+    ) {
+        if self.slots[slot].conn.is_none() {
+            let (server, client) = scrutinizer_sim::sim_pair();
+            let state = &mut self.slots[slot];
+            state.conn = Some((ConnState::new(server), client));
+            state.sent.clear();
+            state.delivered.clear();
+            state.recv_buf.clear();
+        }
+        let state = &mut self.slots[slot];
+        let (_, endpoint) = state.conn.as_ref().expect("slot connection just ensured");
+        endpoint.send(line.as_bytes());
+        endpoint.send(b"\n");
+        state.sent.push(id);
+        self.meta.insert(
+            id,
+            Meta {
+                slot,
+                trace,
+                op,
+                skip_body,
+            },
+        );
+    }
+
+    /// Services every connection in slot order until nothing moves:
+    /// flush → read → split via the production `service_conn`, queued
+    /// lines executed inline through the production `handle_request`,
+    /// client bytes drained and receipted. Single-threaded and ordered,
+    /// so identical schedules take identical paths.
+    fn pump(&mut self) -> Result<(), Violation> {
+        loop {
+            let mut progress = false;
+            for slot_index in 0..N_SLOTS {
+                let Some((mut conn, endpoint)) = self.slots[slot_index].conn.take() else {
+                    continue;
+                };
+                progress |= service_conn(&mut conn, &self.limits, false, self.engine.stats_ref());
+                while let Some(line) = conn.queue.pop_front() {
+                    let engine = Arc::clone(&self.engine);
+                    let response = handle_request(&engine, &line);
+                    let outcome = self.note_response(&response);
+                    conn.push_response(&response);
+                    progress = true;
+                    if let Err(violation) = outcome {
+                        self.slots[slot_index].conn = Some((conn, endpoint));
+                        return Err(violation);
+                    }
+                }
+                progress |= service_conn(&mut conn, &self.limits, false, self.engine.stats_ref());
+                let dead = conn.dead || endpoint.is_dropped();
+                if dead {
+                    // the incarnation's delivery ledger dies with it: a
+                    // dropped client has no delivery guarantees
+                    let state = &mut self.slots[slot_index];
+                    state.sent.clear();
+                    state.delivered.clear();
+                    state.recv_buf.clear();
+                    progress = true;
+                } else {
+                    self.drain_client(slot_index, &endpoint)?;
+                    self.slots[slot_index].conn = Some((conn, endpoint));
+                }
+            }
+            if !progress {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Pulls server→client bytes, splits complete lines, and receipts
+    /// each delivered response id in order.
+    fn drain_client(&mut self, slot: usize, endpoint: &SimEndpoint) -> Result<(), Violation> {
+        let bytes = endpoint.recv();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let state = &mut self.slots[slot];
+        state.recv_buf.extend_from_slice(&bytes);
+        while let Some(newline) = state.recv_buf.iter().position(|&b| b == b'\n') {
+            let rest = state.recv_buf.split_off(newline + 1);
+            let mut line = std::mem::replace(&mut state.recv_buf, rest);
+            line.pop();
+            let text = String::from_utf8_lossy(&line);
+            let parsed = Json::parse(&text).map_err(|_| Violation {
+                kind: InvariantKind::Delivery,
+                step: self.step,
+                detail: format!("slot {slot} received an unparseable response: {text}"),
+            })?;
+            let id = parsed
+                .get("id")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| Violation {
+                    kind: InvariantKind::Delivery,
+                    step: self.step,
+                    detail: format!("slot {slot} received a response without an id: {text}"),
+                })? as u64;
+            state.delivered.push(id);
+        }
+        Ok(())
+    }
+
+    /// Bookkeeping at execution time: the response updates the mirror
+    /// *when the request runs*, not when the client reads it — a dropped
+    /// connection may discard a delivered response, but the engine-side
+    /// effect already happened and the invariants must account for it.
+    fn note_response(&mut self, response: &str) -> Result<(), Violation> {
+        let parsed = Json::parse(response).map_err(|_| Violation {
+            kind: InvariantKind::Delivery,
+            step: self.step,
+            detail: format!("engine produced an unparseable response: {response}"),
+        })?;
+        let id = parsed
+            .get("id")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| Violation {
+                kind: InvariantKind::Delivery,
+                step: self.step,
+                detail: format!("response lost its request id: {response}"),
+            })? as u64;
+        let meta = self.meta.remove(&id).ok_or_else(|| Violation {
+            kind: InvariantKind::Delivery,
+            step: self.step,
+            detail: format!("response for an id never sent: {response}"),
+        })?;
+
+        let echoed = parsed.get("trace").and_then(Json::as_str).unwrap_or("");
+        if echoed != meta.trace {
+            return Err(Violation {
+                kind: InvariantKind::TraceStitching,
+                step: self.step,
+                detail: format!(
+                    "request {id} carried trace {} but the response says {echoed:?}",
+                    meta.trace
+                ),
+            });
+        }
+        let ok = parsed.get("ok").and_then(Json::as_bool).unwrap_or(false);
+
+        match meta.op {
+            MetaOp::Open => {
+                if ok {
+                    let session = parsed.get("session").and_then(Json::as_usize);
+                    self.slots[meta.slot].session = session.map(|s| s as u64);
+                }
+            }
+            MetaOp::Submit(claims) => {
+                if ok {
+                    let accepted = &mut self.slots[meta.slot].claims;
+                    for claim in claims {
+                        if !accepted.contains(&claim) {
+                            accepted.push(claim);
+                        }
+                    }
+                }
+            }
+            MetaOp::Verdict(claim) => {
+                if ok {
+                    self.mirror.verified.insert(claim);
+                }
+            }
+            MetaOp::Sql(query) => {
+                let outcome = sql_outcome(&parsed, ok);
+                check_sql_outcome(&mut self.mirror, query, outcome, self.step)?;
+            }
+            MetaOp::Batch(query) => {
+                if let Some(results) = parsed.get("results").and_then(Json::as_arr) {
+                    for sub in results {
+                        let sub_trace = sub.get("trace").and_then(Json::as_str).unwrap_or("");
+                        if sub_trace != meta.trace {
+                            return Err(Violation {
+                                kind: InvariantKind::TraceStitching,
+                                step: self.step,
+                                detail: format!(
+                                    "batch {id} carried trace {} but a sub-response says {sub_trace:?}",
+                                    meta.trace
+                                ),
+                            });
+                        }
+                    }
+                    if let Some(sql) = results.first() {
+                        let sub_ok = sql.get("ok").and_then(Json::as_bool).unwrap_or(false);
+                        let outcome = sql_outcome(sql, sub_ok);
+                        check_sql_outcome(&mut self.mirror, query, outcome, self.step)?;
+                    }
+                }
+            }
+            MetaOp::Close => {
+                if ok {
+                    let state = &mut self.slots[meta.slot];
+                    state.session = None;
+                    state.claims.clear();
+                }
+            }
+            MetaOp::Other => {}
+        }
+
+        // the determinism digest: full bytes for deterministic bodies,
+        // envelope only where wall-clock timings leak in (stats)
+        self.fold(&id.to_le_bytes());
+        if meta.skip_body {
+            self.fold(&[u8::from(ok)]);
+            self.fold(meta.trace.as_bytes());
+        } else {
+            self.fold(response.as_bytes());
+        }
+        Ok(())
+    }
+
+    /// End of schedule: lift every fault, drain the trainer, flush every
+    /// connection, then hold the engine to the final reckoning — delivery
+    /// integrity per surviving connection and one last invariant pass.
+    fn quiesce(&mut self) -> Result<(), Violation> {
+        for state in &self.slots {
+            if let Some((_, endpoint)) = &state.conn {
+                endpoint.set_stalled(false);
+                endpoint.set_write_cap(None);
+            }
+        }
+        self.pump()?;
+        self.engine.flush_retrains();
+        self.pump()?;
+
+        for slot in 0..N_SLOTS {
+            let state = &self.slots[slot];
+            if state.conn.is_none() {
+                continue;
+            }
+            if state.delivered != state.sent {
+                return Err(Violation {
+                    kind: InvariantKind::Delivery,
+                    step: self.step,
+                    detail: format!(
+                        "slot {slot} sent ids {:?} but received responses for {:?}",
+                        state.sent, state.delivered
+                    ),
+                });
+            }
+        }
+
+        let snapshot = self.engine.stats();
+        check_stats(&snapshot, CACHE_CAPACITY, &mut self.mirror, self.step)?;
+        if snapshot.pending_examples != 0 {
+            return Err(Violation {
+                kind: InvariantKind::VerdictLoss,
+                step: self.step,
+                detail: format!(
+                    "{} examples still pending after flush_retrains",
+                    snapshot.pending_examples
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Folds the deterministic subset of the final counters into the
+    /// digest, so two runs must also agree on ending state — not just on
+    /// response bytes.
+    fn fold_final_stats(&mut self, snapshot: &scrutinizer_engine::StatsSnapshot) {
+        for value in [
+            snapshot.sessions_opened,
+            snapshot.sessions_closed,
+            snapshot.claims_verified,
+            snapshot.answers_posted,
+            snapshot.suggestions_served,
+            snapshot.retrains,
+            snapshot.background_retrains,
+            snapshot.examples_trained,
+            snapshot.model_epoch,
+            snapshot.pending_examples,
+            snapshot.sql_executed,
+            snapshot.requests_total,
+            snapshot.requests_ok,
+            snapshot.cache_hits,
+            snapshot.cache_misses,
+            snapshot.cache_entries as u64,
+        ] {
+            self.fold(&value.to_le_bytes());
+        }
+        for errors in snapshot.wire_errors {
+            self.fold(&errors.to_le_bytes());
+        }
+    }
+
+    /// FNV-1a, byte at a time.
+    fn fold(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.digest ^= u64::from(byte);
+            self.digest = self.digest.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// Extracts the SQL mirror outcome from a response object: `Some(bits)`
+/// for an evaluated value, `None` for a structured `sql` failure, and
+/// nothing to record for other error codes (those depend on session
+/// state, not on the query).
+fn sql_outcome(parsed: &Json, ok: bool) -> Option<u64> {
+    if ok {
+        parsed.get("value").and_then(Json::as_f64).map(f64::to_bits)
+    } else {
+        None
+    }
+}

@@ -1,0 +1,53 @@
+//! Delta-debug shrinking: reduce a failing schedule to a minimal one
+//! that still breaks the *same* invariant.
+//!
+//! Classic ddmin over op spans: try removing chunks (halving the chunk
+//! size down to single ops), keep any removal after which the rerun
+//! still fails with the original invariant kind, and loop to a fixpoint.
+//! Reruns are cheap because schedules are short and the world is shared;
+//! soundness comes from schedules being context-free (see
+//! [`schedule`](crate::schedule)) — any subsequence is itself a valid
+//! schedule.
+
+use crate::invariants::InvariantKind;
+use crate::run::run_schedule;
+use crate::schedule::SimOp;
+use crate::world::SharedWorld;
+
+/// Shrinks `ops` while `run_schedule(world, ·, canary)` keeps violating
+/// `kind`. Returns the minimal failing schedule found (at worst, the
+/// input).
+pub fn shrink(world: &SharedWorld, ops: &[SimOp], canary: bool, kind: InvariantKind) -> Vec<SimOp> {
+    let still_fails = |candidate: &[SimOp]| {
+        run_schedule(world, candidate, canary)
+            .violation
+            .is_some_and(|violation| violation.kind == kind)
+    };
+    let mut current = ops.to_vec();
+    loop {
+        let mut reduced = false;
+        let mut span = current.len().div_ceil(2).max(1);
+        loop {
+            let mut start = 0;
+            while start < current.len() {
+                let end = (start + span).min(current.len());
+                let mut candidate = current.clone();
+                candidate.drain(start..end);
+                if still_fails(&candidate) {
+                    current = candidate;
+                    reduced = true;
+                    // retry the same offset: the next span slid into place
+                } else {
+                    start += span;
+                }
+            }
+            if span == 1 {
+                break;
+            }
+            span = (span / 2).max(1);
+        }
+        if !reduced {
+            return current;
+        }
+    }
+}

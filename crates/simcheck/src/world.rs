@@ -1,0 +1,149 @@
+//! The shared world: one corpus, one feature store, one set of
+//! pretrained models — built once, shared by every simulated engine.
+//!
+//! A schedule run needs a fresh engine (fresh sessions, cache, pending
+//! log, epoch counter) but nothing about the *data* differs between
+//! runs. Featurization and pretraining are by far the expensive part of
+//! engine construction, so the harness pays them once here and spawns
+//! per-schedule engines through [`Engine::from_parts`], cloning only the
+//! model weights. That is what makes ten-thousand-schedule CI scopes
+//! affordable.
+
+use std::sync::Arc;
+
+use scrutinizer_core::{FeatureStore, OrderingStrategy, SystemConfig, SystemModels};
+use scrutinizer_corpus::{Corpus, CorpusConfig};
+use scrutinizer_engine::engine::{Engine, EngineOptions};
+use scrutinizer_sim::{FaultPlan, SimEnv, SimScheduler, VirtualClock};
+
+/// Background-retrain interval for simulated engines — deliberately tiny
+/// so a few verdicts already exercise the drain → train → publish path.
+pub const RETRAIN_INTERVAL: usize = 2;
+
+/// Query-result cache capacity for simulated engines — small enough that
+/// schedules actually evict, exercising the LRU under the coherence
+/// invariant.
+pub const CACHE_CAPACITY: usize = 64;
+
+/// Everything schedule runs share: the corpus, its features, pretrained
+/// model weights, the config, and a pool of valid SQL statements.
+pub struct SharedWorld {
+    corpus: Arc<Corpus>,
+    features: Arc<FeatureStore>,
+    models: SystemModels,
+    config: SystemConfig,
+    /// Claims in the corpus; op generation indexes into this range.
+    pub n_claims: usize,
+    /// One valid statement per claim (its first ground-truth lookup), the
+    /// pool `sql` and `batch` ops draw from.
+    pub sql_pool: Vec<String>,
+}
+
+impl SharedWorld {
+    /// Generates the corpus, featurizes it, and pretrains the models —
+    /// the one-time cost every schedule run amortizes.
+    pub fn build() -> SharedWorld {
+        let corpus_config = CorpusConfig {
+            n_claims: 32,
+            n_sentences: 160,
+            n_relations: 8,
+            n_keys: 16,
+            n_attributes: 16,
+            n_formulas: 8,
+            n_sections: 4,
+            ..CorpusConfig::small()
+        };
+        let mut config = SystemConfig::test();
+        // bound Algorithm 2's enumeration and pin the planner to one
+        // thread: schedule runs must be fast *and* bitwise deterministic
+        config.max_assignments = 2_000;
+        config.planner_threads = 1;
+        let bootstrap = Engine::with_options(
+            Corpus::generate(corpus_config),
+            config,
+            EngineOptions {
+                threads: 1,
+                queue_capacity: 16,
+                cache_capacity: CACHE_CAPACITY,
+                cache_shards: 1,
+                retrain_interval: None,
+                ordering: OrderingStrategy::Sequential,
+            },
+        );
+        bootstrap.pretrain(None);
+        let corpus = bootstrap.corpus_handle();
+        let sql_pool = corpus
+            .claims
+            .iter()
+            .map(|claim| {
+                let lookup = &claim.lookups[0];
+                format!(
+                    "SELECT a.{} FROM {} a WHERE a.Index = '{}'",
+                    lookup.attribute, lookup.relation, lookup.key
+                )
+            })
+            .collect();
+        SharedWorld {
+            n_claims: corpus.claims.len(),
+            sql_pool,
+            features: bootstrap.features_handle(),
+            models: bootstrap.models_snapshot().models.clone(),
+            config,
+            corpus,
+        }
+    }
+
+    /// Spawns a fresh engine under full simulation: virtual clock,
+    /// deterministic single-lane scheduler, armable fault plan. The
+    /// engine shares the world's corpus/features/weights and starts at
+    /// epoch 0 with empty sessions.
+    pub fn spawn_engine(
+        &self,
+    ) -> (
+        Arc<Engine>,
+        Arc<VirtualClock>,
+        Arc<SimScheduler>,
+        Arc<FaultPlan>,
+    ) {
+        let (env, clock, scheduler, faults) = SimEnv::simulated();
+        let engine = Engine::from_parts(
+            Arc::clone(&self.corpus),
+            Arc::clone(&self.features),
+            self.models.clone(),
+            self.config,
+            EngineOptions {
+                threads: 1,
+                queue_capacity: 16,
+                cache_capacity: CACHE_CAPACITY,
+                cache_shards: 1,
+                retrain_interval: Some(RETRAIN_INTERVAL),
+                ordering: OrderingStrategy::Sequential,
+            },
+            env,
+        );
+        (engine, clock, scheduler, faults)
+    }
+
+    /// Ground-truth relation text for a claim — the harness answers
+    /// property screens with it.
+    pub fn relation_of(&self, claim: usize) -> &str {
+        &self.corpus.claims[claim].relation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawned_engines_share_the_world_but_not_state() {
+        let world = SharedWorld::build();
+        let (a, _, _, _) = world.spawn_engine();
+        let (b, _, _, _) = world.spawn_engine();
+        assert_eq!(a.stats().model_epoch, 0, "fresh engines start at epoch 0");
+        a.open_session("sim");
+        assert_eq!(a.stats().sessions_opened, 1);
+        assert_eq!(b.stats().sessions_opened, 0, "stats are per-engine");
+        assert_eq!(world.sql_pool.len(), world.n_claims);
+    }
+}

@@ -26,10 +26,29 @@ impl ProptestConfig {
 
 /// Stable per-test seed derived from the test's module path and name, so
 /// every test explores its own deterministic stream.
+///
+/// `SCRUTINIZER_TEST_SEED` (a decimal or `0x`-prefixed u64) overrides it
+/// for every test — the same knob the simulation harness honors — and the
+/// failure report round-trips: setting the variable to a printed seed
+/// reruns exactly that stream.
 pub fn seed_for(test_name: &str) -> u64 {
+    if let Some(seed) = env_seed() {
+        return seed;
+    }
     let mut hasher = DefaultHasher::new();
     test_name.hash(&mut hasher);
     hasher.finish() | 1
+}
+
+/// Parses `SCRUTINIZER_TEST_SEED` when set; a malformed value is ignored
+/// rather than failing tests that never asked for an override.
+fn env_seed() -> Option<u64> {
+    let text = std::env::var("SCRUTINIZER_TEST_SEED").ok()?;
+    let text = text.trim();
+    match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => text.parse().ok(),
+    }
 }
 
 /// The RNG strategies draw from — xoshiro256++ seeded via SplitMix64,
@@ -110,8 +129,9 @@ impl Drop for CaseGuard {
         if self.armed && std::thread::panicking() {
             eprintln!(
                 "proptest: failure at case {} (test seed {:#x}); \
-                 generation is deterministic, rerun reproduces it",
-                self.case, self.seed
+                 generation is deterministic, rerun reproduces it \
+                 (or pin the stream with SCRUTINIZER_TEST_SEED={:#x})",
+                self.case, self.seed, self.seed
             );
         }
     }
@@ -122,9 +142,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn seeds_are_stable_and_distinct() {
+    fn seeds_are_stable_distinct_and_overridable() {
+        // stability and env override live in ONE test: the override
+        // mutates process environment, and interleaving with the
+        // stability assertions from another test would race
         assert_eq!(seed_for("a::b"), seed_for("a::b"));
         assert_ne!(seed_for("a::b"), seed_for("a::c"));
+
+        std::env::set_var("SCRUTINIZER_TEST_SEED", "12345");
+        assert_eq!(seed_for("a::b"), 12345, "decimal override");
+        std::env::set_var("SCRUTINIZER_TEST_SEED", "0xBEEF");
+        assert_eq!(seed_for("a::b"), 0xBEEF, "hex override");
+        assert_eq!(
+            seed_for("a::b"),
+            seed_for("a::c"),
+            "the override pins every test to one stream"
+        );
+        std::env::set_var("SCRUTINIZER_TEST_SEED", "not a number");
+        assert_ne!(seed_for("a::b"), seed_for("a::c"), "malformed is ignored");
+        std::env::remove_var("SCRUTINIZER_TEST_SEED");
     }
 
     #[test]
