@@ -10,7 +10,16 @@
 //! * `utility/*` — Definition 7 over 10 000 open claims: `per_claim` is
 //!   the legacy one-at-a-time `training_utility` loop, `batched` the CSR
 //!   `training_utilities` pass through the classifiers' feature-major
-//!   layout. Acceptance target: ≥ 5×.
+//!   layout, `batched_reference` the same fusion through the scalar
+//!   reference kernel. Acceptance targets: batched ≥ 5× per-claim; the
+//!   vectorized fused sweep (aligned CSR rows + `exp_approx` entropy)
+//!   ≥ 1.35× its scalar twin (both kernels stream the same ~200 KB of
+//!   weight columns per claim, so past the point where the sweep is
+//!   L2-fill-bound the twin ratio compresses — the per-claim ratio is
+//!   the headroom measure); and the classifier batch paths the aligned
+//!   layout exists for (`entropy_batch_into` over the feature-major
+//!   transpose) ≥ 2× the scalar per-row `predict_proba` + `Σ −p ln p`
+//!   loop.
 //! * the **retrain storm** — suggest latency on a live engine while a
 //!   writer thread publishes back-to-back model epochs. With snapshot
 //!   swaps readers never wait on the trainer; the p99 must stay near the
@@ -26,7 +35,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use scrutinizer_core::{FeatureStore, OrderingStrategy, SystemConfig, SystemModels};
+use scrutinizer_core::{FeatureStore, OrderingStrategy, PropertyKind, SystemConfig, SystemModels};
 use scrutinizer_corpus::{ClaimRecord, Corpus, CorpusConfig};
 use scrutinizer_engine::engine::{Engine, EngineOptions};
 use scrutinizer_text::SparseVector;
@@ -204,6 +213,15 @@ fn bench_utilities(c: &mut Criterion) {
             batched[i]
         );
     }
+    // ---- fused vectorized ≡ scalar reference kernel, every row ---------
+    let reference = models.training_utilities_reference(&rows);
+    assert_eq!(reference.len(), n);
+    for (i, (fast, slow)) in batched.iter().zip(&reference).enumerate() {
+        assert!(
+            (fast - slow).abs() < 1e-4,
+            "row {i}: vectorized {fast} vs reference {slow}"
+        );
+    }
 
     // ---- criterion timings ---------------------------------------------
     let mut group = c.benchmark_group("utility");
@@ -218,6 +236,9 @@ fn bench_utilities(c: &mut Criterion) {
     });
     group.bench_function("batched", |b| {
         b.iter(|| black_box(models.training_utilities(black_box(&rows))))
+    });
+    group.bench_function("batched_reference", |b| {
+        b.iter(|| black_box(models.training_utilities_reference(black_box(&rows))))
     });
     group.finish();
 
@@ -240,11 +261,17 @@ fn bench_utilities(c: &mut Criterion) {
     let batched_s = timed(&mut || {
         black_box(models.training_utilities(&rows));
     });
+    let reference_s = timed(&mut || {
+        black_box(models.training_utilities_reference(&rows));
+    });
     println!(
-        "utility scoring ({n} claims): per-claim {:.1} ms | batched {:.1} ms ({:.2}x)",
+        "utility scoring ({n} claims): per-claim {:.1} ms | scalar fused {:.1} ms | \
+         vectorized fused {:.1} ms ({:.2}x per-claim, {:.2}x scalar)",
         per_claim_s * 1e3,
+        reference_s * 1e3,
         batched_s * 1e3,
         per_claim_s / batched_s,
+        reference_s / batched_s,
     );
     if !quick_mode() {
         assert!(
@@ -252,6 +279,71 @@ fn bench_utilities(c: &mut Criterion) {
             "batched utility scoring must be ≥5× the per-claim loop: {:.1} ms vs {:.1} ms",
             batched_s * 1e3,
             per_claim_s * 1e3
+        );
+        // the aligned-CSR + fast-entropy claim: the vectorized fused
+        // kernel must beat its own scalar twin, same fusion, same rows.
+        // The floor is 1.35×, not the 2× of the other ratios, on purpose:
+        // at this corpus scale each claim streams ~114 weight columns ×
+        // ~1.9 KB from L2/L3, so BOTH kernels are fill-bandwidth-bound
+        // for most of the sweep and the twin ratio compresses (measured
+        // 1.5–1.9× across machines; a hot-cache run of the vectorized
+        // kernel sits at ~0.5× its streaming time, which is where the
+        // remaining gap lives). The ≥ 5× per-claim floor above and the
+        // ≥ 2× batch-entropy floor below carry the vectorization claim.
+        assert!(
+            reference_s >= 1.35 * batched_s,
+            "the vectorized fused kernel must be ≥1.35× the scalar reference: \
+             {:.1} ms vs {:.1} ms",
+            batched_s * 1e3,
+            reference_s * 1e3
+        );
+    }
+
+    // ---- classifier batch paths: aligned transpose vs per-row scalar ----
+    // `entropy_batch_into` is the kernel Definition 7 leans on when the
+    // fusion is bypassed (single-classifier callers): feature-major
+    // transpose, one reused scratch row, entropy folded out of raw scores
+    // with one `ln` per row. The scalar baseline is what every caller did
+    // before the batch path existed: `prediction_entropy` per row
+    // (row-major dots, a fresh Vec of probabilities, libm softmax, then
+    // `Σ −p ln p`).
+    let clf = models.classifier(PropertyKind::Relation);
+    let mut batch_entropy: Vec<f64> = Vec::new();
+    clf.entropy_batch_into(&rows, &mut batch_entropy);
+    for (i, v) in vectors.iter().enumerate().step_by(97) {
+        let scalar = clf.prediction_entropy(v);
+        assert!(
+            (scalar - batch_entropy[i]).abs() < 1e-3,
+            "row {i}: scalar entropy {scalar} vs batch {}",
+            batch_entropy[i]
+        );
+    }
+    let batch_entropy_s = timed(&mut || {
+        batch_entropy.clear();
+        clf.entropy_batch_into(&rows, &mut batch_entropy);
+        black_box(&batch_entropy);
+    });
+    let scalar_entropy_s = timed(&mut || {
+        let total: f64 = vectors
+            .iter()
+            .map(|v| clf.prediction_entropy(black_box(v)))
+            .sum();
+        black_box(total);
+    });
+    println!(
+        "classifier entropy ({n} rows, {} classes): per-row {:.1} ms | batched {:.1} ms ({:.2}x)",
+        clf.labels().len(),
+        scalar_entropy_s * 1e3,
+        batch_entropy_s * 1e3,
+        scalar_entropy_s / batch_entropy_s,
+    );
+    if !quick_mode() {
+        assert!(
+            scalar_entropy_s >= 2.0 * batch_entropy_s,
+            "batched classifier entropy must be ≥2× the per-row scalar loop: \
+             {:.1} ms vs {:.1} ms",
+            batch_entropy_s * 1e3,
+            scalar_entropy_s * 1e3
         );
     }
 }

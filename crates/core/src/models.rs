@@ -176,6 +176,17 @@ impl SystemModels {
         out
     }
 
+    /// [`training_utilities`](Self::training_utilities) through the
+    /// scalar reference kernel
+    /// ([`FusedEntropy::utilities_into_reference`]): the parity oracle
+    /// and the baseline the `translate` bench holds the vectorized fused
+    /// sweep to (≥ 2× on the aligned CSR layout).
+    pub fn training_utilities_reference(&self, rows: &FeatureMatrix) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.fused.utilities_into_reference(rows, &mut out);
+        out
+    }
+
     /// Retrains all four classifiers from verified claims — `Retrain(N, A)`
     /// of Algorithm 1. Each claim contributes one example per property value
     /// (a claim with two attributes yields two attribute examples). Claims

@@ -62,7 +62,7 @@ use scrutinizer_crowd::WorkerConfig;
 use crate::engine::{Engine, EngineError, VerdictRecord};
 use crate::protocol::{obj, Json};
 use crate::session::{ClaimQuestions, SessionId, Suggestion};
-use crate::stats::{HistogramSnapshot, StatsSnapshot};
+use crate::stats::{HistogramSnapshot, StatsSnapshot, WireCodec};
 use scrutinizer_obs::{self as obs, TraceId};
 
 /// The protocol version this server speaks.
@@ -308,8 +308,10 @@ pub enum Response {
     },
     /// `suggest` succeeded.
     Suggestions {
-        /// Ranked candidate queries.
-        suggestions: Vec<Suggestion>,
+        /// Ranked candidate queries, shared with the engine's per-claim
+        /// cache — repeated suggests on unchanged claim state clone the
+        /// `Arc`, not the suggestions.
+        suggestions: Arc<[Suggestion]>,
     },
     /// `verdict` succeeded.
     Verdict {
@@ -811,6 +813,35 @@ pub(crate) fn stats_json(snapshot: &StatsSnapshot) -> Json {
         ("requests_ok", count(snapshot.requests_ok)),
         // append-only: the verdict-loss invariant's trained-examples side
         ("examples_trained", count(snapshot.examples_trained)),
+        // append-only: per-codec counters so operators can watch a
+        // JSON→binary migration; conservation holds within each codec
+        // (total == ok + errors) and the per-codec totals sum to
+        // requests_total above
+        (
+            "codec",
+            obj(WireCodec::ALL
+                .iter()
+                .map(|&codec| {
+                    (
+                        codec.name(),
+                        obj(vec![
+                            (
+                                "requests_total",
+                                count(snapshot.requests_by_codec[codec.index()]),
+                            ),
+                            (
+                                "requests_ok",
+                                count(snapshot.requests_ok_by_codec[codec.index()]),
+                            ),
+                            (
+                                "errors",
+                                count(snapshot.wire_errors_by_codec[codec.index()]),
+                            ),
+                        ]),
+                    )
+                })
+                .collect()),
+        ),
     ])
 }
 

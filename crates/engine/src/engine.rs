@@ -512,6 +512,7 @@ impl Engine {
                         validated: [None, None, None],
                         next_screen: 0,
                         candidates: Vec::new(),
+                        suggested: None,
                         phase: ClaimPhase::Screening,
                     }
                 });
@@ -682,11 +683,19 @@ impl Engine {
     /// fallback), ranked the way the final screen shows them. Callable
     /// once screening finished (remaining screens are auto-padded by
     /// classifier predictions, matching the one-shot verifier).
+    ///
+    /// The result is a shared slice cached on the claim task, keyed by
+    /// `(translated_epoch, next_screen)` — candidate generation is a pure
+    /// function of the translation and the answered screens, so repeated
+    /// `suggest`s on unchanged state return the same `Arc` with no
+    /// regeneration and no per-call allocation (the binary wire path
+    /// serves a cache hit allocation-free). A new answer or a
+    /// re-translation changes the key and regenerates.
     pub fn suggest(
         &self,
         session: SessionId,
         claim_id: usize,
-    ) -> Result<Vec<Suggestion>, EngineError> {
+    ) -> Result<Arc<[Suggestion]>, EngineError> {
         let handle = self.session(session)?;
         let mut state = handle.lock().expect("session poisoned");
         let task = state
@@ -700,6 +709,12 @@ impl Engine {
             });
         }
         task.phase = ClaimPhase::Suggesting;
+        if let Some((epoch, screen, cached)) = &task.suggested {
+            if *epoch == task.translated_epoch && *screen == task.next_screen {
+                self.stats.bump(&self.stats.suggestions_served);
+                return Ok(Arc::clone(cached));
+            }
+        }
         let claim = &self.corpus.claims[claim_id];
         let screen = self.stats.suggest_latency.time(|| {
             let candidates = {
@@ -715,7 +730,7 @@ impl Engine {
         });
         task.candidates = screen.candidates;
         self.stats.bump(&self.stats.suggestions_served);
-        Ok(task
+        let suggestions: Arc<[Suggestion]> = task
             .candidates
             .iter()
             .enumerate()
@@ -726,7 +741,13 @@ impl Engine {
                 value: c.value,
                 matches_parameter: c.matches_parameter,
             })
-            .collect())
+            .collect();
+        task.suggested = Some((
+            task.translated_epoch,
+            task.next_screen,
+            Arc::clone(&suggestions),
+        ));
+        Ok(suggestions)
     }
 
     /// Records the checker's verdict for a claim: `correct` is their
@@ -1301,6 +1322,9 @@ impl Engine {
                 }
                 counts
             },
+            requests_by_codec: self.stats.requests_by_codec.each_ref().map(Counter::get),
+            requests_ok_by_codec: self.stats.requests_ok_by_codec.each_ref().map(Counter::get),
+            wire_errors_by_codec: self.stats.wire_errors_by_codec.each_ref().map(Counter::get),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_hit_rate: self.cache.hit_rate(),

@@ -91,6 +91,7 @@
 
 pub mod api;
 pub mod cache;
+pub mod codec;
 pub mod engine;
 pub mod executor;
 pub mod protocol;
@@ -99,13 +100,16 @@ pub mod server;
 pub mod session;
 pub mod snapshot;
 pub mod stats;
+pub mod wire;
 
 pub use api::{dispatch, ApiError, ErrorCode, Request, Response};
 pub use cache::{normalize_sql, CachedResult, CellVec, PlanKey, QueryCache};
+pub use codec::RequestRef;
 pub use engine::{Engine, EngineError, EngineOptions, VerdictRecord};
 pub use executor::ThreadPool;
 pub use serve_core::{service_conn, ConnState, ServiceLimits};
 pub use server::{Server, ServerHandle, ServerOptions};
 pub use session::{ClaimQuestions, ScreenView, SessionId, Suggestion};
 pub use snapshot::{ModelSnapshot, SnapshotCell};
-pub use stats::{EngineStats, HistogramSnapshot, LatencyHistogram, StatsSnapshot};
+pub use stats::{EngineStats, HistogramSnapshot, LatencyHistogram, StatsSnapshot, WireCodec};
+pub use wire::BINARY_MAGIC;

@@ -427,6 +427,30 @@ pub fn handle_request(engine: &Arc<Engine>, line: &str) -> String {
     }
 }
 
+/// Handles one queued request payload under the connection's negotiated
+/// codec, appending the complete response — a JSON line with its
+/// newline, or one binary frame — to `out`. Both serving loops (the TCP
+/// server and the simulation harness) execute through this one entry
+/// point, so neither codec's dispatch behavior can drift between them.
+pub fn handle_payload(
+    engine: &Arc<Engine>,
+    codec: crate::stats::WireCodec,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    match codec {
+        crate::stats::WireCodec::Json => {
+            // invalid UTF-8 decodes lossily and fails JSON parsing,
+            // producing a structured parse_error like any other bad line
+            let line = String::from_utf8_lossy(payload);
+            let response = handle_request(engine, &line);
+            out.extend_from_slice(response.as_bytes());
+            out.push(b'\n');
+        }
+        crate::stats::WireCodec::Binary => crate::wire::handle_frame(engine, payload, out),
+    }
+}
+
 /// Renders the `internal` error line for a caught dispatch panic and
 /// counts it toward the conservation invariant. Split out so tests can
 /// exercise the panic path without constructing a genuinely-panicking

@@ -43,8 +43,9 @@ use scrutinizer_data::hash::FxHashMap;
 use crate::api::ErrorCode;
 use crate::engine::Engine;
 use crate::executor::ThreadPool;
-use crate::protocol::handle_request;
+use crate::protocol::handle_payload;
 use crate::serve_core::{service_conn, ConnState, ServiceLimits, OVERLOAD_LINE};
+use crate::stats::WireCodec;
 
 /// Serving-loop sizing and behavior knobs.
 #[derive(Debug, Clone, Copy)]
@@ -177,7 +178,7 @@ impl Server {
         // and must be virtual under simulation
         let clock = Arc::clone(self.engine.env().clock());
         let pool = ThreadPool::new(self.options.workers, self.options.max_connections.max(16));
-        let (done_tx, done_rx) = mpsc::channel::<(u64, String)>();
+        let (done_tx, done_rx) = mpsc::channel::<(u64, Vec<u8>)>();
         let mut conns: FxHashMap<u64, ConnState<TcpStream>> = FxHashMap::default();
         let mut next_conn: u64 = 1;
         // submitted-but-unfinished jobs, tracked loop-locally so submission
@@ -186,7 +187,7 @@ impl Server {
         let job_capacity = self.options.max_connections.max(16);
         let mut jobs_outstanding: usize = 0;
         // a completion picked up while parked, handled first next round
-        let mut parked: Option<(u64, String)> = None;
+        let mut parked: Option<(u64, Vec<u8>)> = None;
         // when the drain started; past `shutdown_grace`, stragglers are
         // force-closed so `run` always returns
         let mut draining_since: Option<Duration> = None;
@@ -206,7 +207,7 @@ impl Server {
                 stats.requests_in_flight.dec();
                 jobs_outstanding = jobs_outstanding.saturating_sub(1);
                 if let Some(conn) = conns.get_mut(&conn_id) {
-                    conn.push_response(&response);
+                    conn.push_response_bytes(&response);
                     conn.in_flight = false;
                 }
                 progress = true;
@@ -254,14 +255,16 @@ impl Server {
                     && jobs_outstanding < job_capacity
                     && conn.write_backlog() < self.options.write_buffer_limit
                 {
-                    if let Some(line) = conn.queue.pop_front() {
+                    if let Some(payload) = conn.queue.pop_front() {
                         conn.in_flight = true;
                         jobs_outstanding += 1;
                         stats.requests_in_flight.inc();
+                        let codec = conn.codec.unwrap_or(WireCodec::Json);
                         let engine = Arc::clone(&self.engine);
                         let done = done_tx.clone();
                         pool.execute(move || {
-                            let response = handle_request(&engine, &line);
+                            let mut response = Vec::new();
+                            handle_payload(&engine, codec, &payload, &mut response);
                             let _ = done.send((conn_id, response));
                         });
                         progress = true;

@@ -7,6 +7,8 @@
 //! answers flow back, and the engine re-plans the remaining claims with
 //! whatever the models have learned in the meantime.
 
+use std::sync::Arc;
+
 use scrutinizer_core::planner::ClaimPlan;
 use scrutinizer_core::qgen::QueryCandidate;
 use scrutinizer_core::{IncrementalPlanner, PropertyKind, Translation};
@@ -84,6 +86,14 @@ pub(crate) struct ClaimTask {
     pub next_screen: usize,
     /// Generated candidates, kept for the verdict phase.
     pub candidates: Vec<QueryCandidate>,
+    /// Cached result of the last `suggest` call, keyed by the state it
+    /// was computed from: `(translated_epoch, next_screen)`. Candidate
+    /// generation is a pure function of the translation and the answered
+    /// screens, so while the key holds, repeated `suggest`s hand back the
+    /// same shared slice — no regeneration, no re-allocation, and the
+    /// binary wire path serves it without a single heap allocation. A new
+    /// answer or a re-translation changes the key and invalidates.
+    pub suggested: Option<(u64, usize, Arc<[Suggestion]>)>,
     pub phase: ClaimPhase,
 }
 

@@ -26,6 +26,46 @@ use crate::api::ErrorCode;
 
 pub use scrutinizer_obs::{Counter, Gauge, Histogram as LatencyHistogram, HistogramSnapshot};
 
+/// The wire codec a response was emitted under — JSON lines (the
+/// canonical, compatibility surface) or the length-prefixed binary
+/// framing negotiated by the `0x00` magic byte.
+///
+/// Per-codec counters exist so operators can watch a JSON→binary
+/// migration; the conservation invariant holds within each codec as
+/// well as in aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireCodec {
+    /// Newline-delimited JSON, the canonical v1 encoding.
+    Json,
+    /// Length-prefixed binary frames (`0x00` magic).
+    Binary,
+}
+
+impl WireCodec {
+    /// Number of codecs (array sizing).
+    pub const COUNT: usize = 2;
+
+    /// Every codec, in index order.
+    pub const ALL: [WireCodec; WireCodec::COUNT] = [WireCodec::Json, WireCodec::Binary];
+
+    /// Stable wire name, used as the `codec` label value and the
+    /// `stats` JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireCodec::Json => "json",
+            WireCodec::Binary => "binary",
+        }
+    }
+
+    /// Position in [`WireCodec::ALL`] (counter indexing).
+    pub fn index(self) -> usize {
+        match self {
+            WireCodec::Json => 0,
+            WireCodec::Binary => 1,
+        }
+    }
+}
+
 /// Everything the engine counts: cheap cloneable handles onto series
 /// registered once in the engine's [`MetricsRegistry`].
 pub struct EngineStats {
@@ -86,6 +126,17 @@ pub struct EngineStats {
     /// Wire errors by [`ErrorCode`] (indexed by [`ErrorCode::index`]);
     /// one labeled `scrutinizer_wire_errors_total{code="..."}` series each.
     pub wire_errors: [Counter; ErrorCode::COUNT],
+    /// Responses emitted per wire codec (indexed by
+    /// [`WireCodec::index`]); one labeled
+    /// `scrutinizer_requests_by_codec_total{codec="..."}` series each.
+    /// Conservation holds per codec: each total equals the matching
+    /// ok + error counters, and the totals sum to `requests_total`.
+    pub requests_by_codec: [Counter; WireCodec::COUNT],
+    /// Successful responses per wire codec.
+    pub requests_ok_by_codec: [Counter; WireCodec::COUNT],
+    /// Error responses per wire codec (aggregated across codes; the
+    /// per-code split stays codec-agnostic in `wire_errors`).
+    pub wire_errors_by_codec: [Counter; WireCodec::COUNT],
     /// Latency of claim planning (translation + screen selection).
     pub plan_latency: LatencyHistogram,
     /// Latency of query generation (Algorithm 2, cache-assisted).
@@ -129,6 +180,30 @@ impl EngineStats {
                 "Error responses emitted, by stable error code.",
                 "code",
                 ErrorCode::ALL[i].name(),
+            )
+        });
+        let requests_by_codec = std::array::from_fn(|i| {
+            r.counter_with_label(
+                "scrutinizer_requests_by_codec_total",
+                "Responses emitted, by wire codec.",
+                "codec",
+                WireCodec::ALL[i].name(),
+            )
+        });
+        let requests_ok_by_codec = std::array::from_fn(|i| {
+            r.counter_with_label(
+                "scrutinizer_requests_ok_by_codec_total",
+                "Responses emitted successfully, by wire codec.",
+                "codec",
+                WireCodec::ALL[i].name(),
+            )
+        });
+        let wire_errors_by_codec = std::array::from_fn(|i| {
+            r.counter_with_label(
+                "scrutinizer_wire_errors_by_codec_total",
+                "Error responses emitted, by wire codec.",
+                "codec",
+                WireCodec::ALL[i].name(),
             )
         });
         EngineStats {
@@ -222,6 +297,9 @@ impl EngineStats {
                 "High-water mark of one connection's queued + in-flight requests.",
             ),
             wire_errors,
+            requests_by_codec,
+            requests_ok_by_codec,
+            wire_errors_by_codec,
             plan_latency: r.histogram(
                 "scrutinizer_plan_latency_seconds",
                 "Latency of claim planning (translation + screen selection).",
@@ -282,17 +360,34 @@ impl EngineStats {
     }
 
     /// Counts one successfully emitted response (conservation: also bumps
-    /// the total).
+    /// the total). JSON-codec shorthand for [`EngineStats::note_ok_as`].
     pub fn note_ok(&self) {
+        self.note_ok_as(WireCodec::Json);
+    }
+
+    /// Counts one successfully emitted response under `codec`
+    /// (conservation: also bumps the aggregate and per-codec totals).
+    pub fn note_ok_as(&self, codec: WireCodec) {
         self.requests_total.inc();
         self.requests_ok.inc();
+        self.requests_by_codec[codec.index()].inc();
+        self.requests_ok_by_codec[codec.index()].inc();
     }
 
     /// Counts one emitted error response under `code` (conservation: also
-    /// bumps the total).
+    /// bumps the total). JSON-codec shorthand for
+    /// [`EngineStats::note_wire_error_as`].
     pub fn note_wire_error(&self, code: ErrorCode) {
+        self.note_wire_error_as(code, WireCodec::Json);
+    }
+
+    /// Counts one emitted error response under `code` and `codec`
+    /// (conservation: also bumps the aggregate and per-codec totals).
+    pub fn note_wire_error_as(&self, code: ErrorCode, codec: WireCodec) {
         self.requests_total.inc();
         self.wire_errors[code.index()].inc();
+        self.requests_by_codec[codec.index()].inc();
+        self.wire_errors_by_codec[codec.index()].inc();
     }
 
     /// Raises the pipeline-depth high-water mark to at least `depth`.
@@ -363,6 +458,12 @@ pub struct StatsSnapshot {
     pub pipeline_depth: u64,
     /// Wire errors by [`ErrorCode`] (indexed by [`ErrorCode::index`]).
     pub wire_errors: [u64; ErrorCode::COUNT],
+    /// Responses emitted per wire codec (indexed by [`WireCodec::index`]).
+    pub requests_by_codec: [u64; WireCodec::COUNT],
+    /// Successful responses per wire codec.
+    pub requests_ok_by_codec: [u64; WireCodec::COUNT],
+    /// Error responses per wire codec (aggregated across codes).
+    pub wire_errors_by_codec: [u64; WireCodec::COUNT],
     /// Query-result cache hits.
     pub cache_hits: u64,
     /// Query-result cache misses.
@@ -400,6 +501,20 @@ impl StatsSnapshot {
     /// `requests_total == requests_ok + Σ wire_errors`.
     pub fn requests_are_conserved(&self) -> bool {
         self.requests_total == self.requests_ok + self.wire_errors_total()
+    }
+
+    /// Verifies the per-codec conservation invariant at a quiescent
+    /// point: within each codec, `total == ok + errors`; across codecs,
+    /// the per-codec totals, oks, and errors sum to their aggregates.
+    pub fn requests_are_conserved_per_codec(&self) -> bool {
+        let per_codec = WireCodec::ALL.iter().all(|codec| {
+            let i = codec.index();
+            self.requests_by_codec[i] == self.requests_ok_by_codec[i] + self.wire_errors_by_codec[i]
+        });
+        per_codec
+            && self.requests_by_codec.iter().sum::<u64>() == self.requests_total
+            && self.requests_ok_by_codec.iter().sum::<u64>() == self.requests_ok
+            && self.wire_errors_by_codec.iter().sum::<u64>() == self.wire_errors_total()
     }
 }
 
@@ -464,6 +579,42 @@ mod tests {
         assert_eq!(stats.wire_errors[ErrorCode::Overloaded.index()].get(), 1);
         let errors: u64 = stats.wire_errors.iter().map(Counter::get).sum();
         assert_eq!(stats.requests_total.get(), stats.requests_ok.get() + errors);
+    }
+
+    #[test]
+    fn per_codec_counters_split_the_aggregate() {
+        let stats = EngineStats::default();
+        stats.note_ok(); // JSON shorthand
+        stats.note_ok_as(WireCodec::Binary);
+        stats.note_ok_as(WireCodec::Binary);
+        stats.note_wire_error(ErrorCode::ParseError); // JSON shorthand
+        stats.note_wire_error_as(ErrorCode::UnknownOp, WireCodec::Binary);
+        assert_eq!(stats.requests_total.get(), 5);
+        assert_eq!(stats.requests_by_codec[WireCodec::Json.index()].get(), 2);
+        assert_eq!(stats.requests_by_codec[WireCodec::Binary.index()].get(), 3);
+        assert_eq!(stats.requests_ok_by_codec[WireCodec::Json.index()].get(), 1);
+        assert_eq!(
+            stats.requests_ok_by_codec[WireCodec::Binary.index()].get(),
+            2
+        );
+        assert_eq!(stats.wire_errors_by_codec[WireCodec::Json.index()].get(), 1);
+        assert_eq!(
+            stats.wire_errors_by_codec[WireCodec::Binary.index()].get(),
+            1
+        );
+        for codec in WireCodec::ALL {
+            let i = codec.index();
+            assert_eq!(
+                stats.requests_by_codec[i].get(),
+                stats.requests_ok_by_codec[i].get() + stats.wire_errors_by_codec[i].get(),
+                "conservation within {}",
+                codec.name()
+            );
+        }
+        let text = stats.registry().render();
+        assert!(text.contains("scrutinizer_requests_by_codec_total{codec=\"binary\"} 3\n"));
+        assert!(text.contains("scrutinizer_requests_ok_by_codec_total{codec=\"json\"} 1\n"));
+        assert!(text.contains("scrutinizer_wire_errors_by_codec_total{codec=\"binary\"} 1\n"));
     }
 
     #[test]

@@ -52,8 +52,8 @@ fn suggest_sqls(engine: &Arc<Engine>, claim_id: usize) -> Vec<String> {
     let sqls = engine
         .suggest(session, claim_id)
         .expect("suggest never blocks or errors during a retrain")
-        .into_iter()
-        .map(|s| s.sql)
+        .iter()
+        .map(|s| s.sql.clone())
         .collect();
     engine.close_session(session).expect("close");
     sqls

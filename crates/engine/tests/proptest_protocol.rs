@@ -400,3 +400,166 @@ fn typed_dispatch_matches_legacy_oracle_over_a_scripted_session() {
         &format!(r#"{{"op":"close","session":{session}}}"#), // double close
     );
 }
+
+// ---- 4. binary codec ≡ JSON codec ---------------------------------------
+//
+// The binary framing from the zero-copy wire PR must be a *codec*, not a
+// dialect: any typed request survives the binary encoder/decoder exactly,
+// and a whole session answered over binary frames decodes to the same
+// canonical JSON the text codec produces.
+
+/// `id` field stripped alongside `trace`: the JSON twin sends no request
+/// ids, so the binary side's echo must not count as divergence.
+fn strip_envelope(value: Json) -> Json {
+    match strip_trace(value) {
+        Json::Obj(fields) => Json::Obj(fields.into_iter().filter(|(k, _)| k != "id").collect()),
+        other => other,
+    }
+}
+
+/// Stats/metrics payloads carry wall-clock latencies: two engines answer
+/// with the same shape but different numbers.
+fn volatile(request: &Request) -> bool {
+    matches!(request, Request::Stats | Request::Metrics)
+}
+
+/// `verify_batch` without a seed draws one from process entropy — pin it
+/// so both engines verify identically.
+fn pin_seed(request: Request) -> Request {
+    match request {
+        Request::VerifyBatch { claims, seed: None } => Request::VerifyBatch {
+            claims,
+            seed: Some(11),
+        },
+        other => other,
+    }
+}
+
+proptest! {
+    #[test]
+    fn typed_requests_round_trip_through_the_binary_codec(
+        request in request_strategy(),
+        id in option_of(0u64..u64::MAX),
+        trace in option_of(1u64..u64::MAX),
+    ) {
+        use scrutinizer_engine::codec::{decode_body, decode_envelope, encode_request};
+
+        let mut payload = Vec::new();
+        encode_request(&mut payload, &request, id, trace);
+        let (envelope, mut reader) = decode_envelope(&payload).expect("envelope decodes");
+        prop_assert_eq!(envelope.id, id);
+        prop_assert_eq!(envelope.trace, trace);
+        let decoded = decode_body(&mut reader).expect("body decodes").to_owned();
+        prop_assert_eq!(request, decoded);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn binary_dispatch_answers_exactly_like_json_dispatch(
+        requests in prop::collection::vec(request_strategy().prop_map(pin_seed), 1..5),
+    ) {
+        use scrutinizer_engine::codec::{decode_response, encode_request};
+        use scrutinizer_engine::wire::{handle_frame, split_frame};
+
+        // two engines from the same deterministic corpus: running the
+        // same request sequence through each codec must tell the same
+        // story byte for byte (modulo trace ids and the id echo). The
+        // pair is private to this test — the junk-injection proptests
+        // run concurrently, and if one of their random payloads ever
+        // decoded to a session-allocating request against a shared
+        // engine, the twins would fall out of lockstep.
+        let (json_engine, bin_engine) = differential_engines();
+        for request in &requests {
+            let json_response = handle_request(json_engine, &request.to_json().render());
+            let json_canonical =
+                strip_envelope(Json::parse(&json_response).expect("json response parses"));
+
+            let mut payload = Vec::new();
+            encode_request(&mut payload, request, None, None);
+            let mut out = Vec::new();
+            handle_frame(bin_engine, &payload, &mut out);
+            let (frame, consumed) = split_frame(&out).expect("one whole response frame");
+            prop_assert_eq!(consumed, out.len(), "exactly one frame per request");
+            let bin_canonical =
+                strip_envelope(decode_response(frame).expect("binary response decodes"));
+
+            if volatile(request) {
+                prop_assert_eq!(
+                    shape(&json_canonical),
+                    shape(&bin_canonical),
+                    "shape diverged for {:?}",
+                    request
+                );
+            } else {
+                prop_assert_eq!(
+                    json_canonical.render(),
+                    bin_canonical.render(),
+                    "codecs diverged for {:?}",
+                    request
+                );
+            }
+        }
+    }
+}
+
+/// The differential proptest's private engine pair: JSON side and binary
+/// side built from the same deterministic corpus, so session-allocating
+/// requests stay in lockstep across every case.
+fn differential_engines() -> (&'static Arc<Engine>, &'static Arc<Engine>) {
+    static ENGINES: OnceLock<(Arc<Engine>, Arc<Engine>)> = OnceLock::new();
+    let build = || {
+        Engine::with_options(
+            Corpus::generate(CorpusConfig::small()),
+            SystemConfig::test(),
+            EngineOptions {
+                retrain_interval: None,
+                ordering: OrderingStrategy::Sequential,
+                ..EngineOptions::default()
+            },
+        )
+    };
+    let (json, bin) = ENGINES.get_or_init(|| (build(), build()));
+    (json, bin)
+}
+
+proptest! {
+    #[test]
+    fn malformed_binary_payloads_never_panic(bytes in prop::collection::vec(0u8..=255, 0..64)) {
+        use scrutinizer_engine::codec::decode_response;
+        use scrutinizer_engine::wire::{handle_frame, split_frame};
+
+        let engine = shared_engine();
+        let mut out = Vec::new();
+        handle_frame(engine, &bytes, &mut out);
+        let (frame, consumed) = split_frame(&out).expect("always answers one frame");
+        prop_assert_eq!(consumed, out.len());
+        let response = decode_response(frame).expect("response always decodes");
+        let ok = response.get("ok").and_then(Json::as_bool).expect("boolean ok");
+        if !ok {
+            let code = response.get("code").and_then(Json::as_str).expect("stable code");
+            prop_assert!(ErrorCode::ALL.iter().any(|c| c.name() == code));
+        }
+    }
+
+    #[test]
+    fn truncated_binary_requests_yield_structured_errors(
+        request in request_strategy(),
+        keep_fraction in 0.0f64..1.0,
+    ) {
+        use scrutinizer_engine::codec::{decode_response, encode_request};
+        use scrutinizer_engine::wire::{handle_frame, split_frame};
+
+        let engine = shared_engine();
+        let mut payload = Vec::new();
+        encode_request(&mut payload, &request, Some(7), None);
+        let keep = ((payload.len() as f64) * keep_fraction) as usize;
+        let mut out = Vec::new();
+        handle_frame(engine, &payload[..keep], &mut out);
+        let (frame, consumed) = split_frame(&out).expect("always answers one frame");
+        prop_assert_eq!(consumed, out.len());
+        let response = decode_response(frame).expect("response always decodes");
+        prop_assert!(response.get("ok").and_then(Json::as_bool).is_some());
+    }
+}

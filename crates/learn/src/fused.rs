@@ -15,20 +15,39 @@
 //! inside the published model snapshot).
 
 use crate::classifier::PropertyClassifier;
-use crate::softmax::entropy_from_scores;
+use crate::softmax::{entropy_from_scores, entropy_from_scores_reference, LANES};
 use scrutinizer_text::FeatureMatrix;
+
+/// Clamps one CSR entry for the branch-free fused sweep: an in-range
+/// feature passes through; an out-of-range index (never produced by the
+/// shared featurizer, but tolerated for parity with the scalar path)
+/// becomes a zero-valued sweep of column 0.
+#[inline]
+fn clamp_feature(index: u32, value: f32, dim: usize) -> (usize, f32) {
+    let i = index as usize;
+    if i < dim {
+        (i, value)
+    } else {
+        (0, 0.0)
+    }
+}
 
 /// The concatenated feature-major scoring block of several classifiers.
 #[derive(Debug, Clone)]
 pub struct FusedEntropy {
     /// Total classes across the fused (trained) classifiers.
     width: usize,
+    /// Row stride of `weights`: `width` rounded up to a multiple of
+    /// [`LANES`], so every per-feature sweep is an exact
+    /// `chunks_exact(LANES)` pass with no scalar tail.
+    stride: usize,
     /// `[start, end)` segment of each fused classifier inside a scratch row.
     segments: Vec<(usize, usize)>,
-    /// `dim × width`: for feature `i`, the concatenated class columns of
-    /// every fused classifier at `weights[i * width .. (i + 1) * width]`.
+    /// `dim × stride`: for feature `i`, the concatenated class columns of
+    /// every fused classifier at `weights[i * stride ..][..width]`; the
+    /// pad columns stay 0.0.
     weights: Vec<f32>,
-    /// Concatenated biases (length `width`).
+    /// Concatenated biases padded to length `stride` (pad lanes 0.0).
     biases: Vec<f32>,
     /// Shared feature dimensionality.
     dim: usize,
@@ -46,7 +65,8 @@ impl FusedEntropy {
     /// dimensionality (they share one featurizer by construction).
     pub fn fuse(models: &[&PropertyClassifier]) -> Self {
         let mut constant = 0.0f64;
-        let mut parts: Vec<(&[f32], &[f32], usize)> = Vec::new(); // (weights_t, biases, nc)
+        // (weights_t, biases, nc, part stride)
+        let mut parts: Vec<(&[f32], &[f32], usize, usize)> = Vec::new();
         let mut dim = 0usize;
         for classifier in models {
             match classifier.softmax() {
@@ -56,33 +76,36 @@ impl FusedEntropy {
                         "fused classifiers must share one feature space"
                     );
                     dim = model.dim();
-                    let (weights_t, biases) = model.transposed_parts();
-                    parts.push((weights_t, biases, model.n_classes()));
+                    let (weights_t, biases, part_stride) = model.transposed_parts();
+                    parts.push((weights_t, biases, model.n_classes(), part_stride));
                 }
                 None => constant += classifier.uniform_entropy(),
             }
         }
-        let width: usize = parts.iter().map(|(_, _, nc)| nc).sum();
+        let width: usize = parts.iter().map(|(_, _, nc, _)| nc).sum();
+        let stride = width.next_multiple_of(LANES);
         let mut segments = Vec::with_capacity(parts.len());
-        let mut biases = Vec::with_capacity(width);
+        let mut biases = vec![0.0f32; stride];
         let mut start = 0usize;
-        for (_, part_biases, nc) in &parts {
+        for (_, part_biases, nc, _) in &parts {
             segments.push((start, start + nc));
-            biases.extend_from_slice(part_biases);
+            biases[start..start + nc].copy_from_slice(part_biases);
             start += nc;
         }
-        // interleave: fused row i = [m1 column i | m2 column i | ...]
-        let mut weights = vec![0.0f32; dim * width];
+        // interleave: fused row i = [m1 column i | m2 column i | ... | 0-pad]
+        let mut weights = vec![0.0f32; dim * stride];
         for i in 0..dim {
-            let row = &mut weights[i * width..(i + 1) * width];
+            let row = &mut weights[i * stride..(i + 1) * stride];
             let mut offset = 0usize;
-            for (weights_t, _, nc) in &parts {
-                row[offset..offset + nc].copy_from_slice(&weights_t[i * nc..(i + 1) * nc]);
+            for (weights_t, _, nc, part_stride) in &parts {
+                row[offset..offset + nc]
+                    .copy_from_slice(&weights_t[i * part_stride..i * part_stride + nc]);
                 offset += nc;
             }
         }
         FusedEntropy {
             width,
+            stride,
             segments,
             weights,
             biases,
@@ -93,30 +116,128 @@ impl FusedEntropy {
 
     /// Appends the summed prediction entropy (Definition 7's `u(c)`) of
     /// every CSR row to `out`: one matrix pass, one contiguous
-    /// multiply-add sweep per stored feature, one softmax-entropy per
-    /// fused segment, plus the untrained constant.
+    /// fused-multiply-add sweep per group of eight stored features, one
+    /// softmax-entropy per fused segment, plus the untrained constant.
+    ///
+    /// The hot loop consumes features eight at a time with a scalar-zip
+    /// tail for the remainder: each sweep folds eight weight columns into
+    /// the scratch row per scratch load/store, split across two
+    /// accumulator chains (`a`/`b`) so the fused multiply-adds pipeline
+    /// instead of serializing on one dependency chain. Eight columns per
+    /// sweep is the lever because the sweep is otherwise bound on scratch
+    /// traffic — one column per load/store (the scalar twin's shape)
+    /// spends most of its memory ports re-reading the scratch row.
+    /// Columns and scratch share the [`LANES`]-multiple `stride`, so the
+    /// sweep is a contiguous same-length pass the compiler turns into
+    /// packed FMAs, and the per-segment entropies use the branch-free
+    /// [`exp_approx`] kernel. The [`utilities_into_reference`] scalar
+    /// twin is the parity oracle and the throughput baseline the
+    /// `translate` bench holds this kernel to.
+    ///
+    /// [`exp_approx`]: crate::softmax::exp_approx
+    /// [`utilities_into_reference`]: Self::utilities_into_reference
     pub fn utilities_into(&self, rows: &FeatureMatrix, out: &mut Vec<f64>) {
         out.reserve(rows.rows());
         if self.width == 0 {
             out.extend(std::iter::repeat_n(self.constant, rows.rows()));
             return;
         }
-        let mut scratch = vec![0.0f32; self.width];
-        for row in rows.iter() {
+        let stride = self.stride;
+        let mut scratch_buf = vec![0.0f32; stride];
+        let scratch = &mut scratch_buf[..stride];
+        for r in 0..rows.rows() {
             scratch.copy_from_slice(&self.biases);
+            if self.dim > 0 {
+                let row = rows.row(r);
+                let full = row.indices.len() - row.indices.len() % 8;
+                // out-of-dim features (never produced by the shared
+                // featurizer) degrade to a zero-valued sweep of column 0
+                // instead of a branch
+                let mut p = 0;
+                while p < full {
+                    let (i0, v0) = clamp_feature(row.indices[p], row.values[p], self.dim);
+                    let (i1, v1) = clamp_feature(row.indices[p + 1], row.values[p + 1], self.dim);
+                    let (i2, v2) = clamp_feature(row.indices[p + 2], row.values[p + 2], self.dim);
+                    let (i3, v3) = clamp_feature(row.indices[p + 3], row.values[p + 3], self.dim);
+                    let (i4, v4) = clamp_feature(row.indices[p + 4], row.values[p + 4], self.dim);
+                    let (i5, v5) = clamp_feature(row.indices[p + 5], row.values[p + 5], self.dim);
+                    let (i6, v6) = clamp_feature(row.indices[p + 6], row.values[p + 6], self.dim);
+                    let (i7, v7) = clamp_feature(row.indices[p + 7], row.values[p + 7], self.dim);
+                    let c0 = &self.weights[i0 * stride..][..stride];
+                    let c1 = &self.weights[i1 * stride..][..stride];
+                    let c2 = &self.weights[i2 * stride..][..stride];
+                    let c3 = &self.weights[i3 * stride..][..stride];
+                    let c4 = &self.weights[i4 * stride..][..stride];
+                    let c5 = &self.weights[i5 * stride..][..stride];
+                    let c6 = &self.weights[i6 * stride..][..stride];
+                    let c7 = &self.weights[i7 * stride..][..stride];
+                    for j in 0..stride {
+                        let mut a = scratch[j];
+                        let mut b = v4 * c4[j];
+                        a = v0.mul_add(c0[j], a);
+                        b = v5.mul_add(c5[j], b);
+                        a = v1.mul_add(c1[j], a);
+                        b = v6.mul_add(c6[j], b);
+                        a = v2.mul_add(c2[j], a);
+                        b = v7.mul_add(c7[j], b);
+                        a = v3.mul_add(c3[j], a);
+                        scratch[j] = a + b;
+                    }
+                    p += 8;
+                }
+                while p < row.indices.len() {
+                    let (i, v) = clamp_feature(row.indices[p], row.values[p], self.dim);
+                    let column = &self.weights[i * stride..][..stride];
+                    for (s, &w) in scratch.iter_mut().zip(column) {
+                        *s = v.mul_add(w, *s);
+                    }
+                    p += 1;
+                }
+            }
+            let mut utility = self.constant;
+            for &(start, end) in &self.segments {
+                utility += entropy_from_scores(&scratch[start..end]);
+            }
+            out.push(utility);
+        }
+    }
+
+    /// The pre-alignment scalar kernel, kept verbatim as the parity
+    /// oracle and the baseline [`utilities_into`](Self::utilities_into)
+    /// is benchmarked against: `width`-strided (unpadded, unaligned)
+    /// weights, exact (unpadded) rows, one feature at a time, plain zip
+    /// sweeps, libm-`exp` entropy. The width-strided weight copy is
+    /// rebuilt per call (the pre-alignment kernel kept that layout
+    /// resident); the copy is a fraction of a percent of the scoring
+    /// work at any batch size worth benchmarking.
+    pub fn utilities_into_reference(&self, rows: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.reserve(rows.rows());
+        if self.width == 0 {
+            out.extend(std::iter::repeat_n(self.constant, rows.rows()));
+            return;
+        }
+        let width = self.width;
+        let mut weights = vec![0.0f32; self.dim * width];
+        for i in 0..self.dim {
+            weights[i * width..(i + 1) * width]
+                .copy_from_slice(&self.weights[i * self.stride..i * self.stride + width]);
+        }
+        let mut scratch = vec![0.0f32; width];
+        for row in rows.iter() {
+            scratch.copy_from_slice(&self.biases[..width]);
             for (i, v) in row.iter() {
                 let i = i as usize;
                 if i >= self.dim {
                     continue;
                 }
-                let column = &self.weights[i * self.width..(i + 1) * self.width];
+                let column = &weights[i * width..(i + 1) * width];
                 for (s, &w) in scratch.iter_mut().zip(column) {
                     *s += v * w;
                 }
             }
             let mut utility = self.constant;
             for &(start, end) in &self.segments {
-                utility += entropy_from_scores(&scratch[start..end]);
+                utility += entropy_from_scores_reference(&scratch[start..end]);
             }
             out.push(utility);
         }
@@ -180,6 +301,29 @@ mod tests {
                 (utility - expected).abs() < 1e-5,
                 "row {r}: fused {utility} vs per-classifier {expected}"
             );
+        }
+    }
+
+    #[test]
+    fn vectorized_kernel_matches_the_scalar_reference() {
+        let a = trained(&["x", "y", "z"], 0);
+        let b = trained(&["p", "q"], 4);
+        let fused = FusedEntropy::fuse(&[&a, &b]);
+        // ragged nnz so both padded and unpadded row shapes are hit,
+        // including an empty row and an out-of-dim feature index
+        let rows = FeatureMatrix::from_rows([
+            features(0, 11),
+            SparseVector::from_pairs(vec![]),
+            SparseVector::from_pairs((0..9).map(|i| (i, 0.1 * i as f32 + 0.2)).collect()),
+            SparseVector::from_pairs(vec![(2, 1.5), (100, 9.0)]),
+        ]);
+        let mut fast = Vec::new();
+        fused.utilities_into(&rows, &mut fast);
+        let mut reference = Vec::new();
+        fused.utilities_into_reference(&rows, &mut reference);
+        assert_eq!(fast.len(), reference.len());
+        for (r, (f, s)) in fast.iter().zip(&reference).enumerate() {
+            assert!((f - s).abs() < 1e-5, "row {r}: fast {f} vs reference {s}");
         }
     }
 

@@ -116,6 +116,21 @@ impl TraceId {
     pub fn to_wire(self) -> String {
         format!("{:016x}", self.0)
     }
+
+    /// The raw 64-bit id — the binary wire form. `raw`/`from_raw`
+    /// round-trip exactly and allocation-free, and agree with the hex
+    /// forms: `to_wire()` renders `raw()` as 16 hex digits, and
+    /// `from_wire` on that string recovers the same id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from its raw 64-bit wire form. Zero maps to the
+    /// same non-zero sentinel as [`TraceId::from_wire`], so a zeroed
+    /// field still yields a usable id.
+    pub fn from_raw(raw: u64) -> TraceId {
+        TraceId(if raw == 0 { 0x5CF0_0B5E_77A7_1D05 } else { raw })
+    }
 }
 
 /// A process-unique span identifier.

@@ -22,7 +22,9 @@ pub enum InvariantKind {
     /// One query, one answer: repeated SQL returns bit-identical values,
     /// hit/miss counters are monotone, residency never exceeds capacity.
     CacheCoherence,
-    /// `requests_total == requests_ok + Σ wire_errors`, at every step.
+    /// `requests_total == requests_ok + Σ wire_errors`, at every step —
+    /// in aggregate, within each wire codec, and with per-codec counters
+    /// summing back to the aggregates.
     Conservation,
     /// Responses echo their request's trace id; batch sub-responses
     /// inherit the batch's.
@@ -158,6 +160,19 @@ pub fn check_stats(
                 snapshot.requests_total,
                 snapshot.requests_ok,
                 snapshot.wire_errors_total()
+            ),
+        });
+    }
+    if !snapshot.requests_are_conserved_per_codec() {
+        return Err(Violation {
+            kind: InvariantKind::Conservation,
+            step,
+            detail: format!(
+                "per-codec conservation broke: totals {:?}, oks {:?}, errors {:?} (aggregate total {})",
+                snapshot.requests_by_codec,
+                snapshot.requests_ok_by_codec,
+                snapshot.wire_errors_by_codec,
+                snapshot.requests_total
             ),
         });
     }

@@ -1,9 +1,10 @@
 //! Executing one schedule against one simulated engine.
 //!
-//! The harness plays the client side of [`N_SLOTS`] connections over
-//! in-memory [`SimStream`] pairs, while the *server* side runs the very
-//! same [`service_conn`] state machine production uses — the simulation
-//! model-checks the real serving code, not a stand-in. Requests execute
+//! The harness plays the client side of [`N_SLOTS`] JSON-lines
+//! connections plus one dedicated binary-codec connection (`BIN_SLOT`)
+//! over in-memory [`SimStream`] pairs, while the *server* side runs the
+//! very same [`service_conn`] state machine production uses — the
+//! simulation model-checks the real serving code, not a stand-in. Requests execute
 //! inline (single-threaded, in slot order), the background trainer runs
 //! only when the schedule says so, and every step ends with the full
 //! invariant battery.
@@ -20,13 +21,20 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use scrutinizer_engine::engine::Engine;
-use scrutinizer_engine::protocol::{handle_request, Json};
-use scrutinizer_engine::{service_conn, ConnState, ServiceLimits};
+use scrutinizer_engine::protocol::{handle_payload, Json};
+use scrutinizer_engine::{codec, service_conn, wire, ConnState, ServiceLimits};
+use scrutinizer_engine::{Request, WireCodec, BINARY_MAGIC};
 use scrutinizer_sim::{FaultPlan, SimEndpoint, SimScheduler, SimStream, Spawner, VirtualClock};
 
 use crate::invariants::{check_sql_outcome, check_stats, InvariantKind, Mirror, Violation};
 use crate::schedule::{SimOp, N_SLOTS};
 use crate::world::{SharedWorld, CACHE_CAPACITY};
+
+/// The dedicated binary-codec connection slot: `binframe` ops send
+/// length-prefixed frames here after negotiating with the magic byte,
+/// while slots `0..N_SLOTS` stay JSON-lines. Fault ops target this slot
+/// too, so binary connections see drops, stalls, and partial writes.
+const BIN_SLOT: usize = N_SLOTS;
 
 /// Outcome of one schedule run.
 pub struct RunResult {
@@ -70,6 +78,10 @@ struct Slot {
     sent: Vec<u64>,
     delivered: Vec<u64>,
     recv_buf: Vec<u8>,
+    /// The held-back tail of a split binary frame, flushed at the next
+    /// `binframe` op on this slot or at quiesce — fault ops in between
+    /// land mid-frame.
+    pending_tail: Vec<u8>,
 }
 
 /// Runs `ops` against a fresh simulated engine in `world`. With `canary`
@@ -90,7 +102,7 @@ pub fn run_schedule(world: &SharedWorld, ops: &[SimOp], canary: bool) -> RunResu
             write_buffer_limit: 1 << 20,
             max_pipeline: 128,
         },
-        slots: Vec::from_iter((0..N_SLOTS).map(|_| Slot::default())),
+        slots: Vec::from_iter((0..=N_SLOTS).map(|_| Slot::default())),
         meta: HashMap::new(),
         mirror: Mirror::default(),
         next_id: 1,
@@ -256,8 +268,69 @@ impl Harness<'_> {
                     self.faults.arm("canary.trainer.drop_batch", 1);
                 }
             }
+            SimOp::BinFrame { query, split } => {
+                self.flush_pending_tail(BIN_SLOT);
+                let (id, trace) = self.fresh_id();
+                let index = query % self.world.sql_pool.len();
+                let sql = self.world.sql_pool[index].clone();
+                let mut frame = Vec::new();
+                // the binary trace is the raw u64 id; its wire rendering
+                // is the same 16 hex digits `fresh_id` recorded, so the
+                // echo check works unchanged across codecs
+                wire::request_frame(&mut frame, &Request::Sql { query: sql }, Some(id), Some(id));
+                self.send_binary(id, trace, MetaOp::Sql(index), *split, &frame);
+            }
         }
         Ok(())
+    }
+
+    /// Delivers a held-back frame tail, if any, completing the frame a
+    /// previous split `binframe` op left half-sent.
+    fn flush_pending_tail(&mut self, slot: usize) {
+        let state = &mut self.slots[slot];
+        if state.pending_tail.is_empty() {
+            return;
+        }
+        if let Some((_, endpoint)) = &state.conn {
+            endpoint.send(&state.pending_tail);
+        }
+        state.pending_tail.clear();
+    }
+
+    /// Queues one binary frame (or its first half) on the dedicated
+    /// binary slot, opening the connection with the codec magic byte on
+    /// first use.
+    fn send_binary(&mut self, id: u64, trace: String, op: MetaOp, split: bool, frame: &[u8]) {
+        if self.slots[BIN_SLOT].conn.is_none() {
+            let (server, client) = scrutinizer_sim::sim_pair();
+            let state = &mut self.slots[BIN_SLOT];
+            state.conn = Some((ConnState::new(server), client));
+            state.sent.clear();
+            state.delivered.clear();
+            state.recv_buf.clear();
+            state.pending_tail.clear();
+            let (_, endpoint) = state.conn.as_ref().expect("slot connection just ensured");
+            endpoint.send(&[BINARY_MAGIC]);
+        }
+        let state = &mut self.slots[BIN_SLOT];
+        let (_, endpoint) = state.conn.as_ref().expect("slot connection just ensured");
+        if split {
+            let cut = frame.len() / 2;
+            endpoint.send(&frame[..cut]);
+            state.pending_tail.extend_from_slice(&frame[cut..]);
+        } else {
+            endpoint.send(frame);
+        }
+        state.sent.push(id);
+        self.meta.insert(
+            id,
+            Meta {
+                slot: BIN_SLOT,
+                trace,
+                op,
+                skip_body: false,
+            },
+        );
     }
 
     /// Assigns the next request id and its trace id (the id in 16 hex
@@ -328,22 +401,26 @@ impl Harness<'_> {
 
     /// Services every connection in slot order until nothing moves:
     /// flush → read → split via the production `service_conn`, queued
-    /// lines executed inline through the production `handle_request`,
-    /// client bytes drained and receipted. Single-threaded and ordered,
-    /// so identical schedules take identical paths.
+    /// payloads executed inline through the production `handle_payload`
+    /// under the connection's negotiated codec, client bytes drained and
+    /// receipted. Single-threaded and ordered, so identical schedules
+    /// take identical paths.
     fn pump(&mut self) -> Result<(), Violation> {
         loop {
             let mut progress = false;
-            for slot_index in 0..N_SLOTS {
+            for slot_index in 0..self.slots.len() {
                 let Some((mut conn, endpoint)) = self.slots[slot_index].conn.take() else {
                     continue;
                 };
                 progress |= service_conn(&mut conn, &self.limits, false, self.engine.stats_ref());
-                while let Some(line) = conn.queue.pop_front() {
+                while let Some(payload) = conn.queue.pop_front() {
+                    let wire_codec = conn.codec.unwrap_or(WireCodec::Json);
                     let engine = Arc::clone(&self.engine);
-                    let response = handle_request(&engine, &line);
-                    let outcome = self.note_response(&response);
-                    conn.push_response(&response);
+                    let mut response = Vec::new();
+                    handle_payload(&engine, wire_codec, &payload, &mut response);
+                    conn.recycle(payload);
+                    let outcome = self.note_response(wire_codec, &response);
+                    conn.push_response_bytes(&response);
                     progress = true;
                     if let Err(violation) = outcome {
                         self.slots[slot_index].conn = Some((conn, endpoint));
@@ -359,6 +436,7 @@ impl Harness<'_> {
                     state.sent.clear();
                     state.delivered.clear();
                     state.recv_buf.clear();
+                    state.pending_tail.clear();
                     progress = true;
                 } else {
                     self.drain_client(slot_index, &endpoint)?;
@@ -371,15 +449,43 @@ impl Harness<'_> {
         }
     }
 
-    /// Pulls server→client bytes, splits complete lines, and receipts
-    /// each delivered response id in order.
+    /// Pulls server→client bytes, splits complete responses (lines on
+    /// JSON slots, length-prefixed frames on the binary slot), and
+    /// receipts each delivered response id in order.
     fn drain_client(&mut self, slot: usize, endpoint: &SimEndpoint) -> Result<(), Violation> {
         let bytes = endpoint.recv();
         if bytes.is_empty() {
             return Ok(());
         }
+        let step = self.step;
         let state = &mut self.slots[slot];
         state.recv_buf.extend_from_slice(&bytes);
+        if slot == BIN_SLOT {
+            loop {
+                let (id, used) = {
+                    let Some((payload, used)) = wire::split_frame(&state.recv_buf) else {
+                        break;
+                    };
+                    let parsed = codec::decode_response(payload).map_err(|error| Violation {
+                        kind: InvariantKind::Delivery,
+                        step,
+                        detail: format!("slot {slot} received an undecodable frame: {error:?}"),
+                    })?;
+                    let id = parsed
+                        .get("id")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| Violation {
+                            kind: InvariantKind::Delivery,
+                            step,
+                            detail: format!("slot {slot} received a frame without an id"),
+                        })? as u64;
+                    (id, used)
+                };
+                state.delivered.push(id);
+                state.recv_buf.drain(..used);
+            }
+            return Ok(());
+        }
         while let Some(newline) = state.recv_buf.iter().position(|&b| b == b'\n') {
             let rest = state.recv_buf.split_off(newline + 1);
             let mut line = std::mem::replace(&mut state.recv_buf, rest);
@@ -387,7 +493,7 @@ impl Harness<'_> {
             let text = String::from_utf8_lossy(&line);
             let parsed = Json::parse(&text).map_err(|_| Violation {
                 kind: InvariantKind::Delivery,
-                step: self.step,
+                step,
                 detail: format!("slot {slot} received an unparseable response: {text}"),
             })?;
             let id = parsed
@@ -395,7 +501,7 @@ impl Harness<'_> {
                 .and_then(Json::as_usize)
                 .ok_or_else(|| Violation {
                     kind: InvariantKind::Delivery,
-                    step: self.step,
+                    step,
                     detail: format!("slot {slot} received a response without an id: {text}"),
                 })? as u64;
             state.delivered.push(id);
@@ -407,24 +513,49 @@ impl Harness<'_> {
     /// *when the request runs*, not when the client reads it — a dropped
     /// connection may discard a delivered response, but the engine-side
     /// effect already happened and the invariants must account for it.
-    fn note_response(&mut self, response: &str) -> Result<(), Violation> {
-        let parsed = Json::parse(response).map_err(|_| Violation {
-            kind: InvariantKind::Delivery,
-            step: self.step,
-            detail: format!("engine produced an unparseable response: {response}"),
-        })?;
+    /// Binary frames are decoded into the same JSON object shape the
+    /// JSON codec produces, so the checks below are codec-agnostic.
+    fn note_response(&mut self, wire_codec: WireCodec, response: &[u8]) -> Result<(), Violation> {
+        let parsed = match wire_codec {
+            WireCodec::Json => {
+                let text = String::from_utf8_lossy(response);
+                Json::parse(text.trim_end()).map_err(|_| Violation {
+                    kind: InvariantKind::Delivery,
+                    step: self.step,
+                    detail: format!("engine produced an unparseable response: {text}"),
+                })?
+            }
+            WireCodec::Binary => {
+                let (payload, _) = wire::split_frame(response).ok_or_else(|| Violation {
+                    kind: InvariantKind::Delivery,
+                    step: self.step,
+                    detail: "engine produced a partial binary frame".to_string(),
+                })?;
+                codec::decode_response(payload).map_err(|error| Violation {
+                    kind: InvariantKind::Delivery,
+                    step: self.step,
+                    detail: format!("engine produced an undecodable frame: {error:?}"),
+                })?
+            }
+        };
         let id = parsed
             .get("id")
             .and_then(Json::as_usize)
             .ok_or_else(|| Violation {
                 kind: InvariantKind::Delivery,
                 step: self.step,
-                detail: format!("response lost its request id: {response}"),
+                detail: format!(
+                    "response lost its request id: {}",
+                    String::from_utf8_lossy(response)
+                ),
             })? as u64;
         let meta = self.meta.remove(&id).ok_or_else(|| Violation {
             kind: InvariantKind::Delivery,
             step: self.step,
-            detail: format!("response for an id never sent: {response}"),
+            detail: format!(
+                "response for an id never sent: {}",
+                String::from_utf8_lossy(response)
+            ),
         })?;
 
         let echoed = parsed.get("trace").and_then(Json::as_str).unwrap_or("");
@@ -498,14 +629,15 @@ impl Harness<'_> {
             MetaOp::Other => {}
         }
 
-        // the determinism digest: full bytes for deterministic bodies,
-        // envelope only where wall-clock timings leak in (stats)
+        // the determinism digest: full bytes for deterministic bodies
+        // (raw frame bytes on the binary slot), envelope only where
+        // wall-clock timings leak in (stats)
         self.fold(&id.to_le_bytes());
         if meta.skip_body {
             self.fold(&[u8::from(ok)]);
             self.fold(meta.trace.as_bytes());
         } else {
-            self.fold(response.as_bytes());
+            self.fold(response);
         }
         Ok(())
     }
@@ -514,6 +646,9 @@ impl Harness<'_> {
     /// connection, then hold the engine to the final reckoning — delivery
     /// integrity per surviving connection and one last invariant pass.
     fn quiesce(&mut self) -> Result<(), Violation> {
+        for slot in 0..self.slots.len() {
+            self.flush_pending_tail(slot);
+        }
         for state in &self.slots {
             if let Some((_, endpoint)) = &state.conn {
                 endpoint.set_stalled(false);
@@ -524,7 +659,7 @@ impl Harness<'_> {
         self.engine.flush_retrains();
         self.pump()?;
 
-        for slot in 0..N_SLOTS {
+        for slot in 0..self.slots.len() {
             let state = &self.slots[slot];
             if state.conn.is_none() {
                 continue;

@@ -110,6 +110,19 @@ pub enum SimOp {
     /// Arm a one-shot trainer crash: the next background retrain dies
     /// after draining its batch (and, under the canary, loses it).
     CrashTrainer,
+    /// Send one SQL request as a length-prefixed binary frame on the
+    /// dedicated binary connection slot (slot index [`N_SLOTS`], which
+    /// negotiates the codec with the `0x00` magic byte on open). With
+    /// `split`, only the head of the frame is sent now and the tail
+    /// stays pending until the next `binframe` op or quiesce — so fault
+    /// ops in between land mid-frame: a drop between the length prefix
+    /// and the payload, a stall halfway through a frame.
+    BinFrame {
+        /// Index into the world's SQL pool.
+        query: usize,
+        /// Hold back the tail of the frame for later delivery.
+        split: bool,
+    },
 }
 
 /// Generates the schedule for `seed`: a short prelude that opens every
@@ -155,9 +168,13 @@ fn random_op(rng: &mut Xoshiro256PlusPlus, n_claims: usize) -> SimOp {
             pick: rng.gen_range(0..n_claims),
             correct: rng.gen_bool(0.7),
         },
-        50..=60 => SimOp::Sql {
+        50..=57 => SimOp::Sql {
             slot,
             query: rng.gen_range(0..n_claims),
+        },
+        58..=60 => SimOp::BinFrame {
+            query: rng.gen_range(0..n_claims),
+            split: rng.gen_bool(0.25),
         },
         61..=65 => SimOp::Batch {
             slot,
@@ -169,13 +186,17 @@ fn random_op(rng: &mut Xoshiro256PlusPlus, n_claims: usize) -> SimOp {
         83..=85 => SimOp::ClockJump {
             millis: rng.gen_range(1..=10_000u64),
         },
-        86..=88 => SimOp::DropConn { slot },
+        // fault ops also target the binary slot (index N_SLOTS), so
+        // binary connections see drops, stalls, and partial writes too
+        86..=88 => SimOp::DropConn {
+            slot: rng.gen_range(0..=N_SLOTS),
+        },
         89..=92 => SimOp::Stall {
-            slot,
+            slot: rng.gen_range(0..=N_SLOTS),
             on: rng.gen_bool(0.5),
         },
         93..=96 => SimOp::PartialWrites {
-            slot,
+            slot: rng.gen_range(0..=N_SLOTS),
             cap: rng.gen_range(0..=7usize),
         },
         _ => SimOp::CrashTrainer,
@@ -220,6 +241,7 @@ pub fn render(ops: &[SimOp]) -> String {
             }
             SimOp::PartialWrites { slot, cap } => format!("partial {slot} {cap}"),
             SimOp::CrashTrainer => "crash".to_string(),
+            SimOp::BinFrame { query, split } => format!("binframe {query} {split}"),
         };
         out.push_str(&line);
         out.push('\n');
@@ -309,6 +331,14 @@ pub fn parse(text: &str) -> Result<Vec<SimOp>, String> {
                 cap: parse_num(&arg("cap")?, number)?,
             },
             "crash" => SimOp::CrashTrainer,
+            "binframe" => SimOp::BinFrame {
+                query: parse_num(&arg("query")?, number)?,
+                split: match arg("split")?.as_str() {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(format!("line {}: bad bool `{other}`", number + 1)),
+                },
+            },
             other => return Err(format!("line {}: unknown op `{other}`", number + 1)),
         };
         ops.push(op);

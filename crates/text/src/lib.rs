@@ -33,7 +33,7 @@ pub mod tokenize;
 
 pub use embed::EmbeddingModel;
 pub use features::{ClaimFeaturizer, FeaturizerConfig};
-pub use matrix::FeatureMatrix;
+pub use matrix::{FeatureMatrix, ROW_ALIGN};
 pub use numbers::{extract_parameters, ExtractedParameter, ParameterKind};
 pub use sparse::{SparseVector, SparseView};
 pub use tfidf::TfIdfVectorizer;

@@ -8,17 +8,44 @@
 //! walks `indices`/`values` straight through instead of chasing one heap
 //! allocation per claim — and rows are handed out as borrowed
 //! [`SparseView`]s, so nothing downstream ever clones a feature vector.
+//!
+//! # Aligned layout
+//!
+//! Every stored row is padded to a multiple of [`ROW_ALIGN`] entries
+//! (8 × f32 = 32 bytes), so within the `indices`/`values` buffers each
+//! row starts and ends on a 32-byte offset boundary. Padding entries are
+//! `(index 0, value 0.0)`: a zero value contributes nothing to any
+//! linear kernel, so padded rows are safe to feed straight through a
+//! multiply-add sweep. The payoff is in the batched scoring kernels —
+//! [`padded_row`] hands out the padded slices, whose length is always an
+//! exact multiple of 8, so kernels iterate `chunks_exact` with no scalar
+//! tail loop and the autovectorizer emits clean 8-lane code.
+//! [`row`] keeps the exact pre-padding semantics (true entries only) via
+//! per-row true-length bookkeeping, so everything that inspects rows
+//! entry-by-entry is unchanged.
+//!
+//! [`padded_row`]: FeatureMatrix::padded_row
+//! [`row`]: FeatureMatrix::row
 
 use crate::sparse::{SparseVector, SparseView};
 
-/// Compressed-sparse-row matrix of feature vectors.
+/// Row padding granularity, in entries: 8 f32 values = 32 bytes, one
+/// AVX2 lane's worth. Every row's start offset and padded length are
+/// multiples of this.
+pub const ROW_ALIGN: usize = 8;
+
+/// Compressed-sparse-row matrix of feature vectors with 32-byte-aligned
+/// row starts.
 ///
-/// Row `i` occupies `indices[indptr[i]..indptr[i + 1]]` (sorted) and the
-/// parallel `values` range. Rows are append-only; `indptr` always has
-/// `rows + 1` entries.
+/// Row `i`'s true entries occupy `indices[indptr[i]..indptr[i] +
+/// row_nnz[i]]` (sorted) and the parallel `values` range; the remainder
+/// up to `indptr[i + 1]` is `(0, 0.0)` padding. Rows are append-only;
+/// `indptr` always has `rows + 1` entries, each a multiple of
+/// [`ROW_ALIGN`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FeatureMatrix {
     indptr: Vec<usize>,
+    row_nnz: Vec<u32>,
     indices: Vec<u32>,
     values: Vec<f32>,
 }
@@ -28,6 +55,7 @@ impl FeatureMatrix {
     pub fn new() -> Self {
         FeatureMatrix {
             indptr: vec![0],
+            row_nnz: Vec::new(),
             indices: Vec::new(),
             values: Vec::new(),
         }
@@ -37,20 +65,27 @@ impl FeatureMatrix {
     pub fn with_capacity(rows: usize, nnz_per_row: usize) -> Self {
         let mut indptr = Vec::with_capacity(rows + 1);
         indptr.push(0);
+        let padded = nnz_per_row.next_multiple_of(ROW_ALIGN);
         FeatureMatrix {
             indptr,
-            indices: Vec::with_capacity(rows * nnz_per_row),
-            values: Vec::with_capacity(rows * nnz_per_row),
+            row_nnz: Vec::with_capacity(rows),
+            indices: Vec::with_capacity(rows * padded),
+            values: Vec::with_capacity(rows * padded),
         }
     }
 
-    /// Appends one row, copying the view's entries into the CSR block.
-    /// Returns the new row's index.
+    /// Appends one row, copying the view's entries into the CSR block and
+    /// padding the row out to the next [`ROW_ALIGN`] boundary. Returns the
+    /// new row's index.
     pub fn push_row(&mut self, row: SparseView<'_>) -> usize {
         self.indices.extend_from_slice(row.indices);
         self.values.extend_from_slice(row.values);
-        self.indptr.push(self.indices.len());
-        self.indptr.len() - 2
+        let padded = self.indices.len().next_multiple_of(ROW_ALIGN);
+        self.indices.resize(padded, 0);
+        self.values.resize(padded, 0.0);
+        self.indptr.push(padded);
+        self.row_nnz.push(row.indices.len() as u32);
+        self.row_nnz.len() - 1
     }
 
     /// Builds a matrix from owned vectors (one row each, in order).
@@ -72,16 +107,35 @@ impl FeatureMatrix {
         self.rows() == 0
     }
 
-    /// Total stored (non-zero) entries across all rows.
+    /// Total stored (non-zero) entries across all rows, excluding
+    /// alignment padding.
     pub fn nnz(&self) -> usize {
-        self.indices.len()
+        self.row_nnz.iter().map(|&n| n as usize).sum()
     }
 
-    /// Borrowed view of row `i`.
+    /// Borrowed view of row `i`'s true entries — exactly what was pushed,
+    /// no padding.
     ///
     /// # Panics
     /// Panics if `i >= rows()`.
     pub fn row(&self, i: usize) -> SparseView<'_> {
+        let lo = self.indptr[i];
+        let hi = lo + self.row_nnz[i] as usize;
+        SparseView {
+            indices: &self.indices[lo..hi],
+            values: &self.values[lo..hi],
+        }
+    }
+
+    /// Borrowed view of row `i` including its `(0, 0.0)` alignment
+    /// padding: the slice length is always a multiple of [`ROW_ALIGN`]
+    /// and the start offset is 32-byte aligned within the CSR block.
+    /// Padding values are exactly `0.0`, so linear kernels may sweep the
+    /// whole slice with `chunks_exact(ROW_ALIGN)` and no tail.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows()`.
+    pub fn padded_row(&self, i: usize) -> SparseView<'_> {
         let lo = self.indptr[i];
         let hi = self.indptr[i + 1];
         SparseView {
@@ -90,7 +144,7 @@ impl FeatureMatrix {
         }
     }
 
-    /// Iterates over all rows in order.
+    /// Iterates over all rows in order (true entries only).
     pub fn iter(&self) -> impl Iterator<Item = SparseView<'_>> {
         (0..self.rows()).map(|i| self.row(i))
     }
@@ -157,5 +211,46 @@ mod tests {
         let m = FeatureMatrix::from_rows([v(vec![(0, 1.0)]), v(vec![(7, 2.0)])]);
         let nnzs: Vec<usize> = m.iter().map(|r| r.nnz()).collect();
         assert_eq!(nnzs, vec![1, 1]);
+    }
+
+    #[test]
+    fn rows_are_padded_to_the_alignment_boundary() {
+        let m = FeatureMatrix::from_rows([
+            v(vec![(3, 1.0)]),
+            v((0..9).map(|i| (i, i as f32 + 1.0)).collect()),
+            v(vec![]),
+        ]);
+        for i in 0..m.rows() {
+            let padded = m.padded_row(i);
+            assert_eq!(padded.indices.len() % ROW_ALIGN, 0, "row {i} length");
+            let true_len = m.row(i).indices.len();
+            assert!(padded.indices.len() >= true_len);
+            assert!(padded.indices.len() < true_len + ROW_ALIGN);
+            // padding is (0, 0.0): inert under any multiply-add sweep
+            for k in true_len..padded.indices.len() {
+                assert_eq!(padded.indices[k], 0, "row {i} pad index");
+                assert_eq!(padded.values[k], 0.0, "row {i} pad value");
+            }
+        }
+        // an exact-multiple row gains no padding
+        let eight = v((0..8).map(|i| (i, 1.0)).collect());
+        let m = FeatureMatrix::from_rows([eight]);
+        assert_eq!(m.padded_row(0).indices.len(), 8);
+        // nnz counts true entries only
+        assert_eq!(m.nnz(), 8);
+    }
+
+    #[test]
+    fn padded_sweep_matches_exact_row_dot() {
+        let dense: Vec<f32> = (0..16).map(|i| (i as f32).sin()).collect();
+        let row = v(vec![(1, 0.5), (7, -2.0), (13, 3.25)]);
+        let m = FeatureMatrix::from_rows([row]);
+        let exact: f32 = m.row(0).iter().map(|(i, x)| x * dense[i as usize]).sum();
+        let padded: f32 = m
+            .padded_row(0)
+            .iter()
+            .map(|(i, x)| x * dense[i as usize])
+            .sum();
+        assert_eq!(exact, padded);
     }
 }
