@@ -3,7 +3,9 @@
 use crate::config::SystemConfig;
 use crate::feature_store::FeatureStore;
 use scrutinizer_corpus::{ClaimRecord, Corpus};
-use scrutinizer_learn::{training_utility, FusedEntropy, LabelDict, PropertyClassifier};
+use scrutinizer_learn::{
+    training_utility, ClassifierState, FusedEntropy, LabelDict, PropertyClassifier,
+};
 use scrutinizer_text::{ClaimFeaturizer, FeatureMatrix, SparseVector, SparseView};
 
 /// The four query properties the classifiers predict.
@@ -51,6 +53,20 @@ impl Translation {
     pub fn of(&self, kind: PropertyKind) -> &[(String, f32)] {
         &self.candidates[kind as usize]
     }
+}
+
+/// The serializable learned state of [`SystemModels`]: what a durable
+/// model snapshot carries. Everything else ([`ClaimFeaturizer`], the
+/// fused scoring block) is deterministically derived and rebuilt on
+/// restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelsState {
+    /// Per-property learned state, in [`PropertyKind`] order.
+    pub classifiers: [ClassifierState; 4],
+    /// The rehearsal log of claim ids.
+    pub replay: Vec<usize>,
+    /// Round-robin cursor into `replay`.
+    pub replay_cursor: usize,
 }
 
 /// The trained models: shared featurizer + four classifiers.
@@ -114,6 +130,45 @@ impl SystemModels {
     /// The fitted featurizer (shared by the [`FeatureStore`]).
     pub fn featurizer(&self) -> &ClaimFeaturizer {
         &self.featurizer
+    }
+
+    /// A copy of the learned state for persistence: the four classifiers
+    /// plus the rehearsal log. The featurizer is *not* included — it is
+    /// fitted deterministically from the corpus at bootstrap, so a
+    /// restored process rebuilds it and layers the learned state on top.
+    pub fn export_state(&self) -> ModelsState {
+        ModelsState {
+            classifiers: self
+                .classifiers
+                .each_ref()
+                .map(PropertyClassifier::export_state),
+            replay: self.replay.clone(),
+            replay_cursor: self.replay_cursor,
+        }
+    }
+
+    /// Restores learned state exported by [`export_state`] onto
+    /// bootstrapped models (same corpus, same featurizer config), then
+    /// re-fuses the scoring block. Fails — leaving `self` untouched
+    /// — if the snapshot's shapes do not fit this featurizer.
+    ///
+    /// [`export_state`]: Self::export_state
+    pub fn restore_state(&mut self, state: ModelsState) -> Result<(), String> {
+        let mut classifiers = self.classifiers.clone();
+        let [relation, key, attribute, formula] = state.classifiers;
+        classifiers[0].restore_state(relation)?;
+        classifiers[1].restore_state(key)?;
+        classifiers[2].restore_state(attribute)?;
+        classifiers[3].restore_state(formula)?;
+        self.classifiers = classifiers;
+        self.replay = state.replay;
+        self.replay_cursor = if self.replay.is_empty() {
+            0
+        } else {
+            state.replay_cursor % self.replay.len()
+        };
+        self.fused = FusedEntropy::fuse(&self.classifiers.iter().collect::<Vec<_>>());
+        Ok(())
     }
 
     /// Features of a claim (one-shot path; bulk consumers go through a

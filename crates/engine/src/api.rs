@@ -842,6 +842,24 @@ pub(crate) fn stats_json(snapshot: &StatsSnapshot) -> Json {
                 })
                 .collect()),
         ),
+        // append-only: the durability block. All zeros when the server
+        // runs without a --data-dir; with one, `appends` obeys the
+        // conservation law (one record per acknowledged state-changing
+        // op) and `last_checkpoint_epoch` trails `model_epoch` by at
+        // most the in-flight publish
+        (
+            "wal",
+            obj(vec![
+                ("appends", count(snapshot.wal_appends)),
+                ("bytes_written", count(snapshot.wal_bytes_written)),
+                ("fsyncs", count(snapshot.wal_fsyncs)),
+                ("segments", count(snapshot.wal_segments)),
+                (
+                    "last_checkpoint_epoch",
+                    count(snapshot.wal_last_checkpoint_epoch),
+                ),
+            ]),
+        ),
     ])
 }
 

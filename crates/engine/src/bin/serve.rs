@@ -14,11 +14,27 @@
 //! scrutinizer-serve [ADDR] [--scale small|paper] [--seed N]
 //!                   [--threads N] [--cache-capacity N] [--no-pretrain]
 //!                   [--max-conns N] [--workers N]
+//!                   [--retrain-interval N] [--data-dir DIR]
+//!                   [--port-file FILE]
 //!                   [--log-level error|warn|info|debug]
 //!                   [--trace-log FILE]
 //!
 //! ADDR defaults to 127.0.0.1:7878.
 //! ```
+//!
+//! `--data-dir DIR` makes the server durable: every state-changing op is
+//! appended to a checksummed write-ahead log under `DIR` before it is
+//! acknowledged, and each published model epoch is checkpointed there.
+//! On restart with the same `DIR` (and the same `--scale`/`--seed`, which
+//! determine the corpus the log was written against), the server replays
+//! the log and resumes at the last published epoch — skipping the
+//! pretrain, because the trained models come back from disk. Without the
+//! flag everything stays in memory, exactly as before.
+//!
+//! `--port-file FILE` writes the actual bound address to `FILE` after
+//! binding (atomically, via a temp file) — the supported way for test
+//! harnesses to use `ADDR 127.0.0.1:0` and discover the kernel-assigned
+//! port.
 //!
 //! Diagnostics go to stderr as structured JSON log lines, filtered by
 //! `--log-level` (default `info`; `debug` adds per-connection chatter).
@@ -42,12 +58,17 @@ use std::io::Write as _;
 use std::process::exit;
 use std::time::Duration;
 
+use std::sync::Arc;
+
 use scrutinizer_core::SystemConfig;
 use scrutinizer_corpus::{Corpus, CorpusConfig};
 use scrutinizer_engine::engine::{Engine, EngineOptions};
 use scrutinizer_engine::server::{Server, ServerOptions};
+use scrutinizer_engine::{recover, DurableEnv};
 use scrutinizer_obs::log::LogLevel;
 use scrutinizer_obs::{self as obs, log_error, log_info, log_warn};
+use scrutinizer_sim::{FsStorage, Storage};
+use scrutinizer_wal::WalOptions;
 
 struct Args {
     addr: String,
@@ -58,6 +79,9 @@ struct Args {
     pretrain: bool,
     max_connections: Option<usize>,
     workers: Option<usize>,
+    retrain_interval: Option<usize>,
+    data_dir: Option<String>,
+    port_file: Option<String>,
     log_level: LogLevel,
     trace_log: Option<String>,
 }
@@ -72,6 +96,9 @@ fn parse_args() -> Args {
         pretrain: true,
         max_connections: None,
         workers: None,
+        retrain_interval: None,
+        data_dir: None,
+        port_file: None,
         log_level: LogLevel::Info,
         trace_log: None,
     };
@@ -122,6 +149,12 @@ fn parse_args() -> Args {
                 let value = value_of("--workers");
                 args.workers = Some(int_value("--workers", value));
             }
+            "--retrain-interval" => {
+                let value = value_of("--retrain-interval");
+                args.retrain_interval = Some(int_value("--retrain-interval", value));
+            }
+            "--data-dir" => args.data_dir = Some(value_of("--data-dir")),
+            "--port-file" => args.port_file = Some(value_of("--port-file")),
             "--log-level" => {
                 args.log_level = value_of("--log-level").parse().unwrap_or_else(|error| {
                     eprintln!("--log-level: {error}");
@@ -134,7 +167,8 @@ fn parse_args() -> Args {
                 eprintln!(
                     "scrutinizer-serve [ADDR] [--scale small|paper] [--seed N] \
                      [--threads N] [--cache-capacity N] [--no-pretrain] \
-                     [--max-conns N] [--workers N] \
+                     [--max-conns N] [--workers N] [--retrain-interval N] \
+                     [--data-dir DIR] [--port-file FILE] \
                      [--log-level error|warn|info|debug] [--trace-log FILE]"
                 );
                 exit(0);
@@ -230,11 +264,51 @@ fn main() {
     if let Some(capacity) = args.cache_capacity {
         options.cache_capacity = capacity;
     }
-    let engine = Engine::with_options(corpus, SystemConfig::default(), options);
-    if args.pretrain {
-        log_info!("pre-training classifiers on the full corpus");
-        engine.pretrain(None);
+    if let Some(interval) = args.retrain_interval {
+        options.retrain_interval = (interval > 0).then_some(interval);
     }
+    let engine = match &args.data_dir {
+        Some(dir) => {
+            let durable = DurableEnv {
+                storage: Arc::new(FsStorage::new()) as Arc<dyn Storage>,
+                dir: dir.clone(),
+                wal: WalOptions::default(),
+            };
+            let (engine, report) = recover(corpus, SystemConfig::default(), options, durable)
+                .unwrap_or_else(|error| {
+                    log_error!(
+                        "recovery failed",
+                        data_dir = dir.as_str(),
+                        error = error.to_string(),
+                    );
+                    exit(1);
+                });
+            log_info!(
+                "durable state recovered",
+                data_dir = dir.as_str(),
+                resumed_epoch = report.resumed_epoch,
+                checkpoint_epoch = report.checkpoint_epoch,
+                records_replayed = report.records_replayed as u64,
+                sessions_restored = report.sessions_restored as u64,
+                truncated_bytes = report.truncated_bytes as u64,
+            );
+            // a resumed epoch means the trained models came back from
+            // disk — re-pretraining would discard them for no gain
+            if args.pretrain && report.resumed_epoch == 0 {
+                log_info!("pre-training classifiers on the full corpus");
+                engine.pretrain(None);
+            }
+            engine
+        }
+        None => {
+            let engine = Engine::with_options(corpus, SystemConfig::default(), options);
+            if args.pretrain {
+                log_info!("pre-training classifiers on the full corpus");
+                engine.pretrain(None);
+            }
+            engine
+        }
+    };
 
     let mut server_options = ServerOptions::default();
     if let Some(max_connections) = args.max_connections {
@@ -251,6 +325,22 @@ fn main() {
         );
         exit(1);
     });
+    if let Some(path) = &args.port_file {
+        let addr = server.local_addr().map(|a| a.to_string());
+        let written = addr.and_then(|addr| {
+            let tmp = format!("{path}.tmp");
+            std::fs::write(&tmp, addr)?;
+            std::fs::rename(&tmp, path)
+        });
+        if let Err(error) = written {
+            log_error!(
+                "cannot write port file",
+                path = path.as_str(),
+                error = error.to_string(),
+            );
+            exit(1);
+        }
+    }
     log_info!(
         "scrutinizer-serve listening",
         addr = args.addr.as_str(),

@@ -310,7 +310,7 @@ const OP_STATS: u8 = 9;
 const OP_METRICS: u8 = 10;
 const OP_CLOSE: u8 = 11;
 
-fn kind_byte(kind: PropertyKind) -> u8 {
+pub(crate) fn kind_byte(kind: PropertyKind) -> u8 {
     match kind {
         PropertyKind::Relation => 0,
         PropertyKind::Key => 1,
@@ -319,7 +319,7 @@ fn kind_byte(kind: PropertyKind) -> u8 {
     }
 }
 
-fn kind_from_byte(byte: u8) -> Option<PropertyKind> {
+pub(crate) fn kind_from_byte(byte: u8) -> Option<PropertyKind> {
     match byte {
         0 => Some(PropertyKind::Relation),
         1 => Some(PropertyKind::Key),

@@ -2,10 +2,10 @@
 //! facade, serving many interactive verification sessions at once.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 
 use scrutinizer_core::ordering::ClaimChoice;
-use scrutinizer_core::planner::plan_claim;
+use scrutinizer_core::planner::{plan_claim, ClaimPlan};
 use scrutinizer_core::qgen::QueryCandidate;
 use scrutinizer_core::report::{ClaimOutcome, Verdict};
 use scrutinizer_core::screens::FinalScreen;
@@ -13,7 +13,7 @@ use scrutinizer_core::stats::mean;
 use scrutinizer_core::AssignmentCache;
 use scrutinizer_core::{
     generate_queries_with, padded_context, FeatureStore, OrderingStrategy, PlannerCounters,
-    PropertyKind, SystemConfig, SystemModels, Verifier,
+    PropertyKind, SystemConfig, SystemModels, Translation, Verifier,
 };
 use scrutinizer_corpus::{ClaimKind, ClaimRecord, Corpus};
 use scrutinizer_crowd::{Worker, WorkerConfig};
@@ -23,8 +23,10 @@ use scrutinizer_formula::{parse_formula, Formula};
 use scrutinizer_query::FunctionRegistry;
 
 use scrutinizer_sim::{SimEnv, Spawner};
+use scrutinizer_wal::{Wal, WalMetrics};
 
 use crate::cache::{normalize_sql, CachedResult, PlanKey, QueryCache};
+use crate::durability::{self, ClaimImage, SessionImage, StateImage, WalRecord};
 use crate::executor::ThreadPool;
 use crate::session::{ClaimPhase, ClaimQuestions, ClaimTask, SessionId, SessionState, Suggestion};
 use crate::snapshot::{ModelSnapshot, SnapshotCell};
@@ -219,6 +221,24 @@ pub struct Engine {
     /// ([`SimEnv::production`]); the simulation harness injects a virtual
     /// clock, a harness-driven scheduler, and an armed fault plan.
     env: SimEnv,
+    /// The write-ahead log, when the engine is durable. Every
+    /// state-changing op appends a [`WalRecord`] and commits it before
+    /// returning; epoch publishes checkpoint through it. `None` keeps the
+    /// engine fully in-memory (the default, and the pre-durability
+    /// behavior).
+    wal: Option<Wal>,
+    /// Checkpoint/append consistency gate. State-changing ops hold the
+    /// read side across mutate-and-append; the checkpoint path holds the
+    /// write side across image-and-cut. This is what guarantees a record
+    /// can never land *after* a checkpoint that already captured its
+    /// effect (which would double-apply it on replay). Lock order: gate →
+    /// session registry → session → WAL internals; nothing ever waits on
+    /// the gate while holding a later lock.
+    wal_gate: RwLock<()>,
+    /// True while recovery replays the log into this engine: appends and
+    /// retrain scheduling are suppressed, so replay is a pure state
+    /// reconstruction.
+    wal_replaying: AtomicBool,
     /// Self-handle so verdict paths can hand the engine to trainer jobs.
     self_ref: Weak<Engine>,
 }
@@ -273,12 +293,30 @@ impl Engine {
         options: EngineOptions,
         env: SimEnv,
     ) -> Arc<Self> {
+        Self::assemble(corpus, features, models, config, options, env, 0, None)
+    }
+
+    /// The one real constructor: [`from_parts`](Self::from_parts) with a
+    /// starting model epoch and an optional WAL attached — the recovery
+    /// path ([`crate::durability::recover_parts`]) builds resumed engines
+    /// through this.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        corpus: Arc<Corpus>,
+        features: Arc<FeatureStore>,
+        models: SystemModels,
+        config: SystemConfig,
+        options: EngineOptions,
+        env: SimEnv,
+        epoch: u64,
+        wal: Option<Wal>,
+    ) -> Arc<Self> {
         Arc::new_cyclic(|self_ref| Engine {
             corpus,
             config,
             options,
             registry: FunctionRegistry::standard(),
-            models: SnapshotCell::new(models),
+            models: SnapshotCell::with_epoch(models, epoch),
             features,
             cache: QueryCache::new(options.cache_capacity, options.cache_shards),
             formula_ids: Mutex::new(FxHashMap::default()),
@@ -295,6 +333,9 @@ impl Engine {
             retrain_active: AtomicBool::new(false),
             retrain_serial: Mutex::new(()),
             env,
+            wal,
+            wal_gate: RwLock::new(()),
+            wal_replaying: AtomicBool::new(false),
             self_ref: self_ref.clone(),
         })
     }
@@ -395,7 +436,348 @@ impl Engine {
         });
         let epoch = self.models.publish(models);
         self.stats.bump(&self.stats.retrains);
+        if kind == RetrainKind::Incremental {
+            self.stats.bump(&self.stats.background_retrains);
+            self.stats.examples_trained.add(claim_ids.len() as u64);
+        }
+        self.durable_publish(
+            epoch,
+            claim_ids.len() as u64,
+            kind == RetrainKind::Incremental,
+        );
         epoch
+    }
+
+    // ---- durability --------------------------------------------------------
+
+    /// Whether ops should append to the WAL: a WAL is attached and the
+    /// engine is not mid-replay.
+    fn recording(&self) -> bool {
+        self.wal.is_some() && !self.wal_replaying.load(Ordering::Acquire)
+    }
+
+    /// Appends one record and commits it — the op is acknowledged only
+    /// after this returns, so acknowledged implies durable. Storage
+    /// failure here is fatal by design: continuing would hand out acks
+    /// the log cannot back.
+    fn log_record(&self, record: &WalRecord) {
+        let Some(wal) = &self.wal else { return };
+        let _span = obs::span!("wal.append");
+        let lsn = wal.append(&record.encode()).expect("wal append failed");
+        wal.commit(lsn).expect("wal commit failed");
+    }
+
+    /// Makes a freshly published epoch durable: snapshot blob first, then
+    /// the `EpochPublished` record, then a checkpoint of the full state
+    /// image (which compacts the log and prunes superseded blobs). Runs
+    /// under the gate's write side so the image is consistent with the
+    /// cut; callers hold `retrain_serial`, so epochs checkpoint in order.
+    fn durable_publish(&self, epoch: u64, examples: u64, background: bool) {
+        if !self.recording() {
+            return;
+        }
+        let Some(wal) = &self.wal else { return };
+        let _gate = self.wal_gate.write().expect("wal gate poisoned");
+        let snapshot = self.models.load();
+        let blob = durability::encode_models(epoch, &snapshot.models.export_state());
+        wal.write_blob(&durability::snapshot_blob_name(epoch), &blob)
+            .expect("model snapshot write failed");
+        self.log_record(&WalRecord::EpochPublished {
+            epoch,
+            examples,
+            background,
+        });
+        let image = durability::encode_state_image(&self.build_state_image());
+        wal.checkpoint(epoch, &image)
+            .expect("wal checkpoint failed");
+        if let Ok(blobs) = wal.list_blobs("epoch-") {
+            for name in blobs {
+                if durability::snapshot_blob_epoch(&name).is_some_and(|e| e < epoch) {
+                    let _ = wal.remove_blob(&name);
+                }
+            }
+        }
+    }
+
+    /// The WAL's counters, when the engine is durable.
+    pub fn wal_metrics(&self) -> Option<WalMetrics> {
+        self.wal.as_ref().map(Wal::metrics)
+    }
+
+    /// Whether this engine persists its state through a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Captures the durable state under the gate's write side (callers:
+    /// the checkpoint path). Sessions and claims are serialized in sorted
+    /// order so identical states produce identical images.
+    pub(crate) fn build_state_image(&self) -> StateImage {
+        let verified = self.verified.lock().expect("verified set poisoned");
+        let pending = self.pending.lock().expect("pending log poisoned");
+        let registry = self.sessions.lock().expect("session registry poisoned");
+        let mut sessions: Vec<SessionImage> = registry
+            .iter()
+            .map(|(&id, handle)| {
+                let state = handle.lock().expect("session poisoned");
+                let mut claims: Vec<ClaimImage> = state
+                    .tasks
+                    .iter()
+                    .map(|(&claim_id, task)| ClaimImage {
+                        id: claim_id,
+                        done: task.phase == ClaimPhase::Done,
+                        validated: task.validated.clone(),
+                    })
+                    .collect();
+                claims.sort_by_key(|claim| claim.id);
+                SessionImage {
+                    id,
+                    checker: state.checker.clone(),
+                    pending: state.pending.clone(),
+                    verified: state.verified.clone(),
+                    claims,
+                }
+            })
+            .collect();
+        sessions.sort_by_key(|session| session.id);
+        StateImage {
+            next_session: self.next_session.load(Ordering::Relaxed),
+            sessions_opened: self.stats.sessions_opened.get(),
+            sessions_closed: self.stats.sessions_closed.get(),
+            claims_verified: self.stats.claims_verified.get(),
+            answers_posted: self.stats.answers_posted.get(),
+            retrains: self.stats.retrains.get(),
+            background_retrains: self.stats.background_retrains.get(),
+            examples_trained: self.stats.examples_trained.get(),
+            verified: verified.order.clone(),
+            pending: pending.clone(),
+            sessions,
+        }
+    }
+
+    /// Suppresses WAL appends and retrain scheduling while recovery
+    /// replays the log into this engine.
+    pub(crate) fn begin_replay(&self) {
+        self.wal_replaying.store(true, Ordering::Release);
+    }
+
+    /// Re-enables recording once replay finished.
+    pub(crate) fn end_replay(&self) {
+        self.wal_replaying.store(false, Ordering::Release);
+    }
+
+    /// A claim task reconstructed from durable state only: screen answers
+    /// and the done flag survive; translation and plan are placeholders
+    /// until [`replay_finalize`](Self::replay_finalize) re-plans open
+    /// claims with the recovered models (done claims keep the cheap
+    /// placeholder — nothing reads their plan again).
+    fn placeholder_task(done: bool, validated: [Option<String>; 3]) -> ClaimTask {
+        ClaimTask {
+            translation: Translation {
+                candidates: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            },
+            plan: ClaimPlan {
+                screens: Vec::new(),
+                expected_cost: 0.0,
+            },
+            translated_epoch: 0,
+            validated,
+            next_screen: 0,
+            candidates: Vec::new(),
+            suggested: None,
+            phase: if done {
+                ClaimPhase::Done
+            } else {
+                ClaimPhase::Screening
+            },
+        }
+    }
+
+    /// Restores a checkpoint image: counters, verified set, pending log,
+    /// and every live session with its per-claim durable state.
+    pub(crate) fn apply_state_image(&self, image: &StateImage) {
+        self.next_session
+            .store(image.next_session, Ordering::Relaxed);
+        self.stats.sessions_opened.store(image.sessions_opened);
+        self.stats.sessions_closed.store(image.sessions_closed);
+        self.stats.claims_verified.store(image.claims_verified);
+        self.stats.answers_posted.store(image.answers_posted);
+        self.stats.retrains.store(image.retrains);
+        self.stats
+            .background_retrains
+            .store(image.background_retrains);
+        self.stats.examples_trained.store(image.examples_trained);
+        {
+            let mut verified = self.verified.lock().expect("verified set poisoned");
+            verified.seen = image.verified.iter().copied().collect();
+            verified.order = image.verified.clone();
+        }
+        *self.pending.lock().expect("pending log poisoned") = image.pending.clone();
+        let mut registry = self.sessions.lock().expect("session registry poisoned");
+        for session in &image.sessions {
+            let mut state = SessionState::new(session.checker.as_str());
+            state.pending = session.pending.clone();
+            state.verified = session.verified.clone();
+            for claim in &session.claims {
+                state.tasks.insert(
+                    claim.id,
+                    Self::placeholder_task(claim.done, claim.validated.clone()),
+                );
+            }
+            registry.insert(session.id, Arc::new(Mutex::new(state)));
+        }
+    }
+
+    /// Applies one replayed WAL record on top of the checkpoint image.
+    /// Mirrors the live ops' durable effects exactly — same counters,
+    /// same dedup rules — without any planning, suggestion or retrain
+    /// work; that is what makes replay an order of magnitude faster than
+    /// re-executing the ops.
+    pub(crate) fn replay_record(&self, record: &WalRecord) -> std::io::Result<()> {
+        match record {
+            WalRecord::SessionOpened { id, checker } => {
+                self.sessions
+                    .lock()
+                    .expect("session registry poisoned")
+                    .insert(
+                        *id,
+                        Arc::new(Mutex::new(SessionState::new(checker.as_str()))),
+                    );
+                self.next_session.fetch_max(*id + 1, Ordering::Relaxed);
+                self.stats.bump(&self.stats.sessions_opened);
+            }
+            WalRecord::ReportSubmitted { session, claims } => {
+                if let Ok(handle) = self.session(SessionId(*session)) {
+                    let mut state = handle.lock().expect("session poisoned");
+                    for &claim_id in claims {
+                        if state.tasks.contains_key(&claim_id) {
+                            continue;
+                        }
+                        state
+                            .tasks
+                            .insert(claim_id, Self::placeholder_task(false, [None, None, None]));
+                        state.pending.push(claim_id);
+                    }
+                }
+            }
+            WalRecord::AnswerPosted {
+                session,
+                claim,
+                kind,
+                answer,
+            } => {
+                if let Ok(handle) = self.session(SessionId(*session)) {
+                    let mut state = handle.lock().expect("session poisoned");
+                    if let Some(task) = state.tasks.get_mut(claim) {
+                        if let Some(slot) = ClaimTask::slot(*kind) {
+                            task.validated[slot] = Some(answer.clone());
+                        }
+                    }
+                }
+                self.stats.bump(&self.stats.answers_posted);
+            }
+            WalRecord::VerdictPosted { session, claim, .. } => {
+                if let Ok(handle) = self.session(SessionId(*session)) {
+                    let mut state = handle.lock().expect("session poisoned");
+                    if let Some(task) = state.tasks.get_mut(claim) {
+                        task.phase = ClaimPhase::Done;
+                    }
+                    state.verified.push(*claim);
+                }
+                self.stats.bump(&self.stats.claims_verified);
+                let mut verified = self.verified.lock().expect("verified set poisoned");
+                if verified.seen.insert(*claim) {
+                    verified.order.push(*claim);
+                    drop(verified);
+                    if self.options.retrain_interval.is_some() {
+                        self.pending
+                            .lock()
+                            .expect("pending log poisoned")
+                            .push(*claim);
+                    }
+                }
+            }
+            WalRecord::SessionClosed { id } => {
+                self.sessions
+                    .lock()
+                    .expect("session registry poisoned")
+                    .remove(id);
+                self.stats.bump(&self.stats.sessions_closed);
+            }
+            WalRecord::EpochPublished {
+                epoch,
+                examples,
+                background,
+            } => {
+                self.stats.bump(&self.stats.retrains);
+                if *background {
+                    self.stats.bump(&self.stats.background_retrains);
+                    self.stats.examples_trained.add(*examples);
+                }
+                if *epoch > self.models.epoch() {
+                    let wal = self.wal.as_ref().expect("replay requires a wal");
+                    let snapshot = self.models.load();
+                    let mut models = snapshot.models.clone();
+                    if let Some(bytes) = wal.read_blob(&durability::snapshot_blob_name(*epoch))? {
+                        let (_, state) = durability::decode_models(&bytes).map_err(|error| {
+                            std::io::Error::new(std::io::ErrorKind::InvalidData, error)
+                        })?;
+                        models.restore_state(state).map_err(|error| {
+                            std::io::Error::new(std::io::ErrorKind::InvalidData, error)
+                        })?;
+                    }
+                    let published = self.models.publish(models);
+                    debug_assert_eq!(published, *epoch, "replayed epochs are contiguous");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// After all records replayed: translate and plan every open claim
+    /// once with the final recovered models, and recompute its screen
+    /// cursor as the longest prefix of the fresh plan's screens whose
+    /// validated slot is already answered. One planning pass per open
+    /// claim — verdicted claims keep their placeholders.
+    pub(crate) fn replay_finalize(&self) {
+        let snapshot = self.models.load();
+        let registry = self.sessions.lock().expect("session registry poisoned");
+        for handle in registry.values() {
+            let mut state = handle.lock().expect("session poisoned");
+            let open: Vec<usize> = state
+                .tasks
+                .iter()
+                .filter(|(_, task)| task.phase != ClaimPhase::Done)
+                .map(|(&id, _)| id)
+                .collect();
+            for claim_id in open {
+                let task = state
+                    .tasks
+                    .get_mut(&claim_id)
+                    .expect("open claim has a task");
+                task.translation = snapshot.models.translate_view(
+                    self.features.features(claim_id),
+                    self.config.options_per_screen,
+                );
+                task.plan = plan_claim(&task.translation, &self.config);
+                task.translated_epoch = snapshot.epoch;
+                let mut next = 0;
+                for screen in &task.plan.screens {
+                    let answered = ClaimTask::slot(screen.kind)
+                        .is_some_and(|slot| task.validated[slot].is_some());
+                    if !answered {
+                        break;
+                    }
+                    next += 1;
+                }
+                task.next_screen = next;
+                task.phase = if next == task.plan.screens.len() {
+                    ClaimPhase::Suggesting
+                } else {
+                    ClaimPhase::Screening
+                };
+            }
+        }
     }
 
     // ---- session lifecycle -------------------------------------------------
@@ -418,17 +800,25 @@ impl Engine {
     /// engine.close_session(session).unwrap();
     /// ```
     pub fn open_session(&self, checker: &str) -> SessionId {
+        let _gate = self.wal_gate.read().expect("wal gate poisoned");
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         self.sessions
             .lock()
             .expect("session registry poisoned")
             .insert(id, Arc::new(Mutex::new(SessionState::new(checker))));
         self.stats.bump(&self.stats.sessions_opened);
+        if self.recording() {
+            self.log_record(&WalRecord::SessionOpened {
+                id,
+                checker: checker.to_string(),
+            });
+        }
         SessionId(id)
     }
 
     /// Closes a session, returning the ids of claims it verified.
     pub fn close_session(&self, session: SessionId) -> Result<Vec<usize>, EngineError> {
+        let _gate = self.wal_gate.read().expect("wal gate poisoned");
         let handle = self
             .sessions
             .lock()
@@ -436,6 +826,9 @@ impl Engine {
             .remove(&session.0)
             .ok_or(EngineError::UnknownSession(session.0))?;
         self.stats.bump(&self.stats.sessions_closed);
+        if self.recording() {
+            self.log_record(&WalRecord::SessionClosed { id: session.0 });
+        }
         let state = handle.lock().expect("session poisoned");
         Ok(state.verified.clone())
     }
@@ -482,6 +875,7 @@ impl Engine {
             return Err(EngineError::UnknownClaim(bad));
         }
         {
+            let _gate = self.wal_gate.read().expect("wal gate poisoned");
             // lock-free model access: grab the current snapshot once for
             // the whole report; a concurrent retrain publishes a *new*
             // snapshot and never touches this one
@@ -518,6 +912,13 @@ impl Engine {
                 });
                 state.tasks.insert(claim_id, task);
                 state.pending.push(claim_id);
+            }
+            drop(state);
+            if self.recording() {
+                self.log_record(&WalRecord::ReportSubmitted {
+                    session: session.0,
+                    claims: claim_ids.to_vec(),
+                });
             }
         }
         self.next_batch(session)
@@ -647,6 +1048,7 @@ impl Engine {
         kind: PropertyKind,
         answer: &str,
     ) -> Result<usize, EngineError> {
+        let _gate = self.wal_gate.read().expect("wal gate poisoned");
         let handle = self.session(session)?;
         let mut state = handle.lock().expect("session poisoned");
         let task = state
@@ -674,6 +1076,15 @@ impl Engine {
         let remaining = task.plan.screens.len() - task.next_screen;
         if remaining == 0 {
             task.phase = ClaimPhase::Suggesting;
+        }
+        drop(state);
+        if self.recording() {
+            self.log_record(&WalRecord::AnswerPosted {
+                session: session.0,
+                claim: claim_id,
+                kind,
+                answer: answer.to_string(),
+            });
         }
         Ok(remaining)
     }
@@ -761,6 +1172,7 @@ impl Engine {
         correct: bool,
         chosen: Option<usize>,
     ) -> Result<VerdictRecord, EngineError> {
+        let _gate = self.wal_gate.read().expect("wal gate poisoned");
         let handle = self.session(session)?;
         let mut state = handle.lock().expect("session poisoned");
         let task = state
@@ -798,6 +1210,14 @@ impl Engine {
         };
         drop(state);
         self.stats.bump(&self.stats.claims_verified);
+        if self.recording() {
+            self.log_record(&WalRecord::VerdictPosted {
+                session: session.0,
+                claim: claim_id,
+                correct,
+                chosen,
+            });
+        }
         let retrained = self.note_verified(claim_id);
         Ok(VerdictRecord { outcome, retrained })
     }
@@ -951,9 +1371,10 @@ impl Engine {
                 }
                 break;
             }
+            // background/example accounting happens inside run_retrain,
+            // before the epoch's checkpoint image is captured — so a
+            // restart resumes with the same counters it acknowledged
             self.run_retrain(&batch, RetrainKind::Incremental);
-            self.stats.bump(&self.stats.background_retrains);
-            self.stats.examples_trained.add(batch.len() as u64);
             let backlog = self.pending.lock().expect("pending log poisoned").len();
             if backlog < interval {
                 break;
@@ -1277,12 +1698,22 @@ impl Engine {
         stats.cache_entries.set(self.cache.len() as u64);
         stats.queue_depth.set(self.pool.queue_depth() as u64);
         stats.jobs_in_flight.set(self.pool.in_flight() as u64);
+        if let Some(wal) = self.wal_metrics() {
+            stats.wal_appends.store(wal.appends);
+            stats.wal_bytes_written.store(wal.bytes_written);
+            stats.wal_fsyncs.store(wal.fsyncs);
+            stats.wal_segments.set(wal.segments);
+            stats
+                .wal_last_checkpoint_epoch
+                .set(wal.last_checkpoint_epoch);
+        }
         stats.registry().render()
     }
 
     /// Point-in-time metrics.
     pub fn stats(&self) -> StatsSnapshot {
         let load = |c: &Counter| c.get();
+        let wal = self.wal_metrics().unwrap_or_default();
         StatsSnapshot {
             sessions_opened: load(&self.stats.sessions_opened),
             sessions_closed: load(&self.stats.sessions_closed),
@@ -1335,6 +1766,11 @@ impl Engine {
             suggest_latency: self.stats.suggest_latency.snapshot(),
             verify_latency: self.stats.verify_latency.snapshot(),
             retrain_latency: self.stats.retrain_latency.snapshot(),
+            wal_appends: wal.appends,
+            wal_bytes_written: wal.bytes_written,
+            wal_fsyncs: wal.fsyncs,
+            wal_segments: wal.segments,
+            wal_last_checkpoint_epoch: wal.last_checkpoint_epoch,
         }
     }
 

@@ -85,6 +85,18 @@
 //! $ scrutinizer-serve 127.0.0.1:7878 --scale small
 //! $ echo '{"op":"stats","v":1,"id":1}' | nc 127.0.0.1 7878
 //! ```
+//!
+//! ## Durability
+//!
+//! With `--data-dir` (library: [`recover`] / [`recover_parts`] with a
+//! [`DurableEnv`]) the engine writes every state-changing op as a typed
+//! [`WalRecord`] to a checksummed write-ahead log and commits it before
+//! the op is acknowledged; each published model epoch persists its
+//! trained weights as a blob and checkpoints a full state image, which
+//! compacts the log. Restart replays checkpoint + tail and resumes
+//! sessions, counters, and the model epoch exactly — see [`durability`]
+//! for the record set and the ordering invariants, and `crates/wal` for
+//! the log itself.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -92,6 +104,7 @@
 pub mod api;
 pub mod cache;
 pub mod codec;
+pub mod durability;
 pub mod engine;
 pub mod executor;
 pub mod protocol;
@@ -105,6 +118,7 @@ pub mod wire;
 pub use api::{dispatch, ApiError, ErrorCode, Request, Response};
 pub use cache::{normalize_sql, CachedResult, CellVec, PlanKey, QueryCache};
 pub use codec::RequestRef;
+pub use durability::{recover, recover_parts, DurableEnv, RecoveryReport, WalRecord};
 pub use engine::{Engine, EngineError, EngineOptions, VerdictRecord};
 pub use executor::ThreadPool;
 pub use serve_core::{service_conn, ConnState, ServiceLimits};

@@ -47,8 +47,15 @@ pub struct SnapshotCell {
 impl SnapshotCell {
     /// Wraps the bootstrap models as epoch 0.
     pub fn new(models: SystemModels) -> Self {
+        Self::with_epoch(models, 0)
+    }
+
+    /// Wraps already-trained models at a given starting epoch — the
+    /// recovery path's constructor: a restarted engine resumes at the
+    /// last durable epoch instead of restarting the counter at zero.
+    pub fn with_epoch(models: SystemModels, epoch: u64) -> Self {
         SnapshotCell {
-            current: RwLock::new(Arc::new(ModelSnapshot { epoch: 0, models })),
+            current: RwLock::new(Arc::new(ModelSnapshot { epoch, models })),
         }
     }
 

@@ -161,6 +161,21 @@ pub struct EngineStats {
     pub queue_depth: Gauge,
     /// Jobs currently executing on the pool (mirrored).
     pub jobs_in_flight: Gauge,
+    /// WAL records appended (mirrored from the WAL's own counters; zero
+    /// when the engine runs without a `--data-dir`). The durability
+    /// conservation law: on a fresh durable engine, appends equals the
+    /// number of acknowledged state-changing ops (opens + closes +
+    /// submits + answers + verdicts + epoch publishes).
+    pub wal_appends: Counter,
+    /// Framed WAL bytes written, headers included (mirrored).
+    pub wal_bytes_written: Counter,
+    /// WAL fsync batches issued — group commit makes this ≤ appends
+    /// (mirrored).
+    pub wal_fsyncs: Counter,
+    /// Live WAL segment files (mirrored gauge).
+    pub wal_segments: Gauge,
+    /// Epoch of the last durable checkpoint (mirrored gauge).
+    pub wal_last_checkpoint_epoch: Gauge,
 }
 
 impl Default for EngineStats {
@@ -342,6 +357,23 @@ impl EngineStats {
                 "scrutinizer_jobs_in_flight",
                 "Jobs currently executing on the pool.",
             ),
+            wal_appends: r.counter(
+                "scrutinizer_wal_appends_total",
+                "WAL records appended (one per acknowledged state-changing op).",
+            ),
+            wal_bytes_written: r.counter(
+                "scrutinizer_wal_bytes_written_total",
+                "Framed WAL bytes written, record headers included.",
+            ),
+            wal_fsyncs: r.counter(
+                "scrutinizer_wal_fsyncs_total",
+                "WAL fsync batches issued (group commit batches commits).",
+            ),
+            wal_segments: r.gauge("scrutinizer_wal_segments", "Live WAL segment files."),
+            wal_last_checkpoint_epoch: r.gauge(
+                "scrutinizer_wal_last_checkpoint_epoch",
+                "Model epoch of the last durable checkpoint.",
+            ),
             registry: r,
         }
     }
@@ -484,6 +516,16 @@ pub struct StatsSnapshot {
     pub verify_latency: HistogramSnapshot,
     /// Retrain latency.
     pub retrain_latency: HistogramSnapshot,
+    /// WAL records appended (0 when the engine is not durable).
+    pub wal_appends: u64,
+    /// Framed WAL bytes written.
+    pub wal_bytes_written: u64,
+    /// WAL fsync batches issued.
+    pub wal_fsyncs: u64,
+    /// Live WAL segment files.
+    pub wal_segments: u64,
+    /// Epoch of the last durable checkpoint.
+    pub wal_last_checkpoint_epoch: u64,
 }
 
 impl StatsSnapshot {

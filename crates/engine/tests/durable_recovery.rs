@@ -1,0 +1,201 @@
+//! Durability round trips over simulated storage: every acknowledged
+//! state-changing op is in the WAL (conservation law), a crash loses the
+//! volatile tail and nothing else, and recovery rebuilds stats, sessions,
+//! and the published model epoch byte-for-byte from the checkpoint image
+//! plus the replayed tail.
+//!
+//! The kill -9 variant against the real binary lives in
+//! `crash_recovery.rs`; this file model-checks the same contract in-process
+//! over [`SimStorage`], where a crash is a deterministic truncation to the
+//! fsynced prefix.
+
+use std::sync::Arc;
+
+use scrutinizer_core::{OrderingStrategy, PropertyKind, SystemConfig};
+use scrutinizer_corpus::{Corpus, CorpusConfig};
+use scrutinizer_crowd::{Worker, WorkerConfig};
+use scrutinizer_engine::engine::{Engine, EngineOptions};
+use scrutinizer_engine::{recover, DurableEnv, RecoveryReport};
+use scrutinizer_sim::{SimStorage, Storage};
+use scrutinizer_wal::WalOptions;
+
+fn durable_env(storage: &Arc<SimStorage>) -> DurableEnv {
+    DurableEnv {
+        storage: Arc::clone(storage) as Arc<dyn Storage>,
+        dir: "data".to_string(),
+        wal: WalOptions::default(),
+    }
+}
+
+fn recover_engine(storage: &Arc<SimStorage>) -> (Arc<Engine>, RecoveryReport) {
+    let corpus = Corpus::generate(CorpusConfig::small());
+    recover(
+        corpus,
+        SystemConfig::test(),
+        EngineOptions {
+            retrain_interval: Some(4),
+            ordering: OrderingStrategy::Sequential,
+            threads: 2,
+            ..EngineOptions::default()
+        },
+        durable_env(storage),
+    )
+    .expect("recovery over healthy storage cannot fail")
+}
+
+fn worker(seed: u64) -> Worker {
+    Worker::new(
+        format!("w{seed}"),
+        WorkerConfig {
+            accuracy: 1.0,
+            skip_probability: 0.0,
+            seed,
+            ..WorkerConfig::default()
+        },
+    )
+}
+
+/// The durable subset of the stats snapshot: everything recovery promises
+/// to restore exactly. (Suggestions, cache, and latency series are
+/// read-path observability and deliberately volatile.)
+fn durable_subset(engine: &Engine) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64) {
+    let s = engine.stats();
+    (
+        s.sessions_opened,
+        s.sessions_closed,
+        s.claims_verified,
+        s.answers_posted,
+        s.retrains,
+        s.background_retrains,
+        s.examples_trained,
+        s.model_epoch,
+        s.pending_examples,
+    )
+}
+
+#[test]
+fn fresh_directory_starts_fresh_and_every_acked_op_hits_the_wal() {
+    let storage = SimStorage::new();
+    let (engine, report) = recover_engine(&storage);
+    assert_eq!(report, RecoveryReport::default(), "nothing to recover");
+    assert!(engine.is_durable());
+    assert_eq!(engine.model_epoch(), 0);
+
+    for claim_id in 0..6 {
+        engine.verify_claim_with(claim_id, &mut worker(100 + claim_id as u64));
+    }
+    engine.flush_retrains();
+
+    // conservation law: appends == acknowledged state-changing ops. Each
+    // verify_claim_with drives exactly one open, one submit, its answers,
+    // one verdict, and one close; every published epoch appends one more.
+    let stats = engine.stats();
+    let submits = stats.sessions_opened; // one report per session here
+    let expected = stats.sessions_opened
+        + stats.sessions_closed
+        + submits
+        + stats.answers_posted
+        + stats.claims_verified
+        + stats.retrains;
+    let wal = engine.wal_metrics().expect("durable engine has a WAL");
+    assert_eq!(
+        wal.appends, expected,
+        "WAL appends must balance acked ops: {stats:?}"
+    );
+    assert!(wal.bytes_written > 0);
+    assert!(wal.fsyncs > 0, "group commit still fsyncs acked ops");
+    assert!(
+        wal.fsyncs <= wal.appends,
+        "a batch never fsyncs more than once per record"
+    );
+    assert_eq!(
+        wal.last_checkpoint_epoch, stats.model_epoch,
+        "every publish checkpoints"
+    );
+}
+
+#[test]
+fn crash_and_recover_restores_the_durable_state_exactly() {
+    let storage = SimStorage::new();
+    let (engine, _) = recover_engine(&storage);
+
+    for claim_id in 0..6 {
+        engine.verify_claim_with(claim_id, &mut worker(200 + claim_id as u64));
+    }
+    engine.flush_retrains();
+    // more verdicts past the checkpoint so recovery must replay a tail,
+    // not just load the image
+    for claim_id in 6..9 {
+        engine.verify_claim_with(claim_id, &mut worker(200 + claim_id as u64));
+    }
+    let before = durable_subset(&engine);
+    let epoch_before = engine.model_epoch();
+    drop(engine);
+
+    storage.crash();
+    let (recovered, report) = recover_engine(&storage);
+    assert_eq!(
+        durable_subset(&recovered),
+        before,
+        "recovery must rebuild the durable stats exactly (report: {report:?})"
+    );
+    assert_eq!(report.resumed_epoch, epoch_before);
+    assert!(
+        report.checkpoint_epoch >= 1,
+        "the retrain storm checkpointed at least once"
+    );
+    assert!(
+        report.records_replayed > 0,
+        "the post-checkpoint verdicts live in the tail"
+    );
+
+    // the recovered engine keeps working — and a second crash/recover
+    // round trip is just as exact (recovery is idempotent)
+    recovered.verify_claim_with(9, &mut worker(299));
+    recovered.flush_retrains();
+    let again = durable_subset(&recovered);
+    drop(recovered);
+    storage.crash();
+    let (second, _) = recover_engine(&storage);
+    assert_eq!(durable_subset(&second), again);
+}
+
+#[test]
+fn open_sessions_survive_a_crash_and_finish_after_recovery() {
+    let storage = SimStorage::new();
+    let (engine, _) = recover_engine(&storage);
+
+    let claim_id = 0usize;
+    let claim = engine.corpus().claims[claim_id].clone();
+    let session = engine.open_session("persistent-checker");
+    engine.submit_report(session, &[claim_id]).expect("submit");
+    let screens = engine.screens(session, claim_id).expect("screens").screens;
+    for screen in &screens {
+        let truth = match screen.kind {
+            PropertyKind::Relation => claim.relation.clone(),
+            PropertyKind::Key => claim.key.clone(),
+            PropertyKind::Attribute => claim.attributes[0].clone(),
+            PropertyKind::Formula => unreachable!(),
+        };
+        engine
+            .post_answer(session, claim_id, screen.kind, &truth)
+            .expect("answer");
+    }
+    drop(engine);
+    storage.crash();
+
+    let (recovered, report) = recover_engine(&storage);
+    assert_eq!(report.sessions_restored, 1, "the open session came back");
+    // the claim was fully screened before the crash, so the restored task
+    // is ready to suggest and verdict — the session finishes normally
+    let suggestions = recovered
+        .suggest(session, claim_id)
+        .expect("restored session suggests");
+    assert!(!suggestions.is_empty(), "suggestions over restored models");
+    recovered
+        .post_verdict(session, claim_id, true, Some(0))
+        .expect("verdict on the restored session");
+    recovered.close_session(session).expect("close");
+    assert_eq!(recovered.session_count(), 0);
+    assert_eq!(recovered.stats().claims_verified, 1);
+}

@@ -2,8 +2,22 @@
 
 use crate::labels::LabelDict;
 use crate::metrics::entropy;
-use crate::softmax::{SoftmaxClassifier, TrainConfig};
+use crate::softmax::{SoftmaxClassifier, SoftmaxState, TrainConfig};
 use scrutinizer_text::{FeatureMatrix, SparseVector, SparseView};
+
+/// The serializable *learned* state of a [`PropertyClassifier`]: the
+/// label space (which grows as checkers suggest new answers) and the
+/// trained model, if any. Structural fields — property name, feature
+/// dimensionality, train config — are rebuilt from configuration at
+/// bootstrap and the state restored on top, so a snapshot stays valid
+/// across code changes that only touch configuration defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifierState {
+    /// Label names in interned-id order.
+    pub labels: Vec<String>,
+    /// The trained model (`None` = untrained / uniform fallback).
+    pub model: Option<SoftmaxState>,
+}
 
 /// A classifier for one query property (relation / key / attribute /
 /// formula), operating on interned label ids with a string boundary.
@@ -48,6 +62,45 @@ impl PropertyClassifier {
     /// The label space.
     pub fn labels(&self) -> &LabelDict {
         &self.labels
+    }
+
+    /// A copy of the learned state, for persistence.
+    pub fn export_state(&self) -> ClassifierState {
+        ClassifierState {
+            labels: self.labels.names().to_vec(),
+            model: self.model.as_ref().map(SoftmaxClassifier::export_state),
+        }
+    }
+
+    /// Replaces the learned state from a persisted snapshot. The model's
+    /// feature dimensionality must match this classifier's (a mismatch
+    /// means the snapshot came from a different corpus/featurizer).
+    pub fn restore_state(&mut self, state: ClassifierState) -> Result<(), String> {
+        let model = match state.model {
+            Some(model_state) => {
+                if model_state.dim != self.dim {
+                    return Err(format!(
+                        "{}: snapshot dim {} != featurizer dim {}",
+                        self.property, model_state.dim, self.dim
+                    ));
+                }
+                let model = SoftmaxClassifier::from_state(model_state)
+                    .map_err(|e| format!("{}: {e}", self.property))?;
+                if model.n_classes() > state.labels.len() {
+                    return Err(format!(
+                        "{}: snapshot has {} classes but only {} labels",
+                        self.property,
+                        model.n_classes(),
+                        state.labels.len()
+                    ));
+                }
+                Some(model)
+            }
+            None => None,
+        };
+        self.labels = LabelDict::from_labels(state.labels);
+        self.model = model;
+        Ok(())
     }
 
     /// Interns a label (checkers may suggest new answers), returning its id.
@@ -342,6 +395,34 @@ mod tests {
         let mut out = Vec::new();
         untrained.entropy_batch_into(&rows, &mut out);
         assert!(out.iter().all(|h| (h - (2.0f64).ln()).abs() < 1e-12));
+    }
+
+    #[test]
+    fn classifier_state_round_trips_labels_and_model() {
+        let original = trained();
+        let labels = LabelDict::from_labels(["GED", "TFC", "CO2"]);
+        let mut restored = PropertyClassifier::new("relation", labels, 8, TrainConfig::default());
+        restored.restore_state(original.export_state()).unwrap();
+        assert!(restored.is_trained());
+        for idx in 0..3 {
+            let x = features(idx);
+            assert_eq!(original.top_k(&x, 3), restored.top_k(&x, 3));
+        }
+        // grown label spaces survive the round trip
+        let mut grown = trained();
+        grown.intern_label("LATE_ARRIVAL");
+        let mut restored =
+            PropertyClassifier::new("relation", LabelDict::new(), 8, TrainConfig::default());
+        restored.restore_state(grown.export_state()).unwrap();
+        assert_eq!(restored.labels().names(), grown.labels().names());
+    }
+
+    #[test]
+    fn restore_state_rejects_dim_mismatch() {
+        let original = trained();
+        let mut other =
+            PropertyClassifier::new("relation", LabelDict::new(), 16, TrainConfig::default());
+        assert!(other.restore_state(original.export_state()).is_err());
     }
 
     #[test]

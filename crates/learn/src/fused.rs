@@ -127,7 +127,7 @@ impl FusedEntropy {
     /// sweep is the lever because the sweep is otherwise bound on scratch
     /// traffic — one column per load/store (the scalar twin's shape)
     /// spends most of its memory ports re-reading the scratch row.
-    /// Columns and scratch share the [`LANES`]-multiple `stride`, so the
+    /// Columns and scratch share the `LANES`-multiple `stride`, so the
     /// sweep is a contiguous same-length pass the compiler turns into
     /// packed FMAs, and the per-segment entropies use the branch-free
     /// [`exp_approx`] kernel. The [`utilities_into_reference`] scalar

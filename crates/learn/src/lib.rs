@@ -26,8 +26,8 @@ pub mod softmax;
 pub mod split;
 
 pub use active::training_utility;
-pub use classifier::PropertyClassifier;
+pub use classifier::{ClassifierState, PropertyClassifier};
 pub use fused::FusedEntropy;
 pub use labels::LabelDict;
 pub use metrics::{accuracy, entropy, top_k_accuracy};
-pub use softmax::{entropy_from_scores, SoftmaxClassifier, TrainConfig};
+pub use softmax::{entropy_from_scores, SoftmaxClassifier, SoftmaxState, TrainConfig};

@@ -63,6 +63,29 @@ impl Default for TrainConfig {
     }
 }
 
+/// The serializable training state of a [`SoftmaxClassifier`]:
+/// everything needed to reconstruct it exactly. The feature-major
+/// scoring transpose is *derived* state and deliberately absent — it is
+/// rebuilt on restore, so a persisted model round-trips bit-for-bit
+/// through the same code path every retrain already exercises.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftmaxState {
+    /// Row-major `n_classes × dim` weights.
+    pub weights: Vec<f32>,
+    /// Per-class biases.
+    pub biases: Vec<f32>,
+    /// AdaGrad weight accumulators (the warm-start state).
+    pub grad_sq_w: Vec<f32>,
+    /// AdaGrad bias accumulators.
+    pub grad_sq_b: Vec<f32>,
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Class count.
+    pub n_classes: usize,
+    /// Completed training calls (salts the shuffle seed).
+    pub fits: u64,
+}
+
 /// Number of f32 lanes the batched kernels process per step (32 bytes).
 /// Scoring strides are padded to a multiple of this so the hot loops are
 /// exact `chunks_exact(LANES)` sweeps with no scalar tail.
@@ -257,6 +280,55 @@ impl SoftmaxClassifier {
         }
     }
 
+    /// A copy of the full training state, for persistence.
+    pub fn export_state(&self) -> SoftmaxState {
+        SoftmaxState {
+            weights: self.weights.clone(),
+            biases: self.biases.clone(),
+            grad_sq_w: self.grad_sq_w.clone(),
+            grad_sq_b: self.grad_sq_b.clone(),
+            dim: self.dim,
+            n_classes: self.n_classes,
+            fits: self.fits,
+        }
+    }
+
+    /// Reconstructs a classifier from persisted state, rebuilding the
+    /// derived scoring transpose. Rejects shape-inconsistent state (a
+    /// corrupt or truncated snapshot) rather than panicking later.
+    pub fn from_state(state: SoftmaxState) -> Result<Self, String> {
+        if state.n_classes == 0 {
+            return Err("snapshot has zero classes".to_string());
+        }
+        let expect_w = state.n_classes * state.dim;
+        if state.weights.len() != expect_w
+            || state.grad_sq_w.len() != expect_w
+            || state.biases.len() != state.n_classes
+            || state.grad_sq_b.len() != state.n_classes
+        {
+            return Err(format!(
+                "snapshot shape mismatch: {} classes × {} dims vs {} weights / {} biases",
+                state.n_classes,
+                state.dim,
+                state.weights.len(),
+                state.biases.len()
+            ));
+        }
+        let mut model = SoftmaxClassifier {
+            weights: state.weights,
+            weights_t: Vec::new(),
+            stride_t: 0,
+            biases: state.biases,
+            grad_sq_w: state.grad_sq_w,
+            grad_sq_b: state.grad_sq_b,
+            dim: state.dim,
+            n_classes: state.n_classes,
+            fits: state.fits,
+        };
+        model.rebuild_transpose();
+        Ok(model)
+    }
+
     /// Number of classes.
     pub fn n_classes(&self) -> usize {
         self.n_classes
@@ -423,7 +495,7 @@ pub fn exp_approx(x: f32) -> f32 {
 /// [`softmax_in_place`]'s fallback.
 ///
 /// The exponentials come from [`exp_approx`] accumulated across
-/// [`LANES`] parallel f32 partial sums (folded to f64 at the end), so
+/// `LANES` parallel f32 partial sums (folded to f64 at the end), so
 /// the loop vectorizes; [`entropy_from_scores_reference`] keeps the
 /// scalar libm version and the parity tests hold the two within 1e-5.
 pub fn entropy_from_scores(scores: &[f32]) -> f64 {
@@ -688,6 +760,41 @@ mod tests {
         // the old classes survive the growth
         assert_eq!(model.predict(&examples[0].0), 0);
         assert_eq!(model.predict_proba(&examples[0].0).len(), 4);
+    }
+
+    #[test]
+    fn state_round_trip_is_exact_and_resumes_training() {
+        let (examples, dim) = separable();
+        let views: Vec<(SparseView<'_>, u32)> =
+            examples.iter().map(|(x, y)| (x.view(), *y)).collect();
+        let mut original = SoftmaxClassifier::untrained(3, dim);
+        original.partial_fit(&views[..20], TrainConfig::default());
+        let restored = SoftmaxClassifier::from_state(original.export_state()).unwrap();
+        // bit-identical inference after the round trip
+        for (x, _) in &examples {
+            assert_eq!(original.predict_proba(x), restored.predict_proba(x));
+        }
+        // and bit-identical *continued training*: the AdaGrad state and
+        // fit counter survived, so the streams stay in lockstep
+        let mut a = original.clone();
+        let mut b = restored;
+        a.partial_fit(&views[20..], TrainConfig::default());
+        b.partial_fit(&views[20..], TrainConfig::default());
+        for (x, _) in &examples {
+            assert_eq!(a.predict_proba(x), b.predict_proba(x));
+        }
+    }
+
+    #[test]
+    fn from_state_rejects_corrupt_shapes() {
+        let (examples, dim) = separable();
+        let model = SoftmaxClassifier::train_owned(&examples, 3, dim, TrainConfig::default());
+        let mut state = model.export_state();
+        state.weights.pop();
+        assert!(SoftmaxClassifier::from_state(state).is_err());
+        let mut state = model.export_state();
+        state.n_classes = 0;
+        assert!(SoftmaxClassifier::from_state(state).is_err());
     }
 
     #[test]

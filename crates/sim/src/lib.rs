@@ -13,6 +13,7 @@
 //! | monotonic time   | [`Clock`]               | [`SystemClock`] (`Instant`)        | [`VirtualClock`] (atomic nanos, jumps on demand) |
 //! | background tasks | [`Spawner`]             | engine-owned thread pools          | [`SimScheduler`] (deterministic queue, driven by the harness) |
 //! | byte streams     | [`ByteStream`]          | `std::net::TcpStream`              | [`SimStream`] (in-memory duplex with fault injection) |
+//! | durable storage  | [`Storage`]             | [`FsStorage`] (`std::fs`)          | [`SimStorage`] (in-memory files with a durable/volatile split and crash faults) |
 //! | rare-path faults | [`FaultPlan`] (buggify) | disarmed (`fault()` is `false`)    | armed per-point by the schedule |
 //!
 //! [`SimEnv`] bundles one choice of each and is what the engine is
@@ -32,9 +33,11 @@ pub mod env;
 pub mod fault;
 pub mod net;
 pub mod spawn;
+pub mod storage;
 
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use env::SimEnv;
 pub use fault::FaultPlan;
 pub use net::{sim_pair, ByteStream, IoPoll, SimEndpoint, SimStream};
 pub use spawn::{SimScheduler, Spawner, Task};
+pub use storage::{FsStorage, SimStorage, Storage};

@@ -3,13 +3,15 @@
 //!
 //! ```text
 //! simcheck [--schedules N] [--ops N] [--seed S] [--long] [--canary]
-//!          [--replay FILE] [--out FILE]
+//!          [--crash] [--replay FILE] [--out FILE]
 //! ```
 //!
 //! * default scope: 10,000 schedules of ~46 ops — the CI push gate
 //! * `--long`: 100,000 schedules — the nightly soak
 //! * `--canary`: enable the deliberately-injected trainer bug; the run
 //!   *succeeds* when the harness finds and shrinks it (self-test)
+//! * `--crash`: mix kill/recover ops into the schedules, model-checking
+//!   WAL recovery under the durability invariant (torn tails included)
 //! * `--replay FILE`: run one schedule from its text form
 //! * `--out FILE`: write the failing seed + shrunk schedule for CI to
 //!   upload as an artifact
@@ -30,6 +32,7 @@ struct Options {
     ops: usize,
     base_seed: u64,
     canary: bool,
+    crash: bool,
     replay: Option<String>,
     out: Option<String>,
 }
@@ -48,6 +51,7 @@ fn parse_args() -> Result<Options, String> {
             Err(_) => DEFAULT_SEED,
         },
         canary: false,
+        crash: false,
         replay: None,
         out: None,
     };
@@ -60,12 +64,13 @@ fn parse_args() -> Result<Options, String> {
             "--seed" => options.base_seed = num(&value("--seed")?)?,
             "--long" => options.schedules = 100_000,
             "--canary" => options.canary = true,
+            "--crash" => options.crash = true,
             "--replay" => options.replay = Some(value("--replay")?),
             "--out" => options.out = Some(value("--out")?),
             "--help" | "-h" => {
                 println!(
                     "simcheck [--schedules N] [--ops N] [--seed S] [--long] [--canary] \
-                     [--replay FILE] [--out FILE]"
+                     [--crash] [--replay FILE] [--out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -100,7 +105,7 @@ fn main() -> ExitCode {
     let sweep = std::time::Instant::now();
     for index in 0..options.schedules {
         let seed = schedule_seed(options.base_seed, index);
-        let ops = generate(seed, options.ops, world.n_claims);
+        let ops = generate(seed, options.ops, world.n_claims, options.crash);
         let result = run_schedule(&world, &ops, options.canary);
         if let Some(violation) = result.violation {
             return report_failure(&world, &options, seed, &ops, &violation);

@@ -32,6 +32,10 @@ pub enum InvariantKind {
     /// At quiesce, every surviving connection has received exactly the
     /// responses for the requests it sent, in order.
     Delivery,
+    /// After a kill/recover round trip, the recovered engine reports
+    /// exactly the durable state captured at the kill: no acknowledged
+    /// op lost, none invented, the model epoch resumed.
+    Durability,
 }
 
 impl fmt::Display for InvariantKind {
@@ -43,6 +47,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::Conservation => "conservation",
             InvariantKind::TraceStitching => "trace-stitching",
             InvariantKind::Delivery => "delivery",
+            InvariantKind::Durability => "durability",
         };
         f.write_str(name)
     }
@@ -82,6 +87,71 @@ pub struct Mirror {
     pub last_hits: u64,
     /// Last observed cache-miss counter.
     pub last_misses: u64,
+}
+
+/// The durable subset of the stats snapshot: every counter backed by an
+/// acknowledged WAL record (or the checkpoint image). Captured at a
+/// simulated kill, compared field-for-field after recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableSnapshot {
+    /// Sessions ever opened.
+    pub sessions_opened: u64,
+    /// Sessions ever closed.
+    pub sessions_closed: u64,
+    /// Sessions alive (restored open sessions must come back).
+    pub sessions_live: u64,
+    /// Verdicts recorded.
+    pub claims_verified: u64,
+    /// Property answers posted.
+    pub answers_posted: u64,
+    /// Epochs ever published.
+    pub retrains: u64,
+    /// Background (incremental) publishes among them.
+    pub background_retrains: u64,
+    /// Examples folded into published models.
+    pub examples_trained: u64,
+    /// The published model epoch.
+    pub model_epoch: u64,
+    /// Verified claims still waiting for the next retrain.
+    pub pending_examples: u64,
+}
+
+impl DurableSnapshot {
+    /// Extracts the durable subset from a full stats snapshot.
+    pub fn capture(snapshot: &StatsSnapshot) -> DurableSnapshot {
+        DurableSnapshot {
+            sessions_opened: snapshot.sessions_opened,
+            sessions_closed: snapshot.sessions_closed,
+            sessions_live: snapshot.sessions_live,
+            claims_verified: snapshot.claims_verified,
+            answers_posted: snapshot.answers_posted,
+            retrains: snapshot.retrains,
+            background_retrains: snapshot.background_retrains,
+            examples_trained: snapshot.examples_trained,
+            model_epoch: snapshot.model_epoch,
+            pending_examples: snapshot.pending_examples,
+        }
+    }
+}
+
+/// The durability invariant: the state recovered from the WAL equals the
+/// durable state captured at the kill, exactly.
+pub fn check_durability(
+    expected: &DurableSnapshot,
+    recovered: &DurableSnapshot,
+    step: usize,
+) -> Result<(), Violation> {
+    if expected != recovered {
+        return Err(Violation {
+            kind: InvariantKind::Durability,
+            step,
+            detail: format!(
+                "recovery diverged from the durable state at the kill: \
+                 expected {expected:?}, recovered {recovered:?}"
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Runs the stats-derived invariant checks (epoch accounting, verdict

@@ -10,7 +10,7 @@
 //!   seed ──▶ schedule (ops over 3 simulated connections + faults)
 //!              │ open / submit / answer / suggest / verdict / sql /
 //!              │ batch / stats / close  +  drive / jump / drop /
-//!              │ stall / partial / crash
+//!              │ stall / partial / crash  +  kill / recover (--crash)
 //!              ▼
 //!   run: SimStream pairs ──▶ service_conn (the production state
 //!        machine) ──▶ handle_request (the production protocol) ──▶
@@ -20,7 +20,7 @@
 //!   shrink: ddmin to a minimal schedule, printed with its seed
 //! ```
 //!
-//! The five invariant families (see [`invariants`]):
+//! The six invariant families (see [`invariants`]):
 //!
 //! 1. **Epoch accounting** — `model_epoch` is monotone and equals the
 //!    retrain count.
@@ -35,6 +35,12 @@
 //!    responses, in order.
 //! 5. **Trace stitching** — every response echoes its request's trace
 //!    id; batch sub-responses inherit the batch's.
+//! 6. **Durability** — after a `kill`/`recover` round trip over the
+//!    simulated storage (unsynced tails lost, optionally torn), the
+//!    recovered engine reports exactly the durable state captured at
+//!    the kill: no acknowledged op lost, none invented, the model epoch
+//!    resumed. Every sim engine is WAL-backed, so plain schedules also
+//!    exercise the record path; `--crash` arms the kills.
 //!
 //! Determinism is bitwise: one seed ⇒ one schedule ⇒ one digest over
 //! every deterministic response byte and the final counters

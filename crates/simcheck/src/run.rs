@@ -24,9 +24,15 @@ use scrutinizer_engine::engine::Engine;
 use scrutinizer_engine::protocol::{handle_payload, Json};
 use scrutinizer_engine::{codec, service_conn, wire, ConnState, ServiceLimits};
 use scrutinizer_engine::{Request, WireCodec, BINARY_MAGIC};
-use scrutinizer_sim::{FaultPlan, SimEndpoint, SimScheduler, SimStream, Spawner, VirtualClock};
+use scrutinizer_sim::storage::FAULT_CRASH_TORN;
+use scrutinizer_sim::{
+    FaultPlan, SimEndpoint, SimScheduler, SimStorage, SimStream, Spawner, VirtualClock,
+};
 
-use crate::invariants::{check_sql_outcome, check_stats, InvariantKind, Mirror, Violation};
+use crate::invariants::{
+    check_durability, check_sql_outcome, check_stats, DurableSnapshot, InvariantKind, Mirror,
+    Violation,
+};
 use crate::schedule::{SimOp, N_SLOTS};
 use crate::world::{SharedWorld, CACHE_CAPACITY};
 
@@ -89,13 +95,22 @@ struct Slot {
 /// *discards* its drained batch instead of restoring it, which the
 /// verdict-loss invariant must catch.
 pub fn run_schedule(world: &SharedWorld, ops: &[SimOp], canary: bool) -> RunResult {
-    let (engine, clock, scheduler, faults) = world.spawn_engine();
+    // the storage fault plan outlives engine incarnations (the storage
+    // holds it), unlike the per-incarnation engine fault plan below
+    let storage_faults = Arc::new(FaultPlan::new());
+    let storage = SimStorage::with_faults(Arc::clone(&storage_faults));
+    let (engine, clock, scheduler, faults, _) = world
+        .spawn_engine(Arc::clone(&storage) as _)
+        .expect("fresh simulated storage cannot fail to open");
     let mut harness = Harness {
         world,
         engine,
         clock,
         scheduler,
         faults,
+        storage,
+        storage_faults,
+        crashed: None,
         canary,
         limits: ServiceLimits {
             max_line_bytes: 1 << 16,
@@ -125,6 +140,14 @@ struct Harness<'w> {
     clock: Arc<VirtualClock>,
     scheduler: Arc<SimScheduler>,
     faults: Arc<FaultPlan>,
+    /// Durable storage shared across engine incarnations.
+    storage: Arc<SimStorage>,
+    /// The fault plan the *storage* consults (kill-time torn tails) —
+    /// distinct from `faults`, which dies with the engine incarnation.
+    storage_faults: Arc<FaultPlan>,
+    /// `Some(durable state at the kill)` while the process is dead; ops
+    /// other than `recover` are no-ops in that window.
+    crashed: Option<DurableSnapshot>,
     canary: bool,
     limits: ServiceLimits,
     slots: Vec<Slot>,
@@ -140,6 +163,11 @@ impl Harness<'_> {
         for (index, op) in ops.iter().enumerate() {
             self.step = index;
             self.apply(op)?;
+            if self.crashed.is_some() {
+                // the process is dead: nothing to pump, no engine whose
+                // stats could meaningfully be checked
+                continue;
+            }
             self.pump()?;
             let snapshot = self.engine.stats();
             check_stats(&snapshot, CACHE_CAPACITY, &mut self.mirror, self.step)?;
@@ -151,6 +179,10 @@ impl Harness<'_> {
     /// Executes one schedule op: either a fault/driver action or a
     /// request line pushed onto a slot's client endpoint.
     fn apply(&mut self, op: &SimOp) -> Result<(), Violation> {
+        if self.crashed.is_some() && !matches!(op, SimOp::Recover) {
+            // a dead process takes no requests and fires no faults
+            return Ok(());
+        }
         match op {
             SimOp::Open { slot } => {
                 let (id, trace) = self.fresh_id();
@@ -268,6 +300,32 @@ impl Harness<'_> {
                     self.faults.arm("canary.trainer.drop_batch", 1);
                 }
             }
+            SimOp::Crash { torn } => {
+                // what the WAL guaranteed at this instant: every op the
+                // harness saw acknowledged (requests execute inline, so
+                // post-pump counters are all-acked counters)
+                self.crashed = Some(DurableSnapshot::capture(&self.engine.stats()));
+                if *torn {
+                    self.storage_faults.arm(FAULT_CRASH_TORN, 1);
+                }
+                self.storage.crash();
+                // connections die with the process; sessions are durable
+                // state and survive in the log, so slots keep their
+                // session ids and accepted claims for after recovery
+                for state in &mut self.slots {
+                    state.conn = None;
+                    state.sent.clear();
+                    state.delivered.clear();
+                    state.recv_buf.clear();
+                    state.pending_tail.clear();
+                }
+                self.meta.clear();
+            }
+            SimOp::Recover => {
+                if self.crashed.is_some() {
+                    self.recover()?;
+                }
+            }
             SimOp::BinFrame { query, split } => {
                 self.flush_pending_tail(BIN_SLOT);
                 let (id, trace) = self.fresh_id();
@@ -282,6 +340,34 @@ impl Harness<'_> {
             }
         }
         Ok(())
+    }
+
+    /// Restarts the process: a fresh engine incarnation recovers from
+    /// the shared durable storage (fresh clock, scheduler, and
+    /// per-incarnation fault plan — queued trainer jobs died with the
+    /// old process), then the durability invariant holds recovery to the
+    /// state captured at the kill.
+    fn recover(&mut self) -> Result<(), Violation> {
+        let expected = self.crashed.take().expect("recover only while crashed");
+        let spawned = self
+            .world
+            .spawn_engine(Arc::clone(&self.storage) as _)
+            .map_err(|error| Violation {
+                kind: InvariantKind::Durability,
+                step: self.step,
+                detail: format!("recovery failed to open the WAL: {error}"),
+            })?;
+        let (engine, clock, scheduler, faults, _report) = spawned;
+        self.engine = engine;
+        self.clock = clock;
+        self.scheduler = scheduler;
+        self.faults = faults;
+        // the query cache restarted empty: reset its monotone watermarks
+        // (the durable counters keep theirs — they must not regress)
+        self.mirror.last_hits = 0;
+        self.mirror.last_misses = 0;
+        let recovered = DurableSnapshot::capture(&self.engine.stats());
+        check_durability(&expected, &recovered, self.step)
     }
 
     /// Delivers a held-back frame tail, if any, completing the frame a
@@ -646,6 +732,11 @@ impl Harness<'_> {
     /// connection, then hold the engine to the final reckoning — delivery
     /// integrity per surviving connection and one last invariant pass.
     fn quiesce(&mut self) -> Result<(), Violation> {
+        // a schedule may end mid-crash; the reckoning below needs a live
+        // engine, and ending on a recovery checks durability once more
+        if self.crashed.is_some() {
+            self.recover()?;
+        }
         for slot in 0..self.slots.len() {
             self.flush_pending_tail(slot);
         }

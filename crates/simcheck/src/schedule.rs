@@ -110,6 +110,20 @@ pub enum SimOp {
     /// Arm a one-shot trainer crash: the next background retrain dies
     /// after draining its batch (and, under the canary, loses it).
     CrashTrainer,
+    /// Kill the whole process: storage loses every unsynced tail (with
+    /// `torn`, one file keeps half of its tail — a torn write recovery
+    /// must detect), every connection dies, and subsequent ops are
+    /// no-ops until a `Recover`. Rendered as `kill` (`crash` was already
+    /// taken by the trainer fault above).
+    Crash {
+        /// Leave a torn tail on one file instead of a clean truncation.
+        torn: bool,
+    },
+    /// Restart from durable storage: replay the WAL, resume the last
+    /// published epoch, and check the durability invariant — the
+    /// recovered engine must report exactly the durable state captured
+    /// at the kill. A no-op unless crashed.
+    Recover,
     /// Send one SQL request as a length-prefixed binary frame on the
     /// dedicated binary connection slot (slot index [`N_SLOTS`], which
     /// negotiates the codec with the `0x00` magic byte on open). With
@@ -127,8 +141,10 @@ pub enum SimOp {
 
 /// Generates the schedule for `seed`: a short prelude that opens every
 /// slot and submits claims (so the random tail has sessions to act on),
-/// followed by `n_ops` weighted random ops.
-pub fn generate(seed: u64, n_ops: usize, n_claims: usize) -> Vec<SimOp> {
+/// followed by `n_ops` weighted random ops. With `crash`, kill/recover
+/// ops join the mix (off, the op stream is bit-identical to what the
+/// same seed generated before the durability subsystem existed).
+pub fn generate(seed: u64, n_ops: usize, n_claims: usize, crash: bool) -> Vec<SimOp> {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
     let mut ops = Vec::with_capacity(2 * N_SLOTS + n_ops);
     for slot in 0..N_SLOTS {
@@ -138,7 +154,7 @@ pub fn generate(seed: u64, n_ops: usize, n_claims: usize) -> Vec<SimOp> {
         ops.push(SimOp::Submit { slot, claims });
     }
     for _ in 0..n_ops {
-        ops.push(random_op(&mut rng, n_claims));
+        ops.push(random_op(&mut rng, n_claims, crash));
     }
     ops
 }
@@ -146,7 +162,20 @@ pub fn generate(seed: u64, n_ops: usize, n_claims: usize) -> Vec<SimOp> {
 /// One weighted random op. Verdicts dominate so schedules actually
 /// exercise the pending-log → background-retrain → publish pipeline; the
 /// fault ops stay frequent enough that most schedules carry at least one.
-fn random_op(rng: &mut Xoshiro256PlusPlus, n_claims: usize) -> SimOp {
+fn random_op(rng: &mut Xoshiro256PlusPlus, n_claims: usize, crash: bool) -> SimOp {
+    // the kill/recover draw happens only in crash mode, so plain-mode
+    // streams stay reproducible across versions
+    if crash {
+        match rng.gen_range(0..100u32) {
+            0..=2 => {
+                return SimOp::Crash {
+                    torn: rng.gen_bool(0.3),
+                }
+            }
+            3..=8 => return SimOp::Recover,
+            _ => {}
+        }
+    }
     let slot = rng.gen_range(0..N_SLOTS);
     match rng.gen_range(0..100u32) {
         0..=7 => SimOp::Open { slot },
@@ -241,6 +270,8 @@ pub fn render(ops: &[SimOp]) -> String {
             }
             SimOp::PartialWrites { slot, cap } => format!("partial {slot} {cap}"),
             SimOp::CrashTrainer => "crash".to_string(),
+            SimOp::Crash { torn } => format!("kill {torn}"),
+            SimOp::Recover => "recover".to_string(),
             SimOp::BinFrame { query, split } => format!("binframe {query} {split}"),
         };
         out.push_str(&line);
@@ -331,6 +362,14 @@ pub fn parse(text: &str) -> Result<Vec<SimOp>, String> {
                 cap: parse_num(&arg("cap")?, number)?,
             },
             "crash" => SimOp::CrashTrainer,
+            "kill" => SimOp::Crash {
+                torn: match arg("torn")?.as_str() {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(format!("line {}: bad bool `{other}`", number + 1)),
+                },
+            },
+            "recover" => SimOp::Recover,
             "binframe" => SimOp::BinFrame {
                 query: parse_num(&arg("query")?, number)?,
                 split: match arg("split")?.as_str() {
@@ -358,13 +397,27 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(generate(42, 50, 32), generate(42, 50, 32));
-        assert_ne!(generate(42, 50, 32), generate(43, 50, 32));
+        assert_eq!(generate(42, 50, 32, false), generate(42, 50, 32, false));
+        assert_ne!(generate(42, 50, 32, false), generate(43, 50, 32, false));
+        assert_eq!(generate(42, 50, 32, true), generate(42, 50, 32, true));
+    }
+
+    #[test]
+    fn crash_mode_generates_kill_and_recover_ops() {
+        let ops: Vec<SimOp> = (0..64)
+            .flat_map(|index| generate(schedule_seed(9, index), 40, 32, true))
+            .collect();
+        assert!(ops.iter().any(|op| matches!(op, SimOp::Crash { .. })));
+        assert!(ops.iter().any(|op| matches!(op, SimOp::Recover)));
+        let plain = generate(42, 50, 32, false);
+        assert!(!plain
+            .iter()
+            .any(|op| matches!(op, SimOp::Crash { .. } | SimOp::Recover)));
     }
 
     #[test]
     fn render_parse_round_trips() {
-        let ops = generate(7, 80, 32);
+        let ops = generate(7, 80, 32, true);
         let text = render(&ops);
         assert_eq!(parse(&text).expect("rendered schedules parse"), ops);
     }
@@ -374,5 +427,6 @@ mod tests {
         assert!(parse("open zero").is_err());
         assert!(parse("warp 9").is_err());
         assert!(parse("verdict 0 1 maybe").is_err());
+        assert!(parse("kill maybe").is_err());
     }
 }

@@ -14,7 +14,9 @@ use std::sync::Arc;
 use scrutinizer_core::{FeatureStore, OrderingStrategy, SystemConfig, SystemModels};
 use scrutinizer_corpus::{Corpus, CorpusConfig};
 use scrutinizer_engine::engine::{Engine, EngineOptions};
-use scrutinizer_sim::{FaultPlan, SimEnv, SimScheduler, VirtualClock};
+use scrutinizer_engine::{recover_parts, DurableEnv, RecoveryReport};
+use scrutinizer_sim::{FaultPlan, SimEnv, SimScheduler, Storage, VirtualClock};
+use scrutinizer_wal::WalOptions;
 
 /// Background-retrain interval for simulated engines — deliberately tiny
 /// so a few verdicts already exercise the drain → train → publish path.
@@ -24,6 +26,18 @@ pub const RETRAIN_INTERVAL: usize = 2;
 /// schedules actually evict, exercising the LRU under the coherence
 /// invariant.
 pub const CACHE_CAPACITY: usize = 64;
+
+/// A freshly spawned simulated engine and its simulation handles: the
+/// engine itself, the virtual clock, the single-lane scheduler, the
+/// armable fault plan, and the recovery report describing what (if
+/// anything) was replayed from `storage`.
+pub type SpawnedEngine = (
+    Arc<Engine>,
+    Arc<VirtualClock>,
+    Arc<SimScheduler>,
+    Arc<FaultPlan>,
+    RecoveryReport,
+);
 
 /// Everything schedule runs share: the corpus, its features, pretrained
 /// model weights, the config, and a pool of valid SQL statements.
@@ -93,20 +107,15 @@ impl SharedWorld {
         }
     }
 
-    /// Spawns a fresh engine under full simulation: virtual clock,
-    /// deterministic single-lane scheduler, armable fault plan. The
-    /// engine shares the world's corpus/features/weights and starts at
-    /// epoch 0 with empty sessions.
-    pub fn spawn_engine(
-        &self,
-    ) -> (
-        Arc<Engine>,
-        Arc<VirtualClock>,
-        Arc<SimScheduler>,
-        Arc<FaultPlan>,
-    ) {
+    /// Spawns an engine under full simulation — virtual clock,
+    /// deterministic single-lane scheduler, armable fault plan — durable
+    /// over `storage`. With fresh storage, the engine starts at epoch 0
+    /// with empty sessions; with storage a previous incarnation wrote
+    /// (and crashed on), it recovers the durable state. Every schedule
+    /// run therefore also model-checks the WAL record/replay path.
+    pub fn spawn_engine(&self, storage: Arc<dyn Storage>) -> std::io::Result<SpawnedEngine> {
         let (env, clock, scheduler, faults) = SimEnv::simulated();
-        let engine = Engine::from_parts(
+        let (engine, report) = recover_parts(
             Arc::clone(&self.corpus),
             Arc::clone(&self.features),
             self.models.clone(),
@@ -120,8 +129,13 @@ impl SharedWorld {
                 ordering: OrderingStrategy::Sequential,
             },
             env,
-        );
-        (engine, clock, scheduler, faults)
+            DurableEnv {
+                storage,
+                dir: "wal".to_string(),
+                wal: WalOptions::default(),
+            },
+        )?;
+        Ok((engine, clock, scheduler, faults, report))
     }
 
     /// Ground-truth relation text for a claim — the harness answers
@@ -138,9 +152,12 @@ mod tests {
     #[test]
     fn spawned_engines_share_the_world_but_not_state() {
         let world = SharedWorld::build();
-        let (a, _, _, _) = world.spawn_engine();
-        let (b, _, _, _) = world.spawn_engine();
+        let storage_a = scrutinizer_sim::SimStorage::new();
+        let storage_b = scrutinizer_sim::SimStorage::new();
+        let (a, _, _, _, _) = world.spawn_engine(storage_a).expect("spawn a");
+        let (b, _, _, _, _) = world.spawn_engine(storage_b).expect("spawn b");
         assert_eq!(a.stats().model_epoch, 0, "fresh engines start at epoch 0");
+        assert!(a.is_durable(), "sim engines carry a WAL");
         a.open_session("sim");
         assert_eq!(a.stats().sessions_opened, 1);
         assert_eq!(b.stats().sessions_opened, 0, "stats are per-engine");

@@ -17,7 +17,7 @@ fn world() -> &'static SharedWorld {
 
 #[test]
 fn identical_seeds_produce_identical_runs() {
-    let ops = generate(0xDEAD_BEEF, 60, world().n_claims);
+    let ops = generate(0xDEAD_BEEF, 60, world().n_claims, false);
     let first = run_schedule(world(), &ops, false);
     let second = run_schedule(world(), &ops, false);
     assert!(first.violation.is_none(), "{:?}", first.violation);
@@ -30,8 +30,8 @@ fn identical_seeds_produce_identical_runs() {
 
 #[test]
 fn different_seeds_explore_different_schedules() {
-    let a = generate(1, 40, world().n_claims);
-    let b = generate(2, 40, world().n_claims);
+    let a = generate(1, 40, world().n_claims, false);
+    let b = generate(2, 40, world().n_claims, false);
     assert_ne!(a, b);
 }
 
@@ -39,7 +39,7 @@ fn different_seeds_explore_different_schedules() {
 fn clean_sweep_finds_no_violations() {
     for index in 0..150 {
         let seed = schedule_seed(99, index);
-        let ops = generate(seed, 40, world().n_claims);
+        let ops = generate(seed, 40, world().n_claims, false);
         let result = run_schedule(world(), &ops, false);
         assert!(
             result.violation.is_none(),
@@ -50,13 +50,48 @@ fn clean_sweep_finds_no_violations() {
 }
 
 #[test]
+fn crash_schedules_hold_the_durability_invariant() {
+    // kill/recover in the mix: every kill loses unsynced tails (some
+    // torn), every recovery replays the WAL and must land byte-exactly
+    // on the durable state captured at the kill
+    let mut kills = 0;
+    for index in 0..60 {
+        let seed = schedule_seed(0x000C_4A54, index);
+        let ops = generate(seed, 40, world().n_claims, true);
+        kills += ops
+            .iter()
+            .filter(|op| matches!(op, scrutinizer_simcheck::SimOp::Crash { .. }))
+            .count();
+        let result = run_schedule(world(), &ops, false);
+        assert!(
+            result.violation.is_none(),
+            "seed {seed} violated: {}",
+            result.violation.unwrap()
+        );
+    }
+    assert!(kills > 0, "the sweep never generated a kill op");
+}
+
+#[test]
+fn crash_schedules_are_deterministic() {
+    let ops = generate(0xFEED_F00D, 60, world().n_claims, true);
+    let first = run_schedule(world(), &ops, false);
+    let second = run_schedule(world(), &ops, false);
+    assert!(first.violation.is_none(), "{:?}", first.violation);
+    assert_eq!(
+        first.digest, second.digest,
+        "recovery must be bitwise deterministic"
+    );
+}
+
+#[test]
 fn canary_is_found_and_shrinks_small() {
     // sweep seeds until the injected verdict-loss bug fires; with
     // verdict-heavy schedules and the crash op in the mix this lands
     // within a handful of seeds
     for index in 0..500 {
         let seed = schedule_seed(7, index);
-        let ops = generate(seed, 40, world().n_claims);
+        let ops = generate(seed, 40, world().n_claims, false);
         let result = run_schedule(world(), &ops, true);
         let Some(violation) = result.violation else {
             continue;
@@ -96,7 +131,7 @@ fn canary_is_found_and_shrinks_small() {
 
 #[test]
 fn shrunk_schedules_round_trip_through_text() {
-    let ops = generate(0xABCD, 50, world().n_claims);
+    let ops = generate(0xABCD, 50, world().n_claims, false);
     let text = render(&ops);
     let parsed = parse(&text).expect("rendered schedule parses");
     assert_eq!(parsed, ops);

@@ -53,7 +53,8 @@ pub use scrutinizer_crowd as crowd;
 pub use scrutinizer_data as data;
 /// The serving layer: a long-lived concurrent engine hosting many checker
 /// sessions over shared models, with a query-result cache, a thread-pool
-/// executor, metrics, and the `scrutinizer-serve` TCP binary.
+/// executor, metrics, durability (WAL records + crash recovery), and the
+/// `scrutinizer-serve` TCP binary.
 pub use scrutinizer_engine as engine;
 /// Formula language: generalization and instantiation of checks.
 pub use scrutinizer_formula as formula;
@@ -69,3 +70,6 @@ pub use scrutinizer_obs as obs;
 pub use scrutinizer_query as query;
 /// Claim preprocessing: tokenization, TF-IDF, embeddings, parameter extraction.
 pub use scrutinizer_text as text;
+/// The append-only checksummed write-ahead log the engine's durability
+/// layer builds on: rotating segments, group commit, epoch checkpoints.
+pub use scrutinizer_wal as wal;
