@@ -28,6 +28,11 @@
 //! ## Ordering invariants
 //!
 //! * A record is committed (fsynced) before its operation returns.
+//! * Ops on the same session *append* their record while still holding
+//!   the session lock (only the fsync runs outside it), so the log's
+//!   record order always matches the order the ops' effects were
+//!   applied — replay can never see an `AnswerPosted` ahead of the
+//!   `ReportSubmitted` that created its task.
 //! * At epoch publish: snapshot blob first (atomic write), then the
 //!   `EpochPublished` record, then the checkpoint — so any durable
 //!   `EpochPublished` record has its blob, and any checkpoint at epoch
@@ -589,15 +594,23 @@ pub fn recover_parts(
     let mut models = base_models;
     if checkpoint_epoch > 0 {
         let name = snapshot_blob_name(checkpoint_epoch);
-        if let Some(bytes) = wal.read_blob(&name)? {
-            let (epoch, state) = decode_models(&bytes).map_err(invalid)?;
-            if epoch != checkpoint_epoch {
-                return Err(invalid(format!(
-                    "snapshot blob {name} claims epoch {epoch}"
-                )));
-            }
-            models.restore_state(state).map_err(invalid)?;
+        // the publish order (blob → record → checkpoint) guarantees any
+        // durable checkpoint at epoch E > 0 has its epoch-E blob, so a
+        // missing blob is corruption or an external deletion; resuming on
+        // bootstrap models would silently serve untrained weights while
+        // the recovered counters report a trained epoch
+        let bytes = wal.read_blob(&name)?.ok_or_else(|| {
+            invalid(format!(
+                "checkpoint at epoch {checkpoint_epoch} but snapshot blob {name} is missing"
+            ))
+        })?;
+        let (epoch, state) = decode_models(&bytes).map_err(invalid)?;
+        if epoch != checkpoint_epoch {
+            return Err(invalid(format!(
+                "snapshot blob {name} claims epoch {epoch}"
+            )));
         }
+        models.restore_state(state).map_err(invalid)?;
     }
     let engine = Engine::assemble(
         corpus,

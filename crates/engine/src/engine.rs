@@ -128,6 +128,23 @@ pub struct VerdictRecord {
 
 type SessionHandle = Arc<Mutex<SessionState>>;
 
+/// Unwraps a WAL I/O result. Storage failure is fatal by design —
+/// continuing would hand out acks the log cannot back — but a panic
+/// would unwind a request/trainer thread with shared locks held,
+/// poisoning the session registry and gates so every later request dies
+/// on a "poisoned" expect while the process stays half-alive. Abort
+/// instead: one line to stderr, then a clean death a supervisor can
+/// restart into recovery.
+fn wal_io<T>(result: std::io::Result<T>, context: &str) -> T {
+    match result {
+        Ok(value) => value,
+        Err(error) => {
+            eprintln!("fatal: {context}: {error}");
+            std::process::abort();
+        }
+    }
+}
+
 /// The engine's [`AssignmentCache`]: routes Algorithm 2's assignment
 /// evaluations through the sharded LRU, keyed by the prepared plan's
 /// structural fingerprint ([`PlanKey::Assignment`]).
@@ -457,14 +474,41 @@ impl Engine {
     }
 
     /// Appends one record and commits it — the op is acknowledged only
-    /// after this returns, so acknowledged implies durable. Storage
-    /// failure here is fatal by design: continuing would hand out acks
-    /// the log cannot back.
+    /// after this returns, so acknowledged implies durable. For ops whose
+    /// apply order is fixed by a lock (the session lock), use
+    /// [`append_record`](Self::append_record) while still holding that
+    /// lock and [`commit_record`](Self::commit_record) after dropping it,
+    /// so the log order matches the apply order.
     fn log_record(&self, record: &WalRecord) {
-        let Some(wal) = &self.wal else { return };
+        let lsn = self.append_record(record);
+        self.commit_record(lsn);
+    }
+
+    /// First half of [`log_record`](Self::log_record): appends the
+    /// record, fixing its position in the log, without waiting for
+    /// durability. Two ops on the same session serialize on the session
+    /// lock; appending before that lock drops means replay applies their
+    /// records in the same order the live ops applied their effects —
+    /// otherwise an `AnswerPosted` could land in the log ahead of the
+    /// `ReportSubmitted` that created its task and be silently dropped
+    /// on replay. Only the fsync ([`commit_record`]) runs outside the
+    /// lock.
+    fn append_record(&self, record: &WalRecord) -> Option<u64> {
+        if !self.recording() {
+            return None;
+        }
+        let wal = self.wal.as_ref()?;
         let _span = obs::span!("wal.append");
-        let lsn = wal.append(&record.encode()).expect("wal append failed");
-        wal.commit(lsn).expect("wal commit failed");
+        Some(wal_io(wal.append(&record.encode()), "wal append failed"))
+    }
+
+    /// Second half of [`log_record`](Self::log_record): blocks until the
+    /// appended record is durable (group commit). The op is acknowledged
+    /// only after this returns.
+    fn commit_record(&self, lsn: Option<u64>) {
+        let Some(lsn) = lsn else { return };
+        let wal = self.wal.as_ref().expect("an lsn implies a wal");
+        wal_io(wal.commit(lsn), "wal commit failed");
     }
 
     /// Makes a freshly published epoch durable: snapshot blob first, then
@@ -480,16 +524,17 @@ impl Engine {
         let _gate = self.wal_gate.write().expect("wal gate poisoned");
         let snapshot = self.models.load();
         let blob = durability::encode_models(epoch, &snapshot.models.export_state());
-        wal.write_blob(&durability::snapshot_blob_name(epoch), &blob)
-            .expect("model snapshot write failed");
+        wal_io(
+            wal.write_blob(&durability::snapshot_blob_name(epoch), &blob),
+            "model snapshot write failed",
+        );
         self.log_record(&WalRecord::EpochPublished {
             epoch,
             examples,
             background,
         });
         let image = durability::encode_state_image(&self.build_state_image());
-        wal.checkpoint(epoch, &image)
-            .expect("wal checkpoint failed");
+        wal_io(wal.checkpoint(epoch, &image), "wal checkpoint failed");
         if let Ok(blobs) = wal.list_blobs("epoch-") {
             for name in blobs {
                 if durability::snapshot_blob_epoch(&name).is_some_and(|e| e < epoch) {
@@ -718,14 +763,26 @@ impl Engine {
                     let wal = self.wal.as_ref().expect("replay requires a wal");
                     let snapshot = self.models.load();
                     let mut models = snapshot.models.clone();
-                    if let Some(bytes) = wal.read_blob(&durability::snapshot_blob_name(*epoch))? {
-                        let (_, state) = durability::decode_models(&bytes).map_err(|error| {
-                            std::io::Error::new(std::io::ErrorKind::InvalidData, error)
-                        })?;
-                        models.restore_state(state).map_err(|error| {
-                            std::io::Error::new(std::io::ErrorKind::InvalidData, error)
-                        })?;
-                    }
+                    let name = durability::snapshot_blob_name(*epoch);
+                    // publish order is blob → record → checkpoint, so a
+                    // durable EpochPublished record always has its blob; a
+                    // missing one is corruption or an external deletion,
+                    // and silently serving the previous weights while the
+                    // counters report this epoch would mask it
+                    let bytes = wal.read_blob(&name)?.ok_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!(
+                                "epoch {epoch} was published but snapshot blob {name} is missing"
+                            ),
+                        )
+                    })?;
+                    let (_, state) = durability::decode_models(&bytes).map_err(|error| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, error)
+                    })?;
+                    models.restore_state(state).map_err(|error| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, error)
+                    })?;
                     let published = self.models.publish(models);
                     debug_assert_eq!(published, *epoch, "replayed epochs are contiguous");
                 }
@@ -913,13 +970,15 @@ impl Engine {
                 state.tasks.insert(claim_id, task);
                 state.pending.push(claim_id);
             }
+            // append while the session lock is still held so the record's
+            // log position matches its apply order against concurrent ops
+            // on this session; the fsync waits until the lock is dropped
+            let lsn = self.append_record(&WalRecord::ReportSubmitted {
+                session: session.0,
+                claims: claim_ids.to_vec(),
+            });
             drop(state);
-            if self.recording() {
-                self.log_record(&WalRecord::ReportSubmitted {
-                    session: session.0,
-                    claims: claim_ids.to_vec(),
-                });
-            }
+            self.commit_record(lsn);
         }
         self.next_batch(session)
     }
@@ -1077,15 +1136,14 @@ impl Engine {
         if remaining == 0 {
             task.phase = ClaimPhase::Suggesting;
         }
+        let lsn = self.append_record(&WalRecord::AnswerPosted {
+            session: session.0,
+            claim: claim_id,
+            kind,
+            answer: answer.to_string(),
+        });
         drop(state);
-        if self.recording() {
-            self.log_record(&WalRecord::AnswerPosted {
-                session: session.0,
-                claim: claim_id,
-                kind,
-                answer: answer.to_string(),
-            });
-        }
+        self.commit_record(lsn);
         Ok(remaining)
     }
 
@@ -1208,16 +1266,15 @@ impl Engine {
             crowd_seconds: 0.0,
             verdict_matches_truth: correct == claim.is_correct,
         };
+        let lsn = self.append_record(&WalRecord::VerdictPosted {
+            session: session.0,
+            claim: claim_id,
+            correct,
+            chosen,
+        });
         drop(state);
         self.stats.bump(&self.stats.claims_verified);
-        if self.recording() {
-            self.log_record(&WalRecord::VerdictPosted {
-                session: session.0,
-                claim: claim_id,
-                correct,
-                chosen,
-            });
-        }
+        self.commit_record(lsn);
         let retrained = self.note_verified(claim_id);
         Ok(VerdictRecord { outcome, retrained })
     }

@@ -161,6 +161,43 @@ fn crash_and_recover_restores_the_durable_state_exactly() {
 }
 
 #[test]
+fn missing_snapshot_blob_fails_recovery_instead_of_serving_bootstrap_models() {
+    let storage = SimStorage::new();
+    let (engine, _) = recover_engine(&storage);
+    for claim_id in 0..6 {
+        engine.verify_claim_with(claim_id, &mut worker(300 + claim_id as u64));
+    }
+    engine.flush_retrains();
+    let epoch = engine.model_epoch();
+    assert!(epoch >= 1, "the verdicts retrained at least once");
+    drop(engine);
+    storage.crash();
+
+    // the publish order guarantees a checkpoint at epoch E has its epoch-E
+    // blob, so deleting it simulates corruption/external tampering —
+    // recovery must refuse rather than resume at a trained epoch on
+    // untrained bootstrap weights
+    storage
+        .remove(&format!("data/epoch-{epoch:010}.snap"))
+        .expect("the checkpointed epoch's blob exists");
+    let result = recover(
+        Corpus::generate(CorpusConfig::small()),
+        SystemConfig::test(),
+        EngineOptions {
+            retrain_interval: Some(4),
+            ordering: OrderingStrategy::Sequential,
+            threads: 2,
+            ..EngineOptions::default()
+        },
+        durable_env(&storage),
+    );
+    match result {
+        Ok(_) => panic!("a checkpoint without its snapshot blob must fail recovery"),
+        Err(error) => assert_eq!(error.kind(), std::io::ErrorKind::InvalidData),
+    }
+}
+
+#[test]
 fn open_sessions_survive_a_crash_and_finish_after_recovery() {
     let storage = SimStorage::new();
     let (engine, _) = recover_engine(&storage);

@@ -34,9 +34,12 @@
 //! ## Replay
 //!
 //! [`Wal::open`] returns the checkpoint payload plus every record
-//! after it, in order. A torn tail — short frame or CRC mismatch at
-//! the end of the last segment — is chopped off and reported, never an
-//! error: by the contract above, torn bytes were never acknowledged.
+//! after it, in order. A torn tail — short frame, CRC mismatch, or
+//! zero-filled region at the end of the last segment — is chopped off
+//! and reported, never an error: by the contract above, torn bytes
+//! were never acknowledged. (Zero-fill is why empty records are
+//! rejected: an empty record's frame is indistinguishable from the
+//! zeros a crashed filesystem can extend a file tail with.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -269,6 +272,15 @@ impl Wal {
     /// durable until [`commit`](Self::commit) returns for an LSN ≥ the
     /// returned one.
     pub fn append(&self, payload: &[u8]) -> io::Result<u64> {
+        if payload.is_empty() {
+            // an empty record's frame (len=0, crc32("")=0) is bytewise
+            // identical to a zero-filled region, which recovery must be
+            // free to truncate as a torn tail (see `parse_segment`)
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "empty WAL records are not supported",
+            ));
+        }
         let mut frame = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -405,14 +417,21 @@ impl Wal {
         self.storage.remove(&format!("{}/{name}", self.dir))
     }
 
-    /// Names of blobs in the directory matching `prefix` (segments and
-    /// the checkpoint file excluded).
+    /// Names of blobs in the directory matching `prefix`. WAL internals —
+    /// segment files, the checkpoint file, and in-flight `.tmp` files —
+    /// are excluded whatever the prefix, so a blob namespace that happens
+    /// to collide with them (e.g. `seg-`) can never return log machinery.
     pub fn list_blobs(&self, prefix: &str) -> io::Result<Vec<String>> {
         Ok(self
             .storage
             .list(&self.dir)?
             .into_iter()
-            .filter(|n| n.starts_with(prefix))
+            .filter(|n| {
+                n.starts_with(prefix)
+                    && segment_seq(n).is_none()
+                    && n != CHECKPOINT_FILE
+                    && !n.ends_with(".tmp")
+            })
             .collect())
     }
 
@@ -438,6 +457,15 @@ fn parse_segment(buf: &[u8]) -> (Vec<Vec<u8>>, usize) {
     while buf.len() - off >= RECORD_HEADER_BYTES {
         let len = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes")) as usize;
         let sum = u32::from_le_bytes(buf[off + 4..off + 8].try_into().expect("4 bytes"));
+        // a zero-filled region self-validates as an endless run of empty
+        // records (len=0, crc=0, and crc32 of the empty payload is 0) —
+        // and real filesystems can zero-extend an unsynced tail after a
+        // crash (e.g. ext4 delayed allocation). Empty records are never
+        // written (`append` rejects them), so len == 0 is the torn-tail
+        // boundary, not a record.
+        if len == 0 {
+            break;
+        }
         let Some(end) = off
             .checked_add(RECORD_HEADER_BYTES)
             .and_then(|s| s.checked_add(len))
@@ -558,6 +586,52 @@ mod tests {
             recovered.records,
             vec![b"whole record".to_vec(), b"after recovery".to_vec()]
         );
+    }
+
+    #[test]
+    fn zero_filled_tail_is_truncated_as_a_tear() {
+        let storage = sim();
+        let (wal, _) = open(&storage);
+        let lsn = wal.append(b"real").unwrap();
+        wal.commit(lsn).unwrap();
+        // ext4-style zero extension of the file tail after a crash: the
+        // zeros checksum-match as empty records and must not be parsed
+        // as such (WalRecord::decode would then fail recovery outright)
+        let path = format!("wal/{}", segment_name(0));
+        storage.append(&path, &[0u8; 64]).unwrap();
+        let (wal, recovered) = open(&storage);
+        assert_eq!(recovered.records, vec![b"real".to_vec()]);
+        assert_eq!(recovered.truncated_bytes, 64);
+        // the log keeps working after the truncation
+        let lsn = wal.append(b"after").unwrap();
+        wal.commit(lsn).unwrap();
+        let (_, recovered) = open(&storage);
+        assert_eq!(recovered.records, vec![b"real".to_vec(), b"after".to_vec()]);
+    }
+
+    #[test]
+    fn empty_records_are_rejected_at_append() {
+        let storage = sim();
+        let (wal, _) = open(&storage);
+        let error = wal.append(b"").unwrap_err();
+        assert_eq!(error.kind(), std::io::ErrorKind::InvalidInput);
+        assert_eq!(wal.metrics().appends, 0);
+    }
+
+    #[test]
+    fn list_blobs_never_returns_wal_internals() {
+        let storage = sim();
+        let (wal, _) = open(&storage);
+        let lsn = wal.append(b"x").unwrap();
+        wal.commit(lsn).unwrap();
+        wal.checkpoint(1, b"img").unwrap();
+        let lsn = wal.append(b"y").unwrap();
+        wal.commit(lsn).unwrap();
+        wal.write_blob("seg-mental", b"blob").unwrap();
+        // prefixes that would naively match the active segment or the
+        // checkpoint file return only true blobs
+        assert_eq!(wal.list_blobs("seg-").unwrap(), vec!["seg-mental"]);
+        assert!(wal.list_blobs("CHECK").unwrap().is_empty());
     }
 
     #[test]
